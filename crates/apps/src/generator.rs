@@ -1,0 +1,230 @@
+//! Deterministic generation of the synthetic benchmark suite.
+
+use crate::patterns::{emit_filler, PatternKind, ALL_PATTERNS};
+use atlas_ir::builder::{MethodBuilder, ProgramBuilder};
+use atlas_ir::{pretty, MethodId, Program, Type, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Configuration of the generated suite.
+#[derive(Debug, Clone)]
+pub struct AppConfig {
+    /// Number of apps to generate (the paper uses 46).
+    pub count: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AppConfig {
+    fn default() -> Self {
+        AppConfig { count: 46, seed: 0xA71A5 }
+    }
+}
+
+/// One generated benchmark app.
+#[derive(Debug, Clone)]
+pub struct GeneratedApp {
+    /// App name (`app00`, `app01`, …).
+    pub name: String,
+    /// The complete program: modeled library plus the app's client class.
+    pub program: Program,
+    /// The app's entry point.
+    pub entry: MethodId,
+    /// The access patterns used, with a flag telling whether the pattern
+    /// carries sensitive data to a sink.
+    pub patterns: Vec<(PatternKind, bool)>,
+    /// The ground-truth set of leaking `(source, sink)` qualified-name pairs.
+    pub leaky_pairs: BTreeSet<(String, String)>,
+    /// The subset of `leaky_pairs` whose every library step is covered by
+    /// the handwritten specification corpus.
+    pub leaky_pairs_handwritten: BTreeSet<(String, String)>,
+    /// Client-side Jimple lines of code (the Figure 8 size metric).
+    pub client_loc: usize,
+}
+
+impl GeneratedApp {
+    /// The subset of ground-truth leaks whose every library step is covered
+    /// by the handwritten specification corpus.
+    pub fn handwritten_detectable_pairs(&self) -> BTreeSet<(String, String)> {
+        self.leaky_pairs_handwritten.clone()
+    }
+}
+
+/// The sources available to generated apps: (receiver class, method name).
+const SOURCES: &[(&str, &str)] = &[
+    ("TelephonyManager", "getDeviceId"),
+    ("TelephonyManager", "getSubscriberId"),
+    ("LocationManager", "getLastKnownLocation"),
+    ("ContactsProvider", "getContacts"),
+    ("SmsInbox", "getMessages"),
+];
+
+/// The sinks available to generated apps: (receiver class, method name).
+const SINKS: &[(&str, &str)] = &[
+    ("SmsManager", "sendTextMessage"),
+    ("HttpClient", "post"),
+    ("Logger", "leak"),
+];
+
+/// Generates the full benchmark suite.
+pub fn generate_suite(config: &AppConfig) -> Vec<GeneratedApp> {
+    (0..config.count).map(|i| generate_app(i, config.seed)).collect()
+}
+
+/// Generates a single app.
+pub fn generate_app(index: usize, seed: u64) -> GeneratedApp {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(index as u64));
+    let mut pb = ProgramBuilder::new();
+    atlas_javalib::install_library(&mut pb);
+
+    let name = format!("app{index:02}");
+    let class_name = format!("App{index:02}");
+    let mut app_class = pb.class(&class_name);
+    let mut run = app_class.static_method("run");
+
+    let num_patterns = 3 + rng.gen_range(0..10);
+    let mut patterns = Vec::new();
+    let mut leaky_pairs = BTreeSet::new();
+    let mut leaky_pairs_handwritten = BTreeSet::new();
+    for t in 0..num_patterns {
+        let kind = ALL_PATTERNS[rng.gen_range(0..ALL_PATTERNS.len())];
+        let roll: f64 = rng.gen();
+        if roll < 0.6 {
+            // Leaky: source → pattern → sink.
+            let source = SOURCES[rng.gen_range(0..SOURCES.len())];
+            let sink = SINKS[rng.gen_range(0..SINKS.len())];
+            let payload = emit_source(&mut run, source, t);
+            let retrieved = kind.emit(&mut run, payload, t);
+            emit_sink(&mut run, sink, retrieved, t);
+            let pair = (
+                format!("{}.{}", source.0, source.1),
+                format!("{}.{}", sink.0, sink.1),
+            );
+            if kind.covered_by_handwritten() {
+                leaky_pairs_handwritten.insert(pair.clone());
+            }
+            leaky_pairs.insert(pair);
+            patterns.push((kind, true));
+        } else if roll < 0.8 {
+            // Benign payload reaches a sink: must NOT be reported.
+            let sink = SINKS[rng.gen_range(0..SINKS.len())];
+            let payload = emit_benign_payload(&mut run, t);
+            let retrieved = kind.emit(&mut run, payload, t);
+            emit_sink(&mut run, sink, retrieved, t);
+            patterns.push((kind, false));
+        } else {
+            // Sensitive data retrieved but never sent anywhere.
+            let source = SOURCES[rng.gen_range(0..SOURCES.len())];
+            let payload = emit_source(&mut run, source, t);
+            let _ = kind.emit(&mut run, payload, t);
+            patterns.push((kind, false));
+        }
+    }
+    // Filler code to spread app sizes over an order of magnitude.
+    let filler_blocks = 1 + (index % 8) * (1 + index / 12);
+    for b in 0..filler_blocks {
+        emit_filler(&mut run, 100 + b, 16);
+    }
+    run.ret(None);
+    let entry = run.finish();
+    app_class.build();
+    pb.add_entry_point(entry);
+    let program = pb.build();
+    let client_loc = pretty::jimple_loc_client(&program);
+
+    GeneratedApp {
+        name,
+        program,
+        entry,
+        patterns,
+        leaky_pairs,
+        leaky_pairs_handwritten,
+        client_loc,
+    }
+}
+
+/// Emits a call to a source method and returns the variable holding the
+/// sensitive value.
+fn emit_source(m: &mut MethodBuilder<'_, '_>, source: (&str, &str), tag: usize) -> Var {
+    let (class, method) = source;
+    let recv = m.local(&format!("src_recv{tag}"), Type::class(class));
+    let class_id = m.cref(class);
+    m.new_object(recv, class_id);
+    let ctor = m.mref(class, "<init>");
+    m.call(None, ctor, Some(recv), &[]);
+    let target = m.mref(class, method);
+    let out = m.local(&format!("secret{tag}"), Type::object());
+    if method == "getLastKnownLocation" {
+        let provider = m.local(&format!("provider{tag}"), Type::class("String"));
+        m.const_null(provider);
+        m.call(Some(out), target, Some(recv), &[provider]);
+    } else {
+        m.call(Some(out), target, Some(recv), &[]);
+    }
+    out
+}
+
+/// Emits a call to a sink method with the given payload.
+fn emit_sink(m: &mut MethodBuilder<'_, '_>, sink: (&str, &str), payload: Var, tag: usize) {
+    let (class, method) = sink;
+    let recv = m.local(&format!("sink_recv{tag}"), Type::class(class));
+    let class_id = m.cref(class);
+    m.new_object(recv, class_id);
+    let ctor = m.mref(class, "<init>");
+    m.call(None, ctor, Some(recv), &[]);
+    let target = m.mref(class, method);
+    if method == "sendTextMessage" {
+        let dest = m.local(&format!("dest{tag}"), Type::class("String"));
+        m.const_null(dest);
+        m.call(None, target, Some(recv), &[payload, dest]);
+    } else {
+        m.call(None, target, Some(recv), &[payload]);
+    }
+}
+
+/// Emits a benign (non-sensitive) payload object.
+fn emit_benign_payload(m: &mut MethodBuilder<'_, '_>, tag: usize) -> Var {
+    let v = m.local(&format!("benign{tag}"), Type::object());
+    let class_id = m.cref("Object");
+    m.new_object(v, class_id);
+    let ctor = m.mref("Object", "<init>");
+    m.call(None, ctor, Some(v), &[]);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_varied() {
+        let a = generate_app(3, 99);
+        let b = generate_app(3, 99);
+        assert_eq!(a.patterns, b.patterns);
+        assert_eq!(a.leaky_pairs, b.leaky_pairs);
+        assert_eq!(a.client_loc, b.client_loc);
+        assert_eq!(a.name, "app03");
+        assert!(a.program.method_qualified("App03.run").is_some());
+        assert!(a.client_loc > 20);
+        // Handwritten-detectable leaks are a subset of all leaks.
+        for pair in a.handwritten_detectable_pairs() {
+            assert!(a.leaky_pairs.contains(&pair));
+        }
+    }
+
+    #[test]
+    fn suite_has_varied_sizes_and_some_leaks() {
+        let config = AppConfig { count: 12, seed: 7 };
+        let suite = generate_suite(&config);
+        assert_eq!(suite.len(), 12);
+        let min = suite.iter().map(|a| a.client_loc).min().unwrap();
+        let max = suite.iter().map(|a| a.client_loc).max().unwrap();
+        assert!(max > min * 2, "sizes should vary: min={min} max={max}");
+        assert!(suite.iter().any(|a| !a.leaky_pairs.is_empty()));
+        // Entry points registered.
+        for app in &suite {
+            assert_eq!(app.program.entry_points(), &[app.entry]);
+        }
+    }
+}

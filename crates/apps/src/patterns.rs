@@ -1,0 +1,310 @@
+//! The source→collection→sink access patterns that benchmark apps are
+//! assembled from.
+
+use atlas_ir::builder::MethodBuilder;
+use atlas_ir::{BinOp, Type, Var};
+
+/// The collection-access pattern used by one code block of an app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternKind {
+    /// Send the source value directly to the sink (no library involvement).
+    Direct,
+    /// `ArrayList.add` / `ArrayList.get`.
+    ListGet,
+    /// `ArrayList.add` / `iterator()` / `next()`.
+    ListIterator,
+    /// `ArrayList.add` / `subList()` / `get()`.
+    ListSubList,
+    /// `Stack.push` / `Stack.pop`.
+    StackPushPop,
+    /// `Vector.addElement` / `Vector.firstElement`.
+    VectorElements,
+    /// `LinkedList.offer` / `LinkedList.poll`.
+    LinkedQueue,
+    /// `ArrayDeque.addLast` / `pollFirst`.
+    DequeEnds,
+    /// `PriorityQueue.offer` / `peek`.
+    PriorityPeek,
+    /// `HashMap.put` / `HashMap.get`.
+    MapGet,
+    /// `HashMap.put` / `values()` / `get(0)`.
+    MapValues,
+    /// `HashMap.put` / `entrySet()` / `get(0)` / `getValue()`.
+    MapEntrySet,
+    /// `Hashtable.put` / `Hashtable.get`.
+    HashtableGet,
+    /// `HashSet.add` / `toList()` / `get(0)`.
+    SetToList,
+    /// `Collections.singletonList` / `get(0)`.
+    SingletonList,
+    /// `StringBuilder.append` / send the builder itself.
+    BuilderAppend,
+    /// `Optional.of` / `Optional.get`.
+    OptionalGet,
+}
+
+/// All patterns, in a fixed order (used for round-robin selection).
+pub const ALL_PATTERNS: &[PatternKind] = &[
+    PatternKind::Direct,
+    PatternKind::ListGet,
+    PatternKind::ListIterator,
+    PatternKind::ListSubList,
+    PatternKind::StackPushPop,
+    PatternKind::VectorElements,
+    PatternKind::LinkedQueue,
+    PatternKind::DequeEnds,
+    PatternKind::PriorityPeek,
+    PatternKind::MapGet,
+    PatternKind::MapValues,
+    PatternKind::MapEntrySet,
+    PatternKind::HashtableGet,
+    PatternKind::SetToList,
+    PatternKind::SingletonList,
+    PatternKind::BuilderAppend,
+    PatternKind::OptionalGet,
+];
+
+impl PatternKind {
+    /// Whether the handwritten specification corpus covers every library
+    /// method this pattern routes sensitive data through (used to predict
+    /// which flows the handwritten specifications can find).
+    pub fn covered_by_handwritten(self) -> bool {
+        matches!(
+            self,
+            PatternKind::Direct
+                | PatternKind::ListGet
+                | PatternKind::StackPushPop
+                | PatternKind::MapGet
+                | PatternKind::BuilderAppend
+        )
+    }
+
+    /// Emits the code that moves `payload` through the pattern's collection
+    /// and returns the variable holding the retrieved value to be sent to
+    /// the sink.  `tag` makes the generated local names unique.
+    pub fn emit(self, m: &mut MethodBuilder<'_, '_>, payload: Var, tag: usize) -> Var {
+        match self {
+            PatternKind::Direct => payload,
+            PatternKind::ListGet => {
+                let list = new_collection(m, "ArrayList", tag);
+                let add = m.mref("ArrayList", "add");
+                m.call(None, add, Some(list), &[payload]);
+                let get = m.mref("ArrayList", "get");
+                let zero = m.local(&format!("zero{tag}"), Type::Int);
+                m.const_int(zero, 0);
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), get, Some(list), &[zero]);
+                out
+            }
+            PatternKind::ListIterator => {
+                let list = new_collection(m, "ArrayList", tag);
+                let add = m.mref("ArrayList", "add");
+                m.call(None, add, Some(list), &[payload]);
+                let iterator = m.mref("ArrayList", "iterator");
+                let it = m.local(&format!("it{tag}"), Type::class("ArrayListIterator"));
+                m.call(Some(it), iterator, Some(list), &[]);
+                let next = m.mref("ArrayListIterator", "next");
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), next, Some(it), &[]);
+                out
+            }
+            PatternKind::ListSubList => {
+                let list = new_collection(m, "ArrayList", tag);
+                let add = m.mref("ArrayList", "add");
+                m.call(None, add, Some(list), &[payload]);
+                let sub_list = m.mref("ArrayList", "subList");
+                let zero = m.local(&format!("zero{tag}"), Type::Int);
+                let one = m.local(&format!("one{tag}"), Type::Int);
+                m.const_int(zero, 0);
+                m.const_int(one, 1);
+                let sub = m.local(&format!("sub{tag}"), Type::class("ArrayList"));
+                m.call(Some(sub), sub_list, Some(list), &[zero, one]);
+                let get = m.mref("ArrayList", "get");
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), get, Some(sub), &[zero]);
+                out
+            }
+            PatternKind::StackPushPop => {
+                let stack = new_collection(m, "Stack", tag);
+                let push = m.mref("Stack", "push");
+                m.call(None, push, Some(stack), &[payload]);
+                let pop = m.mref("Stack", "pop");
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), pop, Some(stack), &[]);
+                out
+            }
+            PatternKind::VectorElements => {
+                let vector = new_collection(m, "Vector", tag);
+                let add = m.mref("Vector", "addElement");
+                m.call(None, add, Some(vector), &[payload]);
+                let first = m.mref("Vector", "firstElement");
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), first, Some(vector), &[]);
+                out
+            }
+            PatternKind::LinkedQueue => {
+                let list = new_collection(m, "LinkedList", tag);
+                let offer = m.mref("LinkedList", "offer");
+                m.call(None, offer, Some(list), &[payload]);
+                let poll = m.mref("LinkedList", "poll");
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), poll, Some(list), &[]);
+                out
+            }
+            PatternKind::DequeEnds => {
+                let deque = new_collection(m, "ArrayDeque", tag);
+                let add_last = m.mref("ArrayDeque", "addLast");
+                m.call(None, add_last, Some(deque), &[payload]);
+                let poll_first = m.mref("ArrayDeque", "pollFirst");
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), poll_first, Some(deque), &[]);
+                out
+            }
+            PatternKind::PriorityPeek => {
+                let queue = new_collection(m, "PriorityQueue", tag);
+                let offer = m.mref("PriorityQueue", "offer");
+                m.call(None, offer, Some(queue), &[payload]);
+                let peek = m.mref("PriorityQueue", "peek");
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), peek, Some(queue), &[]);
+                out
+            }
+            PatternKind::MapGet | PatternKind::HashtableGet => {
+                let class = if self == PatternKind::MapGet { "HashMap" } else { "Hashtable" };
+                let map = new_collection(m, class, tag);
+                let key = fresh_object(m, tag);
+                let put = m.mref(class, "put");
+                m.call(None, put, Some(map), &[key, payload]);
+                let get = m.mref(class, "get");
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), get, Some(map), &[key]);
+                out
+            }
+            PatternKind::MapValues => {
+                let map = new_collection(m, "HashMap", tag);
+                let key = fresh_object(m, tag);
+                let put = m.mref("HashMap", "put");
+                m.call(None, put, Some(map), &[key, payload]);
+                let values = m.mref("HashMap", "values");
+                let vals = m.local(&format!("vals{tag}"), Type::class("ArrayList"));
+                m.call(Some(vals), values, Some(map), &[]);
+                let get = m.mref("ArrayList", "get");
+                let zero = m.local(&format!("zero{tag}"), Type::Int);
+                m.const_int(zero, 0);
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), get, Some(vals), &[zero]);
+                out
+            }
+            PatternKind::MapEntrySet => {
+                let map = new_collection(m, "HashMap", tag);
+                let key = fresh_object(m, tag);
+                let put = m.mref("HashMap", "put");
+                m.call(None, put, Some(map), &[key, payload]);
+                let entry_set = m.mref("HashMap", "entrySet");
+                let entries = m.local(&format!("entries{tag}"), Type::class("ArrayList"));
+                m.call(Some(entries), entry_set, Some(map), &[]);
+                let get = m.mref("ArrayList", "get");
+                let zero = m.local(&format!("zero{tag}"), Type::Int);
+                m.const_int(zero, 0);
+                let entry = m.local(&format!("entry{tag}"), Type::class("Entry"));
+                m.call(Some(entry), get, Some(entries), &[zero]);
+                let get_value = m.mref("Entry", "getValue");
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), get_value, Some(entry), &[]);
+                out
+            }
+            PatternKind::SetToList => {
+                let set = new_collection(m, "HashSet", tag);
+                let add = m.mref("HashSet", "add");
+                m.call(None, add, Some(set), &[payload]);
+                let to_list = m.mref("HashSet", "toList");
+                let list = m.local(&format!("keys{tag}"), Type::class("ArrayList"));
+                m.call(Some(list), to_list, Some(set), &[]);
+                let get = m.mref("ArrayList", "get");
+                let zero = m.local(&format!("zero{tag}"), Type::Int);
+                m.const_int(zero, 0);
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), get, Some(list), &[zero]);
+                out
+            }
+            PatternKind::SingletonList => {
+                let singleton = m.mref("Collections", "singletonList");
+                let list = m.local(&format!("list{tag}"), Type::class("ArrayList"));
+                m.call(Some(list), singleton, None, &[payload]);
+                let get = m.mref("ArrayList", "get");
+                let zero = m.local(&format!("zero{tag}"), Type::Int);
+                m.const_int(zero, 0);
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), get, Some(list), &[zero]);
+                out
+            }
+            PatternKind::BuilderAppend => {
+                let sb = new_collection(m, "StringBuilder", tag);
+                let append = m.mref("StringBuilder", "append");
+                let chained = m.local(&format!("chained{tag}"), Type::class("StringBuilder"));
+                m.call(Some(chained), append, Some(sb), &[payload]);
+                chained
+            }
+            PatternKind::OptionalGet => {
+                let of = m.mref("Optional", "of");
+                let opt = m.local(&format!("opt{tag}"), Type::class("Optional"));
+                m.call(Some(opt), of, None, &[payload]);
+                let get = m.mref("Optional", "get");
+                let out = m.local(&format!("out{tag}"), Type::object());
+                m.call(Some(out), get, Some(opt), &[]);
+                out
+            }
+        }
+    }
+}
+
+/// Allocates and constructs a library collection object.
+fn new_collection(m: &mut MethodBuilder<'_, '_>, class: &str, tag: usize) -> Var {
+    let v = m.local(&format!("{}{tag}", class.to_lowercase()), Type::class(class));
+    let class_id = m.cref(class);
+    m.new_object(v, class_id);
+    let ctor = m.mref(class, "<init>");
+    m.call(None, ctor, Some(v), &[]);
+    v
+}
+
+/// Allocates a plain `Object` (used as map keys and benign payloads).
+fn fresh_object(m: &mut MethodBuilder<'_, '_>, tag: usize) -> Var {
+    let v = m.local(&format!("obj{tag}"), Type::object());
+    let class_id = m.cref("Object");
+    m.new_object(v, class_id);
+    let ctor = m.mref("Object", "<init>");
+    m.call(None, ctor, Some(v), &[]);
+    v
+}
+
+/// Emits a block of benign "filler" code: integer arithmetic in a loop and a
+/// collection churned with non-sensitive objects.  Returns the number of
+/// statements emitted (roughly).
+pub fn emit_filler(m: &mut MethodBuilder<'_, '_>, tag: usize, rounds: i64) -> usize {
+    let i = m.local(&format!("fi{tag}"), Type::Int);
+    let n = m.local(&format!("fn{tag}"), Type::Int);
+    let one = m.local(&format!("fone{tag}"), Type::Int);
+    let acc = m.local(&format!("facc{tag}"), Type::Int);
+    let cond = m.local(&format!("fcond{tag}"), Type::Bool);
+    m.const_int(i, 0);
+    m.const_int(n, rounds);
+    m.const_int(one, 1);
+    m.const_int(acc, 0);
+    let list = new_collection(m, "ArrayList", 10_000 + tag);
+    let add = m.mref("ArrayList", "add");
+    let filler_obj = fresh_object(m, 10_000 + tag);
+    m.while_stmt(
+        |m| {
+            m.bin(cond, BinOp::Lt, i, n);
+            cond
+        },
+        |m| {
+            m.bin(acc, BinOp::Add, acc, i);
+            m.bin(acc, BinOp::Mul, acc, one);
+            m.call(None, add, Some(list), &[filler_obj]);
+            m.bin(i, BinOp::Add, i, one);
+        },
+    );
+    12
+}

@@ -1,0 +1,49 @@
+//! Criterion benches for the inference pipeline itself: phase-one sampling
+//! and phase-two language inference on a single class cluster.
+
+use atlas_ir::LibraryInterface;
+use atlas_javalib::class_ids;
+use atlas_learn::{
+    infer_fsa, sample_positive_examples, Oracle, OracleConfig, RpniConfig, SamplerConfig,
+    SamplingStrategy,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_inference(c: &mut Criterion) {
+    let library = atlas_javalib::library_program();
+    let interface = LibraryInterface::from_program(&library);
+    let cluster = class_ids(&library, &["ArrayList", "ArrayListIterator"]);
+    let restricted = interface.restrict_to_classes(&cluster);
+
+    c.bench_function("phase1_sampling_500_mcts", |b| {
+        b.iter(|| {
+            let mut oracle = Oracle::new(&library, &interface, OracleConfig::default());
+            sample_positive_examples(
+                &restricted,
+                &mut oracle,
+                SamplingStrategy::Mcts,
+                500,
+                &SamplerConfig::default(),
+            )
+        })
+    });
+
+    // Pre-compute positives once for the phase-two bench.
+    let mut oracle = Oracle::new(&library, &interface, OracleConfig::default());
+    let samples = sample_positive_examples(
+        &restricted,
+        &mut oracle,
+        SamplingStrategy::Mcts,
+        2_000,
+        &SamplerConfig::default(),
+    );
+    c.bench_function("phase2_rpni_arraylist_cluster", |b| {
+        b.iter(|| {
+            let mut oracle = Oracle::new(&library, &interface, OracleConfig::default());
+            infer_fsa(&samples.positives, &mut oracle, &RpniConfig::default())
+        })
+    });
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

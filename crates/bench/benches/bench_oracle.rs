@@ -1,0 +1,54 @@
+//! Criterion benches for the oracle: witness synthesis and blackbox
+//! execution throughput (the inner loop of phase one).
+
+use atlas_interp::Interpreter;
+use atlas_ir::{LibraryInterface, ParamSlot};
+use atlas_learn::{Oracle, OracleConfig};
+use atlas_spec::PathSpec;
+use atlas_synth::{synthesize_witness, InitStrategy, InstantiationPlanner};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_oracle(c: &mut Criterion) {
+    let library = atlas_javalib::library_program();
+    let interface = LibraryInterface::from_program(&library);
+    let planner = InstantiationPlanner::new(&library, &interface);
+    let add = library.method_qualified("ArrayList.add").unwrap();
+    let get = library.method_qualified("ArrayList.get").unwrap();
+    let spec = PathSpec::new(vec![
+        ParamSlot::param(add, 0),
+        ParamSlot::receiver(add),
+        ParamSlot::receiver(get),
+        ParamSlot::ret(get),
+    ])
+    .unwrap();
+
+    c.bench_function("witness_synthesis_arraylist", |b| {
+        b.iter(|| {
+            synthesize_witness(&library, &interface, &planner, &spec, InitStrategy::Instantiate)
+                .unwrap()
+        })
+    });
+
+    let witness =
+        synthesize_witness(&library, &interface, &planner, &spec, InitStrategy::Instantiate).unwrap();
+    c.bench_function("witness_execution_arraylist", |b| {
+        b.iter(|| {
+            let mut interp = Interpreter::new(&library);
+            witness.execute(&library, &mut interp).unwrap()
+        })
+    });
+
+    c.bench_function("oracle_query_uncached", |b| {
+        b.iter(|| {
+            let mut oracle = Oracle::new(
+                &library,
+                &interface,
+                OracleConfig { memoize: false, ..OracleConfig::default() },
+            );
+            oracle.check(&spec)
+        })
+    });
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

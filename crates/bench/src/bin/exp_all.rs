@@ -1,0 +1,8 @@
+//! Runs every experiment of the evaluation and prints all reports.
+fn main() {
+    let report = atlas_bench::experiments::run_all(
+        atlas_bench::context::sample_budget(),
+        atlas_bench::context::app_count(),
+    );
+    print!("{report}");
+}

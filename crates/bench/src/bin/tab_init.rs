@@ -1,0 +1,8 @@
+//! Regenerates the §6.3 null-vs-instantiation initialization comparison.
+fn main() {
+    let ctx = atlas_bench::EvalContext::build(
+        atlas_bench::context::sample_budget(),
+        atlas_bench::context::app_count(),
+    );
+    print!("{}", atlas_bench::experiments::tab_init(&ctx));
+}

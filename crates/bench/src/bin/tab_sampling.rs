@@ -1,0 +1,6 @@
+//! Regenerates the §6.3 random-vs-MCTS sampling comparison.
+fn main() {
+    let library = atlas_javalib::library_program();
+    let interface = atlas_javalib::library_interface(&library);
+    print!("{}", atlas_bench::experiments::tab_sampling(&library, &interface, atlas_bench::context::sample_budget()));
+}

@@ -1,0 +1,361 @@
+//! One function per table/figure of the paper's evaluation.  Each returns a
+//! printable report; the binaries in `src/bin/` just call these.
+
+use crate::context::{EvalContext, SpecSet};
+use atlas_core::compare_fragments;
+use atlas_ir::LibraryInterface;
+use atlas_javalib::{class_ids, ground_truth_specs, handwritten_specs, COLLECTION_CLASSES};
+use atlas_learn::{sample_positive_examples, Oracle, OracleConfig, SamplerConfig, SamplingStrategy};
+use atlas_pointsto::result::RatioSeries;
+use atlas_spec::CodeFragments;
+use atlas_synth::InitStrategy;
+use std::fmt::Write as _;
+
+/// Figure 8: Jimple lines of code of the benchmark apps.
+pub fn fig8_app_sizes(ctx: &EvalContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 8 — benchmark app sizes (client Jimple LoC)");
+    let mut sizes: Vec<(String, usize)> =
+        ctx.apps.iter().map(|a| (a.name.clone(), a.client_loc)).collect();
+    sizes.sort_by_key(|(_, loc)| std::cmp::Reverse(*loc));
+    for (name, loc) in &sizes {
+        let _ = writeln!(out, "{name:>8}  {loc:>8}");
+    }
+    let total: usize = sizes.iter().map(|(_, l)| l).sum();
+    let _ = writeln!(
+        out,
+        "apps: {}  min: {}  max: {}  total: {}",
+        sizes.len(),
+        sizes.iter().map(|(_, l)| *l).min().unwrap_or(0),
+        sizes.iter().map(|(_, l)| *l).max().unwrap_or(0),
+        total
+    );
+    out
+}
+
+/// Section 6.1 coverage table: inferred specifications versus the
+/// handwritten corpus (coverage ratio, fraction of handwritten recovered,
+/// automaton sizes, phase timings).
+pub fn tab_coverage(ctx: &EvalContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# §6.1 — inferred vs handwritten specifications");
+    let inferred = ctx.inferred_fragments(&ctx.library);
+    let handwritten = handwritten_specs(&ctx.library);
+    let cmp = compare_fragments(&ctx.library, &inferred, &handwritten);
+    let inferred_methods = inferred.num_methods();
+    let handwritten_methods = handwritten.len();
+    let recovered = cmp
+        .per_method
+        .iter()
+        .filter(|m| m.reference_stmts > 0 && m.matched > 0)
+        .count();
+    let (before, after) = ctx.outcome.state_counts();
+    let _ = writeln!(out, "methods with inferred specifications : {inferred_methods}");
+    let _ = writeln!(out, "methods with handwritten specifications: {handwritten_methods}");
+    let _ = writeln!(
+        out,
+        "coverage ratio (inferred / handwritten): {:.2}x",
+        inferred_methods as f64 / handwritten_methods.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "handwritten methods recovered by Atlas : {recovered} ({:.0}%)",
+        100.0 * recovered as f64 / handwritten_methods.max(1) as f64
+    );
+    let _ = writeln!(out, "statement-level recall vs handwritten  : {:.2}", cmp.recall());
+    let _ = writeln!(out, "statement-level precision vs handwritten: {:.2}", cmp.precision());
+    let _ = writeln!(
+        out,
+        "phase 1: {} samples, {} positive examples, {:.1}s",
+        ctx.outcome.clusters.iter().map(|c| c.num_samples).sum::<usize>(),
+        ctx.outcome.total_positive_examples(),
+        ctx.outcome.phase1_time.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "phase 2: {} -> {} automaton states, {:.1}s",
+        before,
+        after,
+        ctx.outcome.phase2_time.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "oracle: {} queries, {} unit tests executed",
+        ctx.outcome.oracle_queries, ctx.outcome.oracle_executions
+    );
+    out
+}
+
+/// Figure 9(a): ratio of information flows found with Atlas specifications
+/// versus the handwritten specifications, per app.
+pub fn fig9a_flows(ctx: &EvalContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 9(a) — flows: Atlas vs handwritten specifications");
+    let mut series = RatioSeries::new();
+    let mut total_atlas = 0usize;
+    let mut total_hand = 0usize;
+    let mut rows = Vec::new();
+    for app in &ctx.apps {
+        let atlas = ctx.analyze(app, SpecSet::Inferred).flows.len();
+        let hand = ctx.analyze(app, SpecSet::Handwritten).flows.len();
+        total_atlas += atlas;
+        total_hand += hand;
+        let ratio = if hand == 0 {
+            if atlas == 0 {
+                1.0
+            } else {
+                atlas as f64
+            }
+        } else {
+            atlas as f64 / hand as f64
+        };
+        series.push(ratio);
+        rows.push((app.name.clone(), atlas, hand, ratio));
+    }
+    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+    let _ = writeln!(out, "{:>8} {:>7} {:>7} {:>7}", "app", "atlas", "hand", "ratio");
+    for (name, atlas, hand, ratio) in &rows {
+        let _ = writeln!(out, "{name:>8} {atlas:>7} {hand:>7} {ratio:>7.2}");
+    }
+    let improvement = if total_hand == 0 {
+        0.0
+    } else {
+        100.0 * (total_atlas as f64 - total_hand as f64) / total_hand as f64
+    };
+    let _ = writeln!(
+        out,
+        "total flows: atlas={total_atlas} handwritten={total_hand} (+{improvement:.0}%)  mean ratio={:.2} median={:.2}",
+        series.mean(),
+        series.median()
+    );
+    out
+}
+
+/// Figure 9(b): ratio of non-trivial points-to edges with Atlas
+/// specifications versus ground truth, per app (a recall measure).
+pub fn fig9b_recall(ctx: &EvalContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 9(b) — points-to edges: Atlas vs ground truth");
+    let mut series = RatioSeries::new();
+    let mut rows = Vec::new();
+    for app in &ctx.apps {
+        let trivial = ctx.analyze(app, SpecSet::Empty);
+        let atlas = ctx.analyze(app, SpecSet::Inferred).stats.nontrivial(&trivial.stats);
+        let truth = ctx.analyze(app, SpecSet::GroundTruth).stats.nontrivial(&trivial.stats);
+        let ratio = if truth == 0 { 1.0 } else { atlas as f64 / truth as f64 };
+        series.push(ratio);
+        rows.push((app.name.clone(), atlas, truth, ratio));
+    }
+    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+    let _ = writeln!(out, "{:>8} {:>7} {:>7} {:>7}", "app", "atlas", "truth", "ratio");
+    for (name, atlas, truth, ratio) in &rows {
+        let _ = writeln!(out, "{name:>8} {atlas:>7} {truth:>7} {ratio:>7.2}");
+    }
+    let _ = writeln!(
+        out,
+        "mean recall: {:.3}  median recall: {:.3}  apps at 1.0: {:.0}%",
+        series.mean(),
+        series.median(),
+        100.0 * series.fraction_at_least(0.999)
+    );
+    out
+}
+
+/// Figure 9(c): ratio of non-trivial points-to edges when analyzing the
+/// library implementation versus ground-truth specifications, per app
+/// (values above 1 are false positives caused by the implementation's deep
+/// call chains; values below 1 are false negatives from native code).
+pub fn fig9c_impl_fp(ctx: &EvalContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 9(c) — points-to edges: implementation vs ground truth");
+    let mut series = RatioSeries::new();
+    let mut rows = Vec::new();
+    for app in &ctx.apps {
+        let trivial = ctx.analyze(app, SpecSet::Empty);
+        let impl_edges = ctx
+            .analyze(app, SpecSet::Implementation)
+            .stats
+            .nontrivial(&trivial.stats);
+        let truth = ctx.analyze(app, SpecSet::GroundTruth).stats.nontrivial(&trivial.stats);
+        let ratio = if truth == 0 { 1.0 } else { impl_edges as f64 / truth as f64 };
+        series.push(ratio);
+        rows.push((app.name.clone(), impl_edges, truth, ratio));
+    }
+    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+    let _ = writeln!(out, "{:>8} {:>7} {:>7} {:>7}", "app", "impl", "truth", "ratio");
+    for (name, impl_edges, truth, ratio) in &rows {
+        let _ = writeln!(out, "{name:>8} {impl_edges:>7} {truth:>7} {ratio:>7.2}");
+    }
+    let _ = writeln!(
+        out,
+        "mean ratio: {:.2}  median: {:.2}  apps with ratio >= 2: {:.0}%  average false-positive rate: {:.0}%",
+        series.mean(),
+        series.median(),
+        100.0 * series.fraction_at_least(2.0),
+        100.0 * (series.mean() - 1.0).max(0.0)
+    );
+    out
+}
+
+/// Section 6.2: precision/recall of the inferred specifications against the
+/// ground-truth corpus, over the collection-class methods that the benchmark
+/// apps actually call (the paper's "most frequently called functions").
+pub fn tab_ground_truth(ctx: &EvalContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# §6.2 — inferred specifications vs ground truth (Collections API)");
+    let inferred = ctx.inferred_fragments(&ctx.library);
+    let truth = ground_truth_specs(&ctx.library);
+    // Restrict the reference to collection-class methods called by the apps.
+    let collection_ids = class_ids(&ctx.library, COLLECTION_CLASSES);
+    let called = called_library_methods(ctx);
+    let truth_collections: std::collections::BTreeMap<_, _> = truth
+        .into_iter()
+        .filter(|(m, _)| {
+            collection_ids.contains(&ctx.library.method(*m).class())
+                && called.contains(&ctx.library.qualified_name(*m))
+        })
+        .collect();
+    let cmp = compare_fragments(&ctx.library, &inferred, &truth_collections);
+    let exact = cmp.exact_matches();
+    let covered = cmp.reference_methods();
+    let _ = writeln!(out, "ground-truth methods (collections)     : {covered}");
+    let _ = writeln!(
+        out,
+        "inferred exactly (ground-truth recall) : {exact} ({:.0}%)",
+        100.0 * exact as f64 / covered.max(1) as f64
+    );
+    let _ = writeln!(out, "statement-level recall                 : {:.2}", cmp.recall());
+    let _ = writeln!(out, "statement-level precision              : {:.2}", cmp.precision());
+    // List the misses for inspection (the paper discusses subList/set).
+    let mut misses: Vec<&str> = cmp
+        .per_method
+        .iter()
+        .filter(|m| m.reference_stmts > 0 && m.matched < m.reference_stmts)
+        .map(|m| m.name.as_str())
+        .collect();
+    misses.sort();
+    let _ = writeln!(out, "methods not fully recovered            : {}", misses.join(", "));
+    out
+}
+
+/// Section 6.3, first comparison: random sampling versus MCTS with equal
+/// budgets.
+pub fn tab_sampling(library: &atlas_ir::Program, interface: &LibraryInterface, samples: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# §6.3 — positive examples: random sampling vs MCTS ({samples} samples)");
+    let collections = class_ids(library, COLLECTION_CLASSES);
+    let restricted = interface.restrict_to_classes(&collections);
+    for (name, strategy) in [("random", SamplingStrategy::Random), ("mcts", SamplingStrategy::Mcts)] {
+        let mut oracle = Oracle::new(library, interface, OracleConfig::default());
+        let result = sample_positive_examples(
+            &restricted,
+            &mut oracle,
+            strategy,
+            samples,
+            &SamplerConfig::default(),
+        );
+        let _ = writeln!(
+            out,
+            "{name:>7}: {} positive samples, {} distinct positive examples ({:.2}% positive rate)",
+            result.num_positive_samples,
+            result.positives.len(),
+            100.0 * result.positive_rate()
+        );
+    }
+    out
+}
+
+/// Section 6.3, second comparison: null versus instantiation initialization.
+/// Re-checks every positive example found by the main inference run (which
+/// uses instantiation) with unit tests whose unconstrained references are
+/// initialized to `null` instead.
+pub fn tab_init(ctx: &EvalContext) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# §6.3 — object initialization: null vs instantiation");
+    let mut null_oracle = Oracle::new(
+        &ctx.library,
+        &ctx.interface,
+        OracleConfig { strategy: InitStrategy::Null, ..OracleConfig::default() },
+    );
+    let mut total = 0usize;
+    let mut with_null = 0usize;
+    for cluster in &ctx.outcome.clusters {
+        for spec in &cluster.positives {
+            total += 1;
+            if null_oracle.check(spec) {
+                with_null += 1;
+            }
+        }
+    }
+    let _ = writeln!(out, "positive examples with instantiation : {total}");
+    let _ = writeln!(out, "of those, still positive under null  : {with_null}");
+    if with_null > 0 {
+        let _ = writeln!(
+            out,
+            "instantiation finds {:.0}% more specifications",
+            100.0 * (total as f64 - with_null as f64) / with_null as f64
+        );
+    }
+    out
+}
+
+/// The set of library methods (by qualified name) called directly by the
+/// client code of the benchmark apps — the reproduction's analogue of the
+/// paper's "most frequently called functions".
+fn called_library_methods(ctx: &EvalContext) -> std::collections::BTreeSet<String> {
+    let mut called = std::collections::BTreeSet::new();
+    for app in &ctx.apps {
+        let program = &app.program;
+        for method in program.methods() {
+            if program.class(method.class()).is_library() {
+                continue;
+            }
+            atlas_ir::stmt::visit_block(method.body(), &mut |stmt| {
+                if let atlas_ir::Stmt::Call { method: target, .. } = stmt {
+                    called.insert(program.qualified_name(*target));
+                }
+            });
+        }
+    }
+    called
+}
+
+/// A short report on the inferred fragments themselves (useful context in
+/// EXPERIMENTS.md).
+pub fn inferred_summary(ctx: &EvalContext) -> String {
+    let mut out = String::new();
+    let inferred: CodeFragments = ctx.inferred_fragments(&ctx.library);
+    let _ = writeln!(out, "# Inferred specification summary");
+    let _ = writeln!(out, "methods covered: {}", inferred.num_methods());
+    let _ = writeln!(out, "fragment statements: {}", inferred.num_statements());
+    let specs = ctx.outcome.specs(8, 16);
+    let _ = writeln!(out, "sample of inferred path specifications:");
+    for spec in specs.iter().take(12) {
+        let _ = writeln!(out, "  {}", spec.display(&ctx.interface));
+    }
+    out
+}
+
+/// Runs every experiment and concatenates the reports.
+pub fn run_all(samples: usize, num_apps: usize) -> String {
+    let ctx = EvalContext::build(samples, num_apps);
+    let mut out = String::new();
+    out.push_str(&fig8_app_sizes(&ctx));
+    out.push('\n');
+    out.push_str(&tab_coverage(&ctx));
+    out.push('\n');
+    out.push_str(&fig9a_flows(&ctx));
+    out.push('\n');
+    out.push_str(&fig9b_recall(&ctx));
+    out.push('\n');
+    out.push_str(&fig9c_impl_fp(&ctx));
+    out.push('\n');
+    out.push_str(&tab_ground_truth(&ctx));
+    out.push('\n');
+    out.push_str(&tab_sampling(&ctx.library, &ctx.interface, samples));
+    out.push('\n');
+    out.push_str(&tab_init(&ctx));
+    out.push('\n');
+    out.push_str(&inferred_summary(&ctx));
+    out
+}

@@ -1,0 +1,25 @@
+//! # atlas-bench
+//!
+//! The experiment harness of the reproduction.  Every table and figure of
+//! the paper's evaluation has a corresponding function here (and a binary in
+//! `src/bin/` that prints it); `exp_all` regenerates everything at once.
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Figure 8 (app sizes) | [`experiments::fig8_app_sizes`] | `fig8_app_sizes` |
+//! | §6.1 coverage table | [`experiments::tab_coverage`] | `tab_coverage` |
+//! | Figure 9(a) | [`experiments::fig9a_flows`] | `fig9a_flows` |
+//! | Figure 9(b) | [`experiments::fig9b_recall`] | `fig9b_recall` |
+//! | Figure 9(c) | [`experiments::fig9c_impl_fp`] | `fig9c_impl_fp` |
+//! | §6.2 ground-truth table | [`experiments::tab_ground_truth`] | `tab_ground_truth` |
+//! | §6.3 sampling table | [`experiments::tab_sampling`] | `tab_sampling` |
+//! | §6.3 initialization table | [`experiments::tab_init`] | `tab_init` |
+//!
+//! The sampling budget is controlled by the `ATLAS_SAMPLES` environment
+//! variable (default 4000 candidates per class cluster) and the number of
+//! benchmark apps by `ATLAS_APPS` (default 46).
+
+pub mod context;
+pub mod experiments;
+
+pub use context::{EvalContext, SpecSet};

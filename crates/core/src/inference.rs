@@ -1,0 +1,236 @@
+//! The two-phase specification-inference pipeline.
+
+use atlas_ir::{ClassId, LibraryInterface, Program};
+use atlas_learn::{
+    infer_fsa, sample_positive_examples, Oracle, OracleConfig, RpniConfig, SampleResult,
+    SamplerConfig, SamplingStrategy,
+};
+use atlas_spec::{CodeFragments, Fsa, PathSpec};
+use atlas_synth::InitStrategy;
+use std::time::{Duration, Instant};
+
+/// Configuration of a full inference run.
+#[derive(Debug, Clone)]
+pub struct AtlasConfig {
+    /// Number of candidate samples drawn per class cluster.
+    pub samples_per_cluster: usize,
+    /// Sampling strategy for phase one.
+    pub sampling: SamplingStrategy,
+    /// Initialization strategy used by the unit-test synthesizer.
+    pub init: InitStrategy,
+    /// Sampler configuration (seed, maximum candidate length, MCTS rate).
+    pub sampler: SamplerConfig,
+    /// Language-inference configuration (oracle check bound, etc.).
+    pub rpni: RpniConfig,
+    /// Clusters of classes whose specifications are inferred together.  If
+    /// empty, the whole interface is treated as a single cluster.
+    pub clusters: Vec<Vec<ClassId>>,
+}
+
+impl Default for AtlasConfig {
+    fn default() -> Self {
+        AtlasConfig {
+            samples_per_cluster: 20_000,
+            sampling: SamplingStrategy::Mcts,
+            init: InitStrategy::Instantiate,
+            sampler: SamplerConfig::default(),
+            rpni: RpniConfig::default(),
+            clusters: Vec::new(),
+        }
+    }
+}
+
+/// The outcome of inference over a single class cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// The classes of the cluster.
+    pub classes: Vec<ClassId>,
+    /// Phase-one sampling statistics.
+    pub num_samples: usize,
+    /// Positive samples (counting duplicates).
+    pub num_positive_samples: usize,
+    /// Distinct positive examples.
+    pub num_positive_examples: usize,
+    /// States of the prefix-tree acceptor before merging.
+    pub initial_states: usize,
+    /// Reachable states of the learned automaton.
+    pub final_states: usize,
+    /// The distinct positive examples found in phase one.
+    pub positives: Vec<PathSpec>,
+    /// The learned automaton for this cluster.
+    pub fsa: Fsa,
+}
+
+/// The outcome of a full inference run.
+#[derive(Debug, Clone)]
+pub struct InferenceOutcome {
+    /// Per-cluster results (learned automata and statistics).
+    pub clusters: Vec<ClusterOutcome>,
+    /// Wall-clock time spent in phase one (sampling).
+    pub phase1_time: Duration,
+    /// Wall-clock time spent in phase two (language inference).
+    pub phase2_time: Duration,
+    /// Total oracle queries.
+    pub oracle_queries: usize,
+    /// Total unit-test executions.
+    pub oracle_executions: usize,
+}
+
+impl InferenceOutcome {
+    /// Generates code-fragment specifications for all learned automata
+    /// against the given program (which must contain the same library
+    /// methods the automata were learned over).
+    pub fn fragments(&self, program: &Program) -> CodeFragments {
+        let mut all = CodeFragments::default();
+        for cluster in &self.clusters {
+            let frags = CodeFragments::from_fsa(program, &cluster.fsa);
+            all.merge(&frags);
+        }
+        all
+    }
+
+    /// Extracts a bounded set of concrete path specifications from all
+    /// learned automata.
+    pub fn specs(&self, max_len: usize, limit_per_cluster: usize) -> Vec<PathSpec> {
+        let mut out = Vec::new();
+        for cluster in &self.clusters {
+            out.extend(cluster.fsa.accepted_specs(max_len, limit_per_cluster));
+        }
+        out
+    }
+
+    /// Number of library methods covered by at least one learned
+    /// specification.
+    pub fn methods_covered(&self, program: &Program) -> usize {
+        self.fragments(program).num_methods()
+    }
+
+    /// Total number of distinct positive examples found in phase one.
+    pub fn total_positive_examples(&self) -> usize {
+        self.clusters.iter().map(|c| c.num_positive_examples).sum()
+    }
+
+    /// Total states before / after merging, summed over clusters.
+    pub fn state_counts(&self) -> (usize, usize) {
+        let before = self.clusters.iter().map(|c| c.initial_states).sum();
+        let after = self.clusters.iter().map(|c| c.final_states).sum();
+        (before, after)
+    }
+}
+
+/// Runs the full two-phase inference pipeline.
+pub fn infer_specifications(
+    program: &Program,
+    interface: &LibraryInterface,
+    config: &AtlasConfig,
+) -> InferenceOutcome {
+    let clusters: Vec<Vec<ClassId>> = if config.clusters.is_empty() {
+        vec![program.library_classes().map(|c| c.id()).collect()]
+    } else {
+        config.clusters.clone()
+    };
+
+    let mut outcome = InferenceOutcome {
+        clusters: Vec::new(),
+        phase1_time: Duration::ZERO,
+        phase2_time: Duration::ZERO,
+        oracle_queries: 0,
+        oracle_executions: 0,
+    };
+
+    for (i, cluster) in clusters.iter().enumerate() {
+        let restricted = interface.restrict_to_classes(cluster);
+        if restricted.slots().is_empty() {
+            continue;
+        }
+        let oracle_config = OracleConfig { strategy: config.init, ..OracleConfig::default() };
+        let mut oracle = Oracle::new(program, interface, oracle_config);
+        let mut sampler_config = config.sampler.clone();
+        // Decorrelate clusters while staying deterministic.
+        sampler_config.seed = config.sampler.seed.wrapping_add(i as u64);
+
+        let t1 = Instant::now();
+        let samples: SampleResult = sample_positive_examples(
+            &restricted,
+            &mut oracle,
+            config.sampling,
+            config.samples_per_cluster,
+            &sampler_config,
+        );
+        outcome.phase1_time += t1.elapsed();
+
+        let t2 = Instant::now();
+        let rpni = infer_fsa(&samples.positives, &mut oracle, &config.rpni);
+        outcome.phase2_time += t2.elapsed();
+
+        let stats = oracle.stats();
+        outcome.oracle_queries += stats.queries;
+        outcome.oracle_executions += stats.executions;
+        outcome.clusters.push(ClusterOutcome {
+            classes: cluster.clone(),
+            num_samples: samples.num_samples,
+            num_positive_samples: samples.num_positive_samples,
+            num_positive_examples: samples.positives.len(),
+            initial_states: rpni.initial_states,
+            final_states: rpni.final_states,
+            positives: samples.positives,
+            fsa: rpni.fsa,
+        });
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_ir::builder::ProgramBuilder;
+
+    /// Inference over the Box running example finds set/get (and the clone
+    /// generalization) with a modest sampling budget.
+    #[test]
+    fn end_to_end_inference_on_the_box_example() {
+        let mut pb = ProgramBuilder::new();
+        atlas_javalib::lang::install(&mut pb);
+        atlas_javalib::list::install(&mut pb);
+        atlas_javalib::map::install(&mut pb);
+        atlas_javalib::other::install(&mut pb);
+        atlas_javalib::android::install(&mut pb);
+        atlas_javalib::install_box_example(&mut pb);
+        let program = pb.build();
+        let interface = atlas_ir::LibraryInterface::from_program(&program);
+        let box_class = program.class_named("Box").unwrap();
+        let config = AtlasConfig {
+            samples_per_cluster: 1_500,
+            clusters: vec![vec![box_class]],
+            sampling: SamplingStrategy::Mcts,
+            ..AtlasConfig::default()
+        };
+        let outcome = infer_specifications(&program, &interface, &config);
+        assert_eq!(outcome.clusters.len(), 1);
+        assert!(outcome.total_positive_examples() >= 1);
+        let frags = outcome.fragments(&program);
+        let set = program.method_qualified("Box.set").unwrap();
+        let get = program.method_qualified("Box.get").unwrap();
+        assert!(frags.body(set).is_some(), "set not covered: {}", frags.render(&program));
+        assert!(frags.body(get).is_some(), "get not covered");
+        let specs = outcome.specs(8, 64);
+        assert!(!specs.is_empty());
+        let (before, after) = outcome.state_counts();
+        assert!(after <= before);
+        assert!(outcome.oracle_queries > 0 && outcome.oracle_executions > 0);
+        assert!(outcome.methods_covered(&program) >= 2);
+    }
+
+    #[test]
+    fn empty_cluster_is_skipped() {
+        let program = atlas_javalib::library_program();
+        let interface = atlas_ir::LibraryInterface::from_program(&program);
+        let config = AtlasConfig {
+            samples_per_cluster: 10,
+            clusters: vec![vec![]],
+            ..AtlasConfig::default()
+        };
+        let outcome = infer_specifications(&program, &interface, &config);
+        assert!(outcome.clusters.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # atlas-core
+//!
+//! The top-level Atlas pipeline: ACtive Learning of Alias Specifications.
+//!
+//! Given a program containing a library implementation (used only as a
+//! blackbox) and the library's interface, [`infer_specifications`] runs the
+//! two-phase algorithm of the paper —
+//!
+//! 1. sample candidate path specifications and keep those whose synthesized
+//!    unit test passes (phase one, `atlas-learn::sample`),
+//! 2. inductively generalize the positives to a regular language with the
+//!    RPNI-style learner (phase two, `atlas-learn::rpni`) —
+//!
+//! and returns the learned automata together with the equivalent
+//! code-fragment specifications, ready to be consumed by the points-to
+//! analysis in place of the library implementation.
+//!
+//! [`report`] contains the machinery used by the evaluation to compare an
+//! inferred specification set against a reference corpus (handwritten or
+//! ground truth), using the fractional statement-level counting described in
+//! Section 6.
+
+pub mod inference;
+pub mod report;
+
+pub use inference::{infer_specifications, AtlasConfig, ClusterOutcome, InferenceOutcome};
+pub use report::{compare_fragments, MethodComparison, SpecComparison};

@@ -1,0 +1,254 @@
+//! Comparison of specification corpora (Section 6's evaluation metrics).
+//!
+//! Two specification sets are compared per method at the level of their
+//! code-fragment statements, after normalizing ghost-field and temporary
+//! names: a statement of the reference corpus that has no counterpart in the
+//! inferred corpus counts fractionally as a false negative (and vice versa
+//! for false positives), exactly as in the paper's "count each statement
+//! fractionally" methodology.
+
+use atlas_ir::{MethodId, Program, Stmt};
+use atlas_spec::{fragment_signature, CodeFragments};
+use std::collections::BTreeMap;
+
+/// The per-method outcome of a corpus comparison.
+#[derive(Debug, Clone)]
+pub struct MethodComparison {
+    /// The compared method.
+    pub method: MethodId,
+    /// Qualified name of the method.
+    pub name: String,
+    /// Number of normalized statements shared by both corpora.
+    pub matched: usize,
+    /// Number of statements in the inferred fragment (0 if absent).
+    pub inferred_stmts: usize,
+    /// Number of statements in the reference fragment (0 if absent).
+    pub reference_stmts: usize,
+}
+
+impl MethodComparison {
+    /// Fraction of the reference fragment that was recovered.
+    pub fn recall(&self) -> f64 {
+        if self.reference_stmts == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.reference_stmts as f64
+        }
+    }
+
+    /// Fraction of the inferred fragment that is backed by the reference.
+    pub fn precision(&self) -> f64 {
+        if self.inferred_stmts == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.inferred_stmts as f64
+        }
+    }
+
+    /// Whether the inferred fragment is exactly the reference fragment.
+    pub fn exact(&self) -> bool {
+        self.matched == self.reference_stmts && self.matched == self.inferred_stmts
+    }
+}
+
+/// The outcome of comparing an inferred corpus against a reference corpus.
+#[derive(Debug, Clone, Default)]
+pub struct SpecComparison {
+    /// Per-method comparisons, for every method covered by either corpus.
+    pub per_method: Vec<MethodComparison>,
+}
+
+impl SpecComparison {
+    /// Number of methods covered by the reference corpus.
+    pub fn reference_methods(&self) -> usize {
+        self.per_method.iter().filter(|m| m.reference_stmts > 0).count()
+    }
+
+    /// Number of methods covered by the inferred corpus.
+    pub fn inferred_methods(&self) -> usize {
+        self.per_method.iter().filter(|m| m.inferred_stmts > 0).count()
+    }
+
+    /// Number of reference methods whose specification was recovered
+    /// exactly.
+    pub fn exact_matches(&self) -> usize {
+        self.per_method
+            .iter()
+            .filter(|m| m.reference_stmts > 0 && m.exact())
+            .count()
+    }
+
+    /// Statement-weighted recall over the reference corpus.
+    pub fn recall(&self) -> f64 {
+        let total: usize = self.per_method.iter().map(|m| m.reference_stmts).sum();
+        let matched: usize = self
+            .per_method
+            .iter()
+            .map(|m| m.matched.min(m.reference_stmts))
+            .sum();
+        if total == 0 {
+            1.0
+        } else {
+            matched as f64 / total as f64
+        }
+    }
+
+    /// Statement-weighted precision over the inferred corpus, restricted to
+    /// methods the reference corpus covers (the reference is assumed silent,
+    /// not negative, about other methods).
+    pub fn precision(&self) -> f64 {
+        let covered: Vec<&MethodComparison> =
+            self.per_method.iter().filter(|m| m.reference_stmts > 0).collect();
+        let total: usize = covered.iter().map(|m| m.inferred_stmts).sum();
+        let matched: usize = covered.iter().map(|m| m.matched.min(m.inferred_stmts)).sum();
+        if total == 0 {
+            1.0
+        } else {
+            matched as f64 / total as f64
+        }
+    }
+
+    /// The per-method recall restricted to a subset of methods (e.g. the
+    /// most frequently called ones).
+    pub fn recall_over(&self, methods: &[MethodId]) -> f64 {
+        let selected: Vec<&MethodComparison> = self
+            .per_method
+            .iter()
+            .filter(|m| methods.contains(&m.method) && m.reference_stmts > 0)
+            .collect();
+        if selected.is_empty() {
+            return 1.0;
+        }
+        selected.iter().map(|m| m.recall()).sum::<f64>() / selected.len() as f64
+    }
+}
+
+/// Compares an inferred fragment corpus against a reference corpus.
+pub fn compare_fragments(
+    program: &Program,
+    inferred: &CodeFragments,
+    reference: &BTreeMap<MethodId, Vec<Stmt>>,
+) -> SpecComparison {
+    let mut methods: Vec<MethodId> = inferred.methods().collect();
+    for m in reference.keys() {
+        if !methods.contains(m) {
+            methods.push(*m);
+        }
+    }
+    methods.sort();
+    let empty: Vec<Stmt> = Vec::new();
+    let mut per_method = Vec::new();
+    for method in methods {
+        let inf_body = inferred.body(method).unwrap_or(&empty);
+        let ref_body = reference.get(&method).unwrap_or(&empty);
+        let inf_sig = fragment_signature(program, method, inf_body);
+        let ref_sig = fragment_signature(program, method, ref_body);
+        let matched = multiset_intersection(&inf_sig, &ref_sig);
+        per_method.push(MethodComparison {
+            method,
+            name: program.qualified_name(method),
+            matched,
+            inferred_stmts: inf_sig.len(),
+            reference_stmts: ref_sig.len(),
+        });
+    }
+    SpecComparison { per_method }
+}
+
+fn multiset_intersection(a: &[String], b: &[String]) -> usize {
+    let mut counts: BTreeMap<&String, usize> = BTreeMap::new();
+    for x in b {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut matched = 0;
+    for x in a {
+        if let Some(c) = counts.get_mut(x) {
+            if *c > 0 {
+                *c -= 1;
+                matched += 1;
+            }
+        }
+    }
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_ir::ParamSlot;
+    use atlas_spec::PathSpec;
+
+    #[test]
+    fn comparing_inferred_box_fragments_to_ground_truth_style_reference() {
+        let mut pb = atlas_ir::builder::ProgramBuilder::new();
+        atlas_javalib::install_library(&mut pb);
+        atlas_javalib::install_box_example(&mut pb);
+        let p = pb.build();
+        let set = p.method_qualified("Box.set").unwrap();
+        let get = p.method_qualified("Box.get").unwrap();
+        let sbox = PathSpec::new(vec![
+            ParamSlot::param(set, 0),
+            ParamSlot::receiver(set),
+            ParamSlot::receiver(get),
+            ParamSlot::ret(get),
+        ])
+        .unwrap();
+        let inferred = CodeFragments::from_specs(&p, &[sbox]);
+        // Reference: handwritten-style fragments using the real field.
+        let f = p.field_named(p.class_named("Box").unwrap(), "f").unwrap();
+        let mut reference = BTreeMap::new();
+        reference.insert(
+            set,
+            vec![Stmt::Store {
+                obj: atlas_ir::Var::from_index(0),
+                field: f,
+                src: atlas_ir::Var::from_index(1),
+            }],
+        );
+        reference.insert(
+            get,
+            vec![
+                Stmt::Load {
+                    dst: atlas_ir::Var::from_index(2),
+                    obj: atlas_ir::Var::from_index(0),
+                    field: f,
+                },
+                Stmt::Return { var: Some(atlas_ir::Var::from_index(2)) },
+            ],
+        );
+        // Add a reference-only method the inference missed.
+        let clone = p.method_qualified("Box.clone").unwrap();
+        reference.insert(clone, vec![Stmt::Return { var: Some(atlas_ir::Var::from_index(0)) }]);
+
+        let cmp = compare_fragments(&p, &inferred, &reference);
+        assert_eq!(cmp.reference_methods(), 3);
+        assert_eq!(cmp.inferred_methods(), 2);
+        assert_eq!(cmp.exact_matches(), 2);
+        assert!(cmp.recall() > 0.5 && cmp.recall() < 1.0);
+        assert!((cmp.precision() - 1.0).abs() < 1e-9);
+        // Per-method accessors.
+        let set_cmp = cmp.per_method.iter().find(|m| m.method == set).unwrap();
+        assert!(set_cmp.exact());
+        assert_eq!(set_cmp.recall(), 1.0);
+        assert_eq!(set_cmp.precision(), 1.0);
+        let clone_cmp = cmp.per_method.iter().find(|m| m.method == clone).unwrap();
+        assert_eq!(clone_cmp.recall(), 0.0);
+        assert_eq!(clone_cmp.precision(), 1.0);
+        assert!(!clone_cmp.exact());
+        // recall_over a subset.
+        assert_eq!(cmp.recall_over(&[set]), 1.0);
+        assert_eq!(cmp.recall_over(&[clone]), 0.0);
+        assert_eq!(cmp.recall_over(&[]), 1.0);
+        assert!(set_cmp.name.contains("Box.set"));
+    }
+
+    #[test]
+    fn empty_corpora_compare_trivially() {
+        let p = atlas_javalib::library_program();
+        let cmp = compare_fragments(&p, &CodeFragments::default(), &BTreeMap::new());
+        assert_eq!(cmp.per_method.len(), 0);
+        assert_eq!(cmp.recall(), 1.0);
+        assert_eq!(cmp.precision(), 1.0);
+        assert_eq!(cmp.exact_matches(), 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! # atlas-flow
+//!
+//! The client analysis of the paper's evaluation: a static *explicit
+//! information flow* analysis for (synthetic) Android apps.  Sensitive
+//! sources (device identifiers, location, contacts, SMS) are methods whose
+//! return values are tainted; sinks (SMS sending, HTTP upload, log leaks)
+//! are methods whose payload argument must never receive tainted data.
+//!
+//! Flows are resolved through the heap using the points-to sets computed by
+//! `atlas-pointsto`: a flow `(source, sink)` is reported when some object
+//! returned by the source is reachable — through any chain of heap fields,
+//! including the ghost fields introduced by specifications — from an object
+//! passed to the sink.
+
+pub mod taint;
+
+pub use taint::{find_flows, sink_methods, source_methods, Flow, FlowResult};

@@ -1,0 +1,254 @@
+//! Explicit information-flow analysis over points-to results.
+
+use atlas_pointsto::{Graph, Node, ObjId, PointsToResult};
+use atlas_ir::{MethodId, Program};
+use std::collections::{BTreeSet, VecDeque};
+
+/// One discovered information flow.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Flow {
+    /// The source method whose return value is tainted.
+    pub source: MethodId,
+    /// The sink method whose payload argument receives tainted data.
+    pub sink: MethodId,
+}
+
+/// The set of flows found in one program under one specification set.
+#[derive(Debug, Clone, Default)]
+pub struct FlowResult {
+    /// The distinct `(source, sink)` flows.
+    pub flows: BTreeSet<Flow>,
+}
+
+impl FlowResult {
+    /// Number of distinct flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether no flow was found.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Renders the flows with qualified method names.
+    pub fn describe(&self, program: &Program) -> Vec<String> {
+        self.flows
+            .iter()
+            .map(|f| {
+                format!(
+                    "{} -> {}",
+                    program.qualified_name(f.source),
+                    program.qualified_name(f.sink)
+                )
+            })
+            .collect()
+    }
+}
+
+/// Resolves the configured source method names present in the program.
+pub fn source_methods(program: &Program, names: &[&str]) -> Vec<MethodId> {
+    names.iter().filter_map(|n| program.method_qualified(n)).collect()
+}
+
+/// Resolves the configured sink method names present in the program.
+pub fn sink_methods(program: &Program, names: &[&str]) -> Vec<MethodId> {
+    names.iter().filter_map(|n| program.method_qualified(n)).collect()
+}
+
+/// Finds all `(source, sink)` pairs such that an object returned by the
+/// source may reach (directly or through heap fields) the payload argument
+/// of the sink.
+pub fn find_flows(
+    program: &Program,
+    graph: &Graph,
+    result: &PointsToResult,
+    sources: &[MethodId],
+    sinks: &[MethodId],
+) -> FlowResult {
+    let mut out = FlowResult::default();
+    // Objects returned by each source, plus everything reachable from them
+    // through the heap (a contact list is as sensitive as its contacts).
+    let tainted_by_source: Vec<(MethodId, BTreeSet<ObjId>)> = sources
+        .iter()
+        .map(|&src| {
+            let roots = result.points_to_node(graph, Node::Ret(src));
+            (src, heap_reachable(result, &roots))
+        })
+        .collect();
+    for &sink in sinks {
+        let sink_objs = sink_argument_objects(program, graph, result, sink);
+        if sink_objs.is_empty() {
+            continue;
+        }
+        let reachable = heap_reachable(result, &sink_objs);
+        for (src, tainted) in &tainted_by_source {
+            if tainted.iter().any(|o| reachable.contains(o)) {
+                out.flows.insert(Flow { source: *src, sink });
+            }
+        }
+    }
+    out
+}
+
+/// The objects that may be passed as the first reference parameter of the
+/// sink method.
+fn sink_argument_objects(
+    program: &Program,
+    graph: &Graph,
+    result: &PointsToResult,
+    sink: MethodId,
+) -> BTreeSet<ObjId> {
+    let method = program.method(sink);
+    let mut objs = BTreeSet::new();
+    for i in 0..method.num_params() {
+        let v = method.param_var(i);
+        if !method.var_data(v).ty.is_reference() {
+            continue;
+        }
+        objs.extend(result.points_to_node(graph, Node::Var(sink, v)));
+        // Only the first reference parameter is considered the payload.
+        break;
+    }
+    objs
+}
+
+/// The set of objects reachable from `roots` through any heap field
+/// (including `$elems` and specification ghost fields), plus the roots
+/// themselves.
+fn heap_reachable(result: &PointsToResult, roots: &BTreeSet<ObjId>) -> BTreeSet<ObjId> {
+    let mut seen: BTreeSet<ObjId> = roots.clone();
+    let mut queue: VecDeque<ObjId> = roots.iter().copied().collect();
+    while let Some(o) = queue.pop_front() {
+        for ((base, _field), contents) in result.heap_cells() {
+            if *base != o {
+                continue;
+            }
+            for &next in contents {
+                if seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_ir::builder::ProgramBuilder;
+    use atlas_ir::Type;
+    use atlas_pointsto::{ExtractionOptions, Solver};
+
+    /// A tiny program: source() returns a fresh Secret; the app stores it in
+    /// a Box-like container and sends the retrieved value to sink().
+    fn program(leaky: bool) -> atlas_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        pb.class("Object").build();
+        let mut secret = pb.class("Secret");
+        secret.library(true);
+        secret.build();
+        let mut c = pb.class("Box");
+        c.library(true);
+        c.field("f", Type::object());
+        let mut set = c.method("set");
+        let this = set.this();
+        let ob = set.param("ob", Type::object());
+        set.store(this, "f", ob);
+        set.finish();
+        let mut get = c.method("get");
+        get.returns(Type::object());
+        let this = get.this();
+        let r = get.local("r", Type::object());
+        get.load(r, this, "f");
+        get.ret(Some(r));
+        get.finish();
+        c.build();
+        let mut api = pb.class("Api");
+        api.library(true);
+        let mut src = api.method("source");
+        src.returns(Type::class("Secret"));
+        src.this();
+        let s = src.local("s", Type::class("Secret"));
+        let secret_class = src.cref("Secret");
+        src.new_object(s, secret_class);
+        src.ret(Some(s));
+        src.finish();
+        let mut sink = api.method("sink");
+        sink.this();
+        sink.param("payload", Type::object());
+        sink.finish();
+        api.build();
+
+        let mut app = pb.class("App");
+        let mut run = app.static_method("run");
+        let api_v = run.local("api", Type::class("Api"));
+        let box_v = run.local("box", Type::class("Box"));
+        let s = run.local("s", Type::class("Secret"));
+        let out = run.local("out", Type::object());
+        let benign = run.local("benign", Type::object());
+        let api_class = run.cref("Api");
+        let box_class = run.cref("Box");
+        let obj_class = run.cref("Object");
+        run.new_object(api_v, api_class);
+        run.new_object(box_v, box_class);
+        run.new_object(benign, obj_class);
+        let source = run.mref("Api", "source");
+        let sinkm = run.mref("Api", "sink");
+        let set = run.mref("Box", "set");
+        let get = run.mref("Box", "get");
+        run.call(Some(s), source, Some(api_v), &[]);
+        if leaky {
+            run.call(None, set, Some(box_v), &[s]);
+        } else {
+            run.call(None, set, Some(box_v), &[benign]);
+        }
+        run.call(Some(out), get, Some(box_v), &[]);
+        run.call(None, sinkm, Some(api_v), &[out]);
+        run.finish();
+        app.build();
+        pb.build()
+    }
+
+    #[test]
+    fn detects_flow_through_the_container() {
+        let p = program(true);
+        let graph = Graph::extract(&p, &ExtractionOptions::with_implementation());
+        let result = Solver::new().solve(&graph);
+        let sources = source_methods(&p, &["Api.source"]);
+        let sinks = sink_methods(&p, &["Api.sink"]);
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sinks.len(), 1);
+        let flows = find_flows(&p, &graph, &result, &sources, &sinks);
+        assert_eq!(flows.len(), 1);
+        assert!(!flows.is_empty());
+        let desc = flows.describe(&p);
+        assert!(desc[0].contains("Api.source -> Api.sink"), "{desc:?}");
+    }
+
+    #[test]
+    fn no_flow_for_benign_program_or_empty_specs() {
+        // Benign variant: the secret never reaches the container.
+        let p = program(false);
+        let graph = Graph::extract(&p, &ExtractionOptions::with_implementation());
+        let result = Solver::new().solve(&graph);
+        let sources = source_methods(&p, &["Api.source"]);
+        let sinks = sink_methods(&p, &["Api.sink"]);
+        let flows = find_flows(&p, &graph, &result, &sources, &sinks);
+        assert!(flows.is_empty());
+
+        // Leaky variant but with the library treated as a no-op: the flow
+        // through Box.set/get is missed (this is exactly the recall gap that
+        // specifications close).
+        let p = program(true);
+        let graph = Graph::extract(&p, &ExtractionOptions::empty_specs());
+        let result = Solver::new().solve(&graph);
+        let sources = source_methods(&p, &["Api.source"]);
+        let sinks = sink_methods(&p, &["Api.sink"]);
+        let flows = find_flows(&p, &graph, &result, &sources, &sinks);
+        assert!(flows.is_empty());
+        // Unknown method names resolve to nothing.
+        assert!(source_methods(&p, &["No.such"]).is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Builtin implementations of "native" library methods.
+//!
+//! The modeled Java library marks a handful of methods as native (e.g.
+//! `System.arraycopy`, which the real `Vector` implementation calls); the
+//! static analysis cannot see through them (one of the motivations of the
+//! paper), but the interpreter executes them via this registry.
+
+use crate::eval::ExecError;
+use crate::heap::Heap;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The signature of a builtin: receives the heap, the receiver and the
+/// argument values, returns the result value.
+pub type BuiltinFn = fn(&mut Heap, Option<Value>, &[Value]) -> Result<Value, ExecError>;
+
+/// A registry of native-method implementations keyed by qualified
+/// `"Class.method"` name.
+#[derive(Clone, Default)]
+pub struct BuiltinRegistry {
+    by_name: HashMap<String, BuiltinFn>,
+}
+
+impl fmt::Debug for BuiltinRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&String> = self.by_name.keys().collect();
+        names.sort();
+        f.debug_struct("BuiltinRegistry").field("builtins", &names).finish()
+    }
+}
+
+impl BuiltinRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> BuiltinRegistry {
+        BuiltinRegistry::default()
+    }
+
+    /// Creates the default registry with the natives used by the modeled
+    /// library.
+    pub fn with_defaults() -> BuiltinRegistry {
+        let mut r = BuiltinRegistry::new();
+        r.register("System.arraycopy", builtin_arraycopy);
+        r.register("System.identityHashCode", builtin_identity_hash);
+        r.register("Object.hashCode", builtin_identity_hash_recv);
+        r.register("Math.max", builtin_max);
+        r.register("Math.min", builtin_min);
+        r.register("Arrays.copyOf", builtin_copy_of);
+        r
+    }
+
+    /// Registers (or replaces) a builtin.
+    pub fn register(&mut self, qualified_name: &str, f: BuiltinFn) {
+        self.by_name.insert(qualified_name.to_string(), f);
+    }
+
+    /// Looks up a builtin by qualified name.
+    pub fn lookup(&self, qualified_name: &str) -> Option<BuiltinFn> {
+        self.by_name.get(qualified_name).copied()
+    }
+
+    /// Number of registered builtins.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+fn int_arg(args: &[Value], i: usize) -> Result<i64, ExecError> {
+    args.get(i)
+        .and_then(Value::as_int)
+        .ok_or_else(|| ExecError::Builtin(format!("expected int argument at position {i}")))
+}
+
+fn ref_arg(args: &[Value], i: usize) -> Result<crate::heap::ObjRef, ExecError> {
+    match args.get(i) {
+        Some(Value::Ref(r)) => Ok(*r),
+        Some(Value::Null) => Err(ExecError::NullPointer),
+        _ => Err(ExecError::Builtin(format!("expected reference argument at position {i}"))),
+    }
+}
+
+/// `System.arraycopy(src, srcPos, dest, destPos, length)`.
+fn builtin_arraycopy(heap: &mut Heap, _recv: Option<Value>, args: &[Value]) -> Result<Value, ExecError> {
+    let src = ref_arg(args, 0)?;
+    let src_pos = int_arg(args, 1)?;
+    let dest = ref_arg(args, 2)?;
+    let dest_pos = int_arg(args, 3)?;
+    let length = int_arg(args, 4)?;
+    if length < 0 || src_pos < 0 || dest_pos < 0 {
+        return Err(ExecError::IndexOutOfBounds);
+    }
+    for k in 0..length {
+        let v = heap
+            .read_element(src, src_pos + k)
+            .ok_or(ExecError::IndexOutOfBounds)?;
+        if !heap.write_element(dest, dest_pos + k, v) {
+            return Err(ExecError::IndexOutOfBounds);
+        }
+    }
+    Ok(Value::Void)
+}
+
+/// `Arrays.copyOf(original, newLength)`.
+fn builtin_copy_of(heap: &mut Heap, _recv: Option<Value>, args: &[Value]) -> Result<Value, ExecError> {
+    let src = ref_arg(args, 0)?;
+    let new_len = int_arg(args, 1)?;
+    if new_len < 0 {
+        return Err(ExecError::IndexOutOfBounds);
+    }
+    let old_len = heap.array_len(src).ok_or(ExecError::Builtin("copyOf of non-array".into()))? as i64;
+    let dst = heap.alloc_array(new_len as usize);
+    for k in 0..new_len.min(old_len) {
+        let v = heap.read_element(src, k).ok_or(ExecError::IndexOutOfBounds)?;
+        heap.write_element(dst, k, v);
+    }
+    Ok(Value::Ref(dst))
+}
+
+/// `System.identityHashCode(x)`.
+fn builtin_identity_hash(_heap: &mut Heap, _recv: Option<Value>, args: &[Value]) -> Result<Value, ExecError> {
+    Ok(match args.first() {
+        Some(Value::Ref(r)) => Value::Int(r.0 as i64),
+        Some(Value::Null) | None => Value::Int(0),
+        Some(Value::Int(v)) => Value::Int(*v),
+        Some(other) => Value::Int(format!("{other}").len() as i64),
+    })
+}
+
+/// `Object.hashCode()` — identity hash of the receiver.
+fn builtin_identity_hash_recv(heap: &mut Heap, recv: Option<Value>, _args: &[Value]) -> Result<Value, ExecError> {
+    builtin_identity_hash(heap, None, &[recv.unwrap_or(Value::Null)])
+}
+
+/// `Math.max(a, b)`.
+fn builtin_max(_heap: &mut Heap, _recv: Option<Value>, args: &[Value]) -> Result<Value, ExecError> {
+    Ok(Value::Int(int_arg(args, 0)?.max(int_arg(args, 1)?)))
+}
+
+/// `Math.min(a, b)`.
+fn builtin_min(_heap: &mut Heap, _recv: Option<Value>, args: &[Value]) -> Result<Value, ExecError> {
+    Ok(Value::Int(int_arg(args, 0)?.min(int_arg(args, 1)?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_ir::ClassId;
+
+    #[test]
+    fn registry_defaults() {
+        let r = BuiltinRegistry::with_defaults();
+        assert!(!r.is_empty());
+        assert!(r.len() >= 5);
+        assert!(r.lookup("System.arraycopy").is_some());
+        assert!(r.lookup("No.such").is_none());
+        assert!(format!("{r:?}").contains("arraycopy"));
+    }
+
+    #[test]
+    fn arraycopy_copies_and_bounds_checks() {
+        let mut heap = Heap::new();
+        let src = heap.alloc_array(3);
+        let obj = heap.alloc(ClassId::from_index(0));
+        heap.write_element(src, 0, Value::Ref(obj));
+        heap.write_element(src, 1, Value::Int(7));
+        let dst = heap.alloc_array(3);
+        let args = [
+            Value::Ref(src),
+            Value::Int(0),
+            Value::Ref(dst),
+            Value::Int(1),
+            Value::Int(2),
+        ];
+        builtin_arraycopy(&mut heap, None, &args).unwrap();
+        assert_eq!(heap.read_element(dst, 1), Some(Value::Ref(obj)));
+        assert_eq!(heap.read_element(dst, 2), Some(Value::Int(7)));
+        // Out of bounds length fails.
+        let bad = [Value::Ref(src), Value::Int(0), Value::Ref(dst), Value::Int(0), Value::Int(9)];
+        assert!(matches!(builtin_arraycopy(&mut heap, None, &bad), Err(ExecError::IndexOutOfBounds)));
+        // Null source fails.
+        let null_src = [Value::Null, Value::Int(0), Value::Ref(dst), Value::Int(0), Value::Int(1)];
+        assert!(matches!(builtin_arraycopy(&mut heap, None, &null_src), Err(ExecError::NullPointer)));
+    }
+
+    #[test]
+    fn copy_of_grows_array() {
+        let mut heap = Heap::new();
+        let src = heap.alloc_array(2);
+        heap.write_element(src, 0, Value::Int(1));
+        heap.write_element(src, 1, Value::Int(2));
+        let out = builtin_copy_of(&mut heap, None, &[Value::Ref(src), Value::Int(4)]).unwrap();
+        let out = out.as_ref().unwrap();
+        assert_eq!(heap.array_len(out), Some(4));
+        assert_eq!(heap.read_element(out, 1), Some(Value::Int(2)));
+        assert_eq!(heap.read_element(out, 3), Some(Value::Null));
+    }
+
+    #[test]
+    fn math_and_hash_builtins() {
+        let mut heap = Heap::new();
+        assert_eq!(builtin_max(&mut heap, None, &[Value::Int(2), Value::Int(5)]).unwrap(), Value::Int(5));
+        assert_eq!(builtin_min(&mut heap, None, &[Value::Int(2), Value::Int(5)]).unwrap(), Value::Int(2));
+        let o = heap.alloc(ClassId::from_index(0));
+        assert_eq!(
+            builtin_identity_hash(&mut heap, None, &[Value::Ref(o)]).unwrap(),
+            Value::Int(o.0 as i64)
+        );
+        assert_eq!(builtin_identity_hash(&mut heap, None, &[Value::Null]).unwrap(), Value::Int(0));
+        assert_eq!(
+            builtin_identity_hash_recv(&mut heap, Some(Value::Ref(o)), &[]).unwrap(),
+            Value::Int(o.0 as i64)
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! The concrete heap: objects with field maps and arrays.
+
+use crate::value::Value;
+use atlas_ir::{ClassId, FieldId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A reference to a heap object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef(pub usize);
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A heap object: either a class instance with named fields, or an array.
+#[derive(Debug, Clone)]
+pub struct HeapObject {
+    /// The allocated class (`None` for arrays).
+    pub class: Option<ClassId>,
+    /// Field values (absent fields read as `null`/default).
+    pub fields: HashMap<FieldId, Value>,
+    /// Array payload, if this object is an array.
+    pub array: Option<Vec<Value>>,
+}
+
+impl HeapObject {
+    fn instance(class: ClassId) -> HeapObject {
+        HeapObject { class: Some(class), fields: HashMap::new(), array: None }
+    }
+
+    fn array(len: usize) -> HeapObject {
+        HeapObject { class: None, fields: HashMap::new(), array: Some(vec![Value::Null; len]) }
+    }
+
+    /// Whether the object is an array.
+    pub fn is_array(&self) -> bool {
+        self.array.is_some()
+    }
+}
+
+/// The concrete heap.
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    objects: Vec<HeapObject>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocates a new instance of `class`.
+    pub fn alloc(&mut self, class: ClassId) -> ObjRef {
+        let r = ObjRef(self.objects.len());
+        self.objects.push(HeapObject::instance(class));
+        r
+    }
+
+    /// Allocates a new array of length `len`, elements initialized to `null`.
+    pub fn alloc_array(&mut self, len: usize) -> ObjRef {
+        let r = ObjRef(self.objects.len());
+        self.objects.push(HeapObject::array(len));
+        r
+    }
+
+    /// The object behind a reference.
+    pub fn get(&self, r: ObjRef) -> &HeapObject {
+        &self.objects[r.0]
+    }
+
+    /// Mutable access to the object behind a reference.
+    pub fn get_mut(&mut self, r: ObjRef) -> &mut HeapObject {
+        &mut self.objects[r.0]
+    }
+
+    /// Reads a field (absent fields read as `null`).
+    pub fn read_field(&self, r: ObjRef, field: FieldId) -> Value {
+        self.objects[r.0].fields.get(&field).cloned().unwrap_or(Value::Null)
+    }
+
+    /// Writes a field.
+    pub fn write_field(&mut self, r: ObjRef, field: FieldId, value: Value) {
+        self.objects[r.0].fields.insert(field, value);
+    }
+
+    /// Reads an array element, if `r` is an array and the index is in range.
+    pub fn read_element(&self, r: ObjRef, index: i64) -> Option<Value> {
+        let arr = self.objects[r.0].array.as_ref()?;
+        if index < 0 || index as usize >= arr.len() {
+            return None;
+        }
+        Some(arr[index as usize].clone())
+    }
+
+    /// Writes an array element.  Returns `false` if `r` is not an array or
+    /// the index is out of range.
+    pub fn write_element(&mut self, r: ObjRef, index: i64, value: Value) -> bool {
+        match self.objects[r.0].array.as_mut() {
+            Some(arr) if index >= 0 && (index as usize) < arr.len() => {
+                arr[index as usize] = value;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The length of an array object, if `r` is an array.
+    pub fn array_len(&self, r: ObjRef) -> Option<usize> {
+        self.objects[r.0].array.as_ref().map(|a| a.len())
+    }
+
+    /// Number of objects allocated so far.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_default_to_null() {
+        let mut heap = Heap::new();
+        assert!(heap.is_empty());
+        let r = heap.alloc(ClassId::from_index(0));
+        assert_eq!(heap.read_field(r, FieldId::from_index(3)), Value::Null);
+        heap.write_field(r, FieldId::from_index(3), Value::Int(9));
+        assert_eq!(heap.read_field(r, FieldId::from_index(3)), Value::Int(9));
+        assert!(!heap.get(r).is_array());
+        assert_eq!(heap.len(), 1);
+    }
+
+    #[test]
+    fn array_bounds() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_array(2);
+        assert!(heap.get(a).is_array());
+        assert_eq!(heap.array_len(a), Some(2));
+        assert_eq!(heap.read_element(a, 0), Some(Value::Null));
+        assert!(heap.write_element(a, 1, Value::Int(5)));
+        assert_eq!(heap.read_element(a, 1), Some(Value::Int(5)));
+        assert_eq!(heap.read_element(a, 2), None);
+        assert_eq!(heap.read_element(a, -1), None);
+        assert!(!heap.write_element(a, 9, Value::Int(1)));
+        // Non-array object rejects element access.
+        let o = heap.alloc(ClassId::from_index(0));
+        assert_eq!(heap.read_element(o, 0), None);
+        assert!(!heap.write_element(o, 0, Value::Null));
+        assert_eq!(heap.array_len(o), None);
+        // Mutable access to raw object works.
+        heap.get_mut(o).fields.insert(FieldId::from_index(1), Value::Bool(true));
+        assert_eq!(heap.read_field(o, FieldId::from_index(1)), Value::Bool(true));
+    }
+}

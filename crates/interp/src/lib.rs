@@ -1,0 +1,25 @@
+//! # atlas-interp
+//!
+//! A concrete interpreter for the mini-Java IR of [`atlas_ir`].
+//!
+//! Atlas only requires *blackbox access* to the library: the ability to
+//! execute sequences of library functions on chosen inputs and observe the
+//! outputs (Section 5.1 of the paper).  This crate provides that blackbox:
+//! it executes synthesized unit tests (and any other IR program) against the
+//! modeled library implementation, with a real heap, real arrays, and
+//! builtin implementations of "native" methods such as `System.arraycopy`.
+//!
+//! Execution is bounded by a configurable step budget so that the oracle
+//! never diverges on an ill-formed candidate.
+
+pub mod builtins;
+pub mod eval;
+pub mod heap;
+pub mod limits;
+pub mod value;
+
+pub use builtins::BuiltinRegistry;
+pub use eval::{ExecError, ExecOutcome, Interpreter};
+pub use heap::{Heap, HeapObject, ObjRef};
+pub use limits::ExecLimits;
+pub use value::Value;

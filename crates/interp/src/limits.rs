@@ -1,0 +1,38 @@
+//! Execution limits for the interpreter.
+
+/// Bounds on a single execution, protecting the oracle against divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Maximum number of IR statements executed.
+    pub max_steps: usize,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+    /// Maximum number of heap objects allocated.
+    pub max_heap_objects: usize,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits { max_steps: 200_000, max_call_depth: 256, max_heap_objects: 100_000 }
+    }
+}
+
+impl ExecLimits {
+    /// Tight limits suitable for the oracle's very small unit tests.
+    pub fn for_unit_tests() -> ExecLimits {
+        ExecLimits { max_steps: 20_000, max_call_depth: 64, max_heap_objects: 10_000 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let d = ExecLimits::default();
+        assert!(d.max_steps > 0 && d.max_call_depth > 0 && d.max_heap_objects > 0);
+        let u = ExecLimits::for_unit_tests();
+        assert!(u.max_steps < d.max_steps);
+    }
+}

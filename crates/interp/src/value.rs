@@ -1,0 +1,122 @@
+//! Runtime values.
+
+use crate::heap::ObjRef;
+use std::fmt;
+
+/// A runtime value of the interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The `null` reference.
+    Null,
+    /// A reference to a heap object (or array).
+    Ref(ObjRef),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A character.
+    Char(char),
+    /// An interned string value (content equality).
+    Str(String),
+    /// The absence of a value (result of a `void` call).
+    Void,
+}
+
+impl Value {
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer payload.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Char(c) => Some(*c as i64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The heap reference payload.
+    pub fn as_ref(&self) -> Option<ObjRef> {
+        match self {
+            Value::Ref(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Reference identity (`==` on references in Java).  `null == null` is
+    /// true; a reference never equals `null`; non-reference values compare by
+    /// content.
+    pub fn ref_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Ref(a), Value::Ref(b)) => a == b,
+            (Value::Null, Value::Ref(_)) | (Value::Ref(_), Value::Null) => false,
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Ref(r) => write!(f, "@{}", r.0),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Char(c) => write!(f, "'{c}'"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Void => write!(f, "void"),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Char('a').as_int(), Some(97));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(1).as_bool(), None);
+        assert_eq!(Value::Ref(ObjRef(3)).as_ref(), Some(ObjRef(3)));
+        assert_eq!(Value::Null.as_ref(), None);
+    }
+
+    #[test]
+    fn reference_equality() {
+        assert!(Value::Null.ref_eq(&Value::Null));
+        assert!(Value::Ref(ObjRef(1)).ref_eq(&Value::Ref(ObjRef(1))));
+        assert!(!Value::Ref(ObjRef(1)).ref_eq(&Value::Ref(ObjRef(2))));
+        assert!(!Value::Ref(ObjRef(1)).ref_eq(&Value::Null));
+        assert!(Value::Int(4).ref_eq(&Value::Int(4)));
+        assert!(!Value::Int(4).ref_eq(&Value::Int(5)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Ref(ObjRef(2)).to_string(), "@2");
+        assert_eq!(Value::Str("x".into()).to_string(), "\"x\"");
+        assert_eq!(Value::default(), Value::Null);
+    }
+}

@@ -1,0 +1,712 @@
+//! Builders for programs, classes and methods.
+//!
+//! The builders allow forward references: classes and methods can be named
+//! (and assigned ids) before their bodies exist, which is how the modeled
+//! library expresses mutually recursive classes (`ArrayList` and its
+//! iterator, `HashMap` and its nodes, …).
+
+use crate::class::{Class, Field};
+use crate::method::{Method, Var, VarData};
+use crate::program::{ClassId, FieldId, MethodId, Program};
+use crate::stmt::{AllocSite, BinOp, Constant, Stmt};
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// Builder for a whole [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    classes: Vec<Option<Class>>,
+    class_ids: HashMap<String, ClassId>,
+    methods: Vec<Option<Method>>,
+    method_ids: HashMap<(ClassId, String), MethodId>,
+    fields: Vec<Field>,
+    field_ids: HashMap<(ClassId, String), FieldId>,
+    entry_points: Vec<MethodId>,
+}
+
+impl ProgramBuilder {
+    /// Creates a new, empty program builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Declares (or looks up) a class id by name without providing its
+    /// definition yet.  Useful for forward references.
+    pub fn declare_class(&mut self, name: &str) -> ClassId {
+        if let Some(&id) = self.class_ids.get(name) {
+            return id;
+        }
+        let id = ClassId::from_index(self.classes.len() as u32);
+        self.classes.push(None);
+        self.class_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declares (or looks up) a method id by class and name without providing
+    /// its definition yet.
+    pub fn declare_method(&mut self, class: ClassId, name: &str) -> MethodId {
+        if let Some(&id) = self.method_ids.get(&(class, name.to_string())) {
+            return id;
+        }
+        let id = MethodId::from_index(self.methods.len() as u32);
+        self.methods.push(None);
+        self.method_ids.insert((class, name.to_string()), id);
+        id
+    }
+
+    /// Declares (or looks up) a method id by class *name* and method name.
+    pub fn declare_method_named(&mut self, class: &str, method: &str) -> MethodId {
+        let class = self.declare_class(class);
+        self.declare_method(class, method)
+    }
+
+    /// Declares (or looks up) a field of `class` by name.  If the field has
+    /// not been declared with an explicit type, it defaults to `Object`.
+    pub fn declare_field(&mut self, class: ClassId, name: &str) -> FieldId {
+        if let Some(&id) = self.field_ids.get(&(class, name.to_string())) {
+            return id;
+        }
+        let id = FieldId::from_index(self.fields.len() as u32);
+        self.fields.push(Field {
+            id,
+            class,
+            name: name.to_string(),
+            ty: Type::object(),
+        });
+        self.field_ids.insert((class, name.to_string()), id);
+        if let Some(Some(c)) = self.classes.get_mut(class.index() as usize) {
+            c.fields.push(id);
+        }
+        id
+    }
+
+    /// Starts building a class with the given name.
+    pub fn class(&mut self, name: &str) -> ClassBuilder<'_> {
+        let id = self.declare_class(name);
+        ClassBuilder {
+            pb: self,
+            id,
+            name: name.to_string(),
+            superclass: None,
+            fields: Vec::new(),
+            methods: Vec::new(),
+            is_library: false,
+        }
+    }
+
+    /// Registers a method as a program entry point (e.g. an app's `main`).
+    pub fn add_entry_point(&mut self, method: MethodId) {
+        self.entry_points.push(method);
+    }
+
+    /// Finishes the program.
+    ///
+    /// # Panics
+    /// Panics if any declared class or method was never defined.
+    pub fn build(mut self) -> Program {
+        // Attach the synthetic $elems field (array collapse) to the first
+        // class; its owning class is irrelevant to the analysis.
+        let elems_field = if !self.classes.is_empty() {
+            let id = FieldId::from_index(self.fields.len() as u32);
+            self.fields.push(Field {
+                id,
+                class: ClassId::from_index(0),
+                name: "$elems".to_string(),
+                ty: Type::object(),
+            });
+            Some(id)
+        } else {
+            None
+        };
+        let classes: Vec<Class> = self
+            .classes
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| c.unwrap_or_else(|| panic!("class c{i} declared but never defined")))
+            .collect();
+        let methods: Vec<Method> = self
+            .methods
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| m.unwrap_or_else(|| panic!("method m{i} declared but never defined")))
+            .collect();
+        let class_by_name = self.class_ids;
+        Program {
+            classes,
+            methods,
+            fields: self.fields,
+            class_by_name,
+            elems_field,
+            entry_points: self.entry_points,
+        }
+    }
+}
+
+/// Builder for a single class.
+#[derive(Debug)]
+pub struct ClassBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    id: ClassId,
+    name: String,
+    superclass: Option<ClassId>,
+    fields: Vec<FieldId>,
+    methods: Vec<MethodId>,
+    is_library: bool,
+}
+
+impl<'a> ClassBuilder<'a> {
+    /// The id this class will have.
+    pub fn id(&self) -> ClassId {
+        self.id
+    }
+
+    /// Marks the class as belonging to the modeled library.
+    pub fn library(&mut self, yes: bool) -> &mut Self {
+        self.is_library = yes;
+        self
+    }
+
+    /// Sets the superclass.
+    pub fn extends(&mut self, superclass: ClassId) -> &mut Self {
+        self.superclass = Some(superclass);
+        self
+    }
+
+    /// Declares a field with an explicit type.
+    pub fn field(&mut self, name: &str, ty: Type) -> FieldId {
+        let id = self.pb.declare_field(self.id, name);
+        self.pb.fields[id.index() as usize].ty = ty;
+        if !self.fields.contains(&id) {
+            self.fields.push(id);
+        }
+        id
+    }
+
+    /// Starts an instance method.
+    pub fn method(&mut self, name: &str) -> MethodBuilder<'_, 'a> {
+        self.method_inner(name, true, false)
+    }
+
+    /// Starts a static method (no receiver).
+    pub fn static_method(&mut self, name: &str) -> MethodBuilder<'_, 'a> {
+        self.method_inner(name, false, false)
+    }
+
+    /// Starts a constructor (`<init>`).
+    pub fn constructor(&mut self) -> MethodBuilder<'_, 'a> {
+        self.method_inner("<init>", true, true)
+    }
+
+    /// Starts a constructor with an explicit name (for overload
+    /// disambiguation, e.g. `"<init>$int"`).
+    pub fn constructor_named(&mut self, name: &str) -> MethodBuilder<'_, 'a> {
+        self.method_inner(name, true, true)
+    }
+
+    fn method_inner(
+        &mut self,
+        name: &str,
+        has_this: bool,
+        is_constructor: bool,
+    ) -> MethodBuilder<'_, 'a> {
+        let id = self.pb.declare_method(self.id, name);
+        let mut vars = Vec::new();
+        if has_this {
+            vars.push(VarData {
+                name: "this".to_string(),
+                ty: Type::Object(self.name.clone()),
+            });
+        }
+        MethodBuilder {
+            cb: self,
+            id,
+            name: name.to_string(),
+            vars,
+            has_this,
+            num_params: 0,
+            return_type: Type::Void,
+            blocks: vec![Vec::new()],
+            alloc_counter: 0,
+            is_native: false,
+            is_constructor,
+            is_public: true,
+        }
+    }
+
+    /// Finishes the class, registering it with the program builder.
+    pub fn build(self) -> ClassId {
+        let ClassBuilder { pb, id, name, superclass, mut fields, mut methods, is_library } = self;
+        // Pick up any fields/methods declared directly via the ProgramBuilder.
+        for (key, &fid) in &pb.field_ids {
+            if key.0 == id && !fields.contains(&fid) {
+                fields.push(fid);
+            }
+        }
+        for (key, &mid) in &pb.method_ids {
+            if key.0 == id && !methods.contains(&mid) {
+                methods.push(mid);
+            }
+        }
+        fields.sort();
+        methods.sort();
+        pb.classes[id.index() as usize] = Some(Class {
+            id,
+            name,
+            superclass,
+            fields,
+            methods,
+            is_library,
+        });
+        id
+    }
+}
+
+/// Builder for a single method body.
+#[derive(Debug)]
+pub struct MethodBuilder<'b, 'a> {
+    cb: &'b mut ClassBuilder<'a>,
+    id: MethodId,
+    name: String,
+    vars: Vec<VarData>,
+    has_this: bool,
+    num_params: usize,
+    return_type: Type,
+    blocks: Vec<Vec<Stmt>>,
+    alloc_counter: u32,
+    is_native: bool,
+    is_constructor: bool,
+    is_public: bool,
+}
+
+impl<'b, 'a> MethodBuilder<'b, 'a> {
+    /// The id this method will have.
+    pub fn id(&self) -> MethodId {
+        self.id
+    }
+
+    /// The receiver variable.
+    ///
+    /// # Panics
+    /// Panics if the method is static.
+    pub fn this(&mut self) -> Var {
+        assert!(self.has_this, "static methods have no `this`");
+        Var::from_index(0)
+    }
+
+    /// Declares the next parameter.
+    ///
+    /// # Panics
+    /// Panics if locals have already been declared (parameters must come
+    /// first so their indices are contiguous).
+    pub fn param(&mut self, name: &str, ty: Type) -> Var {
+        let expected = self.num_params + usize::from(self.has_this);
+        assert_eq!(
+            self.vars.len(),
+            expected,
+            "parameters must be declared before locals"
+        );
+        let v = Var::from_index(self.vars.len() as u32);
+        self.vars.push(VarData { name: name.to_string(), ty });
+        self.num_params += 1;
+        v
+    }
+
+    /// Declares a local variable.
+    pub fn local(&mut self, name: &str, ty: Type) -> Var {
+        let v = Var::from_index(self.vars.len() as u32);
+        self.vars.push(VarData { name: name.to_string(), ty });
+        v
+    }
+
+    /// Sets the return type.
+    pub fn returns(&mut self, ty: Type) -> &mut Self {
+        self.return_type = ty;
+        self
+    }
+
+    /// Marks the method as native (implemented by an interpreter builtin).
+    pub fn native(&mut self, yes: bool) -> &mut Self {
+        self.is_native = yes;
+        self
+    }
+
+    /// Sets whether the method is public (part of the library interface).
+    pub fn public(&mut self, yes: bool) -> &mut Self {
+        self.is_public = yes;
+        self
+    }
+
+    /// Declares (or looks up) another class by name, for forward references.
+    pub fn cref(&mut self, class: &str) -> ClassId {
+        self.cb.pb.declare_class(class)
+    }
+
+    /// Declares (or looks up) another method by class and method name.
+    pub fn mref(&mut self, class: &str, method: &str) -> MethodId {
+        self.cb.pb.declare_method_named(class, method)
+    }
+
+    /// Declares (or looks up) a field of another class.
+    pub fn fref(&mut self, class: &str, field: &str) -> FieldId {
+        let class = self.cb.pb.declare_class(class);
+        self.cb.pb.declare_field(class, field)
+    }
+
+    fn push(&mut self, stmt: Stmt) {
+        self.blocks.last_mut().expect("block stack is never empty").push(stmt);
+    }
+
+    fn fresh_site(&mut self) -> AllocSite {
+        let site = AllocSite { method: self.id, index: self.alloc_counter };
+        self.alloc_counter += 1;
+        site
+    }
+
+    fn resolve_field(&mut self, name: &str) -> FieldId {
+        // Search this class then its (already declared) superclass chain.
+        let mut class = Some(self.cb.id);
+        while let Some(c) = class {
+            if let Some(&id) = self.cb.pb.field_ids.get(&(c, name.to_string())) {
+                return id;
+            }
+            class = if c == self.cb.id {
+                self.cb.superclass
+            } else {
+                self.cb.pb.classes[c.index() as usize]
+                    .as_ref()
+                    .and_then(|cl| cl.superclass)
+            };
+        }
+        // Not found: declare it on the enclosing class.
+        self.cb.pb.declare_field(self.cb.id, name)
+    }
+
+    /// `dst = src`.
+    pub fn assign(&mut self, dst: Var, src: Var) {
+        self.push(Stmt::Assign { dst, src });
+    }
+
+    /// `dst = new <class>()` (allocation only; call the constructor
+    /// separately).
+    pub fn new_object(&mut self, dst: Var, class: ClassId) {
+        let site = self.fresh_site();
+        self.push(Stmt::New { dst, class, site });
+    }
+
+    /// `dst = new <class named>()`.
+    pub fn new_named(&mut self, dst: Var, class: &str) {
+        let class = self.cref(class);
+        self.new_object(dst, class);
+    }
+
+    /// `dst = new Object[len]`.
+    pub fn new_array(&mut self, dst: Var, len: Var) {
+        let site = self.fresh_site();
+        self.push(Stmt::NewArray { dst, len, site });
+    }
+
+    /// `obj.<field> = src`, resolving the field by name against the enclosing
+    /// class and its superclasses.
+    pub fn store(&mut self, obj: Var, field: &str, src: Var) {
+        let field = self.resolve_field(field);
+        self.push(Stmt::Store { obj, field, src });
+    }
+
+    /// `obj.<field id> = src`.
+    pub fn store_field(&mut self, obj: Var, field: FieldId, src: Var) {
+        self.push(Stmt::Store { obj, field, src });
+    }
+
+    /// `dst = obj.<field>`, resolving the field by name.
+    pub fn load(&mut self, dst: Var, obj: Var, field: &str) {
+        let field = self.resolve_field(field);
+        self.push(Stmt::Load { dst, obj, field });
+    }
+
+    /// `dst = obj.<field id>`.
+    pub fn load_field(&mut self, dst: Var, obj: Var, field: FieldId) {
+        self.push(Stmt::Load { dst, obj, field });
+    }
+
+    /// `arr[index] = src`.
+    pub fn array_store(&mut self, arr: Var, index: Var, src: Var) {
+        self.push(Stmt::ArrayStore { arr, index, src });
+    }
+
+    /// `dst = arr[index]`.
+    pub fn array_load(&mut self, dst: Var, arr: Var, index: Var) {
+        self.push(Stmt::ArrayLoad { dst, arr, index });
+    }
+
+    /// `dst = arr.length`.
+    pub fn array_len(&mut self, dst: Var, arr: Var) {
+        self.push(Stmt::ArrayLen { dst, arr });
+    }
+
+    /// `dst = recv.method(args...)`.
+    pub fn call(&mut self, dst: Option<Var>, method: MethodId, recv: Option<Var>, args: &[Var]) {
+        self.push(Stmt::Call { dst, method, recv, args: args.to_vec() });
+    }
+
+    /// `dst = constant`.
+    pub fn constant(&mut self, dst: Var, value: Constant) {
+        let site = if matches!(value, Constant::Str(_)) {
+            Some(self.fresh_site())
+        } else {
+            None
+        };
+        self.push(Stmt::Const { dst, value, site });
+    }
+
+    /// `dst = <int literal>`.
+    pub fn const_int(&mut self, dst: Var, v: i64) {
+        self.constant(dst, Constant::Int(v));
+    }
+
+    /// `dst = <bool literal>`.
+    pub fn const_bool(&mut self, dst: Var, v: bool) {
+        self.constant(dst, Constant::Bool(v));
+    }
+
+    /// `dst = null`.
+    pub fn const_null(&mut self, dst: Var) {
+        self.constant(dst, Constant::Null);
+    }
+
+    /// `dst = a <op> b`.
+    pub fn bin(&mut self, dst: Var, op: BinOp, a: Var, b: Var) {
+        self.push(Stmt::Bin { dst, op, a, b });
+    }
+
+    /// `dst = (a == b)` over references.
+    pub fn ref_eq(&mut self, dst: Var, a: Var, b: Var) {
+        self.push(Stmt::RefEq { dst, a, b });
+    }
+
+    /// `dst = (a == null)`.
+    pub fn is_null(&mut self, dst: Var, a: Var) {
+        self.push(Stmt::IsNull { dst, a });
+    }
+
+    /// `dst = !a`.
+    pub fn not(&mut self, dst: Var, a: Var) {
+        self.push(Stmt::Not { dst, a });
+    }
+
+    /// `if (cond) { then } else { els }` built with nested closures.
+    pub fn if_stmt(
+        &mut self,
+        cond: Var,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) {
+        self.blocks.push(Vec::new());
+        then(self);
+        let then_block = self.blocks.pop().expect("then block");
+        self.blocks.push(Vec::new());
+        els(self);
+        let els_block = self.blocks.pop().expect("else block");
+        self.push(Stmt::If { cond, then: then_block, els: els_block });
+    }
+
+    /// `if (cond) { then }` with no else branch.
+    pub fn if_then(&mut self, cond: Var, then: impl FnOnce(&mut Self)) {
+        self.if_stmt(cond, then, |_| {});
+    }
+
+    /// `while (cond) { body }`; `header` recomputes `cond` before each test.
+    pub fn while_stmt(
+        &mut self,
+        header: impl FnOnce(&mut Self) -> Var,
+        body: impl FnOnce(&mut Self),
+    ) {
+        self.blocks.push(Vec::new());
+        let cond = header(self);
+        let header_block = self.blocks.pop().expect("header block");
+        self.blocks.push(Vec::new());
+        body(self);
+        let body_block = self.blocks.pop().expect("body block");
+        self.push(Stmt::While { header: header_block, cond, body: body_block });
+    }
+
+    /// `return var` / `return`.
+    pub fn ret(&mut self, var: Option<Var>) {
+        self.push(Stmt::Return { var });
+    }
+
+    /// `throw new RuntimeException(message)`.
+    pub fn throw(&mut self, message: &str) {
+        self.push(Stmt::Throw { message: message.to_string() });
+    }
+
+    /// Finishes the method, registering it with the class and program.
+    pub fn finish(self) -> MethodId {
+        let MethodBuilder {
+            cb,
+            id,
+            name,
+            vars,
+            has_this,
+            num_params,
+            return_type,
+            mut blocks,
+            is_native,
+            is_constructor,
+            is_public,
+            ..
+        } = self;
+        assert_eq!(blocks.len(), 1, "unbalanced nested blocks in method body");
+        let body = blocks.pop().unwrap();
+        let method = Method {
+            id,
+            class: cb.id,
+            name,
+            vars,
+            has_this,
+            num_params,
+            return_type,
+            body,
+            is_native,
+            is_constructor,
+            is_public,
+        };
+        cb.pb.methods[id.index() as usize] = Some(method);
+        if !cb.methods.contains(&id) {
+            cb.methods.push(id);
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_and_control_flow() {
+        let mut pb = ProgramBuilder::new();
+        pb.class("Object").build();
+        // Node is referenced by List before being defined.
+        let mut list = pb.class("List");
+        list.library(true);
+        list.field("head", Type::class("Node"));
+        let mut add = list.method("add");
+        add.returns(Type::Bool);
+        let this = add.this();
+        let e = add.param("e", Type::object());
+        let node_class = add.cref("Node");
+        let n = add.local("n", Type::class("Node"));
+        add.new_object(n, node_class);
+        let init = add.mref("Node", "<init>");
+        add.call(None, init, Some(n), &[e]);
+        add.store(this, "head", n);
+        let r = add.local("r", Type::Bool);
+        add.const_bool(r, true);
+        add.ret(Some(r));
+        add.finish();
+        let mut get = list.method("get");
+        get.returns(Type::object());
+        let this = get.this();
+        let i = get.param("i", Type::Int);
+        let n = get.local("n", Type::class("Node"));
+        get.load(n, this, "head");
+        let zero = get.local("zero", Type::Int);
+        get.const_int(zero, 0);
+        let cond = get.local("cond", Type::Bool);
+        get.while_stmt(
+            |m| {
+                m.bin(cond, BinOp::Gt, i, zero);
+                cond
+            },
+            |m| {
+                let val = m.fref("Node", "next");
+                m.load_field(n, n, val);
+                let one = m.local("one", Type::Int);
+                m.const_int(one, 1);
+                m.bin(i, BinOp::Sub, i, one);
+            },
+        );
+        let out = get.local("out", Type::object());
+        get.load(out, n, "value");
+        get.ret(Some(out));
+        get.finish();
+        list.build();
+
+        let mut node = pb.class("Node");
+        node.library(true);
+        node.field("value", Type::object());
+        node.field("next", Type::class("Node"));
+        let mut init = node.constructor();
+        let this = init.this();
+        let v = init.param("v", Type::object());
+        init.store(this, "value", v);
+        init.finish();
+        node.build();
+
+        let p = pb.build();
+        assert_eq!(p.num_classes(), 3);
+        assert!(p.method_qualified("Node.<init>").is_some());
+        let add = p.method_qualified("List.add").unwrap();
+        assert!(p.method(add).body().len() >= 5);
+        // The `value` field ends up on Node even though it was first
+        // referenced from List.get.
+        let node_id = p.class_named("Node").unwrap();
+        assert!(p.field_named(node_id, "value").is_some());
+        // get's While statement nests properly.
+        let get = p.method_qualified("List.get").unwrap();
+        let has_while = p
+            .method(get)
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::While { .. }));
+        assert!(has_while);
+    }
+
+    #[test]
+    #[should_panic(expected = "never defined")]
+    fn undeclared_class_panics() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare_class("Ghost");
+        pb.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "parameters must be declared before locals")]
+    fn params_after_locals_panic() {
+        let mut pb = ProgramBuilder::new();
+        let mut c = pb.class("C");
+        let mut m = c.method("m");
+        m.local("x", Type::Int);
+        m.param("p", Type::Int);
+    }
+
+    #[test]
+    fn entry_points_are_recorded() {
+        let mut pb = ProgramBuilder::new();
+        let mut c = pb.class("Main");
+        let mut m = c.static_method("main");
+        m.ret(None);
+        let mid = m.finish();
+        c.build();
+        pb.add_entry_point(mid);
+        let p = pb.build();
+        assert_eq!(p.entry_points(), &[mid]);
+    }
+
+    #[test]
+    fn string_constants_get_alloc_sites() {
+        let mut pb = ProgramBuilder::new();
+        let mut c = pb.class("Main");
+        let mut m = c.static_method("main");
+        let s = m.local("s", Type::class("String"));
+        m.constant(s, Constant::Str("hello".to_string()));
+        m.finish();
+        c.build();
+        let p = pb.build();
+        let main = p.method_qualified("Main.main").unwrap();
+        match &p.method(main).body()[0] {
+            Stmt::Const { site, .. } => assert!(site.is_some()),
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+}

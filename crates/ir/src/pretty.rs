@@ -1,0 +1,309 @@
+//! A Jimple-like pretty-printer for programs, plus the line-of-code metric
+//! used by Figure 8 of the paper ("Jimple lines of code").
+
+use crate::method::Method;
+use crate::program::Program;
+use crate::stmt::Stmt;
+use std::fmt::Write;
+
+/// Pretty-prints an entire program in a Jimple-like textual form.
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    for class in program.classes() {
+        let lib = if class.is_library() { " /* library */" } else { "" };
+        let extends = class
+            .superclass()
+            .map(|s| format!(" extends {}", program.class(s).name()))
+            .unwrap_or_default();
+        let _ = writeln!(out, "class {}{}{} {{", class.name(), extends, lib);
+        for &f in class.fields() {
+            let field = program.field(f);
+            let _ = writeln!(out, "    {} {};", field.ty(), field.name());
+        }
+        for &m in class.methods() {
+            let method = program.method(m);
+            let _ = write!(out, "{}", method_to_string(program, method));
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Pretty-prints a single method.
+pub fn method_to_string(program: &Program, method: &Method) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = (0..method.num_params())
+        .map(|i| {
+            let v = method.param_var(i);
+            let d = method.var_data(v);
+            format!("{} {}", d.ty, d.name)
+        })
+        .collect();
+    let native = if method.is_native() { " /* native */" } else { "" };
+    let _ = writeln!(
+        out,
+        "    {} {}({}){} {{",
+        method.return_type(),
+        method.name(),
+        params.join(", "),
+        native
+    );
+    write_block(&mut out, program, method, method.body(), 2);
+    let _ = writeln!(out, "    }}");
+    out
+}
+
+fn var_name(method: &Method, v: crate::method::Var) -> String {
+    method.var_data(v).name.clone()
+}
+
+fn write_block(out: &mut String, program: &Program, method: &Method, block: &[Stmt], depth: usize) {
+    let pad = "    ".repeat(depth);
+    for stmt in block {
+        match stmt {
+            Stmt::Assign { dst, src } => {
+                let _ = writeln!(out, "{pad}{} = {};", var_name(method, *dst), var_name(method, *src));
+            }
+            Stmt::New { dst, class, site } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = new {}(); // {site}",
+                    var_name(method, *dst),
+                    program.class(*class).name()
+                );
+            }
+            Stmt::NewArray { dst, len, site } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = new Object[{}]; // {site}",
+                    var_name(method, *dst),
+                    var_name(method, *len)
+                );
+            }
+            Stmt::Store { obj, field, src } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{}.{} = {};",
+                    var_name(method, *obj),
+                    program.field(*field).name(),
+                    var_name(method, *src)
+                );
+            }
+            Stmt::Load { dst, obj, field } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {}.{};",
+                    var_name(method, *dst),
+                    var_name(method, *obj),
+                    program.field(*field).name()
+                );
+            }
+            Stmt::ArrayStore { arr, index, src } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{}[{}] = {};",
+                    var_name(method, *arr),
+                    var_name(method, *index),
+                    var_name(method, *src)
+                );
+            }
+            Stmt::ArrayLoad { dst, arr, index } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {}[{}];",
+                    var_name(method, *dst),
+                    var_name(method, *arr),
+                    var_name(method, *index)
+                );
+            }
+            Stmt::ArrayLen { dst, arr } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {}.length;",
+                    var_name(method, *dst),
+                    var_name(method, *arr)
+                );
+            }
+            Stmt::Call { dst, method: target, recv, args } => {
+                let args: Vec<String> = args.iter().map(|&a| var_name(method, a)).collect();
+                let recv = recv.map(|r| format!("{}.", var_name(method, r))).unwrap_or_default();
+                let dst = dst.map(|d| format!("{} = ", var_name(method, d))).unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{pad}{dst}{recv}{}({});",
+                    program.qualified_name(*target),
+                    args.join(", ")
+                );
+            }
+            Stmt::Const { dst, value, .. } => {
+                let _ = writeln!(out, "{pad}{} = {};", var_name(method, *dst), value);
+            }
+            Stmt::Bin { dst, op, a, b } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {} {} {};",
+                    var_name(method, *dst),
+                    var_name(method, *a),
+                    op,
+                    var_name(method, *b)
+                );
+            }
+            Stmt::RefEq { dst, a, b } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = ({} == {});",
+                    var_name(method, *dst),
+                    var_name(method, *a),
+                    var_name(method, *b)
+                );
+            }
+            Stmt::IsNull { dst, a } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = ({} == null);",
+                    var_name(method, *dst),
+                    var_name(method, *a)
+                );
+            }
+            Stmt::Not { dst, a } => {
+                let _ = writeln!(out, "{pad}{} = !{};", var_name(method, *dst), var_name(method, *a));
+            }
+            Stmt::If { cond, then, els } => {
+                let _ = writeln!(out, "{pad}if ({}) {{", var_name(method, *cond));
+                write_block(out, program, method, then, depth + 1);
+                if !els.is_empty() {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    write_block(out, program, method, els, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::While { header, cond, body } => {
+                let _ = writeln!(out, "{pad}while (/* header below */ {}) {{", var_name(method, *cond));
+                write_block(out, program, method, header, depth + 1);
+                write_block(out, program, method, body, depth + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Return { var } => {
+                match var {
+                    Some(v) => {
+                        let _ = writeln!(out, "{pad}return {};", var_name(method, *v));
+                    }
+                    None => {
+                        let _ = writeln!(out, "{pad}return;");
+                    }
+                }
+            }
+            Stmt::Throw { message } => {
+                let _ = writeln!(out, "{pad}throw new RuntimeException({message:?});");
+            }
+        }
+    }
+}
+
+/// Counts "Jimple lines of code": one line per IR statement (recursing into
+/// nested blocks), plus one per method signature and one per field.  This is
+/// the size metric reported for the benchmark apps in Figure 8.
+pub fn jimple_loc(program: &Program) -> usize {
+    let mut loc = 0;
+    for class in program.classes() {
+        loc += 1; // class header
+        loc += class.fields().len();
+        for &m in class.methods() {
+            loc += 1; // method signature
+            let method = program.method(m);
+            crate::stmt::visit_block(method.body(), &mut |_| loc += 1);
+        }
+    }
+    loc
+}
+
+/// Counts Jimple LoC restricted to non-library (client) classes: the metric
+/// used when reporting app sizes.
+pub fn jimple_loc_client(program: &Program) -> usize {
+    let mut loc = 0;
+    for class in program.classes().filter(|c| !c.is_library()) {
+        loc += 1;
+        loc += class.fields().len();
+        for &m in class.methods() {
+            loc += 1;
+            let method = program.method(m);
+            crate::stmt::visit_block(method.body(), &mut |_| loc += 1);
+        }
+    }
+    loc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::BinOp;
+    use crate::types::Type;
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.class("Object").build();
+        let mut c = pb.class("Box");
+        c.library(true);
+        c.field("f", Type::object());
+        let mut set = c.method("set");
+        let this = set.this();
+        let ob = set.param("ob", Type::object());
+        set.store(this, "f", ob);
+        set.ret(None);
+        set.finish();
+        let mut get = c.method("get");
+        get.returns(Type::object());
+        let this = get.this();
+        let r = get.local("r", Type::object());
+        get.load(r, this, "f");
+        get.ret(Some(r));
+        get.finish();
+        c.build();
+        let mut main = pb.class("Main");
+        let mut m = main.static_method("test");
+        m.returns(Type::Bool);
+        let in_v = m.local("in", Type::object());
+        let box_v = m.local("box", Type::class("Box"));
+        let out = m.local("out", Type::object());
+        let eq = m.local("eq", Type::Bool);
+        let obj = m.cref("Object");
+        let boxc = m.cref("Box");
+        m.new_object(in_v, obj);
+        m.new_object(box_v, boxc);
+        let set = m.mref("Box", "set");
+        let get = m.mref("Box", "get");
+        m.call(None, set, Some(box_v), &[in_v]);
+        m.call(Some(out), get, Some(box_v), &[]);
+        m.ref_eq(eq, in_v, out);
+        let one = m.local("one", Type::Int);
+        m.const_int(one, 1);
+        m.bin(one, BinOp::Add, one, one);
+        m.ret(Some(eq));
+        m.finish();
+        main.build();
+        pb.build()
+    }
+
+    #[test]
+    fn pretty_print_contains_expected_lines() {
+        let p = sample();
+        let text = program_to_string(&p);
+        assert!(text.contains("class Box"), "{text}");
+        assert!(text.contains("this.f = ob;"), "{text}");
+        assert!(text.contains("out = Box.get();") || text.contains("out = box.Box.get();"), "{text}");
+        assert!(text.contains("eq = (in == out);"), "{text}");
+        assert!(text.contains("/* library */"), "{text}");
+    }
+
+    #[test]
+    fn loc_counts() {
+        let p = sample();
+        let total = jimple_loc(&p);
+        let client = jimple_loc_client(&p);
+        assert!(total > client);
+        assert!(client >= 10, "client loc {client}");
+        // Object class contributes 1 line (header) to total.
+        assert!(total >= client + 1);
+    }
+}

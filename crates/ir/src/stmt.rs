@@ -1,0 +1,245 @@
+//! Statements of the mini-Java IR.
+//!
+//! The points-to-relevant statements mirror Figure 2 of the paper exactly
+//! (`Assign`, `New`, `Store`, `Load`, calls).  The remaining statement forms
+//! (constants, arithmetic, branching, loops) only matter to the concrete
+//! interpreter; the static analysis either ignores them or recurses into
+//! their nested blocks.
+
+use crate::method::Var;
+use crate::program::{ClassId, FieldId, MethodId};
+use std::fmt;
+
+/// A constant value that can be written into a variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constant {
+    /// The `null` reference.
+    Null,
+    /// An integer literal.
+    Int(i64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A character literal.
+    Char(char),
+    /// A string literal (allocates an abstract `String` object).
+    Str(String),
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Null => write!(f, "null"),
+            Constant::Int(v) => write!(f, "{v}"),
+            Constant::Bool(v) => write!(f, "{v}"),
+            Constant::Char(c) => write!(f, "'{c}'"),
+            Constant::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Binary operators over primitive values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqInt,
+    NeInt,
+    And,
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::EqInt => "==",
+            BinOp::NeInt => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An allocation site: a `New`/`NewArray`/`Const(Str)` statement, identified
+/// by the method that contains it and a per-method counter.  Allocation
+/// sites are the abstract objects `o ∈ O` of the points-to analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AllocSite {
+    /// Method containing the allocation.
+    pub method: MethodId,
+    /// Index of the allocation within the method (in order of construction).
+    pub index: u32,
+}
+
+impl fmt::Display for AllocSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}@m{}", self.index, self.method.index())
+    }
+}
+
+/// A single IR statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `dst = src` (copy of a reference or primitive value).
+    Assign { dst: Var, src: Var },
+    /// `dst = new C()` — allocation of a fresh object of class `class` at
+    /// allocation site `site`.  Constructor calls are separate `Call`s.
+    New { dst: Var, class: ClassId, site: AllocSite },
+    /// `dst = new T[len]` — allocation of a fresh array object.
+    NewArray { dst: Var, len: Var, site: AllocSite },
+    /// `obj.field = src`.
+    Store { obj: Var, field: FieldId, src: Var },
+    /// `dst = obj.field`.
+    Load { dst: Var, obj: Var, field: FieldId },
+    /// `arr[index] = src`.  Statically collapsed to `arr.$elems = src`.
+    ArrayStore { arr: Var, index: Var, src: Var },
+    /// `dst = arr[index]`.  Statically collapsed to `dst = arr.$elems`.
+    ArrayLoad { dst: Var, arr: Var, index: Var },
+    /// `dst = recv.m(args)` / `dst = m(args)` — statically-resolved call.
+    Call {
+        dst: Option<Var>,
+        method: MethodId,
+        recv: Option<Var>,
+        args: Vec<Var>,
+    },
+    /// `dst = constant`.
+    Const { dst: Var, value: Constant, site: Option<AllocSite> },
+    /// `dst = a <op> b` over primitives.
+    Bin { dst: Var, op: BinOp, a: Var, b: Var },
+    /// `dst = (a == b)` — reference identity comparison (the observation
+    /// returned by synthesized unit tests).
+    RefEq { dst: Var, a: Var, b: Var },
+    /// `dst = (a == null)`.
+    IsNull { dst: Var, a: Var },
+    /// `dst = !a` over booleans.
+    Not { dst: Var, a: Var },
+    /// `dst = arr.length`.
+    ArrayLen { dst: Var, arr: Var },
+    /// `if (cond) { then } else { els }`.
+    If { cond: Var, then: Vec<Stmt>, els: Vec<Stmt> },
+    /// `while (cond) { body }` where `header` recomputes `cond` before each
+    /// iteration (and once before the first).
+    While { header: Vec<Stmt>, cond: Var, body: Vec<Stmt> },
+    /// `return var` / `return`.
+    Return { var: Option<Var> },
+    /// `throw` — models raising an exception; the interpreter aborts the
+    /// current unit test with a failure, the static analysis ignores it.
+    Throw { message: String },
+}
+
+impl Stmt {
+    /// Visits this statement and all statements nested inside `If`/`While`
+    /// blocks, in order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::If { then, els, .. } => {
+                for s in then {
+                    s.visit(f);
+                }
+                for s in els {
+                    s.visit(f);
+                }
+            }
+            Stmt::While { header, body, .. } => {
+                for s in header {
+                    s.visit(f);
+                }
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Returns `true` if the statement is points-to relevant (appears in
+    /// Figure 2 of the paper), i.e. contributes edges to the extracted graph.
+    pub fn is_points_to_relevant(&self) -> bool {
+        matches!(
+            self,
+            Stmt::Assign { .. }
+                | Stmt::New { .. }
+                | Stmt::NewArray { .. }
+                | Stmt::Store { .. }
+                | Stmt::Load { .. }
+                | Stmt::ArrayStore { .. }
+                | Stmt::ArrayLoad { .. }
+                | Stmt::Call { .. }
+                | Stmt::Return { .. }
+        )
+    }
+}
+
+/// Visits every statement in a block, recursing into nested blocks.
+pub fn visit_block<'a>(block: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in block {
+        s.visit(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::MethodId;
+
+    fn var(i: u32) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn visit_recurses_into_blocks() {
+        let inner = Stmt::Assign { dst: var(0), src: var(1) };
+        let stmt = Stmt::If {
+            cond: var(2),
+            then: vec![inner.clone()],
+            els: vec![Stmt::While {
+                header: vec![],
+                cond: var(2),
+                body: vec![inner.clone()],
+            }],
+        };
+        let mut count = 0;
+        stmt.visit(&mut |_| count += 1);
+        // if + assign + while + assign
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn points_to_relevance() {
+        assert!(Stmt::Assign { dst: var(0), src: var(1) }.is_points_to_relevant());
+        assert!(!Stmt::Bin { dst: var(0), op: BinOp::Add, a: var(1), b: var(2) }
+            .is_points_to_relevant());
+        assert!(!Stmt::Throw { message: "x".into() }.is_points_to_relevant());
+    }
+
+    #[test]
+    fn alloc_site_display() {
+        let site = AllocSite { method: MethodId::from_index(3), index: 7 };
+        assert_eq!(site.to_string(), "o7@m3");
+    }
+
+    #[test]
+    fn constant_display() {
+        assert_eq!(Constant::Null.to_string(), "null");
+        assert_eq!(Constant::Int(42).to_string(), "42");
+        assert_eq!(Constant::Bool(true).to_string(), "true");
+        assert_eq!(Constant::Char('a').to_string(), "'a'");
+    }
+}

@@ -1,0 +1,100 @@
+//! Types in the mini-Java IR.
+
+use std::fmt;
+
+/// A (very small) type system: reference types named by class, plus the
+/// primitive types needed by the modeled library.
+///
+/// The static points-to analysis ignores types entirely; they exist so that
+/// the unit-test synthesizer (`atlas-synth`) knows which holes hold reference
+/// values and which hold primitives, and so the interpreter can default
+/// initialize primitives.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A reference to an instance of the named class.
+    Object(String),
+    /// A reference to an array whose elements have the given type.
+    Array(Box<Type>),
+    /// 64-bit signed integer (models Java `int`/`long`).
+    Int,
+    /// Boolean.
+    Bool,
+    /// Character (models Java `char`).
+    Char,
+    /// No value (used as the return type of `void` methods).
+    Void,
+}
+
+impl Type {
+    /// The root reference type, `Object`.
+    pub fn object() -> Type {
+        Type::Object("Object".to_string())
+    }
+
+    /// A reference type with the given class name.
+    pub fn class(name: impl Into<String>) -> Type {
+        Type::Object(name.into())
+    }
+
+    /// An array of `Object` references.
+    pub fn object_array() -> Type {
+        Type::Array(Box::new(Type::object()))
+    }
+
+    /// Returns `true` if values of this type are references (objects or
+    /// arrays), i.e. participate in the points-to analysis.
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Type::Object(_) | Type::Array(_))
+    }
+
+    /// Returns `true` for primitive value types (`Int`, `Bool`, `Char`).
+    pub fn is_primitive(&self) -> bool {
+        matches!(self, Type::Int | Type::Bool | Type::Char)
+    }
+
+    /// Returns the class name if this is an object type.
+    pub fn class_name(&self) -> Option<&str> {
+        match self {
+            Type::Object(name) => Some(name),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Object(name) => write!(f, "{name}"),
+            Type::Array(elem) => write!(f, "{elem}[]"),
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "boolean"),
+            Type::Char => write!(f, "char"),
+            Type::Void => write!(f, "void"),
+        }
+    }
+}
+
+impl Default for Type {
+    fn default() -> Self {
+        Type::Void
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_predicates() {
+        assert_eq!(Type::object().to_string(), "Object");
+        assert_eq!(Type::object_array().to_string(), "Object[]");
+        assert_eq!(Type::Int.to_string(), "int");
+        assert!(Type::object().is_reference());
+        assert!(Type::object_array().is_reference());
+        assert!(!Type::Int.is_reference());
+        assert!(Type::Int.is_primitive());
+        assert!(!Type::Void.is_primitive());
+        assert_eq!(Type::class("Box").class_name(), Some("Box"));
+        assert_eq!(Type::Int.class_name(), None);
+    }
+}

@@ -1,0 +1,169 @@
+//! Android-flavoured framework classes used by the information-flow client:
+//! sources of sensitive data (device id, location, contacts, SMS inbox) and
+//! sinks (SMS sending, HTTP upload, logging).
+//!
+//! The benchmark apps of the paper are Android apps leaking location,
+//! contacts, phone identifiers and SMS messages; these classes let the
+//! synthetic benchmark apps of `atlas-apps` exhibit the same source→sink
+//! flows through the modeled collections.
+
+use atlas_ir::builder::ProgramBuilder;
+use atlas_ir::Type;
+
+/// Qualified names of the information *sources* (their return values are
+/// sensitive).
+pub const SOURCE_METHODS: &[&str] = &[
+    "TelephonyManager.getDeviceId",
+    "TelephonyManager.getSubscriberId",
+    "LocationManager.getLastKnownLocation",
+    "ContactsProvider.getContacts",
+    "SmsInbox.getMessages",
+];
+
+/// Qualified names of the information *sinks* (their first argument leaks).
+pub const SINK_METHODS: &[&str] = &[
+    "SmsManager.sendTextMessage",
+    "HttpClient.post",
+    "Logger.leak",
+];
+
+/// Installs the Android-flavoured classes.
+pub fn install(pb: &mut ProgramBuilder) {
+    // --- Data classes -----------------------------------------------------
+    let mut location = pb.class("Location");
+    location.library(true);
+    location.field("provider", Type::class("String"));
+    let mut init = location.constructor();
+    init.this();
+    init.finish();
+    location.build();
+
+    let mut contact = pb.class("Contact");
+    contact.library(true);
+    contact.field("name", Type::class("String"));
+    let mut init = contact.constructor();
+    init.this();
+    init.finish();
+    contact.build();
+
+    let mut sms = pb.class("SmsMessage");
+    sms.library(true);
+    sms.field("body", Type::class("String"));
+    let mut init = sms.constructor();
+    init.this();
+    init.finish();
+    sms.build();
+
+    // --- Sources ----------------------------------------------------------
+    let mut tm = pb.class("TelephonyManager");
+    tm.library(true);
+    let mut init = tm.constructor();
+    init.this();
+    init.finish();
+    for name in ["getDeviceId", "getSubscriberId"] {
+        let mut m = tm.method(name);
+        m.returns(Type::class("String"));
+        m.this();
+        let out = m.local("out", Type::class("String"));
+        let string = m.cref("String");
+        m.new_object(out, string);
+        m.ret(Some(out));
+        m.finish();
+    }
+    tm.build();
+
+    let mut lm = pb.class("LocationManager");
+    lm.library(true);
+    let mut init = lm.constructor();
+    init.this();
+    init.finish();
+    let mut gl = lm.method("getLastKnownLocation");
+    gl.returns(Type::class("Location"));
+    gl.this();
+    gl.param("provider", Type::class("String"));
+    let out = gl.local("out", Type::class("Location"));
+    let location_class = gl.cref("Location");
+    gl.new_object(out, location_class);
+    gl.ret(Some(out));
+    gl.finish();
+    lm.build();
+
+    let mut cp = pb.class("ContactsProvider");
+    cp.library(true);
+    let mut init = cp.constructor();
+    init.this();
+    init.finish();
+    let mut gc = cp.method("getContacts");
+    gc.returns(Type::class("ArrayList"));
+    gc.this();
+    let out = gc.local("out", Type::class("ArrayList"));
+    let c0 = gc.local("c0", Type::class("Contact"));
+    let list = gc.cref("ArrayList");
+    let contact_class = gc.cref("Contact");
+    gc.new_object(out, list);
+    let list_ctor = gc.mref("ArrayList", "<init>");
+    let list_add = gc.mref("ArrayList", "add");
+    gc.call(None, list_ctor, Some(out), &[]);
+    gc.new_object(c0, contact_class);
+    gc.call(None, list_add, Some(out), &[c0]);
+    gc.ret(Some(out));
+    gc.finish();
+    cp.build();
+
+    let mut inbox = pb.class("SmsInbox");
+    inbox.library(true);
+    let mut init = inbox.constructor();
+    init.this();
+    init.finish();
+    let mut gm = inbox.method("getMessages");
+    gm.returns(Type::class("ArrayList"));
+    gm.this();
+    let out = gm.local("out", Type::class("ArrayList"));
+    let m0 = gm.local("m0", Type::class("SmsMessage"));
+    let list = gm.cref("ArrayList");
+    let sms_class = gm.cref("SmsMessage");
+    gm.new_object(out, list);
+    let list_ctor = gm.mref("ArrayList", "<init>");
+    let list_add = gm.mref("ArrayList", "add");
+    gm.call(None, list_ctor, Some(out), &[]);
+    gm.new_object(m0, sms_class);
+    gm.call(None, list_add, Some(out), &[m0]);
+    gm.ret(Some(out));
+    gm.finish();
+    inbox.build();
+
+    // --- Sinks ------------------------------------------------------------
+    let mut sm = pb.class("SmsManager");
+    sm.library(true);
+    let mut init = sm.constructor();
+    init.this();
+    init.finish();
+    let mut send = sm.method("sendTextMessage");
+    send.this();
+    send.param("payload", Type::object());
+    send.param("destination", Type::class("String"));
+    send.finish();
+    sm.build();
+
+    let mut http = pb.class("HttpClient");
+    http.library(true);
+    let mut init = http.constructor();
+    init.this();
+    init.finish();
+    let mut post = http.method("post");
+    post.this();
+    post.param("payload", Type::object());
+    post.finish();
+    http.build();
+
+    let mut log = pb.class("Logger");
+    log.library(true);
+    let mut init = log.constructor();
+    init.this();
+    init.finish();
+    let mut leak = log.method("leak");
+    leak.this();
+    leak.param("payload", Type::object());
+    leak.finish();
+    log.build();
+}

@@ -1,0 +1,307 @@
+//! Models of `java.lang` (and a few `java.util` helpers): `Object`,
+//! `String`, `StringBuilder`, `Integer`, `System`, `Math`, `Arrays`,
+//! `Optional` and a simple map `Entry`.
+//!
+//! These are the foundation classes every other modeled class builds on.
+//! `System.arraycopy`, `Arrays.copyOf` and the hash-code functions are
+//! *native* (interpreter builtins, invisible to the static analysis), which
+//! reproduces one of the core difficulties motivating the paper.
+
+use atlas_ir::builder::ProgramBuilder;
+use atlas_ir::Type;
+
+/// Installs the `java.lang`-style classes into the program builder.
+pub fn install(pb: &mut ProgramBuilder) {
+    install_object(pb);
+    install_system_and_math(pb);
+    install_string(pb);
+    install_string_builder(pb);
+    install_integer(pb);
+    install_arrays(pb);
+    install_optional(pb);
+    install_entry(pb);
+}
+
+fn install_object(pb: &mut ProgramBuilder) {
+    let mut c = pb.class("Object");
+    c.library(true);
+    let mut init = c.constructor();
+    init.this();
+    init.finish();
+    let mut hash = c.method("hashCode");
+    hash.returns(Type::Int);
+    hash.native(true);
+    hash.this();
+    hash.finish();
+    let mut eq = c.method("equals");
+    eq.returns(Type::Bool);
+    let this = eq.this();
+    let other = eq.param("other", Type::object());
+    let r = eq.local("r", Type::Bool);
+    eq.ref_eq(r, this, other);
+    eq.ret(Some(r));
+    eq.finish();
+    c.build();
+}
+
+fn install_system_and_math(pb: &mut ProgramBuilder) {
+    let mut sys = pb.class("System");
+    sys.library(true);
+    let mut ac = sys.static_method("arraycopy");
+    ac.native(true);
+    ac.public(false); // not part of the spec-inference interface
+    ac.param("src", Type::object_array());
+    ac.param("srcPos", Type::Int);
+    ac.param("dest", Type::object_array());
+    ac.param("destPos", Type::Int);
+    ac.param("length", Type::Int);
+    ac.finish();
+    let mut ih = sys.static_method("identityHashCode");
+    ih.native(true);
+    ih.public(false);
+    ih.returns(Type::Int);
+    ih.param("x", Type::object());
+    ih.finish();
+    sys.build();
+
+    let mut math = pb.class("Math");
+    math.library(true);
+    let mut max = math.static_method("max");
+    max.native(true);
+    max.public(false);
+    max.returns(Type::Int);
+    max.param("a", Type::Int);
+    max.param("b", Type::Int);
+    max.finish();
+    let mut min = math.static_method("min");
+    min.native(true);
+    min.public(false);
+    min.returns(Type::Int);
+    min.param("a", Type::Int);
+    min.param("b", Type::Int);
+    min.finish();
+    math.build();
+}
+
+fn install_string(pb: &mut ProgramBuilder) {
+    let mut c = pb.class("String");
+    c.library(true);
+    c.field("chars", Type::object());
+    let mut init = c.constructor();
+    init.this();
+    init.finish();
+    // String.concat(String other) -> new String
+    let mut concat = c.method("concat");
+    concat.returns(Type::class("String"));
+    concat.this();
+    concat.param("other", Type::class("String"));
+    let out = concat.local("out", Type::class("String"));
+    let string_class = concat.cref("String");
+    concat.new_object(out, string_class);
+    concat.ret(Some(out));
+    concat.finish();
+    // String.length()
+    let mut len = c.method("length");
+    len.returns(Type::Int);
+    len.this();
+    let zero = len.local("zero", Type::Int);
+    len.const_int(zero, 0);
+    len.ret(Some(zero));
+    len.finish();
+    c.build();
+}
+
+fn install_string_builder(pb: &mut ProgramBuilder) {
+    let mut c = pb.class("StringBuilder");
+    c.library(true);
+    c.field("parts", Type::object_array());
+    c.field("count", Type::Int);
+    let mut init = c.constructor();
+    let this = init.this();
+    let cap = init.local("cap", Type::Int);
+    init.const_int(cap, 8);
+    let arr = init.local("arr", Type::object_array());
+    init.new_array(arr, cap);
+    init.store(this, "parts", arr);
+    let zero = init.local("zero", Type::Int);
+    init.const_int(zero, 0);
+    init.store(this, "count", zero);
+    init.finish();
+    // append(Object part) -> StringBuilder (returns this)
+    let mut append = c.method("append");
+    append.returns(Type::class("StringBuilder"));
+    let this = append.this();
+    let part = append.param("part", Type::object());
+    let arr = append.local("arr", Type::object_array());
+    let count = append.local("count", Type::Int);
+    append.load(arr, this, "parts");
+    append.load(count, this, "count");
+    append.array_store(arr, count, part);
+    let one = append.local("one", Type::Int);
+    append.const_int(one, 1);
+    append.bin(count, atlas_ir::BinOp::Add, count, one);
+    append.store(this, "count", count);
+    append.ret(Some(this));
+    append.finish();
+    // toString() -> String (fresh)
+    let mut ts = c.method("toString");
+    ts.returns(Type::class("String"));
+    ts.this();
+    let out = ts.local("out", Type::class("String"));
+    let string_class = ts.cref("String");
+    ts.new_object(out, string_class);
+    ts.ret(Some(out));
+    ts.finish();
+    c.build();
+}
+
+fn install_integer(pb: &mut ProgramBuilder) {
+    let mut c = pb.class("Integer");
+    c.library(true);
+    c.field("value", Type::Int);
+    let mut init = c.constructor();
+    let this = init.this();
+    let v = init.param("value", Type::Int);
+    init.store(this, "value", v);
+    init.finish();
+    let mut value_of = c.static_method("valueOf");
+    value_of.returns(Type::class("Integer"));
+    let v = value_of.param("value", Type::Int);
+    let out = value_of.local("out", Type::class("Integer"));
+    let integer = value_of.cref("Integer");
+    value_of.new_object(out, integer);
+    let ctor = value_of.mref("Integer", "<init>");
+    value_of.call(None, ctor, Some(out), &[v]);
+    value_of.ret(Some(out));
+    value_of.finish();
+    let mut int_value = c.method("intValue");
+    int_value.returns(Type::Int);
+    let this = int_value.this();
+    let v = int_value.local("v", Type::Int);
+    int_value.load(v, this, "value");
+    int_value.ret(Some(v));
+    int_value.finish();
+    c.build();
+}
+
+fn install_arrays(pb: &mut ProgramBuilder) {
+    let mut c = pb.class("Arrays");
+    c.library(true);
+    let mut copy_of = c.static_method("copyOf");
+    copy_of.native(true);
+    copy_of.public(false);
+    copy_of.returns(Type::object_array());
+    copy_of.param("original", Type::object_array());
+    copy_of.param("newLength", Type::Int);
+    copy_of.finish();
+    // Arrays.asList(array) -> ArrayList
+    let mut as_list = c.static_method("asList");
+    as_list.returns(Type::class("ArrayList"));
+    let arr = as_list.param("array", Type::object_array());
+    let out = as_list.local("out", Type::class("ArrayList"));
+    let list = as_list.cref("ArrayList");
+    as_list.new_object(out, list);
+    let ctor = as_list.mref("ArrayList", "<init>");
+    as_list.call(None, ctor, Some(out), &[]);
+    // Copy elements one by one.
+    let i = as_list.local("i", Type::Int);
+    let n = as_list.local("n", Type::Int);
+    let cond = as_list.local("cond", Type::Bool);
+    let one = as_list.local("one", Type::Int);
+    let e = as_list.local("e", Type::object());
+    as_list.const_int(i, 0);
+    as_list.const_int(one, 1);
+    as_list.array_len(n, arr);
+    let add = as_list.mref("ArrayList", "add");
+    as_list.while_stmt(
+        |m| {
+            m.bin(cond, atlas_ir::BinOp::Lt, i, n);
+            cond
+        },
+        |m| {
+            m.array_load(e, arr, i);
+            m.call(None, add, Some(out), &[e]);
+            m.bin(i, atlas_ir::BinOp::Add, i, one);
+        },
+    );
+    as_list.ret(Some(out));
+    as_list.finish();
+    c.build();
+}
+
+fn install_optional(pb: &mut ProgramBuilder) {
+    let mut c = pb.class("Optional");
+    c.library(true);
+    c.field("value", Type::object());
+    let mut init = c.constructor();
+    init.this();
+    init.finish();
+    let mut of = c.static_method("of");
+    of.returns(Type::class("Optional"));
+    let v = of.param("value", Type::object());
+    let out = of.local("out", Type::class("Optional"));
+    let opt = of.cref("Optional");
+    of.new_object(out, opt);
+    of.store(out, "value", v);
+    of.ret(Some(out));
+    of.finish();
+    let mut get = c.method("get");
+    get.returns(Type::object());
+    let this = get.this();
+    let v = get.local("v", Type::object());
+    get.load(v, this, "value");
+    let isnull = get.local("isnull", Type::Bool);
+    get.is_null(isnull, v);
+    get.if_then(isnull, |m| m.throw("NoSuchElementException"));
+    get.ret(Some(v));
+    get.finish();
+    let mut or_else = c.method("orElse");
+    or_else.returns(Type::object());
+    let this = or_else.this();
+    let other = or_else.param("other", Type::object());
+    let v = or_else.local("v", Type::object());
+    or_else.load(v, this, "value");
+    let isnull = or_else.local("isnull", Type::Bool);
+    or_else.is_null(isnull, v);
+    or_else.if_stmt(isnull, |m| m.ret(Some(other)), |m| m.ret(Some(v)));
+    or_else.finish();
+    c.build();
+}
+
+fn install_entry(pb: &mut ProgramBuilder) {
+    let mut c = pb.class("Entry");
+    c.library(true);
+    c.field("key", Type::object());
+    c.field("value", Type::object());
+    let mut init = c.constructor();
+    let this = init.this();
+    let k = init.param("key", Type::object());
+    let v = init.param("value", Type::object());
+    init.store(this, "key", k);
+    init.store(this, "value", v);
+    init.finish();
+    let mut get_key = c.method("getKey");
+    get_key.returns(Type::object());
+    let this = get_key.this();
+    let k = get_key.local("k", Type::object());
+    get_key.load(k, this, "key");
+    get_key.ret(Some(k));
+    get_key.finish();
+    let mut get_value = c.method("getValue");
+    get_value.returns(Type::object());
+    let this = get_value.this();
+    let v = get_value.local("v", Type::object());
+    get_value.load(v, this, "value");
+    get_value.ret(Some(v));
+    get_value.finish();
+    let mut set_value = c.method("setValue");
+    set_value.returns(Type::object());
+    let this = set_value.this();
+    let v = set_value.param("value", Type::object());
+    let old = set_value.local("old", Type::object());
+    set_value.load(old, this, "value");
+    set_value.store(this, "value", v);
+    set_value.ret(Some(old));
+    set_value.finish();
+    c.build();
+}

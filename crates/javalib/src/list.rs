@@ -1,0 +1,1076 @@
+//! Models of the list classes: `ArrayList` (array-backed, with iterator and
+//! sublist), `Vector` (deep call hierarchy ending in native
+//! `System.arraycopy`, as highlighted in the paper's introduction), `Stack`
+//! (extends `Vector`) and `LinkedList` (node-based, with iterator).
+
+use atlas_ir::builder::ProgramBuilder;
+use atlas_ir::{BinOp, Type};
+
+/// Installs the list classes.
+pub fn install(pb: &mut ProgramBuilder) {
+    install_array_list(pb);
+    install_array_list_iterator(pb);
+    install_vector(pb);
+    install_stack(pb);
+    install_linked_list(pb);
+    install_linked_list_iterator(pb);
+}
+
+fn install_array_list(pb: &mut ProgramBuilder) {
+    let object = pb.declare_class("Object");
+    let mut c = pb.class("ArrayList");
+    c.library(true);
+    c.extends(object);
+    c.field("elementData", Type::object_array());
+    c.field("size", Type::Int);
+
+    // <init>()
+    let mut init = c.constructor();
+    let this = init.this();
+    let cap = init.local("cap", Type::Int);
+    init.const_int(cap, 10);
+    let arr = init.local("arr", Type::object_array());
+    init.new_array(arr, cap);
+    init.store(this, "elementData", arr);
+    let zero = init.local("zero", Type::Int);
+    init.const_int(zero, 0);
+    init.store(this, "size", zero);
+    init.finish();
+
+    // ensureCapacityInternal(int minCapacity)  [internal]
+    let mut ensure = c.method("ensureCapacityInternal");
+    ensure.public(false);
+    let this = ensure.this();
+    let min_cap = ensure.param("minCapacity", Type::Int);
+    let arr = ensure.local("arr", Type::object_array());
+    let len = ensure.local("len", Type::Int);
+    let need = ensure.local("need", Type::Bool);
+    ensure.load(arr, this, "elementData");
+    ensure.array_len(len, arr);
+    ensure.bin(need, BinOp::Gt, min_cap, len);
+    let grow = ensure.mref("ArrayList", "grow");
+    ensure.if_then(need, |m| {
+        m.call(None, grow, Some(this), &[min_cap]);
+    });
+    ensure.finish();
+
+    // grow(int minCapacity)  [internal]
+    let mut grow = c.method("grow");
+    grow.public(false);
+    let this = grow.this();
+    let min_cap = grow.param("minCapacity", Type::Int);
+    let arr = grow.local("arr", Type::object_array());
+    let len = grow.local("len", Type::Int);
+    let new_cap = grow.local("newCap", Type::Int);
+    let two = grow.local("two", Type::Int);
+    let small = grow.local("small", Type::Bool);
+    grow.load(arr, this, "elementData");
+    grow.array_len(len, arr);
+    grow.const_int(two, 2);
+    grow.bin(new_cap, BinOp::Mul, len, two);
+    grow.bin(small, BinOp::Lt, new_cap, min_cap);
+    grow.if_then(small, |m| m.assign(new_cap, min_cap));
+    let copy_of = grow.mref("Arrays", "copyOf");
+    let new_arr = grow.local("newArr", Type::object_array());
+    grow.call(Some(new_arr), copy_of, None, &[arr, new_cap]);
+    grow.store(this, "elementData", new_arr);
+    grow.finish();
+
+    // rangeCheck(int index)  [internal]
+    let mut check = c.method("rangeCheck");
+    check.public(false);
+    let this = check.this();
+    let index = check.param("index", Type::Int);
+    let size = check.local("size", Type::Int);
+    let bad = check.local("bad", Type::Bool);
+    let neg = check.local("neg", Type::Bool);
+    let zero = check.local("zero", Type::Int);
+    check.load(size, this, "size");
+    check.bin(bad, BinOp::Ge, index, size);
+    check.if_then(bad, |m| m.throw("IndexOutOfBoundsException"));
+    check.const_int(zero, 0);
+    check.bin(neg, BinOp::Lt, index, zero);
+    check.if_then(neg, |m| m.throw("IndexOutOfBoundsException"));
+    check.finish();
+
+    // boolean add(Object e)
+    let mut add = c.method("add");
+    add.returns(Type::Bool);
+    let this = add.this();
+    let e = add.param("e", Type::object());
+    let size = add.local("size", Type::Int);
+    let one = add.local("one", Type::Int);
+    let min_cap = add.local("minCap", Type::Int);
+    let arr = add.local("arr", Type::object_array());
+    let t = add.local("t", Type::Bool);
+    add.load(size, this, "size");
+    add.const_int(one, 1);
+    add.bin(min_cap, BinOp::Add, size, one);
+    let ensure = add.mref("ArrayList", "ensureCapacityInternal");
+    add.call(None, ensure, Some(this), &[min_cap]);
+    add.load(arr, this, "elementData");
+    add.array_store(arr, size, e);
+    add.store(this, "size", min_cap);
+    add.const_bool(t, true);
+    add.ret(Some(t));
+    add.finish();
+
+    // Object get(int index)
+    let mut get = c.method("get");
+    get.returns(Type::object());
+    let this = get.this();
+    let index = get.param("index", Type::Int);
+    let check = get.mref("ArrayList", "rangeCheck");
+    get.call(None, check, Some(this), &[index]);
+    let arr = get.local("arr", Type::object_array());
+    let out = get.local("out", Type::object());
+    get.load(arr, this, "elementData");
+    get.array_load(out, arr, index);
+    get.ret(Some(out));
+    get.finish();
+
+    // Object set(int index, Object e)
+    let mut set = c.method("set");
+    set.returns(Type::object());
+    let this = set.this();
+    let index = set.param("index", Type::Int);
+    let e = set.param("e", Type::object());
+    let check = set.mref("ArrayList", "rangeCheck");
+    set.call(None, check, Some(this), &[index]);
+    let arr = set.local("arr", Type::object_array());
+    let old = set.local("old", Type::object());
+    set.load(arr, this, "elementData");
+    set.array_load(old, arr, index);
+    set.array_store(arr, index, e);
+    set.ret(Some(old));
+    set.finish();
+
+    // Object remove(int index)
+    let mut remove = c.method("remove");
+    remove.returns(Type::object());
+    let this = remove.this();
+    let index = remove.param("index", Type::Int);
+    let check = remove.mref("ArrayList", "rangeCheck");
+    remove.call(None, check, Some(this), &[index]);
+    let arr = remove.local("arr", Type::object_array());
+    let old = remove.local("old", Type::object());
+    let size = remove.local("size", Type::Int);
+    let one = remove.local("one", Type::Int);
+    let moved = remove.local("moved", Type::Int);
+    let has_moved = remove.local("hasMoved", Type::Bool);
+    let from = remove.local("from", Type::Int);
+    let zero = remove.local("zero", Type::Int);
+    let nul = remove.local("nul", Type::object());
+    remove.load(arr, this, "elementData");
+    remove.array_load(old, arr, index);
+    remove.load(size, this, "size");
+    remove.const_int(one, 1);
+    remove.const_int(zero, 0);
+    remove.bin(moved, BinOp::Sub, size, index);
+    remove.bin(moved, BinOp::Sub, moved, one);
+    remove.bin(has_moved, BinOp::Gt, moved, zero);
+    let arraycopy = remove.mref("System", "arraycopy");
+    remove.if_then(has_moved, |m| {
+        m.bin(from, BinOp::Add, index, one);
+        m.call(None, arraycopy, None, &[arr, from, arr, index, moved]);
+    });
+    remove.bin(size, BinOp::Sub, size, one);
+    remove.store(this, "size", size);
+    remove.const_null(nul);
+    remove.array_store(arr, size, nul);
+    remove.ret(Some(old));
+    remove.finish();
+
+    // int size()
+    let mut size_m = c.method("size");
+    size_m.returns(Type::Int);
+    let this = size_m.this();
+    let s = size_m.local("s", Type::Int);
+    size_m.load(s, this, "size");
+    size_m.ret(Some(s));
+    size_m.finish();
+
+    // boolean isEmpty()
+    let mut is_empty = c.method("isEmpty");
+    is_empty.returns(Type::Bool);
+    let this = is_empty.this();
+    let s = is_empty.local("s", Type::Int);
+    let zero = is_empty.local("zero", Type::Int);
+    let r = is_empty.local("r", Type::Bool);
+    is_empty.load(s, this, "size");
+    is_empty.const_int(zero, 0);
+    is_empty.bin(r, BinOp::EqInt, s, zero);
+    is_empty.ret(Some(r));
+    is_empty.finish();
+
+    // void clear()
+    let mut clear = c.method("clear");
+    let this = clear.this();
+    let zero = clear.local("zero", Type::Int);
+    let cap = clear.local("cap", Type::Int);
+    let arr = clear.local("arr", Type::object_array());
+    clear.const_int(zero, 0);
+    clear.const_int(cap, 10);
+    clear.new_array(arr, cap);
+    clear.store(this, "elementData", arr);
+    clear.store(this, "size", zero);
+    clear.finish();
+
+    // int indexOf(Object e)
+    let mut index_of = c.method("indexOf");
+    index_of.returns(Type::Int);
+    let this = index_of.this();
+    let e = index_of.param("e", Type::object());
+    let i = index_of.local("i", Type::Int);
+    let n = index_of.local("n", Type::Int);
+    let one = index_of.local("one", Type::Int);
+    let cond = index_of.local("cond", Type::Bool);
+    let arr = index_of.local("arr", Type::object_array());
+    let cur = index_of.local("cur", Type::object());
+    let eq = index_of.local("eq", Type::Bool);
+    let minus_one = index_of.local("minusOne", Type::Int);
+    index_of.const_int(i, 0);
+    index_of.const_int(one, 1);
+    index_of.load(n, this, "size");
+    index_of.load(arr, this, "elementData");
+    index_of.while_stmt(
+        |m| {
+            m.bin(cond, BinOp::Lt, i, n);
+            cond
+        },
+        |m| {
+            m.array_load(cur, arr, i);
+            m.ref_eq(eq, cur, e);
+            m.if_then(eq, |m| m.ret(Some(i)));
+            m.bin(i, BinOp::Add, i, one);
+        },
+    );
+    index_of.const_int(minus_one, -1);
+    index_of.ret(Some(minus_one));
+    index_of.finish();
+
+    // boolean contains(Object e)
+    let mut contains = c.method("contains");
+    contains.returns(Type::Bool);
+    let this = contains.this();
+    let e = contains.param("e", Type::object());
+    let idx = contains.local("idx", Type::Int);
+    let zero = contains.local("zero", Type::Int);
+    let r = contains.local("r", Type::Bool);
+    let index_of = contains.mref("ArrayList", "indexOf");
+    contains.call(Some(idx), index_of, Some(this), &[e]);
+    contains.const_int(zero, 0);
+    contains.bin(r, BinOp::Ge, idx, zero);
+    contains.ret(Some(r));
+    contains.finish();
+
+    // boolean addAll(ArrayList other)
+    let mut add_all = c.method("addAll");
+    add_all.returns(Type::Bool);
+    let this = add_all.this();
+    let other = add_all.param("other", Type::class("ArrayList"));
+    let i = add_all.local("i", Type::Int);
+    let n = add_all.local("n", Type::Int);
+    let one = add_all.local("one", Type::Int);
+    let cond = add_all.local("cond", Type::Bool);
+    let e = add_all.local("e", Type::object());
+    let t = add_all.local("t", Type::Bool);
+    add_all.const_int(i, 0);
+    add_all.const_int(one, 1);
+    let size = add_all.mref("ArrayList", "size");
+    let get = add_all.mref("ArrayList", "get");
+    let add = add_all.mref("ArrayList", "add");
+    add_all.call(Some(n), size, Some(other), &[]);
+    add_all.while_stmt(
+        |m| {
+            m.bin(cond, BinOp::Lt, i, n);
+            cond
+        },
+        |m| {
+            m.call(Some(e), get, Some(other), &[i]);
+            m.call(None, add, Some(this), &[e]);
+            m.bin(i, BinOp::Add, i, one);
+        },
+    );
+    add_all.const_bool(t, true);
+    add_all.ret(Some(t));
+    add_all.finish();
+
+    // ArrayListIterator iterator()
+    let mut iterator = c.method("iterator");
+    iterator.returns(Type::class("ArrayListIterator"));
+    let this = iterator.this();
+    let it = iterator.local("it", Type::class("ArrayListIterator"));
+    let it_class = iterator.cref("ArrayListIterator");
+    iterator.new_object(it, it_class);
+    let it_init = iterator.mref("ArrayListIterator", "<init>");
+    iterator.call(None, it_init, Some(it), &[this]);
+    iterator.ret(Some(it));
+    iterator.finish();
+
+    // ArrayList subList(int from, int to)
+    let mut sub_list = c.method("subList");
+    sub_list.returns(Type::class("ArrayList"));
+    let this = sub_list.this();
+    let from = sub_list.param("fromIndex", Type::Int);
+    let to = sub_list.param("toIndex", Type::Int);
+    let out = sub_list.local("out", Type::class("ArrayList"));
+    let i = sub_list.local("i", Type::Int);
+    let one = sub_list.local("one", Type::Int);
+    let cond = sub_list.local("cond", Type::Bool);
+    let e = sub_list.local("e", Type::object());
+    let list = sub_list.cref("ArrayList");
+    sub_list.new_object(out, list);
+    let ctor = sub_list.mref("ArrayList", "<init>");
+    sub_list.call(None, ctor, Some(out), &[]);
+    sub_list.assign(i, from);
+    sub_list.const_int(one, 1);
+    let get = sub_list.mref("ArrayList", "get");
+    let add = sub_list.mref("ArrayList", "add");
+    sub_list.while_stmt(
+        |m| {
+            m.bin(cond, BinOp::Lt, i, to);
+            cond
+        },
+        |m| {
+            m.call(Some(e), get, Some(this), &[i]);
+            m.call(None, add, Some(out), &[e]);
+            m.bin(i, BinOp::Add, i, one);
+        },
+    );
+    sub_list.ret(Some(out));
+    sub_list.finish();
+
+    // Object[] toArray()
+    let mut to_array = c.method("toArray");
+    to_array.returns(Type::object_array());
+    let this = to_array.this();
+    let size = to_array.local("size", Type::Int);
+    let arr = to_array.local("arr", Type::object_array());
+    let out = to_array.local("out", Type::object_array());
+    let zero = to_array.local("zero", Type::Int);
+    to_array.load(size, this, "size");
+    to_array.load(arr, this, "elementData");
+    to_array.new_array(out, size);
+    to_array.const_int(zero, 0);
+    let arraycopy = to_array.mref("System", "arraycopy");
+    to_array.call(None, arraycopy, None, &[arr, zero, out, zero, size]);
+    to_array.ret(Some(out));
+    to_array.finish();
+
+    // ArrayList clone()
+    let mut clone = c.method("clone");
+    clone.returns(Type::class("ArrayList"));
+    let this = clone.this();
+    let out = clone.local("out", Type::class("ArrayList"));
+    let list = clone.cref("ArrayList");
+    clone.new_object(out, list);
+    let ctor = clone.mref("ArrayList", "<init>");
+    let add_all = clone.mref("ArrayList", "addAll");
+    clone.call(None, ctor, Some(out), &[]);
+    clone.call(None, add_all, Some(out), &[this]);
+    clone.ret(Some(out));
+    clone.finish();
+
+    c.build();
+}
+
+fn install_array_list_iterator(pb: &mut ProgramBuilder) {
+    let mut c = pb.class("ArrayListIterator");
+    c.library(true);
+    c.field("list", Type::class("ArrayList"));
+    c.field("cursor", Type::Int);
+    let mut init = c.constructor();
+    let this = init.this();
+    let list = init.param("list", Type::class("ArrayList"));
+    init.store(this, "list", list);
+    let zero = init.local("zero", Type::Int);
+    init.const_int(zero, 0);
+    init.store(this, "cursor", zero);
+    init.finish();
+    let mut has_next = c.method("hasNext");
+    has_next.returns(Type::Bool);
+    let this = has_next.this();
+    let cursor = has_next.local("cursor", Type::Int);
+    let list = has_next.local("list", Type::class("ArrayList"));
+    let n = has_next.local("n", Type::Int);
+    let r = has_next.local("r", Type::Bool);
+    has_next.load(cursor, this, "cursor");
+    has_next.load(list, this, "list");
+    let size = has_next.mref("ArrayList", "size");
+    has_next.call(Some(n), size, Some(list), &[]);
+    has_next.bin(r, BinOp::Lt, cursor, n);
+    has_next.ret(Some(r));
+    has_next.finish();
+    let mut next = c.method("next");
+    next.returns(Type::object());
+    let this = next.this();
+    let cursor = next.local("cursor", Type::Int);
+    let list = next.local("list", Type::class("ArrayList"));
+    let e = next.local("e", Type::object());
+    let one = next.local("one", Type::Int);
+    next.load(cursor, this, "cursor");
+    next.load(list, this, "list");
+    let get = next.mref("ArrayList", "get");
+    next.call(Some(e), get, Some(list), &[cursor]);
+    next.const_int(one, 1);
+    next.bin(cursor, BinOp::Add, cursor, one);
+    next.store(this, "cursor", cursor);
+    next.ret(Some(e));
+    next.finish();
+    c.build();
+}
+
+fn install_vector(pb: &mut ProgramBuilder) {
+    let object = pb.declare_class("Object");
+    let mut c = pb.class("Vector");
+    c.library(true);
+    c.extends(object);
+    c.field("elementData", Type::object_array());
+    c.field("elementCount", Type::Int);
+
+    let mut init = c.constructor();
+    let this = init.this();
+    let cap = init.local("cap", Type::Int);
+    init.const_int(cap, 10);
+    let arr = init.local("arr", Type::object_array());
+    init.new_array(arr, cap);
+    init.store(this, "elementData", arr);
+    let zero = init.local("zero", Type::Int);
+    init.const_int(zero, 0);
+    init.store(this, "elementCount", zero);
+    init.finish();
+
+    // grow(int minCapacity)  [internal, uses native arraycopy]
+    let mut grow = c.method("grow");
+    grow.public(false);
+    let this = grow.this();
+    let min_cap = grow.param("minCapacity", Type::Int);
+    let arr = grow.local("arr", Type::object_array());
+    let len = grow.local("len", Type::Int);
+    let new_cap = grow.local("newCap", Type::Int);
+    let two = grow.local("two", Type::Int);
+    let small = grow.local("small", Type::Bool);
+    let new_arr = grow.local("newArr", Type::object_array());
+    let zero = grow.local("zero", Type::Int);
+    grow.load(arr, this, "elementData");
+    grow.array_len(len, arr);
+    grow.const_int(two, 2);
+    grow.const_int(zero, 0);
+    grow.bin(new_cap, BinOp::Mul, len, two);
+    grow.bin(small, BinOp::Lt, new_cap, min_cap);
+    grow.if_then(small, |m| m.assign(new_cap, min_cap));
+    grow.new_array(new_arr, new_cap);
+    let arraycopy = grow.mref("System", "arraycopy");
+    grow.call(None, arraycopy, None, &[arr, zero, new_arr, zero, len]);
+    grow.store(this, "elementData", new_arr);
+    grow.finish();
+
+    // ensureCapacityHelper(int minCapacity)  [internal]
+    let mut ensure = c.method("ensureCapacityHelper");
+    ensure.public(false);
+    let this = ensure.this();
+    let min_cap = ensure.param("minCapacity", Type::Int);
+    let arr = ensure.local("arr", Type::object_array());
+    let len = ensure.local("len", Type::Int);
+    let need = ensure.local("need", Type::Bool);
+    ensure.load(arr, this, "elementData");
+    ensure.array_len(len, arr);
+    ensure.bin(need, BinOp::Gt, min_cap, len);
+    let grow = ensure.mref("Vector", "grow");
+    ensure.if_then(need, |m| m.call(None, grow, Some(this), &[min_cap]));
+    ensure.finish();
+
+    // void addElement(Object e)  — the deep chain: add -> addElement ->
+    // ensureCapacityHelper -> grow -> System.arraycopy.
+    let mut add_element = c.method("addElement");
+    let this = add_element.this();
+    let e = add_element.param("e", Type::object());
+    let count = add_element.local("count", Type::Int);
+    let one = add_element.local("one", Type::Int);
+    let min_cap = add_element.local("minCap", Type::Int);
+    let arr = add_element.local("arr", Type::object_array());
+    add_element.load(count, this, "elementCount");
+    add_element.const_int(one, 1);
+    add_element.bin(min_cap, BinOp::Add, count, one);
+    let ensure = add_element.mref("Vector", "ensureCapacityHelper");
+    add_element.call(None, ensure, Some(this), &[min_cap]);
+    add_element.load(arr, this, "elementData");
+    add_element.array_store(arr, count, e);
+    add_element.store(this, "elementCount", min_cap);
+    add_element.finish();
+
+    // boolean add(Object e)
+    let mut add = c.method("add");
+    add.returns(Type::Bool);
+    let this = add.this();
+    let e = add.param("e", Type::object());
+    let add_element = add.mref("Vector", "addElement");
+    add.call(None, add_element, Some(this), &[e]);
+    let t = add.local("t", Type::Bool);
+    add.const_bool(t, true);
+    add.ret(Some(t));
+    add.finish();
+
+    // Object elementAt(int index)
+    let mut element_at = c.method("elementAt");
+    element_at.returns(Type::object());
+    let this = element_at.this();
+    let index = element_at.param("index", Type::Int);
+    let count = element_at.local("count", Type::Int);
+    let bad = element_at.local("bad", Type::Bool);
+    let neg = element_at.local("neg", Type::Bool);
+    let zero = element_at.local("zero", Type::Int);
+    let arr = element_at.local("arr", Type::object_array());
+    let out = element_at.local("out", Type::object());
+    element_at.load(count, this, "elementCount");
+    element_at.bin(bad, BinOp::Ge, index, count);
+    element_at.if_then(bad, |m| m.throw("ArrayIndexOutOfBoundsException"));
+    element_at.const_int(zero, 0);
+    element_at.bin(neg, BinOp::Lt, index, zero);
+    element_at.if_then(neg, |m| m.throw("ArrayIndexOutOfBoundsException"));
+    element_at.load(arr, this, "elementData");
+    element_at.array_load(out, arr, index);
+    element_at.ret(Some(out));
+    element_at.finish();
+
+    // Object get(int index)
+    let mut get = c.method("get");
+    get.returns(Type::object());
+    let this = get.this();
+    let index = get.param("index", Type::Int);
+    let out = get.local("out", Type::object());
+    let element_at = get.mref("Vector", "elementAt");
+    get.call(Some(out), element_at, Some(this), &[index]);
+    get.ret(Some(out));
+    get.finish();
+
+    // Object firstElement()
+    let mut first = c.method("firstElement");
+    first.returns(Type::object());
+    let this = first.this();
+    let zero = first.local("zero", Type::Int);
+    let out = first.local("out", Type::object());
+    first.const_int(zero, 0);
+    let element_at = first.mref("Vector", "elementAt");
+    first.call(Some(out), element_at, Some(this), &[zero]);
+    first.ret(Some(out));
+    first.finish();
+
+    // Object lastElement()
+    let mut last = c.method("lastElement");
+    last.returns(Type::object());
+    let this = last.this();
+    let count = last.local("count", Type::Int);
+    let one = last.local("one", Type::Int);
+    let idx = last.local("idx", Type::Int);
+    let out = last.local("out", Type::object());
+    last.load(count, this, "elementCount");
+    last.const_int(one, 1);
+    last.bin(idx, BinOp::Sub, count, one);
+    let element_at = last.mref("Vector", "elementAt");
+    last.call(Some(out), element_at, Some(this), &[idx]);
+    last.ret(Some(out));
+    last.finish();
+
+    // Object set(int index, Object e)
+    let mut set = c.method("set");
+    set.returns(Type::object());
+    let this = set.this();
+    let index = set.param("index", Type::Int);
+    let e = set.param("e", Type::object());
+    let old = set.local("old", Type::object());
+    let arr = set.local("arr", Type::object_array());
+    let element_at = set.mref("Vector", "elementAt");
+    set.call(Some(old), element_at, Some(this), &[index]);
+    set.load(arr, this, "elementData");
+    set.array_store(arr, index, e);
+    set.ret(Some(old));
+    set.finish();
+
+    // void removeElementAt(int index)
+    let mut remove_at = c.method("removeElementAt");
+    let this = remove_at.this();
+    let index = remove_at.param("index", Type::Int);
+    let count = remove_at.local("count", Type::Int);
+    let one = remove_at.local("one", Type::Int);
+    let moved = remove_at.local("moved", Type::Int);
+    let has_moved = remove_at.local("hasMoved", Type::Bool);
+    let from = remove_at.local("from", Type::Int);
+    let zero = remove_at.local("zero", Type::Int);
+    let arr = remove_at.local("arr", Type::object_array());
+    let nul = remove_at.local("nul", Type::object());
+    remove_at.load(count, this, "elementCount");
+    remove_at.const_int(one, 1);
+    remove_at.const_int(zero, 0);
+    remove_at.load(arr, this, "elementData");
+    remove_at.bin(moved, BinOp::Sub, count, index);
+    remove_at.bin(moved, BinOp::Sub, moved, one);
+    remove_at.bin(has_moved, BinOp::Gt, moved, zero);
+    let arraycopy = remove_at.mref("System", "arraycopy");
+    remove_at.if_then(has_moved, |m| {
+        m.bin(from, BinOp::Add, index, one);
+        m.call(None, arraycopy, None, &[arr, from, arr, index, moved]);
+    });
+    remove_at.bin(count, BinOp::Sub, count, one);
+    remove_at.store(this, "elementCount", count);
+    remove_at.const_null(nul);
+    remove_at.array_store(arr, count, nul);
+    remove_at.finish();
+
+    // int size()
+    let mut size = c.method("size");
+    size.returns(Type::Int);
+    let this = size.this();
+    let s = size.local("s", Type::Int);
+    size.load(s, this, "elementCount");
+    size.ret(Some(s));
+    size.finish();
+
+    // boolean isEmpty()
+    let mut is_empty = c.method("isEmpty");
+    is_empty.returns(Type::Bool);
+    let this = is_empty.this();
+    let s = is_empty.local("s", Type::Int);
+    let zero = is_empty.local("zero", Type::Int);
+    let r = is_empty.local("r", Type::Bool);
+    is_empty.load(s, this, "elementCount");
+    is_empty.const_int(zero, 0);
+    is_empty.bin(r, BinOp::EqInt, s, zero);
+    is_empty.ret(Some(r));
+    is_empty.finish();
+
+    c.build();
+}
+
+fn install_stack(pb: &mut ProgramBuilder) {
+    let vector = pb.declare_class("Vector");
+    let mut c = pb.class("Stack");
+    c.library(true);
+    c.extends(vector);
+
+    let mut init = c.constructor();
+    let this = init.this();
+    // Initialize the Vector backing store directly (our IR has no super()
+    // call syntax; the constructor body mirrors Vector's).
+    let cap = init.local("cap", Type::Int);
+    init.const_int(cap, 10);
+    let arr = init.local("arr", Type::object_array());
+    init.new_array(arr, cap);
+    init.store(this, "elementData", arr);
+    let zero = init.local("zero", Type::Int);
+    init.const_int(zero, 0);
+    init.store(this, "elementCount", zero);
+    init.finish();
+
+    // Object push(Object item)
+    let mut push = c.method("push");
+    push.returns(Type::object());
+    let this = push.this();
+    let item = push.param("item", Type::object());
+    let add_element = push.mref("Vector", "addElement");
+    push.call(None, add_element, Some(this), &[item]);
+    push.ret(Some(item));
+    push.finish();
+
+    // Object pop()
+    let mut pop = c.method("pop");
+    pop.returns(Type::object());
+    let this = pop.this();
+    let count = pop.local("count", Type::Int);
+    let one = pop.local("one", Type::Int);
+    let idx = pop.local("idx", Type::Int);
+    let out = pop.local("out", Type::object());
+    pop.load(count, this, "elementCount");
+    pop.const_int(one, 1);
+    pop.bin(idx, BinOp::Sub, count, one);
+    let element_at = pop.mref("Vector", "elementAt");
+    let remove_at = pop.mref("Vector", "removeElementAt");
+    pop.call(Some(out), element_at, Some(this), &[idx]);
+    pop.call(None, remove_at, Some(this), &[idx]);
+    pop.ret(Some(out));
+    pop.finish();
+
+    // Object peek()
+    let mut peek = c.method("peek");
+    peek.returns(Type::object());
+    let this = peek.this();
+    let out = peek.local("out", Type::object());
+    let last = peek.mref("Vector", "lastElement");
+    peek.call(Some(out), last, Some(this), &[]);
+    peek.ret(Some(out));
+    peek.finish();
+
+    // boolean empty()
+    let mut empty = c.method("empty");
+    empty.returns(Type::Bool);
+    let this = empty.this();
+    let r = empty.local("r", Type::Bool);
+    let is_empty = empty.mref("Vector", "isEmpty");
+    empty.call(Some(r), is_empty, Some(this), &[]);
+    empty.ret(Some(r));
+    empty.finish();
+
+    c.build();
+}
+
+fn install_linked_list(pb: &mut ProgramBuilder) {
+    // Node helper class.
+    let mut node = pb.class("LinkedListNode");
+    node.library(true);
+    node.field("item", Type::object());
+    node.field("next", Type::class("LinkedListNode"));
+    node.field("prev", Type::class("LinkedListNode"));
+    let mut init = node.constructor();
+    init.public(false);
+    let this = init.this();
+    let item = init.param("item", Type::object());
+    init.store(this, "item", item);
+    init.finish();
+    node.build();
+
+    let object = pb.declare_class("Object");
+    let mut c = pb.class("LinkedList");
+    c.library(true);
+    c.extends(object);
+    c.field("first", Type::class("LinkedListNode"));
+    c.field("last", Type::class("LinkedListNode"));
+    c.field("size", Type::Int);
+
+    let mut init = c.constructor();
+    let this = init.this();
+    let zero = init.local("zero", Type::Int);
+    init.const_int(zero, 0);
+    init.store(this, "size", zero);
+    init.finish();
+
+    // linkLast(Object e)  [internal]
+    let mut link_last = c.method("linkLast");
+    link_last.public(false);
+    let this = link_last.this();
+    let e = link_last.param("e", Type::object());
+    let n = link_last.local("n", Type::class("LinkedListNode"));
+    let l = link_last.local("l", Type::class("LinkedListNode"));
+    let is_null = link_last.local("isNull", Type::Bool);
+    let size = link_last.local("size", Type::Int);
+    let one = link_last.local("one", Type::Int);
+    let node_class = link_last.cref("LinkedListNode");
+    let node_next = link_last.fref("LinkedListNode", "next");
+    let node_prev = link_last.fref("LinkedListNode", "prev");
+    link_last.load(l, this, "last");
+    link_last.new_object(n, node_class);
+    let node_ctor = link_last.mref("LinkedListNode", "<init>");
+    link_last.call(None, node_ctor, Some(n), &[e]);
+    link_last.store(this, "last", n);
+    link_last.is_null(is_null, l);
+    link_last.if_stmt(
+        is_null,
+        |m| m.store(this, "first", n),
+        |m| {
+            m.store_field(l, node_next, n);
+            m.store_field(n, node_prev, l);
+        },
+    );
+    link_last.load(size, this, "size");
+    link_last.const_int(one, 1);
+    link_last.bin(size, BinOp::Add, size, one);
+    link_last.store(this, "size", size);
+    link_last.finish();
+
+    // linkFirst(Object e)  [internal]
+    let mut link_first = c.method("linkFirst");
+    link_first.public(false);
+    let this = link_first.this();
+    let e = link_first.param("e", Type::object());
+    let n = link_first.local("n", Type::class("LinkedListNode"));
+    let f = link_first.local("f", Type::class("LinkedListNode"));
+    let is_null = link_first.local("isNull", Type::Bool);
+    let size = link_first.local("size", Type::Int);
+    let one = link_first.local("one", Type::Int);
+    let node_class = link_first.cref("LinkedListNode");
+    let node_next = link_first.fref("LinkedListNode", "next");
+    let node_prev = link_first.fref("LinkedListNode", "prev");
+    link_first.load(f, this, "first");
+    link_first.new_object(n, node_class);
+    let node_ctor = link_first.mref("LinkedListNode", "<init>");
+    link_first.call(None, node_ctor, Some(n), &[e]);
+    link_first.store(this, "first", n);
+    link_first.is_null(is_null, f);
+    link_first.if_stmt(
+        is_null,
+        |m| m.store(this, "last", n),
+        |m| {
+            m.store_field(f, node_prev, n);
+            m.store_field(n, node_next, f);
+        },
+    );
+    link_first.load(size, this, "size");
+    link_first.const_int(one, 1);
+    link_first.bin(size, BinOp::Add, size, one);
+    link_first.store(this, "size", size);
+    link_first.finish();
+
+    // boolean add(Object e)
+    let mut add = c.method("add");
+    add.returns(Type::Bool);
+    let this = add.this();
+    let e = add.param("e", Type::object());
+    let link_last = add.mref("LinkedList", "linkLast");
+    add.call(None, link_last, Some(this), &[e]);
+    let t = add.local("t", Type::Bool);
+    add.const_bool(t, true);
+    add.ret(Some(t));
+    add.finish();
+
+    // void addFirst(Object e) / addLast(Object e)
+    let mut add_first = c.method("addFirst");
+    let this = add_first.this();
+    let e = add_first.param("e", Type::object());
+    let link_first = add_first.mref("LinkedList", "linkFirst");
+    add_first.call(None, link_first, Some(this), &[e]);
+    add_first.finish();
+    let mut add_last = c.method("addLast");
+    let this = add_last.this();
+    let e = add_last.param("e", Type::object());
+    let link_last = add_last.mref("LinkedList", "linkLast");
+    add_last.call(None, link_last, Some(this), &[e]);
+    add_last.finish();
+
+    // node(int index)  [internal]
+    let mut node_at = c.method("node");
+    node_at.public(false);
+    node_at.returns(Type::class("LinkedListNode"));
+    let this = node_at.this();
+    let index = node_at.param("index", Type::Int);
+    let x = node_at.local("x", Type::class("LinkedListNode"));
+    let i = node_at.local("i", Type::Int);
+    let zero = node_at.local("zero", Type::Int);
+    let one = node_at.local("one", Type::Int);
+    let cond = node_at.local("cond", Type::Bool);
+    let node_next = node_at.fref("LinkedListNode", "next");
+    node_at.load(x, this, "first");
+    node_at.assign(i, index);
+    node_at.const_int(zero, 0);
+    node_at.const_int(one, 1);
+    node_at.while_stmt(
+        |m| {
+            m.bin(cond, BinOp::Gt, i, zero);
+            cond
+        },
+        |m| {
+            m.load_field(x, x, node_next);
+            m.bin(i, BinOp::Sub, i, one);
+        },
+    );
+    node_at.ret(Some(x));
+    node_at.finish();
+
+    // Object get(int index)
+    let mut get = c.method("get");
+    get.returns(Type::object());
+    let this = get.this();
+    let index = get.param("index", Type::Int);
+    let size = get.local("size", Type::Int);
+    let bad = get.local("bad", Type::Bool);
+    let x = get.local("x", Type::class("LinkedListNode"));
+    let out = get.local("out", Type::object());
+    get.load(size, this, "size");
+    get.bin(bad, BinOp::Ge, index, size);
+    get.if_then(bad, |m| m.throw("IndexOutOfBoundsException"));
+    let node = get.mref("LinkedList", "node");
+    let node_item = get.fref("LinkedListNode", "item");
+    get.call(Some(x), node, Some(this), &[index]);
+    get.load_field(out, x, node_item);
+    get.ret(Some(out));
+    get.finish();
+
+    // Object getFirst() / getLast()
+    let mut get_first = c.method("getFirst");
+    get_first.returns(Type::object());
+    let this = get_first.this();
+    let f = get_first.local("f", Type::class("LinkedListNode"));
+    let is_null = get_first.local("isNull", Type::Bool);
+    let out = get_first.local("out", Type::object());
+    let node_item = get_first.fref("LinkedListNode", "item");
+    get_first.load(f, this, "first");
+    get_first.is_null(is_null, f);
+    get_first.if_then(is_null, |m| m.throw("NoSuchElementException"));
+    get_first.load_field(out, f, node_item);
+    get_first.ret(Some(out));
+    get_first.finish();
+    let mut get_last = c.method("getLast");
+    get_last.returns(Type::object());
+    let this = get_last.this();
+    let l = get_last.local("l", Type::class("LinkedListNode"));
+    let is_null = get_last.local("isNull", Type::Bool);
+    let out = get_last.local("out", Type::object());
+    let node_item = get_last.fref("LinkedListNode", "item");
+    get_last.load(l, this, "last");
+    get_last.is_null(is_null, l);
+    get_last.if_then(is_null, |m| m.throw("NoSuchElementException"));
+    get_last.load_field(out, l, node_item);
+    get_last.ret(Some(out));
+    get_last.finish();
+
+    // Object removeFirst()
+    let mut remove_first = c.method("removeFirst");
+    remove_first.returns(Type::object());
+    let this = remove_first.this();
+    let f = remove_first.local("f", Type::class("LinkedListNode"));
+    let is_null = remove_first.local("isNull", Type::Bool);
+    let out = remove_first.local("out", Type::object());
+    let next = remove_first.local("next", Type::class("LinkedListNode"));
+    let size = remove_first.local("size", Type::Int);
+    let one = remove_first.local("one", Type::Int);
+    let node_item = remove_first.fref("LinkedListNode", "item");
+    let node_next = remove_first.fref("LinkedListNode", "next");
+    remove_first.load(f, this, "first");
+    remove_first.is_null(is_null, f);
+    remove_first.if_then(is_null, |m| m.throw("NoSuchElementException"));
+    remove_first.load_field(out, f, node_item);
+    remove_first.load_field(next, f, node_next);
+    remove_first.store(this, "first", next);
+    remove_first.load(size, this, "size");
+    remove_first.const_int(one, 1);
+    remove_first.bin(size, BinOp::Sub, size, one);
+    remove_first.store(this, "size", size);
+    remove_first.ret(Some(out));
+    remove_first.finish();
+
+    // Object poll() — null instead of exception on empty.
+    let mut poll = c.method("poll");
+    poll.returns(Type::object());
+    let this = poll.this();
+    let f = poll.local("f", Type::class("LinkedListNode"));
+    let is_null = poll.local("isNull", Type::Bool);
+    let out = poll.local("out", Type::object());
+    poll.load(f, this, "first");
+    poll.is_null(is_null, f);
+    let remove_first = poll.mref("LinkedList", "removeFirst");
+    poll.if_stmt(
+        is_null,
+        |m| {
+            m.const_null(out);
+            m.ret(Some(out));
+        },
+        |m| {
+            m.call(Some(out), remove_first, Some(this), &[]);
+            m.ret(Some(out));
+        },
+    );
+    poll.finish();
+
+    // Object peek()
+    let mut peek = c.method("peek");
+    peek.returns(Type::object());
+    let this = peek.this();
+    let f = peek.local("f", Type::class("LinkedListNode"));
+    let is_null = peek.local("isNull", Type::Bool);
+    let out = peek.local("out", Type::object());
+    let node_item = peek.fref("LinkedListNode", "item");
+    peek.load(f, this, "first");
+    peek.is_null(is_null, f);
+    peek.if_stmt(
+        is_null,
+        |m| {
+            m.const_null(out);
+            m.ret(Some(out));
+        },
+        |m| {
+            m.load_field(out, f, node_item);
+            m.ret(Some(out));
+        },
+    );
+    peek.finish();
+
+    // boolean offer(Object e), void push(Object e), Object pop()
+    let mut offer = c.method("offer");
+    offer.returns(Type::Bool);
+    let this = offer.this();
+    let e = offer.param("e", Type::object());
+    let add = offer.mref("LinkedList", "add");
+    let r = offer.local("r", Type::Bool);
+    offer.call(Some(r), add, Some(this), &[e]);
+    offer.ret(Some(r));
+    offer.finish();
+    let mut push = c.method("push");
+    let this = push.this();
+    let e = push.param("e", Type::object());
+    let add_first = push.mref("LinkedList", "addFirst");
+    push.call(None, add_first, Some(this), &[e]);
+    push.finish();
+    let mut pop = c.method("pop");
+    pop.returns(Type::object());
+    let this = pop.this();
+    let out = pop.local("out", Type::object());
+    let remove_first = pop.mref("LinkedList", "removeFirst");
+    pop.call(Some(out), remove_first, Some(this), &[]);
+    pop.ret(Some(out));
+    pop.finish();
+
+    // int size()
+    let mut size = c.method("size");
+    size.returns(Type::Int);
+    let this = size.this();
+    let s = size.local("s", Type::Int);
+    size.load(s, this, "size");
+    size.ret(Some(s));
+    size.finish();
+
+    // LinkedListIterator iterator()
+    let mut iterator = c.method("iterator");
+    iterator.returns(Type::class("LinkedListIterator"));
+    let this = iterator.this();
+    let it = iterator.local("it", Type::class("LinkedListIterator"));
+    let it_class = iterator.cref("LinkedListIterator");
+    iterator.new_object(it, it_class);
+    let it_init = iterator.mref("LinkedListIterator", "<init>");
+    iterator.call(None, it_init, Some(it), &[this]);
+    iterator.ret(Some(it));
+    iterator.finish();
+
+    c.build();
+}
+
+fn install_linked_list_iterator(pb: &mut ProgramBuilder) {
+    let mut c = pb.class("LinkedListIterator");
+    c.library(true);
+    c.field("node", Type::class("LinkedListNode"));
+    let mut init = c.constructor();
+    let this = init.this();
+    let list = init.param("list", Type::class("LinkedList"));
+    let first = init.local("first", Type::class("LinkedListNode"));
+    let list_first = init.fref("LinkedList", "first");
+    init.load_field(first, list, list_first);
+    init.store(this, "node", first);
+    init.finish();
+    let mut has_next = c.method("hasNext");
+    has_next.returns(Type::Bool);
+    let this = has_next.this();
+    let node = has_next.local("node", Type::class("LinkedListNode"));
+    let is_null = has_next.local("isNull", Type::Bool);
+    let r = has_next.local("r", Type::Bool);
+    has_next.load(node, this, "node");
+    has_next.is_null(is_null, node);
+    has_next.not(r, is_null);
+    has_next.ret(Some(r));
+    has_next.finish();
+    let mut next = c.method("next");
+    next.returns(Type::object());
+    let this = next.this();
+    let node = next.local("node", Type::class("LinkedListNode"));
+    let is_null = next.local("isNull", Type::Bool);
+    let out = next.local("out", Type::object());
+    let nxt = next.local("nxt", Type::class("LinkedListNode"));
+    let node_item = next.fref("LinkedListNode", "item");
+    let node_next = next.fref("LinkedListNode", "next");
+    next.load(node, this, "node");
+    next.is_null(is_null, node);
+    next.if_then(is_null, |m| m.throw("NoSuchElementException"));
+    next.load_field(out, node, node_item);
+    next.load_field(nxt, node, node_next);
+    next.store(this, "node", nxt);
+    next.ret(Some(out));
+    next.finish();
+    c.build();
+}

@@ -1,0 +1,679 @@
+//! Models of the map classes: `HashMap` (bucket array of chained nodes,
+//! hashing through the native `System.identityHashCode`), `Hashtable`
+//! (rejects `null` keys and values — the class that motivates the
+//! *instantiation* initialization strategy of the unit-test synthesizer),
+//! `HashSet` (backed by a `HashMap`) and a simplified `TreeMap` (entry
+//! chain).
+
+use atlas_ir::builder::ProgramBuilder;
+use atlas_ir::{BinOp, Type};
+
+/// Installs the map classes.
+pub fn install(pb: &mut ProgramBuilder) {
+    install_hash_map_node(pb);
+    install_hash_map(pb);
+    install_hashtable(pb);
+    install_hash_set(pb);
+    install_tree_map(pb);
+}
+
+fn install_hash_map_node(pb: &mut ProgramBuilder) {
+    let mut c = pb.class("HashMapNode");
+    c.library(true);
+    c.field("key", Type::object());
+    c.field("value", Type::object());
+    c.field("next", Type::class("HashMapNode"));
+    let mut init = c.constructor();
+    init.public(false);
+    let this = init.this();
+    let k = init.param("key", Type::object());
+    let v = init.param("value", Type::object());
+    init.store(this, "key", k);
+    init.store(this, "value", v);
+    init.finish();
+    c.build();
+}
+
+/// Installs a bucket-array map class named `name`.  `reject_null` adds the
+/// `Hashtable`-style null checks on key and value.
+fn install_bucket_map(pb: &mut ProgramBuilder, name: &str, reject_null: bool) {
+    let object = pb.declare_class("Object");
+    let mut c = pb.class(name);
+    c.library(true);
+    c.extends(object);
+    c.field("table", Type::object_array());
+    c.field("size", Type::Int);
+
+    let mut init = c.constructor();
+    let this = init.this();
+    let cap = init.local("cap", Type::Int);
+    init.const_int(cap, 16);
+    let table = init.local("table", Type::object_array());
+    init.new_array(table, cap);
+    init.store(this, "table", table);
+    let zero = init.local("zero", Type::Int);
+    init.const_int(zero, 0);
+    init.store(this, "size", zero);
+    init.finish();
+
+    // indexFor(Object key)  [internal]: identityHashCode(key) % table.length
+    let mut index_for = c.method("indexFor");
+    index_for.public(false);
+    index_for.returns(Type::Int);
+    let this = index_for.this();
+    let key = index_for.param("key", Type::object());
+    let hash = index_for.local("hash", Type::Int);
+    let table = index_for.local("table", Type::object_array());
+    let len = index_for.local("len", Type::Int);
+    let idx = index_for.local("idx", Type::Int);
+    let ihc = index_for.mref("System", "identityHashCode");
+    index_for.call(Some(hash), ihc, None, &[key]);
+    index_for.load(table, this, "table");
+    index_for.array_len(len, table);
+    index_for.bin(idx, BinOp::Rem, hash, len);
+    index_for.ret(Some(idx));
+    index_for.finish();
+
+    // Object put(Object key, Object value) — returns the previous value.
+    let mut put = c.method("put");
+    put.returns(Type::object());
+    let this = put.this();
+    let key = put.param("key", Type::object());
+    let value = put.param("value", Type::object());
+    if reject_null {
+        let knull = put.local("knull", Type::Bool);
+        let vnull = put.local("vnull", Type::Bool);
+        put.is_null(knull, key);
+        put.if_then(knull, |m| m.throw("NullPointerException"));
+        put.is_null(vnull, value);
+        put.if_then(vnull, |m| m.throw("NullPointerException"));
+    }
+    let idx = put.local("idx", Type::Int);
+    let table = put.local("table", Type::object_array());
+    let node = put.local("node", Type::class("HashMapNode"));
+    let is_null = put.local("isNull", Type::Bool);
+    let cond = put.local("cond", Type::Bool);
+    let cur_key = put.local("curKey", Type::object());
+    let eq = put.local("eq", Type::Bool);
+    let old = put.local("old", Type::object());
+    let fresh = put.local("fresh", Type::class("HashMapNode"));
+    let head = put.local("head", Type::class("HashMapNode"));
+    let size = put.local("size", Type::Int);
+    let one = put.local("one", Type::Int);
+    let node_key = put.fref("HashMapNode", "key");
+    let node_value = put.fref("HashMapNode", "value");
+    let node_next = put.fref("HashMapNode", "next");
+    let index_for = put.mref(name, "indexFor");
+    put.call(Some(idx), index_for, Some(this), &[key]);
+    put.load(table, this, "table");
+    put.array_load(node, table, idx);
+    // Search the chain for an existing mapping of the same key.
+    put.while_stmt(
+        |m| {
+            m.is_null(is_null, node);
+            m.not(cond, is_null);
+            cond
+        },
+        |m| {
+            m.load_field(cur_key, node, node_key);
+            m.ref_eq(eq, cur_key, key);
+            m.if_then(eq, |m| {
+                m.load_field(old, node, node_value);
+                m.store_field(node, node_value, value);
+                m.ret(Some(old));
+            });
+            m.load_field(node, node, node_next);
+        },
+    );
+    // No existing mapping: prepend a fresh node.
+    let node_class = put.cref("HashMapNode");
+    put.new_object(fresh, node_class);
+    let node_ctor = put.mref("HashMapNode", "<init>");
+    put.call(None, node_ctor, Some(fresh), &[key, value]);
+    put.array_load(head, table, idx);
+    put.store_field(fresh, node_next, head);
+    put.array_store(table, idx, fresh);
+    put.load(size, this, "size");
+    put.const_int(one, 1);
+    put.bin(size, BinOp::Add, size, one);
+    put.store(this, "size", size);
+    let nul = put.local("nul", Type::object());
+    put.const_null(nul);
+    put.ret(Some(nul));
+    put.finish();
+
+    // getNode(Object key)  [internal]
+    let mut get_node = c.method("getNode");
+    get_node.public(false);
+    get_node.returns(Type::class("HashMapNode"));
+    let this = get_node.this();
+    let key = get_node.param("key", Type::object());
+    let idx = get_node.local("idx", Type::Int);
+    let table = get_node.local("table", Type::object_array());
+    let node = get_node.local("node", Type::class("HashMapNode"));
+    let is_null = get_node.local("isNull", Type::Bool);
+    let cond = get_node.local("cond", Type::Bool);
+    let cur_key = get_node.local("curKey", Type::object());
+    let eq = get_node.local("eq", Type::Bool);
+    let node_key = get_node.fref("HashMapNode", "key");
+    let node_next = get_node.fref("HashMapNode", "next");
+    let index_for = get_node.mref(name, "indexFor");
+    get_node.call(Some(idx), index_for, Some(this), &[key]);
+    get_node.load(table, this, "table");
+    get_node.array_load(node, table, idx);
+    get_node.while_stmt(
+        |m| {
+            m.is_null(is_null, node);
+            m.not(cond, is_null);
+            cond
+        },
+        |m| {
+            m.load_field(cur_key, node, node_key);
+            m.ref_eq(eq, cur_key, key);
+            m.if_then(eq, |m| m.ret(Some(node)));
+            m.load_field(node, node, node_next);
+        },
+    );
+    let nul = get_node.local("nul", Type::class("HashMapNode"));
+    get_node.const_null(nul);
+    get_node.ret(Some(nul));
+    get_node.finish();
+
+    // Object get(Object key)
+    let mut get = c.method("get");
+    get.returns(Type::object());
+    let this = get.this();
+    let key = get.param("key", Type::object());
+    if reject_null {
+        let knull = get.local("knull", Type::Bool);
+        get.is_null(knull, key);
+        get.if_then(knull, |m| m.throw("NullPointerException"));
+    }
+    let node = get.local("node", Type::class("HashMapNode"));
+    let is_null = get.local("isNull", Type::Bool);
+    let out = get.local("out", Type::object());
+    let node_value = get.fref("HashMapNode", "value");
+    let get_node = get.mref(name, "getNode");
+    get.call(Some(node), get_node, Some(this), &[key]);
+    get.is_null(is_null, node);
+    get.if_stmt(
+        is_null,
+        |m| {
+            m.const_null(out);
+            m.ret(Some(out));
+        },
+        |m| {
+            m.load_field(out, node, node_value);
+            m.ret(Some(out));
+        },
+    );
+    get.finish();
+
+    // boolean containsKey(Object key)
+    let mut contains_key = c.method("containsKey");
+    contains_key.returns(Type::Bool);
+    let this = contains_key.this();
+    let key = contains_key.param("key", Type::object());
+    let node = contains_key.local("node", Type::class("HashMapNode"));
+    let is_null = contains_key.local("isNull", Type::Bool);
+    let r = contains_key.local("r", Type::Bool);
+    let get_node = contains_key.mref(name, "getNode");
+    contains_key.call(Some(node), get_node, Some(this), &[key]);
+    contains_key.is_null(is_null, node);
+    contains_key.not(r, is_null);
+    contains_key.ret(Some(r));
+    contains_key.finish();
+
+    // Object remove(Object key) — simplified: clears the mapping's value.
+    let mut remove = c.method("remove");
+    remove.returns(Type::object());
+    let this = remove.this();
+    let key = remove.param("key", Type::object());
+    let node = remove.local("node", Type::class("HashMapNode"));
+    let is_null = remove.local("isNull", Type::Bool);
+    let out = remove.local("out", Type::object());
+    let nul = remove.local("nul", Type::object());
+    let size = remove.local("size", Type::Int);
+    let one = remove.local("one", Type::Int);
+    let node_value = remove.fref("HashMapNode", "value");
+    let node_key = remove.fref("HashMapNode", "key");
+    let get_node = remove.mref(name, "getNode");
+    remove.call(Some(node), get_node, Some(this), &[key]);
+    remove.is_null(is_null, node);
+    remove.const_null(nul);
+    remove.if_stmt(
+        is_null,
+        |m| m.ret(Some(nul)),
+        |m| {
+            m.load_field(out, node, node_value);
+            m.store_field(node, node_value, nul);
+            m.store_field(node, node_key, nul);
+            m.load(size, this, "size");
+            m.const_int(one, 1);
+            m.bin(size, BinOp::Sub, size, one);
+            m.store(this, "size", size);
+            m.ret(Some(out));
+        },
+    );
+    remove.finish();
+
+    // int size() / boolean isEmpty()
+    let mut size_m = c.method("size");
+    size_m.returns(Type::Int);
+    let this = size_m.this();
+    let s = size_m.local("s", Type::Int);
+    size_m.load(s, this, "size");
+    size_m.ret(Some(s));
+    size_m.finish();
+    let mut is_empty = c.method("isEmpty");
+    is_empty.returns(Type::Bool);
+    let this = is_empty.this();
+    let s = is_empty.local("s", Type::Int);
+    let zero = is_empty.local("zero", Type::Int);
+    let r = is_empty.local("r", Type::Bool);
+    is_empty.load(s, this, "size");
+    is_empty.const_int(zero, 0);
+    is_empty.bin(r, BinOp::EqInt, s, zero);
+    is_empty.ret(Some(r));
+    is_empty.finish();
+
+    // ArrayList keySet() — collect keys by walking every bucket chain.
+    let mut key_set = c.method("keySet");
+    key_set.returns(Type::class("ArrayList"));
+    build_collector(&mut key_set, name, Collected::Keys);
+    key_set.finish();
+
+    // ArrayList values()
+    let mut values = c.method("values");
+    values.returns(Type::class("ArrayList"));
+    build_collector(&mut values, name, Collected::Values);
+    values.finish();
+
+    // ArrayList entrySet() — fresh Entry objects mirroring each mapping.
+    let mut entry_set = c.method("entrySet");
+    entry_set.returns(Type::class("ArrayList"));
+    build_collector(&mut entry_set, name, Collected::Entries);
+    entry_set.finish();
+
+    // void putAll(<same map type> other)
+    let mut put_all = c.method("putAll");
+    let this = put_all.this();
+    let other = put_all.param("other", Type::class(name));
+    let keys = put_all.local("keys", Type::class("ArrayList"));
+    let i = put_all.local("i", Type::Int);
+    let n = put_all.local("n", Type::Int);
+    let one = put_all.local("one", Type::Int);
+    let cond = put_all.local("cond", Type::Bool);
+    let k = put_all.local("k", Type::object());
+    let v = put_all.local("v", Type::object());
+    let key_set = put_all.mref(name, "keySet");
+    let list_size = put_all.mref("ArrayList", "size");
+    let list_get = put_all.mref("ArrayList", "get");
+    let map_get = put_all.mref(name, "get");
+    let map_put = put_all.mref(name, "put");
+    put_all.call(Some(keys), key_set, Some(other), &[]);
+    put_all.call(Some(n), list_size, Some(keys), &[]);
+    put_all.const_int(i, 0);
+    put_all.const_int(one, 1);
+    put_all.while_stmt(
+        |m| {
+            m.bin(cond, BinOp::Lt, i, n);
+            cond
+        },
+        |m| {
+            m.call(Some(k), list_get, Some(keys), &[i]);
+            m.call(Some(v), map_get, Some(other), &[k]);
+            m.call(None, map_put, Some(this), &[k, v]);
+            m.bin(i, BinOp::Add, i, one);
+        },
+    );
+    put_all.finish();
+
+    // void clear()
+    let mut clear = c.method("clear");
+    let this = clear.this();
+    let cap = clear.local("cap", Type::Int);
+    let table = clear.local("table", Type::object_array());
+    let zero = clear.local("zero", Type::Int);
+    clear.const_int(cap, 16);
+    clear.new_array(table, cap);
+    clear.store(this, "table", table);
+    clear.const_int(zero, 0);
+    clear.store(this, "size", zero);
+    clear.finish();
+
+    c.build();
+}
+
+/// Which values the bucket-walking collector methods gather.
+#[derive(Clone, Copy, PartialEq)]
+enum Collected {
+    Keys,
+    Values,
+    Entries,
+}
+
+/// Emits the shared body of `keySet` / `values` / `entrySet`: iterate over
+/// every bucket, walk its chain and add the selected component to a fresh
+/// `ArrayList`.
+fn build_collector(m: &mut atlas_ir::builder::MethodBuilder<'_, '_>, map_name: &str, what: Collected) {
+    let this = m.this();
+    let out = m.local("out", Type::class("ArrayList"));
+    let table = m.local("table", Type::object_array());
+    let len = m.local("len", Type::Int);
+    let i = m.local("i", Type::Int);
+    let one = m.local("one", Type::Int);
+    let cond = m.local("cond", Type::Bool);
+    let node = m.local("node", Type::class("HashMapNode"));
+    let inner_null = m.local("innerNull", Type::Bool);
+    let inner_cond = m.local("innerCond", Type::Bool);
+    let item = m.local("item", Type::object());
+    let list_class = m.cref("ArrayList");
+    let list_ctor = m.mref("ArrayList", "<init>");
+    let list_add = m.mref("ArrayList", "add");
+    let node_key = m.fref("HashMapNode", "key");
+    let node_value = m.fref("HashMapNode", "value");
+    let node_next = m.fref("HashMapNode", "next");
+    let entry_class = m.cref("Entry");
+    let entry_ctor = m.mref("Entry", "<init>");
+    let _ = map_name;
+    m.new_object(out, list_class);
+    m.call(None, list_ctor, Some(out), &[]);
+    m.load(table, this, "table");
+    m.array_len(len, table);
+    m.const_int(i, 0);
+    m.const_int(one, 1);
+    m.while_stmt(
+        |m| {
+            m.bin(cond, BinOp::Lt, i, len);
+            cond
+        },
+        |m| {
+            m.array_load(node, table, i);
+            m.while_stmt(
+                |m| {
+                    m.is_null(inner_null, node);
+                    m.not(inner_cond, inner_null);
+                    inner_cond
+                },
+                |m| {
+                    match what {
+                        Collected::Keys => {
+                            m.load_field(item, node, node_key);
+                            m.call(None, list_add, Some(out), &[item]);
+                        }
+                        Collected::Values => {
+                            m.load_field(item, node, node_value);
+                            m.call(None, list_add, Some(out), &[item]);
+                        }
+                        Collected::Entries => {
+                            let entry = m.local("entry", Type::class("Entry"));
+                            let k = m.local("k", Type::object());
+                            let v = m.local("v", Type::object());
+                            m.load_field(k, node, node_key);
+                            m.load_field(v, node, node_value);
+                            m.new_object(entry, entry_class);
+                            m.call(None, entry_ctor, Some(entry), &[k, v]);
+                            m.call(None, list_add, Some(out), &[entry]);
+                        }
+                    }
+                    m.load_field(node, node, node_next);
+                },
+            );
+            m.bin(i, BinOp::Add, i, one);
+        },
+    );
+    m.ret(Some(out));
+}
+
+fn install_hash_map(pb: &mut ProgramBuilder) {
+    install_bucket_map(pb, "HashMap", false);
+}
+
+fn install_hashtable(pb: &mut ProgramBuilder) {
+    install_bucket_map(pb, "Hashtable", true);
+}
+
+fn install_hash_set(pb: &mut ProgramBuilder) {
+    let object = pb.declare_class("Object");
+    let mut c = pb.class("HashSet");
+    c.library(true);
+    c.extends(object);
+    c.field("map", Type::class("HashMap"));
+    c.field("present", Type::object());
+
+    let mut init = c.constructor();
+    let this = init.this();
+    let map = init.local("map", Type::class("HashMap"));
+    let present = init.local("present", Type::object());
+    let map_class = init.cref("HashMap");
+    let obj_class = init.cref("Object");
+    init.new_object(map, map_class);
+    let map_ctor = init.mref("HashMap", "<init>");
+    init.call(None, map_ctor, Some(map), &[]);
+    init.store(this, "map", map);
+    init.new_object(present, obj_class);
+    init.store(this, "present", present);
+    init.finish();
+
+    // boolean add(Object e)
+    let mut add = c.method("add");
+    add.returns(Type::Bool);
+    let this = add.this();
+    let e = add.param("e", Type::object());
+    let map = add.local("map", Type::class("HashMap"));
+    let present = add.local("present", Type::object());
+    let old = add.local("old", Type::object());
+    let r = add.local("r", Type::Bool);
+    add.load(map, this, "map");
+    add.load(present, this, "present");
+    let put = add.mref("HashMap", "put");
+    add.call(Some(old), put, Some(map), &[e, present]);
+    add.is_null(r, old);
+    add.ret(Some(r));
+    add.finish();
+
+    // boolean contains(Object e)
+    let mut contains = c.method("contains");
+    contains.returns(Type::Bool);
+    let this = contains.this();
+    let e = contains.param("e", Type::object());
+    let map = contains.local("map", Type::class("HashMap"));
+    let r = contains.local("r", Type::Bool);
+    contains.load(map, this, "map");
+    let contains_key = contains.mref("HashMap", "containsKey");
+    contains.call(Some(r), contains_key, Some(map), &[e]);
+    contains.ret(Some(r));
+    contains.finish();
+
+    // boolean remove(Object e)
+    let mut remove = c.method("remove");
+    remove.returns(Type::Bool);
+    let this = remove.this();
+    let e = remove.param("e", Type::object());
+    let map = remove.local("map", Type::class("HashMap"));
+    let old = remove.local("old", Type::object());
+    let is_null = remove.local("isNull", Type::Bool);
+    let r = remove.local("r", Type::Bool);
+    remove.load(map, this, "map");
+    let map_remove = remove.mref("HashMap", "remove");
+    remove.call(Some(old), map_remove, Some(map), &[e]);
+    remove.is_null(is_null, old);
+    remove.not(r, is_null);
+    remove.ret(Some(r));
+    remove.finish();
+
+    // int size()
+    let mut size = c.method("size");
+    size.returns(Type::Int);
+    let this = size.this();
+    let map = size.local("map", Type::class("HashMap"));
+    let s = size.local("s", Type::Int);
+    size.load(map, this, "map");
+    let map_size = size.mref("HashMap", "size");
+    size.call(Some(s), map_size, Some(map), &[]);
+    size.ret(Some(s));
+    size.finish();
+
+    // ArrayListIterator iterator() — iterate over the key list.
+    let mut iterator = c.method("iterator");
+    iterator.returns(Type::class("ArrayListIterator"));
+    let this = iterator.this();
+    let map = iterator.local("map", Type::class("HashMap"));
+    let keys = iterator.local("keys", Type::class("ArrayList"));
+    let it = iterator.local("it", Type::class("ArrayListIterator"));
+    iterator.load(map, this, "map");
+    let key_set = iterator.mref("HashMap", "keySet");
+    iterator.call(Some(keys), key_set, Some(map), &[]);
+    let list_iter = iterator.mref("ArrayList", "iterator");
+    iterator.call(Some(it), list_iter, Some(keys), &[]);
+    iterator.ret(Some(it));
+    iterator.finish();
+
+    // ArrayList toList()
+    let mut to_list = c.method("toList");
+    to_list.returns(Type::class("ArrayList"));
+    let this = to_list.this();
+    let map = to_list.local("map", Type::class("HashMap"));
+    let keys = to_list.local("keys", Type::class("ArrayList"));
+    to_list.load(map, this, "map");
+    let key_set = to_list.mref("HashMap", "keySet");
+    to_list.call(Some(keys), key_set, Some(map), &[]);
+    to_list.ret(Some(keys));
+    to_list.finish();
+
+    c.build();
+}
+
+fn install_tree_map(pb: &mut ProgramBuilder) {
+    // A simplified TreeMap: a single chain of entries (ordering is ignored,
+    // which is irrelevant to points-to behaviour).
+    let object = pb.declare_class("Object");
+    let mut c = pb.class("TreeMap");
+    c.library(true);
+    c.extends(object);
+    c.field("root", Type::class("HashMapNode"));
+    c.field("size", Type::Int);
+
+    let mut init = c.constructor();
+    let this = init.this();
+    let zero = init.local("zero", Type::Int);
+    init.const_int(zero, 0);
+    init.store(this, "size", zero);
+    init.finish();
+
+    // Object put(Object key, Object value)
+    let mut put = c.method("put");
+    put.returns(Type::object());
+    let this = put.this();
+    let key = put.param("key", Type::object());
+    let value = put.param("value", Type::object());
+    let node = put.local("node", Type::class("HashMapNode"));
+    let is_null = put.local("isNull", Type::Bool);
+    let cond = put.local("cond", Type::Bool);
+    let cur_key = put.local("curKey", Type::object());
+    let eq = put.local("eq", Type::Bool);
+    let old = put.local("old", Type::object());
+    let fresh = put.local("fresh", Type::class("HashMapNode"));
+    let head = put.local("head", Type::class("HashMapNode"));
+    let size = put.local("size", Type::Int);
+    let one = put.local("one", Type::Int);
+    let nul = put.local("nul", Type::object());
+    let node_key = put.fref("HashMapNode", "key");
+    let node_value = put.fref("HashMapNode", "value");
+    let node_next = put.fref("HashMapNode", "next");
+    let node_class = put.cref("HashMapNode");
+    let node_ctor = put.mref("HashMapNode", "<init>");
+    put.load(node, this, "root");
+    put.while_stmt(
+        |m| {
+            m.is_null(is_null, node);
+            m.not(cond, is_null);
+            cond
+        },
+        |m| {
+            m.load_field(cur_key, node, node_key);
+            m.ref_eq(eq, cur_key, key);
+            m.if_then(eq, |m| {
+                m.load_field(old, node, node_value);
+                m.store_field(node, node_value, value);
+                m.ret(Some(old));
+            });
+            m.load_field(node, node, node_next);
+        },
+    );
+    put.new_object(fresh, node_class);
+    put.call(None, node_ctor, Some(fresh), &[key, value]);
+    put.load(head, this, "root");
+    put.store_field(fresh, node_next, head);
+    put.store(this, "root", fresh);
+    put.load(size, this, "size");
+    put.const_int(one, 1);
+    put.bin(size, BinOp::Add, size, one);
+    put.store(this, "size", size);
+    put.const_null(nul);
+    put.ret(Some(nul));
+    put.finish();
+
+    // Object get(Object key)
+    let mut get = c.method("get");
+    get.returns(Type::object());
+    let this = get.this();
+    let key = get.param("key", Type::object());
+    let node = get.local("node", Type::class("HashMapNode"));
+    let is_null = get.local("isNull", Type::Bool);
+    let cond = get.local("cond", Type::Bool);
+    let cur_key = get.local("curKey", Type::object());
+    let eq = get.local("eq", Type::Bool);
+    let out = get.local("out", Type::object());
+    let nul = get.local("nul", Type::object());
+    let node_key = get.fref("HashMapNode", "key");
+    let node_value = get.fref("HashMapNode", "value");
+    let node_next = get.fref("HashMapNode", "next");
+    get.load(node, this, "root");
+    get.while_stmt(
+        |m| {
+            m.is_null(is_null, node);
+            m.not(cond, is_null);
+            cond
+        },
+        |m| {
+            m.load_field(cur_key, node, node_key);
+            m.ref_eq(eq, cur_key, key);
+            m.if_then(eq, |m| {
+                m.load_field(out, node, node_value);
+                m.ret(Some(out));
+            });
+            m.load_field(node, node, node_next);
+        },
+    );
+    get.const_null(nul);
+    get.ret(Some(nul));
+    get.finish();
+
+    // Object firstKey()
+    let mut first_key = c.method("firstKey");
+    first_key.returns(Type::object());
+    let this = first_key.this();
+    let node = first_key.local("node", Type::class("HashMapNode"));
+    let is_null = first_key.local("isNull", Type::Bool);
+    let out = first_key.local("out", Type::object());
+    let node_key = first_key.fref("HashMapNode", "key");
+    first_key.load(node, this, "root");
+    first_key.is_null(is_null, node);
+    first_key.if_then(is_null, |m| m.throw("NoSuchElementException"));
+    first_key.load_field(out, node, node_key);
+    first_key.ret(Some(out));
+    first_key.finish();
+
+    // int size()
+    let mut size = c.method("size");
+    size.returns(Type::Int);
+    let this = size.this();
+    let s = size.local("s", Type::Int);
+    size.load(s, this, "size");
+    size.ret(Some(s));
+    size.finish();
+
+    c.build();
+}

@@ -1,0 +1,367 @@
+//! Models of the remaining collection classes: `ArrayDeque`,
+//! `PriorityQueue` and the static `Collections` utilities.
+
+use atlas_ir::builder::ProgramBuilder;
+use atlas_ir::{BinOp, Type};
+
+/// Installs the deque/queue/utility classes.
+pub fn install(pb: &mut ProgramBuilder) {
+    install_array_deque(pb);
+    install_priority_queue(pb);
+    install_collections(pb);
+}
+
+fn install_array_deque(pb: &mut ProgramBuilder) {
+    let object = pb.declare_class("Object");
+    let mut c = pb.class("ArrayDeque");
+    c.library(true);
+    c.extends(object);
+    c.field("elements", Type::object_array());
+    c.field("count", Type::Int);
+
+    let mut init = c.constructor();
+    let this = init.this();
+    let cap = init.local("cap", Type::Int);
+    init.const_int(cap, 16);
+    let arr = init.local("arr", Type::object_array());
+    init.new_array(arr, cap);
+    init.store(this, "elements", arr);
+    let zero = init.local("zero", Type::Int);
+    init.const_int(zero, 0);
+    init.store(this, "count", zero);
+    init.finish();
+
+    // void addLast(Object e) — append (simplified ring buffer).
+    let mut add_last = c.method("addLast");
+    let this = add_last.this();
+    let e = add_last.param("e", Type::object());
+    let nul = add_last.local("nul", Type::Bool);
+    add_last.is_null(nul, e);
+    add_last.if_then(nul, |m| m.throw("NullPointerException"));
+    let arr = add_last.local("arr", Type::object_array());
+    let count = add_last.local("count", Type::Int);
+    let one = add_last.local("one", Type::Int);
+    add_last.load(arr, this, "elements");
+    add_last.load(count, this, "count");
+    add_last.array_store(arr, count, e);
+    add_last.const_int(one, 1);
+    add_last.bin(count, BinOp::Add, count, one);
+    add_last.store(this, "count", count);
+    add_last.finish();
+
+    // void addFirst(Object e) — shift right then place at 0.
+    let mut add_first = c.method("addFirst");
+    let this = add_first.this();
+    let e = add_first.param("e", Type::object());
+    let nul = add_first.local("nul", Type::Bool);
+    add_first.is_null(nul, e);
+    add_first.if_then(nul, |m| m.throw("NullPointerException"));
+    let arr = add_first.local("arr", Type::object_array());
+    let count = add_first.local("count", Type::Int);
+    let zero = add_first.local("zero", Type::Int);
+    let one = add_first.local("one", Type::Int);
+    add_first.load(arr, this, "elements");
+    add_first.load(count, this, "count");
+    add_first.const_int(zero, 0);
+    add_first.const_int(one, 1);
+    let arraycopy = add_first.mref("System", "arraycopy");
+    add_first.call(None, arraycopy, None, &[arr, zero, arr, one, count]);
+    add_first.array_store(arr, zero, e);
+    add_first.bin(count, BinOp::Add, count, one);
+    add_first.store(this, "count", count);
+    add_first.finish();
+
+    // boolean offer(Object e) / boolean add(Object e)
+    for name in ["offer", "add"] {
+        let mut offer = c.method(name);
+        offer.returns(Type::Bool);
+        let this = offer.this();
+        let e = offer.param("e", Type::object());
+        let add_last = offer.mref("ArrayDeque", "addLast");
+        offer.call(None, add_last, Some(this), &[e]);
+        let t = offer.local("t", Type::Bool);
+        offer.const_bool(t, true);
+        offer.ret(Some(t));
+        offer.finish();
+    }
+
+    // Object pollFirst() / poll()
+    for name in ["pollFirst", "poll"] {
+        let mut poll = c.method(name);
+        poll.returns(Type::object());
+        let this = poll.this();
+        let count = poll.local("count", Type::Int);
+        let zero = poll.local("zero", Type::Int);
+        let one = poll.local("one", Type::Int);
+        let empty = poll.local("empty", Type::Bool);
+        let arr = poll.local("arr", Type::object_array());
+        let out = poll.local("out", Type::object());
+        let nul = poll.local("nul", Type::object());
+        poll.load(count, this, "count");
+        poll.const_int(zero, 0);
+        poll.const_int(one, 1);
+        poll.bin(empty, BinOp::EqInt, count, zero);
+        poll.const_null(nul);
+        poll.if_then(empty, |m| m.ret(Some(nul)));
+        poll.load(arr, this, "elements");
+        poll.array_load(out, arr, zero);
+        poll.bin(count, BinOp::Sub, count, one);
+        let arraycopy = poll.mref("System", "arraycopy");
+        poll.call(None, arraycopy, None, &[arr, one, arr, zero, count]);
+        poll.store(this, "count", count);
+        poll.ret(Some(out));
+        poll.finish();
+    }
+
+    // Object peekFirst() / peek()
+    for name in ["peekFirst", "peek"] {
+        let mut peek = c.method(name);
+        peek.returns(Type::object());
+        let this = peek.this();
+        let count = peek.local("count", Type::Int);
+        let zero = peek.local("zero", Type::Int);
+        let empty = peek.local("empty", Type::Bool);
+        let arr = peek.local("arr", Type::object_array());
+        let out = peek.local("out", Type::object());
+        let nul = peek.local("nul", Type::object());
+        peek.load(count, this, "count");
+        peek.const_int(zero, 0);
+        peek.bin(empty, BinOp::EqInt, count, zero);
+        peek.const_null(nul);
+        peek.if_then(empty, |m| m.ret(Some(nul)));
+        peek.load(arr, this, "elements");
+        peek.array_load(out, arr, zero);
+        peek.ret(Some(out));
+        peek.finish();
+    }
+
+    // Object pollLast()
+    let mut poll_last = c.method("pollLast");
+    poll_last.returns(Type::object());
+    let this = poll_last.this();
+    let count = poll_last.local("count", Type::Int);
+    let zero = poll_last.local("zero", Type::Int);
+    let one = poll_last.local("one", Type::Int);
+    let empty = poll_last.local("empty", Type::Bool);
+    let arr = poll_last.local("arr", Type::object_array());
+    let out = poll_last.local("out", Type::object());
+    let nul = poll_last.local("nul", Type::object());
+    let idx = poll_last.local("idx", Type::Int);
+    poll_last.load(count, this, "count");
+    poll_last.const_int(zero, 0);
+    poll_last.const_int(one, 1);
+    poll_last.bin(empty, BinOp::EqInt, count, zero);
+    poll_last.const_null(nul);
+    poll_last.if_then(empty, |m| m.ret(Some(nul)));
+    poll_last.load(arr, this, "elements");
+    poll_last.bin(idx, BinOp::Sub, count, one);
+    poll_last.array_load(out, arr, idx);
+    poll_last.array_store(arr, idx, nul);
+    poll_last.store(this, "count", idx);
+    poll_last.ret(Some(out));
+    poll_last.finish();
+
+    // int size()
+    let mut size = c.method("size");
+    size.returns(Type::Int);
+    let this = size.this();
+    let s = size.local("s", Type::Int);
+    size.load(s, this, "count");
+    size.ret(Some(s));
+    size.finish();
+
+    c.build();
+}
+
+fn install_priority_queue(pb: &mut ProgramBuilder) {
+    let object = pb.declare_class("Object");
+    let mut c = pb.class("PriorityQueue");
+    c.library(true);
+    c.extends(object);
+    c.field("queue", Type::object_array());
+    c.field("count", Type::Int);
+
+    let mut init = c.constructor();
+    let this = init.this();
+    let cap = init.local("cap", Type::Int);
+    init.const_int(cap, 11);
+    let arr = init.local("arr", Type::object_array());
+    init.new_array(arr, cap);
+    init.store(this, "queue", arr);
+    let zero = init.local("zero", Type::Int);
+    init.const_int(zero, 0);
+    init.store(this, "count", zero);
+    init.finish();
+
+    // boolean offer(Object e) / add(Object e)
+    for name in ["offer", "add"] {
+        let mut offer = c.method(name);
+        offer.returns(Type::Bool);
+        let this = offer.this();
+        let e = offer.param("e", Type::object());
+        let nul = offer.local("nul", Type::Bool);
+        offer.is_null(nul, e);
+        offer.if_then(nul, |m| m.throw("NullPointerException"));
+        let arr = offer.local("arr", Type::object_array());
+        let count = offer.local("count", Type::Int);
+        let one = offer.local("one", Type::Int);
+        let t = offer.local("t", Type::Bool);
+        offer.load(arr, this, "queue");
+        offer.load(count, this, "count");
+        offer.array_store(arr, count, e);
+        offer.const_int(one, 1);
+        offer.bin(count, BinOp::Add, count, one);
+        offer.store(this, "count", count);
+        offer.const_bool(t, true);
+        offer.ret(Some(t));
+        offer.finish();
+    }
+
+    // Object peek()
+    let mut peek = c.method("peek");
+    peek.returns(Type::object());
+    let this = peek.this();
+    let count = peek.local("count", Type::Int);
+    let zero = peek.local("zero", Type::Int);
+    let empty = peek.local("empty", Type::Bool);
+    let arr = peek.local("arr", Type::object_array());
+    let out = peek.local("out", Type::object());
+    let nul = peek.local("nul", Type::object());
+    peek.load(count, this, "count");
+    peek.const_int(zero, 0);
+    peek.bin(empty, BinOp::EqInt, count, zero);
+    peek.const_null(nul);
+    peek.if_then(empty, |m| m.ret(Some(nul)));
+    peek.load(arr, this, "queue");
+    peek.array_load(out, arr, zero);
+    peek.ret(Some(out));
+    peek.finish();
+
+    // Object poll()
+    let mut poll = c.method("poll");
+    poll.returns(Type::object());
+    let this = poll.this();
+    let count = poll.local("count", Type::Int);
+    let zero = poll.local("zero", Type::Int);
+    let one = poll.local("one", Type::Int);
+    let empty = poll.local("empty", Type::Bool);
+    let arr = poll.local("arr", Type::object_array());
+    let out = poll.local("out", Type::object());
+    let nul = poll.local("nul", Type::object());
+    poll.load(count, this, "count");
+    poll.const_int(zero, 0);
+    poll.const_int(one, 1);
+    poll.bin(empty, BinOp::EqInt, count, zero);
+    poll.const_null(nul);
+    poll.if_then(empty, |m| m.ret(Some(nul)));
+    poll.load(arr, this, "queue");
+    poll.array_load(out, arr, zero);
+    poll.bin(count, BinOp::Sub, count, one);
+    let arraycopy = poll.mref("System", "arraycopy");
+    poll.call(None, arraycopy, None, &[arr, one, arr, zero, count]);
+    poll.store(this, "count", count);
+    poll.ret(Some(out));
+    poll.finish();
+
+    // int size()
+    let mut size = c.method("size");
+    size.returns(Type::Int);
+    let this = size.this();
+    let s = size.local("s", Type::Int);
+    size.load(s, this, "count");
+    size.ret(Some(s));
+    size.finish();
+
+    c.build();
+}
+
+fn install_collections(pb: &mut ProgramBuilder) {
+    let mut c = pb.class("Collections");
+    c.library(true);
+
+    // ArrayList singletonList(Object e)
+    let mut singleton = c.static_method("singletonList");
+    singleton.returns(Type::class("ArrayList"));
+    let e = singleton.param("e", Type::object());
+    let out = singleton.local("out", Type::class("ArrayList"));
+    let list = singleton.cref("ArrayList");
+    singleton.new_object(out, list);
+    let ctor = singleton.mref("ArrayList", "<init>");
+    let add = singleton.mref("ArrayList", "add");
+    singleton.call(None, ctor, Some(out), &[]);
+    singleton.call(None, add, Some(out), &[e]);
+    singleton.ret(Some(out));
+    singleton.finish();
+
+    // ArrayList emptyList()
+    let mut empty = c.static_method("emptyList");
+    empty.returns(Type::class("ArrayList"));
+    let out = empty.local("out", Type::class("ArrayList"));
+    let list = empty.cref("ArrayList");
+    empty.new_object(out, list);
+    let ctor = empty.mref("ArrayList", "<init>");
+    empty.call(None, ctor, Some(out), &[]);
+    empty.ret(Some(out));
+    empty.finish();
+
+    // ArrayList unmodifiableList(ArrayList list) — defensive copy.
+    let mut unmod = c.static_method("unmodifiableList");
+    unmod.returns(Type::class("ArrayList"));
+    let src = unmod.param("list", Type::class("ArrayList"));
+    let out = unmod.local("out", Type::class("ArrayList"));
+    let list = unmod.cref("ArrayList");
+    unmod.new_object(out, list);
+    let ctor = unmod.mref("ArrayList", "<init>");
+    let add_all = unmod.mref("ArrayList", "addAll");
+    unmod.call(None, ctor, Some(out), &[]);
+    unmod.call(None, add_all, Some(out), &[src]);
+    unmod.ret(Some(out));
+    unmod.finish();
+
+    // boolean addAll(ArrayList dst, Object e) — varargs collapsed to one.
+    let mut add_all = c.static_method("addAll");
+    add_all.returns(Type::Bool);
+    let dst = add_all.param("dst", Type::class("ArrayList"));
+    let e = add_all.param("e", Type::object());
+    let add = add_all.mref("ArrayList", "add");
+    add_all.call(None, add, Some(dst), &[e]);
+    let t = add_all.local("t", Type::Bool);
+    add_all.const_bool(t, true);
+    add_all.ret(Some(t));
+    add_all.finish();
+
+    // void reverse(ArrayList list) — in-place reversal.
+    let mut reverse = c.static_method("reverse");
+    let list_p = reverse.param("list", Type::class("ArrayList"));
+    let i = reverse.local("i", Type::Int);
+    let j = reverse.local("j", Type::Int);
+    let one = reverse.local("one", Type::Int);
+    let n = reverse.local("n", Type::Int);
+    let cond = reverse.local("cond", Type::Bool);
+    let a = reverse.local("a", Type::object());
+    let b = reverse.local("b", Type::object());
+    let size = reverse.mref("ArrayList", "size");
+    let get = reverse.mref("ArrayList", "get");
+    let set = reverse.mref("ArrayList", "set");
+    reverse.call(Some(n), size, Some(list_p), &[]);
+    reverse.const_int(i, 0);
+    reverse.const_int(one, 1);
+    reverse.bin(j, BinOp::Sub, n, one);
+    reverse.while_stmt(
+        |m| {
+            m.bin(cond, BinOp::Lt, i, j);
+            cond
+        },
+        |m| {
+            m.call(Some(a), get, Some(list_p), &[i]);
+            m.call(Some(b), get, Some(list_p), &[j]);
+            m.call(None, set, Some(list_p), &[i, b]);
+            m.call(None, set, Some(list_p), &[j, a]);
+            m.bin(i, BinOp::Add, i, one);
+            m.bin(j, BinOp::Sub, j, one);
+        },
+    );
+    reverse.finish();
+
+    c.build();
+}

@@ -1,0 +1,730 @@
+//! Handwritten and ground-truth code-fragment specifications for the modeled
+//! library.
+//!
+//! * [`ground_truth_specs`] is the complete, precise specification set `S*`
+//!   used as the reference point of the evaluation (Section 6.2 and
+//!   Figure 9b/9c).  Every public method with a points-to effect gets a
+//!   ghost-field summary equivalent to its implementation under the
+//!   flow-insensitive analysis.
+//! * [`handwritten_specs`] is the deliberately *partial* corpus standing in
+//!   for the specifications written by hand over two years (Section 6.1):
+//!   precise but covering only the most commonly used methods.
+
+use atlas_ir::{AllocSite, FieldId, MethodId, Program, Stmt, Var};
+use std::collections::{BTreeMap, HashMap};
+
+/// Builder for code-fragment specification bodies, with a per-class ghost
+/// field namespace (`"ArrayList::elem"`, `"HashMap::value"`, …).
+pub struct SpecsBuilder<'p> {
+    program: &'p Program,
+    ghost_fields: HashMap<String, FieldId>,
+    next_ghost: u32,
+    bodies: BTreeMap<MethodId, Vec<Stmt>>,
+}
+
+impl<'p> SpecsBuilder<'p> {
+    /// Creates a builder for the given program.  Ghost fields are allocated
+    /// beyond the program's real field ids.
+    pub fn new(program: &'p Program) -> SpecsBuilder<'p> {
+        SpecsBuilder {
+            program,
+            ghost_fields: HashMap::new(),
+            next_ghost: program.num_fields() as u32,
+            bodies: BTreeMap::new(),
+        }
+    }
+
+    /// Interns a ghost field by name.
+    pub fn ghost(&mut self, name: &str) -> FieldId {
+        if let Some(&f) = self.ghost_fields.get(name) {
+            return f;
+        }
+        let f = FieldId::from_index(self.next_ghost);
+        self.next_ghost += 1;
+        self.ghost_fields.insert(name.to_string(), f);
+        f
+    }
+
+    /// Looks up a *real* field of a class.
+    ///
+    /// # Panics
+    /// Panics if the class or field does not exist.
+    pub fn real_field(&self, class: &str, field: &str) -> FieldId {
+        let class_id = self
+            .program
+            .class_named(class)
+            .unwrap_or_else(|| panic!("unknown class {class}"));
+        self.program
+            .field_named(class_id, field)
+            .unwrap_or_else(|| panic!("unknown field {class}.{field}"))
+    }
+
+    /// Starts a fragment for `"Class.method"`.
+    ///
+    /// # Panics
+    /// Panics if the method does not exist in the program.
+    pub fn frag(&mut self, qualified: &str) -> FragBuilder<'_, 'p> {
+        let method = self
+            .program
+            .method_qualified(qualified)
+            .unwrap_or_else(|| panic!("unknown method {qualified}"));
+        let next_var = self.program.method(method).num_vars() as u32;
+        FragBuilder { sb: self, method, stmts: Vec::new(), next_var, alloc_counter: 0 }
+    }
+
+    /// Finishes and returns the accumulated fragment bodies.
+    pub fn build(self) -> BTreeMap<MethodId, Vec<Stmt>> {
+        self.bodies
+    }
+}
+
+/// Builder for a single fragment body.
+pub struct FragBuilder<'a, 'p> {
+    sb: &'a mut SpecsBuilder<'p>,
+    method: MethodId,
+    stmts: Vec<Stmt>,
+    next_var: u32,
+    alloc_counter: u32,
+}
+
+impl<'a, 'p> FragBuilder<'a, 'p> {
+    /// The receiver variable.
+    pub fn this(&self) -> Var {
+        self.sb
+            .program
+            .method(self.method)
+            .this_var()
+            .expect("fragment method has no receiver")
+    }
+
+    /// The `i`-th declared parameter.
+    pub fn param(&self, i: usize) -> Var {
+        self.sb.program.method(self.method).param_var(i)
+    }
+
+    /// A fresh local variable.
+    pub fn fresh(&mut self) -> Var {
+        let v = Var::from_index(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// `dst = new <class of this method>` (ghost carrier allocation).
+    pub fn new_obj(&mut self, class: &str) -> Var {
+        let dst = self.fresh();
+        let class = self
+            .sb
+            .program
+            .class_named(class)
+            .unwrap_or_else(|| panic!("unknown class {class}"));
+        self.stmts.push(Stmt::New {
+            dst,
+            class,
+            site: AllocSite { method: self.method, index: 2_000_000 + self.alloc_counter },
+        });
+        self.alloc_counter += 1;
+        dst
+    }
+
+    /// `obj.<ghost> = src`.
+    pub fn store_ghost(&mut self, obj: Var, ghost: &str, src: Var) -> &mut Self {
+        let field = self.sb.ghost(ghost);
+        self.stmts.push(Stmt::Store { obj, field, src });
+        self
+    }
+
+    /// `dst = obj.<ghost>` for a fresh `dst`, returning it.
+    pub fn load_ghost(&mut self, obj: Var, ghost: &str) -> Var {
+        let field = self.sb.ghost(ghost);
+        let dst = self.fresh();
+        self.stmts.push(Stmt::Load { dst, obj, field });
+        dst
+    }
+
+    /// `obj.$elems = src` — stores into the synthetic collapsed-array field,
+    /// so the fragment's effect lines up with client array accesses.
+    pub fn store_elems(&mut self, obj: Var, src: Var) -> &mut Self {
+        let field = self.sb.program.elems_field();
+        self.stmts.push(Stmt::Store { obj, field, src });
+        self
+    }
+
+    /// `dst = obj.$elems` for a fresh `dst`.
+    pub fn load_elems(&mut self, obj: Var) -> Var {
+        let field = self.sb.program.elems_field();
+        let dst = self.fresh();
+        self.stmts.push(Stmt::Load { dst, obj, field });
+        dst
+    }
+
+    /// `obj.<real field> = src`.
+    pub fn store_real(&mut self, obj: Var, class: &str, field: &str, src: Var) -> &mut Self {
+        let field = self.sb.real_field(class, field);
+        self.stmts.push(Stmt::Store { obj, field, src });
+        self
+    }
+
+    /// `dst = obj.<real field>` for a fresh `dst`.
+    pub fn load_real(&mut self, obj: Var, class: &str, field: &str) -> Var {
+        let field = self.sb.real_field(class, field);
+        let dst = self.fresh();
+        self.stmts.push(Stmt::Load { dst, obj, field });
+        dst
+    }
+
+    /// `return v`.
+    pub fn ret(&mut self, v: Var) -> &mut Self {
+        self.stmts.push(Stmt::Return { var: Some(v) });
+        self
+    }
+
+    /// Finishes the fragment, registering it with the builder.
+    pub fn done(self) {
+        self.sb.bodies.insert(self.method, self.stmts);
+    }
+}
+
+/// The complete ground-truth specification set `S*` for the modeled library.
+pub fn ground_truth_specs(program: &Program) -> BTreeMap<MethodId, Vec<Stmt>> {
+    let mut sb = SpecsBuilder::new(program);
+    list_ground_truth(&mut sb);
+    map_ground_truth(&mut sb);
+    other_ground_truth(&mut sb);
+    lang_ground_truth(&mut sb);
+    android_ground_truth(&mut sb);
+    sb.build()
+}
+
+/// Specifications for the Android-flavoured *source* methods only.  These
+/// model the framework methods annotated as information sources by the flow
+/// client; they are part of the client's manual annotations and are combined
+/// with whatever library specification corpus (handwritten, ground truth or
+/// inferred) is in use.
+pub fn android_model_specs(program: &Program) -> BTreeMap<MethodId, Vec<Stmt>> {
+    let mut sb = SpecsBuilder::new(program);
+    android_ground_truth(&mut sb);
+    sb.build()
+}
+
+/// The partial, handwritten specification corpus (precise but incomplete).
+pub fn handwritten_specs(program: &Program) -> BTreeMap<MethodId, Vec<Stmt>> {
+    let mut sb = SpecsBuilder::new(program);
+    // ArrayList: only the most basic accessors were ever written by hand.
+    {
+        let mut f = sb.frag("ArrayList.add");
+        let (this, e) = (f.this(), f.param(0));
+        f.store_ghost(this, "ArrayList::elem", e);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("ArrayList.get");
+        let this = f.this();
+        let t = f.load_ghost(this, "ArrayList::elem");
+        f.ret(t);
+        f.done();
+    }
+    // Vector / Stack.
+    {
+        let mut f = sb.frag("Vector.add");
+        let (this, e) = (f.this(), f.param(0));
+        f.store_ghost(this, "Vector::elem", e);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Vector.addElement");
+        let (this, e) = (f.this(), f.param(0));
+        f.store_ghost(this, "Vector::elem", e);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Vector.get");
+        let this = f.this();
+        let t = f.load_ghost(this, "Vector::elem");
+        f.ret(t);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Stack.push");
+        let (this, e) = (f.this(), f.param(0));
+        f.store_ghost(this, "Vector::elem", e);
+        f.ret(e);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Stack.pop");
+        let this = f.this();
+        let t = f.load_ghost(this, "Vector::elem");
+        f.ret(t);
+        f.done();
+    }
+    // HashMap basics.
+    {
+        let mut f = sb.frag("HashMap.put");
+        let (this, k, v) = (f.this(), f.param(0), f.param(1));
+        f.store_ghost(this, "HashMap::key", k);
+        f.store_ghost(this, "HashMap::value", v);
+        let old = f.load_ghost(this, "HashMap::value");
+        f.ret(old);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("HashMap.get");
+        let this = f.this();
+        let t = f.load_ghost(this, "HashMap::value");
+        f.ret(t);
+        f.done();
+    }
+    // StringBuilder.
+    {
+        let mut f = sb.frag("StringBuilder.append");
+        let (this, p) = (f.this(), f.param(0));
+        f.store_ghost(this, "StringBuilder::part", p);
+        f.ret(this);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("StringBuilder.toString");
+        let out = f.new_obj("String");
+        f.ret(out);
+        f.done();
+    }
+    sb.build()
+}
+
+fn list_ground_truth(sb: &mut SpecsBuilder<'_>) {
+    // ---- ArrayList --------------------------------------------------------
+    {
+        let mut f = sb.frag("ArrayList.add");
+        let (this, e) = (f.this(), f.param(0));
+        f.store_ghost(this, "ArrayList::elem", e);
+        f.done();
+    }
+    for getter in ["ArrayList.get", "ArrayList.remove"] {
+        let mut f = sb.frag(getter);
+        let this = f.this();
+        let t = f.load_ghost(this, "ArrayList::elem");
+        f.ret(t);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("ArrayList.set");
+        let (this, e) = (f.this(), f.param(1));
+        let old = f.load_ghost(this, "ArrayList::elem");
+        f.ret(old);
+        f.store_ghost(this, "ArrayList::elem", e);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("ArrayList.addAll");
+        let (this, other) = (f.this(), f.param(0));
+        let t = f.load_ghost(other, "ArrayList::elem");
+        f.store_ghost(this, "ArrayList::elem", t);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("ArrayList.iterator");
+        let this = f.this();
+        let it = f.new_obj("ArrayListIterator");
+        let t = f.load_ghost(this, "ArrayList::elem");
+        f.store_ghost(it, "ArrayListIterator::elem", t);
+        f.ret(it);
+        f.done();
+    }
+    for copier in ["ArrayList.subList", "ArrayList.clone"] {
+        let mut f = sb.frag(copier);
+        let this = f.this();
+        let out = f.new_obj("ArrayList");
+        let t = f.load_ghost(this, "ArrayList::elem");
+        f.store_ghost(out, "ArrayList::elem", t);
+        f.ret(out);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("ArrayList.toArray");
+        let this = f.this();
+        let out = f.new_obj("Object");
+        let t = f.load_ghost(this, "ArrayList::elem");
+        f.store_elems(out, t);
+        f.ret(out);
+        f.done();
+    }
+    // ---- ArrayListIterator -------------------------------------------------
+    {
+        let mut f = sb.frag("ArrayListIterator.<init>");
+        let (this, list) = (f.this(), f.param(0));
+        let t = f.load_ghost(list, "ArrayList::elem");
+        f.store_ghost(this, "ArrayListIterator::elem", t);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("ArrayListIterator.next");
+        let this = f.this();
+        let t = f.load_ghost(this, "ArrayListIterator::elem");
+        f.ret(t);
+        f.done();
+    }
+    // ---- Vector / Stack ----------------------------------------------------
+    for adder in ["Vector.add", "Vector.addElement"] {
+        let mut f = sb.frag(adder);
+        let (this, e) = (f.this(), f.param(0));
+        f.store_ghost(this, "Vector::elem", e);
+        f.done();
+    }
+    for getter in ["Vector.get", "Vector.elementAt", "Vector.firstElement", "Vector.lastElement"] {
+        let mut f = sb.frag(getter);
+        let this = f.this();
+        let t = f.load_ghost(this, "Vector::elem");
+        f.ret(t);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Vector.set");
+        let (this, e) = (f.this(), f.param(1));
+        let old = f.load_ghost(this, "Vector::elem");
+        f.ret(old);
+        f.store_ghost(this, "Vector::elem", e);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Stack.push");
+        let (this, e) = (f.this(), f.param(0));
+        f.store_ghost(this, "Vector::elem", e);
+        f.ret(e);
+        f.done();
+    }
+    for getter in ["Stack.pop", "Stack.peek"] {
+        let mut f = sb.frag(getter);
+        let this = f.this();
+        let t = f.load_ghost(this, "Vector::elem");
+        f.ret(t);
+        f.done();
+    }
+    // ---- LinkedList --------------------------------------------------------
+    for adder in ["LinkedList.add", "LinkedList.addFirst", "LinkedList.addLast", "LinkedList.offer", "LinkedList.push"] {
+        let mut f = sb.frag(adder);
+        let (this, e) = (f.this(), f.param(0));
+        f.store_ghost(this, "LinkedList::elem", e);
+        f.done();
+    }
+    for getter in [
+        "LinkedList.get",
+        "LinkedList.getFirst",
+        "LinkedList.getLast",
+        "LinkedList.removeFirst",
+        "LinkedList.poll",
+        "LinkedList.peek",
+        "LinkedList.pop",
+    ] {
+        let mut f = sb.frag(getter);
+        let this = f.this();
+        let t = f.load_ghost(this, "LinkedList::elem");
+        f.ret(t);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("LinkedList.iterator");
+        let this = f.this();
+        let it = f.new_obj("LinkedListIterator");
+        let t = f.load_ghost(this, "LinkedList::elem");
+        f.store_ghost(it, "LinkedListIterator::elem", t);
+        f.ret(it);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("LinkedListIterator.<init>");
+        let (this, list) = (f.this(), f.param(0));
+        let t = f.load_ghost(list, "LinkedList::elem");
+        f.store_ghost(this, "LinkedListIterator::elem", t);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("LinkedListIterator.next");
+        let this = f.this();
+        let t = f.load_ghost(this, "LinkedListIterator::elem");
+        f.ret(t);
+        f.done();
+    }
+}
+
+fn map_ground_truth(sb: &mut SpecsBuilder<'_>) {
+    for map in ["HashMap", "Hashtable", "TreeMap"] {
+        let key_ghost = format!("{map}::key");
+        let value_ghost = format!("{map}::value");
+        {
+            let mut f = sb.frag(&format!("{map}.put"));
+            let (this, k, v) = (f.this(), f.param(0), f.param(1));
+            f.store_ghost(this, &key_ghost, k);
+            f.store_ghost(this, &value_ghost, v);
+            let old = f.load_ghost(this, &value_ghost);
+            f.ret(old);
+            f.done();
+        }
+        {
+            let mut f = sb.frag(&format!("{map}.get"));
+            let this = f.this();
+            let t = f.load_ghost(this, &value_ghost);
+            f.ret(t);
+            f.done();
+        }
+        if map != "TreeMap" {
+            {
+                let mut f = sb.frag(&format!("{map}.remove"));
+                let this = f.this();
+                let t = f.load_ghost(this, &value_ghost);
+                f.ret(t);
+                f.done();
+            }
+            {
+                let mut f = sb.frag(&format!("{map}.keySet"));
+                let this = f.this();
+                let out = f.new_obj("ArrayList");
+                let t = f.load_ghost(this, &key_ghost);
+                f.store_ghost(out, "ArrayList::elem", t);
+                f.ret(out);
+                f.done();
+            }
+            {
+                let mut f = sb.frag(&format!("{map}.values"));
+                let this = f.this();
+                let out = f.new_obj("ArrayList");
+                let t = f.load_ghost(this, &value_ghost);
+                f.store_ghost(out, "ArrayList::elem", t);
+                f.ret(out);
+                f.done();
+            }
+            {
+                let mut f = sb.frag(&format!("{map}.entrySet"));
+                let this = f.this();
+                let out = f.new_obj("ArrayList");
+                let entry = f.new_obj("Entry");
+                let k = f.load_ghost(this, &key_ghost);
+                f.store_real(entry, "Entry", "key", k);
+                let v = f.load_ghost(this, &value_ghost);
+                f.store_real(entry, "Entry", "value", v);
+                f.store_ghost(out, "ArrayList::elem", entry);
+                f.ret(out);
+                f.done();
+            }
+            {
+                let mut f = sb.frag(&format!("{map}.putAll"));
+                let (this, other) = (f.this(), f.param(0));
+                let k = f.load_ghost(other, &key_ghost);
+                f.store_ghost(this, &key_ghost, k);
+                let v = f.load_ghost(other, &value_ghost);
+                f.store_ghost(this, &value_ghost, v);
+                f.done();
+            }
+        }
+    }
+    {
+        let mut f = sb.frag("TreeMap.firstKey");
+        let this = f.this();
+        let t = f.load_ghost(this, "TreeMap::key");
+        f.ret(t);
+        f.done();
+    }
+    // ---- HashSet -----------------------------------------------------------
+    {
+        let mut f = sb.frag("HashSet.add");
+        let (this, e) = (f.this(), f.param(0));
+        f.store_ghost(this, "HashSet::elem", e);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("HashSet.iterator");
+        let this = f.this();
+        let it = f.new_obj("ArrayListIterator");
+        let t = f.load_ghost(this, "HashSet::elem");
+        f.store_ghost(it, "ArrayListIterator::elem", t);
+        f.ret(it);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("HashSet.toList");
+        let this = f.this();
+        let out = f.new_obj("ArrayList");
+        let t = f.load_ghost(this, "HashSet::elem");
+        f.store_ghost(out, "ArrayList::elem", t);
+        f.ret(out);
+        f.done();
+    }
+    // ---- Entry -------------------------------------------------------------
+    {
+        let mut f = sb.frag("Entry.<init>");
+        let (this, k, v) = (f.this(), f.param(0), f.param(1));
+        f.store_real(this, "Entry", "key", k);
+        f.store_real(this, "Entry", "value", v);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Entry.getKey");
+        let this = f.this();
+        let t = f.load_real(this, "Entry", "key");
+        f.ret(t);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Entry.getValue");
+        let this = f.this();
+        let t = f.load_real(this, "Entry", "value");
+        f.ret(t);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Entry.setValue");
+        let (this, v) = (f.this(), f.param(0));
+        let old = f.load_real(this, "Entry", "value");
+        f.ret(old);
+        f.store_real(this, "Entry", "value", v);
+        f.done();
+    }
+}
+
+fn other_ground_truth(sb: &mut SpecsBuilder<'_>) {
+    for (class, ghost) in [("ArrayDeque", "ArrayDeque::elem"), ("PriorityQueue", "PriorityQueue::elem")] {
+        let adders: &[&str] = if class == "ArrayDeque" {
+            &["addLast", "addFirst", "offer", "add"]
+        } else {
+            &["offer", "add"]
+        };
+        for adder in adders {
+            let mut f = sb.frag(&format!("{class}.{adder}"));
+            let (this, e) = (f.this(), f.param(0));
+            f.store_ghost(this, ghost, e);
+            f.done();
+        }
+        let getters: &[&str] = if class == "ArrayDeque" {
+            &["poll", "pollFirst", "pollLast", "peek", "peekFirst"]
+        } else {
+            &["peek", "poll"]
+        };
+        for getter in getters {
+            let mut f = sb.frag(&format!("{class}.{getter}"));
+            let this = f.this();
+            let t = f.load_ghost(this, ghost);
+            f.ret(t);
+            f.done();
+        }
+    }
+    // Collections utilities.
+    {
+        let mut f = sb.frag("Collections.singletonList");
+        let e = f.param(0);
+        let out = f.new_obj("ArrayList");
+        f.store_ghost(out, "ArrayList::elem", e);
+        f.ret(out);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Collections.emptyList");
+        let out = f.new_obj("ArrayList");
+        f.ret(out);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Collections.unmodifiableList");
+        let src = f.param(0);
+        let out = f.new_obj("ArrayList");
+        let t = f.load_ghost(src, "ArrayList::elem");
+        f.store_ghost(out, "ArrayList::elem", t);
+        f.ret(out);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Collections.addAll");
+        let (dst, e) = (f.param(0), f.param(1));
+        f.store_ghost(dst, "ArrayList::elem", e);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Arrays.asList");
+        let arr = f.param(0);
+        let out = f.new_obj("ArrayList");
+        let t = f.load_elems(arr);
+        f.store_ghost(out, "ArrayList::elem", t);
+        f.ret(out);
+        f.done();
+    }
+}
+
+fn lang_ground_truth(sb: &mut SpecsBuilder<'_>) {
+    {
+        let mut f = sb.frag("StringBuilder.append");
+        let (this, p) = (f.this(), f.param(0));
+        f.store_ghost(this, "StringBuilder::part", p);
+        f.ret(this);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("StringBuilder.toString");
+        let out = f.new_obj("String");
+        f.ret(out);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("String.concat");
+        let out = f.new_obj("String");
+        f.ret(out);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Integer.valueOf");
+        let out = f.new_obj("Integer");
+        f.ret(out);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Optional.of");
+        let v = f.param(0);
+        let out = f.new_obj("Optional");
+        f.store_real(out, "Optional", "value", v);
+        f.ret(out);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Optional.get");
+        let this = f.this();
+        let t = f.load_real(this, "Optional", "value");
+        f.ret(t);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("Optional.orElse");
+        let (this, other) = (f.this(), f.param(0));
+        let t = f.load_real(this, "Optional", "value");
+        f.ret(t);
+        f.ret(other);
+        f.done();
+    }
+}
+
+fn android_ground_truth(sb: &mut SpecsBuilder<'_>) {
+    for source in ["TelephonyManager.getDeviceId", "TelephonyManager.getSubscriberId"] {
+        let mut f = sb.frag(source);
+        let out = f.new_obj("String");
+        f.ret(out);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("LocationManager.getLastKnownLocation");
+        let out = f.new_obj("Location");
+        f.ret(out);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("ContactsProvider.getContacts");
+        let out = f.new_obj("ArrayList");
+        let c = f.new_obj("Contact");
+        f.store_ghost(out, "ArrayList::elem", c);
+        f.ret(out);
+        f.done();
+    }
+    {
+        let mut f = sb.frag("SmsInbox.getMessages");
+        let out = f.new_obj("ArrayList");
+        let m = f.new_obj("SmsMessage");
+        f.store_ghost(out, "ArrayList::elem", m);
+        f.ret(out);
+        f.done();
+    }
+}

@@ -1,0 +1,218 @@
+//! The noisy oracle: check a candidate path specification by synthesizing a
+//! potential witness and executing it against the blackbox library.
+
+use atlas_interp::{ExecLimits, Interpreter};
+use atlas_ir::{LibraryInterface, ParamSlot, Program};
+use atlas_spec::PathSpec;
+use atlas_synth::{synthesize_witness, InitStrategy, InstantiationPlanner, WitnessTest};
+use std::collections::HashMap;
+
+/// Configuration of the oracle.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// How unconstrained reference arguments are initialized.
+    pub strategy: InitStrategy,
+    /// Execution limits for each unit test.
+    pub limits: ExecLimits,
+    /// Whether to memoize query results (recommended; random sampling
+    /// re-draws the same candidates frequently).
+    pub memoize: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            strategy: InitStrategy::Instantiate,
+            limits: ExecLimits::for_unit_tests(),
+            memoize: true,
+        }
+    }
+}
+
+/// Counters describing the oracle's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Total queries answered (including memoized hits).
+    pub queries: usize,
+    /// Queries answered by executing a synthesized unit test.
+    pub executions: usize,
+    /// Queries that returned 1 (candidate accepted).
+    pub positives: usize,
+}
+
+/// The noisy oracle of Section 5.1.
+pub struct Oracle<'p> {
+    program: &'p Program,
+    interface: &'p LibraryInterface,
+    planner: InstantiationPlanner,
+    config: OracleConfig,
+    cache: HashMap<Vec<ParamSlot>, bool>,
+    stats: OracleStats,
+}
+
+impl<'p> Oracle<'p> {
+    /// Creates an oracle over the given program (which must contain the
+    /// library implementation) and interface.
+    pub fn new(program: &'p Program, interface: &'p LibraryInterface, config: OracleConfig) -> Oracle<'p> {
+        let planner = InstantiationPlanner::new(program, interface);
+        Oracle { program, interface, planner, config, cache: HashMap::new(), stats: OracleStats::default() }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    /// The interface the oracle works over.
+    pub fn interface(&self) -> &LibraryInterface {
+        self.interface
+    }
+
+    /// The instantiation planner (shared with callers that synthesize their
+    /// own witnesses, e.g. for display).
+    pub fn planner(&self) -> &InstantiationPlanner {
+        &self.planner
+    }
+
+    /// Checks a raw symbol sequence.  Sequences that are not well-formed
+    /// path specifications, or that contain a *degenerate* step (the same
+    /// slot used as both entry and exit, which carries no points-to
+    /// information and would otherwise flood phase one with trivially-true
+    /// candidates), are always rejected.
+    pub fn check_word(&mut self, word: &[ParamSlot]) -> bool {
+        self.stats.queries += 1;
+        if let Some(&hit) = self.cache.get(word) {
+            if hit {
+                self.stats.positives += 1;
+            }
+            return hit;
+        }
+        if word.chunks(2).any(|c| c.len() == 2 && c[0] == c[1]) {
+            self.cache.insert(word.to_vec(), false);
+            return false;
+        }
+        let result = match PathSpec::new(word.to_vec()) {
+            Ok(spec) => self.run_witness(&spec),
+            Err(_) => false,
+        };
+        if self.config.memoize {
+            self.cache.insert(word.to_vec(), result);
+        }
+        if result {
+            self.stats.positives += 1;
+        }
+        result
+    }
+
+    /// Checks a candidate path specification.
+    pub fn check(&mut self, spec: &PathSpec) -> bool {
+        self.check_word(spec.symbols())
+    }
+
+    /// Synthesizes the potential witness for a candidate (without running
+    /// it) — useful for inspection and rendering.
+    pub fn witness_for(&self, spec: &PathSpec) -> Option<WitnessTest> {
+        synthesize_witness(self.program, self.interface, &self.planner, spec, self.config.strategy).ok()
+    }
+
+    fn run_witness(&mut self, spec: &PathSpec) -> bool {
+        self.stats.executions += 1;
+        let Ok(witness) =
+            synthesize_witness(self.program, self.interface, &self.planner, spec, self.config.strategy)
+        else {
+            return false;
+        };
+        let mut interp = Interpreter::with_config(
+            self.program,
+            atlas_interp::BuiltinRegistry::with_defaults(),
+            self.config.limits,
+        );
+        witness.execute(self.program, &mut interp).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_ir::builder::ProgramBuilder;
+    use atlas_ir::Type;
+
+    fn box_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut obj = pb.class("Object");
+        obj.library(true);
+        let mut init = obj.constructor();
+        init.this();
+        init.finish();
+        obj.build();
+        let mut c = pb.class("Box");
+        c.library(true);
+        c.field("f", Type::object());
+        let mut init = c.constructor();
+        init.this();
+        init.finish();
+        let mut set = c.method("set");
+        let this = set.this();
+        let ob = set.param("ob", Type::object());
+        set.store(this, "f", ob);
+        set.finish();
+        let mut get = c.method("get");
+        get.returns(Type::object());
+        let this = get.this();
+        let r = get.local("r", Type::object());
+        get.load(r, this, "f");
+        get.ret(Some(r));
+        get.finish();
+        let mut clone = c.method("clone");
+        clone.returns(Type::class("Box"));
+        let this = clone.this();
+        let b = clone.local("b", Type::class("Box"));
+        let tmp = clone.local("tmp", Type::object());
+        let box_class = clone.cref("Box");
+        clone.new_object(b, box_class);
+        clone.load(tmp, this, "f");
+        clone.store(b, "f", tmp);
+        clone.ret(Some(b));
+        clone.finish();
+        c.build();
+        pb.build()
+    }
+
+    #[test]
+    fn oracle_accepts_precise_and_rejects_imprecise() {
+        let p = box_program();
+        let iface = LibraryInterface::from_program(&p);
+        let mut oracle = Oracle::new(&p, &iface, OracleConfig::default());
+        let set = p.method_qualified("Box.set").unwrap();
+        let get = p.method_qualified("Box.get").unwrap();
+        let clone = p.method_qualified("Box.clone").unwrap();
+        let good = vec![
+            ParamSlot::param(set, 0),
+            ParamSlot::receiver(set),
+            ParamSlot::receiver(get),
+            ParamSlot::ret(get),
+        ];
+        let bad = vec![
+            ParamSlot::param(set, 0),
+            ParamSlot::receiver(set),
+            ParamSlot::receiver(clone),
+            ParamSlot::ret(clone),
+        ];
+        assert!(oracle.check_word(&good));
+        assert!(!oracle.check_word(&bad));
+        // Ill-formed words are rejected without execution.
+        assert!(!oracle.check_word(&good[..1]));
+        // Memoization: re-querying does not re-execute.
+        let execs = oracle.stats().executions;
+        assert!(oracle.check_word(&good));
+        assert_eq!(oracle.stats().executions, execs);
+        assert!(oracle.stats().queries >= 4);
+        assert!(oracle.stats().positives >= 2);
+        // A witness can be synthesized for inspection.
+        let spec = PathSpec::new(good).unwrap();
+        assert!(oracle.witness_for(&spec).is_some());
+        assert!(oracle.check(&spec));
+        assert!(oracle.interface().num_methods() >= 3);
+        assert!(oracle.planner().cost(p.class_named("Box").unwrap()).is_some());
+    }
+}

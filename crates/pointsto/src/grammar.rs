@@ -1,0 +1,237 @@
+//! The context-free grammar `C_pt` of Figure 3, and a small derivation
+//! checker.
+//!
+//! The production rules are:
+//!
+//! ```text
+//! Transfer     → ε | Transfer Assign | Transfer Store[f] Alias Load[f]
+//! Transfer-bar → ε | Assign-bar Transfer-bar | Load-bar[f] Alias Store-bar[f] Transfer-bar
+//! Alias        → Transfer-bar New-bar New Transfer
+//! FlowsTo      → New Transfer
+//! ```
+//!
+//! The solver in [`crate::solver`] implements the closure of this grammar
+//! directly (it never materializes strings); this module exists so that tests
+//! can independently check, on tiny graphs, that a relation computed by the
+//! solver corresponds to an actual derivation — and vice versa.
+
+use std::fmt;
+
+/// Terminal symbols Σ_pt labelling edges of the extracted graph.  Fields are
+/// abstracted to a `u32` key (the `FieldId` index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Terminal {
+    Assign,
+    AssignBar,
+    New,
+    NewBar,
+    Store(u32),
+    StoreBar(u32),
+    Load(u32),
+    LoadBar(u32),
+}
+
+impl Terminal {
+    /// The reversed ("bar") version of this terminal.
+    pub fn bar(self) -> Terminal {
+        match self {
+            Terminal::Assign => Terminal::AssignBar,
+            Terminal::AssignBar => Terminal::Assign,
+            Terminal::New => Terminal::NewBar,
+            Terminal::NewBar => Terminal::New,
+            Terminal::Store(f) => Terminal::StoreBar(f),
+            Terminal::StoreBar(f) => Terminal::Store(f),
+            Terminal::Load(f) => Terminal::LoadBar(f),
+            Terminal::LoadBar(f) => Terminal::Load(f),
+        }
+    }
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminal::Assign => write!(f, "Assign"),
+            Terminal::AssignBar => write!(f, "Assign̄"),
+            Terminal::New => write!(f, "New"),
+            Terminal::NewBar => write!(f, "New̄"),
+            Terminal::Store(x) => write!(f, "Store[{x}]"),
+            Terminal::StoreBar(x) => write!(f, "Storē[{x}]"),
+            Terminal::Load(x) => write!(f, "Load[{x}]"),
+            Terminal::LoadBar(x) => write!(f, "Load̄[{x}]"),
+        }
+    }
+}
+
+/// Nonterminals of `C_pt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NonTerminal {
+    Transfer,
+    TransferBar,
+    Alias,
+    FlowsTo,
+}
+
+/// Checks whether `word` can be derived from `start` in `C_pt`.
+///
+/// The check is a straightforward memoized recursive-descent over spans of
+/// the word; it is exponential in the worst case but only ever used on the
+/// short words that appear in tests (length ≤ ~12).
+pub fn derives(start: NonTerminal, word: &[Terminal]) -> bool {
+    let mut memo = std::collections::HashMap::new();
+    derives_span(start, word, 0, word.len(), &mut memo)
+}
+
+type Memo = std::collections::HashMap<(NonTerminal, usize, usize), bool>;
+
+fn derives_span(nt: NonTerminal, w: &[Terminal], lo: usize, hi: usize, memo: &mut Memo) -> bool {
+    if let Some(&r) = memo.get(&(nt, lo, hi)) {
+        return r;
+    }
+    // Insert false first to cut left-recursive loops on the same span: a
+    // left-recursive expansion that consumes nothing cannot make progress.
+    memo.insert((nt, lo, hi), false);
+    let result = match nt {
+        NonTerminal::Transfer => derive_transfer(w, lo, hi, memo),
+        NonTerminal::TransferBar => derive_transfer_bar(w, lo, hi, memo),
+        NonTerminal::Alias => derive_alias(w, lo, hi, memo),
+        NonTerminal::FlowsTo => derive_flows_to(w, lo, hi, memo),
+    };
+    memo.insert((nt, lo, hi), result);
+    result
+}
+
+fn derive_transfer(w: &[Terminal], lo: usize, hi: usize, memo: &mut Memo) -> bool {
+    // Transfer → ε
+    if lo == hi {
+        return true;
+    }
+    // Transfer → Transfer Assign
+    if w[hi - 1] == Terminal::Assign && derives_span(NonTerminal::Transfer, w, lo, hi - 1, memo) {
+        return true;
+    }
+    // Transfer → Transfer Store[f] Alias Load[f]
+    if let Terminal::Load(f) = w[hi - 1] {
+        // Find the matching Store[f] position.
+        for store_pos in lo..hi - 1 {
+            if w[store_pos] == Terminal::Store(f)
+                && derives_span(NonTerminal::Transfer, w, lo, store_pos, memo)
+                && derives_span(NonTerminal::Alias, w, store_pos + 1, hi - 1, memo)
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn derive_transfer_bar(w: &[Terminal], lo: usize, hi: usize, memo: &mut Memo) -> bool {
+    // Transfer-bar → ε
+    if lo == hi {
+        return true;
+    }
+    // Transfer-bar → Assign-bar Transfer-bar
+    if w[lo] == Terminal::AssignBar && derives_span(NonTerminal::TransferBar, w, lo + 1, hi, memo) {
+        return true;
+    }
+    // Transfer-bar → Load-bar[f] Alias Store-bar[f] Transfer-bar
+    if let Terminal::LoadBar(f) = w[lo] {
+        for store_pos in lo + 1..hi {
+            if w[store_pos] == Terminal::StoreBar(f)
+                && derives_span(NonTerminal::Alias, w, lo + 1, store_pos, memo)
+                && derives_span(NonTerminal::TransferBar, w, store_pos + 1, hi, memo)
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn derive_alias(w: &[Terminal], lo: usize, hi: usize, memo: &mut Memo) -> bool {
+    // Alias → Transfer-bar New-bar New Transfer
+    for i in lo..hi {
+        if w[i] != Terminal::NewBar {
+            continue;
+        }
+        if i + 1 >= hi || w[i + 1] != Terminal::New {
+            continue;
+        }
+        if derives_span(NonTerminal::TransferBar, w, lo, i, memo)
+            && derives_span(NonTerminal::Transfer, w, i + 2, hi, memo)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn derive_flows_to(w: &[Terminal], lo: usize, hi: usize, memo: &mut Memo) -> bool {
+    // FlowsTo → New Transfer
+    lo < hi && w[lo] == Terminal::New && derives_span(NonTerminal::Transfer, w, lo + 1, hi, memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Terminal::*;
+    use super::*;
+
+    #[test]
+    fn flows_to_direct_allocation() {
+        // o = new X(); y = o  ⇒  New Assign
+        assert!(derives(NonTerminal::FlowsTo, &[New, Assign]));
+        assert!(derives(NonTerminal::FlowsTo, &[New]));
+        assert!(!derives(NonTerminal::FlowsTo, &[Assign]));
+    }
+
+    #[test]
+    fn transfer_through_matched_field_access() {
+        // The Box example of the paper: Store[f] Alias Load[f] is a Transfer,
+        // where the Alias part is New-bar New (same receiver object).
+        let word = [Store(0), NewBar, New, Load(0)];
+        assert!(derives(NonTerminal::Transfer, &word));
+        // Mismatched fields do not derive.
+        let bad = [Store(0), NewBar, New, Load(1)];
+        assert!(!derives(NonTerminal::Transfer, &bad));
+    }
+
+    #[test]
+    fn flows_to_through_heap() {
+        // in --Store[f]--> box_set_this ... box_get_this --Load[f]--> out
+        // o_in New in Store[f] (alias of receivers) Load[f]
+        let word = [New, Store(0), AssignBar, NewBar, New, Assign, Load(0)];
+        assert!(derives(NonTerminal::FlowsTo, &word));
+    }
+
+    #[test]
+    fn alias_requires_common_object() {
+        // x = new O(); y = x   ⇒ alias(x, y): Transfer-bar(x..o) New-bar New Transfer
+        assert!(derives(NonTerminal::Alias, &[NewBar, New, Assign]));
+        assert!(derives(NonTerminal::Alias, &[AssignBar, NewBar, New]));
+        assert!(!derives(NonTerminal::Alias, &[New, NewBar]));
+        assert!(!derives(NonTerminal::Alias, &[]));
+    }
+
+    #[test]
+    fn transfer_is_epsilon_and_assign_chains() {
+        assert!(derives(NonTerminal::Transfer, &[]));
+        assert!(derives(NonTerminal::Transfer, &[Assign, Assign, Assign]));
+        assert!(!derives(NonTerminal::Transfer, &[AssignBar]));
+        assert!(derives(NonTerminal::TransferBar, &[AssignBar, AssignBar]));
+        assert!(!derives(NonTerminal::TransferBar, &[Assign]));
+    }
+
+    #[test]
+    fn bar_involution() {
+        for t in [Assign, New, Store(3), Load(7), AssignBar, NewBar, StoreBar(1), LoadBar(2)] {
+            assert_eq!(t.bar().bar(), t);
+        }
+        assert_eq!(Store(4).bar(), StoreBar(4));
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Assign.to_string(), "Assign");
+        assert_eq!(Store(2).to_string(), "Store[2]");
+        assert!(LoadBar(1).to_string().contains("Load"));
+    }
+}

@@ -1,0 +1,500 @@
+//! Extraction of the labeled graph `G` from a program (Figure 2).
+//!
+//! Graph nodes are program variables (one node per method-local variable,
+//! plus one synthetic *return node* per method), and abstract objects are
+//! allocation sites.  Edges record assignments, allocations, field stores and
+//! loads, and the parameter/return assignments induced by calls.
+//!
+//! Library method bodies can be (a) analyzed as-is, (b) omitted (the library
+//! is a black box — only the call parameter/return edges remain), or
+//! (c) replaced by *code-fragment specification* bodies supplied as
+//! overrides.
+
+use atlas_ir::{AllocSite, ClassId, MethodId, Program, Stmt, Var};
+use std::collections::HashMap;
+
+/// A graph node: a variable of the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Node {
+    /// A method-local variable (receiver, parameter or local).
+    Var(MethodId, Var),
+    /// The synthetic return-value variable `r_m` of a method.
+    Ret(MethodId),
+}
+
+impl Node {
+    /// The method this node belongs to.
+    pub fn method(&self) -> MethodId {
+        match self {
+            Node::Var(m, _) => *m,
+            Node::Ret(m) => *m,
+        }
+    }
+}
+
+/// Dense id of a [`Node`] within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Dense id of an abstract object (allocation site) within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+/// Data recorded about an abstract object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjData {
+    /// The allocation site.
+    pub site: AllocSite,
+    /// The allocated class, if known (`None` for arrays).
+    pub class: Option<ClassId>,
+}
+
+/// A field store constraint `objvar.field = src`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEdge {
+    pub src: NodeId,
+    pub field: u32,
+    pub objvar: NodeId,
+}
+
+/// A field load constraint `dst = objvar.field`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadEdge {
+    pub objvar: NodeId,
+    pub field: u32,
+    pub dst: NodeId,
+}
+
+/// Options controlling graph extraction.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractionOptions {
+    /// If `true`, the bodies of library methods are analyzed (the `S_impl`
+    /// configuration).  If `false`, library methods contribute no edges
+    /// beyond the call parameter/return assignments, unless an override body
+    /// is supplied.
+    pub include_library_bodies: bool,
+    /// Replacement bodies (code-fragment specifications) for individual
+    /// methods.  An override takes precedence over the real body.
+    pub body_overrides: HashMap<MethodId, Vec<Stmt>>,
+}
+
+impl ExtractionOptions {
+    /// Options for analyzing the client together with the real library
+    /// implementation.
+    pub fn with_implementation() -> Self {
+        ExtractionOptions { include_library_bodies: true, body_overrides: HashMap::new() }
+    }
+
+    /// Options for analyzing the client with the library treated as a no-op
+    /// black box (the trivial `Π(∅)` baseline).
+    pub fn empty_specs() -> Self {
+        ExtractionOptions::default()
+    }
+
+    /// Options for analyzing the client with code-fragment specifications.
+    pub fn with_specs(body_overrides: HashMap<MethodId, Vec<Stmt>>) -> Self {
+        ExtractionOptions { include_library_bodies: false, body_overrides }
+    }
+}
+
+/// The extracted graph `G`.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    node_ids: HashMap<Node, NodeId>,
+    objs: Vec<ObjData>,
+    obj_ids: HashMap<AllocSite, ObjId>,
+    /// `src --Assign--> dst` edges.
+    pub copy_edges: Vec<(NodeId, NodeId)>,
+    /// `obj --New--> var` edges.
+    pub alloc_edges: Vec<(ObjId, NodeId)>,
+    /// `src --Store[f]--> objvar` edges.
+    pub store_edges: Vec<StoreEdge>,
+    /// `objvar --Load[f]--> dst` edges (direction of the data flow).
+    pub load_edges: Vec<LoadEdge>,
+    /// Per-node flag: does the node belong to a client (non-library) method?
+    client_node: Vec<bool>,
+}
+
+impl Graph {
+    /// Extracts the graph of `program` under the given options.
+    pub fn extract(program: &Program, options: &ExtractionOptions) -> Graph {
+        let mut graph = Graph::default();
+        let elems = program.elems_field().index();
+        for method in program.methods() {
+            let is_lib = program.class(method.class()).is_library();
+            let body: Option<&[Stmt]> =
+                if let Some(b) = options.body_overrides.get(&method.id()) {
+                    Some(b.as_slice())
+                } else if !is_lib || options.include_library_bodies {
+                    Some(method.body())
+                } else {
+                    None
+                };
+            if let Some(body) = body {
+                let mut ctx = ExtractCtx {
+                    graph: &mut graph,
+                    program,
+                    method: method.id(),
+                    is_client: !is_lib,
+                    elems,
+                };
+                ctx.block(body);
+            }
+        }
+        graph
+    }
+
+    /// Interns a node, returning its dense id.
+    pub fn node_id(&mut self, node: Node, is_client: bool) -> NodeId {
+        if let Some(&id) = self.node_ids.get(&node) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.client_node.push(is_client);
+        self.node_ids.insert(node, id);
+        id
+    }
+
+    /// Looks up an already-interned node.
+    pub fn find_node(&self, node: Node) -> Option<NodeId> {
+        self.node_ids.get(&node).copied()
+    }
+
+    /// Interns an abstract object.
+    pub fn obj_id(&mut self, site: AllocSite, class: Option<ClassId>) -> ObjId {
+        if let Some(&id) = self.obj_ids.get(&site) {
+            return id;
+        }
+        let id = ObjId(self.objs.len() as u32);
+        self.objs.push(ObjData { site, class });
+        self.obj_ids.insert(site, id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of abstract objects.
+    pub fn num_objs(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> Node {
+        self.nodes[id.0 as usize]
+    }
+
+    /// The object data for the given id.
+    pub fn obj(&self, id: ObjId) -> &ObjData {
+        &self.objs[id.0 as usize]
+    }
+
+    /// All node ids.
+    pub fn node_ids_iter(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Whether the node belongs to a client (non-library) method.
+    pub fn is_client_node(&self, id: NodeId) -> bool {
+        self.client_node[id.0 as usize]
+    }
+
+    /// Total number of edges of all kinds (a size metric used in benches).
+    pub fn num_edges(&self) -> usize {
+        self.copy_edges.len() + self.alloc_edges.len() + self.store_edges.len() + self.load_edges.len()
+    }
+
+    /// A stable, human-readable key for a node (used to compare results
+    /// across different graph extractions of the same client program).
+    pub fn node_key(&self, program: &Program, id: NodeId) -> String {
+        match self.node(id) {
+            Node::Var(m, v) => {
+                let method = program.method(m);
+                format!("{}#{}", program.qualified_name(m), method
+                    .vars()
+                    .nth(v.index() as usize)
+                    .map(|(_, d)| d.name.clone())
+                    .unwrap_or_else(|| format!("v{}", v.index())))
+            }
+            Node::Ret(m) => format!("{}#<ret>", program.qualified_name(m)),
+        }
+    }
+
+    /// A stable, human-readable key for an abstract object.
+    pub fn obj_key(&self, program: &Program, id: ObjId) -> String {
+        let data = self.obj(id);
+        format!("{}@{}", program.qualified_name(data.site.method), data.site.index)
+    }
+
+    /// Whether an abstract object was allocated in a client method.
+    pub fn is_client_obj(&self, program: &Program, id: ObjId) -> bool {
+        let m = self.obj(id).site.method;
+        !program.class(program.method(m).class()).is_library()
+    }
+}
+
+struct ExtractCtx<'a> {
+    graph: &'a mut Graph,
+    program: &'a Program,
+    method: MethodId,
+    is_client: bool,
+    elems: u32,
+}
+
+impl<'a> ExtractCtx<'a> {
+    fn var(&mut self, v: Var) -> NodeId {
+        self.graph.node_id(Node::Var(self.method, v), self.is_client)
+    }
+
+    fn block(&mut self, block: &[Stmt]) {
+        for stmt in block {
+            self.stmt(stmt);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Assign { dst, src } => {
+                let s = self.var(*src);
+                let d = self.var(*dst);
+                self.graph.copy_edges.push((s, d));
+            }
+            Stmt::New { dst, class, site } => {
+                let o = self.graph.obj_id(*site, Some(*class));
+                let d = self.var(*dst);
+                self.graph.alloc_edges.push((o, d));
+            }
+            Stmt::NewArray { dst, site, .. } => {
+                let o = self.graph.obj_id(*site, None);
+                let d = self.var(*dst);
+                self.graph.alloc_edges.push((o, d));
+            }
+            Stmt::Const { dst, site: Some(site), .. } => {
+                let class = self.program.class_named("String");
+                let o = self.graph.obj_id(*site, class);
+                let d = self.var(*dst);
+                self.graph.alloc_edges.push((o, d));
+            }
+            Stmt::Store { obj, field, src } => {
+                let s = self.var(*src);
+                let ov = self.var(*obj);
+                self.graph.store_edges.push(StoreEdge { src: s, field: field.index(), objvar: ov });
+            }
+            Stmt::Load { dst, obj, field } => {
+                let ov = self.var(*obj);
+                let d = self.var(*dst);
+                self.graph.load_edges.push(LoadEdge { objvar: ov, field: field.index(), dst: d });
+            }
+            Stmt::ArrayStore { arr, src, .. } => {
+                let s = self.var(*src);
+                let ov = self.var(*arr);
+                self.graph.store_edges.push(StoreEdge { src: s, field: self.elems, objvar: ov });
+            }
+            Stmt::ArrayLoad { dst, arr, .. } => {
+                let ov = self.var(*arr);
+                let d = self.var(*dst);
+                self.graph.load_edges.push(LoadEdge { objvar: ov, field: self.elems, dst: d });
+            }
+            Stmt::Call { dst, method: target, recv, args } => {
+                self.call(*dst, *target, *recv, args);
+            }
+            Stmt::Return { var: Some(v) } => {
+                let s = self.var(*v);
+                let r = self
+                    .graph
+                    .node_id(Node::Ret(self.method), self.is_client);
+                self.graph.copy_edges.push((s, r));
+            }
+            Stmt::If { then, els, .. } => {
+                self.block(then);
+                self.block(els);
+            }
+            Stmt::While { header, body, .. } => {
+                self.block(header);
+                self.block(body);
+            }
+            // No points-to effect.
+            Stmt::Const { .. }
+            | Stmt::Bin { .. }
+            | Stmt::RefEq { .. }
+            | Stmt::IsNull { .. }
+            | Stmt::Not { .. }
+            | Stmt::ArrayLen { .. }
+            | Stmt::Return { var: None }
+            | Stmt::Throw { .. } => {}
+        }
+    }
+
+    fn call(&mut self, dst: Option<Var>, target: MethodId, recv: Option<Var>, args: &[Var]) {
+        let callee = self.program.method(target);
+        let callee_is_client = !self.program.class(callee.class()).is_library();
+        // Receiver: recv --Assign--> this_callee
+        if let (Some(r), Some(this)) = (recv, callee.this_var()) {
+            let s = self.var(r);
+            let d = self.graph.node_id(Node::Var(target, this), callee_is_client);
+            self.graph.copy_edges.push((s, d));
+        }
+        // Arguments: arg_i --Assign--> p_i
+        for (i, &arg) in args.iter().enumerate() {
+            if i >= callee.num_params() {
+                break;
+            }
+            let s = self.var(arg);
+            let d = self
+                .graph
+                .node_id(Node::Var(target, callee.param_var(i)), callee_is_client);
+            self.graph.copy_edges.push((s, d));
+        }
+        // Return: r_callee --Assign--> dst
+        if let Some(d) = dst {
+            let s = self.graph.node_id(Node::Ret(target), callee_is_client);
+            let d = self.var(d);
+            self.graph.copy_edges.push((s, d));
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use atlas_ir::builder::ProgramBuilder;
+    use atlas_ir::Type;
+
+    /// Builds the Box example of Figure 1.
+    pub(crate) fn box_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.class("Object").build();
+        let mut c = pb.class("Box");
+        c.library(true);
+        c.field("f", Type::object());
+        let mut init = c.constructor();
+        init.this();
+        init.finish();
+        let mut set = c.method("set");
+        let this = set.this();
+        let ob = set.param("ob", Type::object());
+        set.store(this, "f", ob);
+        set.finish();
+        let mut get = c.method("get");
+        get.returns(Type::object());
+        let this = get.this();
+        let r = get.local("r", Type::object());
+        get.load(r, this, "f");
+        get.ret(Some(r));
+        get.finish();
+        let mut clone = c.method("clone");
+        clone.returns(Type::class("Box"));
+        let this = clone.this();
+        let b = clone.local("b", Type::class("Box"));
+        let tmp = clone.local("tmp", Type::object());
+        let box_class = clone.cref("Box");
+        clone.new_object(b, box_class);
+        clone.load(tmp, this, "f");
+        clone.store(b, "f", tmp);
+        clone.ret(Some(b));
+        clone.finish();
+        c.build();
+
+        let mut main = pb.class("Main");
+        let mut t = main.static_method("test");
+        t.returns(Type::Bool);
+        let in_v = t.local("in", Type::object());
+        let box_v = t.local("box", Type::class("Box"));
+        let out_v = t.local("out", Type::object());
+        let eq = t.local("eq", Type::Bool);
+        let obj = t.cref("Object");
+        let boxc = t.cref("Box");
+        t.new_object(in_v, obj);
+        t.new_object(box_v, boxc);
+        let set = t.mref("Box", "set");
+        let get = t.mref("Box", "get");
+        t.call(None, set, Some(box_v), &[in_v]);
+        t.call(Some(out_v), get, Some(box_v), &[]);
+        t.ref_eq(eq, in_v, out_v);
+        t.ret(Some(eq));
+        let tid = t.finish();
+        main.build();
+        pb.add_entry_point(tid);
+        pb.build()
+    }
+
+    #[test]
+    fn extraction_with_implementation() {
+        let p = box_program();
+        let g = Graph::extract(&p, &ExtractionOptions::with_implementation());
+        // Client allocations: o_in, o_box. Library: o_clone (Box.clone).
+        assert_eq!(g.num_objs(), 3);
+        assert!(g.copy_edges.len() >= 5);
+        assert!(g.store_edges.len() >= 2);
+        assert!(g.load_edges.len() >= 2);
+        assert!(g.num_edges() > 8);
+    }
+
+    #[test]
+    fn extraction_without_library_bodies() {
+        let p = box_program();
+        let g = Graph::extract(&p, &ExtractionOptions::empty_specs());
+        // Only client allocations remain.
+        assert_eq!(g.num_objs(), 2);
+        // Store/load edges all came from the library.
+        assert!(g.store_edges.is_empty());
+        assert!(g.load_edges.is_empty());
+        // Call parameter/return edges are still present.
+        let set = p.method_qualified("Box.set").unwrap();
+        let set_this = g.find_node(Node::Var(set, Var::from_index(0)));
+        assert!(set_this.is_some());
+    }
+
+    #[test]
+    fn client_node_marking_and_keys() {
+        let p = box_program();
+        let g = Graph::extract(&p, &ExtractionOptions::with_implementation());
+        let test = p.method_qualified("Main.test").unwrap();
+        let set = p.method_qualified("Box.set").unwrap();
+        let in_node = g.find_node(Node::Var(test, p.method(test).var_named("in").unwrap())).unwrap();
+        let ob_node = g.find_node(Node::Var(set, p.method(set).param_var(0))).unwrap();
+        assert!(g.is_client_node(in_node));
+        assert!(!g.is_client_node(ob_node));
+        assert_eq!(g.node_key(&p, in_node), "Main.test#in");
+        assert!(g.node_key(&p, ob_node).contains("Box.set"));
+        // Object keys are stable strings.
+        let some_obj = ObjId(0);
+        assert!(g.obj_key(&p, some_obj).contains('@'));
+    }
+
+    #[test]
+    fn body_overrides_replace_library_bodies() {
+        use atlas_ir::{FieldId, Stmt};
+        let p = box_program();
+        let set = p.method_qualified("Box.set").unwrap();
+        let get = p.method_qualified("Box.get").unwrap();
+        // Ghost-field stub: set stores into ghost field, get loads from it.
+        let ghost = FieldId::from_index(p.num_fields() as u32 + 7);
+        let mut overrides = HashMap::new();
+        overrides.insert(
+            set,
+            vec![Stmt::Store {
+                obj: Var::from_index(0),
+                field: ghost,
+                src: Var::from_index(1),
+            }],
+        );
+        overrides.insert(
+            get,
+            vec![
+                Stmt::Load { dst: Var::from_index(1), obj: Var::from_index(0), field: ghost },
+                Stmt::Return { var: Some(Var::from_index(1)) },
+            ],
+        );
+        let g = Graph::extract(&p, &ExtractionOptions::with_specs(overrides));
+        assert_eq!(g.store_edges.len(), 1);
+        assert_eq!(g.load_edges.len(), 1);
+        assert_eq!(g.store_edges[0].field, ghost.index());
+        // clone was not overridden and not analyzed.
+        assert_eq!(g.num_objs(), 2);
+    }
+}

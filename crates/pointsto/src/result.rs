@@ -1,0 +1,249 @@
+//! Evaluation metrics over points-to results.
+//!
+//! The paper compares specification sets by the ratio of *non-trivial*
+//! points-to edges between program (client) variables:
+//!
+//! ```text
+//! R_pt(S, S') = |Π(S) \ Π(∅)| / |Π(S') \ Π(∅)|
+//! ```
+//!
+//! where `Π(∅)` is the set of edges computed with all library functions
+//! treated as no-ops.  This module computes `Π` restricted to client
+//! variables, subtracts the trivial baseline, and forms the ratio.
+
+use crate::graph::Graph;
+use crate::solver::PointsToResult;
+use atlas_ir::Program;
+use std::collections::BTreeSet;
+
+/// A summary of the client-visible points-to edges of one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct PointsToStats {
+    /// Stable keys (`"method#var" → "allocmethod@idx"`) of all edges whose
+    /// variable belongs to a client method.  Edges to library-allocated
+    /// objects are included; their keys embed the allocating method, which
+    /// is stable for client allocations and for a fixed library variant.
+    pub client_edges: BTreeSet<(String, String)>,
+    /// Subset of `client_edges` whose object is also a client allocation;
+    /// these keys are comparable across *different* library variants.
+    pub client_obj_edges: BTreeSet<(String, String)>,
+}
+
+impl PointsToStats {
+    /// Collects the statistics for one analysis run.
+    pub fn collect(program: &Program, graph: &Graph, result: &PointsToResult) -> PointsToStats {
+        let mut client_edges = BTreeSet::new();
+        let mut client_obj_edges = BTreeSet::new();
+        for (node, obj) in result.points_to_edges() {
+            if !graph.is_client_node(node) {
+                continue;
+            }
+            let key = (graph.node_key(program, node), graph.obj_key(program, obj));
+            if graph.is_client_obj(program, obj) {
+                client_obj_edges.insert(key.clone());
+            }
+            client_edges.insert(key);
+        }
+        PointsToStats { client_edges, client_obj_edges }
+    }
+
+    /// Total number of client points-to edges.
+    pub fn total(&self) -> usize {
+        self.client_edges.len()
+    }
+
+    /// Number of non-trivial edges: edges not already present in the trivial
+    /// (`Π(∅)`) baseline.
+    pub fn nontrivial(&self, trivial: &PointsToStats) -> usize {
+        self.client_edges
+            .iter()
+            .filter(|e| !trivial.client_edges.contains(*e))
+            .count()
+    }
+
+    /// The non-trivial edges whose objects are client allocations — these
+    /// are comparable across library variants and are used for false
+    /// positive / false negative checks.
+    pub fn nontrivial_client_obj_edges(&self, trivial: &PointsToStats) -> BTreeSet<(String, String)> {
+        self.client_obj_edges
+            .difference(&trivial.client_obj_edges)
+            .cloned()
+            .collect()
+    }
+}
+
+/// The ratio `R_pt(S, S')` (or `R_flow`) between two analysis runs, together
+/// with the underlying counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioSummary {
+    /// Non-trivial count for the numerator configuration.
+    pub numerator: usize,
+    /// Non-trivial count for the denominator configuration.
+    pub denominator: usize,
+}
+
+impl RatioSummary {
+    /// Computes the ratio of non-trivial edge counts of `num` and `den`
+    /// relative to the trivial baseline.
+    pub fn of(num: &PointsToStats, den: &PointsToStats, trivial: &PointsToStats) -> RatioSummary {
+        RatioSummary {
+            numerator: num.nontrivial(trivial),
+            denominator: den.nontrivial(trivial),
+        }
+    }
+
+    /// Builds a summary directly from counts.
+    pub fn from_counts(numerator: usize, denominator: usize) -> RatioSummary {
+        RatioSummary { numerator, denominator }
+    }
+
+    /// The ratio value.  If both counts are zero the configurations agree and
+    /// the ratio is defined as 1.0; if only the denominator is zero the ratio
+    /// is reported as the numerator count (matching the "values exceeding the
+    /// graph scale" treatment of Figure 9).
+    pub fn value(&self) -> f64 {
+        match (self.numerator, self.denominator) {
+            (0, 0) => 1.0,
+            (n, 0) => n as f64,
+            (n, d) => n as f64 / d as f64,
+        }
+    }
+}
+
+/// Aggregates per-program ratios into the summary statistics quoted in the
+/// paper (average, median, fraction at/above thresholds).
+#[derive(Debug, Clone, Default)]
+pub struct RatioSeries {
+    values: Vec<f64>,
+}
+
+impl RatioSeries {
+    /// Creates an empty series.
+    pub fn new() -> RatioSeries {
+        RatioSeries::default()
+    }
+
+    /// Adds one program's ratio.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// The raw values, in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The values sorted from highest to lowest (the presentation order of
+    /// Figure 9).
+    pub fn sorted_desc(&self) -> Vec<f64> {
+        let mut v = self.values.clone();
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Median (0 if empty).
+    pub fn median(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let sorted = {
+            let mut v = self.values.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            v
+        };
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        }
+    }
+
+    /// Fraction of programs whose ratio is at least `threshold`.
+    pub fn fraction_at_least(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|&&v| v >= threshold).count() as f64 / self.values.len() as f64
+    }
+
+    /// Number of programs in the series.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::tests::box_program;
+    use crate::graph::ExtractionOptions;
+    use crate::solver::Solver;
+
+    #[test]
+    fn stats_and_ratio_for_box() {
+        let p = box_program();
+        let impl_graph = Graph::extract(&p, &ExtractionOptions::with_implementation());
+        let impl_result = Solver::new().solve(&impl_graph);
+        let impl_stats = PointsToStats::collect(&p, &impl_graph, &impl_result);
+
+        let triv_graph = Graph::extract(&p, &ExtractionOptions::empty_specs());
+        let triv_result = Solver::new().solve(&triv_graph);
+        let triv_stats = PointsToStats::collect(&p, &triv_graph, &triv_result);
+
+        // With the implementation, `out` gains a points-to edge to o_in,
+        // which is non-trivial.
+        assert!(impl_stats.total() > triv_stats.total());
+        assert!(impl_stats.nontrivial(&triv_stats) >= 1);
+        assert_eq!(triv_stats.nontrivial(&triv_stats), 0);
+        let extra = impl_stats.nontrivial_client_obj_edges(&triv_stats);
+        assert!(extra.iter().any(|(v, _)| v.contains("out")));
+
+        let ratio = RatioSummary::of(&impl_stats, &impl_stats, &triv_stats);
+        assert!((ratio.value() - 1.0).abs() < 1e-9);
+        let ratio2 = RatioSummary::of(&triv_stats, &impl_stats, &triv_stats);
+        assert_eq!(ratio2.value(), 0.0);
+    }
+
+    #[test]
+    fn ratio_edge_cases() {
+        assert_eq!(RatioSummary::from_counts(0, 0).value(), 1.0);
+        assert_eq!(RatioSummary::from_counts(5, 0).value(), 5.0);
+        assert!((RatioSummary::from_counts(3, 2).value() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_series_statistics() {
+        let mut s = RatioSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        for v in [1.0, 0.5, 2.0, 1.0] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 4);
+        assert!((s.mean() - 1.125).abs() < 1e-9);
+        assert!((s.median() - 1.0).abs() < 1e-9);
+        assert!((s.fraction_at_least(1.0) - 0.75).abs() < 1e-9);
+        assert_eq!(s.sorted_desc()[0], 2.0);
+        let mut odd = RatioSeries::new();
+        odd.push(3.0);
+        odd.push(1.0);
+        odd.push(2.0);
+        assert_eq!(odd.median(), 2.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! The points-to solver: computes the transitive closure `G~` of the
+//! extracted graph under the grammar `C_pt` (Figure 3).
+//!
+//! The implementation is a standard inclusion-based (Andersen) fixpoint over
+//! points-to sets and a field-indexed abstract heap; the `Transfer` and
+//! `Alias` relations of the paper are answered as queries over the final
+//! solution:
+//!
+//! * `FlowsTo(o, x)`   ⇔  `o ∈ pts(x)`
+//! * `Alias(x, y)`     ⇔  `pts(x) ∩ pts(y) ≠ ∅`
+//! * `Transfer(x, y)`  ⇔  `y` is reachable from `x` in the *flow graph*
+//!   (assign edges plus store/load pairs matched through aliased base
+//!   objects), i.e. anything flowing into `x` also flows into `y`.
+
+use crate::graph::{Graph, Node, NodeId, ObjId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+/// The points-to solver.  Stateless; see [`Solver::solve`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Solver;
+
+impl Solver {
+    /// Creates a solver.
+    pub fn new() -> Solver {
+        Solver
+    }
+
+    /// Computes the closure of `graph`.
+    pub fn solve(&self, graph: &Graph) -> PointsToResult {
+        let n = graph.num_nodes();
+        let mut pts: Vec<BTreeSet<ObjId>> = vec![BTreeSet::new(); n];
+        let mut heap: BTreeMap<(ObjId, u32), BTreeSet<ObjId>> = BTreeMap::new();
+
+        // Seed with allocation edges.
+        for &(o, v) in &graph.alloc_edges {
+            pts[v.0 as usize].insert(o);
+        }
+
+        // Naive iteration to a fixpoint.  The graphs in this reproduction are
+        // small (thousands of constraints), so simplicity wins over the
+        // difference-propagation worklist.
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let mut changed = false;
+
+            for &(src, dst) in &graph.copy_edges {
+                if src == dst {
+                    continue;
+                }
+                let add: Vec<ObjId> = pts[src.0 as usize]
+                    .difference(&pts[dst.0 as usize])
+                    .copied()
+                    .collect();
+                if !add.is_empty() {
+                    pts[dst.0 as usize].extend(add);
+                    changed = true;
+                }
+            }
+
+            for store in &graph.store_edges {
+                if pts[store.src.0 as usize].is_empty() {
+                    continue;
+                }
+                let bases: Vec<ObjId> = pts[store.objvar.0 as usize].iter().copied().collect();
+                for base in bases {
+                    let cell = heap.entry((base, store.field)).or_default();
+                    let before = cell.len();
+                    cell.extend(pts[store.src.0 as usize].iter().copied());
+                    if cell.len() != before {
+                        changed = true;
+                    }
+                }
+            }
+
+            for load in &graph.load_edges {
+                let bases: Vec<ObjId> = pts[load.objvar.0 as usize].iter().copied().collect();
+                for base in bases {
+                    if let Some(cell) = heap.get(&(base, load.field)) {
+                        let add: Vec<ObjId> = cell
+                            .difference(&pts[load.dst.0 as usize])
+                            .copied()
+                            .collect();
+                        if !add.is_empty() {
+                            pts[load.dst.0 as usize].extend(add);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        // Derive the flow graph used for Transfer queries.
+        let mut flow_succ: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); n];
+        for &(src, dst) in &graph.copy_edges {
+            if src != dst {
+                flow_succ[src.0 as usize].insert(dst);
+            }
+        }
+        // Store/load pairs matched through a common base object and field.
+        let mut writers: HashMap<(ObjId, u32), Vec<NodeId>> = HashMap::new();
+        for store in &graph.store_edges {
+            for &base in &pts[store.objvar.0 as usize] {
+                writers.entry((base, store.field)).or_default().push(store.src);
+            }
+        }
+        for load in &graph.load_edges {
+            for &base in &pts[load.objvar.0 as usize] {
+                if let Some(srcs) = writers.get(&(base, load.field)) {
+                    for &src in srcs {
+                        if src != load.dst {
+                            flow_succ[src.0 as usize].insert(load.dst);
+                        }
+                    }
+                }
+            }
+        }
+
+        PointsToResult { pts, heap, flow_succ, iterations }
+    }
+}
+
+/// The result of the points-to analysis: the computed closure `G~`.
+#[derive(Debug, Clone)]
+pub struct PointsToResult {
+    pts: Vec<BTreeSet<ObjId>>,
+    heap: BTreeMap<(ObjId, u32), BTreeSet<ObjId>>,
+    flow_succ: Vec<BTreeSet<NodeId>>,
+    iterations: usize,
+}
+
+impl PointsToResult {
+    /// The points-to set of a node (`FlowsTo` edges into the node).
+    pub fn points_to(&self, node: NodeId) -> &BTreeSet<ObjId> {
+        &self.pts[node.0 as usize]
+    }
+
+    /// The points-to set of a node identified by its [`Node`] key, or an
+    /// empty set if the node does not appear in the graph.
+    pub fn points_to_node(&self, graph: &Graph, node: Node) -> BTreeSet<ObjId> {
+        graph
+            .find_node(node)
+            .map(|id| self.points_to(id).clone())
+            .unwrap_or_default()
+    }
+
+    /// The contents of the abstract heap cell `(obj, field)`.
+    pub fn heap_cell(&self, obj: ObjId, field: u32) -> Option<&BTreeSet<ObjId>> {
+        self.heap.get(&(obj, field))
+    }
+
+    /// Iterates over all abstract heap cells.
+    pub fn heap_cells(&self) -> impl Iterator<Item = (&(ObjId, u32), &BTreeSet<ObjId>)> {
+        self.heap.iter()
+    }
+
+    /// `Alias(a, b)`: the two variables may point to a common object.
+    pub fn alias(&self, a: NodeId, b: NodeId) -> bool {
+        let (pa, pb) = (&self.pts[a.0 as usize], &self.pts[b.0 as usize]);
+        if pa.len() > pb.len() {
+            pb.iter().any(|o| pa.contains(o))
+        } else {
+            pa.iter().any(|o| pb.contains(o))
+        }
+    }
+
+    /// `Transfer(from, to)`: everything flowing into `from` also flows into
+    /// `to` (reflexive).
+    pub fn transfer(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(from);
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            for &next in &self.flow_succ[cur.0 as usize] {
+                if next == to {
+                    return true;
+                }
+                if seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// The full set of nodes reachable from `from` in the flow graph
+    /// (the `Transfer` image of `from`), excluding `from` itself.
+    pub fn transfer_image(&self, from: NodeId) -> BTreeSet<NodeId> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            for &next in &self.flow_succ[cur.0 as usize] {
+                if seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of fixpoint iterations the solver took (a diagnostics metric).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Total number of `FlowsTo` (points-to) edges in the solution.
+    pub fn num_points_to_edges(&self) -> usize {
+        self.pts.iter().map(|s| s.len()).sum()
+    }
+
+    /// All points-to edges `(node, obj)`.
+    pub fn points_to_edges(&self) -> impl Iterator<Item = (NodeId, ObjId)> + '_ {
+        self.pts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, set)| set.iter().map(move |&o| (NodeId(i as u32), o)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::tests::box_program;
+    use crate::graph::{ExtractionOptions, Node};
+    use atlas_ir::Var;
+
+    #[test]
+    fn box_example_with_implementation() {
+        let p = box_program();
+        let g = Graph::extract(&p, &ExtractionOptions::with_implementation());
+        let r = Solver::new().solve(&g);
+        let test = p.method_qualified("Main.test").unwrap();
+        let tm = p.method(test);
+        let in_node = g.find_node(Node::Var(test, tm.var_named("in").unwrap())).unwrap();
+        let out_node = g.find_node(Node::Var(test, tm.var_named("out").unwrap())).unwrap();
+        let box_node = g.find_node(Node::Var(test, tm.var_named("box").unwrap())).unwrap();
+        // `out` sees o_in through the heap: in is stored into box.f by set,
+        // loaded by get.
+        assert!(r.alias(in_node, out_node), "in and out must alias");
+        assert!(!r.alias(in_node, box_node), "in and box must not alias");
+        // Transfer: the parameter of set transfers to the return of get.
+        let set = p.method_qualified("Box.set").unwrap();
+        let get = p.method_qualified("Box.get").unwrap();
+        let ob = g.find_node(Node::Var(set, p.method(set).param_var(0))).unwrap();
+        let rget = g.find_node(Node::Ret(get)).unwrap();
+        assert!(r.transfer(ob, rget));
+        assert!(!r.transfer(rget, ob));
+        assert!(r.transfer(ob, ob), "transfer is reflexive");
+        assert!(r.iterations() >= 2);
+        assert!(r.num_points_to_edges() > 4);
+    }
+
+    #[test]
+    fn box_example_without_specs_loses_flow() {
+        let p = box_program();
+        let g = Graph::extract(&p, &ExtractionOptions::empty_specs());
+        let r = Solver::new().solve(&g);
+        let test = p.method_qualified("Main.test").unwrap();
+        let tm = p.method(test);
+        let in_node = g.find_node(Node::Var(test, tm.var_named("in").unwrap())).unwrap();
+        let out_node = g.find_node(Node::Var(test, tm.var_named("out").unwrap())).unwrap();
+        assert!(!r.alias(in_node, out_node), "without library bodies, no flow");
+        // `out` points to nothing.
+        assert!(r.points_to(out_node).is_empty());
+    }
+
+    #[test]
+    fn clone_chains_are_tracked_through_implementation() {
+        // in -> box.set, box2 = box.clone(), out = box2.get(): out aliases in.
+        use atlas_ir::builder::ProgramBuilder;
+        use atlas_ir::Type;
+        let p = {
+            // Extend the Box program with a client that clones.
+            let mut pb = ProgramBuilder::new();
+            pb.class("Object").build();
+            let mut c = pb.class("Box");
+            c.library(true);
+            c.field("f", Type::object());
+            let mut set = c.method("set");
+            let this = set.this();
+            let ob = set.param("ob", Type::object());
+            set.store(this, "f", ob);
+            set.finish();
+            let mut get = c.method("get");
+            get.returns(Type::object());
+            let this = get.this();
+            let r = get.local("r", Type::object());
+            get.load(r, this, "f");
+            get.ret(Some(r));
+            get.finish();
+            let mut clone = c.method("clone");
+            clone.returns(Type::class("Box"));
+            let this = clone.this();
+            let b = clone.local("b", Type::class("Box"));
+            let tmp = clone.local("tmp", Type::object());
+            let box_class = clone.cref("Box");
+            clone.new_object(b, box_class);
+            clone.load(tmp, this, "f");
+            clone.store(b, "f", tmp);
+            clone.ret(Some(b));
+            clone.finish();
+            c.build();
+            let mut main = pb.class("Main");
+            let mut t = main.static_method("test");
+            let in_v = t.local("in", Type::object());
+            let box_v = t.local("box", Type::class("Box"));
+            let box2 = t.local("box2", Type::class("Box"));
+            let out_v = t.local("out", Type::object());
+            let obj = t.cref("Object");
+            let boxc = t.cref("Box");
+            t.new_object(in_v, obj);
+            t.new_object(box_v, boxc);
+            let set = t.mref("Box", "set");
+            let get = t.mref("Box", "get");
+            let clone = t.mref("Box", "clone");
+            t.call(None, set, Some(box_v), &[in_v]);
+            t.call(Some(box2), clone, Some(box_v), &[]);
+            t.call(Some(out_v), get, Some(box2), &[]);
+            t.finish();
+            main.build();
+            pb.build()
+        };
+        let g = Graph::extract(&p, &ExtractionOptions::with_implementation());
+        let r = Solver::new().solve(&g);
+        let test = p.method_qualified("Main.test").unwrap();
+        let tm = p.method(test);
+        let in_node = g.find_node(Node::Var(test, tm.var_named("in").unwrap())).unwrap();
+        let out_node = g.find_node(Node::Var(test, tm.var_named("out").unwrap())).unwrap();
+        assert!(r.alias(in_node, out_node));
+        // transfer_image of `in` contains `out`.
+        assert!(r.transfer_image(in_node).contains(&out_node));
+    }
+
+    #[test]
+    fn heap_cells_are_exposed() {
+        let p = box_program();
+        let g = Graph::extract(&p, &ExtractionOptions::with_implementation());
+        let r = Solver::new().solve(&g);
+        // box.f contains o_in; at least one heap cell exists.
+        assert!(r.heap_cells().count() >= 1);
+        let (cell, contents) = r.heap_cells().next().unwrap();
+        assert!(r.heap_cell(cell.0, cell.1).is_some());
+        assert!(!contents.is_empty());
+    }
+
+    #[test]
+    fn points_to_node_missing_is_empty() {
+        let p = box_program();
+        let g = Graph::extract(&p, &ExtractionOptions::empty_specs());
+        let r = Solver::new().solve(&g);
+        let clone = p.method_qualified("Box.clone").unwrap();
+        // clone body was never analyzed, so its local var node is absent.
+        let missing = Node::Var(clone, Var::from_index(5));
+        assert!(r.points_to_node(&g, missing).is_empty());
+    }
+}

@@ -1,0 +1,466 @@
+//! Conversion of regular sets of path specifications into *code-fragment
+//! specifications* (Appendix A of the paper).
+//!
+//! Each automaton state `q` is assigned a fresh ghost field `f_q`.  For every
+//! pair of consecutive transitions `p --z--> q --w--> r` whose symbols belong
+//! to the same library method `m`, statements are added to the fragment body
+//! of `m` that move the tracked object from its representation at state `p`
+//! (the value of `z` itself if `p` is initial, otherwise the ghost field
+//! `f_p` of the carrier bound to `z`) to its representation at state `r`
+//! (returned directly if `r` is accepting, otherwise stored into the ghost
+//! field `f_r` of the carrier bound to `w`).  Carriers bound to return-value
+//! slots are freshly allocated ghost objects returned by the fragment —
+//! exactly the `Box b = new Box(); b.f = f; return b;` shape of Figure 12.
+//!
+//! The resulting fragment bodies are used as body overrides by
+//! `atlas_pointsto::ExtractionOptions::with_specs`, replacing the (possibly
+//! unavailable) library implementation.
+
+use crate::fsa::{Fsa, StateId};
+use crate::path_spec::PathSpec;
+use atlas_ir::{AllocSite, FieldId, MethodId, ParamSlot, Program, SlotKind, Stmt, Var};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt::Write as _;
+
+/// Base index for the allocation sites of ghost carrier objects, chosen so
+/// they can never collide with real allocation sites of the method.
+const GHOST_ALLOC_BASE: u32 = 1_000_000;
+
+/// A set of code-fragment specifications: replacement bodies for library
+/// methods.
+#[derive(Debug, Clone, Default)]
+pub struct CodeFragments {
+    bodies: BTreeMap<MethodId, Vec<Stmt>>,
+}
+
+impl CodeFragments {
+    /// Builds code fragments from an explicit map of bodies (used for
+    /// handwritten and ground-truth specifications).
+    pub fn from_bodies(bodies: BTreeMap<MethodId, Vec<Stmt>>) -> CodeFragments {
+        CodeFragments { bodies }
+    }
+
+    /// Builds code fragments for a finite set of path specifications by
+    /// first constructing their prefix-tree acceptor.
+    pub fn from_specs(program: &Program, specs: &[PathSpec]) -> CodeFragments {
+        let words: Vec<Vec<ParamSlot>> = specs.iter().map(|s| s.symbols().to_vec()).collect();
+        let fsa = Fsa::prefix_tree(&words);
+        Self::from_fsa(program, &fsa)
+    }
+
+    /// Builds code fragments from a (possibly cyclic) automaton representing
+    /// a regular set of path specifications.
+    pub fn from_fsa(program: &Program, fsa: &Fsa) -> CodeFragments {
+        let ghost_base = program.num_fields() as u32;
+        let parity = state_parity(fsa);
+        // Collect method-occurrence transition pairs p --z--> q --w--> r.
+        let mut pairs_by_method: BTreeMap<MethodId, Vec<(StateId, ParamSlot, StateId, ParamSlot, StateId)>> =
+            BTreeMap::new();
+        for (p, z, q) in fsa.transitions() {
+            // Only pairs whose first transition starts at an even-parity
+            // state are method occurrences (z is an entry symbol).
+            if !parity.get(&p).copied().unwrap_or(true) {
+                continue;
+            }
+            for (w, r) in fsa.transitions_from(q) {
+                if w.method != z.method {
+                    continue;
+                }
+                pairs_by_method
+                    .entry(z.method)
+                    .or_default()
+                    .push((p, z, q, w, r));
+            }
+        }
+
+        let mut bodies = BTreeMap::new();
+        for (method_id, pairs) in pairs_by_method {
+            let body = build_fragment(program, fsa, method_id, &pairs, ghost_base);
+            if !body.is_empty() {
+                bodies.insert(method_id, body);
+            }
+        }
+        CodeFragments { bodies }
+    }
+
+    /// The fragment bodies, keyed by method.
+    pub fn bodies(&self) -> &BTreeMap<MethodId, Vec<Stmt>> {
+        &self.bodies
+    }
+
+    /// The fragment body for one method.
+    pub fn body(&self, method: MethodId) -> Option<&Vec<Stmt>> {
+        self.bodies.get(&method)
+    }
+
+    /// Number of methods covered by a fragment.
+    pub fn num_methods(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Total number of fragment statements.
+    pub fn num_statements(&self) -> usize {
+        self.bodies.values().map(|b| b.len()).sum()
+    }
+
+    /// Methods covered by the fragments.
+    pub fn methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.bodies.keys().copied()
+    }
+
+    /// Converts into the body-override map consumed by the points-to graph
+    /// extractor.
+    pub fn to_overrides(&self) -> HashMap<MethodId, Vec<Stmt>> {
+        self.bodies.iter().map(|(&m, b)| (m, b.clone())).collect()
+    }
+
+    /// Merges another set of fragments into this one.  Bodies for the same
+    /// method are concatenated.
+    pub fn merge(&mut self, other: &CodeFragments) {
+        for (&m, body) in &other.bodies {
+            self.bodies.entry(m).or_default().extend(body.iter().cloned());
+        }
+    }
+
+    /// Renders the fragments in a readable, Java-like form (ghost fields are
+    /// shown as `$g<i>`).
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = String::new();
+        for (&method, body) in &self.bodies {
+            let _ = writeln!(out, "// fragment for {}", program.qualified_name(method));
+            for stmt in body {
+                let _ = writeln!(out, "    {}", render_stmt(program, method, stmt));
+            }
+        }
+        out
+    }
+}
+
+/// Computes, for each reachable state, whether it sits at an even offset from
+/// the initial state (i.e. expects an *entry* symbol next).  States reachable
+/// at both parities are treated as even so that their outgoing entry symbols
+/// still produce fragments.
+fn state_parity(fsa: &Fsa) -> BTreeMap<StateId, bool> {
+    let mut even: BTreeSet<StateId> = BTreeSet::new();
+    let mut odd: BTreeSet<StateId> = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    even.insert(fsa.init());
+    queue.push_back((fsa.init(), true));
+    while let Some((q, is_even)) = queue.pop_front() {
+        for (_, to) in fsa.transitions_from(q) {
+            let target_set = if is_even { &mut odd } else { &mut even };
+            if target_set.insert(to) {
+                queue.push_back((to, !is_even));
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    for q in odd {
+        out.insert(q, false);
+    }
+    for q in even {
+        out.insert(q, true); // even wins when both
+    }
+    out
+}
+
+fn slot_var(program: &Program, method: MethodId, slot: ParamSlot) -> Option<Var> {
+    let m = program.method(method);
+    match slot.kind {
+        SlotKind::Receiver => m.this_var(),
+        SlotKind::Param(i) => {
+            if (i as usize) < m.num_params() {
+                Some(m.param_var(i as usize))
+            } else {
+                None
+            }
+        }
+        SlotKind::Return => None,
+    }
+}
+
+fn build_fragment(
+    program: &Program,
+    fsa: &Fsa,
+    method_id: MethodId,
+    pairs: &[(StateId, ParamSlot, StateId, ParamSlot, StateId)],
+    ghost_base: u32,
+) -> Vec<Stmt> {
+    let method = program.method(method_id);
+    let mut next_var = method.num_vars() as u32;
+    let fresh = |next_var: &mut u32| {
+        let v = Var::from_index(*next_var);
+        *next_var += 1;
+        v
+    };
+    let ghost = |state: StateId| FieldId::from_index(ghost_base + state.0);
+
+    // Does any pair need a freshly allocated carrier bound to the return
+    // value?
+    let needs_ret_alloc = pairs.iter().any(|&(_, z, _, w, r)| {
+        z.kind == SlotKind::Return || (w.kind == SlotKind::Return && !fsa.is_accepting(r))
+    });
+    let mut stmts = Vec::new();
+    let mut alloc_counter = 0u32;
+    let ret_carrier = if needs_ret_alloc {
+        let v = fresh(&mut next_var);
+        stmts.push(Stmt::New {
+            dst: v,
+            class: method.class(),
+            site: AllocSite { method: method_id, index: GHOST_ALLOC_BASE + alloc_counter },
+        });
+        alloc_counter += 1;
+        Some(v)
+    } else {
+        None
+    };
+    let _ = alloc_counter;
+
+    let mut dedup: BTreeSet<(StateId, ParamSlot, ParamSlot, StateId)> = BTreeSet::new();
+    for &(p, z, _q, w, r) in pairs {
+        if !dedup.insert((p, z, w, r)) {
+            continue;
+        }
+        // Entry: materialize the tracked object in a local variable (or use
+        // the entry slot directly).
+        let entry_obj = if p == fsa.init() {
+            match slot_var(program, method_id, z) {
+                Some(v) => v,
+                None => match ret_carrier {
+                    Some(v) => v,
+                    None => continue,
+                },
+            }
+        } else {
+            let carrier = match slot_var(program, method_id, z) {
+                Some(v) => v,
+                None => match ret_carrier {
+                    Some(v) => v,
+                    None => continue,
+                },
+            };
+            let t = fresh(&mut next_var);
+            stmts.push(Stmt::Load { dst: t, obj: carrier, field: ghost(p) });
+            t
+        };
+        // Exit.
+        if fsa.is_accepting(r) && w.kind == SlotKind::Return {
+            stmts.push(Stmt::Return { var: Some(entry_obj) });
+        }
+        if !fsa.transitions_from(r).is_empty() || !fsa.is_accepting(r) {
+            let carrier = match slot_var(program, method_id, w) {
+                Some(v) => v,
+                None => match ret_carrier {
+                    Some(v) => v,
+                    None => continue,
+                },
+            };
+            stmts.push(Stmt::Store { obj: carrier, field: ghost(r), src: entry_obj });
+        }
+    }
+    if let Some(rc) = ret_carrier {
+        stmts.push(Stmt::Return { var: Some(rc) });
+    }
+    stmts
+}
+
+fn render_stmt(program: &Program, method: MethodId, stmt: &Stmt) -> String {
+    let m = program.method(method);
+    let var_name = |v: Var| -> String {
+        if (v.index() as usize) < m.num_vars() {
+            m.var_data(v).name.clone()
+        } else {
+            format!("t{}", v.index() as usize - m.num_vars())
+        }
+    };
+    let field_name = |f: FieldId| -> String {
+        if (f.index() as usize) < program.num_fields() {
+            program.field(f).name().to_string()
+        } else {
+            format!("$g{}", f.index() as usize - program.num_fields())
+        }
+    };
+    match stmt {
+        Stmt::New { dst, class, .. } => {
+            format!("{} = new {}();", var_name(*dst), program.class(*class).name())
+        }
+        Stmt::Load { dst, obj, field } => {
+            format!("{} = {}.{};", var_name(*dst), var_name(*obj), field_name(*field))
+        }
+        Stmt::Store { obj, field, src } => {
+            format!("{}.{} = {};", var_name(*obj), field_name(*field), var_name(*src))
+        }
+        Stmt::Assign { dst, src } => format!("{} = {};", var_name(*dst), var_name(*src)),
+        Stmt::Return { var: Some(v) } => format!("return {};", var_name(*v)),
+        Stmt::Return { var: None } => "return;".to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// A canonical, order-insensitive signature of a fragment body, used to
+/// compare inferred fragments against handwritten/ground-truth ones
+/// independently of ghost-field identity and temporary-variable names.
+///
+/// Every field (ghost or real) is abstracted to `F`, every non-parameter
+/// local to `L`; receivers and declared parameters keep their roles.  The
+/// signature is the sorted multiset of normalized statements.  This is the
+/// statement-level counting used by the paper's evaluation ("count each
+/// statement fractionally"); abstracting field identity makes the comparison
+/// insensitive to how many automaton states an inferred flow was split over.
+pub fn fragment_signature(program: &Program, method: MethodId, body: &[Stmt]) -> Vec<String> {
+    let m = program.method(method);
+    let norm_field = |_f: FieldId| -> String { "F".to_string() };
+    let norm_var = |v: Var| -> String {
+        if m.has_this() && v.index() == 0 {
+            return "this".to_string();
+        }
+        let param_offset = usize::from(m.has_this());
+        let idx = v.index() as usize;
+        if idx >= param_offset && idx < param_offset + m.num_params() {
+            return format!("p{}", idx - param_offset);
+        }
+        "L".to_string()
+    };
+    let mut sigs = Vec::new();
+    for stmt in body {
+        let sig = match stmt {
+            Stmt::New { dst, .. } => format!("new {}", norm_var(*dst)),
+            Stmt::Store { obj, field, src } => format!(
+                "store {}.{} = {}",
+                norm_var(*obj),
+                norm_field(*field),
+                norm_var(*src)
+            ),
+            Stmt::Load { dst, obj, field } => format!(
+                "load {} = {}.{}",
+                norm_var(*dst),
+                norm_var(*obj),
+                norm_field(*field)
+            ),
+            Stmt::Assign { dst, src } => {
+                format!("assign {} = {}", norm_var(*dst), norm_var(*src))
+            }
+            Stmt::Return { var: Some(v) } => format!("return {}", norm_var(*v)),
+            Stmt::Return { var: None } => "return".to_string(),
+            other => format!("{other:?}"),
+        };
+        sigs.push(sig);
+    }
+    sigs.sort();
+    // Identical statements produced by different automaton states collapse
+    // to one occurrence: they have the same points-to effect.
+    sigs.dedup();
+    sigs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path_spec::tests::{box_program, sbox};
+
+    #[test]
+    fn sbox_fragment_matches_the_paper() {
+        // The fragment for s_box: set stores its parameter into a ghost
+        // field of the receiver, get loads it back and returns it.
+        let p = box_program();
+        let frags = CodeFragments::from_specs(&p, &[sbox(&p)]);
+        assert_eq!(frags.num_methods(), 2);
+        let set = p.method_qualified("Box.set").unwrap();
+        let get = p.method_qualified("Box.get").unwrap();
+        let set_body = frags.body(set).unwrap();
+        assert_eq!(set_body.len(), 1);
+        assert!(matches!(set_body[0], Stmt::Store { .. }));
+        let get_body = frags.body(get).unwrap();
+        assert_eq!(get_body.len(), 2);
+        assert!(matches!(get_body[0], Stmt::Load { .. }));
+        assert!(matches!(get_body[1], Stmt::Return { .. }));
+        assert_eq!(frags.num_statements(), 3);
+        let rendered = frags.render(&p);
+        assert!(rendered.contains("Box.set"), "{rendered}");
+        assert!(rendered.contains("$g"), "{rendered}");
+        assert!(rendered.contains("return"), "{rendered}");
+    }
+
+    #[test]
+    fn clone_loop_fragment_allocates_a_carrier() {
+        // The starred spec ob ⊣ this_set (→ this_clone ⊣ r_clone)* → this_get ⊣ r_get
+        // compiles clone into `b = new Box(); b.f = this.f; return b;`.
+        let p = box_program();
+        let set = p.method_qualified("Box.set").unwrap();
+        let get = p.method_qualified("Box.get").unwrap();
+        let clone = p.method_qualified("Box.clone").unwrap();
+        let word = vec![
+            ParamSlot::param(set, 0),
+            ParamSlot::receiver(set),
+            ParamSlot::receiver(clone),
+            ParamSlot::ret(clone),
+            ParamSlot::receiver(get),
+            ParamSlot::ret(get),
+        ];
+        let fsa = Fsa::prefix_tree(&[word]);
+        // Merge the post-r_clone state back into the post-this_set state to
+        // form the loop (states: 0..6 along the chain).
+        let looped = fsa.merge(StateId(4), StateId(2));
+        let frags = CodeFragments::from_fsa(&p, &looped);
+        assert_eq!(frags.num_methods(), 3);
+        let clone_body = frags.body(clone).unwrap();
+        // new carrier, load from ghost of state 2, store into carrier ghost
+        // of state 2, return carrier.
+        assert!(clone_body.iter().any(|s| matches!(s, Stmt::New { .. })));
+        assert!(clone_body.iter().any(|s| matches!(s, Stmt::Load { .. })));
+        assert!(clone_body.iter().any(|s| matches!(s, Stmt::Store { .. })));
+        assert!(matches!(clone_body.last().unwrap(), Stmt::Return { .. }));
+        // The ghost field loaded and the ghost field stored are the same
+        // (self-loop through state 2).
+        let loaded: Vec<u32> = clone_body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Load { field, .. } => Some(field.index()),
+                _ => None,
+            })
+            .collect();
+        let stored: Vec<u32> = clone_body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Store { field, .. } => Some(field.index()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loaded, stored);
+    }
+
+    #[test]
+    fn fragment_signatures_are_normalization_invariant() {
+        let p = box_program();
+        let set = p.method_qualified("Box.set").unwrap();
+        let frags = CodeFragments::from_specs(&p, &[sbox(&p)]);
+        let generated = fragment_signature(&p, set, frags.body(set).unwrap());
+        // A handwritten equivalent using the *real* field f.
+        let f = p.field_named(p.class_named("Box").unwrap(), "f").unwrap();
+        let handwritten = vec![Stmt::Store {
+            obj: Var::from_index(0),
+            field: f,
+            src: Var::from_index(1),
+        }];
+        let hw_sig = fragment_signature(&p, set, &handwritten);
+        assert_eq!(generated, hw_sig);
+        assert_eq!(generated, vec!["store this.F = p0".to_string()]);
+    }
+
+    #[test]
+    fn merge_concatenates_bodies() {
+        let p = box_program();
+        let set = p.method_qualified("Box.set").unwrap();
+        let mut a = CodeFragments::from_specs(&p, &[sbox(&p)]);
+        let b = CodeFragments::from_specs(&p, &[sbox(&p)]);
+        let before = a.body(set).unwrap().len();
+        a.merge(&b);
+        assert_eq!(a.body(set).unwrap().len(), before * 2);
+        assert!(a.methods().count() >= 2);
+        // from_bodies wraps an explicit map.
+        let explicit = CodeFragments::from_bodies(a.bodies().clone());
+        assert_eq!(explicit.num_statements(), a.num_statements());
+        // to_overrides produces the extraction map.
+        assert_eq!(explicit.to_overrides().len(), explicit.num_methods());
+    }
+}

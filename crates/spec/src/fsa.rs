@@ -1,0 +1,405 @@
+//! Nondeterministic finite automata over the path-specification alphabet
+//! `V_path`, as used by the language-inference phase (Section 5.3).
+//!
+//! The automaton starts life as the *prefix-tree acceptor* of the positive
+//! examples found in phase one; the RPNI-style learner then repeatedly
+//! [`Fsa::merge`]s pairs of states, using bounded enumeration of the newly
+//! accepted words ([`Fsa::words_added_by`]) to query the oracle.
+
+use crate::path_spec::PathSpec;
+use atlas_ir::ParamSlot;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Id of an automaton state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u32);
+
+/// A nondeterministic finite automaton over `V_path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fsa {
+    /// transitions[q] maps a symbol to the set of successor states.
+    transitions: Vec<BTreeMap<ParamSlot, BTreeSet<StateId>>>,
+    init: StateId,
+    accepting: BTreeSet<StateId>,
+}
+
+impl Fsa {
+    /// The automaton accepting the empty language.
+    pub fn empty() -> Fsa {
+        Fsa { transitions: vec![BTreeMap::new()], init: StateId(0), accepting: BTreeSet::new() }
+    }
+
+    /// Builds the prefix-tree acceptor of the given words: the automaton
+    /// whose transition graph is the prefix tree of the words, whose start
+    /// state is the root, and whose accept states are the word endpoints.
+    pub fn prefix_tree<W: AsRef<[ParamSlot]>>(words: &[W]) -> Fsa {
+        let mut fsa = Fsa::empty();
+        for word in words {
+            let mut state = fsa.init;
+            for &sym in word.as_ref() {
+                let next = match fsa.transitions[state.0 as usize].get(&sym) {
+                    Some(set) if !set.is_empty() => *set.iter().next().expect("non-empty"),
+                    _ => {
+                        let new_state = fsa.add_state();
+                        fsa.add_transition(state, sym, new_state);
+                        new_state
+                    }
+                };
+                state = next;
+            }
+            fsa.accepting.insert(state);
+        }
+        fsa
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId(self.transitions.len() as u32);
+        self.transitions.push(BTreeMap::new());
+        id
+    }
+
+    /// Adds a transition `from --sym--> to`.
+    pub fn add_transition(&mut self, from: StateId, sym: ParamSlot, to: StateId) {
+        self.transitions[from.0 as usize].entry(sym).or_default().insert(to);
+    }
+
+    /// Marks a state as accepting.
+    pub fn set_accepting(&mut self, state: StateId, accepting: bool) {
+        if accepting {
+            self.accepting.insert(state);
+        } else {
+            self.accepting.remove(&state);
+        }
+    }
+
+    /// The initial state.
+    pub fn init(&self) -> StateId {
+        self.init
+    }
+
+    /// Whether the state is accepting.
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting.contains(&state)
+    }
+
+    /// Total number of allocated states (including unreachable ones left
+    /// behind by merges).
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// All states, in id order.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.transitions.len() as u32).map(StateId)
+    }
+
+    /// Number of states reachable from the initial state.
+    pub fn num_reachable_states(&self) -> usize {
+        self.reachable().len()
+    }
+
+    /// The set of states reachable from the initial state.
+    pub fn reachable(&self) -> BTreeSet<StateId> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(self.init);
+        queue.push_back(self.init);
+        while let Some(q) = queue.pop_front() {
+            for targets in self.transitions[q.0 as usize].values() {
+                for &t in targets {
+                    if seen.insert(t) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// All transitions `(from, symbol, to)`, in a deterministic order.
+    pub fn transitions(&self) -> Vec<(StateId, ParamSlot, StateId)> {
+        let mut out = Vec::new();
+        for (from, map) in self.transitions.iter().enumerate() {
+            for (&sym, targets) in map {
+                for &to in targets {
+                    out.push((StateId(from as u32), sym, to));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.iter().map(|m| m.values().map(|s| s.len()).sum::<usize>()).sum()
+    }
+
+    /// The successor states of `state` on `sym`.
+    pub fn successors(&self, state: StateId, sym: ParamSlot) -> BTreeSet<StateId> {
+        self.transitions[state.0 as usize].get(&sym).cloned().unwrap_or_default()
+    }
+
+    /// Outgoing transitions of a state.
+    pub fn transitions_from(&self, state: StateId) -> Vec<(ParamSlot, StateId)> {
+        self.transitions[state.0 as usize]
+            .iter()
+            .flat_map(|(&sym, targets)| targets.iter().map(move |&t| (sym, t)))
+            .collect()
+    }
+
+    /// Incoming transitions of a state.
+    pub fn transitions_into(&self, state: StateId) -> Vec<(StateId, ParamSlot)> {
+        self.transitions()
+            .into_iter()
+            .filter(|&(_, _, to)| to == state)
+            .map(|(from, sym, _)| (from, sym))
+            .collect()
+    }
+
+    /// Whether the automaton accepts the word.
+    pub fn accepts(&self, word: &[ParamSlot]) -> bool {
+        let mut current: BTreeSet<StateId> = BTreeSet::new();
+        current.insert(self.init);
+        for sym in word {
+            let mut next = BTreeSet::new();
+            for &q in &current {
+                if let Some(targets) = self.transitions[q.0 as usize].get(sym) {
+                    next.extend(targets.iter().copied());
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            current = next;
+        }
+        current.iter().any(|q| self.accepting.contains(q))
+    }
+
+    /// The `Merge(M, q, p)` operation of Section 5.3: redirects all of `q`'s
+    /// incoming and outgoing transitions to `p`, transfers `q`'s accepting
+    /// status, and leaves `q` isolated (equivalent to removing it).
+    ///
+    /// # Panics
+    /// Panics if `q` is the initial state or `q == p`.
+    pub fn merge(&self, q: StateId, p: StateId) -> Fsa {
+        assert_ne!(q, self.init, "cannot merge away the initial state");
+        assert_ne!(q, p, "cannot merge a state with itself");
+        let mut out = self.clone();
+        // Outgoing transitions of q move to p.
+        let q_out = std::mem::take(&mut out.transitions[q.0 as usize]);
+        for (sym, targets) in q_out {
+            for to in targets {
+                let to = if to == q { p } else { to };
+                out.transitions[p.0 as usize].entry(sym).or_default().insert(to);
+            }
+        }
+        // Incoming transitions into q are redirected to p.
+        for map in out.transitions.iter_mut() {
+            for targets in map.values_mut() {
+                if targets.remove(&q) {
+                    targets.insert(p);
+                }
+            }
+        }
+        if out.accepting.remove(&q) {
+            out.accepting.insert(p);
+        }
+        out
+    }
+
+    /// Enumerates accepted words of length at most `max_len`, stopping after
+    /// `limit` words.  Enumeration order is breadth-first, so shorter words
+    /// come first.
+    pub fn enumerate_words(&self, max_len: usize, limit: usize) -> Vec<Vec<ParamSlot>> {
+        let mut out = Vec::new();
+        // Frontier of (state-set, word) pairs.
+        let mut queue: VecDeque<(BTreeSet<StateId>, Vec<ParamSlot>)> = VecDeque::new();
+        let mut init_set = BTreeSet::new();
+        init_set.insert(self.init);
+        queue.push_back((init_set, Vec::new()));
+        while let Some((states, word)) = queue.pop_front() {
+            if out.len() >= limit {
+                break;
+            }
+            if !word.is_empty() && states.iter().any(|q| self.accepting.contains(q)) {
+                out.push(word.clone());
+            }
+            if word.len() >= max_len {
+                continue;
+            }
+            // Collect the union of outgoing symbols.
+            let mut symbols: BTreeSet<ParamSlot> = BTreeSet::new();
+            for &q in &states {
+                symbols.extend(self.transitions[q.0 as usize].keys().copied());
+            }
+            for sym in symbols {
+                let mut next = BTreeSet::new();
+                for &q in &states {
+                    if let Some(t) = self.transitions[q.0 as usize].get(&sym) {
+                        next.extend(t.iter().copied());
+                    }
+                }
+                if !next.is_empty() {
+                    let mut w = word.clone();
+                    w.push(sym);
+                    queue.push_back((next, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// The words (up to `max_len`, at most `limit`) accepted by `self` but
+    /// not by `other` — the set `M_diff` queried against the oracle when
+    /// deciding whether to accept a merge.
+    pub fn words_added_by(&self, other: &Fsa, max_len: usize, limit: usize) -> Vec<Vec<ParamSlot>> {
+        self.enumerate_words(max_len, limit * 4)
+            .into_iter()
+            .filter(|w| !other.accepts(w))
+            .take(limit)
+            .collect()
+    }
+
+    /// Enumerates the *valid path specifications* accepted by the automaton
+    /// (up to `max_len` symbols, at most `limit`).
+    pub fn accepted_specs(&self, max_len: usize, limit: usize) -> Vec<PathSpec> {
+        self.enumerate_words(max_len, limit * 2)
+            .into_iter()
+            .filter_map(|w| PathSpec::new(w).ok())
+            .take(limit)
+            .collect()
+    }
+
+    /// The set of methods that appear in any transition symbol.
+    pub fn mentioned_methods(&self) -> BTreeSet<atlas_ir::MethodId> {
+        self.transitions().into_iter().map(|(_, sym, _)| sym.method).collect()
+    }
+}
+
+impl Default for Fsa {
+    fn default() -> Self {
+        Fsa::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_ir::MethodId;
+
+    fn slot(m: u32, kind: u8) -> ParamSlot {
+        let method = MethodId::from_index(m);
+        match kind {
+            0 => ParamSlot::receiver(method),
+            1 => ParamSlot::param(method, 0),
+            _ => ParamSlot::ret(method),
+        }
+    }
+
+    /// The Box clone-chain example: ob this_set (this_clone r_clone)* this_get r_get.
+    fn clone_chain_word(n_clones: usize) -> Vec<ParamSlot> {
+        let mut w = vec![slot(0, 1), slot(0, 0)];
+        for _ in 0..n_clones {
+            w.push(slot(2, 0));
+            w.push(slot(2, 2));
+        }
+        w.push(slot(1, 0));
+        w.push(slot(1, 2));
+        w
+    }
+
+    #[test]
+    fn prefix_tree_accepts_exactly_its_words() {
+        let words = vec![clone_chain_word(0), clone_chain_word(1)];
+        let fsa = Fsa::prefix_tree(&words);
+        assert!(fsa.accepts(&clone_chain_word(0)));
+        assert!(fsa.accepts(&clone_chain_word(1)));
+        assert!(!fsa.accepts(&clone_chain_word(2)));
+        assert!(!fsa.accepts(&[]));
+        // Prefix tree of a 4-word and a 6-word sharing a 2-symbol prefix:
+        // 1 root + 2 shared + 2 + 4 = 9 states.
+        assert_eq!(fsa.num_states(), 9);
+        assert_eq!(fsa.num_reachable_states(), 9);
+        // enumerate_words returns both, shortest first.
+        let words = fsa.enumerate_words(10, 100);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0].len(), 4);
+    }
+
+    #[test]
+    fn merge_generalizes_to_a_loop() {
+        // Single positive example with one clone, as in Section 5.3's worked
+        // example; merging the post-clone state with the post-set state
+        // yields the starred language.
+        let word = clone_chain_word(1);
+        let fsa = Fsa::prefix_tree(&[word.clone()]);
+        // States along the chain: 0 -ob-> 1 -this_set-> 2 -this_clone-> 3
+        // -r_clone-> 4 -this_get-> 5 -r_get-> 6.
+        let merged = fsa.merge(StateId(4), StateId(2));
+        assert!(merged.accepts(&clone_chain_word(0)));
+        assert!(merged.accepts(&clone_chain_word(1)));
+        assert!(merged.accepts(&clone_chain_word(5)));
+        assert!(!merged.accepts(&clone_chain_word(1)[..4]));
+        // The original did not accept the 0- and 2-clone variants.
+        assert!(!fsa.accepts(&clone_chain_word(0)));
+        // words_added_by reports the newly accepted members (bounded).
+        let added = merged.words_added_by(&fsa, 8, 50);
+        assert!(added.contains(&clone_chain_word(0)));
+        assert!(added.contains(&clone_chain_word(2)[..8].to_vec()) || added.len() >= 1);
+        // Reachable states shrink after the merge.
+        assert!(merged.num_reachable_states() < fsa.num_reachable_states());
+    }
+
+    #[test]
+    fn accepted_specs_filters_invalid_words() {
+        // A word ending in a non-return symbol is not a valid path spec.
+        let bad = vec![slot(0, 1), slot(0, 0)];
+        let good = clone_chain_word(0);
+        let fsa = Fsa::prefix_tree(&[bad, good.clone()]);
+        let specs = fsa.accepted_specs(10, 10);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].symbols(), good.as_slice());
+        assert_eq!(fsa.mentioned_methods().len(), 2);
+    }
+
+    #[test]
+    fn manual_construction_and_queries() {
+        let mut fsa = Fsa::empty();
+        assert!(!fsa.accepts(&[]));
+        let a = fsa.add_state();
+        fsa.add_transition(fsa.init(), slot(0, 1), a);
+        fsa.set_accepting(a, true);
+        assert!(fsa.accepts(&[slot(0, 1)]));
+        assert!(fsa.is_accepting(a));
+        fsa.set_accepting(a, false);
+        assert!(!fsa.accepts(&[slot(0, 1)]));
+        fsa.set_accepting(a, true);
+        assert_eq!(fsa.num_transitions(), 1);
+        assert_eq!(fsa.transitions_from(fsa.init()).len(), 1);
+        assert_eq!(fsa.transitions_into(a).len(), 1);
+        assert_eq!(fsa.successors(fsa.init(), slot(0, 1)).len(), 1);
+        assert!(fsa.successors(a, slot(0, 1)).is_empty());
+        assert_eq!(Fsa::default(), Fsa::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state")]
+    fn merging_init_panics() {
+        let fsa = Fsa::prefix_tree(&[clone_chain_word(0)]);
+        let _ = fsa.merge(StateId(0), StateId(1));
+    }
+
+    #[test]
+    fn self_loop_via_merge_handles_q_to_q_edges() {
+        // word a b where both symbols go through distinct states; merging the
+        // middle state into init must rewrite q→q self-edges correctly.
+        let w = vec![slot(0, 1), slot(0, 2)];
+        let fsa = Fsa::prefix_tree(&[w.clone()]);
+        let merged = fsa.merge(StateId(1), StateId(2));
+        // Language must still contain something reachable; no panic and the
+        // accepting state is preserved.
+        assert!(merged.num_states() == fsa.num_states());
+        assert!(merged.transitions().len() >= 2);
+    }
+}

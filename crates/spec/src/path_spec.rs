@@ -1,0 +1,374 @@
+//! Path specifications: syntax, well-formedness and semantics (Section 4).
+//!
+//! A path specification is a sequence of interface variables
+//!
+//! ```text
+//! z₁ w₁ z₂ w₂ … zₖ wₖ ∈ V_path*
+//! ```
+//!
+//! where `zᵢ, wᵢ` belong to the same library method `mᵢ`, `wᵢ` and `zᵢ₊₁` are
+//! not both return values, and `wₖ` is a return value.  Its semantics is the
+//! rule
+//!
+//! ```text
+//! (⋀ᵢ wᵢ --Aᵢ--> zᵢ₊₁ ∈ G̃)  ⇒  (z₁ --A--> wₖ ∈ G̃)
+//! ```
+//!
+//! with `Aᵢ ∈ {Transfer, Alias, Transfer-bar}` determined by which of the two
+//! endpoints are parameters/returns.
+
+use atlas_ir::{LibraryInterface, MethodId, ParamSlot};
+use std::fmt;
+
+/// The relation labelling an edge of a path-specification premise or
+/// conclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeRel {
+    /// `Transfer`: the left variable is indirectly assigned to the right.
+    Transfer,
+    /// `Transfer-bar`: the right variable is indirectly assigned to the left.
+    TransferBar,
+    /// `Alias`: the two variables may point to the same object.
+    Alias,
+}
+
+impl fmt::Display for EdgeRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeRel::Transfer => write!(f, "Transfer"),
+            EdgeRel::TransferBar => write!(f, "Transfer̄"),
+            EdgeRel::Alias => write!(f, "Alias"),
+        }
+    }
+}
+
+/// Errors raised when constructing a malformed path specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathSpecError {
+    /// The symbol sequence was empty or had odd length.
+    BadLength(usize),
+    /// Symbols at positions `2i` and `2i+1` belong to different methods.
+    MixedMethods { position: usize },
+    /// `wᵢ` and `zᵢ₊₁` are both return values.
+    ConsecutiveReturns { position: usize },
+    /// The last symbol is not a return value.
+    LastNotReturn,
+}
+
+impl fmt::Display for PathSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathSpecError::BadLength(n) => {
+                write!(f, "path specification must have positive even length, got {n}")
+            }
+            PathSpecError::MixedMethods { position } => {
+                write!(f, "symbols at step {position} belong to different methods")
+            }
+            PathSpecError::ConsecutiveReturns { position } => {
+                write!(f, "exit symbol {position} and the following entry symbol are both returns")
+            }
+            PathSpecError::LastNotReturn => write!(f, "the final symbol must be a return value"),
+        }
+    }
+}
+
+impl std::error::Error for PathSpecError {}
+
+/// A single path specification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathSpec {
+    symbols: Vec<ParamSlot>,
+}
+
+impl PathSpec {
+    /// Builds a path specification from a symbol sequence, validating the
+    /// well-formedness constraints of Section 4.
+    ///
+    /// # Errors
+    /// Returns a [`PathSpecError`] describing the violated constraint.
+    pub fn new(symbols: Vec<ParamSlot>) -> Result<PathSpec, PathSpecError> {
+        Self::check(&symbols)?;
+        Ok(PathSpec { symbols })
+    }
+
+    /// Checks whether a symbol sequence forms a valid path specification.
+    pub fn check(symbols: &[ParamSlot]) -> Result<(), PathSpecError> {
+        if symbols.is_empty() || symbols.len() % 2 != 0 {
+            return Err(PathSpecError::BadLength(symbols.len()));
+        }
+        for (i, pair) in symbols.chunks(2).enumerate() {
+            if pair[0].method != pair[1].method {
+                return Err(PathSpecError::MixedMethods { position: i });
+            }
+        }
+        for i in (1..symbols.len() - 1).step_by(2) {
+            if symbols[i].is_return() && symbols[i + 1].is_return() {
+                return Err(PathSpecError::ConsecutiveReturns { position: i / 2 });
+            }
+        }
+        if !symbols.last().expect("non-empty").is_return() {
+            return Err(PathSpecError::LastNotReturn);
+        }
+        Ok(())
+    }
+
+    /// The raw symbol sequence `z₁ w₁ … zₖ wₖ`.
+    pub fn symbols(&self) -> &[ParamSlot] {
+        &self.symbols
+    }
+
+    /// The number of steps `k` (method occurrences).
+    pub fn num_steps(&self) -> usize {
+        self.symbols.len() / 2
+    }
+
+    /// The `(zᵢ, wᵢ)` pairs, in order.
+    pub fn steps(&self) -> impl Iterator<Item = (ParamSlot, ParamSlot)> + '_ {
+        self.symbols.chunks(2).map(|c| (c[0], c[1]))
+    }
+
+    /// The method of each step.
+    pub fn methods(&self) -> Vec<MethodId> {
+        self.steps().map(|(z, _)| z.method).collect()
+    }
+
+    /// The entry symbol `z₁`.
+    pub fn first(&self) -> ParamSlot {
+        self.symbols[0]
+    }
+
+    /// The exit symbol `wₖ`.
+    pub fn last(&self) -> ParamSlot {
+        *self.symbols.last().expect("non-empty")
+    }
+
+    /// The relation `Aᵢ` of the external edge `wᵢ → zᵢ₊₁`.
+    pub fn external_rel(w: ParamSlot, z_next: ParamSlot) -> EdgeRel {
+        match (w.is_return(), z_next.is_return()) {
+            (true, false) => EdgeRel::Transfer,
+            (false, false) => EdgeRel::Alias,
+            (false, true) => EdgeRel::TransferBar,
+            (true, true) => EdgeRel::Alias, // ruled out by well-formedness
+        }
+    }
+
+    /// The relation `A` of the conclusion `z₁ --A--> wₖ`.
+    pub fn conclusion_rel(&self) -> EdgeRel {
+        if self.first().is_return() {
+            EdgeRel::Alias
+        } else {
+            EdgeRel::Transfer
+        }
+    }
+
+    /// The premise edges `wᵢ --Aᵢ--> zᵢ₊₁` (empty for single-step specs).
+    pub fn premise(&self) -> Vec<(ParamSlot, EdgeRel, ParamSlot)> {
+        let mut out = Vec::new();
+        for i in 0..self.num_steps().saturating_sub(1) {
+            let w = self.symbols[2 * i + 1];
+            let z_next = self.symbols[2 * i + 2];
+            out.push((w, Self::external_rel(w, z_next), z_next));
+        }
+        out
+    }
+
+    /// The complete semantic rule of this specification.
+    pub fn rule(&self) -> SpecRule {
+        SpecRule {
+            premise: self.premise(),
+            conclusion: (self.first(), self.conclusion_rel(), self.last()),
+        }
+    }
+
+    /// Formats the specification with human-readable slot names, e.g.
+    /// `p0_set ⊣ this_set → this_get ⊣ r_get`.
+    pub fn display(&self, interface: &LibraryInterface) -> String {
+        let mut parts = Vec::new();
+        for (i, (z, w)) in self.steps().enumerate() {
+            let sep = if i == 0 { "" } else { " → " };
+            parts.push(format!(
+                "{sep}{} ⊣ {}",
+                interface.slot_name(z),
+                interface.slot_name(w)
+            ));
+        }
+        parts.concat()
+    }
+}
+
+/// The semantic rule `premise ⇒ conclusion` of a path specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecRule {
+    /// The premise edges `wᵢ --Aᵢ--> zᵢ₊₁` that must already be in `G̃`.
+    pub premise: Vec<(ParamSlot, EdgeRel, ParamSlot)>,
+    /// The conclusion edge `z₁ --A--> wₖ` added to `G̃` when the premise holds.
+    pub conclusion: (ParamSlot, EdgeRel, ParamSlot),
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use atlas_ir::builder::ProgramBuilder;
+    use atlas_ir::{LibraryInterface, Program, Type};
+
+    /// Box library with set/get/clone (the running example of the paper).
+    pub(crate) fn box_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.class("Object").build();
+        let mut c = pb.class("Box");
+        c.library(true);
+        c.field("f", Type::object());
+        let mut init = c.constructor();
+        init.this();
+        init.finish();
+        let mut set = c.method("set");
+        let this = set.this();
+        let ob = set.param("ob", Type::object());
+        set.store(this, "f", ob);
+        set.finish();
+        let mut get = c.method("get");
+        get.returns(Type::object());
+        let this = get.this();
+        let r = get.local("r", Type::object());
+        get.load(r, this, "f");
+        get.ret(Some(r));
+        get.finish();
+        let mut clone = c.method("clone");
+        clone.returns(Type::class("Box"));
+        let this = clone.this();
+        let b = clone.local("b", Type::class("Box"));
+        let tmp = clone.local("tmp", Type::object());
+        let box_class = clone.cref("Box");
+        clone.new_object(b, box_class);
+        clone.load(tmp, this, "f");
+        clone.store(b, "f", tmp);
+        clone.ret(Some(b));
+        clone.finish();
+        c.build();
+        pb.build()
+    }
+
+    /// The specification `s_box = ob ⊣ this_set → this_get ⊣ r_get`.
+    pub(crate) fn sbox(p: &Program) -> PathSpec {
+        let set = p.method_qualified("Box.set").unwrap();
+        let get = p.method_qualified("Box.get").unwrap();
+        PathSpec::new(vec![
+            ParamSlot::param(set, 0),
+            ParamSlot::receiver(set),
+            ParamSlot::receiver(get),
+            ParamSlot::ret(get),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn sbox_semantics_match_the_paper() {
+        let p = box_program();
+        let s = sbox(&p);
+        assert_eq!(s.num_steps(), 2);
+        let rule = s.rule();
+        // Premise: this_set --Alias--> this_get.
+        assert_eq!(rule.premise.len(), 1);
+        assert_eq!(rule.premise[0].1, EdgeRel::Alias);
+        // Conclusion: ob --Transfer--> r_get.
+        assert_eq!(rule.conclusion.1, EdgeRel::Transfer);
+        assert_eq!(s.conclusion_rel(), EdgeRel::Transfer);
+        let iface = LibraryInterface::from_program(&p);
+        let text = s.display(&iface);
+        assert!(text.contains("this_set"), "{text}");
+        assert!(text.contains("r_get"), "{text}");
+        assert_eq!(s.methods().len(), 2);
+    }
+
+    #[test]
+    fn clone_chain_spec_premise_relations() {
+        // ob ⊣ this_set → this_clone ⊣ r_clone → this_get ⊣ r_get
+        let p = box_program();
+        let set = p.method_qualified("Box.set").unwrap();
+        let get = p.method_qualified("Box.get").unwrap();
+        let clone = p.method_qualified("Box.clone").unwrap();
+        let s = PathSpec::new(vec![
+            ParamSlot::param(set, 0),
+            ParamSlot::receiver(set),
+            ParamSlot::receiver(clone),
+            ParamSlot::ret(clone),
+            ParamSlot::receiver(get),
+            ParamSlot::ret(get),
+        ])
+        .unwrap();
+        let premise = s.premise();
+        assert_eq!(premise.len(), 2);
+        // this_set --Alias--> this_clone
+        assert_eq!(premise[0].1, EdgeRel::Alias);
+        // r_clone --Transfer--> this_get
+        assert_eq!(premise[1].1, EdgeRel::Transfer);
+        assert_eq!(s.first(), ParamSlot::param(set, 0));
+        assert_eq!(s.last(), ParamSlot::ret(get));
+    }
+
+    #[test]
+    fn alias_conclusion_when_entry_is_a_return() {
+        // r_get ⊣ this_get → this_get ⊣ r_get : entering via a return value
+        // yields an Alias conclusion.
+        let p = box_program();
+        let get = p.method_qualified("Box.get").unwrap();
+        let s = PathSpec::new(vec![
+            ParamSlot::ret(get),
+            ParamSlot::receiver(get),
+            ParamSlot::receiver(get),
+            ParamSlot::ret(get),
+        ])
+        .unwrap();
+        assert_eq!(s.conclusion_rel(), EdgeRel::Alias);
+        // TransferBar arises when an exit parameter is followed by an entry
+        // return.
+        assert_eq!(
+            PathSpec::external_rel(ParamSlot::receiver(get), ParamSlot::ret(get)),
+            EdgeRel::TransferBar
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let p = box_program();
+        let set = p.method_qualified("Box.set").unwrap();
+        let get = p.method_qualified("Box.get").unwrap();
+        // Odd length.
+        assert_eq!(
+            PathSpec::new(vec![ParamSlot::receiver(set)]),
+            Err(PathSpecError::BadLength(1))
+        );
+        // Empty.
+        assert_eq!(PathSpec::new(vec![]), Err(PathSpecError::BadLength(0)));
+        // Mixed methods within a step.
+        assert_eq!(
+            PathSpec::new(vec![ParamSlot::receiver(set), ParamSlot::ret(get)]),
+            Err(PathSpecError::MixedMethods { position: 0 })
+        );
+        // Last symbol not a return.
+        assert_eq!(
+            PathSpec::new(vec![ParamSlot::param(set, 0), ParamSlot::receiver(set)]),
+            Err(PathSpecError::LastNotReturn)
+        );
+        // Consecutive returns across steps.
+        assert_eq!(
+            PathSpec::new(vec![
+                ParamSlot::receiver(get),
+                ParamSlot::ret(get),
+                ParamSlot::ret(get),
+                ParamSlot::ret(get),
+            ]),
+            Err(PathSpecError::ConsecutiveReturns { position: 0 })
+        );
+        // Error display is informative.
+        assert!(PathSpecError::LastNotReturn.to_string().contains("return"));
+        assert!(PathSpecError::BadLength(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn edge_rel_display() {
+        assert_eq!(EdgeRel::Transfer.to_string(), "Transfer");
+        assert_eq!(EdgeRel::Alias.to_string(), "Alias");
+        assert!(EdgeRel::TransferBar.to_string().starts_with("Transfer"));
+    }
+}

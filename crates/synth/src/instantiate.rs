@@ -1,0 +1,237 @@
+//! Constructor-call synthesis by shortest-path search over the constructor
+//! hypergraph (Appendix B.3).
+//!
+//! Vertices of the hypergraph are classes; each constructor is a hyperedge
+//! from the classes of its reference parameters to its own class.  The
+//! planner computes, for every class, the cheapest tree of constructor calls
+//! that produces a fully initialized instance, and can then emit that tree
+//! as a sequence of test operations.
+
+use crate::witness::{TestArg, TestOp, TestVar};
+use atlas_ir::{ClassId, LibraryInterface, MethodId, Program, Type};
+use std::collections::HashMap;
+
+/// Maximum nesting depth of synthesized constructor calls (defensive bound;
+/// the cost metric already guarantees termination).
+const MAX_DEPTH: usize = 8;
+
+/// Plans and emits constructor call sequences for library classes.
+#[derive(Debug, Clone)]
+pub struct InstantiationPlanner {
+    cost: HashMap<ClassId, u32>,
+    best_ctor: HashMap<ClassId, MethodId>,
+}
+
+impl InstantiationPlanner {
+    /// Builds the planner for all library classes of the program.
+    pub fn new(program: &Program, interface: &LibraryInterface) -> InstantiationPlanner {
+        let _ = interface;
+        let mut cost: HashMap<ClassId, u32> = HashMap::new();
+        let mut best_ctor: HashMap<ClassId, MethodId> = HashMap::new();
+        // Iterate the Bellman-Ford-style relaxation until costs stabilize.
+        loop {
+            let mut changed = false;
+            for class in program.library_classes() {
+                for &ctor in &program.constructors_of(class.id()) {
+                    let m = program.method(ctor);
+                    let mut total = 1u32;
+                    let mut feasible = true;
+                    for i in 0..m.num_params() {
+                        let ty = &m.var_data(m.param_var(i)).ty;
+                        match ty {
+                            Type::Object(name) => {
+                                let pc = program.class_named(name);
+                                match pc.and_then(|c| cost.get(&c)) {
+                                    Some(&c) => total = total.saturating_add(c),
+                                    None => {
+                                        feasible = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            // Primitive and array parameters are free (filled
+                            // with defaults / null).
+                            _ => {}
+                        }
+                    }
+                    if !feasible {
+                        continue;
+                    }
+                    let current = cost.get(&class.id()).copied().unwrap_or(u32::MAX);
+                    if total < current {
+                        cost.insert(class.id(), total);
+                        best_ctor.insert(class.id(), ctor);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        InstantiationPlanner { cost, best_ctor }
+    }
+
+    /// The cost (number of constructor calls) of instantiating `class`, if
+    /// it is instantiable at all.
+    pub fn cost(&self, class: ClassId) -> Option<u32> {
+        self.cost.get(&class).copied()
+    }
+
+    /// The constructor chosen for `class`.
+    pub fn constructor(&self, class: ClassId) -> Option<MethodId> {
+        self.best_ctor.get(&class).copied()
+    }
+
+    /// Emits the operations that instantiate `class`, returning the variable
+    /// holding the new instance, or `None` if the class cannot be
+    /// instantiated (no constructor reachable).
+    pub fn instantiate(
+        &self,
+        program: &Program,
+        class: ClassId,
+        next_var: &mut u32,
+        ops: &mut Vec<TestOp>,
+    ) -> Option<TestVar> {
+        self.instantiate_depth(program, class, next_var, ops, 0)
+    }
+
+    fn instantiate_depth(
+        &self,
+        program: &Program,
+        class: ClassId,
+        next_var: &mut u32,
+        ops: &mut Vec<TestOp>,
+        depth: usize,
+    ) -> Option<TestVar> {
+        if depth > MAX_DEPTH {
+            return None;
+        }
+        let dst = TestVar(*next_var);
+        *next_var += 1;
+        ops.push(TestOp::Alloc { dst, class });
+        let Some(ctor) = self.constructor(class) else {
+            // No constructor: the raw allocation is the best we can do.
+            return Some(dst);
+        };
+        let m = program.method(ctor);
+        let mut args = Vec::new();
+        for i in 0..m.num_params() {
+            let ty = &m.var_data(m.param_var(i)).ty;
+            let arg = match ty {
+                Type::Object(name) => {
+                    let nested = program
+                        .class_named(name)
+                        .filter(|c| self.cost.contains_key(c))
+                        .and_then(|c| self.instantiate_depth(program, c, next_var, ops, depth + 1));
+                    match nested {
+                        Some(v) => TestArg::Var(v),
+                        None => TestArg::Null,
+                    }
+                }
+                Type::Array(_) => TestArg::Null,
+                Type::Int => TestArg::Int(0),
+                Type::Bool => TestArg::Bool(true),
+                Type::Char => TestArg::Char('a'),
+                Type::Void => TestArg::Null,
+            };
+            args.push(arg);
+        }
+        ops.push(TestOp::Call { dst: None, method: ctor, recv: Some(dst), args });
+        Some(dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_ir::builder::ProgramBuilder;
+    use atlas_ir::LibraryInterface;
+
+    /// Object (empty ctor), Wrapper(Object), Loop(Loop) — the last one is
+    /// uninstantiable without infinite recursion.
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut obj = pb.class("Object");
+        obj.library(true);
+        let mut init = obj.constructor();
+        init.this();
+        init.finish();
+        obj.build();
+        let mut wrap = pb.class("Wrapper");
+        wrap.library(true);
+        wrap.field("inner", Type::object());
+        let mut init = wrap.constructor();
+        let this = init.this();
+        let v = init.param("value", Type::object());
+        init.store(this, "inner", v);
+        init.finish();
+        wrap.build();
+        let mut lp = pb.class("Loop");
+        lp.library(true);
+        let mut init = lp.constructor();
+        init.this();
+        init.param("self", Type::class("Loop"));
+        init.finish();
+        lp.build();
+        let mut prim = pb.class("Prim");
+        prim.library(true);
+        let mut init = prim.constructor();
+        init.this();
+        init.param("n", Type::Int);
+        init.param("flag", Type::Bool);
+        init.finish();
+        prim.build();
+        pb.build()
+    }
+
+    #[test]
+    fn costs_follow_the_hypergraph() {
+        let p = program();
+        let iface = LibraryInterface::from_program(&p);
+        let planner = InstantiationPlanner::new(&p, &iface);
+        let object = p.class_named("Object").unwrap();
+        let wrapper = p.class_named("Wrapper").unwrap();
+        let looped = p.class_named("Loop").unwrap();
+        let prim = p.class_named("Prim").unwrap();
+        assert_eq!(planner.cost(object), Some(1));
+        assert_eq!(planner.cost(wrapper), Some(2));
+        assert_eq!(planner.cost(prim), Some(1));
+        // `Loop` needs a Loop argument it can never build.
+        assert_eq!(planner.cost(looped), None);
+        assert!(planner.constructor(object).is_some());
+    }
+
+    #[test]
+    fn instantiation_emits_nested_constructor_calls() {
+        let p = program();
+        let iface = LibraryInterface::from_program(&p);
+        let planner = InstantiationPlanner::new(&p, &iface);
+        let wrapper = p.class_named("Wrapper").unwrap();
+        let mut next = 0;
+        let mut ops = Vec::new();
+        let v = planner.instantiate(&p, wrapper, &mut next, &mut ops).unwrap();
+        // Wrapper alloc, Object alloc, Object ctor, Wrapper ctor.
+        assert_eq!(ops.len(), 4);
+        assert_eq!(v, TestVar(0));
+        assert!(matches!(ops[0], TestOp::Alloc { .. }));
+        assert!(matches!(ops.last().unwrap(), TestOp::Call { method, .. }
+            if p.method(*method).is_constructor()));
+        // Primitive params get defaults.
+        let prim = p.class_named("Prim").unwrap();
+        let mut ops2 = Vec::new();
+        planner.instantiate(&p, prim, &mut next, &mut ops2).unwrap();
+        let TestOp::Call { args, .. } = ops2.last().unwrap() else { panic!() };
+        assert_eq!(args[0], TestArg::Int(0));
+        assert_eq!(args[1], TestArg::Bool(true));
+        // Uninstantiable class: raw allocation happens, nested arg is null.
+        let looped = p.class_named("Loop").unwrap();
+        let mut ops3 = Vec::new();
+        let lv = planner.instantiate(&p, looped, &mut next, &mut ops3);
+        // `Loop` has no finite cost, but instantiate still allocates it raw
+        // and passes null to the constructor-less path (constructor is known
+        // but cost is infinite, so the nested argument becomes null).
+        assert!(lv.is_some());
+        assert!(ops3.iter().any(|op| matches!(op, TestOp::Alloc { .. })));
+    }
+}

@@ -1,0 +1,33 @@
+//! # atlas-synth
+//!
+//! Unit-test synthesis (Section 5.4 and Appendix B of the paper): given a
+//! candidate path specification, synthesize a *potential witness* — a small
+//! straight-line test that calls the involved library methods with the
+//! aliasing/transfer relationships demanded by the candidate's premise and
+//! returns whether the candidate's conclusion holds dynamically.
+//!
+//! The synthesis pipeline follows the paper exactly:
+//!
+//! 1. **Skeleton construction** — one call per method occurrence of the
+//!    candidate, with holes for arguments and results;
+//! 2. **Hole filling** — holes connected by the candidate's external edges
+//!    are partitioned into alias classes (connected components) and filled
+//!    with a shared fresh variable;
+//! 3. **Initialization** — remaining reference holes are initialized either
+//!    to `null` ([`InitStrategy::Null`]) or by synthesizing constructor
+//!    calls found by shortest-path search over the constructor hypergraph
+//!    ([`InitStrategy::Instantiate`]); primitives get default values;
+//! 4. **Scheduling** — calls are ordered greedily, respecting the hard
+//!    constraints imposed by transfer edges and preferring the
+//!    specification's own order.
+//!
+//! The result is a [`WitnessTest`] that can be executed directly against the
+//! blackbox library via `atlas-interp`.
+
+pub mod instantiate;
+pub mod synthesize;
+pub mod witness;
+
+pub use instantiate::InstantiationPlanner;
+pub use synthesize::{synthesize_witness, InitStrategy, SynthesisError};
+pub use witness::{TestArg, TestOp, TestVar, WitnessTest};

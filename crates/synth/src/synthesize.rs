@@ -1,0 +1,602 @@
+//! The witness-synthesis pipeline: skeleton, hole filling, initialization
+//! and scheduling (Section 5.4, Appendix B).
+
+use crate::instantiate::InstantiationPlanner;
+use crate::witness::{TestArg, TestOp, TestVar, WitnessTest};
+use atlas_ir::{LibraryInterface, MethodSig, ParamSlot, Program, SlotKind, Type};
+use atlas_spec::{EdgeRel, PathSpec};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// How reference variables that are not constrained by the candidate are
+/// initialized (Section 6.3 "Object initialization: null vs. instantiation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitStrategy {
+    /// Unconstrained reference arguments are passed as `null`.
+    Null,
+    /// Unconstrained reference arguments are instantiated via constructor
+    /// calls found by the [`InstantiationPlanner`].
+    #[default]
+    Instantiate,
+}
+
+/// Errors raised during witness synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// A method of the candidate is not part of the library interface.
+    UnknownMethod,
+    /// The scheduling constraints are cyclic (cannot happen for well-formed
+    /// candidates, but guarded against).
+    UnschedulableCycle,
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::UnknownMethod => write!(f, "candidate mentions a method outside the library interface"),
+            SynthesisError::UnschedulableCycle => write!(f, "hard scheduling constraints form a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Synthesizes a potential witness for `spec`.
+pub fn synthesize_witness(
+    program: &Program,
+    interface: &LibraryInterface,
+    planner: &InstantiationPlanner,
+    spec: &PathSpec,
+    strategy: InitStrategy,
+) -> Result<WitnessTest, SynthesisError> {
+    let steps: Vec<(ParamSlot, ParamSlot)> = spec.steps().collect();
+    let sigs: Vec<&MethodSig> = steps
+        .iter()
+        .map(|(z, _)| interface.sig(z.method).ok_or(SynthesisError::UnknownMethod))
+        .collect::<Result<_, _>>()?;
+
+    // ---- Hole filling: union the holes connected by external edges -------
+    // A hole is (step index, slot); holes of the same step with the same slot
+    // are identical by construction.
+    let mut uf = UnionFind::default();
+    for (i, (z, w)) in steps.iter().enumerate() {
+        uf.add((i, *z));
+        uf.add((i, *w));
+    }
+    let premise = spec.premise();
+    for (i, (w, _rel, z_next)) in premise.iter().enumerate() {
+        uf.union((i, *w), (i + 1, *z_next));
+    }
+
+    // ---- Assign variables to components ----------------------------------
+    let mut next_var = 0u32;
+    let fresh = |next_var: &mut u32| {
+        let v = TestVar(*next_var);
+        *next_var += 1;
+        v
+    };
+    // Component representative -> assigned variable.
+    let mut component_var: HashMap<(usize, ParamSlot), TestVar> = HashMap::new();
+    // Component representative -> step whose return defines it (if any).
+    let mut component_def: HashMap<(usize, ParamSlot), usize> = HashMap::new();
+    for (i, (z, w)) in steps.iter().enumerate() {
+        for slot in [z, w] {
+            let root = uf.find((i, *slot));
+            component_var.entry(root).or_insert_with(|| fresh(&mut next_var));
+            if slot.kind == SlotKind::Return {
+                let entry = component_def.entry(root).or_insert(i);
+                *entry = (*entry).min(i);
+            }
+        }
+    }
+
+    // ---- Initialization ---------------------------------------------------
+    // Ops are assembled in three groups: component allocations, receiver /
+    // argument initializations, then the scheduled method calls.
+    let mut init_ops: Vec<TestOp> = Vec::new();
+    let mut allocated: HashMap<(usize, ParamSlot), TestVar> = HashMap::new();
+    // Unconstrained reference arguments of the same class share one
+    // instantiated object within the witness (so that, e.g., the key passed
+    // to `put` and the key passed to `get` coincide even though the
+    // candidate does not constrain them).
+    let mut pool: HashMap<String, TestVar> = HashMap::new();
+    for (i, (z, w)) in steps.iter().enumerate() {
+        for slot in [z, w] {
+            let root = uf.find((i, *slot));
+            if component_def.contains_key(&root) || allocated.contains_key(&root) {
+                continue;
+            }
+            // This component needs a fresh object: pick the most specific
+            // class among its slots (receivers win), then allocate it and run
+            // its cheapest constructor.
+            let class = component_class(program, interface, &steps, &uf, root);
+            let var = component_var[&root];
+            emit_allocation(program, planner, class, var, strategy, &mut next_var, &mut init_ops);
+            allocated.insert(root, var);
+        }
+    }
+
+    // ---- Build the call for each step -------------------------------------
+    let mut call_ops: Vec<(usize, TestOp)> = Vec::new();
+    for (i, (sig, (z, w))) in sigs.iter().zip(&steps).enumerate() {
+        let mut lookup = |slot: ParamSlot| -> Option<TestVar> {
+            let root = uf.find((i, slot));
+            component_var.get(&root).copied()
+        };
+        // Receiver.
+        let recv = if sig.has_this {
+            let slot = ParamSlot::receiver(sig.method);
+            match lookup(slot) {
+                Some(v) => Some(v),
+                None => {
+                    // Receiver not mentioned by the candidate: always give it
+                    // a real object so the call does not trivially fail.
+                    let v = fresh(&mut next_var);
+                    let class = program.class_named(&sig.class_name).unwrap_or_else(|| sig.class);
+                    emit_allocation(program, planner, class, v, strategy, &mut next_var, &mut init_ops);
+                    Some(v)
+                }
+            }
+        } else {
+            None
+        };
+        // Arguments.
+        let mut args = Vec::new();
+        for (pi, ty) in sig.param_types.iter().enumerate() {
+            let slot = ParamSlot::param(sig.method, pi as u16);
+            let arg = if let Some(v) = lookup(slot) {
+                TestArg::Var(v)
+            } else {
+                default_argument(
+                    program,
+                    planner,
+                    ty,
+                    strategy,
+                    &mut next_var,
+                    &mut init_ops,
+                    &mut pool,
+                )
+            };
+            args.push(arg);
+        }
+        // Result.
+        let dst = if sig.returns_reference() {
+            Some(lookup(ParamSlot::ret(sig.method)).unwrap_or_else(|| fresh(&mut next_var)))
+        } else {
+            None
+        };
+        call_ops.push((i, TestOp::Call { dst, method: sig.method, recv, args }));
+        let _ = (z, w);
+    }
+
+    // ---- Scheduling --------------------------------------------------------
+    let order = schedule(&premise, steps.len())?;
+    let mut ops = init_ops;
+    let by_index: BTreeMap<usize, TestOp> = call_ops.into_iter().collect();
+    for i in order {
+        ops.push(by_index[&i].clone());
+    }
+
+    // ---- Observation -------------------------------------------------------
+    let first_root = uf.find((0, spec.first()));
+    let last_root = uf.find((steps.len() - 1, spec.last()));
+    let tracked_in = component_var[&first_root];
+    let observed_out = component_var[&last_root];
+
+    Ok(WitnessTest { spec: spec.clone(), ops, tracked_in, observed_out })
+}
+
+/// Picks the class to allocate for an aliased component: the receiver class
+/// if the component contains a receiver slot, otherwise the declared class
+/// of a parameter slot, otherwise `Object`.
+fn component_class(
+    program: &Program,
+    interface: &LibraryInterface,
+    steps: &[(ParamSlot, ParamSlot)],
+    uf: &UnionFind,
+    root: (usize, ParamSlot),
+) -> atlas_ir::ClassId {
+    let mut param_class = None;
+    for (i, (z, w)) in steps.iter().enumerate() {
+        for slot in [z, w] {
+            if uf.find_ref((i, *slot)) != Some(root) {
+                continue;
+            }
+            let Some(sig) = interface.sig(slot.method) else { continue };
+            match slot.kind {
+                SlotKind::Receiver => {
+                    if let Some(c) = program.class_named(&sig.class_name) {
+                        return c;
+                    }
+                    return sig.class;
+                }
+                SlotKind::Param(pi) => {
+                    if param_class.is_none() {
+                        if let Some(Type::Object(name)) = sig.param_types.get(pi as usize) {
+                            param_class = program.class_named(name);
+                        }
+                    }
+                }
+                SlotKind::Return => {}
+            }
+        }
+    }
+    param_class
+        .or_else(|| program.class_named("Object"))
+        .unwrap_or_else(|| atlas_ir::ClassId::from_index(0))
+}
+
+/// Emits an allocation (plus constructor call) for a required object.
+fn emit_allocation(
+    program: &Program,
+    planner: &InstantiationPlanner,
+    class: atlas_ir::ClassId,
+    var: TestVar,
+    strategy: InitStrategy,
+    next_var: &mut u32,
+    ops: &mut Vec<TestOp>,
+) {
+    ops.push(TestOp::Alloc { dst: var, class });
+    let Some(ctor) = planner.constructor(class).or_else(|| program.constructors_of(class).first().copied())
+    else {
+        return;
+    };
+    let m = program.method(ctor);
+    let mut args = Vec::new();
+    let mut pool = HashMap::new();
+    for i in 0..m.num_params() {
+        let ty = &m.var_data(m.param_var(i)).ty;
+        args.push(default_argument(program, planner, ty, strategy, next_var, ops, &mut pool));
+    }
+    ops.push(TestOp::Call { dst: None, method: ctor, recv: Some(var), args });
+}
+
+/// Produces the default value for an unconstrained argument of the given
+/// type: primitives get fixed defaults, references are `null` or an
+/// instantiated object depending on the strategy.  Instantiated objects are
+/// shared per class through `pool`, so unconstrained arguments of the same
+/// type (e.g. map keys across `put` and `get`) coincide.
+fn default_argument(
+    program: &Program,
+    planner: &InstantiationPlanner,
+    ty: &Type,
+    strategy: InitStrategy,
+    next_var: &mut u32,
+    ops: &mut Vec<TestOp>,
+    pool: &mut HashMap<String, TestVar>,
+) -> TestArg {
+    match ty {
+        Type::Int => TestArg::Int(0),
+        Type::Bool => TestArg::Bool(true),
+        Type::Char => TestArg::Char('a'),
+        Type::Void => TestArg::Null,
+        Type::Array(_) => TestArg::Null,
+        Type::Object(name) => match strategy {
+            InitStrategy::Null => TestArg::Null,
+            InitStrategy::Instantiate => {
+                if let Some(&v) = pool.get(name) {
+                    return TestArg::Var(v);
+                }
+                let class = program.class_named(name).or_else(|| program.class_named("Object"));
+                match class.and_then(|c| planner.instantiate(program, c, next_var, ops)) {
+                    Some(v) => {
+                        pool.insert(name.clone(), v);
+                        TestArg::Var(v)
+                    }
+                    None => TestArg::Null,
+                }
+            }
+        },
+    }
+}
+
+/// Greedy scheduling of the calls: hard constraints from `Transfer` /
+/// `Transfer-bar` premise edges, soft preference for specification order.
+fn schedule(
+    premise: &[(ParamSlot, EdgeRel, ParamSlot)],
+    num_steps: usize,
+) -> Result<Vec<usize>, SynthesisError> {
+    // before[i][j]: step i must run before step j.
+    let mut must_precede: Vec<Vec<usize>> = vec![Vec::new(); num_steps];
+    let mut indegree = vec![0usize; num_steps];
+    for (i, (_, rel, _)) in premise.iter().enumerate() {
+        match rel {
+            EdgeRel::Transfer => {
+                must_precede[i].push(i + 1);
+                indegree[i + 1] += 1;
+            }
+            EdgeRel::TransferBar => {
+                must_precede[i + 1].push(i);
+                indegree[i] += 1;
+            }
+            EdgeRel::Alias => {}
+        }
+    }
+    let mut scheduled = Vec::with_capacity(num_steps);
+    let mut done = vec![false; num_steps];
+    while scheduled.len() < num_steps {
+        // Pick the smallest-index ready step (soft constraint: spec order).
+        let next = (0..num_steps).find(|&i| !done[i] && indegree[i] == 0);
+        let Some(i) = next else {
+            return Err(SynthesisError::UnschedulableCycle);
+        };
+        done[i] = true;
+        scheduled.push(i);
+        for &j in &must_precede[i] {
+            indegree[j] = indegree[j].saturating_sub(1);
+        }
+    }
+    Ok(scheduled)
+}
+
+/// A tiny union-find over hole identifiers.
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: HashMap<(usize, ParamSlot), (usize, ParamSlot)>,
+}
+
+impl UnionFind {
+    fn add(&mut self, x: (usize, ParamSlot)) {
+        self.parent.entry(x).or_insert(x);
+    }
+
+    fn find(&mut self, x: (usize, ParamSlot)) -> (usize, ParamSlot) {
+        self.add(x);
+        let p = self.parent[&x];
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    /// Non-mutating find for already-added elements.
+    fn find_ref(&self, x: (usize, ParamSlot)) -> Option<(usize, ParamSlot)> {
+        let mut cur = *self.parent.get(&x)?;
+        loop {
+            let p = *self.parent.get(&cur)?;
+            if p == cur {
+                return Some(cur);
+            }
+            cur = p;
+        }
+    }
+
+    fn union(&mut self, a: (usize, ParamSlot), b: (usize, ParamSlot)) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_interp::Interpreter;
+    use atlas_ir::builder::ProgramBuilder;
+    use atlas_ir::LibraryInterface;
+
+    /// Box + Hashtable-like NeedsValue class for strategy tests.
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut obj = pb.class("Object");
+        obj.library(true);
+        let mut init = obj.constructor();
+        init.this();
+        init.finish();
+        obj.build();
+        // Box with set/get/clone.
+        let mut c = pb.class("Box");
+        c.library(true);
+        c.field("f", Type::object());
+        let mut init = c.constructor();
+        init.this();
+        init.finish();
+        let mut set = c.method("set");
+        let this = set.this();
+        let ob = set.param("ob", Type::object());
+        set.store(this, "f", ob);
+        set.finish();
+        let mut get = c.method("get");
+        get.returns(Type::object());
+        let this = get.this();
+        let r = get.local("r", Type::object());
+        get.load(r, this, "f");
+        get.ret(Some(r));
+        get.finish();
+        let mut clone = c.method("clone");
+        clone.returns(Type::class("Box"));
+        let this = clone.this();
+        let b = clone.local("b", Type::class("Box"));
+        let tmp = clone.local("tmp", Type::object());
+        let box_class = clone.cref("Box");
+        clone.new_object(b, box_class);
+        clone.load(tmp, this, "f");
+        clone.store(b, "f", tmp);
+        clone.ret(Some(b));
+        clone.finish();
+        c.build();
+        // NeedsValue.put(key, value) throws if value is null; get(key)
+        // returns the stored key.
+        let mut nv = pb.class("NeedsValue");
+        nv.library(true);
+        nv.field("k", Type::object());
+        let mut init = nv.constructor();
+        init.this();
+        init.finish();
+        let mut put = nv.method("put");
+        let this = put.this();
+        let k = put.param("key", Type::object());
+        let v = put.param("value", Type::object());
+        let vnull = put.local("vnull", Type::Bool);
+        put.is_null(vnull, v);
+        put.if_then(vnull, |m| m.throw("NullPointerException"));
+        put.store(this, "k", k);
+        put.finish();
+        let mut get = nv.method("get");
+        get.returns(Type::object());
+        let this = get.this();
+        let out = get.local("out", Type::object());
+        get.load(out, this, "k");
+        get.ret(Some(out));
+        get.finish();
+        nv.build();
+        pb.build()
+    }
+
+    fn sbox(p: &Program) -> PathSpec {
+        let set = p.method_qualified("Box.set").unwrap();
+        let get = p.method_qualified("Box.get").unwrap();
+        PathSpec::new(vec![
+            ParamSlot::param(set, 0),
+            ParamSlot::receiver(set),
+            ParamSlot::receiver(get),
+            ParamSlot::ret(get),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn sbox_witness_passes_and_imprecise_candidate_fails() {
+        let p = program();
+        let iface = LibraryInterface::from_program(&p);
+        let planner = InstantiationPlanner::new(&p, &iface);
+        // Precise candidate: ob ⊣ this_set → this_get ⊣ r_get.
+        let witness =
+            synthesize_witness(&p, &iface, &planner, &sbox(&p), InitStrategy::Instantiate).unwrap();
+        assert!(witness.num_ops() >= 4);
+        let mut interp = Interpreter::new(&p);
+        assert!(witness.execute(&p, &mut interp).unwrap());
+        let rendered = witness.render(&p);
+        assert!(rendered.contains("Box.set"), "{rendered}");
+        assert!(rendered.contains("return"), "{rendered}");
+
+        // Imprecise candidate (second row of Figure 5):
+        // ob ⊣ this_set → this_clone ⊣ r_clone — set then clone does not
+        // return the stored object.
+        let set = p.method_qualified("Box.set").unwrap();
+        let clone = p.method_qualified("Box.clone").unwrap();
+        let bad = PathSpec::new(vec![
+            ParamSlot::param(set, 0),
+            ParamSlot::receiver(set),
+            ParamSlot::receiver(clone),
+            ParamSlot::ret(clone),
+        ])
+        .unwrap();
+        let witness = synthesize_witness(&p, &iface, &planner, &bad, InitStrategy::Instantiate).unwrap();
+        let mut interp = Interpreter::new(&p);
+        assert!(!witness.execute(&p, &mut interp).unwrap());
+    }
+
+    #[test]
+    fn clone_chain_witness_passes() {
+        // ob ⊣ this_set → this_clone ⊣ r_clone → this_get ⊣ r_get
+        let p = program();
+        let iface = LibraryInterface::from_program(&p);
+        let planner = InstantiationPlanner::new(&p, &iface);
+        let set = p.method_qualified("Box.set").unwrap();
+        let get = p.method_qualified("Box.get").unwrap();
+        let clone = p.method_qualified("Box.clone").unwrap();
+        let spec = PathSpec::new(vec![
+            ParamSlot::param(set, 0),
+            ParamSlot::receiver(set),
+            ParamSlot::receiver(clone),
+            ParamSlot::ret(clone),
+            ParamSlot::receiver(get),
+            ParamSlot::ret(get),
+        ])
+        .unwrap();
+        let witness = synthesize_witness(&p, &iface, &planner, &spec, InitStrategy::Instantiate).unwrap();
+        let mut interp = Interpreter::new(&p);
+        assert!(witness.execute(&p, &mut interp).unwrap(), "{}", witness.render(&p));
+        // The clone call must be scheduled before the get call (Transfer
+        // constraint r_clone → this_get).
+        let order: Vec<_> = witness
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                TestOp::Call { method, .. } if *method == clone => Some("clone"),
+                TestOp::Call { method, .. } if *method == get => Some("get"),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order, vec!["clone", "get"]);
+    }
+
+    #[test]
+    fn null_vs_instantiation_strategies_differ_on_null_hostile_methods() {
+        // key ⊣ this_put → this_get ⊣ r_get on NeedsValue: the unconstrained
+        // `value` argument must be non-null for the witness to pass.
+        let p = program();
+        let iface = LibraryInterface::from_program(&p);
+        let planner = InstantiationPlanner::new(&p, &iface);
+        let put = p.method_qualified("NeedsValue.put").unwrap();
+        let get = p.method_qualified("NeedsValue.get").unwrap();
+        let spec = PathSpec::new(vec![
+            ParamSlot::param(put, 0),
+            ParamSlot::receiver(put),
+            ParamSlot::receiver(get),
+            ParamSlot::ret(get),
+        ])
+        .unwrap();
+        let w_null = synthesize_witness(&p, &iface, &planner, &spec, InitStrategy::Null).unwrap();
+        let w_inst =
+            synthesize_witness(&p, &iface, &planner, &spec, InitStrategy::Instantiate).unwrap();
+        let mut interp = Interpreter::new(&p);
+        assert!(w_null.execute(&p, &mut interp).is_err(), "null strategy should hit the NPE");
+        let mut interp = Interpreter::new(&p);
+        assert!(w_inst.execute(&p, &mut interp).unwrap(), "instantiation strategy should pass");
+    }
+
+    #[test]
+    fn unknown_method_is_rejected() {
+        let p = program();
+        let iface = LibraryInterface::from_program(&p);
+        let planner = InstantiationPlanner::new(&p, &iface);
+        // Restrict the interface to nothing; the Box methods disappear.
+        let empty = iface.restrict_to_classes(&[]);
+        let err = synthesize_witness(&p, &empty, &planner, &sbox(&p), InitStrategy::Null);
+        assert_eq!(err.unwrap_err(), SynthesisError::UnknownMethod);
+        assert!(SynthesisError::UnknownMethod.to_string().contains("interface"));
+    }
+
+    #[test]
+    fn transfer_bar_schedules_producer_first() {
+        // Candidate: this_set ⊣ this_set? Use: r_get as entry:
+        // r_get ⊣ this_get → this_set(param ob) ... construct a spec with a
+        // TransferBar premise: w = this_get (receiver, input), z_next = r_set?
+        // Box.set returns void, so use clone: w1 = this_clone (input),
+        // z2 = r_clone (return) — premise Transfer-bar means clone's return
+        // flows into the first occurrence's receiver, i.e. the second call
+        // must execute first.
+        let p = program();
+        let iface = LibraryInterface::from_program(&p);
+        let planner = InstantiationPlanner::new(&p, &iface);
+        let get = p.method_qualified("Box.get").unwrap();
+        let clone = p.method_qualified("Box.clone").unwrap();
+        // r_get ⊣ this_get → r_clone ⊣ r_clone  (entry via return of get on a
+        // box that is itself the clone of something).  Not a terribly
+        // meaningful spec, but structurally exercises TransferBar scheduling.
+        let spec = PathSpec::new(vec![
+            ParamSlot::ret(get),
+            ParamSlot::receiver(get),
+            ParamSlot::ret(clone),
+            ParamSlot::ret(clone),
+        ])
+        .unwrap();
+        let witness = synthesize_witness(&p, &iface, &planner, &spec, InitStrategy::Instantiate).unwrap();
+        let order: Vec<_> = witness
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                TestOp::Call { method, .. } if *method == clone => Some("clone"),
+                TestOp::Call { method, .. } if *method == get => Some("get"),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order, vec!["clone", "get"]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Infer specifications for the modeled Java Collections API — the core use
+//! case of the paper — and compare the result against the handwritten and
+//! ground-truth corpora.
+//!
+//! ```sh
+//! cargo run --release --example infer_collections
+//! # more sampling (better coverage, slower):
+//! ATLAS_SAMPLES=60000 cargo run --release --example infer_collections
+//! ```
+
+use atlas_core::{compare_fragments, infer_specifications, AtlasConfig};
+use atlas_javalib::{
+    class_ids, ground_truth_specs, handwritten_specs, library_interface, library_program,
+    CLASS_CLUSTERS,
+};
+
+fn main() {
+    let samples: usize = std::env::var("ATLAS_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let library = library_program();
+    let interface = library_interface(&library);
+    println!(
+        "library: {} classes, {} interface methods, {} V_path symbols",
+        library.library_classes().count(),
+        interface.num_methods(),
+        interface.slots().len()
+    );
+
+    let clusters = CLASS_CLUSTERS
+        .iter()
+        .map(|names| class_ids(&library, names))
+        .filter(|ids| !ids.is_empty())
+        .collect();
+    let config = AtlasConfig { samples_per_cluster: samples, clusters, ..AtlasConfig::default() };
+    let outcome = infer_specifications(&library, &interface, &config);
+
+    println!(
+        "phase 1: {} positive examples from {} samples ({:.1}s)",
+        outcome.total_positive_examples(),
+        outcome.clusters.iter().map(|c| c.num_samples).sum::<usize>(),
+        outcome.phase1_time.as_secs_f64()
+    );
+    let (before, after) = outcome.state_counts();
+    println!(
+        "phase 2: {before} -> {after} automaton states ({:.1}s)",
+        outcome.phase2_time.as_secs_f64()
+    );
+
+    let inferred = outcome.fragments(&library);
+    let handwritten = handwritten_specs(&library);
+    let truth = ground_truth_specs(&library);
+    println!(
+        "\ncoverage: inferred {} methods, handwritten {} methods, ground truth {} methods",
+        inferred.num_methods(),
+        handwritten.len(),
+        truth.len()
+    );
+    let vs_hand = compare_fragments(&library, &inferred, &handwritten);
+    let vs_truth = compare_fragments(&library, &inferred, &truth);
+    println!(
+        "vs handwritten: statement recall {:.2}, precision {:.2}",
+        vs_hand.recall(),
+        vs_hand.precision()
+    );
+    println!(
+        "vs ground truth: statement recall {:.2}, precision {:.2}, exact {}/{}",
+        vs_truth.recall(),
+        vs_truth.precision(),
+        vs_truth.exact_matches(),
+        vs_truth.reference_methods()
+    );
+
+    println!("\nsample of inferred specifications:");
+    for spec in outcome.specs(6, 3).iter().take(15) {
+        println!("  {}", spec.display(&interface));
+    }
+}

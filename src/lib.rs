@@ -1,0 +1,17 @@
+//! Umbrella crate for the Atlas reproduction workspace.
+//!
+//! The actual functionality lives in the `crates/` members; this package
+//! only hosts the runnable `examples/` and the cross-crate integration tests
+//! in `tests/`.  See the workspace `README.md` for an overview and
+//! `DESIGN.md` for the system inventory.
+
+/// The workspace version, re-exported for convenience.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! Integration tests: the modeled Java library must behave correctly under
+//! the concrete interpreter — this is the blackbox Atlas queries, so its
+//! fidelity underpins every inferred specification.
+
+use atlas_interp::Interpreter;
+use atlas_ir::builder::ProgramBuilder;
+use atlas_ir::{MethodId, Program, Type};
+
+/// Builds a client method that exercises a store/retrieve round trip through
+/// the given collection and returns whether the retrieved object is the one
+/// stored.
+fn round_trip_program(collection: &str, store: &str, retrieve: &str, needs_index: bool) -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    atlas_javalib::install_library(&mut pb);
+    let mut main = pb.class("Main");
+    let mut t = main.static_method("test");
+    t.returns(Type::Bool);
+    let secret = t.local("secret", Type::object());
+    let coll = t.local("coll", Type::class(collection));
+    let out = t.local("out", Type::object());
+    let eq = t.local("eq", Type::Bool);
+    let object = t.cref("Object");
+    let coll_class = t.cref(collection);
+    t.new_object(secret, object);
+    t.new_object(coll, coll_class);
+    let ctor = t.mref(collection, "<init>");
+    t.call(None, ctor, Some(coll), &[]);
+    let store_m = t.mref(collection, store);
+    t.call(None, store_m, Some(coll), &[secret]);
+    let retrieve_m = t.mref(collection, retrieve);
+    if needs_index {
+        let zero = t.local("zero", Type::Int);
+        t.const_int(zero, 0);
+        t.call(Some(out), retrieve_m, Some(coll), &[zero]);
+    } else {
+        t.call(Some(out), retrieve_m, Some(coll), &[]);
+    }
+    t.ref_eq(eq, secret, out);
+    t.ret(Some(eq));
+    let test = t.finish();
+    main.build();
+    (pb.build(), test)
+}
+
+#[test]
+fn collection_round_trips_return_the_stored_object() {
+    let cases: &[(&str, &str, &str, bool)] = &[
+        ("ArrayList", "add", "get", true),
+        ("ArrayList", "add", "remove", true),
+        ("Vector", "addElement", "firstElement", false),
+        ("Vector", "add", "lastElement", false),
+        ("Stack", "push", "pop", false),
+        ("Stack", "push", "peek", false),
+        ("LinkedList", "add", "getFirst", false),
+        ("LinkedList", "offer", "poll", false),
+        ("LinkedList", "push", "pop", false),
+        ("ArrayDeque", "addLast", "pollFirst", false),
+        ("ArrayDeque", "addFirst", "peek", false),
+        ("PriorityQueue", "offer", "poll", false),
+    ];
+    for &(collection, store, retrieve, needs_index) in cases {
+        let (program, test) = round_trip_program(collection, store, retrieve, needs_index);
+        let outcome = Interpreter::new(&program).run_entry(test);
+        assert!(
+            outcome.is_true(),
+            "{collection}.{store}/{retrieve} round trip failed: {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn map_round_trips_and_null_rejection() {
+    // HashMap.put/get returns the stored value for the same key.
+    let mut pb = ProgramBuilder::new();
+    atlas_javalib::install_library(&mut pb);
+    let mut main = pb.class("Main");
+    let mut t = main.static_method("test");
+    t.returns(Type::Bool);
+    let key = t.local("key", Type::object());
+    let value = t.local("value", Type::object());
+    let map = t.local("map", Type::class("HashMap"));
+    let out = t.local("out", Type::object());
+    let missing = t.local("missing", Type::object());
+    let other = t.local("other", Type::object());
+    let eq = t.local("eq", Type::Bool);
+    let miss_null = t.local("missNull", Type::Bool);
+    let both = t.local("both", Type::Bool);
+    let object = t.cref("Object");
+    let map_class = t.cref("HashMap");
+    t.new_object(key, object);
+    t.new_object(value, object);
+    t.new_object(other, object);
+    t.new_object(map, map_class);
+    let ctor = t.mref("HashMap", "<init>");
+    let put = t.mref("HashMap", "put");
+    let get = t.mref("HashMap", "get");
+    t.call(None, ctor, Some(map), &[]);
+    t.call(None, put, Some(map), &[key, value]);
+    t.call(Some(out), get, Some(map), &[key]);
+    t.call(Some(missing), get, Some(map), &[other]);
+    t.ref_eq(eq, out, value);
+    t.is_null(miss_null, missing);
+    t.bin(both, atlas_ir::BinOp::And, eq, miss_null);
+    t.ret(Some(both));
+    let test = t.finish();
+    main.build();
+    let program = pb.build();
+    assert!(Interpreter::new(&program).run_entry(test).is_true());
+
+    // Hashtable rejects null values (the behaviour motivating the
+    // instantiation strategy).
+    let mut pb = ProgramBuilder::new();
+    atlas_javalib::install_library(&mut pb);
+    let mut main = pb.class("Main");
+    let mut t = main.static_method("test");
+    let key = t.local("key", Type::object());
+    let nul = t.local("nul", Type::object());
+    let table = t.local("table", Type::class("Hashtable"));
+    let object = t.cref("Object");
+    let table_class = t.cref("Hashtable");
+    t.new_object(key, object);
+    t.const_null(nul);
+    t.new_object(table, table_class);
+    let ctor = t.mref("Hashtable", "<init>");
+    let put = t.mref("Hashtable", "put");
+    t.call(None, ctor, Some(table), &[]);
+    t.call(None, put, Some(table), &[key, nul]);
+    let test = t.finish();
+    main.build();
+    let program = pb.build();
+    let outcome = Interpreter::new(&program).run_entry(test);
+    assert!(
+        matches!(outcome, atlas_interp::ExecOutcome::Failed(atlas_interp::ExecError::Thrown(_))),
+        "Hashtable.put(key, null) must throw, got {outcome:?}"
+    );
+}
+
+#[test]
+fn iterator_walks_all_elements_in_order() {
+    // Add three objects, iterate, and check the second element's identity.
+    let mut pb = ProgramBuilder::new();
+    atlas_javalib::install_library(&mut pb);
+    let mut main = pb.class("Main");
+    let mut t = main.static_method("test");
+    t.returns(Type::Bool);
+    let list = t.local("list", Type::class("ArrayList"));
+    let a = t.local("a", Type::object());
+    let b = t.local("b", Type::object());
+    let c = t.local("c", Type::object());
+    let it = t.local("it", Type::class("ArrayListIterator"));
+    let x = t.local("x", Type::object());
+    let eq = t.local("eq", Type::Bool);
+    let has = t.local("has", Type::Bool);
+    let both = t.local("both", Type::Bool);
+    let object = t.cref("Object");
+    let list_class = t.cref("ArrayList");
+    for v in [a, b, c] {
+        t.new_object(v, object);
+    }
+    t.new_object(list, list_class);
+    let ctor = t.mref("ArrayList", "<init>");
+    let add = t.mref("ArrayList", "add");
+    let iterator = t.mref("ArrayList", "iterator");
+    let next = t.mref("ArrayListIterator", "next");
+    let has_next = t.mref("ArrayListIterator", "hasNext");
+    t.call(None, ctor, Some(list), &[]);
+    t.call(None, add, Some(list), &[a]);
+    t.call(None, add, Some(list), &[b]);
+    t.call(None, add, Some(list), &[c]);
+    t.call(Some(it), iterator, Some(list), &[]);
+    t.call(Some(x), next, Some(it), &[]);
+    t.call(Some(x), next, Some(it), &[]);
+    t.ref_eq(eq, x, b);
+    t.call(Some(has), has_next, Some(it), &[]);
+    t.bin(both, atlas_ir::BinOp::And, eq, has);
+    t.ret(Some(both));
+    let test = t.finish();
+    main.build();
+    let program = pb.build();
+    assert!(Interpreter::new(&program).run_entry(test).is_true());
+}
+
+#[test]
+fn vector_growth_through_native_arraycopy() {
+    // Adding more than the initial capacity forces Vector.grow, which calls
+    // the native System.arraycopy; the first element must survive.
+    let mut pb = ProgramBuilder::new();
+    atlas_javalib::install_library(&mut pb);
+    let mut main = pb.class("Main");
+    let mut t = main.static_method("test");
+    t.returns(Type::Bool);
+    let vec_v = t.local("vec", Type::class("Vector"));
+    let first = t.local("first", Type::object());
+    let filler = t.local("filler", Type::object());
+    let out = t.local("out", Type::object());
+    let eq = t.local("eq", Type::Bool);
+    let i = t.local("i", Type::Int);
+    let n = t.local("n", Type::Int);
+    let one = t.local("one", Type::Int);
+    let cond = t.local("cond", Type::Bool);
+    let object = t.cref("Object");
+    let vec_class = t.cref("Vector");
+    t.new_object(first, object);
+    t.new_object(filler, object);
+    t.new_object(vec_v, vec_class);
+    let ctor = t.mref("Vector", "<init>");
+    let add = t.mref("Vector", "addElement");
+    let get = t.mref("Vector", "firstElement");
+    t.call(None, ctor, Some(vec_v), &[]);
+    t.call(None, add, Some(vec_v), &[first]);
+    t.const_int(i, 0);
+    t.const_int(n, 30);
+    t.const_int(one, 1);
+    t.while_stmt(
+        |m| {
+            m.bin(cond, atlas_ir::BinOp::Lt, i, n);
+            cond
+        },
+        |m| {
+            m.call(None, add, Some(vec_v), &[filler]);
+            m.bin(i, atlas_ir::BinOp::Add, i, one);
+        },
+    );
+    t.call(Some(out), get, Some(vec_v), &[]);
+    t.ref_eq(eq, out, first);
+    t.ret(Some(eq));
+    let test = t.finish();
+    main.build();
+    let program = pb.build();
+    assert!(Interpreter::new(&program).run_entry(test).is_true());
+}
+
+#[test]
+fn out_of_bounds_get_throws() {
+    let mut pb = ProgramBuilder::new();
+    atlas_javalib::install_library(&mut pb);
+    let mut main = pb.class("Main");
+    let mut t = main.static_method("test");
+    t.returns(Type::object());
+    let list = t.local("list", Type::class("ArrayList"));
+    let out = t.local("out", Type::object());
+    let five = t.local("five", Type::Int);
+    let list_class = t.cref("ArrayList");
+    t.new_object(list, list_class);
+    let ctor = t.mref("ArrayList", "<init>");
+    let get = t.mref("ArrayList", "get");
+    t.call(None, ctor, Some(list), &[]);
+    t.const_int(five, 5);
+    t.call(Some(out), get, Some(list), &[five]);
+    t.ret(Some(out));
+    let test = t.finish();
+    main.build();
+    let program = pb.build();
+    let outcome = Interpreter::new(&program).run_entry(test);
+    assert!(matches!(
+        outcome,
+        atlas_interp::ExecOutcome::Failed(atlas_interp::ExecError::Thrown(_))
+    ));
+    assert!(!program.method(test).has_this());
+}

@@ -1,0 +1,243 @@
+//! Integration tests for the central soundness/precision property of the
+//! paper (Theorem 4.2 / Appendix A): analyzing a client against code-fragment
+//! specifications produces the same client-visible points-to facts as
+//! analyzing it against the library implementation the specifications
+//! summarize — and strictly better facts than analyzing nothing.
+
+use atlas_ir::builder::ProgramBuilder;
+use atlas_ir::{LibraryInterface, MethodId, ParamSlot, Program, Type};
+use atlas_javalib::ground_truth_specs;
+use atlas_pointsto::{ExtractionOptions, Graph, Node, PointsToStats, Solver};
+use atlas_spec::{CodeFragments, Fsa, PathSpec, StateId};
+
+/// Box library plus a client that stores, clones twice, and reads back.
+fn box_clone_client() -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    atlas_javalib::install_library(&mut pb);
+    atlas_javalib::install_box_example(&mut pb);
+    let mut main = pb.class("Main");
+    let mut t = main.static_method("test");
+    t.returns(Type::Bool);
+    let in_v = t.local("in", Type::object());
+    let box_v = t.local("box", Type::class("Box"));
+    let box2 = t.local("box2", Type::class("Box"));
+    let box3 = t.local("box3", Type::class("Box"));
+    let out_v = t.local("out", Type::object());
+    let other = t.local("other", Type::object());
+    let object = t.cref("Object");
+    let box_c = t.cref("Box");
+    t.new_object(in_v, object);
+    t.new_object(other, object);
+    t.new_object(box_v, box_c);
+    let set = t.mref("Box", "set");
+    let get = t.mref("Box", "get");
+    let clone = t.mref("Box", "clone");
+    t.call(None, set, Some(box_v), &[in_v]);
+    t.call(Some(box2), clone, Some(box_v), &[]);
+    t.call(Some(box3), clone, Some(box2), &[]);
+    t.call(Some(out_v), get, Some(box3), &[]);
+    let test = t.finish();
+    main.build();
+    (pb.build(), test)
+}
+
+/// The starred Box specification of Figure 5 row 3, as an automaton.
+fn box_star_fsa(program: &Program) -> Fsa {
+    let set = program.method_qualified("Box.set").unwrap();
+    let get = program.method_qualified("Box.get").unwrap();
+    let clone = program.method_qualified("Box.clone").unwrap();
+    let word = vec![
+        ParamSlot::param(set, 0),
+        ParamSlot::receiver(set),
+        ParamSlot::receiver(clone),
+        ParamSlot::ret(clone),
+        ParamSlot::receiver(get),
+        ParamSlot::ret(get),
+    ];
+    let fsa = Fsa::prefix_tree(&[word]);
+    fsa.merge(StateId(4), StateId(2))
+}
+
+#[test]
+fn starred_spec_fragments_match_the_implementation_on_the_clone_client() {
+    let (program, test) = box_clone_client();
+    let tm = program.method(test);
+    let in_node = Node::Var(test, tm.var_named("in").unwrap());
+    let out_node = Node::Var(test, tm.var_named("out").unwrap());
+    let other_node = Node::Var(test, tm.var_named("other").unwrap());
+
+    // Implementation analysis: `out` aliases `in` through two clones.
+    let impl_graph = Graph::extract(&program, &ExtractionOptions::with_implementation());
+    let impl_result = Solver::new().solve(&impl_graph);
+    let a = impl_graph.find_node(in_node).unwrap();
+    let b = impl_graph.find_node(out_node).unwrap();
+    let c = impl_graph.find_node(other_node).unwrap();
+    assert!(impl_result.alias(a, b));
+    assert!(!impl_result.alias(a, c));
+
+    // Specification analysis with the starred automaton: same client facts.
+    let fragments = CodeFragments::from_fsa(&program, &box_star_fsa(&program));
+    let spec_graph = Graph::extract(&program, &ExtractionOptions::with_specs(fragments.to_overrides()));
+    let spec_result = Solver::new().solve(&spec_graph);
+    let a = spec_graph.find_node(in_node).unwrap();
+    let b = spec_graph.find_node(out_node).unwrap();
+    let c = spec_graph.find_node(other_node).unwrap();
+    assert!(spec_result.alias(a, b), "fragments must reproduce the in/out alias");
+    assert!(!spec_result.alias(a, c), "fragments must not add spurious aliases");
+
+    // Without specifications the flow is lost entirely.
+    let empty_graph = Graph::extract(&program, &ExtractionOptions::empty_specs());
+    let empty_result = Solver::new().solve(&empty_graph);
+    let a = empty_graph.find_node(in_node).unwrap();
+    let b = empty_graph.find_node(out_node).unwrap();
+    assert!(!empty_result.alias(a, b));
+}
+
+#[test]
+fn star_generalization_extends_the_accepted_language() {
+    // The prefix-tree automaton of the single 1-clone example accepts only
+    // that chain; the merged (starred) automaton accepts every number of
+    // clones — this is the inductive generalization of Section 5.3.  At the
+    // fragment level both compile without error and the starred fragments
+    // stay within the same set of methods.
+    let (program, _) = box_clone_client();
+    let set = program.method_qualified("Box.set").unwrap();
+    let get = program.method_qualified("Box.get").unwrap();
+    let clone = program.method_qualified("Box.clone").unwrap();
+    let chain = |n: usize| {
+        let mut w = vec![ParamSlot::param(set, 0), ParamSlot::receiver(set)];
+        for _ in 0..n {
+            w.push(ParamSlot::receiver(clone));
+            w.push(ParamSlot::ret(clone));
+        }
+        w.push(ParamSlot::receiver(get));
+        w.push(ParamSlot::ret(get));
+        w
+    };
+    let prefix_tree = Fsa::prefix_tree(&[chain(1)]);
+    let starred = box_star_fsa(&program);
+    for n in 0..4 {
+        assert_eq!(prefix_tree.accepts(&chain(n)), n == 1);
+        assert!(starred.accepts(&chain(n)));
+    }
+    let finite_frags = CodeFragments::from_specs(
+        &program,
+        &[PathSpec::new(chain(1)).unwrap()],
+    );
+    let starred_frags = CodeFragments::from_fsa(&program, &starred);
+    let finite_methods: Vec<_> = finite_frags.methods().collect();
+    let starred_methods: Vec<_> = starred_frags.methods().collect();
+    assert_eq!(finite_methods, starred_methods);
+    assert!(starred_frags.num_statements() <= finite_frags.num_statements());
+}
+
+/// Builds a client exercising ArrayList/HashMap/Stack flows for the
+/// ground-truth-vs-implementation comparison.
+fn collections_client() -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    atlas_javalib::install_library(&mut pb);
+    let mut main = pb.class("Main");
+    let mut t = main.static_method("run");
+    let secret = t.local("secret", Type::object());
+    let key = t.local("key", Type::object());
+    let list = t.local("list", Type::class("ArrayList"));
+    let map = t.local("map", Type::class("HashMap"));
+    let stack = t.local("stack", Type::class("Stack"));
+    let from_list = t.local("fromList", Type::object());
+    let from_map = t.local("fromMap", Type::object());
+    let from_stack = t.local("fromStack", Type::object());
+    let zero = t.local("zero", Type::Int);
+    let object = t.cref("Object");
+    t.new_object(secret, object);
+    t.new_object(key, object);
+    for (var, class) in [(list, "ArrayList"), (map, "HashMap"), (stack, "Stack")] {
+        let cid = t.cref(class);
+        t.new_object(var, cid);
+        let ctor = t.mref(class, "<init>");
+        t.call(None, ctor, Some(var), &[]);
+    }
+    let add = t.mref("ArrayList", "add");
+    let get = t.mref("ArrayList", "get");
+    let put = t.mref("HashMap", "put");
+    let mget = t.mref("HashMap", "get");
+    let push = t.mref("Stack", "push");
+    let pop = t.mref("Stack", "pop");
+    t.const_int(zero, 0);
+    t.call(None, add, Some(list), &[secret]);
+    t.call(Some(from_list), get, Some(list), &[zero]);
+    t.call(None, put, Some(map), &[key, secret]);
+    t.call(Some(from_map), mget, Some(map), &[key]);
+    t.call(None, push, Some(stack), &[secret]);
+    t.call(Some(from_stack), pop, Some(stack), &[]);
+    let run = t.finish();
+    main.build();
+    (pb.build(), run)
+}
+
+#[test]
+fn ground_truth_specs_are_precise_and_sound_for_collection_flows() {
+    let (program, run) = collections_client();
+    let rm = program.method(run);
+    let secret = Node::Var(run, rm.var_named("secret").unwrap());
+    let retrieved = ["fromList", "fromMap", "fromStack"]
+        .map(|n| Node::Var(run, rm.var_named(n).unwrap()));
+
+    // Analysis against the real implementation.
+    let impl_graph = Graph::extract(&program, &ExtractionOptions::with_implementation());
+    let impl_result = Solver::new().solve(&impl_graph);
+    // Analysis against ground-truth fragments.
+    let overrides = ground_truth_specs(&program).into_iter().collect();
+    let spec_graph = Graph::extract(&program, &ExtractionOptions::with_specs(overrides));
+    let spec_result = Solver::new().solve(&spec_graph);
+
+    for node in retrieved {
+        let ia = impl_graph.find_node(secret).unwrap();
+        let ib = impl_graph.find_node(node).unwrap();
+        assert!(impl_result.alias(ia, ib), "implementation must see the flow");
+        let sa = spec_graph.find_node(secret).unwrap();
+        let sb = spec_graph.find_node(node).unwrap();
+        assert!(spec_result.alias(sa, sb), "ground truth must see the flow");
+    }
+
+    // Precision: the ground-truth analysis computes no more non-trivial
+    // client points-to edges than the implementation analysis (Figure 9c
+    // measures how much *more* the implementation reports).
+    let trivial_graph = Graph::extract(&program, &ExtractionOptions::empty_specs());
+    let trivial_result = Solver::new().solve(&trivial_graph);
+    let trivial = PointsToStats::collect(&program, &trivial_graph, &trivial_result);
+    let impl_stats = PointsToStats::collect(&program, &impl_graph, &impl_result);
+    let spec_stats = PointsToStats::collect(&program, &spec_graph, &spec_result);
+    assert!(spec_stats.nontrivial(&trivial) <= impl_stats.nontrivial(&trivial));
+    assert!(spec_stats.nontrivial(&trivial) > 0);
+}
+
+#[test]
+fn inferred_box_specs_round_trip_through_the_full_pipeline() {
+    // End-to-end: infer on the Box cluster, compile to fragments, analyze
+    // the clone client, and check the headline alias fact.
+    let (program, test) = box_clone_client();
+    let interface = LibraryInterface::from_program(&program);
+    let box_class = program.class_named("Box").unwrap();
+    let config = atlas_core::AtlasConfig {
+        samples_per_cluster: 3_000,
+        clusters: vec![vec![box_class]],
+        ..atlas_core::AtlasConfig::default()
+    };
+    let outcome = atlas_core::infer_specifications(&program, &interface, &config);
+    let fragments = outcome.fragments(&program);
+    let graph = Graph::extract(&program, &ExtractionOptions::with_specs(fragments.to_overrides()));
+    let result = Solver::new().solve(&graph);
+    let tm = program.method(test);
+    let a = graph.find_node(Node::Var(test, tm.var_named("in").unwrap())).unwrap();
+    let c = graph
+        .find_node(Node::Var(test, tm.var_named("other").unwrap()))
+        .unwrap();
+    // Precision always holds: no spurious alias with the unrelated object.
+    assert!(!result.alias(a, c));
+    // The set/get specification must have been inferred (the clone star may
+    // or may not be found at this sampling budget).
+    let set = program.method_qualified("Box.set").unwrap();
+    let get = program.method_qualified("Box.get").unwrap();
+    assert!(fragments.body(set).is_some());
+    assert!(fragments.body(get).is_some());
+}
