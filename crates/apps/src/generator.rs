@@ -18,7 +18,10 @@ pub struct AppConfig {
 
 impl Default for AppConfig {
     fn default() -> Self {
-        AppConfig { count: 46, seed: 0xA71A5 }
+        AppConfig {
+            count: 46,
+            seed: 0xA71A5,
+        }
     }
 }
 
@@ -69,7 +72,9 @@ const SINKS: &[(&str, &str)] = &[
 
 /// Generates the full benchmark suite.
 pub fn generate_suite(config: &AppConfig) -> Vec<GeneratedApp> {
-    (0..config.count).map(|i| generate_app(i, config.seed)).collect()
+    (0..config.count)
+        .map(|i| generate_app(i, config.seed))
+        .collect()
 }
 
 /// Generates a single app.
@@ -83,7 +88,7 @@ pub fn generate_app(index: usize, seed: u64) -> GeneratedApp {
     let mut app_class = pb.class(&class_name);
     let mut run = app_class.static_method("run");
 
-    let num_patterns = 3 + rng.gen_range(0..10);
+    let num_patterns = 3 + rng.gen_range(0..10usize);
     let mut patterns = Vec::new();
     let mut leaky_pairs = BTreeSet::new();
     let mut leaky_pairs_handwritten = BTreeSet::new();

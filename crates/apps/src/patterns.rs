@@ -170,7 +170,11 @@ impl PatternKind {
                 out
             }
             PatternKind::MapGet | PatternKind::HashtableGet => {
-                let class = if self == PatternKind::MapGet { "HashMap" } else { "Hashtable" };
+                let class = if self == PatternKind::MapGet {
+                    "HashMap"
+                } else {
+                    "Hashtable"
+                };
                 let map = new_collection(m, class, tag);
                 let key = fresh_object(m, tag);
                 let put = m.mref(class, "put");
@@ -260,7 +264,10 @@ impl PatternKind {
 
 /// Allocates and constructs a library collection object.
 fn new_collection(m: &mut MethodBuilder<'_, '_>, class: &str, tag: usize) -> Var {
-    let v = m.local(&format!("{}{tag}", class.to_lowercase()), Type::class(class));
+    let v = m.local(
+        &format!("{}{tag}", class.to_lowercase()),
+        Type::class(class),
+    );
     let class_id = m.cref(class);
     m.new_object(v, class_id);
     let ctor = m.mref(class, "<init>");

@@ -1,13 +1,15 @@
 //! Criterion benches for the inference pipeline itself: phase-one sampling
-//! and phase-two language inference on a single class cluster.
+//! and phase-two language inference on a single class cluster, plus the
+//! engine's cluster scheduler at 1 thread vs. all cores.
 
+use atlas_core::{AtlasConfig, Engine};
 use atlas_ir::LibraryInterface;
 use atlas_javalib::class_ids;
 use atlas_learn::{
     infer_fsa, sample_positive_examples, Oracle, OracleConfig, RpniConfig, SamplerConfig,
     SamplingStrategy,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_inference(c: &mut Criterion) {
     let library = atlas_javalib::library_program();
@@ -43,6 +45,37 @@ fn bench_inference(c: &mut Criterion) {
             infer_fsa(&samples.positives, &mut oracle, &RpniConfig::default())
         })
     });
+
+    // The engine's cluster scheduler: identical work at 1 thread and at one
+    // thread per core.  Results are bit-identical; only wall-clock differs.
+    let clusters: Vec<_> = [
+        &["ArrayList", "ArrayListIterator"][..],
+        &["Stack"][..],
+        &["HashMap"][..],
+        &["LinkedList"][..],
+    ]
+    .iter()
+    .map(|names| class_ids(&library, names))
+    .filter(|ids| !ids.is_empty())
+    .collect();
+    let mut engine_group = c.benchmark_group("engine_four_clusters_500_samples");
+    for num_threads in [1usize, 0] {
+        let config = AtlasConfig {
+            samples_per_cluster: 500,
+            clusters: clusters.clone(),
+            num_threads,
+            ..AtlasConfig::default()
+        };
+        let label = if num_threads == 1 {
+            "1_thread"
+        } else {
+            "all_cores"
+        };
+        engine_group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| Engine::new(&library, &interface, config.clone()).run())
+        });
+    }
+    engine_group.finish();
 }
 
 criterion_group!(benches, bench_inference);

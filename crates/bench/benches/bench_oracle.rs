@@ -24,13 +24,25 @@ fn bench_oracle(c: &mut Criterion) {
 
     c.bench_function("witness_synthesis_arraylist", |b| {
         b.iter(|| {
-            synthesize_witness(&library, &interface, &planner, &spec, InitStrategy::Instantiate)
-                .unwrap()
+            synthesize_witness(
+                &library,
+                &interface,
+                &planner,
+                &spec,
+                InitStrategy::Instantiate,
+            )
+            .unwrap()
         })
     });
 
-    let witness =
-        synthesize_witness(&library, &interface, &planner, &spec, InitStrategy::Instantiate).unwrap();
+    let witness = synthesize_witness(
+        &library,
+        &interface,
+        &planner,
+        &spec,
+        InitStrategy::Instantiate,
+    )
+    .unwrap();
     c.bench_function("witness_execution_arraylist", |b| {
         b.iter(|| {
             let mut interp = Interpreter::new(&library);
@@ -43,7 +55,10 @@ fn bench_oracle(c: &mut Criterion) {
             let mut oracle = Oracle::new(
                 &library,
                 &interface,
-                OracleConfig { memoize: false, ..OracleConfig::default() },
+                OracleConfig {
+                    memoize: false,
+                    ..OracleConfig::default()
+                },
             );
             oracle.check(&spec)
         })

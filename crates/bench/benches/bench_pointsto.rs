@@ -16,19 +16,46 @@ fn bench_pointsto(c: &mut Criterion) {
         let program = &app.program;
         let impl_graph = Graph::extract(program, &ExtractionOptions::with_implementation());
         group.bench_with_input(
-            BenchmarkId::new("implementation", format!("{}_loc{}", app.name, app.client_loc)),
+            BenchmarkId::new(
+                "implementation",
+                format!("{}_loc{}", app.name, app.client_loc),
+            ),
             &impl_graph,
             |b, graph| b.iter(|| Solver::new().solve(graph)),
         );
         let overrides = ground_truth_specs(program).into_iter().collect();
         let spec_graph = Graph::extract(program, &ExtractionOptions::with_specs(overrides));
         group.bench_with_input(
-            BenchmarkId::new("ground_truth_specs", format!("{}_loc{}", app.name, app.client_loc)),
+            BenchmarkId::new(
+                "ground_truth_specs",
+                format!("{}_loc{}", app.name, app.client_loc),
+            ),
             &spec_graph,
             |b, graph| b.iter(|| Solver::new().solve(graph)),
         );
     }
     group.finish();
+
+    // Worklist vs. retained naive reference on the same closure problem —
+    // the difference-propagation payoff, measured head to head.
+    let mut algorithms = c.benchmark_group("solver_algorithms");
+    for app in &apps {
+        let graph = Graph::extract(&app.program, &ExtractionOptions::with_implementation());
+        algorithms.bench_with_input(
+            BenchmarkId::new("worklist", format!("{}_loc{}", app.name, app.client_loc)),
+            &graph,
+            |b, graph| b.iter(|| Solver::new().solve(graph)),
+        );
+        algorithms.bench_with_input(
+            BenchmarkId::new(
+                "naive_reference",
+                format!("{}_loc{}", app.name, app.client_loc),
+            ),
+            &graph,
+            |b, graph| b.iter(|| Solver::naive_reference().solve(graph)),
+        );
+    }
+    algorithms.finish();
 
     let mut extraction = c.benchmark_group("graph_extraction");
     for app in &apps {

@@ -1,5 +1,8 @@
 //! Regenerates Figure 8: benchmark app sizes in Jimple LoC.
 fn main() {
-    let ctx = atlas_bench::EvalContext::build(atlas_bench::context::sample_budget(), atlas_bench::context::app_count());
+    let ctx = atlas_bench::EvalContext::build(
+        atlas_bench::context::sample_budget(),
+        atlas_bench::context::app_count(),
+    );
     print!("{}", atlas_bench::experiments::fig8_app_sizes(&ctx));
 }

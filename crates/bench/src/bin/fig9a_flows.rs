@@ -1,5 +1,8 @@
 //! Regenerates Figure 9(a): information flows, Atlas vs handwritten specs.
 fn main() {
-    let ctx = atlas_bench::EvalContext::build(atlas_bench::context::sample_budget(), atlas_bench::context::app_count());
+    let ctx = atlas_bench::EvalContext::build(
+        atlas_bench::context::sample_budget(),
+        atlas_bench::context::app_count(),
+    );
     print!("{}", atlas_bench::experiments::fig9a_flows(&ctx));
 }

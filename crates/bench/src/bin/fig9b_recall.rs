@@ -1,5 +1,8 @@
 //! Regenerates Figure 9(b): points-to recall, Atlas vs ground truth.
 fn main() {
-    let ctx = atlas_bench::EvalContext::build(atlas_bench::context::sample_budget(), atlas_bench::context::app_count());
+    let ctx = atlas_bench::EvalContext::build(
+        atlas_bench::context::sample_budget(),
+        atlas_bench::context::app_count(),
+    );
     print!("{}", atlas_bench::experiments::fig9b_recall(&ctx));
 }

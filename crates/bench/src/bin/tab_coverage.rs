@@ -1,5 +1,8 @@
 //! Regenerates the §6.1 coverage comparison (inferred vs handwritten).
 fn main() {
-    let ctx = atlas_bench::EvalContext::build(atlas_bench::context::sample_budget(), atlas_bench::context::app_count());
+    let ctx = atlas_bench::EvalContext::build(
+        atlas_bench::context::sample_budget(),
+        atlas_bench::context::app_count(),
+    );
     print!("{}", atlas_bench::experiments::tab_coverage(&ctx));
 }

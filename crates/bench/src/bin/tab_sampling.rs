@@ -2,5 +2,12 @@
 fn main() {
     let library = atlas_javalib::library_program();
     let interface = atlas_javalib::library_interface(&library);
-    print!("{}", atlas_bench::experiments::tab_sampling(&library, &interface, atlas_bench::context::sample_budget()));
+    print!(
+        "{}",
+        atlas_bench::experiments::tab_sampling(
+            &library,
+            &interface,
+            atlas_bench::context::sample_budget()
+        )
+    );
 }

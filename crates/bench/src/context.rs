@@ -3,7 +3,7 @@
 //! specification set.
 
 use atlas_apps::{generate_suite, AppConfig, GeneratedApp};
-use atlas_core::{infer_specifications, AtlasConfig, InferenceOutcome};
+use atlas_core::{AtlasConfig, Engine, InferenceOutcome};
 use atlas_flow::{find_flows, FlowResult};
 use atlas_ir::{LibraryInterface, Program};
 use atlas_javalib::{
@@ -52,12 +52,28 @@ pub struct EvalContext {
 
 /// Reads the per-cluster sampling budget from `ATLAS_SAMPLES` (default 4000).
 pub fn sample_budget() -> usize {
-    std::env::var("ATLAS_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(4_000)
+    std::env::var("ATLAS_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000)
+}
+
+/// Reads the engine worker-thread count from `ATLAS_THREADS` (default 0 =
+/// one per available core).  The thread count never changes the inference
+/// result, only how fast the experiments build their context.
+pub fn thread_budget() -> usize {
+    std::env::var("ATLAS_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Reads the app count from `ATLAS_APPS` (default 46).
 pub fn app_count() -> usize {
-    std::env::var("ATLAS_APPS").ok().and_then(|s| s.parse().ok()).unwrap_or(46)
+    std::env::var("ATLAS_APPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(46)
 }
 
 impl EvalContext {
@@ -71,10 +87,23 @@ impl EvalContext {
             .map(|names| class_ids(&library, names))
             .filter(|ids| !ids.is_empty())
             .collect();
-        let config = AtlasConfig { samples_per_cluster, clusters, ..AtlasConfig::default() };
-        let outcome = infer_specifications(&library, &interface, &config);
-        let apps = generate_suite(&AppConfig { count: num_apps, ..AppConfig::default() });
-        EvalContext { library, interface, outcome, apps }
+        let config = AtlasConfig {
+            samples_per_cluster,
+            clusters,
+            num_threads: thread_budget(),
+            ..AtlasConfig::default()
+        };
+        let outcome = Engine::new(&library, &interface, config).run();
+        let apps = generate_suite(&AppConfig {
+            count: num_apps,
+            ..AppConfig::default()
+        });
+        EvalContext {
+            library,
+            interface,
+            outcome,
+            apps,
+        }
     }
 
     /// A smaller context suitable for tests.
@@ -151,7 +180,12 @@ mod tests {
         // library methods because the library is installed first.
         let library = library_program();
         let app = atlas_apps::generate_app(0, 1);
-        for name in ["ArrayList.add", "HashMap.put", "Stack.pop", "TelephonyManager.getDeviceId"] {
+        for name in [
+            "ArrayList.add",
+            "HashMap.put",
+            "Stack.pop",
+            "TelephonyManager.getDeviceId",
+        ] {
             let a = library.method_qualified(name).unwrap();
             let b = app.program.method_qualified(name).unwrap();
             assert_eq!(a, b, "method id mismatch for {name}");
@@ -186,7 +220,10 @@ mod tests {
             })
             .collect();
         for pair in &app.leaky_pairs {
-            assert!(truth_pairs.contains(pair), "missing constructed leak {pair:?}");
+            assert!(
+                truth_pairs.contains(pair),
+                "missing constructed leak {pair:?}"
+            );
         }
         // Non-trivial edge counts are zero for the trivial baseline.
         assert_eq!(ctx.nontrivial_edges(app, SpecSet::Empty), 0);

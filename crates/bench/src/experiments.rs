@@ -5,7 +5,9 @@ use crate::context::{EvalContext, SpecSet};
 use atlas_core::compare_fragments;
 use atlas_ir::LibraryInterface;
 use atlas_javalib::{class_ids, ground_truth_specs, handwritten_specs, COLLECTION_CLASSES};
-use atlas_learn::{sample_positive_examples, Oracle, OracleConfig, SamplerConfig, SamplingStrategy};
+use atlas_learn::{
+    sample_positive_examples, Oracle, OracleConfig, SamplerConfig, SamplingStrategy,
+};
 use atlas_pointsto::result::RatioSeries;
 use atlas_spec::CodeFragments;
 use atlas_synth::InitStrategy;
@@ -15,8 +17,11 @@ use std::fmt::Write as _;
 pub fn fig8_app_sizes(ctx: &EvalContext) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Figure 8 — benchmark app sizes (client Jimple LoC)");
-    let mut sizes: Vec<(String, usize)> =
-        ctx.apps.iter().map(|a| (a.name.clone(), a.client_loc)).collect();
+    let mut sizes: Vec<(String, usize)> = ctx
+        .apps
+        .iter()
+        .map(|a| (a.name.clone(), a.client_loc))
+        .collect();
     sizes.sort_by_key(|(_, loc)| std::cmp::Reverse(*loc));
     for (name, loc) in &sizes {
         let _ = writeln!(out, "{name:>8}  {loc:>8}");
@@ -50,8 +55,14 @@ pub fn tab_coverage(ctx: &EvalContext) -> String {
         .filter(|m| m.reference_stmts > 0 && m.matched > 0)
         .count();
     let (before, after) = ctx.outcome.state_counts();
-    let _ = writeln!(out, "methods with inferred specifications : {inferred_methods}");
-    let _ = writeln!(out, "methods with handwritten specifications: {handwritten_methods}");
+    let _ = writeln!(
+        out,
+        "methods with inferred specifications : {inferred_methods}"
+    );
+    let _ = writeln!(
+        out,
+        "methods with handwritten specifications: {handwritten_methods}"
+    );
     let _ = writeln!(
         out,
         "coverage ratio (inferred / handwritten): {:.2}x",
@@ -62,12 +73,24 @@ pub fn tab_coverage(ctx: &EvalContext) -> String {
         "handwritten methods recovered by Atlas : {recovered} ({:.0}%)",
         100.0 * recovered as f64 / handwritten_methods.max(1) as f64
     );
-    let _ = writeln!(out, "statement-level recall vs handwritten  : {:.2}", cmp.recall());
-    let _ = writeln!(out, "statement-level precision vs handwritten: {:.2}", cmp.precision());
+    let _ = writeln!(
+        out,
+        "statement-level recall vs handwritten  : {:.2}",
+        cmp.recall()
+    );
+    let _ = writeln!(
+        out,
+        "statement-level precision vs handwritten: {:.2}",
+        cmp.precision()
+    );
     let _ = writeln!(
         out,
         "phase 1: {} samples, {} positive examples, {:.1}s",
-        ctx.outcome.clusters.iter().map(|c| c.num_samples).sum::<usize>(),
+        ctx.outcome
+            .clusters
+            .iter()
+            .map(|c| c.num_samples)
+            .sum::<usize>(),
         ctx.outcome.total_positive_examples(),
         ctx.outcome.phase1_time.as_secs_f64()
     );
@@ -90,7 +113,10 @@ pub fn tab_coverage(ctx: &EvalContext) -> String {
 /// versus the handwritten specifications, per app.
 pub fn fig9a_flows(ctx: &EvalContext) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 9(a) — flows: Atlas vs handwritten specifications");
+    let _ = writeln!(
+        out,
+        "# Figure 9(a) — flows: Atlas vs handwritten specifications"
+    );
     let mut series = RatioSeries::new();
     let mut total_atlas = 0usize;
     let mut total_hand = 0usize;
@@ -113,7 +139,11 @@ pub fn fig9a_flows(ctx: &EvalContext) -> String {
         rows.push((app.name.clone(), atlas, hand, ratio));
     }
     rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
-    let _ = writeln!(out, "{:>8} {:>7} {:>7} {:>7}", "app", "atlas", "hand", "ratio");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>7} {:>7} {:>7}",
+        "app", "atlas", "hand", "ratio"
+    );
     for (name, atlas, hand, ratio) in &rows {
         let _ = writeln!(out, "{name:>8} {atlas:>7} {hand:>7} {ratio:>7.2}");
     }
@@ -135,19 +165,36 @@ pub fn fig9a_flows(ctx: &EvalContext) -> String {
 /// specifications versus ground truth, per app (a recall measure).
 pub fn fig9b_recall(ctx: &EvalContext) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 9(b) — points-to edges: Atlas vs ground truth");
+    let _ = writeln!(
+        out,
+        "# Figure 9(b) — points-to edges: Atlas vs ground truth"
+    );
     let mut series = RatioSeries::new();
     let mut rows = Vec::new();
     for app in &ctx.apps {
         let trivial = ctx.analyze(app, SpecSet::Empty);
-        let atlas = ctx.analyze(app, SpecSet::Inferred).stats.nontrivial(&trivial.stats);
-        let truth = ctx.analyze(app, SpecSet::GroundTruth).stats.nontrivial(&trivial.stats);
-        let ratio = if truth == 0 { 1.0 } else { atlas as f64 / truth as f64 };
+        let atlas = ctx
+            .analyze(app, SpecSet::Inferred)
+            .stats
+            .nontrivial(&trivial.stats);
+        let truth = ctx
+            .analyze(app, SpecSet::GroundTruth)
+            .stats
+            .nontrivial(&trivial.stats);
+        let ratio = if truth == 0 {
+            1.0
+        } else {
+            atlas as f64 / truth as f64
+        };
         series.push(ratio);
         rows.push((app.name.clone(), atlas, truth, ratio));
     }
     rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
-    let _ = writeln!(out, "{:>8} {:>7} {:>7} {:>7}", "app", "atlas", "truth", "ratio");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>7} {:>7} {:>7}",
+        "app", "atlas", "truth", "ratio"
+    );
     for (name, atlas, truth, ratio) in &rows {
         let _ = writeln!(out, "{name:>8} {atlas:>7} {truth:>7} {ratio:>7.2}");
     }
@@ -167,7 +214,10 @@ pub fn fig9b_recall(ctx: &EvalContext) -> String {
 /// call chains; values below 1 are false negatives from native code).
 pub fn fig9c_impl_fp(ctx: &EvalContext) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 9(c) — points-to edges: implementation vs ground truth");
+    let _ = writeln!(
+        out,
+        "# Figure 9(c) — points-to edges: implementation vs ground truth"
+    );
     let mut series = RatioSeries::new();
     let mut rows = Vec::new();
     for app in &ctx.apps {
@@ -176,13 +226,24 @@ pub fn fig9c_impl_fp(ctx: &EvalContext) -> String {
             .analyze(app, SpecSet::Implementation)
             .stats
             .nontrivial(&trivial.stats);
-        let truth = ctx.analyze(app, SpecSet::GroundTruth).stats.nontrivial(&trivial.stats);
-        let ratio = if truth == 0 { 1.0 } else { impl_edges as f64 / truth as f64 };
+        let truth = ctx
+            .analyze(app, SpecSet::GroundTruth)
+            .stats
+            .nontrivial(&trivial.stats);
+        let ratio = if truth == 0 {
+            1.0
+        } else {
+            impl_edges as f64 / truth as f64
+        };
         series.push(ratio);
         rows.push((app.name.clone(), impl_edges, truth, ratio));
     }
     rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
-    let _ = writeln!(out, "{:>8} {:>7} {:>7} {:>7}", "app", "impl", "truth", "ratio");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>7} {:>7} {:>7}",
+        "app", "impl", "truth", "ratio"
+    );
     for (name, impl_edges, truth, ratio) in &rows {
         let _ = writeln!(out, "{name:>8} {impl_edges:>7} {truth:>7} {ratio:>7.2}");
     }
@@ -202,7 +263,10 @@ pub fn fig9c_impl_fp(ctx: &EvalContext) -> String {
 /// apps actually call (the paper's "most frequently called functions").
 pub fn tab_ground_truth(ctx: &EvalContext) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# §6.2 — inferred specifications vs ground truth (Collections API)");
+    let _ = writeln!(
+        out,
+        "# §6.2 — inferred specifications vs ground truth (Collections API)"
+    );
     let inferred = ctx.inferred_fragments(&ctx.library);
     let truth = ground_truth_specs(&ctx.library);
     // Restrict the reference to collection-class methods called by the apps.
@@ -224,8 +288,16 @@ pub fn tab_ground_truth(ctx: &EvalContext) -> String {
         "inferred exactly (ground-truth recall) : {exact} ({:.0}%)",
         100.0 * exact as f64 / covered.max(1) as f64
     );
-    let _ = writeln!(out, "statement-level recall                 : {:.2}", cmp.recall());
-    let _ = writeln!(out, "statement-level precision              : {:.2}", cmp.precision());
+    let _ = writeln!(
+        out,
+        "statement-level recall                 : {:.2}",
+        cmp.recall()
+    );
+    let _ = writeln!(
+        out,
+        "statement-level precision              : {:.2}",
+        cmp.precision()
+    );
     // List the misses for inspection (the paper discusses subList/set).
     let mut misses: Vec<&str> = cmp
         .per_method
@@ -234,18 +306,32 @@ pub fn tab_ground_truth(ctx: &EvalContext) -> String {
         .map(|m| m.name.as_str())
         .collect();
     misses.sort();
-    let _ = writeln!(out, "methods not fully recovered            : {}", misses.join(", "));
+    let _ = writeln!(
+        out,
+        "methods not fully recovered            : {}",
+        misses.join(", ")
+    );
     out
 }
 
 /// Section 6.3, first comparison: random sampling versus MCTS with equal
 /// budgets.
-pub fn tab_sampling(library: &atlas_ir::Program, interface: &LibraryInterface, samples: usize) -> String {
+pub fn tab_sampling(
+    library: &atlas_ir::Program,
+    interface: &LibraryInterface,
+    samples: usize,
+) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# §6.3 — positive examples: random sampling vs MCTS ({samples} samples)");
+    let _ = writeln!(
+        out,
+        "# §6.3 — positive examples: random sampling vs MCTS ({samples} samples)"
+    );
     let collections = class_ids(library, COLLECTION_CLASSES);
     let restricted = interface.restrict_to_classes(&collections);
-    for (name, strategy) in [("random", SamplingStrategy::Random), ("mcts", SamplingStrategy::Mcts)] {
+    for (name, strategy) in [
+        ("random", SamplingStrategy::Random),
+        ("mcts", SamplingStrategy::Mcts),
+    ] {
         let mut oracle = Oracle::new(library, interface, OracleConfig::default());
         let result = sample_positive_examples(
             &restricted,
@@ -275,7 +361,10 @@ pub fn tab_init(ctx: &EvalContext) -> String {
     let mut null_oracle = Oracle::new(
         &ctx.library,
         &ctx.interface,
-        OracleConfig { strategy: InitStrategy::Null, ..OracleConfig::default() },
+        OracleConfig {
+            strategy: InitStrategy::Null,
+            ..OracleConfig::default()
+        },
     );
     let mut total = 0usize;
     let mut with_null = 0usize;

@@ -16,8 +16,10 @@
 //! | §6.3 initialization table | [`experiments::tab_init`] | `tab_init` |
 //!
 //! The sampling budget is controlled by the `ATLAS_SAMPLES` environment
-//! variable (default 4000 candidates per class cluster) and the number of
-//! benchmark apps by `ATLAS_APPS` (default 46).
+//! variable (default 4000 candidates per class cluster), the number of
+//! benchmark apps by `ATLAS_APPS` (default 46), and the inference engine's
+//! worker-thread count by `ATLAS_THREADS` (default 0 = one per core; the
+//! thread count changes wall-clock only, never results).
 
 pub mod context;
 pub mod experiments;

@@ -1,0 +1,353 @@
+//! The parallel inference engine.
+//!
+//! [`Engine`] owns everything a full inference run needs — the program (the
+//! blackbox library implementation), its interface, and an [`AtlasConfig`] —
+//! and fans the per-cluster two-phase pipelines out across a configurable
+//! pool of worker threads.  Per-cluster inference is embarrassingly
+//! parallel: clusters share no mutable state (each gets its own [`Oracle`]),
+//! so the only coordination is a lock-free work queue handing cluster
+//! indices to workers and a slot vector collecting results.
+//!
+//! **Determinism.**  A cluster's pipeline depends only on the program, the
+//! interface restriction, the configuration, and the cluster's RNG seed —
+//! which is derived from the cluster's *position in the configuration*
+//! (`base_seed + index`), exactly as the historical sequential loop derived
+//! it.  Workers never exchange information, and results are merged in
+//! cluster order, so a run with `num_threads = 32` is bit-identical to a
+//! run with `num_threads = 1`; only the wall-clock changes.  This is
+//! asserted by the `engine_determinism` integration test.
+//!
+//! A [`Session`] is one prepared run: the resolved cluster jobs plus the
+//! resolved thread count.  [`Engine::run`] is the one-shot convenience;
+//! sessions can also be inspected before running (`jobs()`, `num_threads()`).
+
+use crate::inference::{AtlasConfig, ClusterOutcome, InferenceOutcome, ParallelismSummary};
+use atlas_ir::{ClassId, LibraryInterface, Program};
+use atlas_learn::{
+    infer_fsa, sample_positive_examples, Oracle, OracleConfig, OracleStats, SampleResult,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The parallel specification-inference engine.
+///
+/// Borrows the program and interface for its lifetime; cheap to construct.
+/// See the [module docs](self) for the execution model.
+pub struct Engine<'p> {
+    program: &'p Program,
+    interface: &'p LibraryInterface,
+    config: AtlasConfig,
+}
+
+/// One cluster's work order: which classes, and which deterministic seed.
+#[derive(Debug, Clone)]
+pub struct ClusterJob {
+    /// Position of the cluster in the configuration (also the seed offset).
+    pub index: usize,
+    /// The classes whose specifications are inferred together.
+    pub classes: Vec<ClassId>,
+    /// The sampler seed for this cluster: `config.sampler.seed + index`,
+    /// identical to what the sequential loop has always used.
+    pub seed: u64,
+}
+
+impl<'p> Engine<'p> {
+    /// Creates an engine over the given program (which must contain the
+    /// library implementation) and interface.
+    pub fn new(
+        program: &'p Program,
+        interface: &'p LibraryInterface,
+        config: AtlasConfig,
+    ) -> Engine<'p> {
+        Engine {
+            program,
+            interface,
+            config,
+        }
+    }
+
+    /// The program under inference.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The library interface.
+    pub fn interface(&self) -> &'p LibraryInterface {
+        self.interface
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &AtlasConfig {
+        &self.config
+    }
+
+    /// Prepares a session: resolves the cluster list and the thread count.
+    pub fn session(&self) -> Session<'_, 'p> {
+        let clusters: Vec<Vec<ClassId>> = if self.config.clusters.is_empty() {
+            vec![self.program.library_classes().map(|c| c.id()).collect()]
+        } else {
+            self.config.clusters.clone()
+        };
+        let jobs: Vec<ClusterJob> = clusters
+            .into_iter()
+            .enumerate()
+            .map(|(index, classes)| ClusterJob {
+                index,
+                classes,
+                seed: self.config.sampler.seed.wrapping_add(index as u64),
+            })
+            .collect();
+        let num_threads = resolve_threads(self.config.num_threads, jobs.len());
+        Session {
+            engine: self,
+            jobs,
+            num_threads,
+        }
+    }
+
+    /// Runs the full two-phase inference pipeline over all clusters.
+    pub fn run(&self) -> InferenceOutcome {
+        self.session().run()
+    }
+}
+
+/// Resolves a configured thread count: `0` means "all available cores",
+/// and there is never a reason to run more workers than jobs.
+fn resolve_threads(configured: usize, num_jobs: usize) -> usize {
+    let hw = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let want = if configured == 0 { hw() } else { configured };
+    want.clamp(1, num_jobs.max(1))
+}
+
+/// A prepared inference run: resolved jobs plus the resolved thread count.
+pub struct Session<'e, 'p> {
+    engine: &'e Engine<'p>,
+    jobs: Vec<ClusterJob>,
+    num_threads: usize,
+}
+
+/// What one worker produces for one cluster (`None` when the cluster's
+/// interface restriction is empty and the cluster is skipped).
+struct ClusterRun {
+    outcome: ClusterOutcome,
+    stats: OracleStats,
+}
+
+impl<'e, 'p> Session<'e, 'p> {
+    /// The resolved cluster jobs, in configuration order.
+    pub fn jobs(&self) -> &[ClusterJob] {
+        &self.jobs
+    }
+
+    /// The number of worker threads this session will use.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs all cluster pipelines and merges the results in cluster order.
+    pub fn run(&self) -> InferenceOutcome {
+        let wall = Instant::now();
+        let slots: Vec<Option<ClusterRun>> = if self.num_threads <= 1 {
+            // Inline fast path: no thread spawn, identical pipeline.
+            self.jobs.iter().map(|job| self.run_cluster(job)).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let results: Mutex<Vec<Option<ClusterRun>>> =
+                Mutex::new((0..self.jobs.len()).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for _ in 0..self.num_threads {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = self.jobs.get(i) else { break };
+                        let run = self.run_cluster(job);
+                        results.lock().expect("result lock poisoned")[i] = run;
+                    });
+                }
+            });
+            results.into_inner().expect("result lock poisoned")
+        };
+
+        let mut outcome = InferenceOutcome {
+            clusters: Vec::new(),
+            phase1_time: Duration::ZERO,
+            phase2_time: Duration::ZERO,
+            oracle_queries: 0,
+            oracle_executions: 0,
+            wall_time: Duration::ZERO,
+            num_threads: self.num_threads,
+        };
+        let mut stats = OracleStats::default();
+        for run in slots.into_iter().flatten() {
+            outcome.phase1_time += run.outcome.phase1_time;
+            outcome.phase2_time += run.outcome.phase2_time;
+            stats.merge(run.stats);
+            outcome.clusters.push(run.outcome);
+        }
+        outcome.oracle_queries = stats.queries;
+        outcome.oracle_executions = stats.executions;
+        outcome.wall_time = wall.elapsed();
+        outcome
+    }
+
+    /// Runs the two-phase pipeline for one cluster.  This is *the*
+    /// deterministic unit of work: everything it reads is immutable shared
+    /// state or derived from the job's seed.
+    fn run_cluster(&self, job: &ClusterJob) -> Option<ClusterRun> {
+        let engine = self.engine;
+        let config = &engine.config;
+        let restricted = engine.interface.restrict_to_classes(&job.classes);
+        if restricted.slots().is_empty() {
+            return None;
+        }
+        let oracle_config = OracleConfig {
+            strategy: config.init,
+            limits: config.limits,
+            ..OracleConfig::default()
+        };
+        let mut oracle = Oracle::new(engine.program, engine.interface, oracle_config);
+        let mut sampler_config = config.sampler.clone();
+        // Decorrelate clusters while staying deterministic.
+        sampler_config.seed = job.seed;
+
+        let t1 = Instant::now();
+        let samples: SampleResult = sample_positive_examples(
+            &restricted,
+            &mut oracle,
+            config.sampling,
+            config.samples_per_cluster,
+            &sampler_config,
+        );
+        let phase1_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let rpni = infer_fsa(&samples.positives, &mut oracle, &config.rpni);
+        let phase2_time = t2.elapsed();
+
+        Some(ClusterRun {
+            stats: oracle.stats(),
+            outcome: ClusterOutcome {
+                classes: job.classes.clone(),
+                num_samples: samples.num_samples,
+                num_positive_samples: samples.num_positive_samples,
+                num_positive_examples: samples.positives.len(),
+                initial_states: rpni.initial_states,
+                final_states: rpni.final_states,
+                positives: samples.positives,
+                fsa: rpni.fsa,
+                phase1_time,
+                phase2_time,
+            },
+        })
+    }
+}
+
+impl InferenceOutcome {
+    /// Summarizes how well the run parallelized: total per-cluster CPU time
+    /// versus wall-clock, and the resulting speedup factor.
+    pub fn parallelism(&self) -> ParallelismSummary {
+        let cpu_time = self.phase1_time + self.phase2_time;
+        let speedup = if self.wall_time.is_zero() {
+            1.0
+        } else {
+            cpu_time.as_secs_f64() / self.wall_time.as_secs_f64()
+        };
+        ParallelismSummary {
+            num_threads: self.num_threads,
+            wall_time: self.wall_time,
+            cpu_time,
+            speedup,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::AtlasConfig;
+
+    fn box_setup() -> (Program, LibraryInterface) {
+        let mut pb = atlas_ir::builder::ProgramBuilder::new();
+        atlas_javalib::install_library(&mut pb);
+        atlas_javalib::install_box_example(&mut pb);
+        let program = pb.build();
+        let interface = LibraryInterface::from_program(&program);
+        (program, interface)
+    }
+
+    #[test]
+    fn session_resolves_jobs_and_threads() {
+        let (program, interface) = box_setup();
+        let box_class = program.class_named("Box").unwrap();
+        let stack = program.class_named("Stack").unwrap();
+        let config = AtlasConfig {
+            samples_per_cluster: 10,
+            clusters: vec![vec![box_class], vec![], vec![stack]],
+            num_threads: 8,
+            ..AtlasConfig::default()
+        };
+        let engine = Engine::new(&program, &interface, config);
+        let session = engine.session();
+        assert_eq!(session.jobs().len(), 3);
+        // Seeds are positional, so the empty middle cluster still consumes
+        // an offset — exactly like the historical sequential loop.
+        let base = engine.config().sampler.seed;
+        assert_eq!(session.jobs()[0].seed, base);
+        assert_eq!(session.jobs()[2].seed, base.wrapping_add(2));
+        // Never more workers than jobs.
+        assert_eq!(session.num_threads(), 3);
+        assert_eq!(engine.program().num_methods(), program.num_methods());
+        assert_eq!(engine.interface().num_methods(), interface.num_methods());
+    }
+
+    #[test]
+    fn parallel_run_is_identical_to_sequential() {
+        let (program, interface) = box_setup();
+        let box_class = program.class_named("Box").unwrap();
+        let stack = program.class_named("Stack").unwrap();
+        let base = AtlasConfig {
+            samples_per_cluster: 250,
+            clusters: vec![vec![box_class], vec![stack]],
+            ..AtlasConfig::default()
+        };
+        let seq = Engine::new(
+            &program,
+            &interface,
+            AtlasConfig {
+                num_threads: 1,
+                ..base.clone()
+            },
+        )
+        .run();
+        let par = Engine::new(
+            &program,
+            &interface,
+            AtlasConfig {
+                num_threads: 4,
+                ..base
+            },
+        )
+        .run();
+        assert_eq!(seq.clusters.len(), par.clusters.len());
+        for (s, p) in seq.clusters.iter().zip(&par.clusters) {
+            assert_eq!(s.classes, p.classes);
+            assert_eq!(s.positives, p.positives);
+            assert_eq!(s.num_samples, p.num_samples);
+            assert_eq!(s.num_positive_samples, p.num_positive_samples);
+            assert_eq!(s.initial_states, p.initial_states);
+            assert_eq!(s.final_states, p.final_states);
+        }
+        assert_eq!(seq.oracle_queries, par.oracle_queries);
+        assert_eq!(seq.oracle_executions, par.oracle_executions);
+        assert_eq!(seq.num_threads, 1);
+        assert_eq!(par.num_threads, 2, "clamped to the number of jobs");
+        let summary = par.parallelism();
+        assert_eq!(summary.num_threads, 2);
+        assert!(summary.speedup > 0.0);
+        assert!(!format!("{summary}").is_empty());
+    }
+}

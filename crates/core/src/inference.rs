@@ -1,13 +1,18 @@
-//! The two-phase specification-inference pipeline.
+//! Configuration and outcome types of the two-phase inference pipeline,
+//! plus the [`infer_specifications`] convenience entry point.
+//!
+//! The pipeline itself lives in [`crate::engine`]: an [`crate::Engine`]
+//! schedules the per-cluster pipelines across a thread pool and merges the
+//! results deterministically.  `infer_specifications` is a thin wrapper kept
+//! for callers that do not need to hold an engine.
 
+use atlas_interp::ExecLimits;
 use atlas_ir::{ClassId, LibraryInterface, Program};
-use atlas_learn::{
-    infer_fsa, sample_positive_examples, Oracle, OracleConfig, RpniConfig, SampleResult,
-    SamplerConfig, SamplingStrategy,
-};
+use atlas_learn::{RpniConfig, SamplerConfig, SamplingStrategy};
 use atlas_spec::{CodeFragments, Fsa, PathSpec};
 use atlas_synth::InitStrategy;
-use std::time::{Duration, Instant};
+use std::fmt;
+use std::time::Duration;
 
 /// Configuration of a full inference run.
 #[derive(Debug, Clone)]
@@ -22,9 +27,16 @@ pub struct AtlasConfig {
     pub sampler: SamplerConfig,
     /// Language-inference configuration (oracle check bound, etc.).
     pub rpni: RpniConfig,
+    /// Execution limits for each synthesized unit test, forwarded into the
+    /// per-cluster oracles.
+    pub limits: ExecLimits,
     /// Clusters of classes whose specifications are inferred together.  If
     /// empty, the whole interface is treated as a single cluster.
     pub clusters: Vec<Vec<ClassId>>,
+    /// Worker threads for the cluster scheduler; `0` means one per
+    /// available core.  The thread count never changes the result, only the
+    /// wall-clock (see [`crate::engine`]).
+    pub num_threads: usize,
 }
 
 impl Default for AtlasConfig {
@@ -35,7 +47,9 @@ impl Default for AtlasConfig {
             init: InitStrategy::Instantiate,
             sampler: SamplerConfig::default(),
             rpni: RpniConfig::default(),
+            limits: ExecLimits::for_unit_tests(),
             clusters: Vec::new(),
+            num_threads: 0,
         }
     }
 }
@@ -59,6 +73,41 @@ pub struct ClusterOutcome {
     pub positives: Vec<PathSpec>,
     /// The learned automaton for this cluster.
     pub fsa: Fsa,
+    /// Wall-clock spent sampling this cluster (phase one).
+    pub phase1_time: Duration,
+    /// Wall-clock spent generalizing this cluster (phase two).
+    pub phase2_time: Duration,
+}
+
+impl ClusterOutcome {
+    /// Total wall-clock this cluster's pipeline took.
+    pub fn total_time(&self) -> Duration {
+        self.phase1_time + self.phase2_time
+    }
+}
+
+/// How well a run parallelized: per-cluster CPU time versus wall-clock.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelismSummary {
+    /// Worker threads the scheduler used.
+    pub num_threads: usize,
+    /// End-to-end wall-clock of the run.
+    pub wall_time: Duration,
+    /// Summed per-cluster pipeline time (what a 1-thread run would cost).
+    pub cpu_time: Duration,
+    /// `cpu_time / wall_time` — approaches `num_threads` when clusters are
+    /// balanced.
+    pub speedup: f64,
+}
+
+impl fmt::Display for ParallelismSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} threads: {:.2?} cpu in {:.2?} wall ({:.2}x speedup)",
+            self.num_threads, self.cpu_time, self.wall_time, self.speedup
+        )
+    }
 }
 
 /// The outcome of a full inference run.
@@ -66,14 +115,20 @@ pub struct ClusterOutcome {
 pub struct InferenceOutcome {
     /// Per-cluster results (learned automata and statistics).
     pub clusters: Vec<ClusterOutcome>,
-    /// Wall-clock time spent in phase one (sampling).
+    /// Total time spent in phase one (sampling), summed over clusters.
     pub phase1_time: Duration,
-    /// Wall-clock time spent in phase two (language inference).
+    /// Total time spent in phase two (language inference), summed over
+    /// clusters.
     pub phase2_time: Duration,
     /// Total oracle queries.
     pub oracle_queries: usize,
     /// Total unit-test executions.
     pub oracle_executions: usize,
+    /// End-to-end wall-clock of the run (differs from `phase1_time +
+    /// phase2_time` when clusters ran in parallel).
+    pub wall_time: Duration,
+    /// Worker threads the scheduler used.
+    pub num_threads: usize,
 }
 
 impl InferenceOutcome {
@@ -119,65 +174,15 @@ impl InferenceOutcome {
 }
 
 /// Runs the full two-phase inference pipeline.
+///
+/// Convenience wrapper over [`crate::Engine`]: builds an engine, runs one
+/// session, returns the merged outcome.  Respects `config.num_threads`.
 pub fn infer_specifications(
     program: &Program,
     interface: &LibraryInterface,
     config: &AtlasConfig,
 ) -> InferenceOutcome {
-    let clusters: Vec<Vec<ClassId>> = if config.clusters.is_empty() {
-        vec![program.library_classes().map(|c| c.id()).collect()]
-    } else {
-        config.clusters.clone()
-    };
-
-    let mut outcome = InferenceOutcome {
-        clusters: Vec::new(),
-        phase1_time: Duration::ZERO,
-        phase2_time: Duration::ZERO,
-        oracle_queries: 0,
-        oracle_executions: 0,
-    };
-
-    for (i, cluster) in clusters.iter().enumerate() {
-        let restricted = interface.restrict_to_classes(cluster);
-        if restricted.slots().is_empty() {
-            continue;
-        }
-        let oracle_config = OracleConfig { strategy: config.init, ..OracleConfig::default() };
-        let mut oracle = Oracle::new(program, interface, oracle_config);
-        let mut sampler_config = config.sampler.clone();
-        // Decorrelate clusters while staying deterministic.
-        sampler_config.seed = config.sampler.seed.wrapping_add(i as u64);
-
-        let t1 = Instant::now();
-        let samples: SampleResult = sample_positive_examples(
-            &restricted,
-            &mut oracle,
-            config.sampling,
-            config.samples_per_cluster,
-            &sampler_config,
-        );
-        outcome.phase1_time += t1.elapsed();
-
-        let t2 = Instant::now();
-        let rpni = infer_fsa(&samples.positives, &mut oracle, &config.rpni);
-        outcome.phase2_time += t2.elapsed();
-
-        let stats = oracle.stats();
-        outcome.oracle_queries += stats.queries;
-        outcome.oracle_executions += stats.executions;
-        outcome.clusters.push(ClusterOutcome {
-            classes: cluster.clone(),
-            num_samples: samples.num_samples,
-            num_positive_samples: samples.num_positive_samples,
-            num_positive_examples: samples.positives.len(),
-            initial_states: rpni.initial_states,
-            final_states: rpni.final_states,
-            positives: samples.positives,
-            fsa: rpni.fsa,
-        });
-    }
-    outcome
+    crate::Engine::new(program, interface, config.clone()).run()
 }
 
 #[cfg(test)]
@@ -211,7 +216,11 @@ mod tests {
         let frags = outcome.fragments(&program);
         let set = program.method_qualified("Box.set").unwrap();
         let get = program.method_qualified("Box.get").unwrap();
-        assert!(frags.body(set).is_some(), "set not covered: {}", frags.render(&program));
+        assert!(
+            frags.body(set).is_some(),
+            "set not covered: {}",
+            frags.render(&program)
+        );
         assert!(frags.body(get).is_some(), "get not covered");
         let specs = outcome.specs(8, 64);
         assert!(!specs.is_empty());
@@ -219,6 +228,9 @@ mod tests {
         assert!(after <= before);
         assert!(outcome.oracle_queries > 0 && outcome.oracle_executions > 0);
         assert!(outcome.methods_covered(&program) >= 2);
+        // Per-cluster wall-clock is recorded.
+        assert!(outcome.clusters[0].total_time() > Duration::ZERO);
+        assert!(outcome.wall_time >= outcome.clusters[0].total_time());
     }
 
     #[test]
@@ -232,5 +244,38 @@ mod tests {
         };
         let outcome = infer_specifications(&program, &interface, &config);
         assert!(outcome.clusters.is_empty());
+    }
+
+    #[test]
+    fn exec_limits_are_plumbed_into_the_oracle() {
+        // With a starvation-level step budget every witness execution dies,
+        // so sampling finds no positives; the default budget finds some.
+        let mut pb = ProgramBuilder::new();
+        atlas_javalib::install_library(&mut pb);
+        atlas_javalib::install_box_example(&mut pb);
+        let program = pb.build();
+        let interface = atlas_ir::LibraryInterface::from_program(&program);
+        let box_class = program.class_named("Box").unwrap();
+        let base = AtlasConfig {
+            samples_per_cluster: 600,
+            clusters: vec![vec![box_class]],
+            ..AtlasConfig::default()
+        };
+        let starved = AtlasConfig {
+            limits: ExecLimits {
+                max_steps: 1,
+                max_call_depth: 1,
+                max_heap_objects: 1,
+            },
+            ..base.clone()
+        };
+        let ok = infer_specifications(&program, &interface, &base);
+        let none = infer_specifications(&program, &interface, &starved);
+        assert!(ok.total_positive_examples() >= 1);
+        assert_eq!(
+            none.total_positive_examples(),
+            0,
+            "starved oracle must reject everything"
+        );
     }
 }

@@ -3,8 +3,8 @@
 //! The top-level Atlas pipeline: ACtive Learning of Alias Specifications.
 //!
 //! Given a program containing a library implementation (used only as a
-//! blackbox) and the library's interface, [`infer_specifications`] runs the
-//! two-phase algorithm of the paper —
+//! blackbox) and the library's interface, an [`Engine`] runs the two-phase
+//! algorithm of the paper —
 //!
 //! 1. sample candidate path specifications and keep those whose synthesized
 //!    unit test passes (phase one, `atlas-learn::sample`),
@@ -15,13 +15,22 @@
 //! code-fragment specifications, ready to be consumed by the points-to
 //! analysis in place of the library implementation.
 //!
+//! Class clusters are independent, so the engine schedules the per-cluster
+//! pipelines across a configurable thread pool ([`engine`]); the thread
+//! count never changes the result, only the wall-clock.
+//! [`infer_specifications`] remains as the one-call convenience wrapper.
+//!
 //! [`report`] contains the machinery used by the evaluation to compare an
 //! inferred specification set against a reference corpus (handwritten or
 //! ground truth), using the fractional statement-level counting described in
 //! Section 6.
 
+pub mod engine;
 pub mod inference;
 pub mod report;
 
-pub use inference::{infer_specifications, AtlasConfig, ClusterOutcome, InferenceOutcome};
+pub use engine::{ClusterJob, Engine, Session};
+pub use inference::{
+    infer_specifications, AtlasConfig, ClusterOutcome, InferenceOutcome, ParallelismSummary,
+};
 pub use report::{compare_fragments, MethodComparison, SpecComparison};

@@ -61,12 +61,18 @@ pub struct SpecComparison {
 impl SpecComparison {
     /// Number of methods covered by the reference corpus.
     pub fn reference_methods(&self) -> usize {
-        self.per_method.iter().filter(|m| m.reference_stmts > 0).count()
+        self.per_method
+            .iter()
+            .filter(|m| m.reference_stmts > 0)
+            .count()
     }
 
     /// Number of methods covered by the inferred corpus.
     pub fn inferred_methods(&self) -> usize {
-        self.per_method.iter().filter(|m| m.inferred_stmts > 0).count()
+        self.per_method
+            .iter()
+            .filter(|m| m.inferred_stmts > 0)
+            .count()
     }
 
     /// Number of reference methods whose specification was recovered
@@ -97,10 +103,16 @@ impl SpecComparison {
     /// methods the reference corpus covers (the reference is assumed silent,
     /// not negative, about other methods).
     pub fn precision(&self) -> f64 {
-        let covered: Vec<&MethodComparison> =
-            self.per_method.iter().filter(|m| m.reference_stmts > 0).collect();
+        let covered: Vec<&MethodComparison> = self
+            .per_method
+            .iter()
+            .filter(|m| m.reference_stmts > 0)
+            .collect();
         let total: usize = covered.iter().map(|m| m.inferred_stmts).sum();
-        let matched: usize = covered.iter().map(|m| m.matched.min(m.inferred_stmts)).sum();
+        let matched: usize = covered
+            .iter()
+            .map(|m| m.matched.min(m.inferred_stmts))
+            .sum();
         if total == 0 {
             1.0
         } else {
@@ -213,12 +225,19 @@ mod tests {
                     obj: atlas_ir::Var::from_index(0),
                     field: f,
                 },
-                Stmt::Return { var: Some(atlas_ir::Var::from_index(2)) },
+                Stmt::Return {
+                    var: Some(atlas_ir::Var::from_index(2)),
+                },
             ],
         );
         // Add a reference-only method the inference missed.
         let clone = p.method_qualified("Box.clone").unwrap();
-        reference.insert(clone, vec![Stmt::Return { var: Some(atlas_ir::Var::from_index(0)) }]);
+        reference.insert(
+            clone,
+            vec![Stmt::Return {
+                var: Some(atlas_ir::Var::from_index(0)),
+            }],
+        );
 
         let cmp = compare_fragments(&p, &inferred, &reference);
         assert_eq!(cmp.reference_methods(), 3);

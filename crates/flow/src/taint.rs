@@ -1,7 +1,7 @@
 //! Explicit information-flow analysis over points-to results.
 
-use atlas_pointsto::{Graph, Node, ObjId, PointsToResult};
 use atlas_ir::{MethodId, Program};
+use atlas_pointsto::{Graph, Node, ObjId, PointsToResult};
 use std::collections::{BTreeSet, VecDeque};
 
 /// One discovered information flow.
@@ -48,12 +48,18 @@ impl FlowResult {
 
 /// Resolves the configured source method names present in the program.
 pub fn source_methods(program: &Program, names: &[&str]) -> Vec<MethodId> {
-    names.iter().filter_map(|n| program.method_qualified(n)).collect()
+    names
+        .iter()
+        .filter_map(|n| program.method_qualified(n))
+        .collect()
 }
 
 /// Resolves the configured sink method names present in the program.
 pub fn sink_methods(program: &Program, names: &[&str]) -> Vec<MethodId> {
-    names.iter().filter_map(|n| program.method_qualified(n)).collect()
+    names
+        .iter()
+        .filter_map(|n| program.method_qualified(n))
+        .collect()
 }
 
 /// Finds all `(source, sink)` pairs such that an object returned by the

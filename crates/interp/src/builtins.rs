@@ -26,7 +26,9 @@ impl fmt::Debug for BuiltinRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&String> = self.by_name.keys().collect();
         names.sort();
-        f.debug_struct("BuiltinRegistry").field("builtins", &names).finish()
+        f.debug_struct("BuiltinRegistry")
+            .field("builtins", &names)
+            .finish()
     }
 }
 
@@ -80,12 +82,18 @@ fn ref_arg(args: &[Value], i: usize) -> Result<crate::heap::ObjRef, ExecError> {
     match args.get(i) {
         Some(Value::Ref(r)) => Ok(*r),
         Some(Value::Null) => Err(ExecError::NullPointer),
-        _ => Err(ExecError::Builtin(format!("expected reference argument at position {i}"))),
+        _ => Err(ExecError::Builtin(format!(
+            "expected reference argument at position {i}"
+        ))),
     }
 }
 
 /// `System.arraycopy(src, srcPos, dest, destPos, length)`.
-fn builtin_arraycopy(heap: &mut Heap, _recv: Option<Value>, args: &[Value]) -> Result<Value, ExecError> {
+fn builtin_arraycopy(
+    heap: &mut Heap,
+    _recv: Option<Value>,
+    args: &[Value],
+) -> Result<Value, ExecError> {
     let src = ref_arg(args, 0)?;
     let src_pos = int_arg(args, 1)?;
     let dest = ref_arg(args, 2)?;
@@ -106,23 +114,35 @@ fn builtin_arraycopy(heap: &mut Heap, _recv: Option<Value>, args: &[Value]) -> R
 }
 
 /// `Arrays.copyOf(original, newLength)`.
-fn builtin_copy_of(heap: &mut Heap, _recv: Option<Value>, args: &[Value]) -> Result<Value, ExecError> {
+fn builtin_copy_of(
+    heap: &mut Heap,
+    _recv: Option<Value>,
+    args: &[Value],
+) -> Result<Value, ExecError> {
     let src = ref_arg(args, 0)?;
     let new_len = int_arg(args, 1)?;
     if new_len < 0 {
         return Err(ExecError::IndexOutOfBounds);
     }
-    let old_len = heap.array_len(src).ok_or(ExecError::Builtin("copyOf of non-array".into()))? as i64;
+    let old_len = heap
+        .array_len(src)
+        .ok_or(ExecError::Builtin("copyOf of non-array".into()))? as i64;
     let dst = heap.alloc_array(new_len as usize);
     for k in 0..new_len.min(old_len) {
-        let v = heap.read_element(src, k).ok_or(ExecError::IndexOutOfBounds)?;
+        let v = heap
+            .read_element(src, k)
+            .ok_or(ExecError::IndexOutOfBounds)?;
         heap.write_element(dst, k, v);
     }
     Ok(Value::Ref(dst))
 }
 
 /// `System.identityHashCode(x)`.
-fn builtin_identity_hash(_heap: &mut Heap, _recv: Option<Value>, args: &[Value]) -> Result<Value, ExecError> {
+fn builtin_identity_hash(
+    _heap: &mut Heap,
+    _recv: Option<Value>,
+    args: &[Value],
+) -> Result<Value, ExecError> {
     Ok(match args.first() {
         Some(Value::Ref(r)) => Value::Int(r.0 as i64),
         Some(Value::Null) | None => Value::Int(0),
@@ -132,7 +152,11 @@ fn builtin_identity_hash(_heap: &mut Heap, _recv: Option<Value>, args: &[Value])
 }
 
 /// `Object.hashCode()` — identity hash of the receiver.
-fn builtin_identity_hash_recv(heap: &mut Heap, recv: Option<Value>, _args: &[Value]) -> Result<Value, ExecError> {
+fn builtin_identity_hash_recv(
+    heap: &mut Heap,
+    recv: Option<Value>,
+    _args: &[Value],
+) -> Result<Value, ExecError> {
     builtin_identity_hash(heap, None, &[recv.unwrap_or(Value::Null)])
 }
 
@@ -180,11 +204,29 @@ mod tests {
         assert_eq!(heap.read_element(dst, 1), Some(Value::Ref(obj)));
         assert_eq!(heap.read_element(dst, 2), Some(Value::Int(7)));
         // Out of bounds length fails.
-        let bad = [Value::Ref(src), Value::Int(0), Value::Ref(dst), Value::Int(0), Value::Int(9)];
-        assert!(matches!(builtin_arraycopy(&mut heap, None, &bad), Err(ExecError::IndexOutOfBounds)));
+        let bad = [
+            Value::Ref(src),
+            Value::Int(0),
+            Value::Ref(dst),
+            Value::Int(0),
+            Value::Int(9),
+        ];
+        assert!(matches!(
+            builtin_arraycopy(&mut heap, None, &bad),
+            Err(ExecError::IndexOutOfBounds)
+        ));
         // Null source fails.
-        let null_src = [Value::Null, Value::Int(0), Value::Ref(dst), Value::Int(0), Value::Int(1)];
-        assert!(matches!(builtin_arraycopy(&mut heap, None, &null_src), Err(ExecError::NullPointer)));
+        let null_src = [
+            Value::Null,
+            Value::Int(0),
+            Value::Ref(dst),
+            Value::Int(0),
+            Value::Int(1),
+        ];
+        assert!(matches!(
+            builtin_arraycopy(&mut heap, None, &null_src),
+            Err(ExecError::NullPointer)
+        ));
     }
 
     #[test]
@@ -203,14 +245,23 @@ mod tests {
     #[test]
     fn math_and_hash_builtins() {
         let mut heap = Heap::new();
-        assert_eq!(builtin_max(&mut heap, None, &[Value::Int(2), Value::Int(5)]).unwrap(), Value::Int(5));
-        assert_eq!(builtin_min(&mut heap, None, &[Value::Int(2), Value::Int(5)]).unwrap(), Value::Int(2));
+        assert_eq!(
+            builtin_max(&mut heap, None, &[Value::Int(2), Value::Int(5)]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            builtin_min(&mut heap, None, &[Value::Int(2), Value::Int(5)]).unwrap(),
+            Value::Int(2)
+        );
         let o = heap.alloc(ClassId::from_index(0));
         assert_eq!(
             builtin_identity_hash(&mut heap, None, &[Value::Ref(o)]).unwrap(),
             Value::Int(o.0 as i64)
         );
-        assert_eq!(builtin_identity_hash(&mut heap, None, &[Value::Null]).unwrap(), Value::Int(0));
+        assert_eq!(
+            builtin_identity_hash(&mut heap, None, &[Value::Null]).unwrap(),
+            Value::Int(0)
+        );
         assert_eq!(
             builtin_identity_hash_recv(&mut heap, Some(Value::Ref(o)), &[]).unwrap(),
             Value::Int(o.0 as i64)

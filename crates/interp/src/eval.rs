@@ -82,7 +82,11 @@ pub struct Interpreter<'p> {
 impl<'p> Interpreter<'p> {
     /// Creates an interpreter with the default builtins and limits.
     pub fn new(program: &'p Program) -> Interpreter<'p> {
-        Interpreter::with_config(program, BuiltinRegistry::with_defaults(), ExecLimits::default())
+        Interpreter::with_config(
+            program,
+            BuiltinRegistry::with_defaults(),
+            ExecLimits::default(),
+        )
     }
 
     /// Creates an interpreter with custom builtins and limits.
@@ -91,7 +95,14 @@ impl<'p> Interpreter<'p> {
         builtins: BuiltinRegistry,
         limits: ExecLimits,
     ) -> Interpreter<'p> {
-        Interpreter { program, builtins, limits, heap: Heap::new(), steps: 0, depth: 0 }
+        Interpreter {
+            program,
+            builtins,
+            limits,
+            heap: Heap::new(),
+            steps: 0,
+            depth: 0,
+        }
     }
 
     /// Access to the heap (after execution), e.g. for inspecting effects.
@@ -163,7 +174,10 @@ impl<'p> Interpreter<'p> {
     }
 
     fn read(&self, locals: &[Value], v: Var) -> Value {
-        locals.get(v.index() as usize).cloned().unwrap_or(Value::Null)
+        locals
+            .get(v.index() as usize)
+            .cloned()
+            .unwrap_or(Value::Null)
     }
 
     fn write(&self, locals: &mut Vec<Value>, v: Var, value: Value) {
@@ -266,7 +280,10 @@ impl<'p> Interpreter<'p> {
                     .read(locals, *index)
                     .as_int()
                     .ok_or_else(|| ExecError::TypeError("array index must be int".into()))?;
-                let v = self.heap.read_element(r, i).ok_or(ExecError::IndexOutOfBounds)?;
+                let v = self
+                    .heap
+                    .read_element(r, i)
+                    .ok_or(ExecError::IndexOutOfBounds)?;
                 self.write(locals, *dst, v);
             }
             Stmt::ArrayLen { dst, arr } => {
@@ -280,7 +297,12 @@ impl<'p> Interpreter<'p> {
                     .ok_or_else(|| ExecError::TypeError("length of non-array".into()))?;
                 self.write(locals, *dst, Value::Int(len as i64));
             }
-            Stmt::Call { dst, method: target, recv, args } => {
+            Stmt::Call {
+                dst,
+                method: target,
+                recv,
+                args,
+            } => {
                 let recv_val = recv.map(|r| self.read(locals, r));
                 let arg_vals: Vec<Value> = args.iter().map(|&a| self.read(locals, a)).collect();
                 let result = self.call_method(*target, recv_val, &arg_vals)?;
@@ -335,10 +357,9 @@ impl<'p> Interpreter<'p> {
                 if let Flow::Return(v) = self.exec_block(header, locals, method)? {
                     return Ok(Flow::Return(v));
                 }
-                let c = self
-                    .read(locals, *cond)
-                    .as_bool()
-                    .ok_or_else(|| ExecError::TypeError("while condition must be boolean".into()))?;
+                let c = self.read(locals, *cond).as_bool().ok_or_else(|| {
+                    ExecError::TypeError("while condition must be boolean".into())
+                })?;
                 if !c {
                     break;
                 }
@@ -363,15 +384,19 @@ impl<'p> Interpreter<'p> {
         match op {
             And | Or => {
                 let (x, y) = (
-                    a.as_bool().ok_or_else(|| ExecError::TypeError("boolean expected".into()))?,
-                    b.as_bool().ok_or_else(|| ExecError::TypeError("boolean expected".into()))?,
+                    a.as_bool()
+                        .ok_or_else(|| ExecError::TypeError("boolean expected".into()))?,
+                    b.as_bool()
+                        .ok_or_else(|| ExecError::TypeError("boolean expected".into()))?,
                 );
                 Ok(Value::Bool(if op == And { x && y } else { x || y }))
             }
             _ => {
                 let (x, y) = (
-                    a.as_int().ok_or_else(|| ExecError::TypeError("int expected".into()))?,
-                    b.as_int().ok_or_else(|| ExecError::TypeError("int expected".into()))?,
+                    a.as_int()
+                        .ok_or_else(|| ExecError::TypeError("int expected".into()))?,
+                    b.as_int()
+                        .ok_or_else(|| ExecError::TypeError("int expected".into()))?,
                 );
                 Ok(match op {
                     Add => Value::Int(x.wrapping_add(y)),
@@ -563,7 +588,11 @@ mod tests {
         let mut interp = Interpreter::with_config(
             &p,
             BuiltinRegistry::with_defaults(),
-            ExecLimits { max_steps: 100, max_call_depth: 8, max_heap_objects: 10 },
+            ExecLimits {
+                max_steps: 100,
+                max_call_depth: 8,
+                max_heap_objects: 10,
+            },
         );
         assert_eq!(
             interp.run_entry(spin),
@@ -647,7 +676,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ExecError::NullPointer.to_string().contains("null"));
-        assert!(ExecError::MissingBuiltin("X.y".into()).to_string().contains("X.y"));
-        assert!(ExecError::LimitExceeded("steps").to_string().contains("steps"));
+        assert!(ExecError::MissingBuiltin("X.y".into())
+            .to_string()
+            .contains("X.y"));
+        assert!(ExecError::LimitExceeded("steps")
+            .to_string()
+            .contains("steps"));
     }
 }

@@ -28,11 +28,19 @@ pub struct HeapObject {
 
 impl HeapObject {
     fn instance(class: ClassId) -> HeapObject {
-        HeapObject { class: Some(class), fields: HashMap::new(), array: None }
+        HeapObject {
+            class: Some(class),
+            fields: HashMap::new(),
+            array: None,
+        }
     }
 
     fn array(len: usize) -> HeapObject {
-        HeapObject { class: None, fields: HashMap::new(), array: Some(vec![Value::Null; len]) }
+        HeapObject {
+            class: None,
+            fields: HashMap::new(),
+            array: Some(vec![Value::Null; len]),
+        }
     }
 
     /// Whether the object is an array.
@@ -79,7 +87,11 @@ impl Heap {
 
     /// Reads a field (absent fields read as `null`).
     pub fn read_field(&self, r: ObjRef, field: FieldId) -> Value {
-        self.objects[r.0].fields.get(&field).cloned().unwrap_or(Value::Null)
+        self.objects[r.0]
+            .fields
+            .get(&field)
+            .cloned()
+            .unwrap_or(Value::Null)
     }
 
     /// Writes a field.
@@ -158,7 +170,12 @@ mod tests {
         assert!(!heap.write_element(o, 0, Value::Null));
         assert_eq!(heap.array_len(o), None);
         // Mutable access to raw object works.
-        heap.get_mut(o).fields.insert(FieldId::from_index(1), Value::Bool(true));
-        assert_eq!(heap.read_field(o, FieldId::from_index(1)), Value::Bool(true));
+        heap.get_mut(o)
+            .fields
+            .insert(FieldId::from_index(1), Value::Bool(true));
+        assert_eq!(
+            heap.read_field(o, FieldId::from_index(1)),
+            Value::Bool(true)
+        );
     }
 }

@@ -13,14 +13,22 @@ pub struct ExecLimits {
 
 impl Default for ExecLimits {
     fn default() -> Self {
-        ExecLimits { max_steps: 200_000, max_call_depth: 256, max_heap_objects: 100_000 }
+        ExecLimits {
+            max_steps: 200_000,
+            max_call_depth: 256,
+            max_heap_objects: 100_000,
+        }
     }
 }
 
 impl ExecLimits {
     /// Tight limits suitable for the oracle's very small unit tests.
     pub fn for_unit_tests() -> ExecLimits {
-        ExecLimits { max_steps: 20_000, max_call_depth: 64, max_heap_objects: 10_000 }
+        ExecLimits {
+            max_steps: 20_000,
+            max_call_depth: 64,
+            max_heap_objects: 10_000,
+        }
     }
 }
 

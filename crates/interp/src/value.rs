@@ -4,9 +4,10 @@ use crate::heap::ObjRef;
 use std::fmt;
 
 /// A runtime value of the interpreter.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// The `null` reference.
+    #[default]
     Null,
     /// A reference to a heap object (or array).
     Ref(ObjRef),
@@ -77,12 +78,6 @@ impl fmt::Display for Value {
             Value::Str(s) => write!(f, "{s:?}"),
             Value::Void => write!(f, "void"),
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 

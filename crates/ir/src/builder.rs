@@ -235,7 +235,15 @@ impl<'a> ClassBuilder<'a> {
 
     /// Finishes the class, registering it with the program builder.
     pub fn build(self) -> ClassId {
-        let ClassBuilder { pb, id, name, superclass, mut fields, mut methods, is_library } = self;
+        let ClassBuilder {
+            pb,
+            id,
+            name,
+            superclass,
+            mut fields,
+            mut methods,
+            is_library,
+        } = self;
         // Pick up any fields/methods declared directly via the ProgramBuilder.
         for (key, &fid) in &pb.field_ids {
             if key.0 == id && !fields.contains(&fid) {
@@ -306,7 +314,10 @@ impl<'b, 'a> MethodBuilder<'b, 'a> {
             "parameters must be declared before locals"
         );
         let v = Var::from_index(self.vars.len() as u32);
-        self.vars.push(VarData { name: name.to_string(), ty });
+        self.vars.push(VarData {
+            name: name.to_string(),
+            ty,
+        });
         self.num_params += 1;
         v
     }
@@ -314,7 +325,10 @@ impl<'b, 'a> MethodBuilder<'b, 'a> {
     /// Declares a local variable.
     pub fn local(&mut self, name: &str, ty: Type) -> Var {
         let v = Var::from_index(self.vars.len() as u32);
-        self.vars.push(VarData { name: name.to_string(), ty });
+        self.vars.push(VarData {
+            name: name.to_string(),
+            ty,
+        });
         v
     }
 
@@ -353,11 +367,17 @@ impl<'b, 'a> MethodBuilder<'b, 'a> {
     }
 
     fn push(&mut self, stmt: Stmt) {
-        self.blocks.last_mut().expect("block stack is never empty").push(stmt);
+        self.blocks
+            .last_mut()
+            .expect("block stack is never empty")
+            .push(stmt);
     }
 
     fn fresh_site(&mut self) -> AllocSite {
-        let site = AllocSite { method: self.id, index: self.alloc_counter };
+        let site = AllocSite {
+            method: self.id,
+            index: self.alloc_counter,
+        };
         self.alloc_counter += 1;
         site
     }
@@ -445,7 +465,12 @@ impl<'b, 'a> MethodBuilder<'b, 'a> {
 
     /// `dst = recv.method(args...)`.
     pub fn call(&mut self, dst: Option<Var>, method: MethodId, recv: Option<Var>, args: &[Var]) {
-        self.push(Stmt::Call { dst, method, recv, args: args.to_vec() });
+        self.push(Stmt::Call {
+            dst,
+            method,
+            recv,
+            args: args.to_vec(),
+        });
     }
 
     /// `dst = constant`.
@@ -506,7 +531,11 @@ impl<'b, 'a> MethodBuilder<'b, 'a> {
         self.blocks.push(Vec::new());
         els(self);
         let els_block = self.blocks.pop().expect("else block");
-        self.push(Stmt::If { cond, then: then_block, els: els_block });
+        self.push(Stmt::If {
+            cond,
+            then: then_block,
+            els: els_block,
+        });
     }
 
     /// `if (cond) { then }` with no else branch.
@@ -526,7 +555,11 @@ impl<'b, 'a> MethodBuilder<'b, 'a> {
         self.blocks.push(Vec::new());
         body(self);
         let body_block = self.blocks.pop().expect("body block");
-        self.push(Stmt::While { header: header_block, cond, body: body_block });
+        self.push(Stmt::While {
+            header: header_block,
+            cond,
+            body: body_block,
+        });
     }
 
     /// `return var` / `return`.
@@ -536,7 +569,9 @@ impl<'b, 'a> MethodBuilder<'b, 'a> {
 
     /// `throw new RuntimeException(message)`.
     pub fn throw(&mut self, message: &str) {
-        self.push(Stmt::Throw { message: message.to_string() });
+        self.push(Stmt::Throw {
+            message: message.to_string(),
+        });
     }
 
     /// Finishes the method, registering it with the class and program.

@@ -46,17 +46,26 @@ pub struct ParamSlot {
 impl ParamSlot {
     /// Convenience constructor for the receiver slot.
     pub fn receiver(method: MethodId) -> ParamSlot {
-        ParamSlot { method, kind: SlotKind::Receiver }
+        ParamSlot {
+            method,
+            kind: SlotKind::Receiver,
+        }
     }
 
     /// Convenience constructor for a parameter slot.
     pub fn param(method: MethodId, i: u16) -> ParamSlot {
-        ParamSlot { method, kind: SlotKind::Param(i) }
+        ParamSlot {
+            method,
+            kind: SlotKind::Param(i),
+        }
     }
 
     /// Convenience constructor for the return slot.
     pub fn ret(method: MethodId) -> ParamSlot {
-        ParamSlot { method, kind: SlotKind::Return }
+        ParamSlot {
+            method,
+            kind: SlotKind::Return,
+        }
     }
 
     /// Whether the slot is an input (receiver/parameter).
@@ -169,7 +178,12 @@ impl LibraryInterface {
                 slots.extend(sig.reference_slots());
             }
         }
-        LibraryInterface { sigs, by_method, by_class, slots }
+        LibraryInterface {
+            sigs,
+            by_method,
+            by_class,
+            slots,
+        }
     }
 
     /// All method signatures.
@@ -211,7 +225,9 @@ impl LibraryInterface {
 
     /// The reference-typed slots of a single method.
     pub fn slots_of(&self, method: MethodId) -> Vec<ParamSlot> {
-        self.sig(method).map(|s| s.reference_slots()).unwrap_or_default()
+        self.sig(method)
+            .map(|s| s.reference_slots())
+            .unwrap_or_default()
     }
 
     /// Restricts the interface to methods of the given classes (used to

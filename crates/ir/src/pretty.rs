@@ -10,7 +10,11 @@ use std::fmt::Write;
 pub fn program_to_string(program: &Program) -> String {
     let mut out = String::new();
     for class in program.classes() {
-        let lib = if class.is_library() { " /* library */" } else { "" };
+        let lib = if class.is_library() {
+            " /* library */"
+        } else {
+            ""
+        };
         let extends = class
             .superclass()
             .map(|s| format!(" extends {}", program.class(s).name()))
@@ -39,7 +43,11 @@ pub fn method_to_string(program: &Program, method: &Method) -> String {
             format!("{} {}", d.ty, d.name)
         })
         .collect();
-    let native = if method.is_native() { " /* native */" } else { "" };
+    let native = if method.is_native() {
+        " /* native */"
+    } else {
+        ""
+    };
     let _ = writeln!(
         out,
         "    {} {}({}){} {{",
@@ -62,7 +70,12 @@ fn write_block(out: &mut String, program: &Program, method: &Method, block: &[St
     for stmt in block {
         match stmt {
             Stmt::Assign { dst, src } => {
-                let _ = writeln!(out, "{pad}{} = {};", var_name(method, *dst), var_name(method, *src));
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {};",
+                    var_name(method, *dst),
+                    var_name(method, *src)
+                );
             }
             Stmt::New { dst, class, site } => {
                 let _ = writeln!(
@@ -124,10 +137,19 @@ fn write_block(out: &mut String, program: &Program, method: &Method, block: &[St
                     var_name(method, *arr)
                 );
             }
-            Stmt::Call { dst, method: target, recv, args } => {
+            Stmt::Call {
+                dst,
+                method: target,
+                recv,
+                args,
+            } => {
                 let args: Vec<String> = args.iter().map(|&a| var_name(method, a)).collect();
-                let recv = recv.map(|r| format!("{}.", var_name(method, r))).unwrap_or_default();
-                let dst = dst.map(|d| format!("{} = ", var_name(method, d))).unwrap_or_default();
+                let recv = recv
+                    .map(|r| format!("{}.", var_name(method, r)))
+                    .unwrap_or_default();
+                let dst = dst
+                    .map(|d| format!("{} = ", var_name(method, d)))
+                    .unwrap_or_default();
                 let _ = writeln!(
                     out,
                     "{pad}{dst}{recv}{}({});",
@@ -166,7 +188,12 @@ fn write_block(out: &mut String, program: &Program, method: &Method, block: &[St
                 );
             }
             Stmt::Not { dst, a } => {
-                let _ = writeln!(out, "{pad}{} = !{};", var_name(method, *dst), var_name(method, *a));
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = !{};",
+                    var_name(method, *dst),
+                    var_name(method, *a)
+                );
             }
             Stmt::If { cond, then, els } => {
                 let _ = writeln!(out, "{pad}if ({}) {{", var_name(method, *cond));
@@ -178,21 +205,23 @@ fn write_block(out: &mut String, program: &Program, method: &Method, block: &[St
                 let _ = writeln!(out, "{pad}}}");
             }
             Stmt::While { header, cond, body } => {
-                let _ = writeln!(out, "{pad}while (/* header below */ {}) {{", var_name(method, *cond));
+                let _ = writeln!(
+                    out,
+                    "{pad}while (/* header below */ {}) {{",
+                    var_name(method, *cond)
+                );
                 write_block(out, program, method, header, depth + 1);
                 write_block(out, program, method, body, depth + 1);
                 let _ = writeln!(out, "{pad}}}");
             }
-            Stmt::Return { var } => {
-                match var {
-                    Some(v) => {
-                        let _ = writeln!(out, "{pad}return {};", var_name(method, *v));
-                    }
-                    None => {
-                        let _ = writeln!(out, "{pad}return;");
-                    }
+            Stmt::Return { var } => match var {
+                Some(v) => {
+                    let _ = writeln!(out, "{pad}return {};", var_name(method, *v));
                 }
-            }
+                None => {
+                    let _ = writeln!(out, "{pad}return;");
+                }
+            },
             Stmt::Throw { message } => {
                 let _ = writeln!(out, "{pad}throw new RuntimeException({message:?});");
             }
@@ -291,7 +320,10 @@ mod tests {
         let text = program_to_string(&p);
         assert!(text.contains("class Box"), "{text}");
         assert!(text.contains("this.f = ob;"), "{text}");
-        assert!(text.contains("out = Box.get();") || text.contains("out = box.Box.get();"), "{text}");
+        assert!(
+            text.contains("out = Box.get();") || text.contains("out = box.Box.get();"),
+            "{text}"
+        );
         assert!(text.contains("eq = (in == out);"), "{text}");
         assert!(text.contains("/* library */"), "{text}");
     }
@@ -304,6 +336,6 @@ mod tests {
         assert!(total > client);
         assert!(client >= 10, "client loc {client}");
         // Object class contributes 1 line (header) to total.
-        assert!(total >= client + 1);
+        assert!(total > client);
     }
 }

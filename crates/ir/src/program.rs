@@ -179,7 +179,8 @@ impl Program {
     /// Panics if the program was constructed without the builder (which
     /// always creates the field).
     pub fn elems_field(&self) -> FieldId {
-        self.elems_field.expect("program built without $elems field")
+        self.elems_field
+            .expect("program built without $elems field")
     }
 
     /// Entry-point methods registered by the builder.

@@ -100,7 +100,11 @@ pub enum Stmt {
     Assign { dst: Var, src: Var },
     /// `dst = new C()` — allocation of a fresh object of class `class` at
     /// allocation site `site`.  Constructor calls are separate `Call`s.
-    New { dst: Var, class: ClassId, site: AllocSite },
+    New {
+        dst: Var,
+        class: ClassId,
+        site: AllocSite,
+    },
     /// `dst = new T[len]` — allocation of a fresh array object.
     NewArray { dst: Var, len: Var, site: AllocSite },
     /// `obj.field = src`.
@@ -119,7 +123,11 @@ pub enum Stmt {
         args: Vec<Var>,
     },
     /// `dst = constant`.
-    Const { dst: Var, value: Constant, site: Option<AllocSite> },
+    Const {
+        dst: Var,
+        value: Constant,
+        site: Option<AllocSite>,
+    },
     /// `dst = a <op> b` over primitives.
     Bin { dst: Var, op: BinOp, a: Var, b: Var },
     /// `dst = (a == b)` — reference identity comparison (the observation
@@ -132,10 +140,18 @@ pub enum Stmt {
     /// `dst = arr.length`.
     ArrayLen { dst: Var, arr: Var },
     /// `if (cond) { then } else { els }`.
-    If { cond: Var, then: Vec<Stmt>, els: Vec<Stmt> },
+    If {
+        cond: Var,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+    },
     /// `while (cond) { body }` where `header` recomputes `cond` before each
     /// iteration (and once before the first).
-    While { header: Vec<Stmt>, cond: Var, body: Vec<Stmt> },
+    While {
+        header: Vec<Stmt>,
+        cond: Var,
+        body: Vec<Stmt>,
+    },
     /// `return var` / `return`.
     Return { var: Option<Var> },
     /// `throw` — models raising an exception; the interpreter aborts the
@@ -205,7 +221,10 @@ mod tests {
 
     #[test]
     fn visit_recurses_into_blocks() {
-        let inner = Stmt::Assign { dst: var(0), src: var(1) };
+        let inner = Stmt::Assign {
+            dst: var(0),
+            src: var(1),
+        };
         let stmt = Stmt::If {
             cond: var(2),
             then: vec![inner.clone()],
@@ -223,15 +242,30 @@ mod tests {
 
     #[test]
     fn points_to_relevance() {
-        assert!(Stmt::Assign { dst: var(0), src: var(1) }.is_points_to_relevant());
-        assert!(!Stmt::Bin { dst: var(0), op: BinOp::Add, a: var(1), b: var(2) }
-            .is_points_to_relevant());
-        assert!(!Stmt::Throw { message: "x".into() }.is_points_to_relevant());
+        assert!(Stmt::Assign {
+            dst: var(0),
+            src: var(1)
+        }
+        .is_points_to_relevant());
+        assert!(!Stmt::Bin {
+            dst: var(0),
+            op: BinOp::Add,
+            a: var(1),
+            b: var(2)
+        }
+        .is_points_to_relevant());
+        assert!(!Stmt::Throw {
+            message: "x".into()
+        }
+        .is_points_to_relevant());
     }
 
     #[test]
     fn alloc_site_display() {
-        let site = AllocSite { method: MethodId::from_index(3), index: 7 };
+        let site = AllocSite {
+            method: MethodId::from_index(3),
+            index: 7,
+        };
         assert_eq!(site.to_string(), "o7@m3");
     }
 

@@ -9,7 +9,7 @@ use std::fmt;
 /// the unit-test synthesizer (`atlas-synth`) knows which holes hold reference
 /// values and which hold primitives, and so the interpreter can default
 /// initialize primitives.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum Type {
     /// A reference to an instance of the named class.
     Object(String),
@@ -22,6 +22,7 @@ pub enum Type {
     /// Character (models Java `char`).
     Char,
     /// No value (used as the return type of `void` methods).
+    #[default]
     Void,
 }
 
@@ -71,12 +72,6 @@ impl fmt::Display for Type {
             Type::Char => write!(f, "char"),
             Type::Void => write!(f, "void"),
         }
-    }
-}
-
-impl Default for Type {
-    fn default() -> Self {
-        Type::Void
     }
 }
 

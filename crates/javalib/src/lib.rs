@@ -96,7 +96,10 @@ pub const CLASS_CLUSTERS: &[&[&str]] = &[
 /// Resolves a list of class names to ids, skipping names that do not exist
 /// in the program.
 pub fn class_ids(program: &Program, names: &[&str]) -> Vec<ClassId> {
-    names.iter().filter_map(|n| program.class_named(n)).collect()
+    names
+        .iter()
+        .filter_map(|n| program.class_named(n))
+        .collect()
 }
 
 /// Installs the `Box` class of the paper's running example (Figure 1) into
@@ -152,8 +155,16 @@ mod tests {
         assert_eq!(p.classes().count(), p.library_classes().count());
         // A healthy number of public methods form the interface.
         let iface = library_interface(&p);
-        assert!(iface.num_methods() >= 80, "only {} methods", iface.num_methods());
-        assert!(iface.slots().len() >= 150, "only {} slots", iface.slots().len());
+        assert!(
+            iface.num_methods() >= 80,
+            "only {} methods",
+            iface.num_methods()
+        );
+        assert!(
+            iface.slots().len() >= 150,
+            "only {} slots",
+            iface.slots().len()
+        );
     }
 
     #[test]
@@ -162,11 +173,18 @@ mod tests {
         let gt = ground_truth_specs(&p);
         let hw = handwritten_specs(&p);
         assert!(gt.len() >= 60, "ground truth covers {} methods", gt.len());
-        assert!(hw.len() <= gt.len() / 2, "handwritten should be much smaller");
+        assert!(
+            hw.len() <= gt.len() / 2,
+            "handwritten should be much smaller"
+        );
         // Handwritten specs are a subset of the methods covered by ground
         // truth (they are precise, just incomplete).
         for m in hw.keys() {
-            assert!(gt.contains_key(m), "handwritten spec for uncovered method {}", p.qualified_name(*m));
+            assert!(
+                gt.contains_key(m),
+                "handwritten spec for uncovered method {}",
+                p.qualified_name(*m)
+            );
         }
     }
 

@@ -356,7 +356,11 @@ enum Collected {
 /// Emits the shared body of `keySet` / `values` / `entrySet`: iterate over
 /// every bucket, walk its chain and add the selected component to a fresh
 /// `ArrayList`.
-fn build_collector(m: &mut atlas_ir::builder::MethodBuilder<'_, '_>, map_name: &str, what: Collected) {
+fn build_collector(
+    m: &mut atlas_ir::builder::MethodBuilder<'_, '_>,
+    map_name: &str,
+    what: Collected,
+) {
     let this = m.this();
     let out = m.local("out", Type::class("ArrayList"));
     let table = m.local("table", Type::object_array());

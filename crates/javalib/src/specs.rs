@@ -69,7 +69,13 @@ impl<'p> SpecsBuilder<'p> {
             .method_qualified(qualified)
             .unwrap_or_else(|| panic!("unknown method {qualified}"));
         let next_var = self.program.method(method).num_vars() as u32;
-        FragBuilder { sb: self, method, stmts: Vec::new(), next_var, alloc_counter: 0 }
+        FragBuilder {
+            sb: self,
+            method,
+            stmts: Vec::new(),
+            next_var,
+            alloc_counter: 0,
+        }
     }
 
     /// Finishes and returns the accumulated fragment bodies.
@@ -120,7 +126,10 @@ impl<'a, 'p> FragBuilder<'a, 'p> {
         self.stmts.push(Stmt::New {
             dst,
             class,
-            site: AllocSite { method: self.method, index: 2_000_000 + self.alloc_counter },
+            site: AllocSite {
+                method: self.method,
+                index: 2_000_000 + self.alloc_counter,
+            },
         });
         self.alloc_counter += 1;
         dst
@@ -370,7 +379,12 @@ fn list_ground_truth(sb: &mut SpecsBuilder<'_>) {
         f.store_ghost(this, "Vector::elem", e);
         f.done();
     }
-    for getter in ["Vector.get", "Vector.elementAt", "Vector.firstElement", "Vector.lastElement"] {
+    for getter in [
+        "Vector.get",
+        "Vector.elementAt",
+        "Vector.firstElement",
+        "Vector.lastElement",
+    ] {
         let mut f = sb.frag(getter);
         let this = f.this();
         let t = f.load_ghost(this, "Vector::elem");
@@ -400,7 +414,13 @@ fn list_ground_truth(sb: &mut SpecsBuilder<'_>) {
         f.done();
     }
     // ---- LinkedList --------------------------------------------------------
-    for adder in ["LinkedList.add", "LinkedList.addFirst", "LinkedList.addLast", "LinkedList.offer", "LinkedList.push"] {
+    for adder in [
+        "LinkedList.add",
+        "LinkedList.addFirst",
+        "LinkedList.addLast",
+        "LinkedList.offer",
+        "LinkedList.push",
+    ] {
         let mut f = sb.frag(adder);
         let (this, e) = (f.this(), f.param(0));
         f.store_ghost(this, "LinkedList::elem", e);
@@ -581,7 +601,10 @@ fn map_ground_truth(sb: &mut SpecsBuilder<'_>) {
 }
 
 fn other_ground_truth(sb: &mut SpecsBuilder<'_>) {
-    for (class, ghost) in [("ArrayDeque", "ArrayDeque::elem"), ("PriorityQueue", "PriorityQueue::elem")] {
+    for (class, ghost) in [
+        ("ArrayDeque", "ArrayDeque::elem"),
+        ("PriorityQueue", "PriorityQueue::elem"),
+    ] {
         let adders: &[&str] = if class == "ArrayDeque" {
             &["addLast", "addFirst", "offer", "add"]
         } else {
@@ -699,7 +722,10 @@ fn lang_ground_truth(sb: &mut SpecsBuilder<'_>) {
 }
 
 fn android_ground_truth(sb: &mut SpecsBuilder<'_>) {
-    for source in ["TelephonyManager.getDeviceId", "TelephonyManager.getSubscriberId"] {
+    for source in [
+        "TelephonyManager.getDeviceId",
+        "TelephonyManager.getSubscriberId",
+    ] {
         let mut f = sb.frag(source);
         let out = f.new_obj("String");
         f.ret(out);

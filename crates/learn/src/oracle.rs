@@ -40,6 +40,17 @@ pub struct OracleStats {
     pub positives: usize,
 }
 
+impl OracleStats {
+    /// Folds another counter set into this one.  Counters are plain sums, so
+    /// per-cluster statistics gathered on worker threads merge into the same
+    /// totals a sequential run would have produced, in any order.
+    pub fn merge(&mut self, other: OracleStats) {
+        self.queries += other.queries;
+        self.executions += other.executions;
+        self.positives += other.positives;
+    }
+}
+
 /// The noisy oracle of Section 5.1.
 pub struct Oracle<'p> {
     program: &'p Program,
@@ -53,14 +64,46 @@ pub struct Oracle<'p> {
 impl<'p> Oracle<'p> {
     /// Creates an oracle over the given program (which must contain the
     /// library implementation) and interface.
-    pub fn new(program: &'p Program, interface: &'p LibraryInterface, config: OracleConfig) -> Oracle<'p> {
+    pub fn new(
+        program: &'p Program,
+        interface: &'p LibraryInterface,
+        config: OracleConfig,
+    ) -> Oracle<'p> {
         let planner = InstantiationPlanner::new(program, interface);
-        Oracle { program, interface, planner, config, cache: HashMap::new(), stats: OracleStats::default() }
+        Oracle {
+            program,
+            interface,
+            planner,
+            config,
+            cache: HashMap::new(),
+            stats: OracleStats::default(),
+        }
     }
 
     /// The accumulated statistics.
     pub fn stats(&self) -> OracleStats {
         self.stats
+    }
+
+    /// Consumes the oracle and returns its memo cache, so the answers paid
+    /// for in one pipeline stage can warm-start another oracle over the
+    /// same program.
+    ///
+    /// Not used by the engine's cluster scheduler: sharing caches between
+    /// parallel workers would make `executions` counts depend on scheduling
+    /// order, breaking its thread-count-invariance guarantee.  This is the
+    /// seam for future *sequential* reuse (sharded or resumed runs).
+    pub fn into_cache(self) -> HashMap<Vec<ParamSlot>, bool> {
+        self.cache
+    }
+
+    /// Pre-populates the memo cache with entries from a previous oracle.
+    /// Existing entries win: the oracle is deterministic, so a collision can
+    /// only carry the same value anyway.
+    pub fn absorb_cache(&mut self, cache: HashMap<Vec<ParamSlot>, bool>) {
+        for (word, verdict) in cache {
+            self.cache.entry(word).or_insert(verdict);
+        }
     }
 
     /// The interface the oracle works over.
@@ -112,14 +155,25 @@ impl<'p> Oracle<'p> {
     /// Synthesizes the potential witness for a candidate (without running
     /// it) — useful for inspection and rendering.
     pub fn witness_for(&self, spec: &PathSpec) -> Option<WitnessTest> {
-        synthesize_witness(self.program, self.interface, &self.planner, spec, self.config.strategy).ok()
+        synthesize_witness(
+            self.program,
+            self.interface,
+            &self.planner,
+            spec,
+            self.config.strategy,
+        )
+        .ok()
     }
 
     fn run_witness(&mut self, spec: &PathSpec) -> bool {
         self.stats.executions += 1;
-        let Ok(witness) =
-            synthesize_witness(self.program, self.interface, &self.planner, spec, self.config.strategy)
-        else {
+        let Ok(witness) = synthesize_witness(
+            self.program,
+            self.interface,
+            &self.planner,
+            spec,
+            self.config.strategy,
+        ) else {
             return false;
         };
         let mut interp = Interpreter::with_config(
@@ -213,6 +267,39 @@ mod tests {
         assert!(oracle.witness_for(&spec).is_some());
         assert!(oracle.check(&spec));
         assert!(oracle.interface().num_methods() >= 3);
-        assert!(oracle.planner().cost(p.class_named("Box").unwrap()).is_some());
+        assert!(oracle
+            .planner()
+            .cost(p.class_named("Box").unwrap())
+            .is_some());
+    }
+
+    #[test]
+    fn stats_merge_and_cache_transfer() {
+        let p = box_program();
+        let iface = LibraryInterface::from_program(&p);
+        let set = p.method_qualified("Box.set").unwrap();
+        let get = p.method_qualified("Box.get").unwrap();
+        let word = vec![
+            ParamSlot::param(set, 0),
+            ParamSlot::receiver(set),
+            ParamSlot::receiver(get),
+            ParamSlot::ret(get),
+        ];
+        let mut a = Oracle::new(&p, &iface, OracleConfig::default());
+        assert!(a.check_word(&word));
+        let stats_a = a.stats();
+        // Merging per-worker stats gives the same totals as a sequential run.
+        let mut merged = OracleStats::default();
+        merged.merge(stats_a);
+        merged.merge(stats_a);
+        assert_eq!(merged.queries, 2 * stats_a.queries);
+        assert_eq!(merged.executions, 2 * stats_a.executions);
+        assert_eq!(merged.positives, 2 * stats_a.positives);
+        // A warm-started oracle answers memoized words without executing.
+        let mut b = Oracle::new(&p, &iface, OracleConfig::default());
+        b.absorb_cache(a.into_cache());
+        assert!(b.check_word(&word));
+        assert_eq!(b.stats().executions, 0);
+        assert_eq!(b.stats().queries, 1);
     }
 }

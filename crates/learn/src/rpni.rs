@@ -24,7 +24,10 @@ pub struct RpniConfig {
 
 impl Default for RpniConfig {
     fn default() -> Self {
-        RpniConfig { max_check_len: 8, max_checks_per_merge: 64 }
+        RpniConfig {
+            max_check_len: 8,
+            max_checks_per_merge: 64,
+        }
     }
 }
 
@@ -52,7 +55,11 @@ impl RpniResult {
 }
 
 /// Runs the RPNI-with-oracle algorithm over the positive examples.
-pub fn infer_fsa(positives: &[PathSpec], oracle: &mut Oracle<'_>, config: &RpniConfig) -> RpniResult {
+pub fn infer_fsa(
+    positives: &[PathSpec],
+    oracle: &mut Oracle<'_>,
+    config: &RpniConfig,
+) -> RpniResult {
     let words: Vec<Vec<atlas_ir::ParamSlot>> =
         positives.iter().map(|s| s.symbols().to_vec()).collect();
     let mut fsa = Fsa::prefix_tree(&words);
@@ -77,7 +84,8 @@ pub fn infer_fsa(positives: &[PathSpec], oracle: &mut Oracle<'_>, config: &RpniC
                 continue;
             }
             let candidate = fsa.merge(q, p);
-            let added = candidate.words_added_by(&fsa, config.max_check_len, config.max_checks_per_merge);
+            let added =
+                candidate.words_added_by(&fsa, config.max_check_len, config.max_checks_per_merge);
             let all_pass = added.iter().all(|w| oracle.check_word(w));
             if all_pass {
                 fsa = candidate;
@@ -94,7 +102,13 @@ pub fn infer_fsa(positives: &[PathSpec], oracle: &mut Oracle<'_>, config: &RpniC
     }
 
     let final_states = fsa.num_reachable_states();
-    RpniResult { fsa, initial_states, final_states, merges_accepted, merges_rejected }
+    RpniResult {
+        fsa,
+        initial_states,
+        final_states,
+        merges_accepted,
+        merges_rejected,
+    }
 }
 
 /// Breadth-first parities of the prefix-tree states (index = state id).
@@ -218,7 +232,11 @@ mod tests {
             ParamSlot::ret(get),
         ])
         .unwrap();
-        let result = infer_fsa(&[sbox.clone()], &mut oracle, &RpniConfig::default());
+        let result = infer_fsa(
+            std::slice::from_ref(&sbox),
+            &mut oracle,
+            &RpniConfig::default(),
+        );
         assert!(result.fsa.accepts(sbox.symbols()));
         // The imprecise set→clone spec is not in the learned language.
         let clone = p.method_qualified("Box.clone").unwrap();

@@ -37,7 +37,11 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        SamplerConfig { max_steps: 4, seed: 0x41544c53, learning_rate: 0.5 }
+        SamplerConfig {
+            max_steps: 4,
+            seed: 0x41544c53,
+            learning_rate: 0.5,
+        }
     }
 }
 
@@ -150,7 +154,8 @@ fn sample_one(
     let mut word: Vec<ParamSlot> = Vec::new();
     let max_len = config.max_steps * 2;
     loop {
-        let choices: Vec<Choice> = admissible_choices(&word, all_slots, input_slots, slots_by_method, max_len);
+        let choices: Vec<Choice> =
+            admissible_choices(&word, all_slots, input_slots, slots_by_method, max_len);
         if choices.is_empty() {
             return None;
         }
@@ -183,7 +188,12 @@ fn admissible_choices(
         // excluded (it carries no points-to information).
         let z = word[word.len() - 1];
         if let Some(slots) = slots_by_method.get(&z.method) {
-            out.extend(slots.iter().filter(|&&s| s != z).map(|&s| Choice::Symbol(s)));
+            out.extend(
+                slots
+                    .iter()
+                    .filter(|&&s| s != z)
+                    .map(|&s| Choice::Symbol(s)),
+            );
         }
         return out;
     }
@@ -264,7 +274,11 @@ fn reinforce(
     let outcome = if accepted { 1.0 } else { 0.0 };
     for i in 0..=word.len() {
         let prefix = word[..i.min(word.len())].to_vec();
-        let choice = if i == word.len() { Choice::Stop } else { Choice::Symbol(word[i]) };
+        let choice = if i == word.len() {
+            Choice::Stop
+        } else {
+            Choice::Symbol(word[i])
+        };
         let entry = scores.entry((prefix, choice)).or_insert(0.0);
         *entry = (1.0 - alpha) * *entry + alpha * outcome;
         if i == word.len() {
@@ -315,7 +329,11 @@ mod tests {
         let p = box_program();
         let iface = LibraryInterface::from_program(&p);
         let mut oracle = Oracle::new(&p, &iface, OracleConfig::default());
-        let config = SamplerConfig { max_steps: 2, seed: 7, ..SamplerConfig::default() };
+        let config = SamplerConfig {
+            max_steps: 2,
+            seed: 7,
+            ..SamplerConfig::default()
+        };
         let result =
             sample_positive_examples(&iface, &mut oracle, SamplingStrategy::Random, 400, &config);
         assert_eq!(result.num_samples, 400);
@@ -331,7 +349,10 @@ mod tests {
             ParamSlot::ret(get),
         ];
         assert!(
-            result.positives.iter().any(|s| s.symbols() == sbox.as_slice()),
+            result
+                .positives
+                .iter()
+                .any(|s| s.symbols() == sbox.as_slice()),
             "positives: {:?}",
             result.positives.len()
         );
@@ -342,7 +363,11 @@ mod tests {
     fn mcts_finds_at_least_as_many_positives_as_random() {
         let p = box_program();
         let iface = LibraryInterface::from_program(&p);
-        let config = SamplerConfig { max_steps: 2, seed: 11, ..SamplerConfig::default() };
+        let config = SamplerConfig {
+            max_steps: 2,
+            seed: 11,
+            ..SamplerConfig::default()
+        };
         let mut oracle_r = Oracle::new(&p, &iface, OracleConfig::default());
         let random = sample_positive_examples(
             &iface,
@@ -352,8 +377,13 @@ mod tests {
             &config,
         );
         let mut oracle_m = Oracle::new(&p, &iface, OracleConfig::default());
-        let mcts =
-            sample_positive_examples(&iface, &mut oracle_m, SamplingStrategy::Mcts, 3_000, &config);
+        let mcts = sample_positive_examples(
+            &iface,
+            &mut oracle_m,
+            SamplingStrategy::Mcts,
+            3_000,
+            &config,
+        );
         // MCTS re-samples rewarding prefixes, so over a few thousand draws it
         // hits positives far more often than uniform sampling.
         assert!(
@@ -389,7 +419,11 @@ mod tests {
     fn sampling_is_deterministic_given_a_seed() {
         let p = box_program();
         let iface = LibraryInterface::from_program(&p);
-        let config = SamplerConfig { max_steps: 2, seed: 42, ..SamplerConfig::default() };
+        let config = SamplerConfig {
+            max_steps: 2,
+            seed: 42,
+            ..SamplerConfig::default()
+        };
         let mut o1 = Oracle::new(&p, &iface, OracleConfig::default());
         let r1 = sample_positive_examples(&iface, &mut o1, SamplingStrategy::Random, 200, &config);
         let mut o2 = Oracle::new(&p, &iface, OracleConfig::default());

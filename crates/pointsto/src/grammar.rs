@@ -222,7 +222,16 @@ mod tests {
 
     #[test]
     fn bar_involution() {
-        for t in [Assign, New, Store(3), Load(7), AssignBar, NewBar, StoreBar(1), LoadBar(2)] {
+        for t in [
+            Assign,
+            New,
+            Store(3),
+            Load(7),
+            AssignBar,
+            NewBar,
+            StoreBar(1),
+            LoadBar(2),
+        ] {
             assert_eq!(t.bar().bar(), t);
         }
         assert_eq!(Store(4).bar(), StoreBar(4));

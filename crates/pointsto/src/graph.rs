@@ -82,7 +82,10 @@ impl ExtractionOptions {
     /// Options for analyzing the client together with the real library
     /// implementation.
     pub fn with_implementation() -> Self {
-        ExtractionOptions { include_library_bodies: true, body_overrides: HashMap::new() }
+        ExtractionOptions {
+            include_library_bodies: true,
+            body_overrides: HashMap::new(),
+        }
     }
 
     /// Options for analyzing the client with the library treated as a no-op
@@ -93,7 +96,10 @@ impl ExtractionOptions {
 
     /// Options for analyzing the client with code-fragment specifications.
     pub fn with_specs(body_overrides: HashMap<MethodId, Vec<Stmt>>) -> Self {
-        ExtractionOptions { include_library_bodies: false, body_overrides }
+        ExtractionOptions {
+            include_library_bodies: false,
+            body_overrides,
+        }
     }
 }
 
@@ -123,14 +129,13 @@ impl Graph {
         let elems = program.elems_field().index();
         for method in program.methods() {
             let is_lib = program.class(method.class()).is_library();
-            let body: Option<&[Stmt]> =
-                if let Some(b) = options.body_overrides.get(&method.id()) {
-                    Some(b.as_slice())
-                } else if !is_lib || options.include_library_bodies {
-                    Some(method.body())
-                } else {
-                    None
-                };
+            let body: Option<&[Stmt]> = if let Some(b) = options.body_overrides.get(&method.id()) {
+                Some(b.as_slice())
+            } else if !is_lib || options.include_library_bodies {
+                Some(method.body())
+            } else {
+                None
+            };
             if let Some(body) = body {
                 let mut ctx = ExtractCtx {
                     graph: &mut graph,
@@ -141,6 +146,30 @@ impl Graph {
                 };
                 ctx.block(body);
             }
+        }
+        graph
+    }
+
+    /// Builds a synthetic graph with `num_nodes` variable nodes (ids
+    /// `0..num_nodes`) and `num_objs` abstract objects (ids `0..num_objs`),
+    /// all attributed to a dummy method.  Used by solver equivalence tests
+    /// and benchmarks, which push edges directly onto the public edge
+    /// vectors; such graphs never leave the points-to layer, so the dummy
+    /// method id is never resolved against a program.
+    pub fn synthetic(num_nodes: usize, num_objs: usize) -> Graph {
+        let mut graph = Graph::default();
+        let method = MethodId::from_index(0);
+        for i in 0..num_nodes {
+            graph.node_id(Node::Var(method, Var::from_index(i as u32)), true);
+        }
+        for j in 0..num_objs {
+            graph.obj_id(
+                AllocSite {
+                    method,
+                    index: j as u32,
+                },
+                None,
+            );
         }
         graph
     }
@@ -205,7 +234,10 @@ impl Graph {
 
     /// Total number of edges of all kinds (a size metric used in benches).
     pub fn num_edges(&self) -> usize {
-        self.copy_edges.len() + self.alloc_edges.len() + self.store_edges.len() + self.load_edges.len()
+        self.copy_edges.len()
+            + self.alloc_edges.len()
+            + self.store_edges.len()
+            + self.load_edges.len()
     }
 
     /// A stable, human-readable key for a node (used to compare results
@@ -214,11 +246,15 @@ impl Graph {
         match self.node(id) {
             Node::Var(m, v) => {
                 let method = program.method(m);
-                format!("{}#{}", program.qualified_name(m), method
-                    .vars()
-                    .nth(v.index() as usize)
-                    .map(|(_, d)| d.name.clone())
-                    .unwrap_or_else(|| format!("v{}", v.index())))
+                format!(
+                    "{}#{}",
+                    program.qualified_name(m),
+                    method
+                        .vars()
+                        .nth(v.index() as usize)
+                        .map(|(_, d)| d.name.clone())
+                        .unwrap_or_else(|| format!("v{}", v.index()))
+                )
             }
             Node::Ret(m) => format!("{}#<ret>", program.qualified_name(m)),
         }
@@ -227,7 +263,11 @@ impl Graph {
     /// A stable, human-readable key for an abstract object.
     pub fn obj_key(&self, program: &Program, id: ObjId) -> String {
         let data = self.obj(id);
-        format!("{}@{}", program.qualified_name(data.site.method), data.site.index)
+        format!(
+            "{}@{}",
+            program.qualified_name(data.site.method),
+            data.site.index
+        )
     }
 
     /// Whether an abstract object was allocated in a client method.
@@ -247,7 +287,8 @@ struct ExtractCtx<'a> {
 
 impl<'a> ExtractCtx<'a> {
     fn var(&mut self, v: Var) -> NodeId {
-        self.graph.node_id(Node::Var(self.method, v), self.is_client)
+        self.graph
+            .node_id(Node::Var(self.method, v), self.is_client)
     }
 
     fn block(&mut self, block: &[Stmt]) {
@@ -273,7 +314,11 @@ impl<'a> ExtractCtx<'a> {
                 let d = self.var(*dst);
                 self.graph.alloc_edges.push((o, d));
             }
-            Stmt::Const { dst, site: Some(site), .. } => {
+            Stmt::Const {
+                dst,
+                site: Some(site),
+                ..
+            } => {
                 let class = self.program.class_named("String");
                 let o = self.graph.obj_id(*site, class);
                 let d = self.var(*dst);
@@ -282,31 +327,50 @@ impl<'a> ExtractCtx<'a> {
             Stmt::Store { obj, field, src } => {
                 let s = self.var(*src);
                 let ov = self.var(*obj);
-                self.graph.store_edges.push(StoreEdge { src: s, field: field.index(), objvar: ov });
+                self.graph.store_edges.push(StoreEdge {
+                    src: s,
+                    field: field.index(),
+                    objvar: ov,
+                });
             }
             Stmt::Load { dst, obj, field } => {
                 let ov = self.var(*obj);
                 let d = self.var(*dst);
-                self.graph.load_edges.push(LoadEdge { objvar: ov, field: field.index(), dst: d });
+                self.graph.load_edges.push(LoadEdge {
+                    objvar: ov,
+                    field: field.index(),
+                    dst: d,
+                });
             }
             Stmt::ArrayStore { arr, src, .. } => {
                 let s = self.var(*src);
                 let ov = self.var(*arr);
-                self.graph.store_edges.push(StoreEdge { src: s, field: self.elems, objvar: ov });
+                self.graph.store_edges.push(StoreEdge {
+                    src: s,
+                    field: self.elems,
+                    objvar: ov,
+                });
             }
             Stmt::ArrayLoad { dst, arr, .. } => {
                 let ov = self.var(*arr);
                 let d = self.var(*dst);
-                self.graph.load_edges.push(LoadEdge { objvar: ov, field: self.elems, dst: d });
+                self.graph.load_edges.push(LoadEdge {
+                    objvar: ov,
+                    field: self.elems,
+                    dst: d,
+                });
             }
-            Stmt::Call { dst, method: target, recv, args } => {
+            Stmt::Call {
+                dst,
+                method: target,
+                recv,
+                args,
+            } => {
                 self.call(*dst, *target, *recv, args);
             }
             Stmt::Return { var: Some(v) } => {
                 let s = self.var(*v);
-                let r = self
-                    .graph
-                    .node_id(Node::Ret(self.method), self.is_client);
+                let r = self.graph.node_id(Node::Ret(self.method), self.is_client);
                 self.graph.copy_edges.push((s, r));
             }
             Stmt::If { then, els, .. } => {
@@ -335,7 +399,9 @@ impl<'a> ExtractCtx<'a> {
         // Receiver: recv --Assign--> this_callee
         if let (Some(r), Some(this)) = (recv, callee.this_var()) {
             let s = self.var(r);
-            let d = self.graph.node_id(Node::Var(target, this), callee_is_client);
+            let d = self
+                .graph
+                .node_id(Node::Var(target, this), callee_is_client);
             self.graph.copy_edges.push((s, d));
         }
         // Arguments: arg_i --Assign--> p_i
@@ -455,8 +521,12 @@ pub(crate) mod tests {
         let g = Graph::extract(&p, &ExtractionOptions::with_implementation());
         let test = p.method_qualified("Main.test").unwrap();
         let set = p.method_qualified("Box.set").unwrap();
-        let in_node = g.find_node(Node::Var(test, p.method(test).var_named("in").unwrap())).unwrap();
-        let ob_node = g.find_node(Node::Var(set, p.method(set).param_var(0))).unwrap();
+        let in_node = g
+            .find_node(Node::Var(test, p.method(test).var_named("in").unwrap()))
+            .unwrap();
+        let ob_node = g
+            .find_node(Node::Var(set, p.method(set).param_var(0)))
+            .unwrap();
         assert!(g.is_client_node(in_node));
         assert!(!g.is_client_node(ob_node));
         assert_eq!(g.node_key(&p, in_node), "Main.test#in");
@@ -486,8 +556,14 @@ pub(crate) mod tests {
         overrides.insert(
             get,
             vec![
-                Stmt::Load { dst: Var::from_index(1), obj: Var::from_index(0), field: ghost },
-                Stmt::Return { var: Some(Var::from_index(1)) },
+                Stmt::Load {
+                    dst: Var::from_index(1),
+                    obj: Var::from_index(0),
+                    field: ghost,
+                },
+                Stmt::Return {
+                    var: Some(Var::from_index(1)),
+                },
             ],
         );
         let g = Graph::extract(&p, &ExtractionOptions::with_specs(overrides));

@@ -27,6 +27,6 @@ pub mod graph;
 pub mod result;
 pub mod solver;
 
-pub use graph::{ExtractionOptions, Graph, Node, NodeId, ObjId};
+pub use graph::{ExtractionOptions, Graph, LoadEdge, Node, NodeId, ObjId, StoreEdge};
 pub use result::{PointsToStats, RatioSummary};
-pub use solver::{PointsToResult, Solver};
+pub use solver::{PointsToResult, SolveAlgorithm, Solver};

@@ -44,7 +44,10 @@ impl PointsToStats {
             }
             client_edges.insert(key);
         }
-        PointsToStats { client_edges, client_obj_edges }
+        PointsToStats {
+            client_edges,
+            client_obj_edges,
+        }
     }
 
     /// Total number of client points-to edges.
@@ -64,7 +67,10 @@ impl PointsToStats {
     /// The non-trivial edges whose objects are client allocations — these
     /// are comparable across library variants and are used for false
     /// positive / false negative checks.
-    pub fn nontrivial_client_obj_edges(&self, trivial: &PointsToStats) -> BTreeSet<(String, String)> {
+    pub fn nontrivial_client_obj_edges(
+        &self,
+        trivial: &PointsToStats,
+    ) -> BTreeSet<(String, String)> {
         self.client_obj_edges
             .difference(&trivial.client_obj_edges)
             .cloned()
@@ -94,7 +100,10 @@ impl RatioSummary {
 
     /// Builds a summary directly from counts.
     pub fn from_counts(numerator: usize, denominator: usize) -> RatioSummary {
-        RatioSummary { numerator, denominator }
+        RatioSummary {
+            numerator,
+            denominator,
+        }
     }
 
     /// The ratio value.  If both counts are zero the configurations agree and

@@ -1,7 +1,7 @@
 //! The points-to solver: computes the transitive closure `G~` of the
 //! extracted graph under the grammar `C_pt` (Figure 3).
 //!
-//! The implementation is a standard inclusion-based (Andersen) fixpoint over
+//! The implementation is an inclusion-based (Andersen) analysis over
 //! points-to sets and a field-indexed abstract heap; the `Transfer` and
 //! `Alias` relations of the paper are answered as queries over the final
 //! solution:
@@ -11,117 +11,355 @@
 //! * `Transfer(x, y)`  ⇔  `y` is reachable from `x` in the *flow graph*
 //!   (assign edges plus store/load pairs matched through aliased base
 //!   objects), i.e. anything flowing into `x` also flows into `y`.
+//!
+//! Two fixpoint algorithms are provided:
+//!
+//! * [`SolveAlgorithm::Worklist`] (the default) — difference propagation:
+//!   edges are indexed per node, each node carries a *delta* of objects not
+//!   yet pushed to its successors, and only nodes whose sets actually grew
+//!   are revisited.  Field stores/loads are matched incrementally through a
+//!   per-heap-cell reader registry, so no edge is ever rescanned against an
+//!   unchanged set.
+//! * [`SolveAlgorithm::NaiveReference`] — the original rescan-every-edge
+//!   fixpoint, retained as an executable specification: the equivalence
+//!   tests assert both algorithms compute identical closures.
 
 use crate::graph::{Graph, Node, NodeId, ObjId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
+/// Which fixpoint algorithm [`Solver::solve`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveAlgorithm {
+    /// Difference-propagation worklist (node-indexed adjacency, delta sets).
+    #[default]
+    Worklist,
+    /// The naive rescan-all-edges fixpoint, kept as the executable reference
+    /// the worklist solver is validated against.
+    NaiveReference,
+}
+
 /// The points-to solver.  Stateless; see [`Solver::solve`].
 #[derive(Debug, Clone, Copy, Default)]
-pub struct Solver;
+pub struct Solver {
+    algorithm: SolveAlgorithm,
+}
 
 impl Solver {
-    /// Creates a solver.
+    /// Creates a solver running the default (worklist) algorithm.
     pub fn new() -> Solver {
-        Solver
+        Solver::default()
+    }
+
+    /// Creates a solver running the naive reference algorithm.
+    pub fn naive_reference() -> Solver {
+        Solver {
+            algorithm: SolveAlgorithm::NaiveReference,
+        }
+    }
+
+    /// Creates a solver running the given algorithm.
+    pub fn with_algorithm(algorithm: SolveAlgorithm) -> Solver {
+        Solver { algorithm }
+    }
+
+    /// The algorithm this solver runs.
+    pub fn algorithm(&self) -> SolveAlgorithm {
+        self.algorithm
     }
 
     /// Computes the closure of `graph`.
     pub fn solve(&self, graph: &Graph) -> PointsToResult {
-        let n = graph.num_nodes();
-        let mut pts: Vec<BTreeSet<ObjId>> = vec![BTreeSet::new(); n];
-        let mut heap: BTreeMap<(ObjId, u32), BTreeSet<ObjId>> = BTreeMap::new();
+        match self.algorithm {
+            SolveAlgorithm::Worklist => solve_worklist(graph),
+            SolveAlgorithm::NaiveReference => solve_naive(graph),
+        }
+    }
+}
 
-        // Seed with allocation edges.
-        for &(o, v) in &graph.alloc_edges {
-            pts[v.0 as usize].insert(o);
+/// Difference-propagation state shared by the worklist solver's rules.
+struct WorklistState {
+    /// Confirmed points-to sets.
+    pts: Vec<BTreeSet<ObjId>>,
+    /// Objects added to `pts` but not yet pushed along outgoing edges.
+    delta: Vec<BTreeSet<ObjId>>,
+    queued: Vec<bool>,
+    worklist: VecDeque<NodeId>,
+    heap: BTreeMap<(ObjId, u32), BTreeSet<ObjId>>,
+    /// Load destinations registered per heap cell: when the cell grows, the
+    /// growth is pushed to exactly these nodes instead of rescanning loads.
+    cell_readers: HashMap<(ObjId, u32), Vec<NodeId>>,
+}
+
+impl WorklistState {
+    fn enqueue(&mut self, v: NodeId) {
+        if !self.queued[v.0 as usize] {
+            self.queued[v.0 as usize] = true;
+            self.worklist.push_back(v);
+        }
+    }
+
+    /// Adds `objs` to `pts(w)`; newly added objects enter `delta(w)` and
+    /// requeue `w`.
+    fn add_objs(&mut self, w: NodeId, objs: &BTreeSet<ObjId>) {
+        let wi = w.0 as usize;
+        let mut grew = false;
+        for &o in objs {
+            if self.pts[wi].insert(o) {
+                self.delta[wi].insert(o);
+                grew = true;
+            }
+        }
+        if grew {
+            self.enqueue(w);
+        }
+    }
+
+    /// Adds `objs` to the heap cell; the growth is pushed to every reader
+    /// already registered on the cell.
+    fn add_to_cell(&mut self, cell: (ObjId, u32), objs: &BTreeSet<ObjId>) {
+        let slot = self.heap.entry(cell).or_default();
+        let new: BTreeSet<ObjId> = objs.difference(slot).copied().collect();
+        if new.is_empty() {
+            return;
+        }
+        slot.extend(new.iter().copied());
+        if let Some(readers) = self.cell_readers.get(&cell) {
+            for dst in readers.clone() {
+                self.add_objs(dst, &new);
+            }
+        }
+    }
+}
+
+fn solve_worklist(graph: &Graph) -> PointsToResult {
+    let n = graph.num_nodes();
+
+    // Node-indexed adjacency, deduplicated so a duplicated edge in the input
+    // never doubles the propagation work.
+    let mut copy_succ: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for &(src, dst) in &graph.copy_edges {
+        if src != dst {
+            copy_succ[src.0 as usize].push(dst);
+        }
+    }
+    // objvar -> (field, src): stores writing through the node.
+    let mut stores_at: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); n];
+    // src -> (field, objvar): stores reading the node's value.
+    let mut stores_from: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); n];
+    for store in &graph.store_edges {
+        stores_at[store.objvar.0 as usize].push((store.field, store.src));
+        stores_from[store.src.0 as usize].push((store.field, store.objvar));
+    }
+    // objvar -> (field, dst): loads reading through the node.
+    let mut loads_at: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); n];
+    for load in &graph.load_edges {
+        loads_at[load.objvar.0 as usize].push((load.field, load.dst));
+    }
+    for adj in copy_succ.iter_mut() {
+        adj.sort_unstable();
+        adj.dedup();
+    }
+    for adj in stores_at
+        .iter_mut()
+        .chain(stores_from.iter_mut())
+        .chain(loads_at.iter_mut())
+    {
+        adj.sort_unstable();
+        adj.dedup();
+    }
+
+    let mut state = WorklistState {
+        pts: vec![BTreeSet::new(); n],
+        delta: vec![BTreeSet::new(); n],
+        queued: vec![false; n],
+        worklist: VecDeque::new(),
+        heap: BTreeMap::new(),
+        cell_readers: HashMap::new(),
+    };
+
+    // Seed with allocation edges.
+    for &(o, v) in &graph.alloc_edges {
+        let vi = v.0 as usize;
+        if state.pts[vi].insert(o) {
+            state.delta[vi].insert(o);
+            state.enqueue(v);
+        }
+    }
+
+    let mut iterations = 0usize;
+    while let Some(v) = state.worklist.pop_front() {
+        let vi = v.0 as usize;
+        state.queued[vi] = false;
+        let d = std::mem::take(&mut state.delta[vi]);
+        if d.is_empty() {
+            continue;
+        }
+        iterations += 1;
+
+        // Assign edges: push the delta to every copy successor.
+        for &w in &copy_succ[vi] {
+            state.add_objs(w, &d);
         }
 
-        // Naive iteration to a fixpoint.  The graphs in this reproduction are
-        // small (thousands of constraints), so simplicity wins over the
-        // difference-propagation worklist.
-        let mut iterations = 0usize;
-        loop {
-            iterations += 1;
-            let mut changed = false;
+        // `v` is the value operand of a store: the new values reach every
+        // heap cell the store already writes (bases discovered later are
+        // handled by the objvar rule below).
+        for &(field, objvar) in &stores_from[vi] {
+            let bases: Vec<ObjId> = state.pts[objvar.0 as usize].iter().copied().collect();
+            for base in bases {
+                state.add_to_cell((base, field), &d);
+            }
+        }
 
-            for &(src, dst) in &graph.copy_edges {
-                if src == dst {
-                    continue;
+        // `v` is the base of a store: each newly discovered base object
+        // receives the store's current value set.
+        for &(field, src) in &stores_at[vi] {
+            let vals = state.pts[src.0 as usize].clone();
+            if vals.is_empty() {
+                // Still nothing to write; the src rule above fires once the
+                // value set becomes non-empty.
+                continue;
+            }
+            for &base in &d {
+                state.add_to_cell((base, field), &vals);
+            }
+        }
+
+        // `v` is the base of a load: register the destination as a reader of
+        // each newly discovered cell and pull the cell's current contents.
+        for &(field, dst) in &loads_at[vi] {
+            for &base in &d {
+                let cell = (base, field);
+                let readers = state.cell_readers.entry(cell).or_default();
+                if !readers.contains(&dst) {
+                    readers.push(dst);
                 }
-                let add: Vec<ObjId> = pts[src.0 as usize]
-                    .difference(&pts[dst.0 as usize])
-                    .copied()
-                    .collect();
-                if !add.is_empty() {
-                    pts[dst.0 as usize].extend(add);
+                if let Some(contents) = state.heap.get(&cell) {
+                    let contents = contents.clone();
+                    state.add_objs(dst, &contents);
+                }
+            }
+        }
+    }
+
+    let flow_succ = derive_flow_succ(graph, &state.pts);
+    PointsToResult {
+        pts: state.pts,
+        heap: state.heap,
+        flow_succ,
+        iterations,
+    }
+}
+
+/// The original naive fixpoint: rescans every edge each round until nothing
+/// changes.  Quadratic in the worst case, but trivially correct — kept as
+/// the reference the worklist algorithm is checked against.
+fn solve_naive(graph: &Graph) -> PointsToResult {
+    let n = graph.num_nodes();
+    let mut pts: Vec<BTreeSet<ObjId>> = vec![BTreeSet::new(); n];
+    let mut heap: BTreeMap<(ObjId, u32), BTreeSet<ObjId>> = BTreeMap::new();
+
+    // Seed with allocation edges.
+    for &(o, v) in &graph.alloc_edges {
+        pts[v.0 as usize].insert(o);
+    }
+
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+
+        for &(src, dst) in &graph.copy_edges {
+            if src == dst {
+                continue;
+            }
+            let add: Vec<ObjId> = pts[src.0 as usize]
+                .difference(&pts[dst.0 as usize])
+                .copied()
+                .collect();
+            if !add.is_empty() {
+                pts[dst.0 as usize].extend(add);
+                changed = true;
+            }
+        }
+
+        for store in &graph.store_edges {
+            if pts[store.src.0 as usize].is_empty() {
+                continue;
+            }
+            let bases: Vec<ObjId> = pts[store.objvar.0 as usize].iter().copied().collect();
+            for base in bases {
+                let cell = heap.entry((base, store.field)).or_default();
+                let before = cell.len();
+                cell.extend(pts[store.src.0 as usize].iter().copied());
+                if cell.len() != before {
                     changed = true;
                 }
             }
+        }
 
-            for store in &graph.store_edges {
-                if pts[store.src.0 as usize].is_empty() {
-                    continue;
-                }
-                let bases: Vec<ObjId> = pts[store.objvar.0 as usize].iter().copied().collect();
-                for base in bases {
-                    let cell = heap.entry((base, store.field)).or_default();
-                    let before = cell.len();
-                    cell.extend(pts[store.src.0 as usize].iter().copied());
-                    if cell.len() != before {
+        for load in &graph.load_edges {
+            let bases: Vec<ObjId> = pts[load.objvar.0 as usize].iter().copied().collect();
+            for base in bases {
+                if let Some(cell) = heap.get(&(base, load.field)) {
+                    let add: Vec<ObjId> = cell
+                        .difference(&pts[load.dst.0 as usize])
+                        .copied()
+                        .collect();
+                    if !add.is_empty() {
+                        pts[load.dst.0 as usize].extend(add);
                         changed = true;
                     }
                 }
             }
-
-            for load in &graph.load_edges {
-                let bases: Vec<ObjId> = pts[load.objvar.0 as usize].iter().copied().collect();
-                for base in bases {
-                    if let Some(cell) = heap.get(&(base, load.field)) {
-                        let add: Vec<ObjId> = cell
-                            .difference(&pts[load.dst.0 as usize])
-                            .copied()
-                            .collect();
-                        if !add.is_empty() {
-                            pts[load.dst.0 as usize].extend(add);
-                            changed = true;
-                        }
-                    }
-                }
-            }
-
-            if !changed {
-                break;
-            }
         }
 
-        // Derive the flow graph used for Transfer queries.
-        let mut flow_succ: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); n];
-        for &(src, dst) in &graph.copy_edges {
-            if src != dst {
-                flow_succ[src.0 as usize].insert(dst);
-            }
+        if !changed {
+            break;
         }
-        // Store/load pairs matched through a common base object and field.
-        let mut writers: HashMap<(ObjId, u32), Vec<NodeId>> = HashMap::new();
-        for store in &graph.store_edges {
-            for &base in &pts[store.objvar.0 as usize] {
-                writers.entry((base, store.field)).or_default().push(store.src);
-            }
-        }
-        for load in &graph.load_edges {
-            for &base in &pts[load.objvar.0 as usize] {
-                if let Some(srcs) = writers.get(&(base, load.field)) {
-                    for &src in srcs {
-                        if src != load.dst {
-                            flow_succ[src.0 as usize].insert(load.dst);
-                        }
-                    }
-                }
-            }
-        }
-
-        PointsToResult { pts, heap, flow_succ, iterations }
     }
+
+    let flow_succ = derive_flow_succ(graph, &pts);
+    PointsToResult {
+        pts,
+        heap,
+        flow_succ,
+        iterations,
+    }
+}
+
+/// Derives the flow graph used for `Transfer` queries from the final
+/// points-to solution: assign edges plus store/load pairs matched through a
+/// common base object and field.
+fn derive_flow_succ(graph: &Graph, pts: &[BTreeSet<ObjId>]) -> Vec<BTreeSet<NodeId>> {
+    let n = graph.num_nodes();
+    let mut flow_succ: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); n];
+    for &(src, dst) in &graph.copy_edges {
+        if src != dst {
+            flow_succ[src.0 as usize].insert(dst);
+        }
+    }
+    let mut writers: HashMap<(ObjId, u32), Vec<NodeId>> = HashMap::new();
+    for store in &graph.store_edges {
+        for &base in &pts[store.objvar.0 as usize] {
+            writers
+                .entry((base, store.field))
+                .or_default()
+                .push(store.src);
+        }
+    }
+    for load in &graph.load_edges {
+        for &base in &pts[load.objvar.0 as usize] {
+            if let Some(srcs) = writers.get(&(base, load.field)) {
+                for &src in srcs {
+                    if src != load.dst {
+                        flow_succ[src.0 as usize].insert(load.dst);
+                    }
+                }
+            }
+        }
+    }
+    flow_succ
 }
 
 /// The result of the points-to analysis: the computed closure `G~`.
@@ -132,6 +370,17 @@ pub struct PointsToResult {
     flow_succ: Vec<BTreeSet<NodeId>>,
     iterations: usize,
 }
+
+/// Two results are equal when they encode the same closure — points-to sets,
+/// abstract heap, and flow graph.  The `iterations` diagnostic is excluded:
+/// different algorithms reach the same fixpoint in different step counts.
+impl PartialEq for PointsToResult {
+    fn eq(&self, other: &PointsToResult) -> bool {
+        self.pts == other.pts && self.heap == other.heap && self.flow_succ == other.flow_succ
+    }
+}
+
+impl Eq for PointsToResult {}
 
 impl PointsToResult {
     /// The points-to set of a node (`FlowsTo` edges into the node).
@@ -207,7 +456,9 @@ impl PointsToResult {
         seen
     }
 
-    /// Number of fixpoint iterations the solver took (a diagnostics metric).
+    /// Number of fixpoint steps the solver took (a diagnostics metric: full
+    /// rounds for the naive algorithm, productive node visits for the
+    /// worklist).
     pub fn iterations(&self) -> usize {
         self.iterations
     }
@@ -230,7 +481,7 @@ impl PointsToResult {
 mod tests {
     use super::*;
     use crate::graph::tests::box_program;
-    use crate::graph::{ExtractionOptions, Node};
+    use crate::graph::{ExtractionOptions, LoadEdge, Node, StoreEdge};
     use atlas_ir::Var;
 
     #[test]
@@ -240,9 +491,15 @@ mod tests {
         let r = Solver::new().solve(&g);
         let test = p.method_qualified("Main.test").unwrap();
         let tm = p.method(test);
-        let in_node = g.find_node(Node::Var(test, tm.var_named("in").unwrap())).unwrap();
-        let out_node = g.find_node(Node::Var(test, tm.var_named("out").unwrap())).unwrap();
-        let box_node = g.find_node(Node::Var(test, tm.var_named("box").unwrap())).unwrap();
+        let in_node = g
+            .find_node(Node::Var(test, tm.var_named("in").unwrap()))
+            .unwrap();
+        let out_node = g
+            .find_node(Node::Var(test, tm.var_named("out").unwrap()))
+            .unwrap();
+        let box_node = g
+            .find_node(Node::Var(test, tm.var_named("box").unwrap()))
+            .unwrap();
         // `out` sees o_in through the heap: in is stored into box.f by set,
         // loaded by get.
         assert!(r.alias(in_node, out_node), "in and out must alias");
@@ -250,7 +507,9 @@ mod tests {
         // Transfer: the parameter of set transfers to the return of get.
         let set = p.method_qualified("Box.set").unwrap();
         let get = p.method_qualified("Box.get").unwrap();
-        let ob = g.find_node(Node::Var(set, p.method(set).param_var(0))).unwrap();
+        let ob = g
+            .find_node(Node::Var(set, p.method(set).param_var(0)))
+            .unwrap();
         let rget = g.find_node(Node::Ret(get)).unwrap();
         assert!(r.transfer(ob, rget));
         assert!(!r.transfer(rget, ob));
@@ -266,9 +525,16 @@ mod tests {
         let r = Solver::new().solve(&g);
         let test = p.method_qualified("Main.test").unwrap();
         let tm = p.method(test);
-        let in_node = g.find_node(Node::Var(test, tm.var_named("in").unwrap())).unwrap();
-        let out_node = g.find_node(Node::Var(test, tm.var_named("out").unwrap())).unwrap();
-        assert!(!r.alias(in_node, out_node), "without library bodies, no flow");
+        let in_node = g
+            .find_node(Node::Var(test, tm.var_named("in").unwrap()))
+            .unwrap();
+        let out_node = g
+            .find_node(Node::Var(test, tm.var_named("out").unwrap()))
+            .unwrap();
+        assert!(
+            !r.alias(in_node, out_node),
+            "without library bodies, no flow"
+        );
         // `out` points to nothing.
         assert!(r.points_to(out_node).is_empty());
     }
@@ -333,8 +599,12 @@ mod tests {
         let r = Solver::new().solve(&g);
         let test = p.method_qualified("Main.test").unwrap();
         let tm = p.method(test);
-        let in_node = g.find_node(Node::Var(test, tm.var_named("in").unwrap())).unwrap();
-        let out_node = g.find_node(Node::Var(test, tm.var_named("out").unwrap())).unwrap();
+        let in_node = g
+            .find_node(Node::Var(test, tm.var_named("in").unwrap()))
+            .unwrap();
+        let out_node = g
+            .find_node(Node::Var(test, tm.var_named("out").unwrap()))
+            .unwrap();
         assert!(r.alias(in_node, out_node));
         // transfer_image of `in` contains `out`.
         assert!(r.transfer_image(in_node).contains(&out_node));
@@ -361,5 +631,127 @@ mod tests {
         // clone body was never analyzed, so its local var node is absent.
         let missing = Node::Var(clone, Var::from_index(5));
         assert!(r.points_to_node(&g, missing).is_empty());
+    }
+
+    #[test]
+    fn worklist_matches_naive_on_extracted_graphs() {
+        let p = box_program();
+        for options in [
+            ExtractionOptions::with_implementation(),
+            ExtractionOptions::empty_specs(),
+        ] {
+            let g = Graph::extract(&p, &options);
+            let worklist = Solver::new().solve(&g);
+            let naive = Solver::naive_reference().solve(&g);
+            assert_eq!(worklist, naive);
+        }
+    }
+
+    /// A tiny deterministic LCG, enough to drive randomized graphs without
+    /// a dev-dependency.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self, bound: usize) -> usize {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((self.0 >> 33) % bound as u64) as usize
+        }
+    }
+
+    /// Builds a pseudo-random synthetic constraint graph.
+    fn random_graph(seed: u64, nodes: usize, objs: usize, edges: usize, fields: u32) -> Graph {
+        let mut g = Graph::synthetic(nodes, objs);
+        let mut rng = Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        for _ in 0..objs.max(1) {
+            g.alloc_edges
+                .push((ObjId(rng.next(objs) as u32), NodeId(rng.next(nodes) as u32)));
+        }
+        for _ in 0..edges {
+            match rng.next(4) {
+                0 => {
+                    let (s, d) = (
+                        NodeId(rng.next(nodes) as u32),
+                        NodeId(rng.next(nodes) as u32),
+                    );
+                    g.copy_edges.push((s, d));
+                }
+                1 => g
+                    .alloc_edges
+                    .push((ObjId(rng.next(objs) as u32), NodeId(rng.next(nodes) as u32))),
+                2 => g.store_edges.push(StoreEdge {
+                    src: NodeId(rng.next(nodes) as u32),
+                    field: rng.next(fields as usize) as u32,
+                    objvar: NodeId(rng.next(nodes) as u32),
+                }),
+                _ => g.load_edges.push(LoadEdge {
+                    objvar: NodeId(rng.next(nodes) as u32),
+                    field: rng.next(fields as usize) as u32,
+                    dst: NodeId(rng.next(nodes) as u32),
+                }),
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn worklist_matches_naive_on_randomized_graphs() {
+        for seed in 0..60 {
+            let g = random_graph(seed, 24, 8, 80, 3);
+            let worklist = Solver::new().solve(&g);
+            let naive = Solver::naive_reference().solve(&g);
+            assert_eq!(worklist, naive, "closure mismatch at seed {seed}");
+            assert_eq!(
+                worklist.num_points_to_edges(),
+                naive.num_points_to_edges(),
+                "edge count mismatch at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_loops_and_duplicate_edges_are_harmless() {
+        let mut g = Graph::synthetic(3, 2);
+        g.alloc_edges.push((ObjId(0), NodeId(0)));
+        g.alloc_edges.push((ObjId(0), NodeId(0)));
+        g.copy_edges.push((NodeId(0), NodeId(0)));
+        g.copy_edges.push((NodeId(0), NodeId(1)));
+        g.copy_edges.push((NodeId(0), NodeId(1)));
+        g.store_edges.push(StoreEdge {
+            src: NodeId(1),
+            field: 0,
+            objvar: NodeId(1),
+        });
+        g.store_edges.push(StoreEdge {
+            src: NodeId(1),
+            field: 0,
+            objvar: NodeId(1),
+        });
+        g.load_edges.push(LoadEdge {
+            objvar: NodeId(1),
+            field: 0,
+            dst: NodeId(2),
+        });
+        let worklist = Solver::new().solve(&g);
+        let naive = Solver::naive_reference().solve(&g);
+        assert_eq!(worklist, naive);
+        // o0 flows 0 -> 1, is stored into o0.f0 through node 1 (which holds
+        // o0 itself), and is loaded back out into node 2.
+        assert!(worklist.points_to(NodeId(2)).contains(&ObjId(0)));
+    }
+
+    #[test]
+    fn algorithm_selection_is_visible() {
+        assert_eq!(Solver::new().algorithm(), SolveAlgorithm::Worklist);
+        assert_eq!(
+            Solver::naive_reference().algorithm(),
+            SolveAlgorithm::NaiveReference
+        );
+        assert_eq!(
+            Solver::with_algorithm(SolveAlgorithm::Worklist).algorithm(),
+            SolveAlgorithm::Worklist
+        );
     }
 }

@@ -54,8 +54,8 @@ impl CodeFragments {
         let ghost_base = program.num_fields() as u32;
         let parity = state_parity(fsa);
         // Collect method-occurrence transition pairs p --z--> q --w--> r.
-        let mut pairs_by_method: BTreeMap<MethodId, Vec<(StateId, ParamSlot, StateId, ParamSlot, StateId)>> =
-            BTreeMap::new();
+        type OccurrencePair = (StateId, ParamSlot, StateId, ParamSlot, StateId);
+        let mut pairs_by_method: BTreeMap<MethodId, Vec<OccurrencePair>> = BTreeMap::new();
         for (p, z, q) in fsa.transitions() {
             // Only pairs whose first transition starts at an even-parity
             // state are method occurrences (z is an entry symbol).
@@ -118,7 +118,10 @@ impl CodeFragments {
     /// method are concatenated.
     pub fn merge(&mut self, other: &CodeFragments) {
         for (&m, body) in &other.bodies {
-            self.bodies.entry(m).or_default().extend(body.iter().cloned());
+            self.bodies
+                .entry(m)
+                .or_default()
+                .extend(body.iter().cloned());
         }
     }
 
@@ -207,7 +210,10 @@ fn build_fragment(
         stmts.push(Stmt::New {
             dst: v,
             class: method.class(),
-            site: AllocSite { method: method_id, index: GHOST_ALLOC_BASE + alloc_counter },
+            site: AllocSite {
+                method: method_id,
+                index: GHOST_ALLOC_BASE + alloc_counter,
+            },
         });
         alloc_counter += 1;
         Some(v)
@@ -240,12 +246,18 @@ fn build_fragment(
                 },
             };
             let t = fresh(&mut next_var);
-            stmts.push(Stmt::Load { dst: t, obj: carrier, field: ghost(p) });
+            stmts.push(Stmt::Load {
+                dst: t,
+                obj: carrier,
+                field: ghost(p),
+            });
             t
         };
         // Exit.
         if fsa.is_accepting(r) && w.kind == SlotKind::Return {
-            stmts.push(Stmt::Return { var: Some(entry_obj) });
+            stmts.push(Stmt::Return {
+                var: Some(entry_obj),
+            });
         }
         if !fsa.transitions_from(r).is_empty() || !fsa.is_accepting(r) {
             let carrier = match slot_var(program, method_id, w) {
@@ -255,7 +267,11 @@ fn build_fragment(
                     None => continue,
                 },
             };
-            stmts.push(Stmt::Store { obj: carrier, field: ghost(r), src: entry_obj });
+            stmts.push(Stmt::Store {
+                obj: carrier,
+                field: ghost(r),
+                src: entry_obj,
+            });
         }
     }
     if let Some(rc) = ret_carrier {
@@ -282,13 +298,27 @@ fn render_stmt(program: &Program, method: MethodId, stmt: &Stmt) -> String {
     };
     match stmt {
         Stmt::New { dst, class, .. } => {
-            format!("{} = new {}();", var_name(*dst), program.class(*class).name())
+            format!(
+                "{} = new {}();",
+                var_name(*dst),
+                program.class(*class).name()
+            )
         }
         Stmt::Load { dst, obj, field } => {
-            format!("{} = {}.{};", var_name(*dst), var_name(*obj), field_name(*field))
+            format!(
+                "{} = {}.{};",
+                var_name(*dst),
+                var_name(*obj),
+                field_name(*field)
+            )
         }
         Stmt::Store { obj, field, src } => {
-            format!("{}.{} = {};", var_name(*obj), field_name(*field), var_name(*src))
+            format!(
+                "{}.{} = {};",
+                var_name(*obj),
+                field_name(*field),
+                var_name(*src)
+            )
         }
         Stmt::Assign { dst, src } => format!("{} = {};", var_name(*dst), var_name(*src)),
         Stmt::Return { var: Some(v) } => format!("return {};", var_name(*v)),

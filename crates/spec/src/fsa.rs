@@ -26,7 +26,11 @@ pub struct Fsa {
 impl Fsa {
     /// The automaton accepting the empty language.
     pub fn empty() -> Fsa {
-        Fsa { transitions: vec![BTreeMap::new()], init: StateId(0), accepting: BTreeSet::new() }
+        Fsa {
+            transitions: vec![BTreeMap::new()],
+            init: StateId(0),
+            accepting: BTreeSet::new(),
+        }
     }
 
     /// Builds the prefix-tree acceptor of the given words: the automaton
@@ -61,7 +65,10 @@ impl Fsa {
 
     /// Adds a transition `from --sym--> to`.
     pub fn add_transition(&mut self, from: StateId, sym: ParamSlot, to: StateId) {
-        self.transitions[from.0 as usize].entry(sym).or_default().insert(to);
+        self.transitions[from.0 as usize]
+            .entry(sym)
+            .or_default()
+            .insert(to);
     }
 
     /// Marks a state as accepting.
@@ -132,12 +139,18 @@ impl Fsa {
 
     /// Number of transitions.
     pub fn num_transitions(&self) -> usize {
-        self.transitions.iter().map(|m| m.values().map(|s| s.len()).sum::<usize>()).sum()
+        self.transitions
+            .iter()
+            .map(|m| m.values().map(|s| s.len()).sum::<usize>())
+            .sum()
     }
 
     /// The successor states of `state` on `sym`.
     pub fn successors(&self, state: StateId, sym: ParamSlot) -> BTreeSet<StateId> {
-        self.transitions[state.0 as usize].get(&sym).cloned().unwrap_or_default()
+        self.transitions[state.0 as usize]
+            .get(&sym)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Outgoing transitions of a state.
@@ -191,7 +204,10 @@ impl Fsa {
         for (sym, targets) in q_out {
             for to in targets {
                 let to = if to == q { p } else { to };
-                out.transitions[p.0 as usize].entry(sym).or_default().insert(to);
+                out.transitions[p.0 as usize]
+                    .entry(sym)
+                    .or_default()
+                    .insert(to);
             }
         }
         // Incoming transitions into q are redirected to p.
@@ -273,7 +289,10 @@ impl Fsa {
 
     /// The set of methods that appear in any transition symbol.
     pub fn mentioned_methods(&self) -> BTreeSet<atlas_ir::MethodId> {
-        self.transitions().into_iter().map(|(_, sym, _)| sym.method).collect()
+        self.transitions()
+            .into_iter()
+            .map(|(_, sym, _)| sym.method)
+            .collect()
     }
 }
 
@@ -333,7 +352,7 @@ mod tests {
         // example; merging the post-clone state with the post-set state
         // yields the starred language.
         let word = clone_chain_word(1);
-        let fsa = Fsa::prefix_tree(&[word.clone()]);
+        let fsa = Fsa::prefix_tree(std::slice::from_ref(&word));
         // States along the chain: 0 -ob-> 1 -this_set-> 2 -this_clone-> 3
         // -r_clone-> 4 -this_get-> 5 -r_get-> 6.
         let merged = fsa.merge(StateId(4), StateId(2));
@@ -346,7 +365,7 @@ mod tests {
         // words_added_by reports the newly accepted members (bounded).
         let added = merged.words_added_by(&fsa, 8, 50);
         assert!(added.contains(&clone_chain_word(0)));
-        assert!(added.contains(&clone_chain_word(2)[..8].to_vec()) || added.len() >= 1);
+        assert!(added.contains(&clone_chain_word(2)[..8].to_vec()) || !added.is_empty());
         // Reachable states shrink after the merge.
         assert!(merged.num_reachable_states() < fsa.num_reachable_states());
     }
@@ -395,7 +414,7 @@ mod tests {
         // word a b where both symbols go through distinct states; merging the
         // middle state into init must rewrite q→q self-edges correctly.
         let w = vec![slot(0, 1), slot(0, 2)];
-        let fsa = Fsa::prefix_tree(&[w.clone()]);
+        let fsa = Fsa::prefix_tree(std::slice::from_ref(&w));
         let merged = fsa.merge(StateId(1), StateId(2));
         // Language must still contain something reachable; no panic and the
         // accepting state is preserved.

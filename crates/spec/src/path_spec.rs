@@ -59,13 +59,19 @@ impl fmt::Display for PathSpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PathSpecError::BadLength(n) => {
-                write!(f, "path specification must have positive even length, got {n}")
+                write!(
+                    f,
+                    "path specification must have positive even length, got {n}"
+                )
             }
             PathSpecError::MixedMethods { position } => {
                 write!(f, "symbols at step {position} belong to different methods")
             }
             PathSpecError::ConsecutiveReturns { position } => {
-                write!(f, "exit symbol {position} and the following entry symbol are both returns")
+                write!(
+                    f,
+                    "exit symbol {position} and the following entry symbol are both returns"
+                )
             }
             PathSpecError::LastNotReturn => write!(f, "the final symbol must be a return value"),
         }
@@ -93,7 +99,7 @@ impl PathSpec {
 
     /// Checks whether a symbol sequence forms a valid path specification.
     pub fn check(symbols: &[ParamSlot]) -> Result<(), PathSpecError> {
-        if symbols.is_empty() || symbols.len() % 2 != 0 {
+        if symbols.is_empty() || !symbols.len().is_multiple_of(2) {
             return Err(PathSpecError::BadLength(symbols.len()));
         }
         for (i, pair) in symbols.chunks(2).enumerate() {

@@ -38,20 +38,18 @@ impl InstantiationPlanner {
                     let mut feasible = true;
                     for i in 0..m.num_params() {
                         let ty = &m.var_data(m.param_var(i)).ty;
-                        match ty {
-                            Type::Object(name) => {
-                                let pc = program.class_named(name);
-                                match pc.and_then(|c| cost.get(&c)) {
-                                    Some(&c) => total = total.saturating_add(c),
-                                    None => {
-                                        feasible = false;
-                                        break;
-                                    }
+                        // Primitive and array parameters are free (filled
+                        // with defaults / null); only object parameters must
+                        // themselves be constructible.
+                        if let Type::Object(name) = ty {
+                            let pc = program.class_named(name);
+                            match pc.and_then(|c| cost.get(&c)) {
+                                Some(&c) => total = total.saturating_add(c),
+                                None => {
+                                    feasible = false;
+                                    break;
                                 }
                             }
-                            // Primitive and array parameters are free (filled
-                            // with defaults / null).
-                            _ => {}
                         }
                     }
                     if !feasible {
@@ -137,7 +135,12 @@ impl InstantiationPlanner {
             };
             args.push(arg);
         }
-        ops.push(TestOp::Call { dst: None, method: ctor, recv: Some(dst), args });
+        ops.push(TestOp::Call {
+            dst: None,
+            method: ctor,
+            recv: Some(dst),
+            args,
+        });
         Some(dst)
     }
 }
@@ -210,7 +213,9 @@ mod tests {
         let wrapper = p.class_named("Wrapper").unwrap();
         let mut next = 0;
         let mut ops = Vec::new();
-        let v = planner.instantiate(&p, wrapper, &mut next, &mut ops).unwrap();
+        let v = planner
+            .instantiate(&p, wrapper, &mut next, &mut ops)
+            .unwrap();
         // Wrapper alloc, Object alloc, Object ctor, Wrapper ctor.
         assert_eq!(ops.len(), 4);
         assert_eq!(v, TestVar(0));
@@ -221,7 +226,9 @@ mod tests {
         let prim = p.class_named("Prim").unwrap();
         let mut ops2 = Vec::new();
         planner.instantiate(&p, prim, &mut next, &mut ops2).unwrap();
-        let TestOp::Call { args, .. } = ops2.last().unwrap() else { panic!() };
+        let TestOp::Call { args, .. } = ops2.last().unwrap() else {
+            panic!()
+        };
         assert_eq!(args[0], TestArg::Int(0));
         assert_eq!(args[1], TestArg::Bool(true));
         // Uninstantiable class: raw allocation happens, nested arg is null.

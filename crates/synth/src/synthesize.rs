@@ -33,8 +33,13 @@ pub enum SynthesisError {
 impl fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SynthesisError::UnknownMethod => write!(f, "candidate mentions a method outside the library interface"),
-            SynthesisError::UnschedulableCycle => write!(f, "hard scheduling constraints form a cycle"),
+            SynthesisError::UnknownMethod => write!(
+                f,
+                "candidate mentions a method outside the library interface"
+            ),
+            SynthesisError::UnschedulableCycle => {
+                write!(f, "hard scheduling constraints form a cycle")
+            }
         }
     }
 }
@@ -82,7 +87,9 @@ pub fn synthesize_witness(
     for (i, (z, w)) in steps.iter().enumerate() {
         for slot in [z, w] {
             let root = uf.find((i, *slot));
-            component_var.entry(root).or_insert_with(|| fresh(&mut next_var));
+            component_var
+                .entry(root)
+                .or_insert_with(|| fresh(&mut next_var));
             if slot.kind == SlotKind::Return {
                 let entry = component_def.entry(root).or_insert(i);
                 *entry = (*entry).min(i);
@@ -111,7 +118,15 @@ pub fn synthesize_witness(
             // its cheapest constructor.
             let class = component_class(program, interface, &steps, &uf, root);
             let var = component_var[&root];
-            emit_allocation(program, planner, class, var, strategy, &mut next_var, &mut init_ops);
+            emit_allocation(
+                program,
+                planner,
+                class,
+                var,
+                strategy,
+                &mut next_var,
+                &mut init_ops,
+            );
             allocated.insert(root, var);
         }
     }
@@ -132,8 +147,16 @@ pub fn synthesize_witness(
                     // Receiver not mentioned by the candidate: always give it
                     // a real object so the call does not trivially fail.
                     let v = fresh(&mut next_var);
-                    let class = program.class_named(&sig.class_name).unwrap_or_else(|| sig.class);
-                    emit_allocation(program, planner, class, v, strategy, &mut next_var, &mut init_ops);
+                    let class = program.class_named(&sig.class_name).unwrap_or(sig.class);
+                    emit_allocation(
+                        program,
+                        planner,
+                        class,
+                        v,
+                        strategy,
+                        &mut next_var,
+                        &mut init_ops,
+                    );
                     Some(v)
                 }
             }
@@ -165,7 +188,15 @@ pub fn synthesize_witness(
         } else {
             None
         };
-        call_ops.push((i, TestOp::Call { dst, method: sig.method, recv, args }));
+        call_ops.push((
+            i,
+            TestOp::Call {
+                dst,
+                method: sig.method,
+                recv,
+                args,
+            },
+        ));
         let _ = (z, w);
     }
 
@@ -183,7 +214,12 @@ pub fn synthesize_witness(
     let tracked_in = component_var[&first_root];
     let observed_out = component_var[&last_root];
 
-    Ok(WitnessTest { spec: spec.clone(), ops, tracked_in, observed_out })
+    Ok(WitnessTest {
+        spec: spec.clone(),
+        ops,
+        tracked_in,
+        observed_out,
+    })
 }
 
 /// Picks the class to allocate for an aliased component: the receiver class
@@ -202,7 +238,9 @@ fn component_class(
             if uf.find_ref((i, *slot)) != Some(root) {
                 continue;
             }
-            let Some(sig) = interface.sig(slot.method) else { continue };
+            let Some(sig) = interface.sig(slot.method) else {
+                continue;
+            };
             match slot.kind {
                 SlotKind::Receiver => {
                     if let Some(c) = program.class_named(&sig.class_name) {
@@ -237,7 +275,9 @@ fn emit_allocation(
     ops: &mut Vec<TestOp>,
 ) {
     ops.push(TestOp::Alloc { dst: var, class });
-    let Some(ctor) = planner.constructor(class).or_else(|| program.constructors_of(class).first().copied())
+    let Some(ctor) = planner
+        .constructor(class)
+        .or_else(|| program.constructors_of(class).first().copied())
     else {
         return;
     };
@@ -246,9 +286,16 @@ fn emit_allocation(
     let mut pool = HashMap::new();
     for i in 0..m.num_params() {
         let ty = &m.var_data(m.param_var(i)).ty;
-        args.push(default_argument(program, planner, ty, strategy, next_var, ops, &mut pool));
+        args.push(default_argument(
+            program, planner, ty, strategy, next_var, ops, &mut pool,
+        ));
     }
-    ops.push(TestOp::Call { dst: None, method: ctor, recv: Some(var), args });
+    ops.push(TestOp::Call {
+        dst: None,
+        method: ctor,
+        recv: Some(var),
+        args,
+    });
 }
 
 /// Produces the default value for an unconstrained argument of the given
@@ -277,7 +324,9 @@ fn default_argument(
                 if let Some(&v) = pool.get(name) {
                     return TestArg::Var(v);
                 }
-                let class = program.class_named(name).or_else(|| program.class_named("Object"));
+                let class = program
+                    .class_named(name)
+                    .or_else(|| program.class_named("Object"));
                 match class.and_then(|c| planner.instantiate(program, c, next_var, ops)) {
                     Some(v) => {
                         pool.insert(name.clone(), v);
@@ -486,7 +535,8 @@ mod tests {
             ParamSlot::ret(clone),
         ])
         .unwrap();
-        let witness = synthesize_witness(&p, &iface, &planner, &bad, InitStrategy::Instantiate).unwrap();
+        let witness =
+            synthesize_witness(&p, &iface, &planner, &bad, InitStrategy::Instantiate).unwrap();
         let mut interp = Interpreter::new(&p);
         assert!(!witness.execute(&p, &mut interp).unwrap());
     }
@@ -509,9 +559,14 @@ mod tests {
             ParamSlot::ret(get),
         ])
         .unwrap();
-        let witness = synthesize_witness(&p, &iface, &planner, &spec, InitStrategy::Instantiate).unwrap();
+        let witness =
+            synthesize_witness(&p, &iface, &planner, &spec, InitStrategy::Instantiate).unwrap();
         let mut interp = Interpreter::new(&p);
-        assert!(witness.execute(&p, &mut interp).unwrap(), "{}", witness.render(&p));
+        assert!(
+            witness.execute(&p, &mut interp).unwrap(),
+            "{}",
+            witness.render(&p)
+        );
         // The clone call must be scheduled before the get call (Transfer
         // constraint r_clone → this_get).
         let order: Vec<_> = witness
@@ -546,9 +601,15 @@ mod tests {
         let w_inst =
             synthesize_witness(&p, &iface, &planner, &spec, InitStrategy::Instantiate).unwrap();
         let mut interp = Interpreter::new(&p);
-        assert!(w_null.execute(&p, &mut interp).is_err(), "null strategy should hit the NPE");
+        assert!(
+            w_null.execute(&p, &mut interp).is_err(),
+            "null strategy should hit the NPE"
+        );
         let mut interp = Interpreter::new(&p);
-        assert!(w_inst.execute(&p, &mut interp).unwrap(), "instantiation strategy should pass");
+        assert!(
+            w_inst.execute(&p, &mut interp).unwrap(),
+            "instantiation strategy should pass"
+        );
     }
 
     #[test]
@@ -560,7 +621,9 @@ mod tests {
         let empty = iface.restrict_to_classes(&[]);
         let err = synthesize_witness(&p, &empty, &planner, &sbox(&p), InitStrategy::Null);
         assert_eq!(err.unwrap_err(), SynthesisError::UnknownMethod);
-        assert!(SynthesisError::UnknownMethod.to_string().contains("interface"));
+        assert!(SynthesisError::UnknownMethod
+            .to_string()
+            .contains("interface"));
     }
 
     #[test]
@@ -587,7 +650,8 @@ mod tests {
             ParamSlot::ret(clone),
         ])
         .unwrap();
-        let witness = synthesize_witness(&p, &iface, &planner, &spec, InitStrategy::Instantiate).unwrap();
+        let witness =
+            synthesize_witness(&p, &iface, &planner, &spec, InitStrategy::Instantiate).unwrap();
         let order: Vec<_> = witness
             .ops
             .iter()

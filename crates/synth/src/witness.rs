@@ -62,7 +62,11 @@ impl WitnessTest {
     /// at the end), `Ok(false)` if it returns a different object, and
     /// `Err(_)` if execution raises an exception or exhausts its budget —
     /// both of which the oracle treats as a failing witness.
-    pub fn execute(&self, program: &Program, interp: &mut Interpreter<'_>) -> Result<bool, ExecError> {
+    pub fn execute(
+        &self,
+        program: &Program,
+        interp: &mut Interpreter<'_>,
+    ) -> Result<bool, ExecError> {
         let max_var = self.max_var();
         let mut env: Vec<Value> = vec![Value::Null; max_var as usize + 1];
         for op in &self.ops {
@@ -73,7 +77,12 @@ impl WitnessTest {
                     let r = alloc_raw(interp, *class);
                     env[dst.0 as usize] = Value::Ref(r);
                 }
-                TestOp::Call { dst, method, recv, args } => {
+                TestOp::Call {
+                    dst,
+                    method,
+                    recv,
+                    args,
+                } => {
                     let recv_val = recv.map(|r| env[r.0 as usize].clone());
                     let arg_vals: Vec<Value> = args.iter().map(|a| arg_value(a, &env)).collect();
                     let result = interp.call_method(*method, recv_val, &arg_vals)?;
@@ -94,7 +103,9 @@ impl WitnessTest {
         for op in &self.ops {
             match op {
                 TestOp::Alloc { dst, .. } => max = max.max(dst.0),
-                TestOp::Call { dst, recv, args, .. } => {
+                TestOp::Call {
+                    dst, recv, args, ..
+                } => {
                     if let Some(d) = dst {
                         max = max.max(d.0);
                     }
@@ -126,7 +137,12 @@ impl WitnessTest {
                         program.class(*class).name()
                     );
                 }
-                TestOp::Call { dst, method, recv, args } => {
+                TestOp::Call {
+                    dst,
+                    method,
+                    recv,
+                    args,
+                } => {
                     let args: Vec<String> = args
                         .iter()
                         .map(|a| match a {
@@ -138,7 +154,9 @@ impl WitnessTest {
                         })
                         .collect();
                     let recv = recv.map(|r| format!("v{}.", r.0)).unwrap_or_default();
-                    let dst = dst.map(|d| format!("Object v{} = ", d.0)).unwrap_or_default();
+                    let dst = dst
+                        .map(|d| format!("Object v{} = ", d.0))
+                        .unwrap_or_default();
                     let _ = writeln!(
                         out,
                         "    {dst}{recv}{}({});",
@@ -148,7 +166,11 @@ impl WitnessTest {
                 }
             }
         }
-        let _ = writeln!(out, "    return v{} == v{};", self.tracked_in.0, self.observed_out.0);
+        let _ = writeln!(
+            out,
+            "    return v{} == v{};",
+            self.tracked_in.0, self.observed_out.0
+        );
         let _ = writeln!(out, "}}");
         out
     }

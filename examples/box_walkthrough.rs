@@ -48,7 +48,11 @@ fn main() {
         }
         println!(
             "oracle verdict: {}\n",
-            if oracle.check(spec) { "accepted (precise)" } else { "rejected" }
+            if oracle.check(spec) {
+                "accepted (precise)"
+            } else {
+                "rejected"
+            }
         );
     }
 
@@ -74,7 +78,10 @@ fn main() {
         println!("  {}", spec.display(&interface));
     }
     let fragments = CodeFragments::from_fsa(&program, &rpni.fsa);
-    println!("\nequivalent code fragments:\n{}", fragments.render(&program));
+    println!(
+        "\nequivalent code fragments:\n{}",
+        fragments.render(&program)
+    );
     println!(
         "oracle activity: {} queries, {} unit tests executed",
         oracle.stats().queries,

@@ -6,9 +6,11 @@
 //! cargo run --release --example infer_collections
 //! # more sampling (better coverage, slower):
 //! ATLAS_SAMPLES=60000 cargo run --release --example infer_collections
+//! # pin the scheduler to 2 worker threads (0 = one per core):
+//! ATLAS_THREADS=2 cargo run --release --example infer_collections
 //! ```
 
-use atlas_core::{compare_fragments, infer_specifications, AtlasConfig};
+use atlas_core::{compare_fragments, AtlasConfig, Engine};
 use atlas_javalib::{
     class_ids, ground_truth_specs, handwritten_specs, library_interface, library_program,
     CLASS_CLUSTERS,
@@ -19,6 +21,10 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(10_000);
+    let num_threads: usize = std::env::var("ATLAS_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let library = library_program();
     let interface = library_interface(&library);
     println!(
@@ -33,13 +39,29 @@ fn main() {
         .map(|names| class_ids(&library, names))
         .filter(|ids| !ids.is_empty())
         .collect();
-    let config = AtlasConfig { samples_per_cluster: samples, clusters, ..AtlasConfig::default() };
-    let outcome = infer_specifications(&library, &interface, &config);
+    let config = AtlasConfig {
+        samples_per_cluster: samples,
+        clusters,
+        num_threads,
+        ..AtlasConfig::default()
+    };
+    let engine = Engine::new(&library, &interface, config);
+    let session = engine.session();
+    println!(
+        "engine: {} cluster jobs on {} worker threads",
+        session.jobs().len(),
+        session.num_threads()
+    );
+    let outcome = session.run();
 
     println!(
         "phase 1: {} positive examples from {} samples ({:.1}s)",
         outcome.total_positive_examples(),
-        outcome.clusters.iter().map(|c| c.num_samples).sum::<usize>(),
+        outcome
+            .clusters
+            .iter()
+            .map(|c| c.num_samples)
+            .sum::<usize>(),
         outcome.phase1_time.as_secs_f64()
     );
     let (before, after) = outcome.state_counts();
@@ -47,6 +69,13 @@ fn main() {
         "phase 2: {before} -> {after} automaton states ({:.1}s)",
         outcome.phase2_time.as_secs_f64()
     );
+    println!("parallelism: {}", outcome.parallelism());
+    for cluster in &outcome.clusters {
+        println!(
+            "  cluster {:?}: {:.2?} sampling + {:.2?} rpni",
+            cluster.classes, cluster.phase1_time, cluster.phase2_time
+        );
+    }
 
     let inferred = outcome.fragments(&library);
     let handwritten = handwritten_specs(&library);

@@ -33,7 +33,10 @@ fn main() {
 
     let variants: Vec<(&str, ExtractionOptions)> = vec![
         ("no specifications", ExtractionOptions::empty_specs()),
-        ("library implementation", ExtractionOptions::with_implementation()),
+        (
+            "library implementation",
+            ExtractionOptions::with_implementation(),
+        ),
         ("handwritten specifications", {
             let mut overrides: HashMap<_, _> = handwritten_specs(program).into_iter().collect();
             for (m, body) in android_model_specs(program) {

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use atlas_core::{infer_specifications, AtlasConfig};
+use atlas_core::{AtlasConfig, Engine};
 use atlas_ir::builder::ProgramBuilder;
 use atlas_ir::LibraryInterface;
 use atlas_pointsto::{ExtractionOptions, Graph, Solver};
@@ -27,7 +27,7 @@ fn main() {
         clusters: vec![vec![box_class]],
         ..AtlasConfig::default()
     };
-    let outcome = infer_specifications(&program, &interface, &config);
+    let outcome = Engine::new(&program, &interface, config).run();
     println!(
         "phase 1: {} candidates sampled, {} positive examples",
         outcome.clusters[0].num_samples, outcome.clusters[0].num_positive_examples
@@ -44,7 +44,10 @@ fn main() {
         println!("  {}", spec.display(&interface));
     }
     let fragments = outcome.fragments(&program);
-    println!("\ngenerated code fragments:\n{}", fragments.render(&program));
+    println!(
+        "\ngenerated code fragments:\n{}",
+        fragments.render(&program)
+    );
 
     // 4. Use the fragments in place of the library implementation when
     //    analyzing the client `test` program of Figure 1.
@@ -70,14 +73,20 @@ fn main() {
     let client = pb.build();
 
     let fragments = outcome.fragments(&client);
-    let graph = Graph::extract(&client, &ExtractionOptions::with_specs(fragments.to_overrides()));
+    let graph = Graph::extract(
+        &client,
+        &ExtractionOptions::with_specs(fragments.to_overrides()),
+    );
     let result = Solver::new().solve(&graph);
     let tm = client.method(test);
     let in_node = graph
         .find_node(atlas_pointsto::Node::Var(test, tm.var_named("in").unwrap()))
         .unwrap();
     let out_node = graph
-        .find_node(atlas_pointsto::Node::Var(test, tm.var_named("out").unwrap()))
+        .find_node(atlas_pointsto::Node::Var(
+            test,
+            tm.var_named("out").unwrap(),
+        ))
         .unwrap();
     println!(
         "client analysis with inferred specs: alias(in, out) = {}",

@@ -9,7 +9,12 @@ use atlas_ir::{MethodId, Program, Type};
 /// Builds a client method that exercises a store/retrieve round trip through
 /// the given collection and returns whether the retrieved object is the one
 /// stored.
-fn round_trip_program(collection: &str, store: &str, retrieve: &str, needs_index: bool) -> (Program, MethodId) {
+fn round_trip_program(
+    collection: &str,
+    store: &str,
+    retrieve: &str,
+    needs_index: bool,
+) -> (Program, MethodId) {
     let mut pb = ProgramBuilder::new();
     atlas_javalib::install_library(&mut pb);
     let mut main = pb.class("Main");
@@ -130,7 +135,10 @@ fn map_round_trips_and_null_rejection() {
     let program = pb.build();
     let outcome = Interpreter::new(&program).run_entry(test);
     assert!(
-        matches!(outcome, atlas_interp::ExecOutcome::Failed(atlas_interp::ExecError::Thrown(_))),
+        matches!(
+            outcome,
+            atlas_interp::ExecOutcome::Failed(atlas_interp::ExecError::Thrown(_))
+        ),
         "Hashtable.put(key, null) must throw, got {outcome:?}"
     );
 }

@@ -16,7 +16,10 @@ fn library() -> Program {
 /// Strategy producing structurally valid path-specification words over the
 /// library interface: alternating entry/exit symbols of the same method,
 /// ending in a return, no consecutive returns across steps.
-fn valid_word(interface: &LibraryInterface, max_steps: usize) -> impl Strategy<Value = Vec<ParamSlot>> {
+fn valid_word(
+    interface: &LibraryInterface,
+    max_steps: usize,
+) -> impl Strategy<Value = Vec<ParamSlot>> {
     let methods_with_return: Vec<MethodId> = interface
         .methods()
         .iter()
@@ -30,8 +33,11 @@ fn valid_word(interface: &LibraryInterface, max_steps: usize) -> impl Strategy<V
         .map(|sig| sig.method)
         .collect();
     let steps = 1..=max_steps;
-    (steps, proptest::collection::vec(any::<prop::sample::Index>(), max_steps * 2 + 1)).prop_map(
-        move |(k, picks)| {
+    (
+        steps,
+        proptest::collection::vec(any::<prop::sample::Index>(), max_steps * 2 + 1),
+    )
+        .prop_map(move |(k, picks)| {
             let mut word = Vec::new();
             for i in 0..k {
                 let last = i + 1 == k;
@@ -51,8 +57,7 @@ fn valid_word(interface: &LibraryInterface, max_steps: usize) -> impl Strategy<V
                 }
             }
             word
-        },
-    )
+        })
 }
 
 proptest! {

@@ -77,13 +77,22 @@ fn starred_spec_fragments_match_the_implementation_on_the_clone_client() {
 
     // Specification analysis with the starred automaton: same client facts.
     let fragments = CodeFragments::from_fsa(&program, &box_star_fsa(&program));
-    let spec_graph = Graph::extract(&program, &ExtractionOptions::with_specs(fragments.to_overrides()));
+    let spec_graph = Graph::extract(
+        &program,
+        &ExtractionOptions::with_specs(fragments.to_overrides()),
+    );
     let spec_result = Solver::new().solve(&spec_graph);
     let a = spec_graph.find_node(in_node).unwrap();
     let b = spec_graph.find_node(out_node).unwrap();
     let c = spec_graph.find_node(other_node).unwrap();
-    assert!(spec_result.alias(a, b), "fragments must reproduce the in/out alias");
-    assert!(!spec_result.alias(a, c), "fragments must not add spurious aliases");
+    assert!(
+        spec_result.alias(a, b),
+        "fragments must reproduce the in/out alias"
+    );
+    assert!(
+        !spec_result.alias(a, c),
+        "fragments must not add spurious aliases"
+    );
 
     // Without specifications the flow is lost entirely.
     let empty_graph = Graph::extract(&program, &ExtractionOptions::empty_specs());
@@ -120,10 +129,7 @@ fn star_generalization_extends_the_accepted_language() {
         assert_eq!(prefix_tree.accepts(&chain(n)), n == 1);
         assert!(starred.accepts(&chain(n)));
     }
-    let finite_frags = CodeFragments::from_specs(
-        &program,
-        &[PathSpec::new(chain(1)).unwrap()],
-    );
+    let finite_frags = CodeFragments::from_specs(&program, &[PathSpec::new(chain(1)).unwrap()]);
     let starred_frags = CodeFragments::from_fsa(&program, &starred);
     let finite_methods: Vec<_> = finite_frags.methods().collect();
     let starred_methods: Vec<_> = starred_frags.methods().collect();
@@ -179,8 +185,8 @@ fn ground_truth_specs_are_precise_and_sound_for_collection_flows() {
     let (program, run) = collections_client();
     let rm = program.method(run);
     let secret = Node::Var(run, rm.var_named("secret").unwrap());
-    let retrieved = ["fromList", "fromMap", "fromStack"]
-        .map(|n| Node::Var(run, rm.var_named(n).unwrap()));
+    let retrieved =
+        ["fromList", "fromMap", "fromStack"].map(|n| Node::Var(run, rm.var_named(n).unwrap()));
 
     // Analysis against the real implementation.
     let impl_graph = Graph::extract(&program, &ExtractionOptions::with_implementation());
@@ -193,7 +199,10 @@ fn ground_truth_specs_are_precise_and_sound_for_collection_flows() {
     for node in retrieved {
         let ia = impl_graph.find_node(secret).unwrap();
         let ib = impl_graph.find_node(node).unwrap();
-        assert!(impl_result.alias(ia, ib), "implementation must see the flow");
+        assert!(
+            impl_result.alias(ia, ib),
+            "implementation must see the flow"
+        );
         let sa = spec_graph.find_node(secret).unwrap();
         let sb = spec_graph.find_node(node).unwrap();
         assert!(spec_result.alias(sa, sb), "ground truth must see the flow");
@@ -225,10 +234,15 @@ fn inferred_box_specs_round_trip_through_the_full_pipeline() {
     };
     let outcome = atlas_core::infer_specifications(&program, &interface, &config);
     let fragments = outcome.fragments(&program);
-    let graph = Graph::extract(&program, &ExtractionOptions::with_specs(fragments.to_overrides()));
+    let graph = Graph::extract(
+        &program,
+        &ExtractionOptions::with_specs(fragments.to_overrides()),
+    );
     let result = Solver::new().solve(&graph);
     let tm = program.method(test);
-    let a = graph.find_node(Node::Var(test, tm.var_named("in").unwrap())).unwrap();
+    let a = graph
+        .find_node(Node::Var(test, tm.var_named("in").unwrap()))
+        .unwrap();
     let c = graph
         .find_node(Node::Var(test, tm.var_named("other").unwrap()))
         .unwrap();

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the API subset the workspace's benches use — `Criterion`,
+//! `BenchmarkId`, benchmark groups, `criterion_group!`/`criterion_main!` —
+//! with a deliberately simple measurement loop: warm up briefly, then time a
+//! fixed-duration batch and report the median per-iteration wall-clock time.
+//! It has no statistical machinery, plots, or CLI; it exists so `cargo bench`
+//! compiles, runs, and prints comparable numbers offline.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: function name plus an optional parameter string.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Bencher {
+        Bencher {
+            last: None,
+            measure_for,
+        }
+    }
+
+    /// Times `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: one untimed run.
+        let start = Instant::now();
+        std_black_box(routine());
+        let calibration = start.elapsed().max(Duration::from_nanos(1));
+        // Run for roughly `measure_for`, at least 3 iterations.
+        let iters =
+            (self.measure_for.as_nanos() / calibration.as_nanos()).clamp(3, 10_000) as usize;
+        let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            std_black_box(routine());
+            samples.push(t.elapsed());
+        }
+        samples.sort();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep offline bench runs quick; ATLAS_BENCH_MS overrides.
+        let ms = std::env::var("ATLAS_BENCH_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            measure_for: Duration::from_millis(ms),
+        }
+    }
+}
+
+fn report(name: &str, time: Option<Duration>) {
+    match time {
+        Some(t) => println!("bench: {name:<60} {t:>12.3?}/iter"),
+        None => println!("bench: {name:<60} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.measure_for);
+        f(&mut b);
+        report(name, b.last);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.measure_for);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), b.last);
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.measure_for);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.name), b.last);
+        self
+    }
+
+    /// Ends the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        std::env::set_var("ATLAS_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::new("f", "p"), &41u64, |b, &x| b.iter(|| x + 1));
+        group.bench_function(BenchmarkId::from_parameter("q"), |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+}

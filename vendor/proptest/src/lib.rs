@@ -1,0 +1,451 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! reimplements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`, tuple and
+//! range strategies, [`collection::vec`], [`sample::Index`],
+//! [`test_runner::ProptestConfig`], and the `prop_assert*` / `prop_assume!`
+//! macros.  Generation is deterministic (each case is seeded by its case
+//! number) and there is no shrinking: a failing case panics with the
+//! assertion message directly.
+
+pub mod test_runner {
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// A `prop_assume!` rejected the generated input; the case is
+        /// discarded, not failed.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    /// Result type of a single generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration.  Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-case generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for the given case number; the same number always
+        /// yields the same values.
+        pub fn deterministic(case: u64) -> TestRng {
+            TestRng {
+                state: case.wrapping_mul(0x9E3779B97F4A7C15) ^ 0x5EED_5EED_5EED_5EED,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategies may be used by reference.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() - *self.start()) as u64 + 1;
+                    self.start() + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+    }
+
+    /// Strategy for any [`crate::arbitrary::Arbitrary`] type.
+    pub struct Any<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy yielding a constant value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> crate::sample::Index {
+            crate::sample::Index::new(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod sample {
+    /// An index into a collection whose size is only known at use site.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        pub(crate) fn new(raw: usize) -> Index {
+            Index(raw)
+        }
+
+        /// Resolves the index against a collection of length `len`
+        /// (which must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for vectors of values from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A vector strategy with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.0.end - self.size.0.start;
+            let len = self.size.0.start + rng.below(span.max(1)).min(span.saturating_sub(1));
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop` module alias (`prop::sample::Index`, `prop::collection`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests.  Accepts an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __passed: u32 = 0;
+                let mut __case: u64 = 0;
+                let __max_attempts: u64 = (__config.cases as u64) * 32 + 64;
+                while __passed < __config.cases && __case < __max_attempts {
+                    __case += 1;
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(__case);
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                    let __outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => { __passed += 1; }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {} failed: {}", __case, msg);
+                        }
+                    }
+                }
+                assert!(
+                    __passed > 0,
+                    "proptest generated no acceptable inputs in {} attempts",
+                    __max_attempts
+                );
+            }
+        )*
+    };
+}
+
+/// Rejects the current case (discarded, not failed) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3..10usize, y in 1..=4usize) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_index_compose(
+            v in prop::collection::vec(any::<prop::sample::Index>(), 1..5),
+            n in prop::collection::vec(0..100usize, 3)
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert_eq!(n.len(), 3);
+            for i in &v {
+                prop_assert!(i.index(7) < 7);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0..100usize) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn prop_map_and_tuples(word in (1..=3usize, 0..50usize).prop_map(|(a, b)| vec![b; a])) {
+            prop_assert!(!word.is_empty() && word.len() <= 3);
+            prop_assert_ne!(word.len(), 9);
+        }
+    }
+}
