@@ -8,12 +8,32 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 /// Configuration of the generated suite.
+///
+/// The diversity knobs (`min_patterns`/`max_patterns`, `leak_rate`,
+/// `benign_sink_rate`, `size_factor`) shape the scenario mix: how many
+/// access patterns each app exercises, how many of them actually leak, how
+/// many route benign payloads into sinks (false-positive bait), and how far
+/// app sizes spread.  The defaults reproduce the historical suite exactly,
+/// draw for draw.
 #[derive(Debug, Clone)]
 pub struct AppConfig {
     /// Number of apps to generate (the paper uses 46).
     pub count: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Minimum number of access patterns per app.
+    pub min_patterns: usize,
+    /// Maximum number of access patterns per app (inclusive); values below
+    /// `min_patterns` are treated as `min_patterns`.
+    pub max_patterns: usize,
+    /// Probability that a pattern is a leak (source → pattern → sink).
+    pub leak_rate: f64,
+    /// Probability that a pattern routes a *benign* payload into a sink —
+    /// these must never be reported, so they exercise precision.
+    pub benign_sink_rate: f64,
+    /// Multiplier on the filler-code blocks that spread app sizes; `1` is
+    /// the historical spread (about an order of magnitude of client LoC).
+    pub size_factor: usize,
 }
 
 impl Default for AppConfig {
@@ -21,6 +41,11 @@ impl Default for AppConfig {
         AppConfig {
             count: 46,
             seed: 0xA71A5,
+            min_patterns: 3,
+            max_patterns: 12,
+            leak_rate: 0.6,
+            benign_sink_rate: 0.2,
+            size_factor: 1,
         }
     }
 }
@@ -73,13 +98,25 @@ const SINKS: &[(&str, &str)] = &[
 /// Generates the full benchmark suite.
 pub fn generate_suite(config: &AppConfig) -> Vec<GeneratedApp> {
     (0..config.count)
-        .map(|i| generate_app(i, config.seed))
+        .map(|i| generate_app_with(config, i))
         .collect()
 }
 
-/// Generates a single app.
+/// Generates a single app with the default diversity knobs (historical
+/// suite shape).
 pub fn generate_app(index: usize, seed: u64) -> GeneratedApp {
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(index as u64));
+    generate_app_with(
+        &AppConfig {
+            seed,
+            ..AppConfig::default()
+        },
+        index,
+    )
+}
+
+/// Generates a single app under the given configuration.
+pub fn generate_app_with(config: &AppConfig, index: usize) -> GeneratedApp {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(index as u64));
     let mut pb = ProgramBuilder::new();
     atlas_javalib::install_library(&mut pb);
 
@@ -88,14 +125,18 @@ pub fn generate_app(index: usize, seed: u64) -> GeneratedApp {
     let mut app_class = pb.class(&class_name);
     let mut run = app_class.static_method("run");
 
-    let num_patterns = 3 + rng.gen_range(0..10usize);
+    // A max below min is a configuration error; treat it as "exactly min"
+    // rather than panicking deep inside suite generation.
+    let max_patterns = config.max_patterns.max(config.min_patterns);
+    let spread = max_patterns - config.min_patterns + 1;
+    let num_patterns = config.min_patterns + rng.gen_range(0..spread);
     let mut patterns = Vec::new();
     let mut leaky_pairs = BTreeSet::new();
     let mut leaky_pairs_handwritten = BTreeSet::new();
     for t in 0..num_patterns {
         let kind = ALL_PATTERNS[rng.gen_range(0..ALL_PATTERNS.len())];
         let roll: f64 = rng.gen();
-        if roll < 0.6 {
+        if roll < config.leak_rate {
             // Leaky: source → pattern → sink.
             let source = SOURCES[rng.gen_range(0..SOURCES.len())];
             let sink = SINKS[rng.gen_range(0..SINKS.len())];
@@ -111,7 +152,7 @@ pub fn generate_app(index: usize, seed: u64) -> GeneratedApp {
             }
             leaky_pairs.insert(pair);
             patterns.push((kind, true));
-        } else if roll < 0.8 {
+        } else if roll < config.leak_rate + config.benign_sink_rate {
             // Benign payload reaches a sink: must NOT be reported.
             let sink = SINKS[rng.gen_range(0..SINKS.len())];
             let payload = emit_benign_payload(&mut run, t);
@@ -127,7 +168,7 @@ pub fn generate_app(index: usize, seed: u64) -> GeneratedApp {
         }
     }
     // Filler code to spread app sizes over an order of magnitude.
-    let filler_blocks = 1 + (index % 8) * (1 + index / 12);
+    let filler_blocks = (1 + (index % 8) * (1 + index / 12)) * config.size_factor.max(1);
     for b in 0..filler_blocks {
         emit_filler(&mut run, 100 + b, 16);
     }
@@ -219,8 +260,76 @@ mod tests {
     }
 
     #[test]
+    fn diversity_knobs_shape_the_suite() {
+        // Defaults reproduce the historical generator draw for draw.
+        let historical = generate_app(5, 42);
+        let explicit = generate_app_with(
+            &AppConfig {
+                seed: 42,
+                ..AppConfig::default()
+            },
+            5,
+        );
+        assert_eq!(historical.patterns, explicit.patterns);
+        assert_eq!(historical.client_loc, explicit.client_loc);
+
+        // More patterns, all leaky: every app gets exactly the configured
+        // pattern count and at least one leak.
+        let leaky = AppConfig {
+            count: 6,
+            seed: 9,
+            min_patterns: 14,
+            max_patterns: 14,
+            leak_rate: 1.0,
+            benign_sink_rate: 0.0,
+            ..AppConfig::default()
+        };
+        for app in generate_suite(&leaky) {
+            assert_eq!(app.patterns.len(), 14);
+            assert!(app.patterns.iter().all(|(_, leaks)| *leaks));
+            assert!(!app.leaky_pairs.is_empty());
+        }
+
+        // leak_rate 0 with benign sinks only: no leaks anywhere.
+        let benign = AppConfig {
+            count: 6,
+            seed: 9,
+            leak_rate: 0.0,
+            benign_sink_rate: 1.0,
+            ..AppConfig::default()
+        };
+        for app in generate_suite(&benign) {
+            assert!(app.leaky_pairs.is_empty());
+            assert!(app.patterns.iter().all(|(_, leaks)| !leaks));
+        }
+
+        // size_factor scales the filler code.
+        let small = generate_app_with(
+            &AppConfig {
+                seed: 7,
+                ..AppConfig::default()
+            },
+            3,
+        );
+        let big = generate_app_with(
+            &AppConfig {
+                seed: 7,
+                size_factor: 4,
+                ..AppConfig::default()
+            },
+            3,
+        );
+        assert!(big.client_loc > small.client_loc);
+        assert_eq!(small.patterns, big.patterns, "knob only affects filler");
+    }
+
+    #[test]
     fn suite_has_varied_sizes_and_some_leaks() {
-        let config = AppConfig { count: 12, seed: 7 };
+        let config = AppConfig {
+            count: 12,
+            seed: 7,
+            ..AppConfig::default()
+        };
         let suite = generate_suite(&config);
         assert_eq!(suite.len(), 12);
         let min = suite.iter().map(|a| a.client_loc).min().unwrap();

@@ -15,5 +15,5 @@
 pub mod generator;
 pub mod patterns;
 
-pub use generator::{generate_app, generate_suite, AppConfig, GeneratedApp};
+pub use generator::{generate_app, generate_app_with, generate_suite, AppConfig, GeneratedApp};
 pub use patterns::PatternKind;

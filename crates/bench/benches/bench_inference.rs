@@ -76,6 +76,34 @@ fn bench_inference(c: &mut Criterion) {
         });
     }
     engine_group.finish();
+
+    // Warm starts: a second identical run fed the first run's verdict cache
+    // re-executes nothing.  The cold case is the baseline above this one.
+    let config = AtlasConfig {
+        samples_per_cluster: 500,
+        clusters: clusters.clone(),
+        num_threads: 1,
+        ..AtlasConfig::default()
+    };
+    let engine = Engine::new(&library, &interface, config.clone());
+    let mut session = engine.session();
+    let cold = session.run();
+    let cache = session.into_cache();
+    let mut warm_group = c.benchmark_group("engine_warm_start_500_samples");
+    warm_group.bench_function(BenchmarkId::from_parameter("cold"), |b| {
+        b.iter(|| Engine::new(&library, &interface, config.clone()).run())
+    });
+    warm_group.bench_function(BenchmarkId::from_parameter("warm"), |b| {
+        b.iter(|| {
+            let outcome = Engine::new(&library, &interface, config.clone())
+                .warm_start(cache.clone())
+                .run();
+            assert_eq!(outcome.oracle_executions, 0, "warm run must not execute");
+            outcome
+        })
+    });
+    warm_group.finish();
+    assert!(cold.oracle_executions > 0);
 }
 
 criterion_group!(benches, bench_inference);

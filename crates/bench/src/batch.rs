@@ -1,0 +1,421 @@
+//! The batch evaluation pipeline: one self-contained run that measures
+//! everything future benchmark trajectories consume.
+//!
+//! One [`run_batch`] call:
+//!
+//! 1. runs full inference **cold**, harvests the verdict cache via
+//!    `Session::into_cache`, then re-runs **warm** via `Engine::warm_start`
+//!    — demonstrating the cache subsystem end to end (identical results,
+//!    reported hit rate, wall-clock speedup);
+//! 2. generates the benchmark app suite (with the diversity knobs of
+//!    `atlas-apps` opened up beyond the historical defaults);
+//! 3. analyzes every app under all three specification variants —
+//!    *inferred*, *handwritten*, *ground truth* — recording per-app
+//!    timings, flow counts, non-trivial points-to edges, and
+//!    precision/recall against the constructed leaks;
+//! 4. emits a machine-readable JSON report ([`BatchReport::json`], schema
+//!    `atlas-batch/1`) plus a short human summary.
+//!
+//! The `batch` binary prints the JSON to stdout (and the summary to
+//! stderr): `cargo run --release -p atlas-bench --bin batch > report.json`.
+
+use crate::context::{app_count, sample_budget, thread_budget, EvalContext, SpecSet};
+use crate::json::Json;
+use atlas_apps::{generate_suite, AppConfig};
+use atlas_core::{AtlasConfig, Engine, InferenceOutcome, VerdictCache};
+use atlas_ir::LibraryInterface;
+use atlas_javalib::{class_ids, library_program, CLASS_CLUSTERS};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// The three specification variants every app is analyzed under.
+pub const VARIANTS: [(&str, SpecSet); 3] = [
+    ("inferred", SpecSet::Inferred),
+    ("handwritten", SpecSet::Handwritten),
+    ("ground_truth", SpecSet::GroundTruth),
+];
+
+/// Configuration of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Phase-one sampling budget per class cluster.
+    pub samples: usize,
+    /// Engine worker threads (`0` = one per core).
+    pub threads: usize,
+    /// Shape of the generated app suite.  The batch defaults open the
+    /// diversity knobs wider than the historical suite: more patterns per
+    /// app, more benign-payload sinks (precision bait), larger size spread.
+    pub app_config: AppConfig,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            samples: sample_budget(),
+            threads: thread_budget(),
+            app_config: AppConfig {
+                count: app_count(),
+                seed: 0xBA7C4,
+                min_patterns: 2,
+                max_patterns: 16,
+                leak_rate: 0.55,
+                benign_sink_rate: 0.25,
+                size_factor: 2,
+            },
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Reads the configuration from the environment: `ATLAS_SAMPLES`,
+    /// `ATLAS_APPS`, `ATLAS_THREADS` as everywhere in the harness, plus
+    /// `ATLAS_BATCH_SEED`, `ATLAS_BATCH_MAX_PATTERNS`, and
+    /// `ATLAS_BATCH_SIZE_FACTOR` for the suite shape.
+    pub fn from_env() -> BatchConfig {
+        let mut config = BatchConfig::default();
+        if let Some(seed) = env_parse("ATLAS_BATCH_SEED") {
+            config.app_config.seed = seed;
+        }
+        if let Some(max) = env_parse("ATLAS_BATCH_MAX_PATTERNS") {
+            config.app_config.max_patterns = max;
+        }
+        if let Some(factor) = env_parse("ATLAS_BATCH_SIZE_FACTOR") {
+            config.app_config.size_factor = factor;
+        }
+        config
+    }
+
+    /// A small configuration suitable for tests.
+    pub fn small() -> BatchConfig {
+        BatchConfig {
+            samples: 400,
+            threads: 0,
+            app_config: AppConfig {
+                count: 3,
+                ..BatchConfig::default().app_config
+            },
+        }
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+    std::env::var(var).ok().and_then(|s| s.parse().ok())
+}
+
+/// Precision/recall bookkeeping for one app under one variant.
+#[derive(Debug, Clone, Copy, Default)]
+struct Confusion {
+    tp: usize,
+    fp: usize,
+    fn_: usize,
+}
+
+impl Confusion {
+    fn of(found: &BTreeSet<(String, String)>, truth: &BTreeSet<(String, String)>) -> Confusion {
+        let tp = found.intersection(truth).count();
+        Confusion {
+            tp,
+            fp: found.len() - tp,
+            fn_: truth.len() - tp,
+        }
+    }
+
+    fn merge(&mut self, other: Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+}
+
+/// Per-variant running totals across the suite.
+#[derive(Debug, Clone, Default)]
+struct VariantTotals {
+    flows: usize,
+    edges: usize,
+    analysis: Duration,
+    confusion: Confusion,
+}
+
+/// The outcome of a batch run: the JSON document plus a human summary.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// The machine-readable report (schema `atlas-batch/1`).
+    pub json: Json,
+    /// A short human-readable summary (one line per headline number).
+    pub summary: String,
+}
+
+/// Runs the full batch pipeline.  See the [module docs](self).
+pub fn run_batch(config: &BatchConfig) -> BatchReport {
+    let library = library_program();
+    let interface = LibraryInterface::from_program(&library);
+    let clusters: Vec<_> = CLASS_CLUSTERS
+        .iter()
+        .map(|names| class_ids(&library, names))
+        .filter(|ids| !ids.is_empty())
+        .collect();
+    let atlas_config = AtlasConfig {
+        samples_per_cluster: config.samples,
+        clusters,
+        num_threads: config.threads,
+        ..AtlasConfig::default()
+    };
+
+    // 1. Cold inference, harvesting the verdict cache.
+    let cold_start = Instant::now();
+    let engine = Engine::new(&library, &interface, atlas_config.clone());
+    let mut session = engine.session();
+    let cold = session.run();
+    let cold_time = cold_start.elapsed();
+    let cache: VerdictCache = session.into_cache();
+    let cache_entries = cache.len();
+
+    // 2. Warm re-run: same configuration, cache-fed.  Results must be
+    //    bit-identical; only executions (and wall-clock) drop.
+    let warm_start = Instant::now();
+    let warm = Engine::new(&library, &interface, atlas_config)
+        .warm_start(cache)
+        .run();
+    let warm_time = warm_start.elapsed();
+    let identical = outcomes_identical(&cold, &warm);
+
+    // Memoization already pays off within the cold run itself (sampling
+    // re-draws candidates); the warm-start hit rate is reported separately.
+    let cold_memo_hit_rate = cold.cache_stats.hit_rate();
+
+    // 3. The app suite, analyzed under all three variants.
+    let apps = generate_suite(&config.app_config);
+    let ctx = EvalContext {
+        library,
+        interface,
+        outcome: cold,
+        apps,
+    };
+
+    let mut app_rows = Vec::new();
+    let mut totals: Vec<VariantTotals> = vec![VariantTotals::default(); VARIANTS.len()];
+    for app in &ctx.apps {
+        let trivial = ctx.analyze(app, SpecSet::Empty);
+        let mut variants_json = Json::obj();
+        for (i, (variant_name, spec_set)) in VARIANTS.iter().enumerate() {
+            let t = Instant::now();
+            let analysis = ctx.analyze(app, *spec_set);
+            let elapsed = t.elapsed();
+            let found: BTreeSet<(String, String)> = analysis
+                .flows
+                .flows
+                .iter()
+                .map(|f| {
+                    (
+                        app.program.qualified_name(f.source),
+                        app.program.qualified_name(f.sink),
+                    )
+                })
+                .collect();
+            let confusion = Confusion::of(&found, &app.leaky_pairs);
+            let edges = analysis.stats.nontrivial(&trivial.stats);
+            totals[i].flows += analysis.flows.len();
+            totals[i].edges += edges;
+            totals[i].analysis += elapsed;
+            totals[i].confusion.merge(confusion);
+            variants_json = variants_json.set(
+                variant_name,
+                Json::obj()
+                    .set("flows", analysis.flows.len())
+                    .set("nontrivial_edges", edges)
+                    .set("analysis_ms", elapsed.as_secs_f64() * 1e3)
+                    .set("tp", confusion.tp)
+                    .set("fp", confusion.fp)
+                    .set("fn", confusion.fn_)
+                    .set("precision", confusion.precision())
+                    .set("recall", confusion.recall()),
+            );
+        }
+        app_rows.push(
+            Json::obj()
+                .set("name", app.name.as_str())
+                .set("client_loc", app.client_loc)
+                .set("patterns", app.patterns.len())
+                .set("known_leaks", app.leaky_pairs.len())
+                .set("variants", variants_json),
+        );
+    }
+
+    // 4. Assemble the report.
+    let cache_stats = warm.cache_stats;
+    let speedup = if warm_time.as_secs_f64() > 0.0 {
+        cold_time.as_secs_f64() / warm_time.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    let mut totals_json = Json::obj();
+    for ((name, _), total) in VARIANTS.iter().zip(&totals) {
+        totals_json = totals_json.set(
+            name,
+            Json::obj()
+                .set("flows", total.flows)
+                .set("nontrivial_edges", total.edges)
+                .set("analysis_ms", total.analysis.as_secs_f64() * 1e3)
+                .set("tp", total.confusion.tp)
+                .set("fp", total.confusion.fp)
+                .set("fn", total.confusion.fn_)
+                .set("precision", total.confusion.precision())
+                .set("recall", total.confusion.recall()),
+        );
+    }
+    let json = Json::obj()
+        .set("schema", "atlas-batch/1")
+        .set(
+            "config",
+            Json::obj()
+                .set("samples_per_cluster", config.samples)
+                .set("threads", config.threads)
+                .set("apps", config.app_config.count)
+                .set("app_seed", config.app_config.seed as i64)
+                .set("min_patterns", config.app_config.min_patterns)
+                .set("max_patterns", config.app_config.max_patterns)
+                .set("leak_rate", config.app_config.leak_rate)
+                .set("benign_sink_rate", config.app_config.benign_sink_rate)
+                .set("size_factor", config.app_config.size_factor),
+        )
+        .set(
+            "inference",
+            Json::obj()
+                .set("clusters", ctx.outcome.clusters.len())
+                .set("positive_examples", ctx.outcome.total_positive_examples())
+                .set("oracle_queries", ctx.outcome.oracle_queries)
+                .set("cold_executions", ctx.outcome.oracle_executions)
+                .set("warm_executions", warm.oracle_executions)
+                .set("cold_ms", cold_time.as_secs_f64() * 1e3)
+                .set("warm_ms", warm_time.as_secs_f64() * 1e3)
+                .set("warm_speedup", speedup)
+                .set("results_identical", identical)
+                .set("cold_memo_hit_rate", cold_memo_hit_rate)
+                .set(
+                    "cache",
+                    Json::obj()
+                        .set("entries", cache_entries)
+                        .set("lookups", cache_stats.lookups)
+                        .set("hits", cache_stats.hits)
+                        .set("warm_hits", cache_stats.warm_hits)
+                        .set("misses", cache_stats.misses)
+                        .set("evictions", cache_stats.evictions)
+                        .set("hit_rate", cache_stats.hit_rate())
+                        .set("warm_hit_rate", cache_stats.warm_hit_rate()),
+                ),
+        )
+        .set("apps", Json::Arr(app_rows))
+        .set("totals", totals_json);
+
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "inference: cold {:.2?} -> warm {:.2?} ({speedup:.1}x, {} -> {} executions, \
+         {:.1}% warm-hit rate, identical={identical})",
+        cold_time,
+        warm_time,
+        ctx.outcome.oracle_executions,
+        warm.oracle_executions,
+        100.0 * cache_stats.warm_hit_rate(),
+    );
+    let _ = writeln!(
+        summary,
+        "cache: {cache_entries} entries, {} lookups, {} hits",
+        cache_stats.lookups, cache_stats.hits
+    );
+    for ((name, _), total) in VARIANTS.iter().zip(&totals) {
+        let _ = writeln!(
+            summary,
+            "{name:>12}: {} flows, {} edges, precision {:.2}, recall {:.2}, {:.2?} analysis",
+            total.flows,
+            total.edges,
+            total.confusion.precision(),
+            total.confusion.recall(),
+            total.analysis,
+        );
+    }
+
+    BatchReport { json, summary }
+}
+
+/// Result-identity check between two inference outcomes: same automata
+/// (via extracted specs), same positives, same state counts.  Timings and
+/// execution counts are intentionally ignored — they are *supposed* to
+/// differ between cold and warm runs.
+fn outcomes_identical(a: &InferenceOutcome, b: &InferenceOutcome) -> bool {
+    a.clusters.len() == b.clusters.len()
+        && a.oracle_queries == b.oracle_queries
+        && a.state_counts() == b.state_counts()
+        && a.specs(8, 64) == b.specs(8, 64)
+        && a.clusters
+            .iter()
+            .zip(&b.clusters)
+            .all(|(x, y)| x.positives == y.positives && x.fsa == y.fsa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_pipeline_produces_a_consistent_report() {
+        let report = run_batch(&BatchConfig::small());
+        let json = &report.json;
+        assert_eq!(json.get("schema"), Some(&Json::str("atlas-batch/1")));
+
+        let inference = json.get("inference").expect("inference section");
+        assert_eq!(inference.get("results_identical"), Some(&Json::Bool(true)));
+        assert_eq!(inference.get("warm_executions"), Some(&Json::Int(0)));
+        let cache = inference.get("cache").expect("cache section");
+        let Some(Json::Float(warm_rate)) = cache.get("warm_hit_rate") else {
+            panic!("warm_hit_rate missing: {cache:?}");
+        };
+        assert!(*warm_rate > 0.99, "warm run should hit on every query");
+        let Some(Json::Int(entries)) = cache.get("entries") else {
+            panic!("entries missing");
+        };
+        assert!(*entries > 0);
+
+        let Some(Json::Arr(apps)) = json.get("apps") else {
+            panic!("apps missing");
+        };
+        assert_eq!(apps.len(), 3);
+        for app in apps {
+            let variants = app.get("variants").expect("variants");
+            for (name, _) in VARIANTS {
+                let v = variants.get(name).expect("variant row");
+                for metric in ["flows", "precision", "recall", "analysis_ms"] {
+                    assert!(v.get(metric).is_some(), "{name}.{metric} missing");
+                }
+            }
+        }
+
+        // Ground truth finds every constructed leak (recall 1.0 by
+        // construction; see context.rs for the precision caveat).
+        let totals = json.get("totals").expect("totals");
+        let truth = totals.get("ground_truth").expect("ground_truth totals");
+        assert_eq!(truth.get("recall"), Some(&Json::Float(1.0)));
+        assert_eq!(truth.get("fn"), Some(&Json::Int(0)));
+
+        // The summary mentions the headline numbers and the JSON renders.
+        assert!(report.summary.contains("identical=true"));
+        assert!(report.json.render().contains("warm_speedup"));
+    }
+}

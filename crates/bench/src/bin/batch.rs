@@ -1,0 +1,37 @@
+//! The batch evaluation pipeline: cold + warm-started inference, the full
+//! app suite under all three specification variants, one JSON report.
+//!
+//! ```sh
+//! cargo run --release -p atlas-bench --bin batch > report.json
+//! # or, to also keep a copy on disk:
+//! ATLAS_BATCH_OUT=target/batch.json cargo run --release -p atlas-bench --bin batch
+//! ```
+//!
+//! The human summary goes to stderr, the JSON document to stdout (and to
+//! `ATLAS_BATCH_OUT` when set).  Budgets come from the usual knobs
+//! (`ATLAS_SAMPLES`, `ATLAS_APPS`, `ATLAS_THREADS`) plus the suite-shape
+//! knobs `ATLAS_BATCH_SEED`, `ATLAS_BATCH_MAX_PATTERNS`, and
+//! `ATLAS_BATCH_SIZE_FACTOR`.
+
+fn main() {
+    let config = atlas_bench::BatchConfig::from_env();
+    eprintln!(
+        "batch: {} samples/cluster, {} apps, threads={}",
+        config.samples, config.app_config.count, config.threads
+    );
+    let report = atlas_bench::run_batch(&config);
+    eprint!("{}", report.summary);
+    let rendered = report.json.render();
+    // Stdout is the primary output: print it before attempting the file
+    // write, so a bad ATLAS_BATCH_OUT can't lose the run's report.
+    print!("{rendered}");
+    if let Ok(path) = std::env::var("ATLAS_BATCH_OUT") {
+        match std::fs::write(&path, &rendered) {
+            Ok(()) => eprintln!("batch: report written to {path}"),
+            Err(e) => {
+                eprintln!("batch: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -15,13 +15,25 @@
 //! | §6.3 sampling table | [`experiments::tab_sampling`] | `tab_sampling` |
 //! | §6.3 initialization table | [`experiments::tab_init`] | `tab_init` |
 //!
+//! Beyond the per-figure binaries, the [`batch`] module is the
+//! machine-readable pipeline: one `batch` run performs cold + warm-started
+//! inference (exercising the verdict cache end to end) and analyzes the
+//! whole generated-app suite under the inferred, handwritten, and
+//! ground-truth specification variants, emitting a JSON report
+//! (`atlas-batch/1`) with per-app timings, cache hit rates, and
+//! precision/recall.
+//!
 //! The sampling budget is controlled by the `ATLAS_SAMPLES` environment
 //! variable (default 4000 candidates per class cluster), the number of
 //! benchmark apps by `ATLAS_APPS` (default 46), and the inference engine's
 //! worker-thread count by `ATLAS_THREADS` (default 0 = one per core; the
 //! thread count changes wall-clock only, never results).
 
+pub mod batch;
 pub mod context;
 pub mod experiments;
+pub mod json;
 
+pub use batch::{run_batch, BatchConfig, BatchReport};
 pub use context::{EvalContext, SpecSet};
+pub use json::Json;

@@ -20,11 +20,20 @@
 //! A [`Session`] is one prepared run: the resolved cluster jobs plus the
 //! resolved thread count.  [`Engine::run`] is the one-shot convenience;
 //! sessions can also be inspected before running (`jobs()`, `num_threads()`).
+//!
+//! **Warm starts.**  [`Engine::warm_start`] seeds every per-cluster oracle
+//! with a content-addressed [`VerdictCache`] from a previous run, and
+//! [`Session::into_cache`] harvests the (deterministically merged) cache
+//! after a run.  Because the oracle is a deterministic function, a warm
+//! cache changes *only* how many unit tests are re-executed — never the
+//! learned automata — so the determinism guarantee extends to any cache
+//! state: cold and warm runs are bit-identical result-for-result.
 
 use crate::inference::{AtlasConfig, ClusterOutcome, InferenceOutcome, ParallelismSummary};
 use atlas_ir::{ClassId, LibraryInterface, Program};
 use atlas_learn::{
-    infer_fsa, sample_positive_examples, Oracle, OracleConfig, OracleStats, SampleResult,
+    infer_fsa, sample_positive_examples, CacheStats, Oracle, OracleConfig, OracleStats,
+    SampleResult, VerdictCache,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -34,10 +43,32 @@ use std::time::{Duration, Instant};
 ///
 /// Borrows the program and interface for its lifetime; cheap to construct.
 /// See the [module docs](self) for the execution model.
+///
+/// ```
+/// use atlas_core::{AtlasConfig, Engine};
+/// use atlas_ir::LibraryInterface;
+///
+/// let mut pb = atlas_ir::builder::ProgramBuilder::new();
+/// atlas_javalib::install_library(&mut pb);
+/// atlas_javalib::install_box_example(&mut pb);
+/// let program = pb.build();
+/// let interface = LibraryInterface::from_program(&program);
+///
+/// let config = AtlasConfig {
+///     samples_per_cluster: 300,
+///     clusters: vec![vec![program.class_named("Box").unwrap()]],
+///     num_threads: 1,
+///     ..AtlasConfig::default()
+/// };
+/// let outcome = Engine::new(&program, &interface, config).run();
+/// assert_eq!(outcome.clusters.len(), 1);
+/// assert!(outcome.oracle_queries > 0);
+/// ```
 pub struct Engine<'p> {
     program: &'p Program,
     interface: &'p LibraryInterface,
     config: AtlasConfig,
+    warm: VerdictCache,
 }
 
 /// One cluster's work order: which classes, and which deterministic seed.
@@ -64,7 +95,60 @@ impl<'p> Engine<'p> {
             program,
             interface,
             config,
+            warm: VerdictCache::new(),
         }
+    }
+
+    /// Seeds the engine with a verdict cache from a previous run: every
+    /// per-cluster oracle starts from (a warm-marked copy of) these entries
+    /// and skips re-executing any unit test whose verdict is already known.
+    ///
+    /// The cache never changes *results* — verdicts are deterministic, so a
+    /// hit returns exactly what re-execution would have — only the number of
+    /// executions.  Entries keyed for a different library variant, different
+    /// execution limits, or a different initialization strategy can never be
+    /// looked up (content-addressed keys), so stale caches are harmless.
+    ///
+    /// ```
+    /// use atlas_core::{AtlasConfig, Engine};
+    /// use atlas_ir::LibraryInterface;
+    ///
+    /// let mut pb = atlas_ir::builder::ProgramBuilder::new();
+    /// atlas_javalib::install_library(&mut pb);
+    /// atlas_javalib::install_box_example(&mut pb);
+    /// let program = pb.build();
+    /// let interface = LibraryInterface::from_program(&program);
+    /// let config = AtlasConfig {
+    ///     samples_per_cluster: 300,
+    ///     clusters: vec![vec![program.class_named("Box").unwrap()]],
+    ///     num_threads: 1,
+    ///     ..AtlasConfig::default()
+    /// };
+    ///
+    /// // Cold run: pay for every unit test, then harvest the cache.
+    /// let engine = Engine::new(&program, &interface, config.clone());
+    /// let mut session = engine.session();
+    /// let cold = session.run();
+    /// let cache = session.into_cache();
+    ///
+    /// // Warm run: identical results, no re-executions.
+    /// let warm = Engine::new(&program, &interface, config)
+    ///     .warm_start(cache)
+    ///     .run();
+    /// assert_eq!(cold.specs(8, 64), warm.specs(8, 64));
+    /// assert_eq!(warm.oracle_executions, 0);
+    /// assert!(warm.cache_stats.warm_hits > 0);
+    /// ```
+    pub fn warm_start(mut self, mut cache: VerdictCache) -> Engine<'p> {
+        cache.mark_warm();
+        self.warm.merge(cache);
+        self
+    }
+
+    /// The warm-start cache sessions will begin from (empty unless
+    /// [`Engine::warm_start`] was called).
+    pub fn warm_cache(&self) -> &VerdictCache {
+        &self.warm
     }
 
     /// The program under inference.
@@ -103,6 +187,7 @@ impl<'p> Engine<'p> {
             engine: self,
             jobs,
             num_threads,
+            collected: self.warm.warm_clone(),
         }
     }
 
@@ -124,11 +209,44 @@ fn resolve_threads(configured: usize, num_jobs: usize) -> usize {
     want.clamp(1, num_jobs.max(1))
 }
 
-/// A prepared inference run: resolved jobs plus the resolved thread count.
+/// A prepared inference run: resolved jobs, the resolved thread count, and
+/// the verdict cache the run starts from (and accumulates into).
+///
+/// ```
+/// use atlas_core::{AtlasConfig, Engine};
+/// use atlas_ir::LibraryInterface;
+///
+/// let mut pb = atlas_ir::builder::ProgramBuilder::new();
+/// atlas_javalib::install_library(&mut pb);
+/// atlas_javalib::install_box_example(&mut pb);
+/// let program = pb.build();
+/// let interface = LibraryInterface::from_program(&program);
+/// let config = AtlasConfig {
+///     samples_per_cluster: 200,
+///     clusters: vec![vec![program.class_named("Box").unwrap()], vec![]],
+///     num_threads: 8,
+///     ..AtlasConfig::default()
+/// };
+/// let engine = Engine::new(&program, &interface, config);
+///
+/// // Sessions can be inspected before running.
+/// let mut session = engine.session();
+/// assert_eq!(session.jobs().len(), 2);
+/// assert_eq!(session.num_threads(), 2, "never more workers than jobs");
+///
+/// let outcome = session.run();
+/// assert_eq!(outcome.clusters.len(), 1, "the empty cluster is skipped");
+/// // The harvested cache holds every verdict the run paid for.
+/// assert!(!session.into_cache().is_empty());
+/// ```
 pub struct Session<'e, 'p> {
     engine: &'e Engine<'p>,
     jobs: Vec<ClusterJob>,
     num_threads: usize,
+    /// Starts as a warm-marked copy of the engine's warm cache; after
+    /// [`Session::run`], additionally holds every verdict the run computed,
+    /// merged in cluster order.
+    collected: VerdictCache,
 }
 
 /// What one worker produces for one cluster (`None` when the cluster's
@@ -136,6 +254,7 @@ pub struct Session<'e, 'p> {
 struct ClusterRun {
     outcome: ClusterOutcome,
     stats: OracleStats,
+    cache: VerdictCache,
 }
 
 impl<'e, 'p> Session<'e, 'p> {
@@ -149,22 +268,31 @@ impl<'e, 'p> Session<'e, 'p> {
         self.num_threads
     }
 
+    /// Consumes the session and returns its verdict cache: the warm-start
+    /// entries plus — once [`Session::run`] has been called — every verdict
+    /// the run computed, merged deterministically in cluster order.  Feed it
+    /// to [`Engine::warm_start`] to skip those executions in the next run.
+    pub fn into_cache(self) -> VerdictCache {
+        self.collected
+    }
+
     /// Runs all cluster pipelines and merges the results in cluster order.
-    pub fn run(&self) -> InferenceOutcome {
+    pub fn run(&mut self) -> InferenceOutcome {
         let wall = Instant::now();
-        let slots: Vec<Option<ClusterRun>> = if self.num_threads <= 1 {
+        let this: &Session<'_, '_> = self;
+        let slots: Vec<Option<ClusterRun>> = if this.num_threads <= 1 {
             // Inline fast path: no thread spawn, identical pipeline.
-            self.jobs.iter().map(|job| self.run_cluster(job)).collect()
+            this.jobs.iter().map(|job| this.run_cluster(job)).collect()
         } else {
             let cursor = AtomicUsize::new(0);
             let results: Mutex<Vec<Option<ClusterRun>>> =
-                Mutex::new((0..self.jobs.len()).map(|_| None).collect());
+                Mutex::new((0..this.jobs.len()).map(|_| None).collect());
             std::thread::scope(|scope| {
-                for _ in 0..self.num_threads {
+                for _ in 0..this.num_threads {
                     scope.spawn(|| loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = self.jobs.get(i) else { break };
-                        let run = self.run_cluster(job);
+                        let Some(job) = this.jobs.get(i) else { break };
+                        let run = this.run_cluster(job);
                         results.lock().expect("result lock poisoned")[i] = run;
                     });
                 }
@@ -178,14 +306,19 @@ impl<'e, 'p> Session<'e, 'p> {
             phase2_time: Duration::ZERO,
             oracle_queries: 0,
             oracle_executions: 0,
+            cache_stats: CacheStats::default(),
             wall_time: Duration::ZERO,
             num_threads: self.num_threads,
         };
         let mut stats = OracleStats::default();
+        // Merge in cluster order: per-cluster caches and counters fold into
+        // the session totals identically for any scheduling of the workers.
         for run in slots.into_iter().flatten() {
             outcome.phase1_time += run.outcome.phase1_time;
             outcome.phase2_time += run.outcome.phase2_time;
             stats.merge(run.stats);
+            outcome.cache_stats.merge(run.cache.stats());
+            self.collected.merge(run.cache);
             outcome.clusters.push(run.outcome);
         }
         outcome.oracle_queries = stats.queries;
@@ -209,7 +342,15 @@ impl<'e, 'p> Session<'e, 'p> {
             limits: config.limits,
             ..OracleConfig::default()
         };
-        let mut oracle = Oracle::new(engine.program, engine.interface, oracle_config);
+        // Each cluster starts from its own copy of the session's warm cache:
+        // workers never share mutable state, so the thread count cannot
+        // change which verdicts are hits.
+        let mut oracle = Oracle::with_cache(
+            engine.program,
+            engine.interface,
+            oracle_config,
+            self.collected.warm_clone(),
+        );
         let mut sampler_config = config.sampler.clone();
         // Decorrelate clusters while staying deterministic.
         sampler_config.seed = job.seed;
@@ -228,8 +369,10 @@ impl<'e, 'p> Session<'e, 'p> {
         let rpni = infer_fsa(&samples.positives, &mut oracle, &config.rpni);
         let phase2_time = t2.elapsed();
 
+        let stats = oracle.stats();
         Some(ClusterRun {
-            stats: oracle.stats(),
+            stats,
+            cache: oracle.into_cache(),
             outcome: ClusterOutcome {
                 classes: job.classes.clone(),
                 num_samples: samples.num_samples,

@@ -8,7 +8,7 @@
 
 use atlas_interp::ExecLimits;
 use atlas_ir::{ClassId, LibraryInterface, Program};
-use atlas_learn::{RpniConfig, SamplerConfig, SamplingStrategy};
+use atlas_learn::{CacheStats, RpniConfig, SamplerConfig, SamplingStrategy};
 use atlas_spec::{CodeFragments, Fsa, PathSpec};
 use atlas_synth::InitStrategy;
 use std::fmt;
@@ -124,6 +124,10 @@ pub struct InferenceOutcome {
     pub oracle_queries: usize,
     /// Total unit-test executions.
     pub oracle_executions: usize,
+    /// Aggregated verdict-cache activity (lookups, hits, warm hits,
+    /// evictions), summed over the per-cluster oracles in cluster order.
+    /// `cache_stats.warm_hits > 0` indicates the run was warm-started.
+    pub cache_stats: CacheStats,
     /// End-to-end wall-clock of the run (differs from `phase1_time +
     /// phase2_time` when clusters ran in parallel).
     pub wall_time: Duration,

@@ -20,10 +20,18 @@
 //! count never changes the result, only the wall-clock.
 //! [`infer_specifications`] remains as the one-call convenience wrapper.
 //!
+//! Oracle verdicts are memoized in a content-addressed [`VerdictCache`]
+//! that can be harvested from one run ([`Session::into_cache`]) and fed to
+//! the next ([`Engine::warm_start`]), so repeated runs — config sweeps,
+//! re-inference after interface edits, the batch evaluation pipeline —
+//! skip already-proven verdicts without ever changing results.
+//!
 //! [`report`] contains the machinery used by the evaluation to compare an
 //! inferred specification set against a reference corpus (handwritten or
 //! ground truth), using the fractional statement-level counting described in
 //! Section 6.
+
+#![warn(missing_docs)]
 
 pub mod engine;
 pub mod inference;
@@ -34,3 +42,7 @@ pub use inference::{
     infer_specifications, AtlasConfig, ClusterOutcome, InferenceOutcome, ParallelismSummary,
 };
 pub use report::{compare_fragments, MethodComparison, SpecComparison};
+
+// The verdict-cache vocabulary of the Engine API, re-exported so engine
+// users don't need a direct `atlas-learn` dependency.
+pub use atlas_learn::{library_fingerprint, CacheKeyer, CacheStats, VerdictCache, VerdictKey};

@@ -1,0 +1,516 @@
+//! The verdict cache: content-addressed memoization of oracle answers.
+//!
+//! The inference loop spends almost all of its time in the noisy oracle,
+//! executing synthesized unit tests.  The oracle is a *deterministic*
+//! function of the library implementation, the candidate word, the
+//! initialization strategy, and the execution limits — so a verdict paid
+//! for once can be reused by any later oracle that agrees on all four,
+//! whether in the same run (sampling re-draws the same candidates
+//! constantly), across sessions (config sweeps, re-runs after interface
+//! edits), or across clusters of the same library.
+//!
+//! Keys are *content-addressed* ([`VerdictKey`]): they hash the library's
+//! observable content (signatures **and** method bodies), not in-memory ids,
+//! so a cache built over one program instance warm-starts an oracle over a
+//! freshly built but identical program — and yields zero (false) hits when
+//! the library implementation differs, even if the interface looks the same
+//! ([`library_fingerprint`]).  See `DESIGN.md` for the data flow through
+//! the engine's `warm_start`/`into_cache` and the determinism invariant:
+//! a warm-started run produces bit-identical automata, it only skips
+//! re-executions.
+
+use atlas_interp::ExecLimits;
+use atlas_ir::{pretty, LibraryInterface, MethodId, ParamSlot, Program, SlotKind};
+use atlas_synth::InitStrategy;
+use std::collections::{HashMap, VecDeque};
+
+/// 64-bit FNV-1a, used for all content hashing in this module.  Chosen over
+/// `std`'s `DefaultHasher` because its output is *specified*: keys computed
+/// in different processes (or serialized by future PRs) must agree.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new(seed: u64) -> Fnv {
+        let mut h = Fnv(Self::OFFSET);
+        h.write_u64(seed);
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        // Terminator so ("ab","c") and ("a","bc") hash differently.
+        self.write(&[0xff]);
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// A content-addressed fingerprint of the library an oracle executes
+/// against: every interface signature **plus** the pretty-printed body of
+/// every library method.  Two library variants with identical interfaces
+/// but different implementations (e.g. a patched `ArrayList`) therefore get
+/// different fingerprints, and their cached verdicts never cross-pollinate.
+pub fn library_fingerprint(program: &Program, interface: &LibraryInterface) -> u64 {
+    let mut h = Fnv::new(0x11b);
+    for sig in interface.methods() {
+        h.write_u64(method_content_hash(program, interface, sig.method));
+    }
+    h.finish()
+}
+
+/// Content hash of a single library method: signature and implementation.
+fn method_content_hash(program: &Program, interface: &LibraryInterface, method: MethodId) -> u64 {
+    let mut h = Fnv::new(0x3ad);
+    match interface.sig(method) {
+        Some(sig) => {
+            h.write_str(&sig.class_name);
+            h.write_str(&sig.name);
+            h.write(&[sig.has_this as u8, sig.is_constructor as u8]);
+            for ty in &sig.param_types {
+                h.write_str(&ty.to_string());
+            }
+            h.write_str(&sig.return_type.to_string());
+            h.write_str(&pretty::method_to_string(program, program.method(method)));
+        }
+        None => {
+            // Not part of the interface: fall back to the raw id.  Only
+            // reachable through hand-built words over non-library methods;
+            // such keys are program-local but still deterministic.
+            h.write_u64(u64::from(method.index()));
+        }
+    }
+    h.finish()
+}
+
+/// Computes [`VerdictKey`]s for one oracle context.
+///
+/// The context — library fingerprint, [`InitStrategy`], [`ExecLimits`] — is
+/// hashed once at construction; per-method content hashes are precomputed so
+/// that keying a word is a handful of integer mixes, cheap enough for the
+/// oracle's hot path.
+#[derive(Debug, Clone)]
+pub struct CacheKeyer {
+    context: u64,
+    method_hash: HashMap<MethodId, u64>,
+}
+
+impl CacheKeyer {
+    /// Builds a keyer for an oracle over `program`/`interface` running
+    /// unit tests under `strategy` and `limits`.
+    pub fn new(
+        program: &Program,
+        interface: &LibraryInterface,
+        strategy: InitStrategy,
+        limits: ExecLimits,
+    ) -> CacheKeyer {
+        // Hash each method's content once; the fingerprint folds the same
+        // per-method hashes in interface order (see `library_fingerprint`).
+        let mut fp = Fnv::new(0x11b);
+        let mut method_hash = HashMap::new();
+        for sig in interface.methods() {
+            let mh = method_content_hash(program, interface, sig.method);
+            fp.write_u64(mh);
+            method_hash.insert(sig.method, mh);
+        }
+        let mut h = Fnv::new(0xc0de);
+        h.write_u64(fp.finish());
+        h.write(&[match strategy {
+            InitStrategy::Null => 0,
+            InitStrategy::Instantiate => 1,
+        }]);
+        h.write_u64(limits.max_steps as u64);
+        h.write_u64(limits.max_call_depth as u64);
+        h.write_u64(limits.max_heap_objects as u64);
+        CacheKeyer {
+            context: h.finish(),
+            method_hash,
+        }
+    }
+
+    /// The context half of every key this keyer produces (library
+    /// fingerprint mixed with strategy and limits).
+    pub fn context(&self) -> u64 {
+        self.context
+    }
+
+    /// The content-addressed key for one candidate word.
+    pub fn key(&self, word: &[ParamSlot]) -> VerdictKey {
+        let mut a = Fnv::new(0x9e37_79b9);
+        let mut b = Fnv::new(0x85eb_ca6b);
+        for slot in word {
+            let mh = self
+                .method_hash
+                .get(&slot.method)
+                .copied()
+                .unwrap_or_else(|| u64::from(slot.method.index()) | 1 << 63);
+            let kind = match slot.kind {
+                SlotKind::Receiver => 0u64,
+                SlotKind::Param(i) => 1 + u64::from(i),
+                SlotKind::Return => u64::MAX,
+            };
+            a.write_u64(mh);
+            a.write_u64(kind);
+            b.write_u64(kind);
+            b.write_u64(mh);
+        }
+        VerdictKey {
+            context: self.context,
+            word: a.finish(),
+            word2: b.finish(),
+        }
+    }
+}
+
+/// A content-addressed cache key: 64 bits of oracle context (library
+/// fingerprint, initialization strategy, execution limits) plus 128 bits of
+/// word content.  Two independent word hashes make accidental collisions
+/// negligible at any realistic cache size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VerdictKey {
+    context: u64,
+    word: u64,
+    word2: u64,
+}
+
+impl VerdictKey {
+    /// The context half of the key (see [`CacheKeyer::context`]).
+    pub fn context(&self) -> u64 {
+        self.context
+    }
+}
+
+/// Counters describing a [`VerdictCache`]'s activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub lookups: usize,
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// The subset of `hits` answered by *warm* entries — verdicts absorbed
+    /// from a previous session rather than computed during this one.
+    pub warm_hits: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// Entries inserted.
+    pub insertions: usize,
+    /// Entries evicted to respect the capacity limit.
+    pub evictions: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of lookups answered by warm-start entries.
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Folds another counter set into this one.  Counters are plain sums,
+    /// so per-cluster statistics merge into the same totals regardless of
+    /// scheduling order.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.warm_hits += other.warm_hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
+}
+
+/// One cached verdict.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    verdict: bool,
+    /// `true` when the entry was absorbed from a previous session (via
+    /// [`VerdictCache::warm_clone`] or [`VerdictCache::merge`] into a fresh
+    /// cache) rather than inserted by the current owner.
+    warm: bool,
+}
+
+/// A bounded, deterministic store of oracle verdicts keyed by
+/// [`VerdictKey`].
+///
+/// * **Deterministic.**  Eviction is FIFO over insertion order and
+///   [`merge`](VerdictCache::merge) walks the donor in its insertion order
+///   with first-entry-wins, so the cache contents are a pure function of
+///   the operation sequence — never of hash-map iteration order.
+/// * **Collision-free in practice.**  Keys carry 192 bits of content hash;
+///   a collision would require ~2^96 distinct words.
+///
+/// ```
+/// use atlas_learn::{CacheStats, VerdictCache};
+/// let mut cache = VerdictCache::with_capacity(2);
+/// let keys = VerdictCache::test_keys(3);
+/// cache.insert(keys[0], true);
+/// cache.insert(keys[1], false);
+/// cache.insert(keys[2], true); // evicts keys[0] (FIFO)
+/// assert_eq!(cache.len(), 2);
+/// assert_eq!(cache.get(keys[0]), None);
+/// assert_eq!(cache.get(keys[2]), Some(true));
+/// assert_eq!(cache.stats().evictions, 1);
+/// assert_eq!(cache.stats().hit_rate(), 0.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VerdictCache {
+    map: HashMap<VerdictKey, Entry>,
+    order: VecDeque<VerdictKey>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl VerdictCache {
+    /// An empty, unbounded cache.
+    pub fn new() -> VerdictCache {
+        VerdictCache::with_capacity(usize::MAX)
+    }
+
+    /// An empty cache that holds at most `capacity` entries, evicting the
+    /// oldest (FIFO) beyond that.  `0` is treated as "unbounded".
+    pub fn with_capacity(capacity: usize) -> VerdictCache {
+        VerdictCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: if capacity == 0 { usize::MAX } else { capacity },
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The capacity limit (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The activity counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a verdict, recording a hit or miss.
+    pub fn get(&mut self, key: VerdictKey) -> Option<bool> {
+        self.stats.lookups += 1;
+        match self.map.get(&key) {
+            Some(entry) => {
+                self.stats.hits += 1;
+                if entry.warm {
+                    self.stats.warm_hits += 1;
+                }
+                Some(entry.verdict)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a verdict without touching the counters.
+    pub fn peek(&self, key: VerdictKey) -> Option<bool> {
+        self.map.get(&key).map(|e| e.verdict)
+    }
+
+    /// Inserts a verdict computed by the current session.  Existing entries
+    /// win: the oracle is deterministic, so a collision can only carry the
+    /// same value anyway.
+    pub fn insert(&mut self, key: VerdictKey, verdict: bool) {
+        self.insert_entry(
+            key,
+            Entry {
+                verdict,
+                warm: false,
+            },
+        );
+    }
+
+    fn insert_entry(&mut self, key: VerdictKey, entry: Entry) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.map.remove(&oldest);
+                    self.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        self.map.insert(key, entry);
+        self.order.push_back(key);
+        self.stats.insertions += 1;
+    }
+
+    /// Marks every entry *warm* and zeroes the counters, turning this cache
+    /// into the starting state of a new session: statistics accumulate from
+    /// a clean slate and every hit on a pre-existing entry is attributable
+    /// as a warm hit.
+    pub fn mark_warm(&mut self) {
+        for entry in self.map.values_mut() {
+            entry.warm = true;
+        }
+        self.stats = CacheStats::default();
+    }
+
+    /// A [`mark_warm`](VerdictCache::mark_warm)ed copy — what a
+    /// warm-started engine session hands to each per-cluster oracle.
+    pub fn warm_clone(&self) -> VerdictCache {
+        let mut clone = self.clone();
+        clone.mark_warm();
+        clone
+    }
+
+    /// Absorbs another cache: entries are inserted in the donor's insertion
+    /// order (first entry wins, deterministically) and the donor's counters
+    /// are folded into this cache's via [`CacheStats::merge`].
+    pub fn merge(&mut self, other: VerdictCache) {
+        // Adopted entries are not charged as fresh insertions here — the
+        // donor already counted them, and its history is folded in below.
+        let insertions_before = self.stats.insertions;
+        for key in &other.order {
+            if let Some(entry) = other.map.get(key) {
+                self.insert_entry(*key, *entry);
+            }
+        }
+        self.stats.insertions = insertions_before;
+        self.stats.merge(other.stats);
+    }
+
+    /// Synthetic, pairwise-distinct keys for tests and doctests.
+    pub fn test_keys(n: usize) -> Vec<VerdictKey> {
+        (0..n as u64)
+            .map(|i| VerdictKey {
+                context: 0x7e57,
+                word: i,
+                word2: !i,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        let mut a = Fnv::new(1);
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv::new(1);
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv::new(1);
+        c.write_str("ab");
+        c.write_str("c");
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn cache_is_fifo_bounded_and_counts() {
+        let keys = VerdictCache::test_keys(4);
+        let mut cache = VerdictCache::with_capacity(2);
+        assert!(cache.is_empty());
+        cache.insert(keys[0], true);
+        cache.insert(keys[1], false);
+        // Re-inserting is a no-op (first wins).
+        cache.insert(keys[1], true);
+        assert_eq!(cache.peek(keys[1]), Some(false));
+        cache.insert(keys[2], true);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(keys[0]), None, "oldest entry evicted");
+        assert_eq!(cache.get(keys[2]), Some(true));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.insertions, 3);
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.warm_hits, 0);
+    }
+
+    #[test]
+    fn warm_clone_marks_entries_and_merge_is_first_wins() {
+        let keys = VerdictCache::test_keys(3);
+        let mut a = VerdictCache::new();
+        a.insert(keys[0], true);
+        a.insert(keys[1], false);
+        let _ = a.get(keys[0]);
+
+        let mut warm = a.warm_clone();
+        assert_eq!(warm.stats(), CacheStats::default());
+        assert_eq!(warm.get(keys[0]), Some(true));
+        assert_eq!(warm.stats().warm_hits, 1);
+
+        // Merge: existing entries win, donor stats fold in.
+        let mut b = VerdictCache::new();
+        b.insert(keys[1], true); // conflicts with a's `false` — b's wins in b
+        b.merge(a.clone());
+        assert_eq!(b.peek(keys[1]), Some(true));
+        assert_eq!(b.peek(keys[0]), Some(true));
+        assert_eq!(b.len(), 2);
+        let stats = b.stats();
+        assert_eq!(stats.lookups, a.stats().lookups);
+        assert_eq!(stats.insertions, 1 + a.stats().insertions);
+    }
+
+    #[test]
+    fn stats_merge_is_a_plain_sum() {
+        let a = CacheStats {
+            lookups: 10,
+            hits: 6,
+            warm_hits: 2,
+            misses: 4,
+            insertions: 4,
+            evictions: 1,
+        };
+        let mut m = CacheStats::default();
+        m.merge(a);
+        m.merge(a);
+        assert_eq!(m.lookups, 20);
+        assert_eq!(m.hits, 12);
+        assert_eq!(m.warm_hits, 4);
+        assert_eq!(m.misses, 8);
+        assert_eq!(m.insertions, 8);
+        assert_eq!(m.evictions, 2);
+        assert!((m.hit_rate() - 0.6).abs() < 1e-9);
+        assert!((m.warm_hit_rate() - 0.2).abs() < 1e-9);
+    }
+}

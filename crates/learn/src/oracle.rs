@@ -1,11 +1,11 @@
 //! The noisy oracle: check a candidate path specification by synthesizing a
 //! potential witness and executing it against the blackbox library.
 
+use crate::cache::{CacheKeyer, CacheStats, VerdictCache};
 use atlas_interp::{ExecLimits, Interpreter};
 use atlas_ir::{LibraryInterface, ParamSlot, Program};
 use atlas_spec::PathSpec;
 use atlas_synth::{synthesize_witness, InitStrategy, InstantiationPlanner, WitnessTest};
-use std::collections::HashMap;
 
 /// Configuration of the oracle.
 #[derive(Debug, Clone)]
@@ -52,30 +52,59 @@ impl OracleStats {
 }
 
 /// The noisy oracle of Section 5.1.
+///
+/// Every verdict is memoized in a content-addressed [`VerdictCache`]
+/// (random sampling re-draws the same candidates constantly), and the cache
+/// can be moved between oracles — and across *sessions* — with
+/// [`Oracle::into_cache`] / [`Oracle::absorb_cache`].  Because the keys
+/// hash the library's content rather than in-memory ids, a cache built over
+/// one program instance warm-starts an oracle over a freshly built but
+/// identical program, while a different library variant (or different
+/// execution limits / initialization strategy) never produces a hit.
 pub struct Oracle<'p> {
     program: &'p Program,
     interface: &'p LibraryInterface,
     planner: InstantiationPlanner,
     config: OracleConfig,
-    cache: HashMap<Vec<ParamSlot>, bool>,
+    keyer: CacheKeyer,
+    cache: VerdictCache,
     stats: OracleStats,
 }
 
 impl<'p> Oracle<'p> {
     /// Creates an oracle over the given program (which must contain the
-    /// library implementation) and interface.
+    /// library implementation) and interface, starting from an empty cache.
     pub fn new(
         program: &'p Program,
         interface: &'p LibraryInterface,
         config: OracleConfig,
     ) -> Oracle<'p> {
+        Oracle::with_cache(program, interface, config, VerdictCache::new())
+    }
+
+    /// Creates an oracle warm-started with the given verdict cache: its
+    /// entries are marked warm (so hits on them are attributable in
+    /// [`CacheStats::warm_hits`]) and its counters restart from zero.
+    ///
+    /// Entries whose key context does not match this oracle's (different
+    /// library content, limits, or initialization strategy) are carried but
+    /// can never be looked up, so they are harmless.
+    pub fn with_cache(
+        program: &'p Program,
+        interface: &'p LibraryInterface,
+        config: OracleConfig,
+        mut cache: VerdictCache,
+    ) -> Oracle<'p> {
+        cache.mark_warm();
         let planner = InstantiationPlanner::new(program, interface);
+        let keyer = CacheKeyer::new(program, interface, config.strategy, config.limits);
         Oracle {
             program,
             interface,
             planner,
             config,
-            cache: HashMap::new(),
+            keyer,
+            cache,
             stats: OracleStats::default(),
         }
     }
@@ -85,25 +114,31 @@ impl<'p> Oracle<'p> {
         self.stats
     }
 
-    /// Consumes the oracle and returns its memo cache, so the answers paid
-    /// for in one pipeline stage can warm-start another oracle over the
-    /// same program.
-    ///
-    /// Not used by the engine's cluster scheduler: sharing caches between
-    /// parallel workers would make `executions` counts depend on scheduling
-    /// order, breaking its thread-count-invariance guarantee.  This is the
-    /// seam for future *sequential* reuse (sharded or resumed runs).
-    pub fn into_cache(self) -> HashMap<Vec<ParamSlot>, bool> {
+    /// The verdict cache's activity counters (hits, misses, warm hits).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The content-addressed keyer for this oracle's context, for callers
+    /// that build or inspect cache entries themselves.
+    pub fn keyer(&self) -> &CacheKeyer {
+        &self.keyer
+    }
+
+    /// Consumes the oracle and returns its verdict cache, so the answers
+    /// paid for in one run can warm-start another oracle — a later cluster,
+    /// a re-run after an interface edit, or a whole new session (see the
+    /// engine's `warm_start` in `atlas-core`).
+    pub fn into_cache(self) -> VerdictCache {
         self.cache
     }
 
-    /// Pre-populates the memo cache with entries from a previous oracle.
+    /// Pre-populates the verdict cache with entries from a previous oracle.
     /// Existing entries win: the oracle is deterministic, so a collision can
     /// only carry the same value anyway.
-    pub fn absorb_cache(&mut self, cache: HashMap<Vec<ParamSlot>, bool>) {
-        for (word, verdict) in cache {
-            self.cache.entry(word).or_insert(verdict);
-        }
+    pub fn absorb_cache(&mut self, mut cache: VerdictCache) {
+        cache.mark_warm();
+        self.cache.merge(cache);
     }
 
     /// The interface the oracle works over.
@@ -124,14 +159,15 @@ impl<'p> Oracle<'p> {
     /// candidates), are always rejected.
     pub fn check_word(&mut self, word: &[ParamSlot]) -> bool {
         self.stats.queries += 1;
-        if let Some(&hit) = self.cache.get(word) {
+        let key = self.keyer.key(word);
+        if let Some(hit) = self.cache.get(key) {
             if hit {
                 self.stats.positives += 1;
             }
             return hit;
         }
         if word.chunks(2).any(|c| c.len() == 2 && c[0] == c[1]) {
-            self.cache.insert(word.to_vec(), false);
+            self.cache.insert(key, false);
             return false;
         }
         let result = match PathSpec::new(word.to_vec()) {
@@ -139,7 +175,7 @@ impl<'p> Oracle<'p> {
             Err(_) => false,
         };
         if self.config.memoize {
-            self.cache.insert(word.to_vec(), result);
+            self.cache.insert(key, result);
         }
         if result {
             self.stats.positives += 1;

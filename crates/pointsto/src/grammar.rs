@@ -21,13 +21,21 @@ use std::fmt;
 /// abstracted to a `u32` key (the `FieldId` index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Terminal {
+    /// A copy `dst = src` (edge from `src` to `dst`).
     Assign,
+    /// The reverse of [`Terminal::Assign`].
     AssignBar,
+    /// An allocation `var = new C` (edge from the object to the variable).
     New,
+    /// The reverse of [`Terminal::New`].
     NewBar,
+    /// A field store `objvar.field = src`.
     Store(u32),
+    /// The reverse of [`Terminal::Store`].
     StoreBar(u32),
+    /// A field load `dst = objvar.field`.
     Load(u32),
+    /// The reverse of [`Terminal::Load`].
     LoadBar(u32),
 }
 
@@ -65,9 +73,13 @@ impl fmt::Display for Terminal {
 /// Nonterminals of `C_pt`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NonTerminal {
+    /// Value transfer through assignments and matched store/load pairs.
     Transfer,
+    /// The reverse of [`NonTerminal::Transfer`].
     TransferBar,
+    /// Two variables may refer to the same object.
     Alias,
+    /// An abstract object flows to a variable (the points-to relation).
     FlowsTo,
 }
 

@@ -52,16 +52,22 @@ pub struct ObjData {
 /// A field store constraint `objvar.field = src`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreEdge {
+    /// The stored value.
     pub src: NodeId,
+    /// The field (a `FieldId` index).
     pub field: u32,
+    /// The base variable whose object's field is written.
     pub objvar: NodeId,
 }
 
 /// A field load constraint `dst = objvar.field`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoadEdge {
+    /// The base variable whose object's field is read.
     pub objvar: NodeId,
+    /// The field (a `FieldId` index).
     pub field: u32,
+    /// The variable receiving the loaded value.
     pub dst: NodeId,
 }
 

@@ -22,6 +22,8 @@
 //! as per-method body overrides (how inferred/handwritten/ground-truth
 //! specifications are consumed).
 
+#![warn(missing_docs)]
+
 pub mod grammar;
 pub mod graph;
 pub mod result;

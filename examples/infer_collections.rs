@@ -46,7 +46,7 @@ fn main() {
         ..AtlasConfig::default()
     };
     let engine = Engine::new(&library, &interface, config);
-    let session = engine.session();
+    let mut session = engine.session();
     println!(
         "engine: {} cluster jobs on {} worker threads",
         session.jobs().len(),
@@ -105,4 +105,24 @@ fn main() {
     for spec in outcome.specs(6, 3).iter().take(15) {
         println!("  {}", spec.display(&interface));
     }
+
+    // Warm start: re-running the same configuration seeded with the
+    // harvested verdict cache skips every unit-test execution while
+    // producing bit-identical automata.
+    let cache = session.into_cache();
+    println!("\nverdict cache: {} entries harvested", cache.len());
+    let t = std::time::Instant::now();
+    let warm = Engine::new(&library, &interface, engine.config().clone())
+        .warm_start(cache)
+        .run();
+    println!(
+        "warm re-run: {:.2?} wall ({:.2?} cold), {} unit tests re-executed ({} cold), \
+         {:.0}% warm-hit rate, identical specs: {}",
+        t.elapsed(),
+        outcome.wall_time,
+        warm.oracle_executions,
+        outcome.oracle_executions,
+        100.0 * warm.cache_stats.warm_hit_rate(),
+        warm.specs(6, 3) == outcome.specs(6, 3),
+    );
 }

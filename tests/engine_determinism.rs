@@ -96,3 +96,58 @@ fn repeated_parallel_runs_are_stable() {
     }
     assert_eq!(a.oracle_queries, b.oracle_queries);
 }
+
+#[test]
+fn warm_cache_state_never_changes_results() {
+    // The determinism guarantee extends to the verdict-cache state: a run
+    // warm-started from a previous session's cache — at any thread count —
+    // produces the same outcome as a cold run, automaton for automaton.
+    // Only the execution count (and wall-clock) may drop.
+    let library = library_program();
+    let interface = LibraryInterface::from_program(&library);
+    let clusters: Vec<_> = [&["Box"][..], &["Stack"][..]]
+        .iter()
+        .map(|names| class_ids(&library, names))
+        .filter(|ids| !ids.is_empty())
+        .collect();
+    let config = AtlasConfig {
+        samples_per_cluster: 350,
+        clusters,
+        num_threads: 1,
+        ..AtlasConfig::default()
+    };
+
+    let engine = Engine::new(&library, &interface, config.clone());
+    let mut session = engine.session();
+    let cold = session.run();
+    let cache = session.into_cache();
+    assert!(!cache.is_empty());
+    assert!(cold.oracle_executions > 0);
+    assert_eq!(
+        cold.cache_stats.warm_hits, 0,
+        "cold run has no warm entries"
+    );
+
+    for num_threads in [1usize, 4] {
+        let warm = Engine::new(
+            &library,
+            &interface,
+            AtlasConfig {
+                num_threads,
+                ..config.clone()
+            },
+        )
+        .warm_start(cache.clone())
+        .run();
+        assert_eq!(cold.clusters.len(), warm.clusters.len());
+        for (a, b) in cold.clusters.iter().zip(&warm.clusters) {
+            assert_clusters_identical(a, b);
+        }
+        assert_eq!(cold.oracle_queries, warm.oracle_queries);
+        assert_eq!(cold.specs(8, 64), warm.specs(8, 64));
+        // Every verdict was already known: nothing re-executes.
+        assert_eq!(warm.oracle_executions, 0);
+        assert_eq!(warm.cache_stats.warm_hits, warm.cache_stats.hits);
+        assert_eq!(warm.cache_stats.hits, warm.cache_stats.lookups);
+    }
+}
