@@ -16,6 +16,15 @@
 //! 4. emits a machine-readable JSON report ([`BatchReport::json`], schema
 //!    `atlas-batch/1`) plus a short human summary.
 //!
+//! With a persistent store configured (`ATLAS_STORE=dir` or
+//! [`BatchConfig::store`]), the first leg additionally reloads the
+//! registry's verdict cache — warm-starting *across processes* — persists
+//! its own verdicts back, exports the inferred specification set
+//! (`specs.json`, schema `atlas-spec/1`), and byte-compares it against the
+//! previous process's export: the report's `store` section records the
+//! reload hit rate and the `cross_process_identical` verdict that CI's
+//! warm-start smoke step asserts.
+//!
 //! The `batch` binary prints the JSON to stdout (and the summary to
 //! stderr): `cargo run --release -p atlas-bench --bin batch > report.json`.
 
@@ -27,6 +36,7 @@ use atlas_ir::LibraryInterface;
 use atlas_javalib::{class_ids, library_program, CLASS_CLUSTERS};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// The three specification variants every app is analyzed under.
@@ -47,6 +57,14 @@ pub struct BatchConfig {
     /// diversity knobs wider than the historical suite: more patterns per
     /// app, more benign-payload sinks (precision bait), larger size spread.
     pub app_config: AppConfig,
+    /// Persistent store directory (`ATLAS_STORE`).  When set, the run
+    /// reads/writes `cache.json` (`atlas-cache/1`) and `specs.json`
+    /// (`atlas-spec/1`) in this directory: an existing cache warm-starts
+    /// the inference leg *across processes*, the run's verdicts are
+    /// persisted back (first-entry-wins merge), and the report gains a
+    /// `store` section with the reload hit rate and the cross-process
+    /// determinism verdict.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for BatchConfig {
@@ -63,13 +81,15 @@ impl Default for BatchConfig {
                 benign_sink_rate: 0.25,
                 size_factor: 2,
             },
+            store: None,
         }
     }
 }
 
 impl BatchConfig {
     /// Reads the configuration from the environment: `ATLAS_SAMPLES`,
-    /// `ATLAS_APPS`, `ATLAS_THREADS` as everywhere in the harness, plus
+    /// `ATLAS_APPS`, `ATLAS_THREADS` as everywhere in the harness,
+    /// `ATLAS_STORE` for the persistent store directory, plus
     /// `ATLAS_BATCH_SEED`, `ATLAS_BATCH_MAX_PATTERNS`, and
     /// `ATLAS_BATCH_SIZE_FACTOR` for the suite shape.
     pub fn from_env() -> BatchConfig {
@@ -83,6 +103,11 @@ impl BatchConfig {
         if let Some(factor) = env_parse("ATLAS_BATCH_SIZE_FACTOR") {
             config.app_config.size_factor = factor;
         }
+        if let Ok(dir) = std::env::var("ATLAS_STORE") {
+            if !dir.is_empty() {
+                config.store = Some(PathBuf::from(dir));
+            }
+        }
         config
     }
 
@@ -95,6 +120,7 @@ impl BatchConfig {
                 count: 3,
                 ..BatchConfig::default().app_config
             },
+            store: None,
         }
     }
 }
@@ -162,6 +188,20 @@ pub struct BatchReport {
     pub summary: String,
 }
 
+/// The spec-extraction bounds every batch run uses (`specs(8, 64)` —
+/// matching the identity check), so spec artifacts from different runs are
+/// comparable byte-for-byte.
+const SPEC_MAX_LEN: usize = 8;
+/// See [`SPEC_MAX_LEN`].
+const SPEC_LIMIT: usize = 64;
+
+/// Resolved store file locations inside the `ATLAS_STORE` directory.
+struct StorePaths {
+    dir: PathBuf,
+    cache: PathBuf,
+    specs: PathBuf,
+}
+
 /// Runs the full batch pipeline.  See the [module docs](self).
 pub fn run_batch(config: &BatchConfig) -> BatchReport {
     let library = library_program();
@@ -178,14 +218,67 @@ pub fn run_batch(config: &BatchConfig) -> BatchReport {
         ..AtlasConfig::default()
     };
 
-    // 1. Cold inference, harvesting the verdict cache.
+    // The persistent store: an existing cache warm-starts the first leg
+    // *across processes*; the leg's verdicts are persisted back afterwards.
+    let store = config.store.as_ref().map(|dir| StorePaths {
+        dir: dir.clone(),
+        cache: dir.join("cache.json"),
+        specs: dir.join("specs.json"),
+    });
+    let mut loaded_entries = 0usize;
+    let disk_cache: Option<VerdictCache> =
+        store
+            .as_ref()
+            .filter(|paths| paths.cache.exists())
+            .map(|paths| {
+                let artifact = atlas_store::load_cache(&paths.cache)
+                    .unwrap_or_else(|e| panic!("batch: cannot reload store cache: {e}"));
+                loaded_entries = artifact.num_entries();
+                artifact.to_cache()
+            });
+    let warm_started_from_disk = disk_cache.is_some();
+
+    // 1. First inference leg, harvesting the verdict cache.  Cold — unless
+    //    the store held a cache, in which case this is a cross-process warm
+    //    run and every cached word skips its oracle execution.
     let cold_start = Instant::now();
-    let engine = Engine::new(&library, &interface, atlas_config.clone());
+    let mut engine = Engine::new(&library, &interface, atlas_config.clone());
+    if let Some(cache) = disk_cache {
+        engine = engine.warm_start(cache);
+    }
     let mut session = engine.session();
     let cold = session.run();
     let cold_time = cold_start.elapsed();
+    let reload_hit_rate = cold.cache_stats.warm_hit_rate();
+    let persist = store.as_ref().map(|paths| {
+        session
+            .persist(&paths.cache)
+            .unwrap_or_else(|e| panic!("batch: cannot persist verdict cache: {e}"))
+    });
     let cache: VerdictCache = session.into_cache();
     let cache_entries = cache.len();
+
+    // Export the inferred specification set.  When a previous process left
+    // one behind, byte-compare before overwriting: identical bytes mean the
+    // warm-started run inferred the *exact* same specifications — the
+    // cross-process determinism check.
+    let mut cross_process_identical = Json::Null;
+    if let Some(paths) = &store {
+        let artifact = cold.spec_artifact(&library, &interface, SPEC_MAX_LEN, SPEC_LIMIT);
+        let rendered = artifact
+            .encode(&library)
+            .expect("the library program resolves its own specs")
+            .render();
+        if warm_started_from_disk && paths.specs.exists() {
+            // A read failure must fail loudly, not masquerade as a
+            // determinism violation.
+            let existing = std::fs::read_to_string(&paths.specs)
+                .unwrap_or_else(|e| panic!("batch: cannot read previous spec export: {e}"));
+            cross_process_identical = Json::Bool(existing == rendered);
+        }
+        atlas_store::atomic_write(&paths.specs, &rendered)
+            .unwrap_or_else(|e| panic!("batch: cannot persist spec artifact: {e}"));
+    }
 
     // 2. Warm re-run: same configuration, cache-fed.  Results must be
     //    bit-identical; only executions (and wall-clock) drop.
@@ -321,6 +414,26 @@ pub fn run_batch(config: &BatchConfig) -> BatchReport {
                         .set("warm_hit_rate", cache_stats.warm_hit_rate()),
                 ),
         )
+        .set(
+            "store",
+            match (&store, &persist) {
+                (Some(paths), Some(persisted)) => Json::obj()
+                    .set("path", paths.dir.display().to_string())
+                    .set("cache_file", paths.cache.display().to_string())
+                    .set("spec_file", paths.specs.display().to_string())
+                    .set("warm_started_from_disk", warm_started_from_disk)
+                    .set("loaded_entries", loaded_entries)
+                    .set("reload_hit_rate", reload_hit_rate)
+                    .set("persisted_entries", persisted.total_entries)
+                    .set("new_entries", persisted.new_entries)
+                    .set(
+                        "library_fingerprint",
+                        format!("{:#018x}", persisted.fingerprint),
+                    )
+                    .set("cross_process_identical", cross_process_identical.clone()),
+                _ => Json::Null,
+            },
+        )
         .set("apps", Json::Arr(app_rows))
         .set("totals", totals_json);
 
@@ -340,6 +453,30 @@ pub fn run_batch(config: &BatchConfig) -> BatchReport {
         "cache: {cache_entries} entries, {} lookups, {} hits",
         cache_stats.lookups, cache_stats.hits
     );
+    if let (Some(paths), Some(persisted)) = (&store, &persist) {
+        if warm_started_from_disk {
+            let _ = writeln!(
+                summary,
+                "store: warm-started from {} ({loaded_entries} entries, {:.1}% reload hit rate, \
+                 {} new verdicts persisted, specs identical={})",
+                paths.dir.display(),
+                100.0 * reload_hit_rate,
+                persisted.new_entries,
+                match &cross_process_identical {
+                    Json::Bool(b) => b.to_string(),
+                    _ => "n/a".to_string(),
+                },
+            );
+        } else {
+            let _ = writeln!(
+                summary,
+                "store: cold run persisted {} verdicts and {} spec cluster(s) to {}",
+                persisted.total_entries,
+                ctx.outcome.clusters.len(),
+                paths.dir.display(),
+            );
+        }
+    }
     for ((name, _), total) in VARIANTS.iter().zip(&totals) {
         let _ = writeln!(
             summary,
@@ -417,5 +554,62 @@ mod tests {
         // The summary mentions the headline numbers and the JSON renders.
         assert!(report.summary.contains("identical=true"));
         assert!(report.json.render().contains("warm_speedup"));
+        // Without a store configured, the store section is explicitly null.
+        assert_eq!(json.get("store"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn store_leg_reloads_across_runs_and_reports_it() {
+        let dir = std::env::temp_dir().join(format!("atlas-batch-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = BatchConfig::small();
+        config.samples = 250;
+        config.app_config.count = 1;
+        config.store = Some(dir.clone());
+
+        // First run: cold, persists cache + specs.
+        let first = run_batch(&config);
+        let store = first.json.get("store").expect("store section");
+        assert_eq!(
+            store.get("warm_started_from_disk"),
+            Some(&Json::Bool(false))
+        );
+        assert_eq!(store.get("loaded_entries"), Some(&Json::Int(0)));
+        assert_eq!(store.get("cross_process_identical"), Some(&Json::Null));
+        let persisted = store.get("persisted_entries").and_then(Json::as_int);
+        assert!(persisted.unwrap_or(0) > 0);
+        assert!(dir.join("cache.json").exists());
+        assert!(dir.join("specs.json").exists());
+        assert!(first.summary.contains("store: cold run persisted"));
+
+        // Second run (fresh engine, same process — the binary-spawning
+        // cross-process variant lives in tests/cross_process.rs): reloads
+        // the registry, re-executes nothing, reproduces the spec file
+        // byte-for-byte, contributes no new entries.
+        let second = run_batch(&config);
+        let store = second.json.get("store").expect("store section");
+        assert_eq!(store.get("warm_started_from_disk"), Some(&Json::Bool(true)));
+        assert_eq!(
+            store.get("loaded_entries").and_then(Json::as_int),
+            persisted
+        );
+        assert_eq!(
+            store.get("cross_process_identical"),
+            Some(&Json::Bool(true))
+        );
+        assert_eq!(store.get("new_entries"), Some(&Json::Int(0)));
+        let rate = store.get("reload_hit_rate").and_then(Json::as_f64).unwrap();
+        assert!(
+            rate > 0.99,
+            "every first-leg query reloads from disk: {rate}"
+        );
+        let inference = second.json.get("inference").expect("inference");
+        assert_eq!(
+            inference.get("cold_executions"),
+            Some(&Json::Int(0)),
+            "first leg re-executed nothing after the reload"
+        );
+        assert!(second.summary.contains("store: warm-started from"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -5,6 +5,9 @@
 //! cargo run --release -p atlas-bench --bin batch > report.json
 //! # or, to also keep a copy on disk:
 //! ATLAS_BATCH_OUT=target/batch.json cargo run --release -p atlas-bench --bin batch
+//! # cross-process warm start via the persistent store:
+//! ATLAS_STORE=target/atlas-store cargo run --release -p atlas-bench --bin batch
+//! ATLAS_STORE=target/atlas-store cargo run --release -p atlas-bench --bin batch -- --expect-warm
 //! ```
 //!
 //! The human summary goes to stderr, the JSON document to stdout (and to
@@ -12,12 +15,60 @@
 //! (`ATLAS_SAMPLES`, `ATLAS_APPS`, `ATLAS_THREADS`) plus the suite-shape
 //! knobs `ATLAS_BATCH_SEED`, `ATLAS_BATCH_MAX_PATTERNS`, and
 //! `ATLAS_BATCH_SIZE_FACTOR`.
+//!
+//! Flags:
+//!
+//! * `--threads N` — engine worker threads, overriding `ATLAS_THREADS`
+//!   (0 = one per core); CI matrices pass this instead of mutating the
+//!   environment.
+//! * `--store PATH` — persistent store directory, overriding `ATLAS_STORE`.
+//! * `--expect-warm` — assert the cross-process warm-start invariants after
+//!   the run: the store had a cache, the reload hit rate is nonzero, the
+//!   first leg re-executed nothing, and the inferred spec set is
+//!   byte-identical to the previous process's export.  Exits `1` when any
+//!   of that fails, so CI smoke steps can rely on it.
+
+use atlas_bench::Json;
+use std::path::PathBuf;
+
+fn usage(message: &str) -> ! {
+    eprintln!("batch: {message}\nusage: batch [--threads N] [--store PATH] [--expect-warm]");
+    std::process::exit(1);
+}
 
 fn main() {
-    let config = atlas_bench::BatchConfig::from_env();
+    let mut config = atlas_bench::BatchConfig::from_env();
+    let mut expect_warm = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                config.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"));
+            }
+            "--store" => {
+                config.store = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--store needs a path")),
+                ));
+            }
+            "--expect-warm" => expect_warm = true,
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if expect_warm && config.store.is_none() {
+        usage("--expect-warm needs a store (--store or ATLAS_STORE)");
+    }
     eprintln!(
-        "batch: {} samples/cluster, {} apps, threads={}",
-        config.samples, config.app_config.count, config.threads
+        "batch: {} samples/cluster, {} apps, threads={}{}",
+        config.samples,
+        config.app_config.count,
+        config.threads,
+        match &config.store {
+            Some(dir) => format!(", store={}", dir.display()),
+            None => String::new(),
+        }
     );
     let report = atlas_bench::run_batch(&config);
     eprint!("{}", report.summary);
@@ -33,5 +84,38 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if expect_warm {
+        verify_warm_start(&report.json);
+    }
+}
+
+/// The `--expect-warm` contract: everything a cross-process warm start
+/// promises, checked from the report itself.
+fn verify_warm_start(report: &Json) {
+    let store = report.get("store").unwrap_or(&Json::Null);
+    let inference = report.get("inference").unwrap_or(&Json::Null);
+    let mut failures = Vec::new();
+    if store.get("warm_started_from_disk").and_then(Json::as_bool) != Some(true) {
+        failures.push("the store held no cache to warm-start from".to_string());
+    }
+    match store.get("reload_hit_rate").and_then(Json::as_f64) {
+        Some(rate) if rate > 0.0 => {}
+        rate => failures.push(format!("reload hit rate is not positive: {rate:?}")),
+    }
+    if store.get("cross_process_identical").and_then(Json::as_bool) != Some(true) {
+        failures.push("inferred spec set differs from the previous process's export".to_string());
+    }
+    match inference.get("cold_executions").and_then(Json::as_int) {
+        Some(0) => {}
+        n => failures.push(format!("first leg re-executed unit tests: {n:?}")),
+    }
+    if failures.is_empty() {
+        eprintln!("batch: cross-process warm start verified (identical specs, 0 re-executions)");
+    } else {
+        for failure in &failures {
+            eprintln!("batch: --expect-warm failed: {failure}");
+        }
+        std::process::exit(1);
     }
 }

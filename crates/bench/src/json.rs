@@ -1,235 +1,31 @@
-//! A minimal JSON document builder.
+//! JSON support for the report pipeline.
 //!
-//! The batch evaluation pipeline emits machine-readable reports, but the
-//! build environment has no crates.io access, so `serde_json` is not an
-//! option.  This module implements exactly what the reports need: a value
-//! tree ([`Json`]) and a deterministic pretty printer with correct string
-//! escaping.  Object keys keep their insertion order, so reports diff
-//! cleanly across runs.
+//! The value type and writer were born here; when the persistent store
+//! (`atlas-store`) needed the matching parser, the whole implementation
+//! moved there so both crates share one JSON dialect.  This module remains
+//! as the report-facing path (`atlas_bench::json::Json`) and re-exports the
+//! shared machinery.
 
-use std::fmt::Write as _;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer (serialized without a decimal point).
-    Int(i64),
-    /// A float; non-finite values serialize as `null`.
-    Float(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; keys keep insertion order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// An empty object, to be filled with [`Json::set`].
-    pub fn obj() -> Json {
-        Json::Obj(Vec::new())
-    }
-
-    /// A string value.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Inserts (or replaces) a key in an object and returns `self` for
-    /// chaining.  Panics when called on a non-object.
-    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
-        match &mut self {
-            Json::Obj(entries) => {
-                let value = value.into();
-                match entries.iter_mut().find(|(k, _)| k == key) {
-                    Some(slot) => slot.1 = value,
-                    None => entries.push((key.to_string(), value)),
-                }
-            }
-            other => panic!("Json::set on non-object {other:?}"),
-        }
-        self
-    }
-
-    /// Looks a key up in an object (for tests and report consumers).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// Serializes the value as pretty-printed JSON (2-space indent).
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            Json::Float(f) => {
-                if f.is_finite() {
-                    // Shortest round-trip form; force a decimal point so
-                    // consumers always see a float.
-                    if f.fract() == 0.0 && f.abs() < 1e15 {
-                        let _ = write!(out, "{f:.1}");
-                    } else {
-                        let _ = write!(out, "{f}");
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    item.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push(']');
-            }
-            Json::Obj(entries) => {
-                if entries.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (key, value)) in entries.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    write_escaped(out, key);
-                    out.push_str(": ");
-                    value.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn push_indent(out: &mut String, indent: usize) {
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl From<bool> for Json {
-    fn from(v: bool) -> Json {
-        Json::Bool(v)
-    }
-}
-
-impl From<i64> for Json {
-    fn from(v: i64) -> Json {
-        Json::Int(v)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(v: usize) -> Json {
-        Json::Int(v as i64)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(v: f64) -> Json {
-        Json::Float(v)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(v: &str) -> Json {
-        Json::Str(v.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(v: String) -> Json {
-        Json::Str(v)
-    }
-}
-
-impl From<Vec<Json>> for Json {
-    fn from(v: Vec<Json>) -> Json {
-        Json::Arr(v)
-    }
-}
+pub use atlas_store::json::{Json, JsonError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The report writer's contract, exercised through the re-export: what
+    /// `atlas-batch/1` consumers read back must equal what was written.
     #[test]
-    fn renders_nested_documents_with_escaping() {
+    fn report_documents_round_trip_through_the_shared_parser() {
         let doc = Json::obj()
             .set("schema", "atlas-batch/1")
-            .set("count", 3usize)
             .set("ratio", 0.5)
-            .set("whole", 2.0)
-            .set("ok", true)
             .set("name", "line\nbreak \"quoted\"")
-            .set("items", vec![Json::Int(1), Json::Null, Json::str("x")])
-            .set("empty_arr", Vec::<Json>::new())
-            .set("nested", Json::obj().set("inner", 7usize));
-        let text = doc.render();
-        assert!(text.contains("\"schema\": \"atlas-batch/1\""));
-        assert!(text.contains("\"count\": 3"));
-        assert!(text.contains("\"ratio\": 0.5"));
-        assert!(text.contains("\"whole\": 2.0"));
-        assert!(text.contains("\"line\\nbreak \\\"quoted\\\""));
-        assert!(text.contains("\"empty_arr\": []"));
-        assert!(text.contains("\"inner\": 7"));
-        assert!(text.ends_with("}\n"));
-        // set() replaces, get() finds.
-        let doc = doc.set("count", 4usize);
-        assert_eq!(doc.get("count"), Some(&Json::Int(4)));
-        assert_eq!(doc.get("missing"), None);
-        // Non-finite floats degrade to null.
-        assert_eq!(Json::Float(f64::NAN).render().trim(), "null");
+            .set("items", vec![Json::Int(1), Json::Null, Json::str("x")]);
+        let parsed = Json::parse(&doc.render()).expect("valid");
+        assert_eq!(parsed, doc);
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("atlas-batch/1")
+        );
     }
 }

@@ -21,7 +21,12 @@
 //! whole generated-app suite under the inferred, handwritten, and
 //! ground-truth specification variants, emitting a JSON report
 //! (`atlas-batch/1`) with per-app timings, cache hit rates, and
-//! precision/recall.
+//! precision/recall.  With `ATLAS_STORE=dir` (or `--store`), the pipeline
+//! additionally persists its verdict cache and inferred specification set
+//! through the `atlas-store` registry and warm-starts from them on the
+//! next invocation — *across processes*; `--expect-warm` turns the
+//! invariants (nonzero reload hit rate, zero re-executions, byte-identical
+//! spec export) into an exit code for CI.
 //!
 //! The sampling budget is controlled by the `ATLAS_SAMPLES` environment
 //! variable (default 4000 candidates per class cluster), the number of

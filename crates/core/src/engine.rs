@@ -35,6 +35,8 @@ use atlas_learn::{
     infer_fsa, sample_positive_examples, CacheStats, Oracle, OracleConfig, OracleStats,
     SampleResult, VerdictCache,
 };
+use atlas_store::{load_cache, save_cache, CacheArtifact, CacheProvenance, StoreError};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -145,6 +147,36 @@ impl<'p> Engine<'p> {
         self
     }
 
+    /// Seeds the engine from a persisted `atlas-cache/1` artifact (see
+    /// `atlas-store`): the file's entries warm-start every per-cluster
+    /// oracle exactly as [`Engine::warm_start`] would with a live cache.
+    /// This is the cross-*process* half of the warm-start story — the file
+    /// may have been written by a run that exited months ago.
+    ///
+    /// Entries persisted under a different provenance (library content,
+    /// limits, strategy) are carried but can never be looked up, so a store
+    /// file shared between configurations is harmless.
+    ///
+    /// # Errors
+    /// Returns the `atlas-store` error when the file is missing, is not
+    /// valid JSON, or violates the `atlas-cache/1` schema.
+    pub fn warm_start_from_path(self, path: &Path) -> Result<Engine<'p>, StoreError> {
+        let artifact = load_cache(path)?;
+        Ok(self.warm_start(artifact.to_cache()))
+    }
+
+    /// The content provenance of this engine's oracle context — library
+    /// fingerprint, key context, strategy, limits — as persisted into and
+    /// matched against store artifacts.
+    pub fn provenance(&self) -> CacheProvenance {
+        CacheProvenance::of(
+            self.program,
+            self.interface,
+            self.config.init,
+            self.config.limits,
+        )
+    }
+
     /// The warm-start cache sessions will begin from (empty unless
     /// [`Engine::warm_start`] was called).
     pub fn warm_cache(&self) -> &VerdictCache {
@@ -249,6 +281,19 @@ pub struct Session<'e, 'p> {
     collected: VerdictCache,
 }
 
+/// What [`Session::persist`] wrote to the store file.
+#[derive(Debug, Clone)]
+pub struct PersistSummary {
+    /// The store file written.
+    pub path: PathBuf,
+    /// Entries the file now holds (across all provenance shards).
+    pub total_entries: usize,
+    /// Entries this session contributed that the file did not already hold.
+    pub new_entries: usize,
+    /// The library fingerprint the session's entries were persisted under.
+    pub fingerprint: u64,
+}
+
 /// What one worker produces for one cluster (`None` when the cluster's
 /// interface restriction is empty and the cluster is skipped).
 struct ClusterRun {
@@ -274,6 +319,46 @@ impl<'e, 'p> Session<'e, 'p> {
     /// to [`Engine::warm_start`] to skip those executions in the next run.
     pub fn into_cache(self) -> VerdictCache {
         self.collected
+    }
+
+    /// Persists the session's verdict cache to an `atlas-cache/1` store
+    /// file (atomic write-rename; see `atlas-store`).  Call after
+    /// [`Session::run`] — a later run, *in any process*, warm-starts from
+    /// the file via [`Engine::warm_start_from_path`] and skips every
+    /// execution this session paid for.
+    ///
+    /// Only entries matching this engine's [`Engine::provenance`] are
+    /// written (foreign entries carried in from an unrelated warm-start
+    /// would be mis-attributed).  When the file already exists it is merged
+    /// first-entry-wins: existing entries keep their position and verdict,
+    /// novel ones are appended — so *sequential* runs (any process, any
+    /// configuration) sharing one registry file only ever grow it more
+    /// complete.  The write itself is atomic, but the load-merge-write
+    /// sequence is not: persists racing on the same file resolve
+    /// last-writer-wins, so genuinely concurrent runs should persist to
+    /// per-run files and combine them afterwards with `store merge`.
+    ///
+    /// # Errors
+    /// Returns the `atlas-store` error when an existing file is unreadable
+    /// or malformed, or the atomic write fails.
+    pub fn persist(&self, path: &Path) -> Result<PersistSummary, StoreError> {
+        let provenance = self.engine.provenance();
+        let session = CacheArtifact::from_cache(&self.collected, provenance);
+        let mut on_disk = if path.exists() {
+            load_cache(path)?
+        } else {
+            CacheArtifact::default()
+        };
+        let before = on_disk.num_entries();
+        on_disk.merge(&session);
+        let total_entries = on_disk.num_entries();
+        save_cache(path, &on_disk)?;
+        Ok(PersistSummary {
+            path: path.to_path_buf(),
+            total_entries,
+            new_entries: total_entries - before,
+            fingerprint: provenance.fingerprint,
+        })
     }
 
     /// Runs all cluster pipelines and merges the results in cluster order.
@@ -445,6 +530,55 @@ mod tests {
         assert_eq!(session.num_threads(), 3);
         assert_eq!(engine.program().num_methods(), program.num_methods());
         assert_eq!(engine.interface().num_methods(), interface.num_methods());
+    }
+
+    #[test]
+    fn persist_then_warm_start_from_path_skips_all_executions() {
+        let (program, interface) = box_setup();
+        let box_class = program.class_named("Box").unwrap();
+        let config = AtlasConfig {
+            samples_per_cluster: 250,
+            clusters: vec![vec![box_class]],
+            num_threads: 1,
+            ..AtlasConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!("atlas-engine-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+
+        // Cold: pay for every execution, persist the verdicts.
+        let engine = Engine::new(&program, &interface, config.clone());
+        let mut session = engine.session();
+        let cold = session.run();
+        let summary = session.persist(&path).expect("persist");
+        assert!(summary.new_entries > 0);
+        assert_eq!(summary.total_entries, summary.new_entries);
+        assert_eq!(summary.fingerprint, engine.provenance().fingerprint);
+        assert!(cold.oracle_executions > 0);
+
+        // Persisting the same session again adds nothing (first-entry-wins
+        // merge with the existing file).
+        let again = session.persist(&path).expect("re-persist");
+        assert_eq!(again.new_entries, 0);
+        assert_eq!(again.total_entries, summary.total_entries);
+
+        // Warm, against a *freshly built* identical program: identical
+        // results, zero executions — the verdicts crossed via the file.
+        let (program2, interface2) = box_setup();
+        let warm = Engine::new(&program2, &interface2, config)
+            .warm_start_from_path(&path)
+            .expect("warm start from disk")
+            .run();
+        assert_eq!(warm.oracle_executions, 0, "everything answered from disk");
+        assert!(warm.cache_stats.warm_hits > 0);
+        assert_eq!(cold.specs(8, 64), warm.specs(8, 64));
+        assert_eq!(cold.state_counts(), warm.state_counts());
+
+        // A missing file is a path-carrying error, not a panic.
+        let missing = Engine::new(&program, &interface, AtlasConfig::default())
+            .warm_start_from_path(&dir.join("nope.json"));
+        assert!(missing.is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

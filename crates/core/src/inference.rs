@@ -8,8 +8,9 @@
 
 use atlas_interp::ExecLimits;
 use atlas_ir::{ClassId, LibraryInterface, Program};
-use atlas_learn::{CacheStats, RpniConfig, SamplerConfig, SamplingStrategy};
+use atlas_learn::{library_fingerprint, CacheStats, RpniConfig, SamplerConfig, SamplingStrategy};
 use atlas_spec::{CodeFragments, Fsa, PathSpec};
+use atlas_store::{SpecArtifact, SpecCluster};
 use atlas_synth::InitStrategy;
 use std::fmt;
 use std::time::Duration;
@@ -156,6 +157,40 @@ impl InferenceOutcome {
             out.extend(cluster.fsa.accepted_specs(max_len, limit_per_cluster));
         }
         out
+    }
+
+    /// Packages the learned automata and their extracted specifications as
+    /// a persistable `atlas-spec/1` artifact (see `atlas-store`), stamped
+    /// with the library's content fingerprint.  `max_len`/`limit_per_cluster`
+    /// bound the extraction exactly as in [`InferenceOutcome::specs`].
+    ///
+    /// Encoding is deterministic, so two runs that learned the same
+    /// automata produce byte-identical artifacts — the invariant the batch
+    /// pipeline's cross-process determinism check asserts.
+    pub fn spec_artifact(
+        &self,
+        program: &Program,
+        interface: &LibraryInterface,
+        max_len: usize,
+        limit_per_cluster: usize,
+    ) -> SpecArtifact {
+        SpecArtifact {
+            fingerprint: library_fingerprint(program, interface),
+            extraction: (max_len, limit_per_cluster),
+            clusters: self
+                .clusters
+                .iter()
+                .map(|cluster| SpecCluster {
+                    classes: cluster
+                        .classes
+                        .iter()
+                        .map(|&id| program.class(id).name().to_string())
+                        .collect(),
+                    specs: cluster.fsa.accepted_specs(max_len, limit_per_cluster),
+                    fsa: cluster.fsa.clone(),
+                })
+                .collect(),
+        }
     }
 
     /// Number of library methods covered by at least one learned

@@ -37,7 +37,7 @@ pub mod engine;
 pub mod inference;
 pub mod report;
 
-pub use engine::{ClusterJob, Engine, Session};
+pub use engine::{ClusterJob, Engine, PersistSummary, Session};
 pub use inference::{
     infer_specifications, AtlasConfig, ClusterOutcome, InferenceOutcome, ParallelismSummary,
 };
@@ -46,3 +46,8 @@ pub use report::{compare_fragments, MethodComparison, SpecComparison};
 // The verdict-cache vocabulary of the Engine API, re-exported so engine
 // users don't need a direct `atlas-learn` dependency.
 pub use atlas_learn::{library_fingerprint, CacheKeyer, CacheStats, VerdictCache, VerdictKey};
+
+// The persistence vocabulary of the Engine API (`warm_start_from_path`,
+// `Session::persist`, `InferenceOutcome::spec_artifact`), re-exported so
+// engine users don't need a direct `atlas-store` dependency.
+pub use atlas_store::{CacheArtifact, CacheProvenance, SpecArtifact, SpecCluster, StoreError};

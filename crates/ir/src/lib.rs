@@ -49,6 +49,7 @@
 
 pub mod builder;
 pub mod class;
+pub mod hash;
 pub mod interface;
 pub mod method;
 pub mod pretty;

@@ -20,83 +20,15 @@
 //! re-executions.
 
 use atlas_interp::ExecLimits;
-use atlas_ir::{pretty, LibraryInterface, MethodId, ParamSlot, Program, SlotKind};
+use atlas_ir::hash::{method_content_hash, Fnv};
+use atlas_ir::{LibraryInterface, MethodId, ParamSlot, Program, SlotKind};
 use atlas_synth::InitStrategy;
 use std::collections::{HashMap, VecDeque};
 
-/// 64-bit FNV-1a, used for all content hashing in this module.  Chosen over
-/// `std`'s `DefaultHasher` because its output is *specified*: keys computed
-/// in different processes (or serialized by future PRs) must agree.
-#[derive(Debug, Clone, Copy)]
-struct Fnv(u64);
-
-impl Fnv {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    fn new(seed: u64) -> Fnv {
-        let mut h = Fnv(Self::OFFSET);
-        h.write_u64(seed);
-        h
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    fn write_str(&mut self, s: &str) {
-        self.write(s.as_bytes());
-        // Terminator so ("ab","c") and ("a","bc") hash differently.
-        self.write(&[0xff]);
-    }
-
-    fn finish(self) -> u64 {
-        self.0
-    }
-}
-
-/// A content-addressed fingerprint of the library an oracle executes
-/// against: every interface signature **plus** the pretty-printed body of
-/// every library method.  Two library variants with identical interfaces
-/// but different implementations (e.g. a patched `ArrayList`) therefore get
-/// different fingerprints, and their cached verdicts never cross-pollinate.
-pub fn library_fingerprint(program: &Program, interface: &LibraryInterface) -> u64 {
-    let mut h = Fnv::new(0x11b);
-    for sig in interface.methods() {
-        h.write_u64(method_content_hash(program, interface, sig.method));
-    }
-    h.finish()
-}
-
-/// Content hash of a single library method: signature and implementation.
-fn method_content_hash(program: &Program, interface: &LibraryInterface, method: MethodId) -> u64 {
-    let mut h = Fnv::new(0x3ad);
-    match interface.sig(method) {
-        Some(sig) => {
-            h.write_str(&sig.class_name);
-            h.write_str(&sig.name);
-            h.write(&[sig.has_this as u8, sig.is_constructor as u8]);
-            for ty in &sig.param_types {
-                h.write_str(&ty.to_string());
-            }
-            h.write_str(&sig.return_type.to_string());
-            h.write_str(&pretty::method_to_string(program, program.method(method)));
-        }
-        None => {
-            // Not part of the interface: fall back to the raw id.  Only
-            // reachable through hand-built words over non-library methods;
-            // such keys are program-local but still deterministic.
-            h.write_u64(u64::from(method.index()));
-        }
-    }
-    h.finish()
-}
+// The hashing primitives are shared with `atlas-store` (which persists
+// caches across processes) via `atlas_ir::hash` — one implementation, one
+// set of reference values.
+pub use atlas_ir::hash::library_fingerprint;
 
 /// Computes [`VerdictKey`]s for one oracle context.
 ///
@@ -189,9 +121,27 @@ pub struct VerdictKey {
 }
 
 impl VerdictKey {
+    /// Reassembles a key from its three hash components, exactly as
+    /// returned by [`VerdictKey::context`] and [`VerdictKey::word_hashes`].
+    /// This is the deserialization entry point used by `atlas-store`; keys
+    /// are content hashes, so round-tripping them through a file preserves
+    /// their meaning.
+    pub fn from_parts(context: u64, word: u64, word2: u64) -> VerdictKey {
+        VerdictKey {
+            context,
+            word,
+            word2,
+        }
+    }
+
     /// The context half of the key (see [`CacheKeyer::context`]).
     pub fn context(&self) -> u64 {
         self.context
+    }
+
+    /// The two independent word-content hashes.
+    pub fn word_hashes(&self) -> (u64, u64) {
+        (self.word, self.word2)
     }
 }
 
@@ -412,6 +362,16 @@ impl VerdictCache {
         self.stats.merge(other.stats);
     }
 
+    /// The cached verdicts in insertion order — the canonical serialization
+    /// order (`atlas-store` persists entries in exactly this order, so a
+    /// persisted-and-reloaded cache evicts and merges identically to the
+    /// original).
+    pub fn entries(&self) -> impl Iterator<Item = (VerdictKey, bool)> + '_ {
+        self.order
+            .iter()
+            .filter_map(move |key| self.map.get(key).map(|entry| (*key, entry.verdict)))
+    }
+
     /// Synthetic, pairwise-distinct keys for tests and doctests.
     pub fn test_keys(n: usize) -> Vec<VerdictKey> {
         (0..n as u64)
@@ -429,18 +389,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fnv_is_stable_and_order_sensitive() {
-        let mut a = Fnv::new(1);
-        a.write_str("ab");
-        a.write_str("c");
-        let mut b = Fnv::new(1);
-        b.write_str("a");
-        b.write_str("bc");
-        assert_ne!(a.finish(), b.finish());
-        let mut c = Fnv::new(1);
-        c.write_str("ab");
-        c.write_str("c");
-        assert_eq!(a.finish(), c.finish());
+    fn keys_round_trip_through_their_parts() {
+        let keys = VerdictCache::test_keys(3);
+        for key in keys {
+            let (w, w2) = key.word_hashes();
+            assert_eq!(VerdictKey::from_parts(key.context(), w, w2), key);
+        }
+    }
+
+    #[test]
+    fn entries_iterate_in_insertion_order() {
+        let keys = VerdictCache::test_keys(3);
+        let mut cache = VerdictCache::new();
+        cache.insert(keys[2], true);
+        cache.insert(keys[0], false);
+        cache.insert(keys[1], true);
+        let listed: Vec<_> = cache.entries().collect();
+        assert_eq!(
+            listed,
+            vec![(keys[2], true), (keys[0], false), (keys[1], true)]
+        );
     }
 
     #[test]

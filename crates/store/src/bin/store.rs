@@ -1,0 +1,346 @@
+//! The registry maintenance CLI.
+//!
+//! ```text
+//! store inspect <FILE>...              summarize cache/spec artifacts
+//! store merge <OUT> <IN>...            merge cache files (first-entry-wins)
+//! store gc <FILE> --keep <0xFP> [--out <OUT>]
+//!                                      drop shards of other library fingerprints
+//! store export-specs <SPEC-FILE>       print the persisted specifications
+//! store diff-specs <SPEC-FILE>         coverage diff vs the handwritten corpus
+//! ```
+//!
+//! `export-specs` and `diff-specs` resolve the artifact against the modeled
+//! `atlas-javalib` library (the same program every inference run uses);
+//! both warn when the artifact's library fingerprint does not match the
+//! current library content.
+//!
+//! Exit codes: `0` success, `1` usage error, `2` operation failure.
+
+use atlas_ir::hash::{library_fingerprint, Fnv};
+use atlas_ir::LibraryInterface;
+use atlas_javalib::{handwritten_specs, library_program};
+use atlas_spec::{fragment_signature, CodeFragments};
+use atlas_store::{
+    document_schema, load_cache, load_document, load_specs, merge_cache_files, parse_hex64,
+    save_cache, CacheArtifact, Json, SpecArtifact,
+};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  store inspect <FILE>...
+  store merge <OUT> <IN>...
+  store gc <FILE> --keep <0xFINGERPRINT> [--out <OUT>]
+  store export-specs <SPEC-FILE>
+  store diff-specs <SPEC-FILE>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(1);
+        }
+    };
+    let result = match command {
+        "inspect" => inspect(rest),
+        "merge" => merge(rest),
+        "gc" => gc(rest),
+        "export-specs" => export_specs(rest),
+        "diff-specs" => diff_specs(rest),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(message)) => {
+            eprintln!("store: {message}\n{USAGE}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Failed(message)) => {
+            eprintln!("store: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Failed(String),
+}
+
+impl From<atlas_store::StoreError> for CliError {
+    fn from(e: atlas_store::StoreError) -> CliError {
+        CliError::Failed(e.to_string())
+    }
+}
+
+fn hex(v: u64) -> String {
+    format!("{v:#018x}")
+}
+
+// ---------------------------------------------------------------------------
+// inspect
+// ---------------------------------------------------------------------------
+
+fn inspect(files: &[String]) -> Result<(), CliError> {
+    if files.is_empty() {
+        return Err(CliError::Usage("inspect needs at least one file".into()));
+    }
+    for file in files {
+        let path = Path::new(file);
+        let doc = load_document(path)?;
+        let mut digest = Fnv::new(0);
+        digest.write(doc.render().as_bytes());
+        println!("{}:", path.display());
+        println!("  content digest: {}", hex(digest.finish()));
+        match document_schema(&doc) {
+            Some(CacheArtifact::SCHEMA) => inspect_cache(path, &doc)?,
+            Some(SpecArtifact::SCHEMA) => inspect_specs(&doc),
+            Some(other) => println!("  schema: {other} (not a store artifact)"),
+            None => println!("  schema: none (not a store artifact)"),
+        }
+    }
+    Ok(())
+}
+
+fn inspect_cache(path: &Path, doc: &Json) -> Result<(), CliError> {
+    let artifact =
+        CacheArtifact::decode(doc).map_err(|e| atlas_store::StoreError::schema(path, e))?;
+    println!("  schema: {}", CacheArtifact::SCHEMA);
+    println!(
+        "  shards: {}, entries: {}",
+        artifact.shards.len(),
+        artifact.num_entries()
+    );
+    for (i, shard) in artifact.shards.iter().enumerate() {
+        let p = &shard.provenance;
+        let positives = shard.entries.iter().filter(|e| e.2).count();
+        println!(
+            "  shard {i}: library {} context {}",
+            hex(p.fingerprint),
+            hex(p.context)
+        );
+        println!(
+            "    strategy {:?}, limits {}/{}/{} (steps/depth/heap)",
+            p.strategy, p.limits.max_steps, p.limits.max_call_depth, p.limits.max_heap_objects
+        );
+        println!(
+            "    {} entries ({} positive), recorded stats: {} lookups, {:.1}% hit rate",
+            shard.entries.len(),
+            positives,
+            shard.stats.lookups,
+            100.0 * shard.stats.hit_rate()
+        );
+    }
+    Ok(())
+}
+
+/// Spec files are inspected structurally (no method-name resolution), so
+/// `inspect` also works on artifacts from foreign library variants.
+fn inspect_specs(doc: &Json) {
+    println!("  schema: {}", SpecArtifact::SCHEMA);
+    if let Some(fp) = doc.get("library_fingerprint").and_then(Json::as_str) {
+        println!("  library: {fp}");
+    }
+    let clusters = doc.get("clusters").and_then(Json::as_arr).unwrap_or(&[]);
+    println!("  clusters: {}", clusters.len());
+    for (i, cluster) in clusters.iter().enumerate() {
+        let classes: Vec<&str> = cluster
+            .get("classes")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        let num_specs = cluster
+            .get("specs")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        let states = cluster
+            .get("fsa")
+            .and_then(|f| f.get("states"))
+            .and_then(Json::as_int)
+            .unwrap_or(0);
+        let transitions = cluster
+            .get("fsa")
+            .and_then(|f| f.get("transitions"))
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        println!(
+            "  cluster {i} [{}]: {num_specs} specs, fsa {states} states / {transitions} transitions",
+            classes.join(", ")
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// merge / gc
+// ---------------------------------------------------------------------------
+
+fn merge(args: &[String]) -> Result<(), CliError> {
+    let (out, inputs) = match args.split_first() {
+        Some((out, inputs)) if !inputs.is_empty() => (out, inputs),
+        _ => {
+            return Err(CliError::Usage(
+                "merge needs an output file and at least one input".into(),
+            ))
+        }
+    };
+    let paths: Vec<PathBuf> = inputs.iter().map(PathBuf::from).collect();
+    let merged = merge_cache_files(&paths)?;
+    save_cache(Path::new(out), &merged)?;
+    println!(
+        "merged {} file(s) into {out}: {} shard(s), {} entries",
+        inputs.len(),
+        merged.shards.len(),
+        merged.num_entries()
+    );
+    Ok(())
+}
+
+fn gc(args: &[String]) -> Result<(), CliError> {
+    let mut file = None;
+    let mut keep = None;
+    let mut out = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--keep" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--keep needs a fingerprint".into()))?;
+                keep = Some(parse_hex64(value).map_err(|e| CliError::Usage(e.to_string()))?);
+            }
+            "--out" => {
+                out = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--out needs a path".into()))?
+                        .clone(),
+                );
+            }
+            other if file.is_none() && !other.starts_with("--") => {
+                file = Some(other.to_string());
+            }
+            other => return Err(CliError::Usage(format!("unexpected argument '{other}'"))),
+        }
+    }
+    let file = file.ok_or_else(|| CliError::Usage("gc needs a cache file".into()))?;
+    let keep = keep.ok_or_else(|| CliError::Usage("gc needs --keep <0xFINGERPRINT>".into()))?;
+    let mut artifact = load_cache(Path::new(&file))?;
+    let summary = artifact.retain_fingerprint(keep);
+    let target = out.unwrap_or_else(|| file.clone());
+    save_cache(Path::new(&target), &artifact)?;
+    println!(
+        "gc {file} -> {target}: kept {} shard(s) / {} entries, dropped {} shard(s) / {} entries",
+        summary.kept_shards, summary.kept_entries, summary.dropped_shards, summary.dropped_entries
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// export-specs / diff-specs
+// ---------------------------------------------------------------------------
+
+fn load_against_library(file: &str) -> Result<(SpecArtifact, atlas_ir::Program), CliError> {
+    let program = library_program();
+    let artifact = load_specs(Path::new(file), &program)?;
+    let interface = LibraryInterface::from_program(&program);
+    let current = library_fingerprint(&program, &interface);
+    if artifact.fingerprint != current {
+        eprintln!(
+            "store: warning: artifact was inferred against library {} but the current modeled \
+             library is {} — names resolved, but verdicts may not transfer",
+            hex(artifact.fingerprint),
+            hex(current)
+        );
+    }
+    Ok((artifact, program))
+}
+
+fn export_specs(args: &[String]) -> Result<(), CliError> {
+    let [file] = args else {
+        return Err(CliError::Usage("export-specs needs one spec file".into()));
+    };
+    let (artifact, program) = load_against_library(file)?;
+    let interface = LibraryInterface::from_program(&program);
+    println!(
+        "{} specification(s) in {} cluster(s), extracted with max_len={} limit={}",
+        artifact.num_specs(),
+        artifact.clusters.len(),
+        artifact.extraction.0,
+        artifact.extraction.1
+    );
+    for cluster in &artifact.clusters {
+        println!("[{}]", cluster.classes.join(", "));
+        for spec in &cluster.specs {
+            println!("  {}", spec.display(&interface));
+        }
+    }
+    Ok(())
+}
+
+fn diff_specs(args: &[String]) -> Result<(), CliError> {
+    let [file] = args else {
+        return Err(CliError::Usage("diff-specs needs one spec file".into()));
+    };
+    let (artifact, program) = load_against_library(file)?;
+    let inferred = CodeFragments::from_specs(&program, &artifact.all_specs());
+    let handwritten = CodeFragments::from_bodies(handwritten_specs(&program));
+
+    let methods: BTreeSet<atlas_ir::MethodId> =
+        inferred.methods().chain(handwritten.methods()).collect();
+    let mut both = 0usize;
+    let mut exact = 0usize;
+    let mut inferred_only = 0usize;
+    let mut handwritten_only = 0usize;
+    // Columns count *normalized points-to effects* (the deduplicated
+    // statement signatures the §6 evaluation compares corpora by), not raw
+    // fragment statements — "exact" means the effect sets coincide.
+    println!(
+        "{:<34} {:>9} {:>12}  verdict",
+        "method", "inferred", "handwritten"
+    );
+    for method in methods {
+        let name = program.qualified_name(method);
+        let sig_inf = inferred
+            .body(method)
+            .map(|body| fragment_signature(&program, method, body));
+        let sig_hand = handwritten
+            .body(method)
+            .map(|body| fragment_signature(&program, method, body));
+        let verdict = match (&sig_inf, &sig_hand) {
+            (Some(a), Some(b)) => {
+                both += 1;
+                if a == b {
+                    exact += 1;
+                    "exact"
+                } else {
+                    "differs"
+                }
+            }
+            (Some(_), None) => {
+                inferred_only += 1;
+                "inferred only"
+            }
+            (None, Some(_)) => {
+                handwritten_only += 1;
+                "handwritten only"
+            }
+            (None, None) => continue,
+        };
+        println!(
+            "{name:<34} {:>9} {:>12}  {verdict}",
+            sig_inf.map_or(0, |s| s.len()),
+            sig_hand.map_or(0, |s| s.len()),
+        );
+    }
+    println!(
+        "summary: {} method(s) in both ({exact} exact), {inferred_only} inferred-only, \
+         {handwritten_only} handwritten-only",
+        both
+    );
+    Ok(())
+}

@@ -1,0 +1,269 @@
+//! File-level operations of the registry: loading, atomic persistence,
+//! multi-file merge.
+//!
+//! **Atomicity.**  Every write goes to a temporary file in the *same
+//! directory* as the target and is then `rename`d over it.  On POSIX,
+//! rename within a filesystem is atomic: a concurrent reader sees either
+//! the complete old artifact or the complete new one, never a torn write —
+//! the invariant a long-running spec service needs when runs persist while
+//! other runs warm-start.
+//!
+//! **Durability of meaning.**  Loading never mutates: `load_cache` +
+//! `save_cache` of an untouched artifact is byte-identical (deterministic
+//! encoding), which the batch pipeline uses to assert cross-process
+//! determinism.
+
+use crate::artifact::{CacheArtifact, SchemaError, SpecArtifact};
+use crate::json::{Json, JsonError};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// An error raised by a registry operation, carrying the file it concerns.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The file could not be read, written, or renamed.
+    Io {
+        /// The file concerned.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file is not valid JSON.
+    Parse {
+        /// The file concerned.
+        path: PathBuf,
+        /// Position and description of the first offending byte.
+        error: JsonError,
+    },
+    /// The file is valid JSON but not a valid artifact.
+    Schema {
+        /// The file concerned.
+        path: PathBuf,
+        /// What was wrong.
+        error: SchemaError,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            StoreError::Parse { path, error } => {
+                write!(f, "{}: {error}", path.display())
+            }
+            StoreError::Schema { path, error } => {
+                write!(f, "{}: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    fn io(path: &Path, source: std::io::Error) -> StoreError {
+        StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    /// Wraps a [`SchemaError`] with the file it was found in.
+    pub fn schema(path: &Path, error: SchemaError) -> StoreError {
+        StoreError::Schema {
+            path: path.to_path_buf(),
+            error,
+        }
+    }
+}
+
+/// Reads and parses a JSON document from disk.
+pub fn load_document(path: &Path) -> Result<Json, StoreError> {
+    let text = fs::read_to_string(path).map_err(|e| StoreError::io(path, e))?;
+    Json::parse(&text).map_err(|error| StoreError::Parse {
+        path: path.to_path_buf(),
+        error,
+    })
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a temporary
+/// sibling file first and are renamed over the target, so a reader never
+/// observes a torn write and a crash never corrupts an existing artifact.
+pub fn atomic_write(path: &Path, contents: &str) -> Result<(), StoreError> {
+    // Unique per process *and* per call: two threads writing the same
+    // target must not share a temporary, or one could rename the other's
+    // half-written bytes into place.
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent).map_err(|e| StoreError::io(parent, e))?;
+    }
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, contents).map_err(|e| StoreError::io(&tmp, e))?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Leave no temporary behind on failure.
+            let _ = fs::remove_file(&tmp);
+            Err(StoreError::io(path, e))
+        }
+    }
+}
+
+/// Loads an `atlas-cache/1` artifact.
+pub fn load_cache(path: &Path) -> Result<CacheArtifact, StoreError> {
+    let doc = load_document(path)?;
+    CacheArtifact::decode(&doc).map_err(|e| StoreError::schema(path, e))
+}
+
+/// Persists an `atlas-cache/1` artifact atomically.
+pub fn save_cache(path: &Path, artifact: &CacheArtifact) -> Result<(), StoreError> {
+    atomic_write(path, &artifact.encode().render())
+}
+
+/// Loads an `atlas-spec/1` artifact, resolving method names against
+/// `program`.
+pub fn load_specs(path: &Path, program: &atlas_ir::Program) -> Result<SpecArtifact, StoreError> {
+    let doc = load_document(path)?;
+    SpecArtifact::decode(&doc, program).map_err(|e| StoreError::schema(path, e))
+}
+
+/// Persists an `atlas-spec/1` artifact atomically.
+pub fn save_specs(
+    path: &Path,
+    artifact: &SpecArtifact,
+    program: &atlas_ir::Program,
+) -> Result<(), StoreError> {
+    let doc = artifact
+        .encode(program)
+        .map_err(|e| StoreError::schema(path, e))?;
+    atomic_write(path, &doc.render())
+}
+
+/// Loads several cache files and merges them first-file-first-entry-wins:
+/// the result is a pure function of the path order, so `store merge` is
+/// reproducible.
+pub fn merge_cache_files(paths: &[PathBuf]) -> Result<CacheArtifact, StoreError> {
+    let mut merged = CacheArtifact::default();
+    for path in paths {
+        merged.merge(&load_cache(path)?);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{CacheProvenance, CacheShard};
+    use atlas_interp::ExecLimits;
+    use atlas_learn::CacheStats;
+    use atlas_synth::InitStrategy;
+
+    /// A per-test scratch directory under the target-adjacent temp dir,
+    /// removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let dir =
+                std::env::temp_dir().join(format!("atlas-store-test-{}-{tag}", std::process::id()));
+            fs::create_dir_all(&dir).expect("create scratch dir");
+            Scratch(dir)
+        }
+
+        fn path(&self, name: &str) -> PathBuf {
+            self.0.join(name)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample_artifact(fingerprint: u64, entries: Vec<(u64, u64, bool)>) -> CacheArtifact {
+        CacheArtifact {
+            shards: vec![CacheShard {
+                provenance: CacheProvenance {
+                    fingerprint,
+                    context: fingerprint.wrapping_mul(31),
+                    strategy: InitStrategy::Instantiate,
+                    limits: ExecLimits::for_unit_tests(),
+                },
+                stats: CacheStats::default(),
+                entries,
+            }],
+        }
+    }
+
+    #[test]
+    fn save_load_is_identity_and_byte_stable() {
+        let scratch = Scratch::new("roundtrip");
+        let path = scratch.path("nested/dir/cache.json");
+        let artifact = sample_artifact(7, vec![(1, 2, true), (3, 4, false)]);
+        save_cache(&path, &artifact).expect("save");
+        let loaded = load_cache(&path).expect("load");
+        assert_eq!(loaded, artifact);
+        // Re-saving the loaded artifact is byte-identical.
+        let first = fs::read(&path).unwrap();
+        save_cache(&path, &loaded).expect("re-save");
+        assert_eq!(fs::read(&path).unwrap(), first);
+        // No temporary files left behind.
+        let leftovers: Vec<_> = fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("cache.json")]);
+    }
+
+    #[test]
+    fn merge_cache_files_is_first_file_wins() {
+        let scratch = Scratch::new("merge");
+        let a = scratch.path("a.json");
+        let b = scratch.path("b.json");
+        save_cache(&a, &sample_artifact(7, vec![(1, 1, true), (2, 2, true)])).unwrap();
+        save_cache(&b, &sample_artifact(7, vec![(2, 2, false), (3, 3, false)])).unwrap();
+        let merged = merge_cache_files(&[a.clone(), b.clone()]).expect("merge");
+        assert_eq!(
+            merged.shards[0].entries,
+            vec![(1, 1, true), (2, 2, true), (3, 3, false)],
+            "duplicate (2,2) keeps the first file's verdict"
+        );
+        // Reversed order keeps b's verdict instead — order in, order out.
+        let reversed = merge_cache_files(&[b, a]).expect("merge");
+        assert_eq!(
+            reversed.shards[0].entries,
+            vec![(2, 2, false), (3, 3, false), (1, 1, true)]
+        );
+    }
+
+    #[test]
+    fn errors_carry_the_offending_path() {
+        let scratch = Scratch::new("errors");
+        let missing = scratch.path("does-not-exist.json");
+        let e = load_cache(&missing).unwrap_err();
+        assert!(matches!(e, StoreError::Io { .. }));
+        assert!(e.to_string().contains("does-not-exist.json"), "{e}");
+
+        let garbage = scratch.path("garbage.json");
+        fs::write(&garbage, "{ nope").unwrap();
+        let e = load_cache(&garbage).unwrap_err();
+        assert!(matches!(e, StoreError::Parse { .. }));
+        assert!(e.to_string().contains("line 1"), "{e}");
+
+        let foreign = scratch.path("foreign.json");
+        fs::write(&foreign, "{\"schema\": \"atlas-batch/1\"}").unwrap();
+        let e = load_cache(&foreign).unwrap_err();
+        assert!(matches!(e, StoreError::Schema { .. }));
+        assert!(e.to_string().contains("schema mismatch"), "{e}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Round-trip guarantees of the persistent store (`atlas-store`):
+//!
+//! * **JSON**: `parse(render(x)) == x` for randomized value trees — the
+//!   self-contained parser and the report writer implement the same
+//!   dialect;
+//! * **cache artifacts**: a verdict cache harvested from a real inference
+//!   run survives persist → reload with identical statistics and verdicts;
+//! * **spec artifacts**: a learned specification set survives encode →
+//!   render → parse → decode against a freshly built program, and
+//!   re-encoding is byte-identical (the cross-process determinism
+//!   invariant).
+
+use atlas_core::{AtlasConfig, CacheArtifact, Engine, SpecArtifact};
+use atlas_ir::LibraryInterface;
+use atlas_store::Json;
+use proptest::prelude::*;
+
+/// Deterministic value-tree generator: SplitMix64 over a seed, recursing
+/// with shrinking breadth/depth.  Produces every `Json` variant, gnarly
+/// strings (quotes, controls, non-ASCII), and full-range floats — exactly
+/// the population the writer can emit (non-finite floats are excluded:
+/// they serialize as `null` by design).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn build_json(state: &mut u64, depth: usize) -> Json {
+    let choice = if depth == 0 {
+        splitmix(state) % 5
+    } else {
+        splitmix(state) % 7
+    };
+    match choice {
+        0 => Json::Null,
+        1 => Json::Bool(splitmix(state).is_multiple_of(2)),
+        2 => Json::Int(splitmix(state) as i64),
+        3 => {
+            let f = f64::from_bits(splitmix(state));
+            Json::Float(if f.is_finite() { f } else { 0.5 })
+        }
+        4 => {
+            let len = (splitmix(state) % 12) as usize;
+            let s: String =
+                (0..len)
+                    .map(|_| {
+                        // Bias toward characters that exercise the escaper.
+                        match splitmix(state) % 8 {
+                            0 => '"',
+                            1 => '\\',
+                            2 => '\n',
+                            3 => char::from_u32((splitmix(state) % 0x20) as u32).unwrap(),
+                            4 => char::from_u32(0x80 + (splitmix(state) % 0x2000) as u32)
+                                .unwrap_or('é'),
+                            5 => char::from_u32(0x1F600 + (splitmix(state) % 0x50) as u32)
+                                .unwrap_or('x'),
+                            _ => char::from_u32(0x20 + (splitmix(state) % 0x5f) as u32).unwrap(),
+                        }
+                    })
+                    .collect();
+            Json::Str(s)
+        }
+        5 => {
+            let len = (splitmix(state) % 4) as usize;
+            Json::Arr((0..len).map(|_| build_json(state, depth - 1)).collect())
+        }
+        _ => {
+            let len = (splitmix(state) % 4) as usize;
+            let mut obj = Json::obj();
+            for i in 0..len {
+                // Distinct keys: the parser rejects duplicates.
+                let key = format!("k{i}_{}", splitmix(state) % 100);
+                obj = obj.set(&key, build_json(state, depth - 1));
+            }
+            obj
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The satellite property: `parser(writer(x)) == x` over randomized
+    /// value trees.
+    #[test]
+    fn parser_inverts_writer(seed in any::<u64>()) {
+        let mut state = seed;
+        let value = build_json(&mut state, 3);
+        let rendered = value.render();
+        let parsed = Json::parse(&rendered)
+            .unwrap_or_else(|e| panic!("writer output must parse: {e}\n{rendered}"));
+        prop_assert_eq!(parsed, value);
+    }
+}
+
+fn box_setup() -> (atlas_ir::Program, LibraryInterface) {
+    let mut pb = atlas_ir::builder::ProgramBuilder::new();
+    atlas_javalib::install_library(&mut pb);
+    atlas_javalib::install_box_example(&mut pb);
+    let program = pb.build();
+    let interface = LibraryInterface::from_program(&program);
+    (program, interface)
+}
+
+fn box_config(program: &atlas_ir::Program) -> AtlasConfig {
+    AtlasConfig {
+        samples_per_cluster: 250,
+        clusters: vec![vec![program.class_named("Box").unwrap()]],
+        num_threads: 1,
+        ..AtlasConfig::default()
+    }
+}
+
+/// The satellite store round-trip: persist a real harvested cache, reload
+/// it, and check statistics and every verdict survive unchanged.
+#[test]
+fn cache_artifact_preserves_stats_and_verdicts() {
+    let (program, interface) = box_setup();
+    let engine = Engine::new(&program, &interface, box_config(&program));
+    let mut session = engine.session();
+    let _ = session.run();
+    let provenance = engine.provenance();
+    let cache = session.into_cache();
+    assert!(!cache.is_empty());
+
+    let artifact = CacheArtifact::from_cache(&cache, provenance);
+    let reparsed = Json::parse(&artifact.encode().render()).expect("render parses");
+    let reloaded = CacheArtifact::decode(&reparsed).expect("decode");
+    assert_eq!(reloaded, artifact);
+
+    // Identical CacheStats...
+    assert_eq!(reloaded.shards.len(), 1);
+    assert_eq!(reloaded.shards[0].stats, cache.stats());
+    assert_eq!(reloaded.shards[0].provenance, provenance);
+    // ...and identical verdicts for every key, in insertion order.
+    let original: Vec<_> = cache.entries().collect();
+    assert_eq!(reloaded.num_entries(), original.len());
+    let live = reloaded.to_cache();
+    for (key, verdict) in original {
+        assert_eq!(live.peek(key), Some(verdict), "verdict changed for {key:?}");
+    }
+}
+
+/// Spec artifacts survive the full file cycle against a *freshly built*
+/// program, and re-encoding is byte-stable.
+#[test]
+fn spec_artifact_round_trips_and_is_byte_stable() {
+    let (program, interface) = box_setup();
+    let outcome = Engine::new(&program, &interface, box_config(&program)).run();
+    let artifact = outcome.spec_artifact(&program, &interface, 8, 64);
+    assert!(artifact.num_specs() > 0, "inference found specs to persist");
+
+    let rendered = artifact.encode(&program).expect("encode").render();
+    // Decode against a *new* build of the same program: names, not ids.
+    let (program2, _) = box_setup();
+    let reloaded =
+        SpecArtifact::decode(&Json::parse(&rendered).unwrap(), &program2).expect("decode");
+    assert_eq!(reloaded, artifact);
+    assert_eq!(reloaded.all_specs(), outcome.specs(8, 64));
+    // Byte-stability: re-encoding the reloaded artifact is identical.
+    assert_eq!(
+        reloaded.encode(&program2).expect("re-encode").render(),
+        rendered
+    );
+}
