@@ -14,6 +14,10 @@
 
 pub mod generator;
 pub mod patterns;
+pub mod synthlib;
 
 pub use generator::{generate_app, generate_app_with, generate_suite, AppConfig, GeneratedApp};
 pub use patterns::PatternKind;
+pub use synthlib::{
+    generate_library, AliasingMix, AliasingPattern, SynthLibConfig, SyntheticLibrary,
+};

@@ -28,10 +28,11 @@
 //! The `batch` binary prints the JSON to stdout (and the summary to
 //! stderr): `cargo run --release -p atlas-bench --bin batch > report.json`.
 
-use crate::context::{app_count, sample_budget, thread_budget, EvalContext, SpecSet};
+use crate::config::{app_count, env_parse, sample_budget, store_dir, thread_budget};
+use crate::context::{EvalContext, SpecSet};
 use crate::json::Json;
 use atlas_apps::{generate_suite, AppConfig};
-use atlas_core::{AtlasConfig, Engine, InferenceOutcome, VerdictCache};
+use atlas_core::{AtlasConfig, Engine, InferenceOutcome, StoreError, VerdictCache};
 use atlas_ir::LibraryInterface;
 use atlas_javalib::{class_ids, library_program, CLASS_CLUSTERS};
 use std::collections::BTreeSet;
@@ -103,11 +104,7 @@ impl BatchConfig {
         if let Some(factor) = env_parse("ATLAS_BATCH_SIZE_FACTOR") {
             config.app_config.size_factor = factor;
         }
-        if let Ok(dir) = std::env::var("ATLAS_STORE") {
-            if !dir.is_empty() {
-                config.store = Some(PathBuf::from(dir));
-            }
-        }
+        config.store = store_dir();
         config
     }
 
@@ -123,10 +120,6 @@ impl BatchConfig {
             store: None,
         }
     }
-}
-
-fn env_parse<T: std::str::FromStr>(var: &str) -> Option<T> {
-    std::env::var(var).ok().and_then(|s| s.parse().ok())
 }
 
 /// Precision/recall bookkeeping for one app under one variant.
@@ -188,13 +181,6 @@ pub struct BatchReport {
     pub summary: String,
 }
 
-/// The spec-extraction bounds every batch run uses (`specs(8, 64)` —
-/// matching the identity check), so spec artifacts from different runs are
-/// comparable byte-for-byte.
-const SPEC_MAX_LEN: usize = 8;
-/// See [`SPEC_MAX_LEN`].
-const SPEC_LIMIT: usize = 64;
-
 /// Resolved store file locations inside the `ATLAS_STORE` directory.
 struct StorePaths {
     dir: PathBuf,
@@ -203,7 +189,13 @@ struct StorePaths {
 }
 
 /// Runs the full batch pipeline.  See the [module docs](self).
-pub fn run_batch(config: &BatchConfig) -> BatchReport {
+///
+/// # Errors
+/// Returns the positioned `atlas-store` error when the configured store is
+/// unreadable/unwritable or holds a corrupt artifact — the `batch` binary
+/// turns this into a nonzero exit with a human-readable message instead of
+/// a panic.
+pub fn run_batch(config: &BatchConfig) -> Result<BatchReport, StoreError> {
     let library = library_program();
     let interface = LibraryInterface::from_program(&library);
     let clusters: Vec<_> = CLASS_CLUSTERS
@@ -226,16 +218,13 @@ pub fn run_batch(config: &BatchConfig) -> BatchReport {
         specs: dir.join("specs.json"),
     });
     let mut loaded_entries = 0usize;
-    let disk_cache: Option<VerdictCache> =
-        store
-            .as_ref()
-            .filter(|paths| paths.cache.exists())
-            .map(|paths| {
-                let artifact = atlas_store::load_cache(&paths.cache)
-                    .unwrap_or_else(|e| panic!("batch: cannot reload store cache: {e}"));
-                loaded_entries = artifact.num_entries();
-                artifact.to_cache()
-            });
+    let mut disk_cache: Option<VerdictCache> = None;
+    if let Some(paths) = &store {
+        if let Some((entries, cache)) = crate::storeleg::reload_cache(&paths.cache)? {
+            loaded_entries = entries;
+            disk_cache = Some(cache);
+        }
+    }
     let warm_started_from_disk = disk_cache.is_some();
 
     // 1. First inference leg, harvesting the verdict cache.  Cold — unless
@@ -250,11 +239,10 @@ pub fn run_batch(config: &BatchConfig) -> BatchReport {
     let cold = session.run();
     let cold_time = cold_start.elapsed();
     let reload_hit_rate = cold.cache_stats.warm_hit_rate();
-    let persist = store.as_ref().map(|paths| {
-        session
-            .persist(&paths.cache)
-            .unwrap_or_else(|e| panic!("batch: cannot persist verdict cache: {e}"))
-    });
+    let persist = match &store {
+        Some(paths) => Some(session.persist(&paths.cache)?),
+        None => None,
+    };
     let cache: VerdictCache = session.into_cache();
     let cache_entries = cache.len();
 
@@ -264,20 +252,14 @@ pub fn run_batch(config: &BatchConfig) -> BatchReport {
     // cross-process determinism check.
     let mut cross_process_identical = Json::Null;
     if let Some(paths) = &store {
-        let artifact = cold.spec_artifact(&library, &interface, SPEC_MAX_LEN, SPEC_LIMIT);
-        let rendered = artifact
-            .encode(&library)
-            .expect("the library program resolves its own specs")
-            .render();
-        if warm_started_from_disk && paths.specs.exists() {
-            // A read failure must fail loudly, not masquerade as a
-            // determinism violation.
-            let existing = std::fs::read_to_string(&paths.specs)
-                .unwrap_or_else(|e| panic!("batch: cannot read previous spec export: {e}"));
-            cross_process_identical = Json::Bool(existing == rendered);
-        }
-        atlas_store::atomic_write(&paths.specs, &rendered)
-            .unwrap_or_else(|e| panic!("batch: cannot persist spec artifact: {e}"));
+        cross_process_identical = crate::storeleg::export_specs(
+            &library,
+            &interface,
+            &cold,
+            &paths.specs,
+            warm_started_from_disk,
+        )?
+        .identical;
     }
 
     // 2. Warm re-run: same configuration, cache-fed.  Results must be
@@ -428,7 +410,7 @@ pub fn run_batch(config: &BatchConfig) -> BatchReport {
                     .set("new_entries", persisted.new_entries)
                     .set(
                         "library_fingerprint",
-                        format!("{:#018x}", persisted.fingerprint),
+                        atlas_store::hex64_string(persisted.fingerprint),
                     )
                     .set("cross_process_identical", cross_process_identical.clone()),
                 _ => Json::Null,
@@ -489,7 +471,7 @@ pub fn run_batch(config: &BatchConfig) -> BatchReport {
         );
     }
 
-    BatchReport { json, summary }
+    Ok(BatchReport { json, summary })
 }
 
 /// Result-identity check between two inference outcomes: same automata
@@ -513,7 +495,7 @@ mod tests {
 
     #[test]
     fn batch_pipeline_produces_a_consistent_report() {
-        let report = run_batch(&BatchConfig::small());
+        let report = run_batch(&BatchConfig::small()).expect("no store configured");
         let json = &report.json;
         assert_eq!(json.get("schema"), Some(&Json::str("atlas-batch/1")));
 
@@ -559,6 +541,40 @@ mod tests {
     }
 
     #[test]
+    fn store_failures_are_positioned_errors_not_panics() {
+        let dir = std::env::temp_dir().join(format!("atlas-batch-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("cache.json"), "{ not json").unwrap();
+        let mut config = BatchConfig::small();
+        config.samples = 50;
+        config.app_config.count = 1;
+        config.store = Some(dir.clone());
+
+        // A corrupt artifact surfaces as a positioned parse error carrying
+        // the offending file, before any inference runs.
+        let err = run_batch(&config).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, StoreError::Parse { .. }), "{msg}");
+        assert!(
+            msg.contains("cache.json") && msg.contains("line 1"),
+            "{msg}"
+        );
+
+        // An unwritable store location (here: the parent is a regular
+        // file, which even root cannot mkdir into) surfaces as an I/O
+        // error carrying the path.
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, "x").unwrap();
+        config.store = Some(blocker.join("store"));
+        let err = run_batch(&config).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, StoreError::Io { .. }), "{msg}");
+        assert!(msg.contains("blocker"), "{msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn store_leg_reloads_across_runs_and_reports_it() {
         let dir = std::env::temp_dir().join(format!("atlas-batch-store-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -568,7 +584,7 @@ mod tests {
         config.store = Some(dir.clone());
 
         // First run: cold, persists cache + specs.
-        let first = run_batch(&config);
+        let first = run_batch(&config).expect("writable store");
         let store = first.json.get("store").expect("store section");
         assert_eq!(
             store.get("warm_started_from_disk"),
@@ -586,7 +602,7 @@ mod tests {
         // cross-process variant lives in tests/cross_process.rs): reloads
         // the registry, re-executes nothing, reproduces the spec file
         // byte-for-byte, contributes no new entries.
-        let second = run_batch(&config);
+        let second = run_batch(&config).expect("readable store");
         let store = second.json.get("store").expect("store section");
         assert_eq!(store.get("warm_started_from_disk"), Some(&Json::Bool(true)));
         assert_eq!(

@@ -70,21 +70,17 @@ fn main() {
             None => String::new(),
         }
     );
-    let report = atlas_bench::run_batch(&config);
-    eprint!("{}", report.summary);
-    let rendered = report.json.render();
-    // Stdout is the primary output: print it before attempting the file
-    // write, so a bad ATLAS_BATCH_OUT can't lose the run's report.
-    print!("{rendered}");
-    if let Ok(path) = std::env::var("ATLAS_BATCH_OUT") {
-        match std::fs::write(&path, &rendered) {
-            Ok(()) => eprintln!("batch: report written to {path}"),
-            Err(e) => {
-                eprintln!("batch: cannot write {path}: {e}");
-                std::process::exit(1);
-            }
+    let report = match atlas_bench::run_batch(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            // Store trouble (unwritable directory, corrupt artifact) is an
+            // operational error with a position, not a crash.
+            eprintln!("batch: store error: {e}");
+            std::process::exit(1);
         }
-    }
+    };
+    eprint!("{}", report.summary);
+    atlas_bench::emit_report("batch", &report.json.render(), "ATLAS_BATCH_OUT");
     if expect_warm {
         verify_warm_start(&report.json);
     }

@@ -1,0 +1,175 @@
+//! The multi-library fleet pipeline: concurrent inference over a registry
+//! of library variants with per-library sharded stores, one JSON report.
+//!
+//! ```sh
+//! cargo run --release -p atlas-bench --bin fleet > report.json
+//! # sharded cross-process warm start:
+//! ATLAS_FLEET_STORE=target/atlas-fleet cargo run --release -p atlas-bench --bin fleet
+//! ATLAS_FLEET_STORE=target/atlas-fleet cargo run --release -p atlas-bench --bin fleet -- --expect-warm
+//! ```
+//!
+//! The human summary goes to stderr, the `atlas-fleet/1` JSON document to
+//! stdout (and to `ATLAS_FLEET_OUT` when set).  Budgets come from the
+//! usual knobs (`ATLAS_SAMPLES`, `ATLAS_THREADS`) plus `ATLAS_FLEET_STORE`
+//! (sharded store root), `ATLAS_FLEET_SEED` (synthetic-library seed), and
+//! `ATLAS_FLEET_LIBS` (comma-separated member names).
+//!
+//! Flags:
+//!
+//! * `--list` — print the registry and exit.
+//! * `--libraries A,B,...` — fleet members, overriding `ATLAS_FLEET_LIBS`.
+//! * `--threads N` — global worker budget, overriding `ATLAS_THREADS`
+//!   (0 = one per core); bounds outer workers × per-library threads.
+//! * `--samples N` — per-cluster sampling budget, overriding
+//!   `ATLAS_SAMPLES`.
+//! * `--store ROOT` — sharded store root, overriding `ATLAS_FLEET_STORE`.
+//! * `--normalized-out PATH` — additionally write the timing-stripped
+//!   report (see `atlas_bench::fleet::normalized`); two same-seed runs
+//!   against the same store state produce byte-identical files, which CI
+//!   `cmp`s.
+//! * `--expect-warm` — assert that *every* library warm-started from its
+//!   shard with zero re-executions and a byte-identical spec export; exits
+//!   `1` otherwise.
+
+use atlas_bench::fleet::{self, FleetConfig};
+use atlas_bench::Json;
+use std::path::PathBuf;
+
+fn usage(message: &str) -> ! {
+    eprintln!(
+        "fleet: {message}\nusage: fleet [--list] [--libraries A,B,...] [--threads N] \
+         [--samples N] [--store ROOT] [--normalized-out PATH] [--expect-warm]"
+    );
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut config = FleetConfig::from_env();
+    let mut expect_warm = false;
+    let mut normalized_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for name in fleet::registry_names() {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--libraries" => {
+                let list = args
+                    .next()
+                    .unwrap_or_else(|| usage("--libraries needs a comma-separated list"));
+                config.libraries = atlas_bench::config::parse_library_list(&list);
+            }
+            "--threads" => {
+                config.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"));
+            }
+            "--samples" => {
+                config.samples = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--samples needs a number"));
+            }
+            "--store" => {
+                config.store_root = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--store needs a path")),
+                ));
+            }
+            "--normalized-out" => {
+                normalized_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--normalized-out needs a path")),
+                ));
+            }
+            "--expect-warm" => expect_warm = true,
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if expect_warm && config.store_root.is_none() {
+        usage("--expect-warm needs a store (--store or ATLAS_FLEET_STORE)");
+    }
+    eprintln!(
+        "fleet: {} [{}], {} samples/cluster, threads={}{}",
+        config.libraries.len(),
+        config.libraries.join(", "),
+        config.samples,
+        config.threads,
+        match &config.store_root {
+            Some(root) => format!(", store={}", root.display()),
+            None => String::new(),
+        }
+    );
+    let report = match fleet::run_fleet(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprint!("{}", report.summary);
+    atlas_bench::emit_report("fleet", &report.json.render(), "ATLAS_FLEET_OUT");
+    if let Some(path) = &normalized_out {
+        let norm = fleet::normalized(&report.json).render();
+        if let Err(e) = std::fs::write(path, &norm) {
+            eprintln!("fleet: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("fleet: normalized report written to {}", path.display());
+    }
+    if expect_warm {
+        verify_warm_start(&report.json);
+    }
+}
+
+/// The `--expect-warm` contract: every fleet member warm-started from its
+/// shard, re-executed nothing, and reproduced its spec export byte for
+/// byte.
+fn verify_warm_start(report: &Json) {
+    let mut failures = Vec::new();
+    let empty = Vec::new();
+    let libraries = report
+        .get("libraries")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    if libraries.is_empty() {
+        failures.push("the report lists no libraries".to_string());
+    }
+    for row in libraries {
+        let name = row.get("name").and_then(Json::as_str).unwrap_or("?");
+        let store = row.get("store").unwrap_or(&Json::Null);
+        if store.get("warm_started_from_disk").and_then(Json::as_bool) != Some(true) {
+            failures.push(format!(
+                "{name}: its shard held no cache to warm-start from"
+            ));
+        }
+        match store.get("reload_hit_rate").and_then(Json::as_f64) {
+            Some(rate) if rate > 0.0 => {}
+            rate => failures.push(format!("{name}: reload hit rate is not positive: {rate:?}")),
+        }
+        if store.get("specs_identical").and_then(Json::as_bool) != Some(true) {
+            failures.push(format!(
+                "{name}: inferred spec set differs from the shard's export"
+            ));
+        }
+        match row.get("executions").and_then(Json::as_int) {
+            Some(0) => {}
+            n => failures.push(format!("{name}: re-executed unit tests: {n:?}")),
+        }
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "fleet: cross-process warm start verified for {} shard(s) \
+             (identical specs, 0 re-executions)",
+            libraries.len()
+        );
+    } else {
+        for failure in &failures {
+            eprintln!("fleet: --expect-warm failed: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

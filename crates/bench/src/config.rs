@@ -1,0 +1,124 @@
+//! The one place environment knobs are parsed.
+//!
+//! Every binary and module of the harness reads its budgets through these
+//! helpers, so a knob means the same thing everywhere:
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `ATLAS_SAMPLES` | phase-one sampling budget per class cluster | 4000 |
+//! | `ATLAS_APPS` | generated benchmark app count | 46 |
+//! | `ATLAS_THREADS` | total worker-thread budget (0 = one per core) | 0 |
+//! | `ATLAS_STORE` | persistent store directory (batch: flat layout) | unset |
+//! | `ATLAS_FLEET_STORE` | fingerprint-sharded fleet store root | unset |
+//! | `ATLAS_FLEET_SEED` | base seed of the synthetic fleet libraries | `0x5EED` |
+//! | `ATLAS_FLEET_LIBS` | comma-separated fleet library names | registry default |
+//!
+//! Malformed values fall back to the default rather than aborting — a CI
+//! matrix that exports an empty string must not change behavior.
+
+use std::path::PathBuf;
+
+/// Parses an environment variable, falling back to `None` when unset or
+/// unparsable.
+pub fn env_parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+    std::env::var(var).ok().and_then(|s| s.parse().ok())
+}
+
+/// A non-empty environment variable as a path.
+pub fn env_path(var: &str) -> Option<PathBuf> {
+    std::env::var(var)
+        .ok()
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Reads the per-cluster sampling budget from `ATLAS_SAMPLES` (default 4000).
+pub fn sample_budget() -> usize {
+    env_parse("ATLAS_SAMPLES").unwrap_or(4_000)
+}
+
+/// Reads the global worker-thread budget from `ATLAS_THREADS` (default 0 =
+/// one per available core).  The thread count never changes results, only
+/// wall-clock; in fleet runs it bounds the *total* worker count across the
+/// outer scheduler and every engine (see `atlas_core::ThreadBudget`).
+pub fn thread_budget() -> usize {
+    env_parse("ATLAS_THREADS").unwrap_or(0)
+}
+
+/// Reads the app count from `ATLAS_APPS` (default 46).
+pub fn app_count() -> usize {
+    env_parse("ATLAS_APPS").unwrap_or(46)
+}
+
+/// Reads the batch pipeline's flat store directory from `ATLAS_STORE`.
+pub fn store_dir() -> Option<PathBuf> {
+    env_path("ATLAS_STORE")
+}
+
+/// Reads the fleet pipeline's sharded store root from `ATLAS_FLEET_STORE`.
+pub fn fleet_store_root() -> Option<PathBuf> {
+    env_path("ATLAS_FLEET_STORE")
+}
+
+/// Reads the synthetic-library base seed from `ATLAS_FLEET_SEED` —
+/// decimal or `0x`-prefixed hex, matching how the default (`0x5EED`) and
+/// the fingerprints in reports are written.
+pub fn fleet_seed() -> u64 {
+    std::env::var("ATLAS_FLEET_SEED")
+        .ok()
+        .and_then(|s| parse_u64(&s))
+        .unwrap_or(0x5EED)
+}
+
+/// Parses a decimal or `0x`-prefixed hex u64.
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// Parses a comma-separated library-name list (the `ATLAS_FLEET_LIBS` /
+/// `fleet --libraries` syntax): names are trimmed, empty segments dropped.
+pub fn parse_library_list(raw: &str) -> Vec<String> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Reads the fleet library selection from `ATLAS_FLEET_LIBS`
+/// (comma-separated registry names); `None` means the registry default.
+pub fn fleet_libraries() -> Option<Vec<String>> {
+    let raw = std::env::var("ATLAS_FLEET_LIBS").ok()?;
+    let names = parse_library_list(&raw);
+    if names.is_empty() {
+        None
+    } else {
+        Some(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_historical() {
+        // The suite must not depend on ambient ATLAS_* values; these
+        // helpers are exercised against explicitly absent variables.
+        assert_eq!(env_parse::<usize>("ATLAS_DOES_NOT_EXIST"), None);
+        assert!(env_path("ATLAS_DOES_NOT_EXIST").is_none());
+    }
+
+    #[test]
+    fn seeds_parse_in_both_spellings() {
+        assert_eq!(parse_u64("24301"), Some(24301));
+        assert_eq!(parse_u64("0x5EED"), Some(0x5EED));
+        assert_eq!(parse_u64(" 0X5eed "), Some(0x5EED));
+        assert_eq!(parse_u64("nope"), None);
+        assert_eq!(parse_u64("0xzz"), None);
+    }
+}

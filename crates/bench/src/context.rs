@@ -50,31 +50,9 @@ pub struct EvalContext {
     pub apps: Vec<GeneratedApp>,
 }
 
-/// Reads the per-cluster sampling budget from `ATLAS_SAMPLES` (default 4000).
-pub fn sample_budget() -> usize {
-    std::env::var("ATLAS_SAMPLES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4_000)
-}
-
-/// Reads the engine worker-thread count from `ATLAS_THREADS` (default 0 =
-/// one per available core).  The thread count never changes the inference
-/// result, only how fast the experiments build their context.
-pub fn thread_budget() -> usize {
-    std::env::var("ATLAS_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0)
-}
-
-/// Reads the app count from `ATLAS_APPS` (default 46).
-pub fn app_count() -> usize {
-    std::env::var("ATLAS_APPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(46)
-}
+// Environment knobs historically lived here; they are now centralized in
+// [`crate::config`] and re-exported for existing callers.
+pub use crate::config::{app_count, sample_budget, thread_budget};
 
 impl EvalContext {
     /// Builds the full context: runs inference over the modeled library and

@@ -28,17 +28,44 @@
 //! invariants (nonzero reload hit rate, zero re-executions, byte-identical
 //! spec export) into an exit code for CI.
 //!
-//! The sampling budget is controlled by the `ATLAS_SAMPLES` environment
-//! variable (default 4000 candidates per class cluster), the number of
-//! benchmark apps by `ATLAS_APPS` (default 46), and the inference engine's
-//! worker-thread count by `ATLAS_THREADS` (default 0 = one per core; the
-//! thread count changes wall-clock only, never results).
+//! The [`fleet`] module scales the pipeline from one library to a
+//! *population*: registered `atlas-javalib` variants plus deterministic
+//! synthetic libraries run concurrently under an outer work-stealing
+//! scheduler (two-level parallelism under one `ATLAS_THREADS` budget),
+//! each warm-starting from and persisting to its own fingerprint-sharded
+//! store directory, scored against its ground truth, and reported as one
+//! `atlas-fleet/1` document (the `fleet` binary).
+//!
+//! The environment knobs (`ATLAS_SAMPLES`, `ATLAS_APPS`, `ATLAS_THREADS`,
+//! `ATLAS_STORE`, `ATLAS_FLEET_*`) are parsed in one place: [`config`].
 
 pub mod batch;
+pub mod config;
 pub mod context;
 pub mod experiments;
+pub mod fleet;
 pub mod json;
+mod storeleg;
 
 pub use batch::{run_batch, BatchConfig, BatchReport};
 pub use context::{EvalContext, SpecSet};
+pub use fleet::{run_fleet, FleetConfig, FleetError, FleetReport};
 pub use json::Json;
+
+/// Emits a pipeline report from a report binary: the JSON goes to stdout
+/// first (the primary output — a bad file path must never lose the run),
+/// then a copy is written to the path named by the `out_env` environment
+/// variable when it is set.  Exits `1` with a `{tag}: cannot write …`
+/// message on a failed file write.
+pub fn emit_report(tag: &str, rendered: &str, out_env: &str) {
+    print!("{rendered}");
+    if let Ok(path) = std::env::var(out_env) {
+        match std::fs::write(&path, rendered) {
+            Ok(()) => eprintln!("{tag}: report written to {path}"),
+            Err(e) => {
+                eprintln!("{tag}: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The store leg shared by the batch and fleet pipelines: reloading a
+//! persisted verdict cache, and exporting the inferred specification set
+//! with the cross-process byte-identity check.  One implementation, so the
+//! warm-start protocol cannot desynchronize between the two pipelines.
+
+use crate::json::Json;
+use atlas_core::{InferenceOutcome, StoreError, VerdictCache};
+use atlas_ir::{LibraryInterface, Program};
+use std::path::Path;
+
+/// The spec-extraction bounds every pipeline uses (`specs(8, 64)`), so
+/// spec artifacts from different runs are comparable byte-for-byte.
+pub(crate) const SPEC_MAX_LEN: usize = 8;
+/// See [`SPEC_MAX_LEN`].
+pub(crate) const SPEC_LIMIT: usize = 64;
+
+/// Reloads a persisted verdict cache, returning the persisted entry count
+/// alongside the live cache (`None` when the file does not exist yet).
+pub(crate) fn reload_cache(path: &Path) -> Result<Option<(usize, VerdictCache)>, StoreError> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let artifact = atlas_store::load_cache(path)?;
+    Ok(Some((artifact.num_entries(), artifact.to_cache())))
+}
+
+/// What the spec-export half of the store leg produced.
+pub(crate) struct SpecExport {
+    /// Whether the export matched the previous run's bytes (`Null` when
+    /// there was nothing to compare against).
+    pub identical: Json,
+    /// Extracted specifications in the artifact.
+    pub num_specs: usize,
+}
+
+/// Exports the outcome's spec artifact to `path` (atomic write).  When
+/// `compare` is set and a previous export exists, the rendered bytes are
+/// compared first: identical bytes mean the (warm-started) run inferred
+/// the *exact* same specifications — the cross-process determinism check.
+pub(crate) fn export_specs(
+    program: &Program,
+    interface: &LibraryInterface,
+    outcome: &InferenceOutcome,
+    path: &Path,
+    compare: bool,
+) -> Result<SpecExport, StoreError> {
+    let artifact = outcome.spec_artifact(program, interface, SPEC_MAX_LEN, SPEC_LIMIT);
+    let rendered = artifact
+        .encode(program)
+        .map_err(|e| StoreError::schema(path, e))?
+        .render();
+    let mut identical = Json::Null;
+    if compare && path.exists() {
+        // A read failure must fail loudly, not masquerade as a
+        // determinism violation.
+        let existing = std::fs::read_to_string(path).map_err(|source| StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        identical = Json::Bool(existing == rendered);
+    }
+    atlas_store::atomic_write(path, &rendered)?;
+    Ok(SpecExport {
+        identical,
+        num_specs: artifact.num_specs(),
+    })
+}

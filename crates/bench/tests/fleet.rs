@@ -1,0 +1,245 @@
+//! Fleet-level integration tests: cross-library cache isolation, the
+//! sharded warm-start round trip, cross-shard merge/gc, and the
+//! property that scheduling order and thread budgets never affect
+//! per-library results.
+
+use atlas_bench::fleet::{self, FleetConfig};
+use atlas_bench::Json;
+use atlas_core::{AtlasConfig, Engine};
+use atlas_ir::LibraryInterface;
+use proptest::prelude::*;
+
+/// A scratch directory removed on drop.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("atlas-fleet-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn small_atlas_config(lib: &fleet::FleetLibrary, samples: usize) -> AtlasConfig {
+    AtlasConfig {
+        samples_per_cluster: samples,
+        clusters: lib.clusters.clone(),
+        num_threads: 1,
+        ..AtlasConfig::default()
+    }
+}
+
+/// Warming library B with library A's verdicts must change *nothing* about
+/// B's results — not even its execution count: content-addressed keys make
+/// foreign-library entries unreachable.
+#[test]
+fn warming_one_library_never_changes_another() {
+    let a = fleet::build_library("synth-small", 0x5EED).expect("registered");
+    let b = fleet::build_library("synth-aliasing", 0x5EED).expect("registered");
+
+    let ia = LibraryInterface::from_program(&a.program);
+    let engine_a = Engine::new(&a.program, &ia, small_atlas_config(&a, 150));
+    let mut session_a = engine_a.session();
+    session_a.run();
+    let cache_a = session_a.into_cache();
+    assert!(!cache_a.is_empty());
+
+    let ib = LibraryInterface::from_program(&b.program);
+    let cold_b = Engine::new(&b.program, &ib, small_atlas_config(&b, 150)).run();
+    let warm_b = Engine::new(&b.program, &ib, small_atlas_config(&b, 150))
+        .warm_start(cache_a)
+        .run();
+
+    // Identical results, identical costs: A's cache is invisible to B.
+    assert_eq!(cold_b.specs(8, 64), warm_b.specs(8, 64));
+    assert_eq!(cold_b.state_counts(), warm_b.state_counts());
+    assert_eq!(cold_b.oracle_executions, warm_b.oracle_executions);
+    assert_eq!(
+        warm_b.cache_stats.warm_hits, 0,
+        "foreign-library entries can never hit"
+    );
+
+    // B's own cache, in contrast, eliminates every execution.
+    let ib2 = LibraryInterface::from_program(&b.program);
+    let engine_b = Engine::new(&b.program, &ib2, small_atlas_config(&b, 150));
+    let mut session_b = engine_b.session();
+    let rerun = session_b.run();
+    assert_eq!(rerun.oracle_executions, cold_b.oracle_executions);
+    let self_warm = Engine::new(&b.program, &ib2, small_atlas_config(&b, 150))
+        .warm_start(session_b.into_cache())
+        .run();
+    assert_eq!(self_warm.oracle_executions, 0);
+    assert!(self_warm.cache_stats.warm_hits > 0);
+}
+
+fn library_rows(report: &Json) -> Vec<Json> {
+    report
+        .get("libraries")
+        .and_then(Json::as_arr)
+        .expect("libraries array")
+        .to_vec()
+}
+
+/// End-to-end sharded store round trip: a cold fleet seeds one shard per
+/// library; a second run warm-starts every shard with zero re-executions
+/// and byte-identical spec exports; merge/gc compose across shards; and
+/// two warm runs normalize to byte-identical reports.
+#[test]
+fn fleet_round_trip_through_sharded_stores() {
+    let scratch = Scratch::new("roundtrip");
+    let config = FleetConfig {
+        libraries: vec!["synth-small".to_string(), "synth-aliasing".to_string()],
+        samples: 200,
+        threads: 2,
+        store_root: Some(scratch.0.clone()),
+        synth_seed: 0x5EED,
+    };
+
+    // Cold run: every shard is created.
+    let cold = fleet::run_fleet(&config).expect("cold fleet");
+    assert_eq!(cold.json.get("schema"), Some(&Json::str("atlas-fleet/1")));
+    let rows = library_rows(&cold.json);
+    assert_eq!(rows.len(), 2);
+    let mut fingerprints = Vec::new();
+    for row in &rows {
+        let store = row.get("store").expect("store section");
+        assert_eq!(
+            store.get("warm_started_from_disk"),
+            Some(&Json::Bool(false))
+        );
+        assert!(
+            store
+                .get("persisted_entries")
+                .and_then(Json::as_int)
+                .unwrap()
+                > 0
+        );
+        assert_eq!(store.get("specs_identical"), Some(&Json::Null));
+        let fp = row
+            .get("library_fingerprint")
+            .and_then(Json::as_str)
+            .expect("fingerprint");
+        fingerprints.push(atlas_store::parse_hex64(fp).expect("hex fingerprint"));
+        let shard = store.get("shard").and_then(Json::as_str).expect("shard");
+        assert!(std::path::Path::new(shard).join("cache.json").exists());
+        assert!(std::path::Path::new(shard).join("specs.json").exists());
+    }
+    assert_ne!(fingerprints[0], fingerprints[1], "distinct shards");
+    let shards = atlas_store::list_shards(&scratch.0).expect("list shards");
+    assert_eq!(shards.len(), 2);
+
+    // Warm runs: zero executions everywhere, byte-identical spec exports,
+    // and (being same-seed, same-store) byte-identical normalized reports.
+    let warm1 = fleet::run_fleet(&config).expect("warm fleet");
+    for row in library_rows(&warm1.json) {
+        assert_eq!(row.get("executions"), Some(&Json::Int(0)));
+        let store = row.get("store").expect("store section");
+        assert_eq!(store.get("warm_started_from_disk"), Some(&Json::Bool(true)));
+        assert_eq!(store.get("specs_identical"), Some(&Json::Bool(true)));
+        assert_eq!(store.get("new_entries"), Some(&Json::Int(0)));
+        let rate = store.get("reload_hit_rate").and_then(Json::as_f64).unwrap();
+        assert!(rate > 0.99, "every verdict reloads from its shard: {rate}");
+    }
+    let warm2 = fleet::run_fleet(&config).expect("second warm fleet");
+    assert_eq!(
+        fleet::normalized(&warm1.json).render(),
+        fleet::normalized(&warm2.json).render(),
+        "same seed + same store => byte-identical normalized reports"
+    );
+
+    // The parallelism summary respects the global budget.
+    let parallelism = warm1.json.get("parallelism").expect("parallelism");
+    let outer = parallelism
+        .get("outer_workers")
+        .and_then(Json::as_int)
+        .unwrap();
+    let inner = parallelism
+        .get("threads_per_library")
+        .and_then(Json::as_int)
+        .unwrap();
+    let budget = parallelism
+        .get("thread_budget")
+        .and_then(Json::as_int)
+        .unwrap();
+    assert!(outer * inner <= budget, "{outer} x {inner} > {budget}");
+
+    // Cross-shard maintenance through atlas-store: merge folds both shards
+    // into one artifact; gc drops a departed library's shard directory.
+    let merged = atlas_store::merge_shards(&scratch.0).expect("merge shards");
+    assert_eq!(merged.shards.len(), 2);
+    let per_shard: usize = shards
+        .iter()
+        .map(|s| {
+            atlas_store::load_cache(&s.cache)
+                .expect("shard cache")
+                .num_entries()
+        })
+        .sum();
+    assert_eq!(merged.num_entries(), per_shard);
+    let summary = atlas_store::gc_shards(&scratch.0, &fingerprints[..1]).expect("gc shards");
+    assert_eq!(summary.kept, 1);
+    assert_eq!(summary.removed, 1);
+    assert_eq!(atlas_store::list_shards(&scratch.0).unwrap().len(), 1);
+}
+
+// --- Scheduling-independence property -------------------------------------
+
+/// The normalized per-library rows of a report, keyed and sorted by name.
+fn rows_by_name(report: &Json) -> Vec<(String, String)> {
+    let mut rows: Vec<(String, String)> = library_rows(report)
+        .iter()
+        .map(|row| {
+            (
+                row.get("name").and_then(Json::as_str).unwrap().to_string(),
+                fleet::normalized(row).render(),
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+const ORDERING_FLEET: &[&str] = &["synth-small", "synth-aliasing"];
+
+fn ordering_config(libraries: Vec<String>, threads: usize) -> FleetConfig {
+    FleetConfig {
+        libraries,
+        samples: 120,
+        threads,
+        store_root: None,
+        synth_seed: 0x5EED,
+    }
+}
+
+/// The rows of the canonical ordering at one thread, computed once.
+fn ordering_reference() -> &'static Vec<(String, String)> {
+    static REFERENCE: std::sync::OnceLock<Vec<(String, String)>> = std::sync::OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let libraries = ORDERING_FLEET.iter().map(|s| s.to_string()).collect();
+        let report = fleet::run_fleet(&ordering_config(libraries, 1)).unwrap();
+        rows_by_name(&report.json)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Scheduling order and thread budget never affect per-library
+    /// results: any permutation of the fleet under any budget yields the
+    /// same normalized per-library rows.
+    #[test]
+    fn fleet_rows_are_independent_of_scheduling(swap in any::<bool>(), threads in 1usize..=4) {
+        let mut libraries: Vec<String> = ORDERING_FLEET.iter().map(|s| s.to_string()).collect();
+        if swap {
+            libraries.reverse();
+        }
+        let report = fleet::run_fleet(&ordering_config(libraries, threads)).unwrap();
+        prop_assert_eq!(&rows_by_name(&report.json), ordering_reference());
+    }
+}

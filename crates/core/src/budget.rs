@@ -1,0 +1,128 @@
+//! The global worker-thread budget shared by *nested* parallelism.
+//!
+//! A fleet run parallelizes at two levels: an outer scheduler runs several
+//! libraries concurrently, and each library's [`crate::Engine`] session
+//! fans its clusters across an inner pool.  Without coordination, `L`
+//! libraries × `T` threads each would oversubscribe the machine by `L×T`.
+//! [`ThreadBudget`] owns the single number both levels divide between
+//! them, with the invariant
+//!
+//! > `outer workers × threads per worker ≤ total budget`
+//!
+//! so `ATLAS_THREADS` bounds the *total* worker count of a run, however
+//! deeply it nests.  The split is a pure function of `(budget, jobs)` —
+//! schedulers that use it stay deterministic.
+
+/// A resolved global thread budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadBudget {
+    total: usize,
+}
+
+/// How a [`ThreadBudget`] divides between an outer scheduler and the
+/// engines it drives concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetSplit {
+    /// Concurrent outer workers (≥ 1, never more than there are jobs).
+    pub outer: usize,
+    /// Engine threads each outer worker may use (≥ 1).
+    pub inner: usize,
+}
+
+impl ThreadBudget {
+    /// Resolves a configured thread count: `0` means "one per available
+    /// core", anything else is taken literally (the `ATLAS_THREADS`
+    /// convention used across the harness).
+    pub fn resolve(configured: usize) -> ThreadBudget {
+        let total = if configured == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            configured
+        };
+        ThreadBudget {
+            total: total.max(1),
+        }
+    }
+
+    /// The total number of workers the budget allows, across all levels.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Splits the budget over `jobs` independent outer jobs, maximizing
+    /// utilization: among all `outer ≤ jobs`, the split with the largest
+    /// `outer × (total / outer)` wins (at a utilization tie, the larger
+    /// `outer` — more libraries in flight hides per-library imbalance).
+    /// E.g. a budget of 6 over 4 jobs yields `3 × 2`, not `4 × 1`.
+    ///
+    /// Guarantees `outer * inner <= total()`, `1 <= outer <= max(jobs, 1)`,
+    /// and `inner >= 1`; a pure function of `(total, jobs)`, so schedulers
+    /// built on it stay deterministic.
+    pub fn split(&self, jobs: usize) -> BudgetSplit {
+        let max_outer = self.total.clamp(1, jobs.max(1));
+        let outer = (1..=max_outer)
+            .max_by_key(|o| (o * (self.total / o), *o))
+            .expect("the range 1..=max_outer is never empty");
+        BudgetSplit {
+            outer,
+            inner: (self.total / outer).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_never_exceeds_the_budget() {
+        for total in 1..=33 {
+            let budget = ThreadBudget::resolve(total);
+            assert_eq!(budget.total(), total);
+            for jobs in 0..=40 {
+                let split = budget.split(jobs);
+                assert!(split.outer >= 1 && split.inner >= 1);
+                assert!(split.outer <= jobs.max(1));
+                assert!(
+                    split.outer * split.inner <= total,
+                    "{total} threads / {jobs} jobs -> {split:?}"
+                );
+                // Utilization is maximal: no legal outer does better.
+                let best = (1..=total.min(jobs.max(1)))
+                    .map(|o| o * (total / o))
+                    .max()
+                    .unwrap();
+                assert_eq!(
+                    split.outer * split.inner,
+                    best,
+                    "{total} threads / {jobs} jobs -> {split:?} wastes budget"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_saturates_sensibly() {
+        let budget = ThreadBudget::resolve(8);
+        // Few jobs: all threads go inner.
+        assert_eq!(budget.split(1), BudgetSplit { outer: 1, inner: 8 });
+        assert_eq!(budget.split(2), BudgetSplit { outer: 2, inner: 4 });
+        // Many jobs: all threads go outer.
+        assert_eq!(budget.split(8), BudgetSplit { outer: 8, inner: 1 });
+        assert_eq!(budget.split(100), BudgetSplit { outer: 8, inner: 1 });
+        // Indivisible cases maximize utilization instead of stranding
+        // budget: 6 threads over 4 jobs run 3 x 2 (6 used), not 4 x 1.
+        assert_eq!(
+            ThreadBudget::resolve(6).split(4),
+            BudgetSplit { outer: 3, inner: 2 }
+        );
+        assert_eq!(
+            ThreadBudget::resolve(7).split(2),
+            BudgetSplit { outer: 1, inner: 7 }
+        );
+        // Zero means "the machine"; never zero workers.
+        assert!(ThreadBudget::resolve(0).total() >= 1);
+    }
+}

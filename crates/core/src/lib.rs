@@ -33,10 +33,12 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod engine;
 pub mod inference;
 pub mod report;
 
+pub use budget::{BudgetSplit, ThreadBudget};
 pub use engine::{ClusterJob, Engine, PersistSummary, Session};
 pub use inference::{
     infer_specifications, AtlasConfig, ClusterOutcome, InferenceOutcome, ParallelismSummary,

@@ -27,9 +27,11 @@ pub mod list;
 pub mod map;
 pub mod other;
 pub mod specs;
+pub mod variants;
 
 pub use android::{SINK_METHODS, SOURCE_METHODS};
 pub use specs::{android_model_specs, ground_truth_specs, handwritten_specs, SpecsBuilder};
+pub use variants::{variant_named, LibraryVariant, Module, VARIANTS};
 
 use atlas_ir::builder::ProgramBuilder;
 use atlas_ir::{ClassId, LibraryInterface, Program};

@@ -300,7 +300,7 @@ pub fn handwritten_specs(program: &Program) -> BTreeMap<MethodId, Vec<Stmt>> {
     sb.build()
 }
 
-fn list_ground_truth(sb: &mut SpecsBuilder<'_>) {
+pub(crate) fn list_ground_truth(sb: &mut SpecsBuilder<'_>) {
     // ---- ArrayList --------------------------------------------------------
     {
         let mut f = sb.frag("ArrayList.add");
@@ -466,7 +466,7 @@ fn list_ground_truth(sb: &mut SpecsBuilder<'_>) {
     }
 }
 
-fn map_ground_truth(sb: &mut SpecsBuilder<'_>) {
+pub(crate) fn map_ground_truth(sb: &mut SpecsBuilder<'_>) {
     for map in ["HashMap", "Hashtable", "TreeMap"] {
         let key_ghost = format!("{map}::key");
         let value_ghost = format!("{map}::value");
@@ -600,7 +600,7 @@ fn map_ground_truth(sb: &mut SpecsBuilder<'_>) {
     }
 }
 
-fn other_ground_truth(sb: &mut SpecsBuilder<'_>) {
+pub(crate) fn other_ground_truth(sb: &mut SpecsBuilder<'_>) {
     for (class, ghost) in [
         ("ArrayDeque", "ArrayDeque::elem"),
         ("PriorityQueue", "PriorityQueue::elem"),
@@ -670,7 +670,7 @@ fn other_ground_truth(sb: &mut SpecsBuilder<'_>) {
     }
 }
 
-fn lang_ground_truth(sb: &mut SpecsBuilder<'_>) {
+pub(crate) fn lang_ground_truth(sb: &mut SpecsBuilder<'_>) {
     {
         let mut f = sb.frag("StringBuilder.append");
         let (this, p) = (f.this(), f.param(0));
@@ -721,7 +721,7 @@ fn lang_ground_truth(sb: &mut SpecsBuilder<'_>) {
     }
 }
 
-fn android_ground_truth(sb: &mut SpecsBuilder<'_>) {
+pub(crate) fn android_ground_truth(sb: &mut SpecsBuilder<'_>) {
     for source in [
         "TelephonyManager.getDeviceId",
         "TelephonyManager.getSubscriberId",

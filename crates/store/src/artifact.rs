@@ -45,11 +45,18 @@ fn err(message: impl Into<String>) -> SchemaError {
     SchemaError(message.into())
 }
 
+/// The canonical `0x`-prefixed, 16-digit rendering of a 64-bit hash — the
+/// inverse of [`parse_hex64`].  Shard directory names, reports, and CLI
+/// output all use this one helper, so the round trip can never drift.
+pub fn hex64_string(v: u64) -> String {
+    format!("{v:#018x}")
+}
+
 /// u64 values exceed JSON's interoperable integer range (and our `Json`
 /// integers are `i64`), so all 64-bit hashes serialize as fixed-width hex
 /// strings.
 fn hex64(v: u64) -> Json {
-    Json::Str(format!("{v:#018x}"))
+    Json::Str(hex64_string(v))
 }
 
 /// Parses a `0x`-prefixed hex string as written by the artifact encoder

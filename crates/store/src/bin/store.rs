@@ -5,6 +5,10 @@
 //! store merge <OUT> <IN>...            merge cache files (first-entry-wins)
 //! store gc <FILE> --keep <0xFP> [--out <OUT>]
 //!                                      drop shards of other library fingerprints
+//! store merge-shards <ROOT> <OUT>      merge every shard cache of a
+//!                                      fingerprint-sharded root (fleet layout)
+//! store gc-shards <ROOT> --keep <0xFP> [--keep <0xFP>]...
+//!                                      remove shard dirs of departed libraries
 //! store export-specs <SPEC-FILE>       print the persisted specifications
 //! store diff-specs <SPEC-FILE>         coverage diff vs the handwritten corpus
 //! ```
@@ -33,6 +37,8 @@ usage:
   store inspect <FILE>...
   store merge <OUT> <IN>...
   store gc <FILE> --keep <0xFINGERPRINT> [--out <OUT>]
+  store merge-shards <ROOT> <OUT>
+  store gc-shards <ROOT> --keep <0xFINGERPRINT> [--keep <0xFINGERPRINT>]...
   store export-specs <SPEC-FILE>
   store diff-specs <SPEC-FILE>";
 
@@ -49,6 +55,8 @@ fn main() -> ExitCode {
         "inspect" => inspect(rest),
         "merge" => merge(rest),
         "gc" => gc(rest),
+        "merge-shards" => merge_shards_cmd(rest),
+        "gc-shards" => gc_shards_cmd(rest),
         "export-specs" => export_specs(rest),
         "diff-specs" => diff_specs(rest),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
@@ -77,9 +85,7 @@ impl From<atlas_store::StoreError> for CliError {
     }
 }
 
-fn hex(v: u64) -> String {
-    format!("{v:#018x}")
-}
+use atlas_store::hex64_string as hex;
 
 // ---------------------------------------------------------------------------
 // inspect
@@ -236,6 +242,58 @@ fn gc(args: &[String]) -> Result<(), CliError> {
     println!(
         "gc {file} -> {target}: kept {} shard(s) / {} entries, dropped {} shard(s) / {} entries",
         summary.kept_shards, summary.kept_entries, summary.dropped_shards, summary.dropped_entries
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// merge-shards / gc-shards (fingerprint-sharded fleet roots)
+// ---------------------------------------------------------------------------
+
+fn merge_shards_cmd(args: &[String]) -> Result<(), CliError> {
+    let [root, out] = args else {
+        return Err(CliError::Usage(
+            "merge-shards needs a store root and an output file".into(),
+        ));
+    };
+    let merged = atlas_store::merge_shards(Path::new(root))?;
+    save_cache(Path::new(out), &merged)?;
+    println!(
+        "merged shard root {root} into {out}: {} shard(s), {} entries",
+        merged.shards.len(),
+        merged.num_entries()
+    );
+    Ok(())
+}
+
+fn gc_shards_cmd(args: &[String]) -> Result<(), CliError> {
+    let mut root = None;
+    let mut keep = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--keep" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--keep needs a fingerprint".into()))?;
+                keep.push(parse_hex64(value).map_err(|e| CliError::Usage(e.to_string()))?);
+            }
+            other if root.is_none() && !other.starts_with("--") => {
+                root = Some(other.to_string());
+            }
+            other => return Err(CliError::Usage(format!("unexpected argument '{other}'"))),
+        }
+    }
+    let root = root.ok_or_else(|| CliError::Usage("gc-shards needs a store root".into()))?;
+    if keep.is_empty() {
+        return Err(CliError::Usage(
+            "gc-shards needs at least one --keep <0xFINGERPRINT>".into(),
+        ));
+    }
+    let summary = atlas_store::gc_shards(Path::new(&root), &keep)?;
+    println!(
+        "gc-shards {root}: kept {} shard dir(s), removed {}, scrubbed {} foreign entries",
+        summary.kept, summary.removed, summary.dropped_entries
     );
     Ok(())
 }

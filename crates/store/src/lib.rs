@@ -41,11 +41,12 @@ pub mod json;
 pub mod registry;
 
 pub use artifact::{
-    document_schema, parse_hex64, CacheArtifact, CacheEntry, CacheProvenance, CacheShard,
-    GcSummary, SchemaError, SpecArtifact, SpecCluster,
+    document_schema, hex64_string, parse_hex64, CacheArtifact, CacheEntry, CacheProvenance,
+    CacheShard, GcSummary, SchemaError, SpecArtifact, SpecCluster,
 };
 pub use json::{Json, JsonError};
 pub use registry::{
-    atomic_write, load_cache, load_document, load_specs, merge_cache_files, save_cache, save_specs,
+    atomic_write, gc_shards, list_shards, load_cache, load_document, load_specs, merge_cache_files,
+    merge_shards, save_cache, save_specs, shard_dir, shard_entry, ShardEntry, ShardGcSummary,
     StoreError,
 };

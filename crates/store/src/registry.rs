@@ -159,6 +159,137 @@ pub fn merge_cache_files(paths: &[PathBuf]) -> Result<CacheArtifact, StoreError>
     Ok(merged)
 }
 
+// ---------------------------------------------------------------------------
+// Fingerprint-sharded store roots
+// ---------------------------------------------------------------------------
+
+/// One shard of a fingerprint-sharded store root: the artifacts of a single
+/// library content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// The library fingerprint the shard directory is named after.
+    pub fingerprint: u64,
+    /// The shard directory (`<root>/0x<16 hex digits>`).
+    pub dir: PathBuf,
+    /// The shard's verdict-cache file (may not exist yet).
+    pub cache: PathBuf,
+    /// The shard's spec-artifact file (may not exist yet).
+    pub specs: PathBuf,
+}
+
+/// The shard directory for one library fingerprint under a store root:
+/// `<root>/0x<16 hex digits>`.  Multi-library runs give every library its
+/// own shard, so concurrent persists never race on a file and a GC pass can
+/// drop a library by removing one directory.
+pub fn shard_dir(root: &Path, fingerprint: u64) -> PathBuf {
+    root.join(crate::artifact::hex64_string(fingerprint))
+}
+
+/// The canonical artifact paths inside a shard directory.
+pub fn shard_entry(root: &Path, fingerprint: u64) -> ShardEntry {
+    let dir = shard_dir(root, fingerprint);
+    ShardEntry {
+        fingerprint,
+        cache: dir.join("cache.json"),
+        specs: dir.join("specs.json"),
+        dir,
+    }
+}
+
+/// Lists the shards under a store root, sorted by fingerprint (so every
+/// consumer iterates deterministically).  Entries that are not directories
+/// or whose names are not `0x`-hex are ignored — a root may hold unrelated
+/// files.  A missing root is an empty store, not an error.
+pub fn list_shards(root: &Path) -> Result<Vec<ShardEntry>, StoreError> {
+    let mut shards = Vec::new();
+    let entries = match fs::read_dir(root) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(shards),
+        Err(e) => return Err(StoreError::io(root, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io(root, e))?;
+        let dir = entry.path();
+        if !dir.is_dir() {
+            continue;
+        }
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Ok(fingerprint) = crate::artifact::parse_hex64(name) else {
+            continue;
+        };
+        // Keep the directory path as found on disk: parse_hex64 accepts
+        // non-canonical spellings (short or uppercase hex), and rebuilding
+        // the canonical name would point operations at a path that does
+        // not exist.
+        shards.push(ShardEntry {
+            fingerprint,
+            cache: dir.join("cache.json"),
+            specs: dir.join("specs.json"),
+            dir,
+        });
+    }
+    // Tie-break equal fingerprints (a canonical and a non-canonical
+    // spelling of the same hash) by directory path, so iteration — and
+    // everything built on it, like `merge_shards` — never depends on
+    // `read_dir` order.
+    shards.sort_by(|a, b| (a.fingerprint, &a.dir).cmp(&(b.fingerprint, &b.dir)));
+    Ok(shards)
+}
+
+/// Merges every shard cache under a store root into one artifact, in
+/// fingerprint order — a pure function of the root's contents, so two
+/// machines merging the same shards produce byte-identical files.  Shards
+/// without a cache file yet are skipped.
+pub fn merge_shards(root: &Path) -> Result<CacheArtifact, StoreError> {
+    let mut merged = CacheArtifact::default();
+    for shard in list_shards(root)? {
+        if shard.cache.exists() {
+            merged.merge(&load_cache(&shard.cache)?);
+        }
+    }
+    Ok(merged)
+}
+
+/// What a cross-shard GC pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardGcSummary {
+    /// Shard directories kept.
+    pub kept: usize,
+    /// Shard directories removed (their fingerprint was not in the keep
+    /// set).
+    pub removed: usize,
+    /// Entries dropped *inside* kept shards whose cache carried foreign
+    /// fingerprints (e.g. merged-in artifacts).
+    pub dropped_entries: usize,
+}
+
+/// Garbage-collects a sharded store root: removes every shard directory
+/// whose fingerprint is not in `keep`, and inside the kept shards drops
+/// cache shards recorded under a foreign fingerprint.  This is how a
+/// long-lived fleet store sheds libraries that left the fleet.
+pub fn gc_shards(root: &Path, keep: &[u64]) -> Result<ShardGcSummary, StoreError> {
+    let mut summary = ShardGcSummary::default();
+    for shard in list_shards(root)? {
+        if !keep.contains(&shard.fingerprint) {
+            fs::remove_dir_all(&shard.dir).map_err(|e| StoreError::io(&shard.dir, e))?;
+            summary.removed += 1;
+            continue;
+        }
+        summary.kept += 1;
+        if shard.cache.exists() {
+            let mut artifact = load_cache(&shard.cache)?;
+            let gc = artifact.retain_fingerprint(shard.fingerprint);
+            if gc.dropped_entries > 0 || gc.dropped_shards > 0 {
+                summary.dropped_entries += gc.dropped_entries;
+                save_cache(&shard.cache, &artifact)?;
+            }
+        }
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +375,73 @@ mod tests {
             reversed.shards[0].entries,
             vec![(2, 2, false), (3, 3, false), (1, 1, true)]
         );
+    }
+
+    #[test]
+    fn sharded_roots_list_merge_and_gc_deterministically() {
+        let scratch = Scratch::new("shards");
+        let root = scratch.path("fleet");
+        // A missing root is an empty store.
+        assert_eq!(list_shards(&root).expect("missing root ok"), vec![]);
+
+        let a = sample_artifact(0xA, vec![(1, 1, true), (2, 2, false)]);
+        let b = sample_artifact(0xB, vec![(3, 3, true)]);
+        save_cache(&shard_entry(&root, 0xA).cache, &a).unwrap();
+        save_cache(&shard_entry(&root, 0xB).cache, &b).unwrap();
+        // Unrelated content in the root is ignored.
+        fs::create_dir_all(root.join("not-a-shard")).unwrap();
+        fs::write(root.join("README"), "hi").unwrap();
+
+        let shards = list_shards(&root).expect("list");
+        assert_eq!(
+            shards.iter().map(|s| s.fingerprint).collect::<Vec<_>>(),
+            vec![0xA, 0xB],
+            "sorted by fingerprint"
+        );
+        assert!(shards[0].dir.ends_with("0x000000000000000a"));
+
+        // Cross-shard merge is fingerprint-ordered and deterministic.
+        let merged = merge_shards(&root).expect("merge");
+        assert_eq!(merged.shards.len(), 2);
+        assert_eq!(merged.num_entries(), 3);
+        let again = merge_shards(&root).expect("merge again");
+        assert_eq!(merged, again);
+
+        // GC drops the unkept shard directory and keeps the rest intact.
+        let summary = gc_shards(&root, &[0xA]).expect("gc");
+        assert_eq!(summary.kept, 1);
+        assert_eq!(summary.removed, 1);
+        assert_eq!(summary.dropped_entries, 0);
+        assert!(!shard_dir(&root, 0xB).exists());
+        assert_eq!(load_cache(&shard_entry(&root, 0xA).cache).unwrap(), a);
+
+        // A non-canonically named shard dir (short/uppercase hex, e.g.
+        // written by a foreign tool) is still addressed at its *actual*
+        // path — listed, merged, and removable.
+        let odd_dir = root.join("0xFF");
+        fs::create_dir_all(&odd_dir).unwrap();
+        save_cache(
+            &odd_dir.join("cache.json"),
+            &sample_artifact(0xFF, vec![(5, 5, true)]),
+        )
+        .unwrap();
+        let shards = list_shards(&root).expect("list with odd name");
+        let odd = shards.iter().find(|s| s.fingerprint == 0xFF).unwrap();
+        assert_eq!(odd.dir, odd_dir);
+        assert_eq!(merge_shards(&root).unwrap().num_entries(), 3);
+        let summary = gc_shards(&root, &[0xA]).expect("gc odd name");
+        assert_eq!(summary.removed, 1);
+        assert!(!odd_dir.exists());
+
+        // A kept shard whose cache carries foreign-fingerprint shards (a
+        // merged-in artifact) is scrubbed down to its own fingerprint.
+        let mut polluted = a.clone();
+        polluted.merge(&sample_artifact(0xDEAD, vec![(9, 9, true)]));
+        save_cache(&shard_entry(&root, 0xA).cache, &polluted).unwrap();
+        let summary = gc_shards(&root, &[0xA]).expect("gc scrub");
+        assert_eq!(summary.kept, 1);
+        assert_eq!(summary.dropped_entries, 1);
+        assert_eq!(load_cache(&shard_entry(&root, 0xA).cache).unwrap(), a);
     }
 
     #[test]
