@@ -13,10 +13,12 @@
 //! construction, and generation is fully deterministic given the seed.
 
 pub mod generator;
+pub mod mutate;
 pub mod patterns;
 pub mod synthlib;
 
 pub use generator::{generate_app, generate_app_with, generate_suite, AppConfig, GeneratedApp};
+pub use mutate::{mutate_library, MutatedLibrary, MutationConfig, MutationError};
 pub use patterns::PatternKind;
 pub use synthlib::{
     generate_library, AliasingMix, AliasingPattern, SynthLibConfig, SyntheticLibrary,

@@ -1,0 +1,291 @@
+//! The deterministic **library mutation generator**: picks an eligible
+//! edit target in a built library and applies one of the `atlas_ir::mutate`
+//! primitives to a clone of the program.
+//!
+//! This is how the incremental-inference pipeline (and its tests) model "a
+//! developer edited the library": the generator owns the *policy* —
+//! eligibility rules, deterministic target selection, reproducible seeds —
+//! while the mechanical edits live in `atlas_ir::mutate`.
+//!
+//! Eligibility is what keeps mutations well-formed:
+//!
+//! * `rename-local` needs a method with at least one declared local;
+//! * `body-edit` works on any non-native method;
+//! * `add-method` targets a library class (the probe name must be fresh);
+//! * `signature-change` is restricted to non-constructor methods **without
+//!   intra-program callers** (call sites are not patched — the unit-test
+//!   synthesizer re-reads signatures, library-internal callers would not).
+//!
+//! Selection is deterministic: candidates are sorted by qualified name and
+//! the seed indexes into them, so the same `(library, knobs)` pair always
+//! produces the same mutation — a requirement for reproducible incremental
+//! benchmarks and CI gates.
+
+use atlas_ir::mutate::{add_method, change_signature, edit_body, rename_local};
+use atlas_ir::{DepGraph, MethodId, MutationKind, MutationOutcome, Program};
+
+/// Knobs of one generated mutation.
+#[derive(Debug, Clone)]
+pub struct MutationConfig {
+    /// Which edit primitive to apply.
+    pub kind: MutationKind,
+    /// Seed: selects among the eligible targets and tags the generated
+    /// names/constants, so distinct seeds give distinct edits.
+    pub seed: u64,
+    /// Optional explicit target: a qualified `Class.method` name (or a
+    /// bare class name for [`MutationKind::AddMethod`]).  `None` picks
+    /// deterministically from the eligible candidates.
+    pub target: Option<String>,
+}
+
+impl MutationConfig {
+    /// A mutation of the given kind with the given seed, deterministic
+    /// target selection.
+    pub fn new(kind: MutationKind, seed: u64) -> MutationConfig {
+        MutationConfig {
+            kind,
+            seed,
+            target: None,
+        }
+    }
+}
+
+/// A mutated library: the edited clone plus what was edited.
+#[derive(Debug, Clone)]
+pub struct MutatedLibrary {
+    /// The edited program (the original is untouched).
+    pub program: Program,
+    /// What the edit was, including a human-readable description.
+    pub outcome: MutationOutcome,
+}
+
+/// Why no mutation could be generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationError {
+    /// The explicit target does not exist in the program.
+    UnknownTarget(String),
+    /// No method/class in the program satisfies the kind's eligibility
+    /// rule (or the explicit target does not).
+    NoEligibleTarget(MutationKind),
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::UnknownTarget(name) => {
+                write!(f, "mutation target '{name}' does not exist")
+            }
+            MutationError::NoEligibleTarget(kind) => {
+                write!(f, "no eligible target for a {kind} mutation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// Library methods eligible for the given mutation kind, sorted by
+/// qualified name (the deterministic selection order).
+fn eligible_methods(program: &Program, kind: MutationKind) -> Vec<MethodId> {
+    // Signature changes need "has any caller?" per method: one reverse
+    // sweep over the call edges, not one callers_of scan per candidate.
+    let called = match kind {
+        MutationKind::SignatureChange => DepGraph::build(program).called_methods(),
+        _ => Default::default(),
+    };
+    let mut candidates: Vec<(String, MethodId)> = program
+        .methods()
+        .filter(|m| program.class(m.class()).is_library() && !m.is_native())
+        .filter(|m| match kind {
+            MutationKind::RenameLocal => m.num_vars() > m.num_params() + usize::from(m.has_this()),
+            MutationKind::BodyEdit => true,
+            MutationKind::AddMethod => false, // class-targeted, not method-targeted
+            MutationKind::SignatureChange => !m.is_constructor() && !called.contains(&m.id()),
+        })
+        .map(|m| (program.qualified_name(m.id()), m.id()))
+        .collect();
+    candidates.sort();
+    candidates.into_iter().map(|(_, id)| id).collect()
+}
+
+/// Applies one deterministic mutation to a clone of `base`.
+///
+/// # Errors
+/// Returns [`MutationError`] when the explicit target does not resolve or
+/// nothing in the program is eligible for the requested kind.
+pub fn mutate_library(
+    base: &Program,
+    config: &MutationConfig,
+) -> Result<MutatedLibrary, MutationError> {
+    let mut program = base.clone();
+    let outcome = match config.kind {
+        MutationKind::AddMethod => {
+            // `ir::mutate::add_method` panics on a name collision; keep
+            // the Result contract by rejecting it as ineligible here
+            // (e.g. a previously mutated program fed back in).
+            let probe_exists = |class| program.method_of(class, &format!("probe{}", config.seed));
+            let class = match &config.target {
+                Some(name) => base
+                    .class_named(name)
+                    .ok_or_else(|| MutationError::UnknownTarget(name.clone()))?,
+                None => {
+                    let mut classes: Vec<(String, _)> = base
+                        .library_classes()
+                        .map(|c| (c.name().to_string(), c.id()))
+                        .collect();
+                    if classes.is_empty() {
+                        return Err(MutationError::NoEligibleTarget(config.kind));
+                    }
+                    classes.sort();
+                    classes[config.seed as usize % classes.len()].1
+                }
+            };
+            if probe_exists(class).is_some() {
+                return Err(MutationError::NoEligibleTarget(config.kind));
+            }
+            add_method(&mut program, class, config.seed)
+        }
+        kind => {
+            let method = match &config.target {
+                Some(name) => {
+                    let id = base
+                        .method_qualified(name)
+                        .ok_or_else(|| MutationError::UnknownTarget(name.clone()))?;
+                    if !eligible_methods(base, kind).contains(&id) {
+                        return Err(MutationError::NoEligibleTarget(kind));
+                    }
+                    id
+                }
+                None => {
+                    let eligible = eligible_methods(base, kind);
+                    if eligible.is_empty() {
+                        return Err(MutationError::NoEligibleTarget(kind));
+                    }
+                    eligible[config.seed as usize % eligible.len()]
+                }
+            };
+            match kind {
+                MutationKind::RenameLocal => rename_local(&mut program, method, config.seed)
+                    .ok_or(MutationError::NoEligibleTarget(kind))?,
+                MutationKind::BodyEdit => edit_body(&mut program, method, config.seed),
+                MutationKind::SignatureChange => {
+                    change_signature(&mut program, method, config.seed)
+                }
+                MutationKind::AddMethod => unreachable!("handled above"),
+            }
+        }
+    };
+    Ok(MutatedLibrary { program, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_ir::depgraph::deep_method_hash;
+    use atlas_ir::LibraryInterface;
+
+    fn javalib() -> Program {
+        atlas_javalib::library_program()
+    }
+
+    #[test]
+    fn every_kind_produces_a_deterministic_wellformed_mutation() {
+        let base = javalib();
+        for kind in [
+            MutationKind::RenameLocal,
+            MutationKind::BodyEdit,
+            MutationKind::AddMethod,
+            MutationKind::SignatureChange,
+        ] {
+            let a = mutate_library(&base, &MutationConfig::new(kind, 11)).expect("mutate");
+            let b = mutate_library(&base, &MutationConfig::new(kind, 11)).expect("mutate again");
+            assert_eq!(
+                a.outcome.description, b.outcome.description,
+                "same seed, same target"
+            );
+            assert_ne!(
+                deep_method_hash(&a.program, a.outcome.method),
+                if kind == MutationKind::AddMethod {
+                    0 // the method is new; any hash differs from "absent"
+                } else {
+                    deep_method_hash(&base, a.outcome.method)
+                },
+                "{kind}: content must change"
+            );
+            // The mutated program still yields a well-formed interface.
+            let interface = LibraryInterface::from_program(&a.program);
+            assert!(interface.num_methods() >= 1);
+            // The original is untouched.
+            assert_eq!(base.num_methods(), javalib().num_methods());
+        }
+    }
+
+    #[test]
+    fn seeds_select_different_targets_and_explicit_targets_resolve() {
+        let base = javalib();
+        let a = mutate_library(&base, &MutationConfig::new(MutationKind::BodyEdit, 0)).unwrap();
+        let b = mutate_library(&base, &MutationConfig::new(MutationKind::BodyEdit, 1)).unwrap();
+        assert_ne!(a.outcome.method, b.outcome.method, "seed moves the target");
+
+        let explicit = mutate_library(
+            &base,
+            &MutationConfig {
+                kind: MutationKind::BodyEdit,
+                seed: 0,
+                target: Some("ArrayList.add".to_string()),
+            },
+        )
+        .expect("explicit target");
+        assert_eq!(
+            explicit.outcome.description, "body-edit ArrayList.add",
+            "{}",
+            explicit.outcome.description
+        );
+        assert!(matches!(
+            mutate_library(
+                &base,
+                &MutationConfig {
+                    kind: MutationKind::BodyEdit,
+                    seed: 0,
+                    target: Some("No.such".to_string()),
+                },
+            ),
+            Err(MutationError::UnknownTarget(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_add_method_is_an_error_not_a_panic() {
+        let base = javalib();
+        let once = mutate_library(&base, &MutationConfig::new(MutationKind::AddMethod, 3))
+            .expect("first add");
+        // Feeding the mutated program back with the same seed targets the
+        // same class and probe name: ineligible, reported as an error.
+        assert_eq!(
+            mutate_library(
+                &once.program,
+                &MutationConfig::new(MutationKind::AddMethod, 3)
+            )
+            .unwrap_err(),
+            MutationError::NoEligibleTarget(MutationKind::AddMethod)
+        );
+    }
+
+    #[test]
+    fn signature_changes_only_touch_uncalled_methods() {
+        let base = javalib();
+        let dep_graph = DepGraph::build(&base);
+        for seed in 0..8 {
+            let m = mutate_library(
+                &base,
+                &MutationConfig::new(MutationKind::SignatureChange, seed),
+            )
+            .expect("eligible method exists");
+            assert!(
+                dep_graph.callers_of(m.outcome.method).is_empty(),
+                "{} has callers",
+                m.outcome.description
+            );
+        }
+    }
+}

@@ -87,24 +87,42 @@ fn main() {
 }
 
 /// The `--expect-warm` contract: everything a cross-process warm start
-/// promises, checked from the report itself.
+/// promises, checked from the report itself.  Failure messages name the
+/// store files involved, so a cold store is diagnosable from the CI log
+/// alone.
 fn verify_warm_start(report: &Json) {
     let store = report.get("store").unwrap_or(&Json::Null);
     let inference = report.get("inference").unwrap_or(&Json::Null);
+    let cache_file = store
+        .get("cache_file")
+        .and_then(Json::as_str)
+        .unwrap_or("<no store configured>");
+    let spec_file = store
+        .get("spec_file")
+        .and_then(Json::as_str)
+        .unwrap_or("<no store configured>");
     let mut failures = Vec::new();
     if store.get("warm_started_from_disk").and_then(Json::as_bool) != Some(true) {
-        failures.push("the store held no cache to warm-start from".to_string());
+        failures.push(format!(
+            "the store held no cache to warm-start from (expected {cache_file})"
+        ));
     }
     match store.get("reload_hit_rate").and_then(Json::as_f64) {
         Some(rate) if rate > 0.0 => {}
-        rate => failures.push(format!("reload hit rate is not positive: {rate:?}")),
+        rate => failures.push(format!(
+            "reload hit rate from {cache_file} is not positive: {rate:?}"
+        )),
     }
     if store.get("cross_process_identical").and_then(Json::as_bool) != Some(true) {
-        failures.push("inferred spec set differs from the previous process's export".to_string());
+        failures.push(format!(
+            "inferred spec set differs from the previous process's export at {spec_file}"
+        ));
     }
     match inference.get("cold_executions").and_then(Json::as_int) {
         Some(0) => {}
-        n => failures.push(format!("first leg re-executed unit tests: {n:?}")),
+        n => failures.push(format!(
+            "first leg re-executed unit tests despite {cache_file}: {n:?}"
+        )),
     }
     if failures.is_empty() {
         eprintln!("batch: cross-process warm start verified (identical specs, 0 re-executions)");

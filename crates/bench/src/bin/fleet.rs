@@ -141,23 +141,33 @@ fn verify_warm_start(report: &Json) {
     for row in libraries {
         let name = row.get("name").and_then(Json::as_str).unwrap_or("?");
         let store = row.get("store").unwrap_or(&Json::Null);
+        // Name the shard directory in every failure, so the CI log alone
+        // says which store location was cold.
+        let shard = store
+            .get("shard")
+            .and_then(Json::as_str)
+            .unwrap_or("<no shard configured>");
         if store.get("warm_started_from_disk").and_then(Json::as_bool) != Some(true) {
             failures.push(format!(
-                "{name}: its shard held no cache to warm-start from"
+                "{name}: shard {shard} held no cache to warm-start from"
             ));
         }
         match store.get("reload_hit_rate").and_then(Json::as_f64) {
             Some(rate) if rate > 0.0 => {}
-            rate => failures.push(format!("{name}: reload hit rate is not positive: {rate:?}")),
+            rate => failures.push(format!(
+                "{name}: reload hit rate from shard {shard} is not positive: {rate:?}"
+            )),
         }
         if store.get("specs_identical").and_then(Json::as_bool) != Some(true) {
             failures.push(format!(
-                "{name}: inferred spec set differs from the shard's export"
+                "{name}: inferred spec set differs from the export in shard {shard}"
             ));
         }
         match row.get("executions").and_then(Json::as_int) {
             Some(0) => {}
-            n => failures.push(format!("{name}: re-executed unit tests: {n:?}")),
+            n => failures.push(format!(
+                "{name}: re-executed unit tests despite shard {shard}: {n:?}"
+            )),
         }
     }
     if failures.is_empty() {

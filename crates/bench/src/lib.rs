@@ -36,20 +36,31 @@
 //! store directory, scored against its ground truth, and reported as one
 //! `atlas-fleet/1` document (the `fleet` binary).
 //!
+//! The [`incr`] module measures the incremental-inference pipeline: seed
+//! a closure-sharded store cold, apply one deterministic library edit
+//! (`atlas-apps`' mutation generator), re-analyze via
+//! `Engine::incremental_session`, and emit an `atlas-incr/1` report with
+//! the dirty-cluster count, re-execution counts, and end-to-end speedup
+//! versus the cold baseline (the `incr` binary; `--expect-incremental`
+//! gates the contract in CI).
+//!
 //! The environment knobs (`ATLAS_SAMPLES`, `ATLAS_APPS`, `ATLAS_THREADS`,
-//! `ATLAS_STORE`, `ATLAS_FLEET_*`) are parsed in one place: [`config`].
+//! `ATLAS_STORE`, `ATLAS_FLEET_*`, `ATLAS_INCR_STORE`) are parsed in one
+//! place: [`config`].
 
 pub mod batch;
 pub mod config;
 pub mod context;
 pub mod experiments;
 pub mod fleet;
+pub mod incr;
 pub mod json;
 mod storeleg;
 
 pub use batch::{run_batch, BatchConfig, BatchReport};
 pub use context::{EvalContext, SpecSet};
 pub use fleet::{run_fleet, FleetConfig, FleetError, FleetReport};
+pub use incr::{run_incremental, IncrConfig, IncrReport};
 pub use json::Json;
 
 /// Emits a pipeline report from a report binary: the JSON goes to stdout

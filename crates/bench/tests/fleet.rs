@@ -169,10 +169,23 @@ fn fleet_round_trip_through_sharded_stores() {
         .unwrap();
     assert!(outer * inner <= budget, "{outer} x {inner} > {budget}");
 
-    // Cross-shard maintenance through atlas-store: merge folds both shards
-    // into one artifact; gc drops a departed library's shard directory.
+    // Cross-shard maintenance through atlas-store: merge folds both shard
+    // directories into one artifact — since the incremental refactor each
+    // library's cache carries one provenance shard per cluster closure, so
+    // the merge holds every closure of both libraries, all attributed to
+    // exactly the two library fingerprints.
     let merged = atlas_store::merge_shards(&scratch.0).expect("merge shards");
-    assert_eq!(merged.shards.len(), 2);
+    assert!(merged.shards.len() >= 2, "{}", merged.shards.len());
+    let attributed: std::collections::BTreeSet<u64> = merged
+        .shards
+        .iter()
+        .map(|s| s.provenance.fingerprint)
+        .collect();
+    assert_eq!(
+        attributed,
+        fingerprints.iter().copied().collect(),
+        "every closure shard is attributed to a fleet library"
+    );
     let per_shard: usize = shards
         .iter()
         .map(|s| {

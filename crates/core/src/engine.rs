@@ -30,7 +30,7 @@
 //! state: cold and warm runs are bit-identical result-for-result.
 
 use crate::inference::{AtlasConfig, ClusterOutcome, InferenceOutcome, ParallelismSummary};
-use atlas_ir::{ClassId, LibraryInterface, Program};
+use atlas_ir::{ClassId, DepGraph, LibraryInterface, Program};
 use atlas_learn::{
     infer_fsa, sample_positive_examples, CacheStats, Oracle, OracleConfig, OracleStats,
     SampleResult, VerdictCache,
@@ -71,9 +71,15 @@ pub struct Engine<'p> {
     interface: &'p LibraryInterface,
     config: AtlasConfig,
     warm: VerdictCache,
+    /// Resolved cluster jobs, computed on first use: building the
+    /// [`DepGraph`] behind the closure fingerprints pretty-prints every
+    /// method, so an engine does it once, not once per session/provenance
+    /// call.
+    jobs: std::sync::OnceLock<Vec<ClusterJob>>,
 }
 
-/// One cluster's work order: which classes, and which deterministic seed.
+/// One cluster's work order: which classes, which deterministic seed, and
+/// the content fingerprint of the cluster's dependency closure.
 #[derive(Debug, Clone)]
 pub struct ClusterJob {
     /// Position of the cluster in the configuration (also the seed offset).
@@ -83,6 +89,17 @@ pub struct ClusterJob {
     /// The sampler seed for this cluster: `config.sampler.seed + index`,
     /// identical to what the sequential loop has always used.
     pub seed: u64,
+    /// The cluster's identity fingerprint: its dependency-closure content
+    /// hash (`atlas_ir::DepGraph::closure_fingerprint`) mixed with the
+    /// cluster's seed and its seed-class names.  This is what the
+    /// cluster's verdicts and store artifacts are keyed on.  Editing a
+    /// method outside the closure leaves it unchanged — the invariant the
+    /// incremental pipeline builds on — while two distinct jobs (different
+    /// classes, or the same classes at a different position, hence a
+    /// different seed) can never alias one store shard: results depend on
+    /// the seed and the interface restriction, so sharing a shard across
+    /// them would splice the wrong automaton.
+    pub closure: u64,
 }
 
 impl<'p> Engine<'p> {
@@ -98,6 +115,7 @@ impl<'p> Engine<'p> {
             interface,
             config,
             warm: VerdictCache::new(),
+            jobs: std::sync::OnceLock::new(),
         }
     }
 
@@ -198,22 +216,57 @@ impl<'p> Engine<'p> {
         &self.config
     }
 
+    /// Resolves the configured clusters into jobs: positional seeds exactly
+    /// like the historical sequential loop, plus each cluster's
+    /// dependency-closure fingerprint (computed from one shared
+    /// [`DepGraph`], built lazily on the first call and cached for the
+    /// engine's lifetime).
+    pub fn cluster_jobs(&self) -> Vec<ClusterJob> {
+        self.jobs
+            .get_or_init(|| {
+                let clusters: Vec<Vec<ClassId>> = if self.config.clusters.is_empty() {
+                    vec![self.program.library_classes().map(|c| c.id()).collect()]
+                } else {
+                    self.config.clusters.clone()
+                };
+                let dep_graph = DepGraph::build(self.program);
+                clusters
+                    .into_iter()
+                    .enumerate()
+                    .map(|(index, classes)| {
+                        let seed = self.config.sampler.seed.wrapping_add(index as u64);
+                        // The job fingerprint mixes the closure *content*
+                        // hash with the cluster's own identity (seed +
+                        // seed-class names): clusters whose closures
+                        // coincide as sets (mutually referencing classes)
+                        // or whose position in the configuration changed
+                        // must not share a shard — their automata differ.
+                        let mut h = atlas_ir::hash::Fnv::new(0xc1d);
+                        h.write_u64(dep_graph.closure_fingerprint(&classes));
+                        h.write_u64(seed);
+                        let mut names: Vec<&str> = classes
+                            .iter()
+                            .map(|&id| self.program.class(id).name())
+                            .collect();
+                        names.sort_unstable();
+                        for name in names {
+                            h.write_str(name);
+                        }
+                        ClusterJob {
+                            closure: h.finish(),
+                            index,
+                            seed,
+                            classes,
+                        }
+                    })
+                    .collect()
+            })
+            .clone()
+    }
+
     /// Prepares a session: resolves the cluster list and the thread count.
     pub fn session(&self) -> Session<'_, 'p> {
-        let clusters: Vec<Vec<ClassId>> = if self.config.clusters.is_empty() {
-            vec![self.program.library_classes().map(|c| c.id()).collect()]
-        } else {
-            self.config.clusters.clone()
-        };
-        let jobs: Vec<ClusterJob> = clusters
-            .into_iter()
-            .enumerate()
-            .map(|(index, classes)| ClusterJob {
-                index,
-                classes,
-                seed: self.config.sampler.seed.wrapping_add(index as u64),
-            })
-            .collect();
+        let jobs = self.cluster_jobs();
         let num_threads = resolve_threads(self.config.num_threads, jobs.len());
         Session {
             engine: self,
@@ -231,7 +284,7 @@ impl<'p> Engine<'p> {
 
 /// Resolves a configured thread count: `0` means "all available cores",
 /// and there is never a reason to run more workers than jobs.
-fn resolve_threads(configured: usize, num_jobs: usize) -> usize {
+pub(crate) fn resolve_threads(configured: usize, num_jobs: usize) -> usize {
     let hw = || {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -296,16 +349,27 @@ pub struct PersistSummary {
 
 /// What one worker produces for one cluster (`None` when the cluster's
 /// interface restriction is empty and the cluster is skipped).
-struct ClusterRun {
-    outcome: ClusterOutcome,
-    stats: OracleStats,
-    cache: VerdictCache,
+pub(crate) struct ClusterRun {
+    pub(crate) outcome: ClusterOutcome,
+    pub(crate) stats: OracleStats,
+    pub(crate) cache: VerdictCache,
 }
 
 impl<'e, 'p> Session<'e, 'p> {
     /// The resolved cluster jobs, in configuration order.
     pub fn jobs(&self) -> &[ClusterJob] {
         &self.jobs
+    }
+
+    /// The engine this session belongs to.
+    pub(crate) fn engine(&self) -> &'e Engine<'p> {
+        self.engine
+    }
+
+    /// The session's verdict cache (warm-start entries plus everything the
+    /// run computed so far).
+    pub(crate) fn collected(&self) -> &VerdictCache {
+        &self.collected
     }
 
     /// The number of worker threads this session will use.
@@ -321,15 +385,38 @@ impl<'e, 'p> Session<'e, 'p> {
         self.collected
     }
 
-    /// Persists the session's verdict cache to an `atlas-cache/1` store
+    /// The per-cluster store provenances of this session's jobs, in
+    /// cluster order, deduplicated by key context (two clusters with
+    /// content-identical closures share one shard).
+    pub fn cluster_provenances(&self) -> Vec<CacheProvenance> {
+        let engine = self.engine;
+        let fingerprint = atlas_learn::library_fingerprint(engine.program, engine.interface);
+        let mut provenances: Vec<CacheProvenance> = Vec::new();
+        for job in &self.jobs {
+            let p = CacheProvenance::for_closure(
+                fingerprint,
+                job.closure,
+                engine.config.init,
+                engine.config.limits,
+            );
+            if !provenances.iter().any(|q| q.context == p.context) {
+                provenances.push(p);
+            }
+        }
+        provenances
+    }
+
+    /// Persists the session's verdict cache to an `atlas-cache/2` store
     /// file (atomic write-rename; see `atlas-store`).  Call after
     /// [`Session::run`] — a later run, *in any process*, warm-starts from
     /// the file via [`Engine::warm_start_from_path`] and skips every
     /// execution this session paid for.
     ///
-    /// Only entries matching this engine's [`Engine::provenance`] are
-    /// written (foreign entries carried in from an unrelated warm-start
-    /// would be mis-attributed).  When the file already exists it is merged
+    /// One provenance shard is written per cluster, keyed on the cluster's
+    /// dependency-closure fingerprint ([`ClusterJob::closure`]); only
+    /// entries matching a cluster of this session are written (foreign
+    /// entries carried in from an unrelated warm-start would be
+    /// mis-attributed).  When the file already exists it is merged
     /// first-entry-wins: existing entries keep their position and verdict,
     /// novel ones are appended — so *sequential* runs (any process, any
     /// configuration) sharing one registry file only ever grow it more
@@ -342,8 +429,8 @@ impl<'e, 'p> Session<'e, 'p> {
     /// Returns the `atlas-store` error when an existing file is unreadable
     /// or malformed, or the atomic write fails.
     pub fn persist(&self, path: &Path) -> Result<PersistSummary, StoreError> {
-        let provenance = self.engine.provenance();
-        let session = CacheArtifact::from_cache(&self.collected, provenance);
+        let provenances = self.cluster_provenances();
+        let session = CacheArtifact::from_cache_shards(&self.collected, &provenances);
         let mut on_disk = if path.exists() {
             load_cache(path)?
         } else {
@@ -357,7 +444,10 @@ impl<'e, 'p> Session<'e, 'p> {
             path: path.to_path_buf(),
             total_entries,
             new_entries: total_entries - before,
-            fingerprint: provenance.fingerprint,
+            fingerprint: provenances
+                .first()
+                .map(|p| p.fingerprint)
+                .unwrap_or_default(),
         })
     }
 
@@ -412,66 +502,78 @@ impl<'e, 'p> Session<'e, 'p> {
         outcome
     }
 
-    /// Runs the two-phase pipeline for one cluster.  This is *the*
-    /// deterministic unit of work: everything it reads is immutable shared
-    /// state or derived from the job's seed.
+    /// Runs the two-phase pipeline for one cluster.
     fn run_cluster(&self, job: &ClusterJob) -> Option<ClusterRun> {
-        let engine = self.engine;
-        let config = &engine.config;
-        let restricted = engine.interface.restrict_to_classes(&job.classes);
-        if restricted.slots().is_empty() {
-            return None;
-        }
-        let oracle_config = OracleConfig {
-            strategy: config.init,
-            limits: config.limits,
-            ..OracleConfig::default()
-        };
-        // Each cluster starts from its own copy of the session's warm cache:
-        // workers never share mutable state, so the thread count cannot
-        // change which verdicts are hits.
-        let mut oracle = Oracle::with_cache(
-            engine.program,
-            engine.interface,
-            oracle_config,
-            self.collected.warm_clone(),
-        );
-        let mut sampler_config = config.sampler.clone();
-        // Decorrelate clusters while staying deterministic.
-        sampler_config.seed = job.seed;
-
-        let t1 = Instant::now();
-        let samples: SampleResult = sample_positive_examples(
-            &restricted,
-            &mut oracle,
-            config.sampling,
-            config.samples_per_cluster,
-            &sampler_config,
-        );
-        let phase1_time = t1.elapsed();
-
-        let t2 = Instant::now();
-        let rpni = infer_fsa(&samples.positives, &mut oracle, &config.rpni);
-        let phase2_time = t2.elapsed();
-
-        let stats = oracle.stats();
-        Some(ClusterRun {
-            stats,
-            cache: oracle.into_cache(),
-            outcome: ClusterOutcome {
-                classes: job.classes.clone(),
-                num_samples: samples.num_samples,
-                num_positive_samples: samples.num_positive_samples,
-                num_positive_examples: samples.positives.len(),
-                initial_states: rpni.initial_states,
-                final_states: rpni.final_states,
-                positives: samples.positives,
-                fsa: rpni.fsa,
-                phase1_time,
-                phase2_time,
-            },
-        })
+        run_cluster_job(self.engine, job, &self.collected)
     }
+}
+
+/// Runs the two-phase pipeline for one cluster.  This is *the*
+/// deterministic unit of work: everything it reads is immutable shared
+/// state or derived from the job's seed.  Shared between [`Session::run`]
+/// and the incremental session (which runs it only for dirty clusters).
+pub(crate) fn run_cluster_job(
+    engine: &Engine<'_>,
+    job: &ClusterJob,
+    warm: &VerdictCache,
+) -> Option<ClusterRun> {
+    let config = &engine.config;
+    let restricted = engine.interface.restrict_to_classes(&job.classes);
+    if restricted.slots().is_empty() {
+        return None;
+    }
+    let oracle_config = OracleConfig {
+        strategy: config.init,
+        limits: config.limits,
+        // Verdicts are keyed on the cluster's dependency-closure
+        // fingerprint, so they survive edits outside the closure.
+        fingerprint: Some(job.closure),
+        ..OracleConfig::default()
+    };
+    // Each cluster starts from its own copy of the session's warm cache:
+    // workers never share mutable state, so the thread count cannot
+    // change which verdicts are hits.
+    let mut oracle = Oracle::with_cache(
+        engine.program,
+        engine.interface,
+        oracle_config,
+        warm.warm_clone(),
+    );
+    let mut sampler_config = config.sampler.clone();
+    // Decorrelate clusters while staying deterministic.
+    sampler_config.seed = job.seed;
+
+    let t1 = Instant::now();
+    let samples: SampleResult = sample_positive_examples(
+        &restricted,
+        &mut oracle,
+        config.sampling,
+        config.samples_per_cluster,
+        &sampler_config,
+    );
+    let phase1_time = t1.elapsed();
+
+    let t2 = Instant::now();
+    let rpni = infer_fsa(&samples.positives, &mut oracle, &config.rpni);
+    let phase2_time = t2.elapsed();
+
+    let stats = oracle.stats();
+    Some(ClusterRun {
+        stats,
+        cache: oracle.into_cache(),
+        outcome: ClusterOutcome {
+            classes: job.classes.clone(),
+            num_samples: samples.num_samples,
+            num_positive_samples: samples.num_positive_samples,
+            num_positive_examples: samples.positives.len(),
+            initial_states: rpni.initial_states,
+            final_states: rpni.final_states,
+            positives: samples.positives,
+            fsa: rpni.fsa,
+            phase1_time,
+            phase2_time,
+        },
+    })
 }
 
 impl InferenceOutcome {

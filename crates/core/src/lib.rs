@@ -35,11 +35,16 @@
 
 pub mod budget;
 pub mod engine;
+pub mod incremental;
 pub mod inference;
 pub mod report;
 
 pub use budget::{BudgetSplit, ThreadBudget};
 pub use engine::{ClusterJob, Engine, PersistSummary, Session};
+pub use incremental::{
+    ClusterDisposition, ClusterProvenance, IncrementalCluster, IncrementalOutcome,
+    IncrementalSession, RunProvenance, ShardPersistSummary,
+};
 pub use inference::{
     infer_specifications, AtlasConfig, ClusterOutcome, InferenceOutcome, ParallelismSummary,
 };

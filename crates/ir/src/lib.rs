@@ -47,19 +47,25 @@
 //! assert_eq!(program.class(object).name(), "Object");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod class;
+pub mod depgraph;
 pub mod hash;
 pub mod interface;
 pub mod method;
+pub mod mutate;
 pub mod pretty;
 pub mod program;
 pub mod stmt;
 pub mod types;
 
 pub use class::{Class, Field};
+pub use depgraph::{Closure, DepGraph};
 pub use interface::{LibraryInterface, MethodSig, ParamSlot, SlotKind};
 pub use method::{Method, Var, VarData};
+pub use mutate::{MutationKind, MutationOutcome};
 pub use program::{ClassId, FieldId, MethodId, Program};
 pub use stmt::{AllocSite, BinOp, Constant, Stmt};
 pub use types::Type;

@@ -39,6 +39,7 @@ impl fmt::Display for Constant {
 
 /// Binary operators over primitive values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are the operators their names spell
 pub enum BinOp {
     Add,
     Sub,
@@ -97,66 +98,160 @@ impl fmt::Display for AllocSite {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `dst = src` (copy of a reference or primitive value).
-    Assign { dst: Var, src: Var },
+    Assign {
+        /// Destination variable.
+        dst: Var,
+        /// Source variable.
+        src: Var,
+    },
     /// `dst = new C()` — allocation of a fresh object of class `class` at
     /// allocation site `site`.  Constructor calls are separate `Call`s.
     New {
+        /// Destination variable.
         dst: Var,
+        /// Class of the allocated object.
         class: ClassId,
+        /// The allocation site (the abstract object of the analysis).
         site: AllocSite,
     },
     /// `dst = new T[len]` — allocation of a fresh array object.
-    NewArray { dst: Var, len: Var, site: AllocSite },
+    NewArray {
+        /// Destination variable.
+        dst: Var,
+        /// Array length.
+        len: Var,
+        /// The allocation site.
+        site: AllocSite,
+    },
     /// `obj.field = src`.
-    Store { obj: Var, field: FieldId, src: Var },
+    Store {
+        /// The object written into.
+        obj: Var,
+        /// The field written.
+        field: FieldId,
+        /// The value stored.
+        src: Var,
+    },
     /// `dst = obj.field`.
-    Load { dst: Var, obj: Var, field: FieldId },
+    Load {
+        /// Destination variable.
+        dst: Var,
+        /// The object read from.
+        obj: Var,
+        /// The field read.
+        field: FieldId,
+    },
     /// `arr[index] = src`.  Statically collapsed to `arr.$elems = src`.
-    ArrayStore { arr: Var, index: Var, src: Var },
+    ArrayStore {
+        /// The array written into.
+        arr: Var,
+        /// The element index.
+        index: Var,
+        /// The value stored.
+        src: Var,
+    },
     /// `dst = arr[index]`.  Statically collapsed to `dst = arr.$elems`.
-    ArrayLoad { dst: Var, arr: Var, index: Var },
+    ArrayLoad {
+        /// Destination variable.
+        dst: Var,
+        /// The array read from.
+        arr: Var,
+        /// The element index.
+        index: Var,
+    },
     /// `dst = recv.m(args)` / `dst = m(args)` — statically-resolved call.
     Call {
+        /// Destination of the return value, if bound.
         dst: Option<Var>,
+        /// The (statically resolved) callee.
         method: MethodId,
+        /// The receiver, absent for static calls.
         recv: Option<Var>,
+        /// The argument variables, in declaration order.
         args: Vec<Var>,
     },
     /// `dst = constant`.
     Const {
+        /// Destination variable.
         dst: Var,
+        /// The literal value.
         value: Constant,
+        /// The allocation site, present for string literals (which
+        /// allocate an abstract `String` object).
         site: Option<AllocSite>,
     },
     /// `dst = a <op> b` over primitives.
-    Bin { dst: Var, op: BinOp, a: Var, b: Var },
+    Bin {
+        /// Destination variable.
+        dst: Var,
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        a: Var,
+        /// Right operand.
+        b: Var,
+    },
     /// `dst = (a == b)` — reference identity comparison (the observation
     /// returned by synthesized unit tests).
-    RefEq { dst: Var, a: Var, b: Var },
+    RefEq {
+        /// Destination variable (boolean).
+        dst: Var,
+        /// Left reference.
+        a: Var,
+        /// Right reference.
+        b: Var,
+    },
     /// `dst = (a == null)`.
-    IsNull { dst: Var, a: Var },
+    IsNull {
+        /// Destination variable (boolean).
+        dst: Var,
+        /// The reference tested.
+        a: Var,
+    },
     /// `dst = !a` over booleans.
-    Not { dst: Var, a: Var },
+    Not {
+        /// Destination variable.
+        dst: Var,
+        /// The operand.
+        a: Var,
+    },
     /// `dst = arr.length`.
-    ArrayLen { dst: Var, arr: Var },
+    ArrayLen {
+        /// Destination variable (int).
+        dst: Var,
+        /// The array measured.
+        arr: Var,
+    },
     /// `if (cond) { then } else { els }`.
     If {
+        /// The branch condition.
         cond: Var,
+        /// Statements of the then-branch.
         then: Vec<Stmt>,
+        /// Statements of the else-branch (possibly empty).
         els: Vec<Stmt>,
     },
     /// `while (cond) { body }` where `header` recomputes `cond` before each
     /// iteration (and once before the first).
     While {
+        /// Statements recomputing `cond` before every test.
         header: Vec<Stmt>,
+        /// The loop condition.
         cond: Var,
+        /// The loop body.
         body: Vec<Stmt>,
     },
     /// `return var` / `return`.
-    Return { var: Option<Var> },
+    Return {
+        /// The returned variable, absent for `void` returns.
+        var: Option<Var>,
+    },
     /// `throw` — models raising an exception; the interpreter aborts the
     /// current unit test with a failure, the static analysis ignores it.
-    Throw { message: String },
+    Throw {
+        /// The exception message (diagnostic only).
+        message: String,
+    },
 }
 
 impl Stmt {

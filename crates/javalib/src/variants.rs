@@ -166,6 +166,18 @@ impl LibraryVariant {
         }
         sb.build()
     }
+
+    /// The dependency-closure fingerprint of each resolved cluster (in
+    /// [`LibraryVariant::cluster_ids`] order) — the identities the
+    /// incremental store keys this variant's shards on.  Built from one
+    /// shared [`atlas_ir::DepGraph`] over the variant's program.
+    pub fn cluster_closures(&self, program: &Program) -> Vec<u64> {
+        let dep_graph = atlas_ir::DepGraph::build(program);
+        self.cluster_ids(program)
+            .iter()
+            .map(|classes| dep_graph.closure_fingerprint(classes))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +223,53 @@ mod tests {
             unique.len(),
             fingerprints.len(),
             "variants must be distinct libraries: {fingerprints:x?}"
+        );
+    }
+
+    #[test]
+    fn variant_cluster_closures_are_stable_distinct_and_edit_sensitive() {
+        for variant in VARIANTS {
+            let program = variant.build_program();
+            let closures = variant.cluster_closures(&program);
+            assert_eq!(closures.len(), variant.cluster_ids(&program).len());
+            // Distinct clusters close over distinct content.
+            let mut unique = closures.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            assert_eq!(
+                unique.len(),
+                closures.len(),
+                "{}: cluster closures must be distinct",
+                variant.name
+            );
+            // A freshly built program reproduces every closure fingerprint
+            // (content addressing, not id addressing).
+            let rebuilt = variant.build_program();
+            assert_eq!(
+                closures,
+                variant.cluster_closures(&rebuilt),
+                "{}: closures must be rebuild-stable",
+                variant.name
+            );
+        }
+
+        // Editing one android-layer method leaves the list-layer cluster
+        // closures of the full variant untouched, and vice versa — the
+        // invariant that makes incremental re-analysis worthwhile.
+        let variant = variant_named("javalib-android").expect("registered");
+        let base = variant.build_program();
+        let before = variant.cluster_closures(&base);
+        let mut edited = variant.build_program();
+        let sms = edited.method_qualified("SmsInbox.getMessages").unwrap();
+        atlas_ir::mutate::edit_body(&mut edited, sms, 1);
+        let after = variant.cluster_closures(&edited);
+        let changed: Vec<usize> = (0..before.len())
+            .filter(|&i| before[i] != after[i])
+            .collect();
+        assert!(!changed.is_empty(), "the android cluster must dirty");
+        assert!(
+            changed.len() < before.len(),
+            "an android edit must not dirty every cluster: {changed:?}"
         );
     }
 

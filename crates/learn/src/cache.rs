@@ -44,7 +44,11 @@ pub struct CacheKeyer {
 
 impl CacheKeyer {
     /// Builds a keyer for an oracle over `program`/`interface` running
-    /// unit tests under `strategy` and `limits`.
+    /// unit tests under `strategy` and `limits`, keyed on the
+    /// **whole-library** fingerprint.  This is the historical (pre-
+    /// incremental) keying, kept as the compatibility path for callers
+    /// without a cluster context; cluster-scoped oracles key on their
+    /// dependency-closure fingerprint via [`CacheKeyer::with_fingerprint`].
     pub fn new(
         program: &Program,
         interface: &LibraryInterface,
@@ -60,17 +64,33 @@ impl CacheKeyer {
             fp.write_u64(mh);
             method_hash.insert(sig.method, mh);
         }
-        let mut h = Fnv::new(0xc0de);
-        h.write_u64(fp.finish());
-        h.write(&[match strategy {
-            InitStrategy::Null => 0,
-            InitStrategy::Instantiate => 1,
-        }]);
-        h.write_u64(limits.max_steps as u64);
-        h.write_u64(limits.max_call_depth as u64);
-        h.write_u64(limits.max_heap_objects as u64);
         CacheKeyer {
-            context: h.finish(),
+            context: context_of(fp.finish(), strategy, limits),
+            method_hash,
+        }
+    }
+
+    /// Builds a keyer whose context is derived from an explicit
+    /// `fingerprint` — in the incremental pipeline, the **dependency-
+    /// closure fingerprint** of the cluster the oracle serves
+    /// (`atlas_ir::depgraph`).  Word hashing is identical to
+    /// [`CacheKeyer::new`]; only the context half of the key changes, so
+    /// verdicts transfer between any two runs that agree on the closure
+    /// content — even when unrelated parts of the library differ.
+    pub fn with_fingerprint(
+        program: &Program,
+        interface: &LibraryInterface,
+        fingerprint: u64,
+        strategy: InitStrategy,
+        limits: ExecLimits,
+    ) -> CacheKeyer {
+        let mut method_hash = HashMap::new();
+        for sig in interface.methods() {
+            let mh = method_content_hash(program, interface, sig.method);
+            method_hash.insert(sig.method, mh);
+        }
+        CacheKeyer {
+            context: context_of(fingerprint, strategy, limits),
             method_hash,
         }
     }
@@ -109,8 +129,27 @@ impl CacheKeyer {
     }
 }
 
-/// A content-addressed cache key: 64 bits of oracle context (library
-/// fingerprint, initialization strategy, execution limits) plus 128 bits of
+/// The context half of a [`VerdictKey`]: a content fingerprint (whole
+/// library, or one cluster's dependency closure) mixed with the
+/// initialization strategy and the execution limits.  One definition,
+/// shared by [`CacheKeyer`] and `atlas-store`'s provenance records, so a
+/// context computed at persist time always matches the one computed at
+/// lookup time.
+pub fn context_of(fingerprint: u64, strategy: InitStrategy, limits: ExecLimits) -> u64 {
+    let mut h = Fnv::new(0xc0de);
+    h.write_u64(fingerprint);
+    h.write(&[match strategy {
+        InitStrategy::Null => 0,
+        InitStrategy::Instantiate => 1,
+    }]);
+    h.write_u64(limits.max_steps as u64);
+    h.write_u64(limits.max_call_depth as u64);
+    h.write_u64(limits.max_heap_objects as u64);
+    h.finish()
+}
+
+/// A content-addressed cache key: 64 bits of oracle context (closure or
+/// library fingerprint, initialization strategy, execution limits) plus 128 bits of
 /// word content.  Two independent word hashes make accidental collisions
 /// negligible at any realistic cache size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -387,6 +426,44 @@ impl VerdictCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn closure_keyed_contexts_differ_only_in_the_context_half() {
+        use atlas_ir::builder::ProgramBuilder;
+        use atlas_ir::Type;
+        let mut pb = ProgramBuilder::new();
+        pb.class("Object").build();
+        let mut c = pb.class("Box");
+        c.library(true);
+        c.field("f", Type::object());
+        let mut set = c.method("set");
+        let this = set.this();
+        let ob = set.param("ob", Type::object());
+        set.store(this, "f", ob);
+        let set_id = set.finish();
+        c.build();
+        let program = pb.build();
+        let interface = atlas_ir::LibraryInterface::from_program(&program);
+        let strategy = InitStrategy::Instantiate;
+        let limits = ExecLimits::for_unit_tests();
+
+        let library = CacheKeyer::new(&program, &interface, strategy, limits);
+        let fp = library_fingerprint(&program, &interface);
+        // Passing the library fingerprint explicitly reproduces the
+        // historical keyer exactly — the compatibility shim.
+        let explicit = CacheKeyer::with_fingerprint(&program, &interface, fp, strategy, limits);
+        assert_eq!(library.context(), explicit.context());
+        assert_eq!(library.context(), context_of(fp, strategy, limits));
+
+        // A closure-keyed keyer differs only in the context half: word
+        // hashes are identical, so re-keying is a pure re-grouping.
+        let closure = CacheKeyer::with_fingerprint(&program, &interface, 0x1234, strategy, limits);
+        assert_ne!(closure.context(), library.context());
+        let word = [ParamSlot::param(set_id, 0), ParamSlot::receiver(set_id)];
+        let (a, a2) = library.key(&word).word_hashes();
+        let (b, b2) = closure.key(&word).word_hashes();
+        assert_eq!((a, a2), (b, b2));
+    }
 
     #[test]
     fn keys_round_trip_through_their_parts() {

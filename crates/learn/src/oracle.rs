@@ -17,6 +17,12 @@ pub struct OracleConfig {
     /// Whether to memoize query results (recommended; random sampling
     /// re-draws the same candidates frequently).
     pub memoize: bool,
+    /// Content fingerprint for cache keying.  `None` keys on the whole
+    /// library (the historical behavior); the incremental engine passes the
+    /// serving cluster's dependency-closure fingerprint
+    /// (`atlas_ir::DepGraph::closure_fingerprint`) so verdicts survive
+    /// edits outside the closure.
+    pub fingerprint: Option<u64>,
 }
 
 impl Default for OracleConfig {
@@ -25,6 +31,7 @@ impl Default for OracleConfig {
             strategy: InitStrategy::Instantiate,
             limits: ExecLimits::for_unit_tests(),
             memoize: true,
+            fingerprint: None,
         }
     }
 }
@@ -97,7 +104,12 @@ impl<'p> Oracle<'p> {
     ) -> Oracle<'p> {
         cache.mark_warm();
         let planner = InstantiationPlanner::new(program, interface);
-        let keyer = CacheKeyer::new(program, interface, config.strategy, config.limits);
+        let keyer = match config.fingerprint {
+            Some(fp) => {
+                CacheKeyer::with_fingerprint(program, interface, fp, config.strategy, config.limits)
+            }
+            None => CacheKeyer::new(program, interface, config.strategy, config.limits),
+        };
         Oracle {
             program,
             interface,

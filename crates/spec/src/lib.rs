@@ -15,6 +15,8 @@
 //!   equivalent code-fragment specifications with ghost fields (Appendix A),
 //!   ready to be used as body overrides by `atlas-pointsto`.
 
+#![warn(missing_docs)]
+
 pub mod codegen;
 pub mod fsa;
 pub mod path_spec;

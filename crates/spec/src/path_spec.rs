@@ -48,9 +48,15 @@ pub enum PathSpecError {
     /// The symbol sequence was empty or had odd length.
     BadLength(usize),
     /// Symbols at positions `2i` and `2i+1` belong to different methods.
-    MixedMethods { position: usize },
+    MixedMethods {
+        /// The step index `i` where the methods differ.
+        position: usize,
+    },
     /// `wᵢ` and `zᵢ₊₁` are both return values.
-    ConsecutiveReturns { position: usize },
+    ConsecutiveReturns {
+        /// The step index `i` of the first of the two returns.
+        position: usize,
+    },
     /// The last symbol is not a return value.
     LastNotReturn,
 }

@@ -117,15 +117,22 @@ pub fn document_schema(doc: &Json) -> Option<&str> {
 // atlas-cache/1
 // ---------------------------------------------------------------------------
 
-/// Where a cache shard's entries came from: which library content, under
-/// which oracle configuration.  Everything needed to decide whether two
-/// shards are mergeable and whether a GC pass should keep them.
+/// Where a cache shard's entries came from: which library content, which
+/// dependency closure, under which oracle configuration.  Everything needed
+/// to decide whether two shards are mergeable and whether a GC pass should
+/// keep them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheProvenance {
     /// Content fingerprint of the library (`atlas_ir::hash::library_fingerprint`).
     pub fingerprint: u64,
+    /// The fingerprint the entries are *keyed* on: the serving cluster's
+    /// dependency-closure fingerprint (`atlas_ir::DepGraph`), or the
+    /// library fingerprint again for whole-library (pre-incremental)
+    /// contexts.
+    pub closure: u64,
     /// The key context every entry of the shard shares
-    /// ([`CacheKeyer::context`]): fingerprint mixed with strategy and limits.
+    /// ([`CacheKeyer::context`]): the closure fingerprint mixed with
+    /// strategy and limits.
     pub context: u64,
     /// The initialization strategy the verdicts were computed under.
     pub strategy: InitStrategy,
@@ -134,17 +141,39 @@ pub struct CacheProvenance {
 }
 
 impl CacheProvenance {
-    /// Computes the provenance of an oracle context, using the same shared
-    /// hashing (`atlas_ir::hash`) as the cache keys themselves.
+    /// Computes the whole-library provenance of an oracle context, using
+    /// the same shared hashing (`atlas_ir::hash`) as the cache keys
+    /// themselves.  The closure fingerprint equals the library fingerprint
+    /// here — the compatibility path for non-incremental callers.
     pub fn of(
         program: &Program,
         interface: &atlas_ir::LibraryInterface,
         strategy: InitStrategy,
         limits: ExecLimits,
     ) -> CacheProvenance {
+        let fingerprint = atlas_ir::hash::library_fingerprint(program, interface);
         CacheProvenance {
-            fingerprint: atlas_ir::hash::library_fingerprint(program, interface),
+            fingerprint,
+            closure: fingerprint,
             context: CacheKeyer::new(program, interface, strategy, limits).context(),
+            strategy,
+            limits,
+        }
+    }
+
+    /// The provenance of one cluster-scoped oracle context: entries keyed
+    /// on the cluster's dependency-closure fingerprint, attributed to the
+    /// library identified by `fingerprint`.
+    pub fn for_closure(
+        fingerprint: u64,
+        closure: u64,
+        strategy: InitStrategy,
+        limits: ExecLimits,
+    ) -> CacheProvenance {
+        CacheProvenance {
+            fingerprint,
+            closure,
+            context: atlas_learn::context_of(closure, strategy, limits),
             strategy,
             limits,
         }
@@ -197,8 +226,18 @@ pub struct CacheArtifact {
 }
 
 impl CacheArtifact {
-    /// The schema tag this artifact encodes as.
-    pub const SCHEMA: &'static str = "atlas-cache/1";
+    /// The schema tag this artifact encodes as.  `/2` records the closure
+    /// fingerprint each shard is keyed on; `/1` files (whole-library
+    /// keying) still decode via the [`CacheArtifact::SCHEMA_V1`] shim.
+    pub const SCHEMA: &'static str = "atlas-cache/2";
+
+    /// The previous schema tag.  A `/1` shard carries no closure
+    /// fingerprint; decoding treats its entries as keyed on the library
+    /// fingerprint (which is exactly how they were computed).  Such entries
+    /// can no longer hit under the closure-keyed contexts of current runs,
+    /// so old artifacts are carried — harmlessly — until a GC pass drops
+    /// them; see DESIGN.md's migration note.
+    pub const SCHEMA_V1: &'static str = "atlas-cache/1";
 
     /// Builds a single-shard artifact from a live cache, keeping only the
     /// entries that belong to `provenance` (entries carried over from other
@@ -220,6 +259,44 @@ impl CacheArtifact {
                 entries,
             }],
         }
+    }
+
+    /// Builds a multi-shard artifact from a live cache: one shard per
+    /// provenance, in the given order, each holding the entries whose key
+    /// context matches it (in cache insertion order).  Provenances that
+    /// match no entry are skipped; the cache's activity counters are
+    /// recorded on the first emitted shard (they describe the whole
+    /// session, not one cluster).  This is how a closure-keyed session —
+    /// whose per-cluster oracles each have their own context — persists
+    /// into a single registry file.
+    pub fn from_cache_shards(
+        cache: &VerdictCache,
+        provenances: &[CacheProvenance],
+    ) -> CacheArtifact {
+        let mut shards = Vec::new();
+        for provenance in provenances {
+            let entries: Vec<CacheEntry> = cache
+                .entries()
+                .filter(|(key, _)| key.context() == provenance.context)
+                .map(|(key, verdict)| {
+                    let (word, word2) = key.word_hashes();
+                    (word, word2, verdict)
+                })
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            shards.push(CacheShard {
+                provenance: *provenance,
+                stats: if shards.is_empty() {
+                    cache.stats()
+                } else {
+                    CacheStats::default()
+                },
+                entries,
+            });
+        }
+        CacheArtifact { shards }
     }
 
     /// Reconstructs a live cache holding every shard's entries, inserted in
@@ -273,9 +350,30 @@ impl CacheArtifact {
     /// entries were computed against a different library content.  This is
     /// how a long-lived store sheds verdicts orphaned by library edits.
     pub fn retain_fingerprint(&mut self, keep: u64) -> GcSummary {
+        self.retain_shards(|shard| shard.provenance.fingerprint == keep)
+    }
+
+    /// Garbage-collects by closure fingerprint: keeps exactly the shards
+    /// whose closure fingerprint is in `keep` — how an incremental store
+    /// sheds verdicts orphaned by dependency-closure changes.
+    pub fn retain_closures(&mut self, keep: &[u64]) -> GcSummary {
+        self.retain_shards(|shard| keep.contains(&shard.provenance.closure))
+    }
+
+    /// Keeps the shards matching `key` as **either** their library
+    /// fingerprint or their closure fingerprint — the predicate a sharded
+    /// store root uses when scrubbing a shard directory, which may be named
+    /// after either (fleet layout vs. incremental layout).
+    pub fn retain_matching(&mut self, key: u64) -> GcSummary {
+        self.retain_shards(|shard| {
+            shard.provenance.fingerprint == key || shard.provenance.closure == key
+        })
+    }
+
+    fn retain_shards(&mut self, mut keep: impl FnMut(&CacheShard) -> bool) -> GcSummary {
         let mut summary = GcSummary::default();
         self.shards.retain(|shard| {
-            if shard.provenance.fingerprint == keep {
+            if keep(shard) {
                 summary.kept_shards += 1;
                 summary.kept_entries += shard.entries.len();
                 true
@@ -304,6 +402,7 @@ impl CacheArtifact {
                     .collect();
                 Json::obj()
                     .set("library_fingerprint", hex64(p.fingerprint))
+                    .set("closure_fingerprint", hex64(p.closure))
                     .set("context", hex64(p.context))
                     .set(
                         "strategy",
@@ -328,18 +427,35 @@ impl CacheArtifact {
             .set("shards", shards)
     }
 
-    /// Decodes an `atlas-cache/1` document.
+    /// Decodes an `atlas-cache/2` document — or, via the compatibility
+    /// shim, an `atlas-cache/1` document, whose shards are treated as
+    /// keyed on the library fingerprint (no closure fingerprint existed).
     ///
     /// # Errors
     /// Returns a [`SchemaError`] on a schema-tag mismatch or any malformed
     /// field.
     pub fn decode(doc: &Json) -> Result<CacheArtifact, SchemaError> {
-        check_schema(doc, Self::SCHEMA)?;
+        let found = str_field(doc, "schema")?;
+        if found != Self::SCHEMA && found != Self::SCHEMA_V1 {
+            return Err(err(format!(
+                "schema mismatch: expected '{}' (or '{}'), found '{found}'",
+                Self::SCHEMA,
+                Self::SCHEMA_V1
+            )));
+        }
         let mut shards = Vec::new();
         for shard in arr_field(doc, "shards")? {
             let limits_doc = field(shard, "limits")?;
+            let fingerprint = hex_field(shard, "library_fingerprint")?;
             let provenance = CacheProvenance {
-                fingerprint: hex_field(shard, "library_fingerprint")?,
+                fingerprint,
+                // /1 shards predate closure keying: their entries were
+                // keyed on the whole-library fingerprint.
+                closure: if found == Self::SCHEMA_V1 {
+                    fingerprint
+                } else {
+                    hex_field(shard, "closure_fingerprint")?
+                },
                 context: hex_field(shard, "context")?,
                 strategy: match str_field(shard, "strategy")? {
                     "null" => InitStrategy::Null,
@@ -654,6 +770,7 @@ mod tests {
     fn provenance(fingerprint: u64) -> CacheProvenance {
         CacheProvenance {
             fingerprint,
+            closure: fingerprint ^ 0xc105,
             context: fingerprint ^ 0xc0de,
             strategy: InitStrategy::Instantiate,
             limits: ExecLimits::for_unit_tests(),
@@ -676,6 +793,7 @@ mod tests {
                 CacheShard {
                     provenance: CacheProvenance {
                         fingerprint: u64::MAX,
+                        closure: u64::MAX,
                         context: 0,
                         strategy: InitStrategy::Null,
                         limits: ExecLimits::default(),
@@ -770,6 +888,85 @@ mod tests {
             .shards
             .iter()
             .all(|s| s.provenance.fingerprint == 0x1));
+    }
+
+    #[test]
+    fn v1_documents_decode_via_the_compat_shim() {
+        // A pre-incremental artifact: no closure_fingerprint field.
+        let v1 = Json::obj().set("schema", CacheArtifact::SCHEMA_V1).set(
+            "shards",
+            vec![Json::obj()
+                .set("library_fingerprint", "0x00000000000000ab")
+                .set("context", "0x0000000000000001")
+                .set("strategy", "instantiate")
+                .set(
+                    "limits",
+                    Json::obj()
+                        .set("max_steps", 10usize)
+                        .set("max_call_depth", 2usize)
+                        .set("max_heap_objects", 3usize),
+                )
+                .set("stats", encode_stats(CacheStats::default()))
+                .set(
+                    "entries",
+                    vec![Json::Arr(vec![
+                        Json::str("0x0000000000000005"),
+                        Json::str("0x0000000000000006"),
+                        Json::Bool(true),
+                    ])],
+                )],
+        );
+        let artifact = CacheArtifact::decode(&v1).expect("v1 shim");
+        assert_eq!(artifact.shards.len(), 1);
+        let p = &artifact.shards[0].provenance;
+        assert_eq!(p.fingerprint, 0xab);
+        assert_eq!(p.closure, 0xab, "v1 shards were keyed on the library");
+        // Re-encoding writes the current schema with the closure recorded.
+        let rendered = artifact.encode().render();
+        assert!(rendered.contains(CacheArtifact::SCHEMA), "{rendered}");
+        assert!(rendered.contains("closure_fingerprint"), "{rendered}");
+    }
+
+    #[test]
+    fn multi_provenance_caches_persist_one_shard_per_context() {
+        let pa = provenance(0xa);
+        let pb = CacheProvenance {
+            fingerprint: 0xa, // same library…
+            closure: 0xb1,    // …different cluster closure
+            context: 0xb1 ^ 0xc0de,
+            strategy: InitStrategy::Instantiate,
+            limits: ExecLimits::for_unit_tests(),
+        };
+        let empty = CacheProvenance {
+            closure: 0xdead,
+            context: 0xdead,
+            ..pb
+        };
+        let mut cache = VerdictCache::new();
+        cache.insert(VerdictKey::from_parts(pb.context, 7, 8), false);
+        cache.insert(VerdictKey::from_parts(pa.context, 1, 2), true);
+        cache.insert(VerdictKey::from_parts(pb.context, 9, 10), true);
+        let artifact = CacheArtifact::from_cache_shards(&cache, &[pa, pb, empty]);
+        assert_eq!(artifact.shards.len(), 2, "empty provenances are skipped");
+        assert_eq!(artifact.shards[0].provenance, pa);
+        assert_eq!(artifact.shards[0].entries, vec![(1, 2, true)]);
+        assert_eq!(artifact.shards[1].provenance, pb);
+        assert_eq!(
+            artifact.shards[1].entries,
+            vec![(7, 8, false), (9, 10, true)],
+            "entries stay in cache insertion order"
+        );
+        // Closure-level GC keeps exactly the named closures.
+        let mut gc = artifact.clone();
+        let summary = gc.retain_closures(&[0xb1]);
+        assert_eq!(summary.kept_shards, 1);
+        assert_eq!(summary.dropped_entries, 1);
+        assert_eq!(gc.shards[0].provenance.closure, 0xb1);
+        // retain_matching accepts either attribution.
+        let mut by_library = artifact.clone();
+        assert_eq!(by_library.retain_matching(0xa).kept_shards, 2);
+        let mut by_closure = artifact.clone();
+        assert_eq!(by_closure.retain_matching(0xb1).kept_shards, 1);
     }
 
     #[test]

@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! store inspect <FILE>...              summarize cache/spec artifacts
+//! store stats <PATH>...                per-shard entry counts and fingerprints
+//!                                      (cache files and sharded store roots)
 //! store merge <OUT> <IN>...            merge cache files (first-entry-wins)
 //! store gc <FILE> --keep <0xFP> [--out <OUT>]
 //!                                      drop shards of other library fingerprints
 //! store merge-shards <ROOT> <OUT>      merge every shard cache of a
 //!                                      fingerprint-sharded root (fleet layout)
-//! store gc-shards <ROOT> --keep <0xFP> [--keep <0xFP>]...
-//!                                      remove shard dirs of departed libraries
+//! store gc-shards <ROOT> --keep <0xFP> [--keep <0xFP>]... [--keep-history N]
+//!                                      remove shard dirs of departed libraries /
+//!                                      stale closures, keeping the last N
+//!                                      generations
 //! store export-specs <SPEC-FILE>       print the persisted specifications
 //! store diff-specs <SPEC-FILE>         coverage diff vs the handwritten corpus
 //! ```
@@ -35,10 +39,11 @@ use std::process::ExitCode;
 const USAGE: &str = "\
 usage:
   store inspect <FILE>...
+  store stats <PATH>...
   store merge <OUT> <IN>...
   store gc <FILE> --keep <0xFINGERPRINT> [--out <OUT>]
   store merge-shards <ROOT> <OUT>
-  store gc-shards <ROOT> --keep <0xFINGERPRINT> [--keep <0xFINGERPRINT>]...
+  store gc-shards <ROOT> --keep <0xFINGERPRINT> [--keep <0xFINGERPRINT>]... [--keep-history N]
   store export-specs <SPEC-FILE>
   store diff-specs <SPEC-FILE>";
 
@@ -53,6 +58,7 @@ fn main() -> ExitCode {
     };
     let result = match command {
         "inspect" => inspect(rest),
+        "stats" => stats(rest),
         "merge" => merge(rest),
         "gc" => gc(rest),
         "merge-shards" => merge_shards_cmd(rest),
@@ -103,10 +109,65 @@ fn inspect(files: &[String]) -> Result<(), CliError> {
         println!("{}:", path.display());
         println!("  content digest: {}", hex(digest.finish()));
         match document_schema(&doc) {
-            Some(CacheArtifact::SCHEMA) => inspect_cache(path, &doc)?,
+            Some(CacheArtifact::SCHEMA | CacheArtifact::SCHEMA_V1) => inspect_cache(path, &doc)?,
             Some(SpecArtifact::SCHEMA) => inspect_specs(&doc),
             Some(other) => println!("  schema: {other} (not a store artifact)"),
             None => println!("  schema: none (not a store artifact)"),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------------
+
+/// Per-shard composition, without hand-inspecting JSON: for a cache file,
+/// one row per provenance shard; for a sharded store root, one row per
+/// shard directory (entry counts read from each shard's cache file).
+fn stats(paths: &[String]) -> Result<(), CliError> {
+    if paths.is_empty() {
+        return Err(CliError::Usage("stats needs at least one path".into()));
+    }
+    for raw in paths {
+        let path = Path::new(raw);
+        if path.is_dir() {
+            let shards = atlas_store::list_shards(path)?;
+            println!("{}: {} shard dir(s)", path.display(), shards.len());
+            let mut total = 0usize;
+            for shard in &shards {
+                let (entries, provenances) = if shard.cache.exists() {
+                    let artifact = load_cache(&shard.cache)?;
+                    (artifact.num_entries(), artifact.shards.len())
+                } else {
+                    (0, 0)
+                };
+                total += entries;
+                println!(
+                    "  {}: {entries} entries in {provenances} provenance shard(s), specs {}",
+                    hex(shard.fingerprint),
+                    if shard.specs.exists() { "yes" } else { "no" }
+                );
+            }
+            println!("  total: {total} entries");
+        } else {
+            let artifact = load_cache(path)?;
+            println!(
+                "{}: {} provenance shard(s), {} entries",
+                path.display(),
+                artifact.shards.len(),
+                artifact.num_entries()
+            );
+            for shard in &artifact.shards {
+                let p = &shard.provenance;
+                println!(
+                    "  library {} closure {}: {} entries ({} positive)",
+                    hex(p.fingerprint),
+                    hex(p.closure),
+                    shard.entries.len(),
+                    shard.entries.iter().filter(|e| e.2).count()
+                );
+            }
         }
     }
     Ok(())
@@ -269,6 +330,7 @@ fn merge_shards_cmd(args: &[String]) -> Result<(), CliError> {
 fn gc_shards_cmd(args: &[String]) -> Result<(), CliError> {
     let mut root = None;
     let mut keep = Vec::new();
+    let mut history = 0usize;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -278,6 +340,12 @@ fn gc_shards_cmd(args: &[String]) -> Result<(), CliError> {
                     .ok_or_else(|| CliError::Usage("--keep needs a fingerprint".into()))?;
                 keep.push(parse_hex64(value).map_err(|e| CliError::Usage(e.to_string()))?);
             }
+            "--keep-history" => {
+                history = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| CliError::Usage("--keep-history needs a count".into()))?;
+            }
             other if root.is_none() && !other.starts_with("--") => {
                 root = Some(other.to_string());
             }
@@ -285,15 +353,19 @@ fn gc_shards_cmd(args: &[String]) -> Result<(), CliError> {
         }
     }
     let root = root.ok_or_else(|| CliError::Usage("gc-shards needs a store root".into()))?;
-    if keep.is_empty() {
+    if keep.is_empty() && history == 0 {
         return Err(CliError::Usage(
-            "gc-shards needs at least one --keep <0xFINGERPRINT>".into(),
+            "gc-shards needs --keep <0xFINGERPRINT> or --keep-history <N>".into(),
         ));
     }
-    let summary = atlas_store::gc_shards(Path::new(&root), &keep)?;
+    let summary = atlas_store::gc_shards_with_history(Path::new(&root), &keep, history)?;
     println!(
-        "gc-shards {root}: kept {} shard dir(s), removed {}, scrubbed {} foreign entries",
-        summary.kept, summary.removed, summary.dropped_entries
+        "gc-shards {root}: kept {} shard dir(s) ({} explicit, history {history}), removed {}, \
+         scrubbed {} foreign entries",
+        summary.kept,
+        keep.len(),
+        summary.removed,
+        summary.dropped_entries
     );
     Ok(())
 }

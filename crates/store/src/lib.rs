@@ -46,7 +46,7 @@ pub use artifact::{
 };
 pub use json::{Json, JsonError};
 pub use registry::{
-    atomic_write, gc_shards, list_shards, load_cache, load_document, load_specs, merge_cache_files,
-    merge_shards, save_cache, save_specs, shard_dir, shard_entry, ShardEntry, ShardGcSummary,
-    StoreError,
+    atomic_write, gc_shards, gc_shards_with_history, list_shards, load_cache, load_document,
+    load_specs, merge_cache_files, merge_shards, save_cache, save_specs, shard_dir, shard_entry,
+    ShardEntry, ShardGcSummary, StoreError,
 };

@@ -270,17 +270,58 @@ pub struct ShardGcSummary {
 /// cache shards recorded under a foreign fingerprint.  This is how a
 /// long-lived fleet store sheds libraries that left the fleet.
 pub fn gc_shards(root: &Path, keep: &[u64]) -> Result<ShardGcSummary, StoreError> {
+    gc_shards_with_history(root, keep, 0)
+}
+
+/// [`gc_shards`] with a history window: beyond the explicitly kept
+/// fingerprints, the `history` most-recently-written other shard
+/// directories survive too (recency by the shard cache's modification
+/// time, directory path as the deterministic tie-break).
+///
+/// This is the retention policy of a *delta* store, where every dependency
+/// closure owns a shard: after an edit the new closure gets a fresh shard,
+/// and `--keep-history N` keeps the last `N` generations around so
+/// reverting an edit warm-starts instantly, while truly orphaned closures
+/// eventually age out.
+pub fn gc_shards_with_history(
+    root: &Path,
+    keep: &[u64],
+    history: usize,
+) -> Result<ShardGcSummary, StoreError> {
+    let shards = list_shards(root)?;
+    // Rank the non-kept shards by recency to decide who survives the
+    // history window.
+    let mut candidates: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+    for shard in &shards {
+        if keep.contains(&shard.fingerprint) {
+            continue;
+        }
+        let mtime = fs::metadata(&shard.cache)
+            .or_else(|_| fs::metadata(&shard.dir))
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        candidates.push((mtime, shard.dir.clone(), shard.fingerprint));
+    }
+    candidates.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    let survivors: Vec<u64> = candidates.iter().take(history).map(|c| c.2).collect();
+
     let mut summary = ShardGcSummary::default();
-    for shard in list_shards(root)? {
-        if !keep.contains(&shard.fingerprint) {
+    for shard in shards {
+        let explicitly_kept = keep.contains(&shard.fingerprint);
+        if !explicitly_kept && !survivors.contains(&shard.fingerprint) {
             fs::remove_dir_all(&shard.dir).map_err(|e| StoreError::io(&shard.dir, e))?;
             summary.removed += 1;
             continue;
         }
         summary.kept += 1;
-        if shard.cache.exists() {
+        // Scrub only the explicitly kept shards: a history survivor is a
+        // previous generation we keep verbatim for instant reverts.
+        if explicitly_kept && shard.cache.exists() {
             let mut artifact = load_cache(&shard.cache)?;
-            let gc = artifact.retain_fingerprint(shard.fingerprint);
+            // A shard directory may be named after a library fingerprint
+            // (fleet layout) or a closure fingerprint (delta layout);
+            // entries matching either attribution stay.
+            let gc = artifact.retain_matching(shard.fingerprint);
             if gc.dropped_entries > 0 || gc.dropped_shards > 0 {
                 summary.dropped_entries += gc.dropped_entries;
                 save_cache(&shard.cache, &artifact)?;
@@ -326,6 +367,7 @@ mod tests {
             shards: vec![CacheShard {
                 provenance: CacheProvenance {
                     fingerprint,
+                    closure: fingerprint,
                     context: fingerprint.wrapping_mul(31),
                     strategy: InitStrategy::Instantiate,
                     limits: ExecLimits::for_unit_tests(),
@@ -442,6 +484,44 @@ mod tests {
         assert_eq!(summary.kept, 1);
         assert_eq!(summary.dropped_entries, 1);
         assert_eq!(load_cache(&shard_entry(&root, 0xA).cache).unwrap(), a);
+    }
+
+    #[test]
+    fn gc_keep_history_retains_recent_generations() {
+        let scratch = Scratch::new("history");
+        let root = scratch.path("delta");
+        // Three closure generations written in order, plus the current one.
+        for (i, fp) in [0x10u64, 0x20, 0x30, 0x40].into_iter().enumerate() {
+            save_cache(
+                &shard_entry(&root, fp).cache,
+                &sample_artifact(fp, vec![(i as u64, i as u64, true)]),
+            )
+            .unwrap();
+            // mtime separation (nanosecond clocks can still collide).
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // Keep the current closure explicitly and one history generation:
+        // the most recent non-kept shard (0x30) survives, older ones go.
+        let summary = gc_shards_with_history(&root, &[0x40], 1).expect("gc");
+        assert_eq!(summary.kept, 2);
+        assert_eq!(summary.removed, 2);
+        let left: Vec<u64> = list_shards(&root)
+            .unwrap()
+            .iter()
+            .map(|s| s.fingerprint)
+            .collect();
+        assert_eq!(left, vec![0x30, 0x40]);
+        // History 0 with an explicit keep set is exactly the old gc_shards.
+        let summary = gc_shards(&root, &[0x40]).expect("gc");
+        assert_eq!(summary.removed, 1);
+        assert_eq!(
+            list_shards(&root)
+                .unwrap()
+                .iter()
+                .map(|s| s.fingerprint)
+                .collect::<Vec<_>>(),
+            vec![0x40]
+        );
     }
 
     #[test]

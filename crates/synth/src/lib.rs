@@ -24,6 +24,8 @@
 //! The result is a [`WitnessTest`] that can be executed directly against the
 //! blackbox library via `atlas-interp`.
 
+#![warn(missing_docs)]
+
 pub mod instantiate;
 pub mod synthesize;
 pub mod witness;

@@ -28,12 +28,21 @@ pub enum TestArg {
 #[derive(Debug, Clone, PartialEq)]
 pub enum TestOp {
     /// `dst = new <class>()` — raw allocation (no constructor call).
-    Alloc { dst: TestVar, class: ClassId },
+    Alloc {
+        /// The test variable bound to the fresh object.
+        dst: TestVar,
+        /// The class allocated.
+        class: ClassId,
+    },
     /// `dst = recv.m(args)` — a call to a library method (or constructor).
     Call {
+        /// The test variable bound to the return value, if any.
         dst: Option<TestVar>,
+        /// The library method called.
         method: MethodId,
+        /// The receiver, absent for static calls.
         recv: Option<TestVar>,
+        /// The arguments, in declaration order.
         args: Vec<TestArg>,
     },
 }

@@ -115,18 +115,27 @@ fn box_config(program: &atlas_ir::Program) -> AtlasConfig {
 }
 
 /// The satellite store round-trip: persist a real harvested cache, reload
-/// it, and check statistics and every verdict survive unchanged.
+/// it, and check statistics and every verdict survive unchanged.  Since
+/// the incremental refactor, a session's entries are keyed per cluster
+/// closure, so the artifact carries one provenance shard per cluster.
 #[test]
 fn cache_artifact_preserves_stats_and_verdicts() {
     let (program, interface) = box_setup();
     let engine = Engine::new(&program, &interface, box_config(&program));
     let mut session = engine.session();
     let _ = session.run();
-    let provenance = engine.provenance();
+    let provenances = session.cluster_provenances();
+    assert_eq!(provenances.len(), 1);
+    assert_eq!(
+        provenances[0].fingerprint,
+        engine.provenance().fingerprint,
+        "cluster shards are attributed to the library fingerprint"
+    );
+    assert_eq!(provenances[0].closure, session.jobs()[0].closure);
     let cache = session.into_cache();
     assert!(!cache.is_empty());
 
-    let artifact = CacheArtifact::from_cache(&cache, provenance);
+    let artifact = CacheArtifact::from_cache_shards(&cache, &provenances);
     let reparsed = Json::parse(&artifact.encode().render()).expect("render parses");
     let reloaded = CacheArtifact::decode(&reparsed).expect("decode");
     assert_eq!(reloaded, artifact);
@@ -134,7 +143,7 @@ fn cache_artifact_preserves_stats_and_verdicts() {
     // Identical CacheStats...
     assert_eq!(reloaded.shards.len(), 1);
     assert_eq!(reloaded.shards[0].stats, cache.stats());
-    assert_eq!(reloaded.shards[0].provenance, provenance);
+    assert_eq!(reloaded.shards[0].provenance, provenances[0]);
     // ...and identical verdicts for every key, in insertion order.
     let original: Vec<_> = cache.entries().collect();
     assert_eq!(reloaded.num_entries(), original.len());
