@@ -12,6 +12,8 @@
 //! vary over more than an order of magnitude, leaks are known by
 //! construction, and generation is fully deterministic given the seed.
 
+#![warn(missing_docs)]
+
 pub mod generator;
 pub mod mutate;
 pub mod patterns;

@@ -1,9 +1,10 @@
 //! Criterion benches for the oracle: witness synthesis and blackbox
-//! execution throughput (the inner loop of phase one).
+//! execution throughput (the inner loop of phase one), with the bytecode
+//! VM and the tree-walking interpreter side by side.
 
-use atlas_interp::Interpreter;
+use atlas_interp::{BuiltinRegistry, CompiledProgram, ExecLimits, Interpreter, Vm};
 use atlas_ir::{LibraryInterface, ParamSlot};
-use atlas_learn::{Oracle, OracleConfig};
+use atlas_learn::{Oracle, OracleConfig, OracleEngine};
 use atlas_spec::PathSpec;
 use atlas_synth::{synthesize_witness, InitStrategy, InstantiationPlanner};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -43,26 +44,47 @@ fn bench_oracle(c: &mut Criterion) {
         InitStrategy::Instantiate,
     )
     .unwrap();
-    c.bench_function("witness_execution_arraylist", |b| {
+    c.bench_function("witness_execution_arraylist_treewalk", |b| {
         b.iter(|| {
             let mut interp = Interpreter::new(&library);
             witness.execute(&library, &mut interp).unwrap()
         })
     });
 
-    c.bench_function("oracle_query_uncached", |b| {
+    // The bytecode counterpart: the program is lowered once (as the
+    // oracle does it), only the per-execution VM is fresh.
+    let compiled = CompiledProgram::compile(&library);
+    let builtins = BuiltinRegistry::with_defaults();
+    c.bench_function("witness_execution_arraylist_bytecode", |b| {
         b.iter(|| {
-            let mut oracle = Oracle::new(
-                &library,
-                &interface,
-                OracleConfig {
-                    memoize: false,
-                    ..OracleConfig::default()
-                },
-            );
-            oracle.check(&spec)
+            let mut vm = Vm::new(&compiled, &builtins, ExecLimits::default());
+            witness.execute(&library, &mut vm).unwrap()
         })
     });
+
+    c.bench_function("program_compilation_javalib", |b| {
+        b.iter(|| CompiledProgram::compile(&library))
+    });
+
+    for (name, engine) in [
+        ("oracle_query_uncached_treewalk", OracleEngine::TreeWalk),
+        ("oracle_query_uncached_bytecode", OracleEngine::Bytecode),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut oracle = Oracle::new(
+                    &library,
+                    &interface,
+                    OracleConfig {
+                        memoize: false,
+                        engine,
+                        ..OracleConfig::default()
+                    },
+                );
+                oracle.check(&spec)
+            })
+        });
+    }
 }
 
 criterion_group!(benches, bench_oracle);

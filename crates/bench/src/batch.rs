@@ -207,6 +207,7 @@ pub fn run_batch(config: &BatchConfig) -> Result<BatchReport, StoreError> {
         samples_per_cluster: config.samples,
         clusters,
         num_threads: config.threads,
+        engine: crate::config::oracle_engine(),
         ..AtlasConfig::default()
     };
 

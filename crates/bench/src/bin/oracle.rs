@@ -1,0 +1,124 @@
+//! The oracle-throughput pipeline: execute a deterministic witness
+//! workload under the bytecode VM and the tree-walking interpreter,
+//! cross-check their equivalence, and report one `atlas-oracle/1` JSON
+//! document.
+//!
+//! ```sh
+//! cargo run --release -p atlas-bench --bin oracle > report.json
+//! # the CI smoke gate:
+//! cargo run --release -p atlas-bench --bin oracle -- --expect-speedup 3
+//! ```
+//!
+//! The human summary goes to stderr, the JSON document to stdout (and to
+//! `ATLAS_ORACLE_OUT` when set).  `ATLAS_ORACLE_WORDS` and
+//! `ATLAS_ORACLE_ROUNDS` size the workload from the environment.
+//!
+//! Flags:
+//!
+//! * `--library NAME` — registry name of the library under measurement
+//!   (default `javalib`).
+//! * `--words N` / `--rounds N` — workload size, overriding the
+//!   environment.
+//! * `--samples N` — sampling budget of the cross-engine inference
+//!   identity check.
+//! * `--expect-speedup X` — assert the performance and equivalence
+//!   contract: identical verdicts, steps, and inferred specs under both
+//!   engines, and bytecode throughput at least `X` times the
+//!   tree-walker's.  Exits `1` otherwise.
+
+use atlas_bench::{Json, OracleBenchConfig};
+
+fn usage(message: &str) -> ! {
+    eprintln!(
+        "oracle: {message}\nusage: oracle [--library NAME] [--words N] [--rounds N] \
+         [--samples N] [--expect-speedup X]"
+    );
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut config = OracleBenchConfig::from_env();
+    let mut expect_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--library" => {
+                config.library = args
+                    .next()
+                    .unwrap_or_else(|| usage("--library needs a name"));
+            }
+            "--words" => {
+                config.words = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--words needs a number"));
+            }
+            "--rounds" => {
+                config.rounds = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--rounds needs a number"));
+            }
+            "--samples" => {
+                config.identity_samples = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--samples needs a number"));
+            }
+            "--expect-speedup" => {
+                expect_speedup = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--expect-speedup needs a number")),
+                );
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    eprintln!(
+        "oracle: {} ({} words x {} rounds, identity budget {})",
+        config.library, config.words, config.rounds, config.identity_samples
+    );
+    let report = match atlas_bench::run_oracle_bench(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("oracle: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprint!("{}", report.summary);
+    atlas_bench::emit_report("oracle", &report.json.render(), "ATLAS_ORACLE_OUT");
+    if let Some(min_speedup) = expect_speedup {
+        verify_oracle(&report.json, min_speedup);
+    }
+}
+
+/// The `--expect-speedup` contract, checked from the report itself.
+fn verify_oracle(report: &Json, min_speedup: f64) {
+    let mut failures = Vec::new();
+    for key in [
+        "verdicts_identical",
+        "steps_identical",
+        "inference_identical",
+    ] {
+        if report.get(key).and_then(Json::as_bool) != Some(true) {
+            failures.push(format!("the engines must agree: {key} is not true"));
+        }
+    }
+    let speedup = report.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+    if speedup < min_speedup {
+        failures.push(format!(
+            "bytecode speedup {speedup:.2}x is below the required {min_speedup:.2}x"
+        ));
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "oracle: contract verified ({speedup:.1}x >= {min_speedup:.1}x, engines identical)"
+        );
+    } else {
+        for failure in &failures {
+            eprintln!("oracle: --expect-speedup failed: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

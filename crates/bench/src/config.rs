@@ -12,6 +12,7 @@
 //! | `ATLAS_FLEET_STORE` | fingerprint-sharded fleet store root | unset |
 //! | `ATLAS_FLEET_SEED` | base seed of the synthetic fleet libraries | `0x5EED` |
 //! | `ATLAS_FLEET_LIBS` | comma-separated fleet library names | registry default |
+//! | `ATLAS_ENGINE` | oracle execution engine (`bytecode` / `tree-walk`) | `bytecode` |
 //!
 //! Malformed values fall back to the default rather than aborting — a CI
 //! matrix that exports an empty string must not change behavior.
@@ -68,6 +69,18 @@ pub fn fleet_seed() -> u64 {
         .ok()
         .and_then(|s| parse_u64(&s))
         .unwrap_or(0x5EED)
+}
+
+/// Reads the oracle execution engine from `ATLAS_ENGINE` (`bytecode` /
+/// `tree-walk`; default bytecode).  Engine choice can never change
+/// results — the two engines are observationally identical (see
+/// `atlas_interp::vm`) — only throughput; the knob exists for the
+/// differential pipelines and for measuring one engine against the other.
+pub fn oracle_engine() -> atlas_core::OracleEngine {
+    std::env::var("ATLAS_ENGINE")
+        .ok()
+        .and_then(|s| atlas_core::OracleEngine::parse(&s))
+        .unwrap_or_default()
 }
 
 /// Parses a decimal or `0x`-prefixed hex u64.

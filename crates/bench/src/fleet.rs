@@ -304,6 +304,7 @@ fn run_library(
         samples_per_cluster: fleet.samples,
         clusters: lib.clusters.clone(),
         num_threads: inner_threads,
+        engine: crate::config::oracle_engine(),
         ..AtlasConfig::default()
     };
     let mut engine = Engine::new(&lib.program, &interface, atlas_config);

@@ -44,6 +44,13 @@
 //! versus the cold baseline (the `incr` binary; `--expect-incremental`
 //! gates the contract in CI).
 //!
+//! The [`oracle`] module measures the oracle's two execution engines —
+//! the bytecode VM against the tree-walking interpreter — on a
+//! deterministic witness workload, cross-checks that verdicts, step
+//! counts, and inferred specifications are identical under both, and
+//! emits an `atlas-oracle/1` report (the `oracle` binary;
+//! `--expect-speedup` gates the performance contract in CI).
+//!
 //! The environment knobs (`ATLAS_SAMPLES`, `ATLAS_APPS`, `ATLAS_THREADS`,
 //! `ATLAS_STORE`, `ATLAS_FLEET_*`, `ATLAS_INCR_STORE`) are parsed in one
 //! place: [`config`].
@@ -55,6 +62,7 @@ pub mod experiments;
 pub mod fleet;
 pub mod incr;
 pub mod json;
+pub mod oracle;
 mod storeleg;
 
 pub use batch::{run_batch, BatchConfig, BatchReport};
@@ -62,6 +70,7 @@ pub use context::{EvalContext, SpecSet};
 pub use fleet::{run_fleet, FleetConfig, FleetError, FleetReport};
 pub use incr::{run_incremental, IncrConfig, IncrReport};
 pub use json::Json;
+pub use oracle::{run_oracle_bench, OracleBenchConfig, OracleBenchReport};
 
 /// Emits a pipeline report from a report binary: the JSON goes to stdout
 /// first (the primary output — a bad file path must never lose the run),

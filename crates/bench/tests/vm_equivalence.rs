@@ -1,0 +1,211 @@
+//! Differential property tests: the bytecode VM against the tree-walking
+//! interpreter.
+//!
+//! The VM is only allowed to exist because it is *observationally
+//! identical* to the tree-walker (see `atlas_interp::vm`).  These tests
+//! enforce the guarantee on generated inputs rather than handpicked ones:
+//!
+//! * random generated apps run under both engines must produce identical
+//!   [`ExecOutcome`]s and identical step counts — at the default limits
+//!   *and* at proptest-drawn tight [`ExecLimits`], where the equality
+//!   covers which limit exhausts first and at which statement;
+//! * random candidate words over the real javalib, synthesized to witness
+//!   tests exactly as the oracle does, must produce identical verdicts
+//!   (`Result<bool, ExecError>`) and step counts;
+//! * the same holds over randomly generated synthetic libraries, whose
+//!   aliasing patterns and body shapes are drawn independently of
+//!   javalib's.
+
+use atlas_apps::{generate_app, generate_library, SynthLibConfig};
+use atlas_bench::fleet::build_library;
+use atlas_interp::{
+    BuiltinRegistry, CompiledProgram, ExecLimits, ExecOutcome, Interpreter, Vm, VmScratch,
+};
+use atlas_ir::{LibraryInterface, MethodId, ParamSlot, Program};
+use atlas_spec::PathSpec;
+use atlas_synth::{
+    synthesize_witness, InitStrategy, InstantiationPlanner, WitnessScratch, WitnessTest,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Runs `entry` under both engines and returns `(outcome, steps)` pairs.
+fn run_both(program: &Program, entry: MethodId, limits: ExecLimits) -> [(ExecOutcome, usize); 2] {
+    let mut tree = Interpreter::with_config(program, BuiltinRegistry::with_defaults(), limits);
+    let t_out = tree.run_entry(entry);
+    let compiled = CompiledProgram::compile(program);
+    let builtins = BuiltinRegistry::with_defaults();
+    let mut vm = Vm::new(&compiled, &builtins, limits);
+    let v_out = vm.run_entry(entry);
+    [(t_out, tree.steps()), (v_out, vm.steps())]
+}
+
+/// A library prepared for witness-level differential testing.
+struct Fixture {
+    program: Program,
+    planner: InstantiationPlanner,
+    interface: LibraryInterface,
+    compiled: CompiledProgram,
+    /// `(entry, receiver)` slot pairs usable as the first two symbols of a
+    /// two-method candidate word.
+    sources: Vec<(ParamSlot, ParamSlot)>,
+    /// `(receiver, return)` slot pairs usable as the last two symbols.
+    sinks: Vec<(ParamSlot, ParamSlot)>,
+}
+
+impl Fixture {
+    fn prepare(program: Program) -> Fixture {
+        let interface = LibraryInterface::from_program(&program);
+        let planner = InstantiationPlanner::new(&program, &interface);
+        let compiled = CompiledProgram::compile(&program);
+        let sources: Vec<(ParamSlot, ParamSlot)> = interface
+            .methods()
+            .iter()
+            .filter(|sig| !sig.is_constructor && sig.has_this)
+            .flat_map(|sig| {
+                let recv = ParamSlot::receiver(sig.method);
+                sig.reference_slots()
+                    .into_iter()
+                    .filter(move |s| s.is_input() && *s != recv)
+                    .map(move |s| (s, recv))
+            })
+            .collect();
+        let sinks: Vec<(ParamSlot, ParamSlot)> = interface
+            .methods()
+            .iter()
+            .filter(|sig| !sig.is_constructor && sig.has_this && sig.returns_reference())
+            .map(|sig| (ParamSlot::receiver(sig.method), ParamSlot::ret(sig.method)))
+            .collect();
+        Fixture {
+            program,
+            planner,
+            interface,
+            compiled,
+            sources,
+            sinks,
+        }
+    }
+
+    /// Builds the candidate word picked by the two indices and synthesizes
+    /// its witness, if the word is well-formed and synthesizable.
+    fn witness(
+        &self,
+        source: prop::sample::Index,
+        sink: prop::sample::Index,
+    ) -> Option<WitnessTest> {
+        let (entry, mid) = self.sources[source.index(self.sources.len())];
+        let (recv, exit) = self.sinks[sink.index(self.sinks.len())];
+        let spec = PathSpec::new(vec![entry, mid, recv, exit]).ok()?;
+        synthesize_witness(
+            &self.program,
+            &self.interface,
+            &self.planner,
+            &spec,
+            InitStrategy::Instantiate,
+        )
+        .ok()
+    }
+
+    /// Executes `witness` under both engines, returning `(verdict, steps)`
+    /// pairs.
+    #[allow(clippy::type_complexity)]
+    fn execute_both(
+        &self,
+        witness: &WitnessTest,
+        limits: ExecLimits,
+    ) -> [(Result<bool, atlas_interp::ExecError>, usize); 2] {
+        let mut wscratch = WitnessScratch::default();
+        let builtins = BuiltinRegistry::with_defaults();
+        let mut tree = Interpreter::with_config(&self.program, builtins.clone(), limits);
+        let t = witness.execute_with(&self.program, &mut tree, &mut wscratch);
+        let mut vm = Vm::with_scratch(&self.compiled, &builtins, limits, VmScratch::default());
+        let v = witness.execute_with(&self.program, &mut vm, &mut wscratch);
+        [(t, tree.steps()), (v, vm.steps())]
+    }
+}
+
+fn javalib() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let lib = build_library("javalib", 0x5EED).expect("javalib is registered");
+        Fixture::prepare(lib.program)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_apps_match_under_default_limits(
+        index in 0..46usize,
+        seed in 0..3u64,
+    ) {
+        let app = generate_app(index, 0xA71A5 + seed);
+        let [(t_out, t_steps), (v_out, v_steps)] =
+            run_both(&app.program, app.entry, ExecLimits::default());
+        prop_assert_eq!(&t_out, &v_out);
+        prop_assert_eq!(t_steps, v_steps);
+        // The suite's entries are built to run to completion.
+        prop_assert!(matches!(t_out, ExecOutcome::Returned(_)), "{t_out:?}");
+    }
+
+    #[test]
+    fn tight_limits_exhaust_at_the_same_statement(
+        index in 0..46usize,
+        max_steps in 1..600usize,
+        max_call_depth in 1..12usize,
+        max_heap_objects in 1..60usize,
+    ) {
+        let app = generate_app(index, 0xA71A5);
+        let limits = ExecLimits { max_steps, max_call_depth, max_heap_objects };
+        let [(t_out, t_steps), (v_out, v_steps)] = run_both(&app.program, app.entry, limits);
+        // Identical outcome: if a limit binds, both engines must report the
+        // same LimitExceeded kind...
+        prop_assert_eq!(&t_out, &v_out);
+        // ...after charging the same number of statements.
+        prop_assert_eq!(t_steps, v_steps);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn javalib_witness_verdicts_match(
+        source in any::<prop::sample::Index>(),
+        sink in any::<prop::sample::Index>(),
+    ) {
+        let fix = javalib();
+        let witness = fix.witness(source, sink);
+        prop_assume!(witness.is_some());
+        let witness = witness.unwrap();
+        let [(t, t_steps), (v, v_steps)] =
+            fix.execute_both(&witness, ExecLimits::for_unit_tests());
+        prop_assert_eq!(&t, &v);
+        prop_assert_eq!(t_steps, v_steps);
+    }
+
+    #[test]
+    fn synthetic_library_witness_verdicts_match(
+        seed in 0..1_000u64,
+        classes in 2..5usize,
+        source in any::<prop::sample::Index>(),
+        sink in any::<prop::sample::Index>(),
+    ) {
+        let lib = generate_library(&SynthLibConfig {
+            name: format!("synth-eq-{seed}"),
+            seed,
+            classes,
+            ..SynthLibConfig::default()
+        });
+        let fix = Fixture::prepare(lib.program);
+        prop_assume!(!fix.sources.is_empty() && !fix.sinks.is_empty());
+        let witness = fix.witness(source, sink);
+        prop_assume!(witness.is_some());
+        let witness = witness.unwrap();
+        let [(t, t_steps), (v, v_steps)] =
+            fix.execute_both(&witness, ExecLimits::for_unit_tests());
+        prop_assert_eq!(&t, &v);
+        prop_assert_eq!(t_steps, v_steps);
+    }
+}

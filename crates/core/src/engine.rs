@@ -30,15 +30,16 @@
 //! state: cold and warm runs are bit-identical result-for-result.
 
 use crate::inference::{AtlasConfig, ClusterOutcome, InferenceOutcome, ParallelismSummary};
+use atlas_interp::CompiledProgram;
 use atlas_ir::{ClassId, DepGraph, LibraryInterface, Program};
 use atlas_learn::{
-    infer_fsa, sample_positive_examples, CacheStats, Oracle, OracleConfig, OracleStats,
-    SampleResult, VerdictCache,
+    infer_fsa, sample_positive_examples, CacheStats, Oracle, OracleConfig, OracleEngine,
+    OracleStats, SampleResult, VerdictCache,
 };
 use atlas_store::{load_cache, save_cache, CacheArtifact, CacheProvenance, StoreError};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The parallel specification-inference engine.
@@ -76,6 +77,12 @@ pub struct Engine<'p> {
     /// method, so an engine does it once, not once per session/provenance
     /// call.
     jobs: std::sync::OnceLock<Vec<ClusterJob>>,
+    /// Bytecode compilation of the program, computed on first use and
+    /// shared (via `Arc`) by every per-cluster oracle of every session:
+    /// lowering is a pure function of the program, so one compilation
+    /// serves all workers.  Never built when the config selects the
+    /// tree-walking engine.
+    compiled: std::sync::OnceLock<Arc<CompiledProgram>>,
 }
 
 /// One cluster's work order: which classes, which deterministic seed, and
@@ -116,7 +123,18 @@ impl<'p> Engine<'p> {
             config,
             warm: VerdictCache::new(),
             jobs: std::sync::OnceLock::new(),
+            compiled: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The shared bytecode compilation of the program, built on first use.
+    ///
+    /// Cheap to clone (an `Arc`); every per-cluster oracle of every session
+    /// of this engine executes the same compiled code.
+    pub fn compiled_program(&self) -> Arc<CompiledProgram> {
+        self.compiled
+            .get_or_init(|| Arc::new(CompiledProgram::compile(self.program)))
+            .clone()
     }
 
     /// Seeds the engine with a verdict cache from a previous run: every
@@ -528,6 +546,7 @@ pub(crate) fn run_cluster_job(
         // Verdicts are keyed on the cluster's dependency-closure
         // fingerprint, so they survive edits outside the closure.
         fingerprint: Some(job.closure),
+        engine: config.engine,
         ..OracleConfig::default()
     };
     // Each cluster starts from its own copy of the session's warm cache:
@@ -539,6 +558,13 @@ pub(crate) fn run_cluster_job(
         oracle_config,
         warm.warm_clone(),
     );
+    // Oracles share the engine-wide compilation instead of each lowering
+    // the program themselves.  Engine choice cannot change verdicts (the
+    // engines are step-for-step equivalent), so this is purely a
+    // wall-clock concern — which is also why verdict-cache keys exclude it.
+    if config.engine == OracleEngine::Bytecode {
+        oracle.set_compiled_program(engine.compiled_program());
+    }
     let mut sampler_config = config.sampler.clone();
     // Decorrelate clusters while staying deterministic.
     sampler_config.seed = job.seed;

@@ -8,7 +8,9 @@
 
 use atlas_interp::ExecLimits;
 use atlas_ir::{ClassId, LibraryInterface, Program};
-use atlas_learn::{library_fingerprint, CacheStats, RpniConfig, SamplerConfig, SamplingStrategy};
+use atlas_learn::{
+    library_fingerprint, CacheStats, OracleEngine, RpniConfig, SamplerConfig, SamplingStrategy,
+};
 use atlas_spec::{CodeFragments, Fsa, PathSpec};
 use atlas_store::{SpecArtifact, SpecCluster};
 use atlas_synth::InitStrategy;
@@ -38,6 +40,11 @@ pub struct AtlasConfig {
     /// available core.  The thread count never changes the result, only the
     /// wall-clock (see [`crate::engine`]).
     pub num_threads: usize,
+    /// The oracle's execution engine.  Like the thread count, this can
+    /// never change the result — the engines are verdict-identical by
+    /// construction and verdict-cache keys exclude the engine — only the
+    /// wall-clock.  Defaults to the bytecode VM.
+    pub engine: OracleEngine,
 }
 
 impl Default for AtlasConfig {
@@ -51,6 +58,7 @@ impl Default for AtlasConfig {
             limits: ExecLimits::for_unit_tests(),
             clusters: Vec::new(),
             num_threads: 0,
+            engine: OracleEngine::default(),
         }
     }
 }

@@ -10,16 +10,39 @@ use crate::heap::Heap;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The signature of a builtin: receives the heap, the receiver and the
 /// argument values, returns the result value.
 pub type BuiltinFn = fn(&mut Heap, Option<Value>, &[Value]) -> Result<Value, ExecError>;
 
+/// Source of unique registry versions (see [`BuiltinRegistry::version`]).
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A registry of native-method implementations keyed by qualified
 /// `"Class.method"` name.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct BuiltinRegistry {
     by_name: HashMap<String, BuiltinFn>,
+    /// Identity of this registry's *contents*: freshly drawn on
+    /// construction and on every [`BuiltinRegistry::register`] call,
+    /// shared by clones (their contents are identical), and never reused
+    /// by a different content set.  Lets the VM cache name→fn resolutions
+    /// across executions and invalidate on any possible change.
+    version: u64,
+}
+
+impl Default for BuiltinRegistry {
+    fn default() -> BuiltinRegistry {
+        BuiltinRegistry {
+            by_name: HashMap::new(),
+            version: fresh_version(),
+        }
+    }
 }
 
 impl fmt::Debug for BuiltinRegistry {
@@ -54,6 +77,15 @@ impl BuiltinRegistry {
     /// Registers (or replaces) a builtin.
     pub fn register(&mut self, qualified_name: &str, f: BuiltinFn) {
         self.by_name.insert(qualified_name.to_string(), f);
+        self.version = fresh_version();
+    }
+
+    /// An identifier for this registry's contents: two registries with the
+    /// same version hold the same builtins (clones share it; mutation
+    /// draws a fresh one).  Used by the VM to key its resolved-builtin
+    /// cache.
+    pub(crate) fn version(&self) -> u64 {
+        self.version
     }
 
     /// Looks up a builtin by qualified name.

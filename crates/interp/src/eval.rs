@@ -2,7 +2,7 @@
 
 use crate::builtins::BuiltinRegistry;
 use crate::heap::Heap;
-use crate::limits::ExecLimits;
+use crate::limits::{ExecLimits, StepBudget};
 use crate::value::Value;
 use atlas_ir::{BinOp, Constant, MethodId, Program, Stmt, Var};
 use std::fmt;
@@ -68,15 +68,38 @@ enum Flow {
     Return(Value),
 }
 
-/// A concrete interpreter over a program.
+/// Blackbox access to a library implementation: allocate raw objects and
+/// call methods.  Implemented by both execution engines — the
+/// tree-walking [`Interpreter`] and the bytecode [`crate::Vm`] — so
+/// callers that drive executions (witness tests, differential harnesses)
+/// are engine-agnostic.
+pub trait Executor {
+    /// Allocates a raw object of `class` without running a constructor.
+    fn alloc_object(&mut self, class: atlas_ir::ClassId) -> crate::heap::ObjRef;
+
+    /// Executes a method call with the given receiver and arguments.
+    fn call_method(
+        &mut self,
+        method: MethodId,
+        recv: Option<Value>,
+        args: &[Value],
+    ) -> Result<Value, ExecError>;
+
+    /// Number of statements charged against the step budget so far.
+    fn steps(&self) -> usize;
+}
+
+/// A tree-walking concrete interpreter over a program.
+///
+/// This is the reference engine: the bytecode VM ([`crate::Vm`]) must
+/// match it bit for bit on outcomes, step counts, and limit errors, and
+/// the differential tests in `tests/vm_equivalence.rs` hold it to that.
 #[derive(Debug)]
 pub struct Interpreter<'p> {
     program: &'p Program,
     builtins: BuiltinRegistry,
-    limits: ExecLimits,
     heap: Heap,
-    steps: usize,
-    depth: usize,
+    budget: StepBudget,
 }
 
 impl<'p> Interpreter<'p> {
@@ -98,10 +121,8 @@ impl<'p> Interpreter<'p> {
         Interpreter {
             program,
             builtins,
-            limits,
             heap: Heap::new(),
-            steps: 0,
-            depth: 0,
+            budget: StepBudget::new(limits),
         }
     }
 
@@ -119,7 +140,7 @@ impl<'p> Interpreter<'p> {
 
     /// Number of statements executed so far.
     pub fn steps(&self) -> usize {
-        self.steps
+        self.budget.steps()
     }
 
     /// Executes a static entry method with no arguments and returns its
@@ -139,9 +160,7 @@ impl<'p> Interpreter<'p> {
         recv: Option<Value>,
         args: &[Value],
     ) -> Result<Value, ExecError> {
-        if self.depth >= self.limits.max_call_depth {
-            return Err(ExecError::LimitExceeded("call depth"));
-        }
+        self.budget.check_depth()?;
         let m = self.program.method(method);
         if m.is_native() {
             let name = self.program.qualified_name(method);
@@ -163,10 +182,10 @@ impl<'p> Interpreter<'p> {
             let v = args.get(i).cloned().unwrap_or(Value::Null);
             locals[m.param_var(i).index() as usize] = v;
         }
-        self.depth += 1;
+        self.budget.push_frame();
         let body: Vec<Stmt> = m.body().to_vec();
         let result = self.exec_block(&body, &mut locals, method);
-        self.depth -= 1;
+        self.budget.pop_frame();
         match result? {
             Flow::Return(v) => Ok(v),
             Flow::Normal => Ok(Value::Void),
@@ -189,14 +208,7 @@ impl<'p> Interpreter<'p> {
     }
 
     fn tick(&mut self) -> Result<(), ExecError> {
-        self.steps += 1;
-        if self.steps > self.limits.max_steps {
-            return Err(ExecError::LimitExceeded("steps"));
-        }
-        if self.heap.len() > self.limits.max_heap_objects {
-            return Err(ExecError::LimitExceeded("heap"));
-        }
-        Ok(())
+        self.budget.tick(self.heap.len())
     }
 
     fn exec_block(
@@ -321,7 +333,7 @@ impl<'p> Interpreter<'p> {
                 self.write(locals, *dst, v);
             }
             Stmt::Bin { dst, op, a, b } => {
-                let v = self.eval_bin(*op, self.read(locals, *a), self.read(locals, *b))?;
+                let v = eval_bin(*op, self.read(locals, *a), self.read(locals, *b))?;
                 self.write(locals, *dst, v);
             }
             Stmt::RefEq { dst, a, b } => {
@@ -378,51 +390,72 @@ impl<'p> Interpreter<'p> {
         }
         Ok(Flow::Normal)
     }
+}
 
-    fn eval_bin(&self, op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
-        use BinOp::*;
-        match op {
-            And | Or => {
-                let (x, y) = (
-                    a.as_bool()
-                        .ok_or_else(|| ExecError::TypeError("boolean expected".into()))?,
-                    b.as_bool()
-                        .ok_or_else(|| ExecError::TypeError("boolean expected".into()))?,
-                );
-                Ok(Value::Bool(if op == And { x && y } else { x || y }))
-            }
-            _ => {
-                let (x, y) = (
-                    a.as_int()
-                        .ok_or_else(|| ExecError::TypeError("int expected".into()))?,
-                    b.as_int()
-                        .ok_or_else(|| ExecError::TypeError("int expected".into()))?,
-                );
-                Ok(match op {
-                    Add => Value::Int(x.wrapping_add(y)),
-                    Sub => Value::Int(x.wrapping_sub(y)),
-                    Mul => Value::Int(x.wrapping_mul(y)),
-                    Div => {
-                        if y == 0 {
-                            return Err(ExecError::DivideByZero);
-                        }
-                        Value::Int(x / y)
+impl Executor for Interpreter<'_> {
+    fn alloc_object(&mut self, class: atlas_ir::ClassId) -> crate::heap::ObjRef {
+        Interpreter::alloc_object(self, class)
+    }
+
+    fn call_method(
+        &mut self,
+        method: MethodId,
+        recv: Option<Value>,
+        args: &[Value],
+    ) -> Result<Value, ExecError> {
+        Interpreter::call_method(self, method, recv, args)
+    }
+
+    fn steps(&self) -> usize {
+        Interpreter::steps(self)
+    }
+}
+
+/// Evaluates a binary operator — the one semantics shared verbatim by the
+/// tree-walker and the bytecode VM.
+pub(crate) fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
+    use BinOp::*;
+    match op {
+        And | Or => {
+            let (x, y) = (
+                a.as_bool()
+                    .ok_or_else(|| ExecError::TypeError("boolean expected".into()))?,
+                b.as_bool()
+                    .ok_or_else(|| ExecError::TypeError("boolean expected".into()))?,
+            );
+            Ok(Value::Bool(if op == And { x && y } else { x || y }))
+        }
+        _ => {
+            let (x, y) = (
+                a.as_int()
+                    .ok_or_else(|| ExecError::TypeError("int expected".into()))?,
+                b.as_int()
+                    .ok_or_else(|| ExecError::TypeError("int expected".into()))?,
+            );
+            Ok(match op {
+                Add => Value::Int(x.wrapping_add(y)),
+                Sub => Value::Int(x.wrapping_sub(y)),
+                Mul => Value::Int(x.wrapping_mul(y)),
+                Div => {
+                    if y == 0 {
+                        return Err(ExecError::DivideByZero);
                     }
-                    Rem => {
-                        if y == 0 {
-                            return Err(ExecError::DivideByZero);
-                        }
-                        Value::Int(x % y)
+                    Value::Int(x / y)
+                }
+                Rem => {
+                    if y == 0 {
+                        return Err(ExecError::DivideByZero);
                     }
-                    Lt => Value::Bool(x < y),
-                    Le => Value::Bool(x <= y),
-                    Gt => Value::Bool(x > y),
-                    Ge => Value::Bool(x >= y),
-                    EqInt => Value::Bool(x == y),
-                    NeInt => Value::Bool(x != y),
-                    And | Or => unreachable!("handled above"),
-                })
-            }
+                    Value::Int(x % y)
+                }
+                Lt => Value::Bool(x < y),
+                Le => Value::Bool(x <= y),
+                Gt => Value::Bool(x > y),
+                Ge => Value::Bool(x >= y),
+                EqInt => Value::Bool(x == y),
+                NeInt => Value::Bool(x != y),
+                And | Or => unreachable!("handled above"),
+            })
         }
     }
 }

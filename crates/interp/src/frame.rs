@@ -1,0 +1,150 @@
+//! Contiguous call frames for the bytecode VM.
+//!
+//! All registers of all live frames share one `Vec<Value>`; a frame is a
+//! window `[base, base + num_regs)` into it, plus a record of where to
+//! resume the caller.  Pushing a frame writes the receiver and parameter
+//! slots and extends the stack with `null`-initialized slots for the
+//! rest, popping truncates it back — no per-call allocation once the
+//! stack has reached its high-water mark.
+
+use crate::compile::Reg;
+use crate::value::Value;
+use atlas_ir::MethodId;
+
+/// One call-frame record: the method executing, its register window, and
+/// the caller's resume point.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The method this frame executes.
+    pub(crate) method: MethodId,
+    /// Start of this frame's register window in the shared stack.
+    pub(crate) base: usize,
+    /// Instruction index in the *caller* to resume at after return.
+    pub(crate) ret_ip: usize,
+    /// Caller register receiving the return value, if bound.
+    pub(crate) dst: Option<Reg>,
+}
+
+/// The shared register stack and the stack of frame records.
+#[derive(Debug, Clone, Default)]
+pub struct FrameStack {
+    pub(crate) regs: Vec<Value>,
+    pub(crate) frames: Vec<Frame>,
+}
+
+impl FrameStack {
+    /// Creates an empty stack.
+    pub fn new() -> FrameStack {
+        FrameStack::default()
+    }
+
+    /// Number of live frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Pushes a frame whose leading registers are the receiver (if any)
+    /// followed by up to `num_params` arguments, with the remaining
+    /// registers null-initialized — every slot of the new window is
+    /// written exactly once.  Returns the window base.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push_with_args(
+        &mut self,
+        method: MethodId,
+        num_regs: u32,
+        ret_ip: usize,
+        dst: Option<Reg>,
+        recv: Option<Value>,
+        args: &[Value],
+        num_params: usize,
+    ) -> usize {
+        let base = self.regs.len();
+        if let Some(v) = recv {
+            self.regs.push(v);
+        }
+        for v in args.iter().take(num_params) {
+            self.regs.push(v.clone());
+        }
+        self.regs.resize(base + num_regs as usize, Value::Null);
+        self.frames.push(Frame {
+            method,
+            base,
+            ret_ip,
+            dst,
+        });
+        base
+    }
+
+    /// Pops the top frame, truncating its register window away.
+    pub(crate) fn pop(&mut self) -> Frame {
+        let frame = self.frames.pop().expect("pop on an empty frame stack");
+        self.regs.truncate(frame.base);
+        frame
+    }
+
+    /// Drops every frame and register, keeping the allocated capacity so a
+    /// reused stack reaches its high-water mark once and never again.
+    pub(crate) fn clear(&mut self) {
+        self.regs.clear();
+        self.frames.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_nest_and_unwind() {
+        let mut s = FrameStack::new();
+        assert_eq!(s.depth(), 0);
+        let m = MethodId::from_index(0);
+        let b0 = s.push_with_args(m, 2, 0, None, None, &[], 0);
+        assert_eq!(b0, 0);
+        s.regs[b0] = Value::Int(1);
+        let b1 = s.push_with_args(m, 3, 7, Some(1), None, &[], 0);
+        assert_eq!(b1, 2);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.regs.len(), 5);
+        // Callee registers start null; caller registers are untouched.
+        assert_eq!(s.regs[b1], Value::Null);
+        assert_eq!(s.regs[b0], Value::Int(1));
+        s.regs[b1] = Value::Int(9);
+        let f = s.pop();
+        assert_eq!(f.ret_ip, 7);
+        assert_eq!(f.dst, Some(1));
+        assert_eq!(s.regs.len(), 2);
+        assert_eq!(s.pop().base, 0);
+        assert!(s.regs.is_empty());
+        assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn parameters_fill_leading_registers() {
+        let mut s = FrameStack::new();
+        let m = MethodId::from_index(0);
+        // Receiver + 2 of 2 params + 2 locals, extra args ignored.
+        let b = s.push_with_args(
+            m,
+            5,
+            0,
+            None,
+            Some(Value::Int(7)),
+            &[Value::Int(1), Value::Int(2), Value::Int(99)],
+            2,
+        );
+        assert_eq!(
+            s.regs[b..],
+            [
+                Value::Int(7),
+                Value::Int(1),
+                Value::Int(2),
+                Value::Null,
+                Value::Null
+            ]
+        );
+        // Missing trailing arguments stay null.
+        let b2 = s.push_with_args(m, 3, 0, None, None, &[Value::Bool(true)], 2);
+        assert_eq!(s.regs[b2..], [Value::Bool(true), Value::Null, Value::Null]);
+    }
+}

@@ -9,17 +9,34 @@
 //! modeled library implementation, with a real heap, real arrays, and
 //! builtin implementations of "native" methods such as `System.arraycopy`.
 //!
-//! Execution is bounded by a configurable step budget so that the oracle
-//! never diverges on an ill-formed candidate.
+//! Two engines implement the same [`Executor`] semantics:
+//!
+//! * [`Interpreter`] — the tree-walking reference engine, which executes
+//!   [`atlas_ir::Stmt`] bodies directly; and
+//! * [`Vm`] — the oracle fast path, which executes flat bytecode produced
+//!   by [`CompiledProgram::compile`] with register frames and an
+//!   arena-backed heap.
+//!
+//! The engines are interchangeable bit for bit: same outcomes, same step
+//! counts, same errors.  Both charge the shared [`StepBudget`], so an
+//! execution is bounded by the same [`ExecLimits`] regardless of engine
+//! and the oracle never diverges on an ill-formed candidate.
+
+#![warn(missing_docs)]
 
 pub mod builtins;
+pub mod compile;
 pub mod eval;
+pub mod frame;
 pub mod heap;
 pub mod limits;
 pub mod value;
+pub mod vm;
 
 pub use builtins::BuiltinRegistry;
-pub use eval::{ExecError, ExecOutcome, Interpreter};
-pub use heap::{Heap, HeapObject, ObjRef};
-pub use limits::ExecLimits;
+pub use compile::{CompiledMethod, CompiledProgram, Instr};
+pub use eval::{ExecError, ExecOutcome, Executor, Interpreter};
+pub use heap::{Heap, ObjRef};
+pub use limits::{ExecLimits, StepBudget};
 pub use value::Value;
+pub use vm::{Vm, VmScratch};

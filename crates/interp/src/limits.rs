@@ -1,4 +1,7 @@
-//! Execution limits for the interpreter.
+//! Execution limits for the interpreter, and the shared [`StepBudget`]
+//! that enforces them identically in every engine.
+
+use crate::eval::ExecError;
 
 /// Bounds on a single execution, protecting the oracle against divergence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +35,80 @@ impl ExecLimits {
     }
 }
 
+/// The step / depth / heap accountant shared by the tree-walking
+/// interpreter and the bytecode VM.
+///
+/// Both engines route every statement through [`StepBudget::tick`] and
+/// every call through [`StepBudget::check_depth`] /
+/// [`StepBudget::push_frame`] / [`StepBudget::pop_frame`], so the two
+/// engines cannot drift in their accounting: a budget exhausts at the same
+/// statement (and reports the same [`ExecError::LimitExceeded`] kind)
+/// regardless of which engine is executing.
+#[derive(Debug, Clone)]
+pub struct StepBudget {
+    limits: ExecLimits,
+    steps: usize,
+    depth: usize,
+}
+
+impl StepBudget {
+    /// Creates a fresh budget over the given limits.
+    pub fn new(limits: ExecLimits) -> StepBudget {
+        StepBudget {
+            limits,
+            steps: 0,
+            depth: 0,
+        }
+    }
+
+    /// The limits this budget enforces.
+    pub fn limits(&self) -> ExecLimits {
+        self.limits
+    }
+
+    /// Number of statements charged so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Current call depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Charges one statement and checks the step and heap ceilings, in
+    /// that order (`heap_len` is the current number of allocated objects).
+    pub fn tick(&mut self, heap_len: usize) -> Result<(), ExecError> {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            return Err(ExecError::LimitExceeded("steps"));
+        }
+        if heap_len > self.limits.max_heap_objects {
+            return Err(ExecError::LimitExceeded("heap"));
+        }
+        Ok(())
+    }
+
+    /// Checks the call-depth ceiling *before* a call is entered (native
+    /// dispatch included, matching the tree-walker's historical order).
+    pub fn check_depth(&self) -> Result<(), ExecError> {
+        if self.depth >= self.limits.max_call_depth {
+            return Err(ExecError::LimitExceeded("call depth"));
+        }
+        Ok(())
+    }
+
+    /// Records entry into a non-native method body.
+    pub fn push_frame(&mut self) {
+        self.depth += 1;
+    }
+
+    /// Records exit from a non-native method body (normal or unwinding).
+    pub fn pop_frame(&mut self) {
+        self.depth -= 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -42,5 +119,46 @@ mod tests {
         assert!(d.max_steps > 0 && d.max_call_depth > 0 && d.max_heap_objects > 0);
         let u = ExecLimits::for_unit_tests();
         assert!(u.max_steps < d.max_steps);
+    }
+
+    #[test]
+    fn budget_exhausts_after_max_steps() {
+        let mut b = StepBudget::new(ExecLimits {
+            max_steps: 3,
+            max_call_depth: 2,
+            max_heap_objects: 1,
+        });
+        assert!(b.tick(0).is_ok());
+        assert!(b.tick(0).is_ok());
+        assert!(b.tick(0).is_ok());
+        assert_eq!(b.tick(0), Err(ExecError::LimitExceeded("steps")));
+        assert_eq!(b.steps(), 4);
+    }
+
+    #[test]
+    fn heap_ceiling_is_checked_after_steps() {
+        let mut b = StepBudget::new(ExecLimits {
+            max_steps: 10,
+            max_call_depth: 2,
+            max_heap_objects: 1,
+        });
+        assert!(b.tick(1).is_ok());
+        assert_eq!(b.tick(2), Err(ExecError::LimitExceeded("heap")));
+    }
+
+    #[test]
+    fn depth_tracks_frames() {
+        let mut b = StepBudget::new(ExecLimits {
+            max_steps: 10,
+            max_call_depth: 1,
+            max_heap_objects: 10,
+        });
+        assert!(b.check_depth().is_ok());
+        b.push_frame();
+        assert_eq!(b.depth(), 1);
+        assert_eq!(b.check_depth(), Err(ExecError::LimitExceeded("call depth")));
+        b.pop_frame();
+        assert!(b.check_depth().is_ok());
+        assert_eq!(b.limits().max_call_depth, 1);
     }
 }

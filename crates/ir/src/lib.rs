@@ -67,7 +67,7 @@ pub use interface::{LibraryInterface, MethodSig, ParamSlot, SlotKind};
 pub use method::{Method, Var, VarData};
 pub use mutate::{MutationKind, MutationOutcome};
 pub use program::{ClassId, FieldId, MethodId, Program};
-pub use stmt::{AllocSite, BinOp, Constant, Stmt};
+pub use stmt::{visit_block, AllocSite, BinOp, Constant, Stmt};
 pub use types::Type;
 
 #[cfg(test)]

@@ -29,6 +29,6 @@ pub mod sample;
 pub use cache::{
     context_of, library_fingerprint, CacheKeyer, CacheStats, VerdictCache, VerdictKey,
 };
-pub use oracle::{Oracle, OracleConfig, OracleStats};
+pub use oracle::{Oracle, OracleConfig, OracleEngine, OracleStats};
 pub use rpni::{infer_fsa, RpniConfig, RpniResult};
 pub use sample::{sample_positive_examples, SampleResult, SamplerConfig, SamplingStrategy};

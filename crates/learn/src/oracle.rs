@@ -2,10 +2,51 @@
 //! potential witness and executing it against the blackbox library.
 
 use crate::cache::{CacheKeyer, CacheStats, VerdictCache};
-use atlas_interp::{ExecLimits, Interpreter};
+use atlas_interp::{BuiltinRegistry, CompiledProgram, ExecLimits, Interpreter, Vm, VmScratch};
 use atlas_ir::{LibraryInterface, ParamSlot, Program};
 use atlas_spec::PathSpec;
-use atlas_synth::{synthesize_witness, InitStrategy, InstantiationPlanner, WitnessTest};
+use atlas_synth::{
+    synthesize_witness, InitStrategy, InstantiationPlanner, WitnessScratch, WitnessTest,
+};
+use std::sync::Arc;
+
+/// Which execution engine the oracle runs synthesized unit tests on.
+///
+/// The engines are interchangeable by construction — identical verdicts,
+/// step counts, and errors (`tests/vm_equivalence.rs`) — so the choice is
+/// *deliberately excluded* from verdict-cache keys: a cache populated
+/// under one engine warm-starts an oracle running the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleEngine {
+    /// The bytecode VM ([`atlas_interp::Vm`]): method bodies compiled
+    /// once per library, register frames, arena heap.  The default.
+    #[default]
+    Bytecode,
+    /// The tree-walking reference interpreter
+    /// ([`atlas_interp::Interpreter`]), kept as the differential-testing
+    /// baseline.
+    TreeWalk,
+}
+
+impl OracleEngine {
+    /// Parses the names used by bench CLI flags and env knobs.
+    pub fn parse(s: &str) -> Option<OracleEngine> {
+        match s {
+            "bytecode" | "vm" => Some(OracleEngine::Bytecode),
+            "tree-walk" | "treewalk" | "tree" => Some(OracleEngine::TreeWalk),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OracleEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleEngine::Bytecode => write!(f, "bytecode"),
+            OracleEngine::TreeWalk => write!(f, "tree-walk"),
+        }
+    }
+}
 
 /// Configuration of the oracle.
 #[derive(Debug, Clone)]
@@ -23,6 +64,9 @@ pub struct OracleConfig {
     /// (`atlas_ir::DepGraph::closure_fingerprint`) so verdicts survive
     /// edits outside the closure.
     pub fingerprint: Option<u64>,
+    /// The execution engine for witness tests.  Not part of cache keys:
+    /// engines cannot change verdicts.
+    pub engine: OracleEngine,
 }
 
 impl Default for OracleConfig {
@@ -32,6 +76,7 @@ impl Default for OracleConfig {
             limits: ExecLimits::for_unit_tests(),
             memoize: true,
             fingerprint: None,
+            engine: OracleEngine::default(),
         }
     }
 }
@@ -76,6 +121,19 @@ pub struct Oracle<'p> {
     keyer: CacheKeyer,
     cache: VerdictCache,
     stats: OracleStats,
+    /// One registry for the oracle's lifetime (the tree-walker clones it
+    /// per witness; the VM borrows it).
+    builtins: BuiltinRegistry,
+    /// The bytecode image, compiled lazily on first use — or injected
+    /// up front with [`Oracle::set_compiled_program`] so a whole session
+    /// compiles the library exactly once.
+    compiled: Option<Arc<CompiledProgram>>,
+    /// Recycled VM buffers (arena heap, register stack): cleared between
+    /// unit tests, so steady-state bytecode execution allocates nothing.
+    scratch: VmScratch,
+    /// Recycled witness-execution buffers (variable environment, argument
+    /// staging), shared by both engines.
+    witness_scratch: WitnessScratch,
 }
 
 impl<'p> Oracle<'p> {
@@ -118,7 +176,20 @@ impl<'p> Oracle<'p> {
             keyer,
             cache,
             stats: OracleStats::default(),
+            builtins: BuiltinRegistry::with_defaults(),
+            compiled: None,
+            scratch: VmScratch::default(),
+            witness_scratch: WitnessScratch::default(),
         }
+    }
+
+    /// Injects a pre-built bytecode image, so callers that run many
+    /// oracles over the same library (the engine's cluster jobs, the
+    /// bench harness) compile it exactly once and share the result
+    /// across threads.  Without this, the oracle compiles lazily on its
+    /// first bytecode execution.
+    pub fn set_compiled_program(&mut self, compiled: Arc<CompiledProgram>) {
+        self.compiled = Some(compiled);
     }
 
     /// The accumulated statistics.
@@ -224,12 +295,32 @@ impl<'p> Oracle<'p> {
         ) else {
             return false;
         };
-        let mut interp = Interpreter::with_config(
-            self.program,
-            atlas_interp::BuiltinRegistry::with_defaults(),
-            self.config.limits,
-        );
-        witness.execute(self.program, &mut interp).unwrap_or(false)
+        match self.config.engine {
+            OracleEngine::Bytecode => {
+                let compiled = self
+                    .compiled
+                    .get_or_insert_with(|| Arc::new(CompiledProgram::compile(self.program)))
+                    .clone();
+                let scratch = std::mem::take(&mut self.scratch);
+                let mut vm =
+                    Vm::with_scratch(&compiled, &self.builtins, self.config.limits, scratch);
+                let verdict = witness
+                    .execute_with(self.program, &mut vm, &mut self.witness_scratch)
+                    .unwrap_or(false);
+                self.scratch = vm.into_scratch();
+                verdict
+            }
+            OracleEngine::TreeWalk => {
+                let mut interp = Interpreter::with_config(
+                    self.program,
+                    self.builtins.clone(),
+                    self.config.limits,
+                );
+                witness
+                    .execute_with(self.program, &mut interp, &mut self.witness_scratch)
+                    .unwrap_or(false)
+            }
+        }
     }
 }
 

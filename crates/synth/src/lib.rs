@@ -32,4 +32,4 @@ pub mod witness;
 
 pub use instantiate::InstantiationPlanner;
 pub use synthesize::{synthesize_witness, InitStrategy, SynthesisError};
-pub use witness::{TestArg, TestOp, TestVar, WitnessTest};
+pub use witness::{TestArg, TestOp, TestVar, WitnessScratch, WitnessTest};

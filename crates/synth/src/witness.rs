@@ -1,6 +1,6 @@
 //! The synthesized unit test (potential witness) and its executor.
 
-use atlas_interp::{ExecError, Interpreter, Value};
+use atlas_interp::{ExecError, Executor, Value};
 use atlas_ir::{ClassId, MethodId, Program};
 use atlas_spec::PathSpec;
 use std::fmt::Write as _;
@@ -47,6 +47,20 @@ pub enum TestOp {
     },
 }
 
+/// Reusable buffers for witness execution: the variable environment and
+/// the call-argument staging area.
+///
+/// The oracle executes millions of witnesses back to back; threading one
+/// `WitnessScratch` through [`WitnessTest::execute_with`] keeps the
+/// marshalling path allocation-free in the steady state.  The buffers are
+/// cleared between tests, so reuse can never leak values from one test
+/// into the next.
+#[derive(Debug, Default)]
+pub struct WitnessScratch {
+    env: Vec<Value>,
+    args: Vec<Value>,
+}
+
 /// A synthesized potential witness for a candidate path specification.
 #[derive(Debug, Clone)]
 pub struct WitnessTest {
@@ -71,13 +85,33 @@ impl WitnessTest {
     /// at the end), `Ok(false)` if it returns a different object, and
     /// `Err(_)` if execution raises an exception or exhausts its budget —
     /// both of which the oracle treats as a failing witness.
-    pub fn execute(
+    ///
+    /// Generic over the execution engine: the tree-walking
+    /// [`atlas_interp::Interpreter`] and the bytecode [`atlas_interp::Vm`]
+    /// both implement [`Executor`] and must agree on the result.
+    pub fn execute<E: Executor>(
         &self,
         program: &Program,
-        interp: &mut Interpreter<'_>,
+        interp: &mut E,
+    ) -> Result<bool, ExecError> {
+        self.execute_with(program, interp, &mut WitnessScratch::default())
+    }
+
+    /// [`WitnessTest::execute`] with caller-provided buffers, for hot
+    /// loops (the oracle) that run many tests back to back: the variable
+    /// environment and argument staging area are recycled instead of
+    /// allocated per test.
+    pub fn execute_with<E: Executor>(
+        &self,
+        program: &Program,
+        interp: &mut E,
+        scratch: &mut WitnessScratch,
     ) -> Result<bool, ExecError> {
         let max_var = self.max_var();
-        let mut env: Vec<Value> = vec![Value::Null; max_var as usize + 1];
+        let env = &mut scratch.env;
+        env.clear();
+        env.resize(max_var as usize + 1, Value::Null);
+        let arg_vals = &mut scratch.args;
         for op in &self.ops {
             match op {
                 TestOp::Alloc { dst, class } => {
@@ -93,8 +127,9 @@ impl WitnessTest {
                     args,
                 } => {
                     let recv_val = recv.map(|r| env[r.0 as usize].clone());
-                    let arg_vals: Vec<Value> = args.iter().map(|a| arg_value(a, &env)).collect();
-                    let result = interp.call_method(*method, recv_val, &arg_vals)?;
+                    arg_vals.clear();
+                    arg_vals.extend(args.iter().map(|a| arg_value(a, env)));
+                    let result = interp.call_method(*method, recv_val, arg_vals)?;
                     if let Some(d) = dst {
                         env[d.0 as usize] = result;
                     }
@@ -195,9 +230,9 @@ fn arg_value(arg: &TestArg, env: &[Value]) -> Value {
     }
 }
 
-/// Allocates a raw object on the interpreter heap without running any
+/// Allocates a raw object on the engine's heap without running any
 /// constructor.  Exposed through a tiny shim method-free path: we simply use
-/// the interpreter's public heap access by allocating through a helper.
-fn alloc_raw(interp: &mut Interpreter<'_>, class: ClassId) -> atlas_interp::ObjRef {
+/// the engine's public heap access by allocating through a helper.
+fn alloc_raw<E: Executor>(interp: &mut E, class: ClassId) -> atlas_interp::ObjRef {
     interp.alloc_object(class)
 }
