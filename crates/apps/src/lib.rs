@@ -17,11 +17,13 @@
 pub mod generator;
 pub mod mutate;
 pub mod patterns;
+pub mod registry;
 pub mod synthlib;
 
 pub use generator::{generate_app, generate_app_with, generate_suite, AppConfig, GeneratedApp};
 pub use mutate::{mutate_library, MutatedLibrary, MutationConfig, MutationError};
 pub use patterns::PatternKind;
+pub use registry::{build_library, registry_names, RegistryError, RegistryLibrary};
 pub use synthlib::{
     generate_library, AliasingMix, AliasingPattern, SynthLibConfig, SyntheticLibrary,
 };

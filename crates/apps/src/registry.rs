@@ -1,0 +1,162 @@
+//! The library registry: every library the tooling can build by name.
+//!
+//! The registry unifies the two library sources —
+//!
+//! * the handwritten `atlas-javalib` variants (module subsets with their
+//!   own clusters and ground-truth corpora), and
+//! * the deterministic synthetic libraries from [`crate::synthlib`],
+//!   parameterized by a seed so a population can be re-drawn without
+//!   touching code —
+//!
+//! behind one [`build_library`] call.  The fleet pipeline, the
+//! incremental bench leg, and the resident service (`atlas-serve`) all
+//! resolve their library configuration through this module, so a registry
+//! name means the same program content everywhere.
+
+use crate::synthlib::{generate_library, AliasingMix, SynthLibConfig};
+use atlas_ir::{ClassId, MethodId, Program, Stmt};
+use atlas_javalib::{variant_named, VARIANTS};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One registered library, built and ready for inference.
+#[derive(Debug)]
+pub struct RegistryLibrary {
+    /// Registry name.
+    pub name: String,
+    /// The library program.
+    pub program: Program,
+    /// Resolved inference clusters.
+    pub clusters: Vec<Vec<ClassId>>,
+    /// Reference corpus for precision/recall scoring.
+    pub ground_truth: BTreeMap<MethodId, Vec<Stmt>>,
+}
+
+/// An error raised when a registry name resolves to nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The requested name is not in the registry.
+    UnknownLibrary(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownLibrary(name) => write!(
+                f,
+                "unknown library '{name}' (registered: {})",
+                registry_names().join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The synthetic members of the registry, parameterized by the fleet seed
+/// so a fleet can be re-drawn without touching code.
+fn synth_config(name: &str, seed: u64) -> Option<SynthLibConfig> {
+    let base = SynthLibConfig {
+        name: name.to_string(),
+        seed,
+        ..SynthLibConfig::default()
+    };
+    match name {
+        "synth-small" => Some(SynthLibConfig {
+            classes: 3,
+            min_fields: 1,
+            max_fields: 1,
+            ..base
+        }),
+        "synth-aliasing" => Some(SynthLibConfig {
+            classes: 4,
+            min_fields: 1,
+            max_fields: 2,
+            mix: AliasingMix {
+                direct: 2,
+                chained: 3,
+                transfer: 3,
+                passthrough: 1,
+            },
+            seed: seed.wrapping_add(1),
+            ..base
+        }),
+        "synth-wide" => Some(SynthLibConfig {
+            classes: 6,
+            min_fields: 1,
+            max_fields: 3,
+            body_spread: 3,
+            seed: seed.wrapping_add(2),
+            ..base
+        }),
+        _ => None,
+    }
+}
+
+/// Names of the synthetic registry members.
+const SYNTH_NAMES: &[&str] = &["synth-small", "synth-aliasing", "synth-wide"];
+
+/// Every library name the registry knows: the `atlas-javalib` variants
+/// followed by the synthetic libraries.
+pub fn registry_names() -> Vec<&'static str> {
+    VARIANTS
+        .iter()
+        .map(|v| v.name)
+        .chain(SYNTH_NAMES.iter().copied())
+        .collect()
+}
+
+/// Builds one registered library by name.
+///
+/// # Errors
+/// Returns [`RegistryError::UnknownLibrary`] for a name outside the
+/// registry.
+pub fn build_library(name: &str, synth_seed: u64) -> Result<RegistryLibrary, RegistryError> {
+    if let Some(variant) = variant_named(name) {
+        let program = variant.build_program();
+        let clusters = variant.cluster_ids(&program);
+        let ground_truth = variant.ground_truth(&program);
+        return Ok(RegistryLibrary {
+            name: name.to_string(),
+            program,
+            clusters,
+            ground_truth,
+        });
+    }
+    if let Some(synth) = synth_config(name, synth_seed) {
+        let lib = generate_library(&synth);
+        return Ok(RegistryLibrary {
+            name: lib.name,
+            program: lib.program,
+            clusters: lib.clusters,
+            ground_truth: lib.ground_truth,
+        });
+    }
+    Err(RegistryError::UnknownLibrary(name.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_builds_with_clusters_and_ground_truth() {
+        let names = registry_names();
+        assert!(names.len() >= 7, "{names:?}");
+        for name in &names {
+            let lib = build_library(name, 7).expect(name);
+            assert_eq!(&lib.name, name);
+            assert!(!lib.clusters.is_empty(), "{name} has no clusters");
+            assert!(!lib.ground_truth.is_empty(), "{name} has no ground truth");
+        }
+    }
+
+    #[test]
+    fn unknown_names_error_with_the_full_roster() {
+        let err = build_library("no-such-library", 7).unwrap_err();
+        assert!(matches!(err, RegistryError::UnknownLibrary(_)));
+        let message = err.to_string();
+        assert!(message.contains("synth-small"), "{message}");
+        assert!(message.contains("javalib"), "{message}");
+    }
+}

@@ -13,6 +13,12 @@
 //! | `ATLAS_FLEET_SEED` | base seed of the synthetic fleet libraries | `0x5EED` |
 //! | `ATLAS_FLEET_LIBS` | comma-separated fleet library names | registry default |
 //! | `ATLAS_ENGINE` | oracle execution engine (`bytecode` / `tree-walk`) | `bytecode` |
+//! | `ATLAS_SERVE_EDITS` | serve-leg edit-stream length | 1000 |
+//!
+//! The resident-service daemon reads its own `ATLAS_SERVE_*` family
+//! (store root, shard budget, queue capacity, flush schedule, frame
+//! bound) in `atlas_serve::config`; the serve leg combines those with the
+//! shared budgets above.
 //!
 //! Malformed values fall back to the default rather than aborting — a CI
 //! matrix that exports an empty string must not change behavior.

@@ -34,13 +34,11 @@
 
 use crate::config;
 use crate::json::Json;
-use atlas_apps::{generate_library, AliasingMix, SynthLibConfig};
 use atlas_core::{
     compare_fragments, AtlasConfig, Engine, InferenceOutcome, PersistSummary, StoreError,
     ThreadBudget,
 };
-use atlas_ir::{ClassId, LibraryInterface, MethodId, Program, Stmt};
-use atlas_javalib::{variant_named, VARIANTS};
+use atlas_ir::{ClassId, LibraryInterface, MethodId, Stmt};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fmt::Write as _;
@@ -94,97 +92,27 @@ impl From<atlas_apps::MutationError> for FleetError {
     }
 }
 
-/// One library of the fleet, built and ready for inference.
-pub struct FleetLibrary {
-    /// Registry name.
-    pub name: String,
-    /// The library program.
-    pub program: Program,
-    /// Resolved inference clusters.
-    pub clusters: Vec<Vec<ClassId>>,
-    /// Reference corpus for precision/recall scoring.
-    pub ground_truth: BTreeMap<MethodId, Vec<Stmt>>,
-}
-
-/// The synthetic members of the registry, parameterized by the fleet seed
-/// so a fleet can be re-drawn without touching code.
-fn synth_config(name: &str, seed: u64) -> Option<SynthLibConfig> {
-    let base = SynthLibConfig {
-        name: name.to_string(),
-        seed,
-        ..SynthLibConfig::default()
-    };
-    match name {
-        "synth-small" => Some(SynthLibConfig {
-            classes: 3,
-            min_fields: 1,
-            max_fields: 1,
-            ..base
-        }),
-        "synth-aliasing" => Some(SynthLibConfig {
-            classes: 4,
-            min_fields: 1,
-            max_fields: 2,
-            mix: AliasingMix {
-                direct: 2,
-                chained: 3,
-                transfer: 3,
-                passthrough: 1,
-            },
-            seed: seed.wrapping_add(1),
-            ..base
-        }),
-        "synth-wide" => Some(SynthLibConfig {
-            classes: 6,
-            min_fields: 1,
-            max_fields: 3,
-            body_spread: 3,
-            seed: seed.wrapping_add(2),
-            ..base
-        }),
-        _ => None,
+impl From<atlas_apps::RegistryError> for FleetError {
+    fn from(e: atlas_apps::RegistryError) -> FleetError {
+        match e {
+            atlas_apps::RegistryError::UnknownLibrary(name) => FleetError::UnknownLibrary(name),
+        }
     }
 }
 
-/// Names of the synthetic registry members.
-const SYNTH_NAMES: &[&str] = &["synth-small", "synth-aliasing", "synth-wide"];
+/// One library of the fleet, built and ready for inference.  The registry
+/// itself now lives in `atlas_apps::registry` (shared with `atlas-serve`);
+/// this is its library type under the historical fleet name.
+pub type FleetLibrary = atlas_apps::RegistryLibrary;
 
-/// Every library name the fleet registry knows: the `atlas-javalib`
-/// variants followed by the synthetic libraries.
-pub fn registry_names() -> Vec<&'static str> {
-    VARIANTS
-        .iter()
-        .map(|v| v.name)
-        .chain(SYNTH_NAMES.iter().copied())
-        .collect()
-}
+pub use atlas_apps::registry_names;
 
 /// Builds one registered library by name.
 ///
 /// # Errors
 /// Returns [`FleetError::UnknownLibrary`] for a name outside the registry.
 pub fn build_library(name: &str, synth_seed: u64) -> Result<FleetLibrary, FleetError> {
-    if let Some(variant) = variant_named(name) {
-        let program = variant.build_program();
-        let clusters = variant.cluster_ids(&program);
-        let ground_truth = variant.ground_truth(&program);
-        return Ok(FleetLibrary {
-            name: name.to_string(),
-            program,
-            clusters,
-            ground_truth,
-        });
-    }
-    if let Some(synth) = synth_config(name, synth_seed) {
-        let lib = generate_library(&synth);
-        return Ok(FleetLibrary {
-            name: lib.name,
-            program: lib.program,
-            clusters: lib.clusters,
-            ground_truth: lib.ground_truth,
-        });
-    }
-    Err(FleetError::UnknownLibrary(name.to_string()))
+    Ok(atlas_apps::build_library(name, synth_seed)?)
 }
 
 /// Configuration of a fleet run.

@@ -44,6 +44,15 @@
 //! versus the cold baseline (the `incr` binary; `--expect-incremental`
 //! gates the contract in CI).
 //!
+//! The [`serve`] module benchmarks the *resident* deployment mode: spawn
+//! an in-process `atlas-serve` daemon over a closure-sharded store,
+//! replay a long mutation-generator edit stream through its wire-level
+//! request queue, measure throughput and p50/p99 edit latency, and
+//! byte-compare the daemon's final specification artifact against a cold
+//! batch run over the equivalently edited program — one `atlas-serve/1`
+//! report (the `serve_bench` binary; `--expect-throughput` gates
+//! equivalence plus a minimum edit rate in CI).
+//!
 //! The [`oracle`] module measures the oracle's two execution engines —
 //! the bytecode VM against the tree-walking interpreter — on a
 //! deterministic witness workload, cross-checks that verdicts, step
@@ -63,6 +72,7 @@ pub mod fleet;
 pub mod incr;
 pub mod json;
 pub mod oracle;
+pub mod serve;
 mod storeleg;
 
 pub use batch::{run_batch, BatchConfig, BatchReport};
@@ -71,6 +81,7 @@ pub use fleet::{run_fleet, FleetConfig, FleetError, FleetReport};
 pub use incr::{run_incremental, IncrConfig, IncrReport};
 pub use json::Json;
 pub use oracle::{run_oracle_bench, OracleBenchConfig, OracleBenchReport};
+pub use serve::{run_serve_bench, ServeBenchConfig, ServeBenchReport};
 
 /// Emits a pipeline report from a report binary: the JSON goes to stdout
 /// first (the primary output — a bad file path must never lose the run),

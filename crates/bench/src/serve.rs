@@ -1,0 +1,400 @@
+//! The resident-service leg: replay a long mutation-generator edit stream
+//! against a warm `atlas-serve` daemon and measure what a resident engine
+//! buys over batch re-analysis — then prove it changed nothing.
+//!
+//! One [`run_serve_bench`] call:
+//!
+//! 1. spawns an in-process [`atlas_serve::Service`] (the same daemon the
+//!    `serve` binary runs behind stdio/socket frames) over a closure-sharded
+//!    store root; startup seeds the store cold or splices it warm;
+//! 2. streams `edits` deterministic mutations through the daemon, cycling
+//!    the generator kinds (`body-edit` / `rename-local` / `add-method` /
+//!    `signature-change`) with per-edit seeds, measuring client-side
+//!    latency per request; ineligible edits come back as structured
+//!    `bad-edit` errors and are skipped — identically — on both sides;
+//! 3. replays the *accepted* edits locally to reconstruct the final
+//!    library content, runs a cold batch `Engine` over it, and
+//!    byte-compares the daemon's final `specs` artifact against the cold
+//!    baseline — the service-equivalence invariant;
+//! 4. emits an `atlas-serve/1` JSON report: throughput, p50/p99/max
+//!    latency, cumulative re-execution counts, shard-cache counters, and
+//!    the equivalence verdict.
+//!
+//! The `serve_bench` binary adds `--expect-throughput N`, which turns the
+//! contract into an exit code for CI: the final artifact must be
+//! byte-identical to the cold baseline and the edit stream must sustain at
+//! least `N` edits per second.
+
+use crate::config::{env_parse, sample_budget, thread_budget};
+use crate::fleet::FleetError;
+use crate::json::Json;
+use atlas_apps::{mutate_library, MutationConfig};
+use atlas_core::{AtlasConfig, Engine, ThreadBudget};
+use atlas_ir::hash::library_fingerprint;
+use atlas_ir::{LibraryInterface, MutationKind};
+use atlas_serve::{Envelope, Request, ServeConfig, ServeError, Service, EXTRACTION};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Configuration of a service-replay run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// The daemon configuration: library under service, budgets, store
+    /// root, shard/queue/flush knobs (`ATLAS_SERVE_*`).
+    pub serve: ServeConfig,
+    /// Length of the edit stream (`ATLAS_SERVE_EDITS`).
+    pub edits: usize,
+    /// Base mutation seed; edit `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl ServeBenchConfig {
+    /// Reads the configuration from the environment: the `ATLAS_SERVE_*`
+    /// family (see `atlas_serve::config`) plus the shared
+    /// `ATLAS_SAMPLES`/`ATLAS_THREADS` budgets and `ATLAS_SERVE_EDITS`
+    /// for the stream length (default 1000).
+    pub fn from_env() -> ServeBenchConfig {
+        let mut serve = ServeConfig::from_env();
+        serve.samples = sample_budget();
+        serve.threads = thread_budget();
+        ServeBenchConfig {
+            serve,
+            edits: env_parse("ATLAS_SERVE_EDITS").unwrap_or(1_000),
+            seed: 0xA77A5,
+        }
+    }
+
+    /// A small configuration suitable for tests.
+    pub fn small(store: PathBuf) -> ServeBenchConfig {
+        ServeBenchConfig {
+            serve: ServeConfig::small(store),
+            edits: 24,
+            seed: 7,
+        }
+    }
+}
+
+/// The outcome of a service-replay run: the JSON document plus a human
+/// summary.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// The machine-readable report (schema `atlas-serve/1`).
+    pub json: Json,
+    /// A short human-readable summary.
+    pub summary: String,
+}
+
+impl From<ServeError> for FleetError {
+    fn from(e: ServeError) -> FleetError {
+        match e {
+            ServeError::Registry(e) => e.into(),
+            ServeError::Store(e) => FleetError::Store(e),
+        }
+    }
+}
+
+/// The generator rotation of the edit stream.
+const EDIT_KINDS: [MutationKind; 4] = [
+    MutationKind::BodyEdit,
+    MutationKind::RenameLocal,
+    MutationKind::AddMethod,
+    MutationKind::SignatureChange,
+];
+
+/// The `q`-th percentile (0–100) of an ascending-sorted latency sample,
+/// nearest-rank convention.
+fn percentile(sorted_ms: &[f64], q: usize) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted_ms.len()).div_ceil(100).max(1);
+    sorted_ms[rank - 1]
+}
+
+/// Runs the full service-replay pipeline.  See the [module docs](self).
+///
+/// # Errors
+/// Returns [`FleetError`] on an unknown library name or a store failure.
+/// An unexpected daemon response (a failure mode the protocol should have
+/// mapped to a structured error) is reported as a schema violation.
+pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, FleetError> {
+    let schema_err = |message: String| {
+        FleetError::Store(atlas_core::StoreError::schema(
+            &config.serve.store,
+            atlas_store::SchemaError(message),
+        ))
+    };
+
+    // 1. Resident daemon over the store root (cold seed or warm splice).
+    let t = Instant::now();
+    let mut service = Service::spawn(config.serve.clone())?;
+    let startup = t.elapsed();
+    let handle = service.handle();
+
+    // The client-side replay state: the same library content the daemon
+    // is editing, reconstructed from the accepted mutations.
+    let lib = atlas_apps::build_library(&config.serve.library, config.serve.synth_seed)
+        .map_err(FleetError::from)?;
+    let mut program = lib.program;
+
+    // 2. Stream the edits, measuring per-request latency client-side.
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(config.edits);
+    let mut edits_ok = 0usize;
+    let mut edits_failed = 0usize;
+    let mut oracle_executions = 0i64;
+    let mut spliced_verdicts = 0i64;
+    let t = Instant::now();
+    for i in 0..config.edits {
+        let mutation = MutationConfig {
+            kind: EDIT_KINDS[i % EDIT_KINDS.len()],
+            seed: config.seed + i as u64,
+            target: None,
+        };
+        let request = Envelope {
+            id: Some(Json::Int(i as i64)),
+            request: Request::Edit(atlas_serve::EditRequest {
+                kind: mutation.kind,
+                seed: mutation.seed,
+                target: None,
+            }),
+        };
+        let t_edit = Instant::now();
+        let response = handle.request(request);
+        latencies_ms.push(t_edit.elapsed().as_secs_f64() * 1e3);
+        // Lock-step replay: an accepted edit must be locally applicable,
+        // a rejected one locally ineligible — the streams never diverge.
+        let local = mutate_library(&program, &mutation);
+        match (&response.outcome, local) {
+            (Ok(result), Ok(mutated)) => {
+                program = mutated.program;
+                edits_ok += 1;
+                let executions = result.get("executions").unwrap_or(&Json::Null);
+                oracle_executions += executions.get("oracle").and_then(Json::as_int).unwrap_or(0);
+                spliced_verdicts += executions
+                    .get("spliced_verdicts")
+                    .and_then(Json::as_int)
+                    .unwrap_or(0);
+            }
+            (Err(error), Err(_)) => {
+                edits_failed += 1;
+                if error.code != atlas_serve::ErrorCode::BadEdit {
+                    return Err(schema_err(format!(
+                        "edit {i} failed outside the protocol: {}",
+                        error.message
+                    )));
+                }
+            }
+            (Ok(_), Err(e)) => {
+                return Err(schema_err(format!(
+                    "edit {i} accepted by the daemon but locally ineligible: {e}"
+                )));
+            }
+            (Err(error), Ok(_)) => {
+                return Err(schema_err(format!(
+                    "edit {i} locally eligible but rejected by the daemon: {}",
+                    error.message
+                )));
+            }
+        }
+    }
+    let replay = t.elapsed();
+
+    // 3. Final daemon state: specs artifact, fingerprint, counters.
+    let specs = handle
+        .request(Envelope::of(Request::Specs))
+        .outcome
+        .map_err(|e| schema_err(format!("specs query failed: {}", e.message)))?;
+    let served_fingerprint = specs
+        .get("library_fingerprint")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let served_artifact = specs.get("artifact").map(Json::render).unwrap_or_default();
+    let stats = handle
+        .request(Envelope::of(Request::Stats))
+        .outcome
+        .map_err(|e| schema_err(format!("stats query failed: {}", e.message)))?;
+    let shutdown = handle.request(Envelope::of(Request::Shutdown));
+    if shutdown.outcome.is_err() {
+        return Err(schema_err("shutdown was rejected".to_string()));
+    }
+    service.join();
+
+    // 4. Cold batch baseline over the replayed final content — the
+    // service-equivalence invariant.
+    let interface = LibraryInterface::from_program(&program);
+    let atlas_config = AtlasConfig {
+        samples_per_cluster: config.serve.samples,
+        clusters: lib.clusters.clone(),
+        num_threads: ThreadBudget::resolve(config.serve.threads).total(),
+        ..AtlasConfig::default()
+    };
+    let t = Instant::now();
+    let cold_outcome = Engine::new(&program, &interface, atlas_config).run();
+    let cold = t.elapsed();
+    let cold_artifact = cold_outcome
+        .spec_artifact(&program, &interface, EXTRACTION.0, EXTRACTION.1)
+        .encode(&program)
+        .map_err(|e| atlas_core::StoreError::schema(&config.serve.store, e))?
+        .render();
+    let identical = served_artifact == cold_artifact;
+    let fingerprint = atlas_store::hex64_string(library_fingerprint(&program, &interface));
+    let fingerprints_match = served_fingerprint == fingerprint;
+
+    // 5. Assemble the report.
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let p50 = percentile(&latencies_ms, 50);
+    let p99 = percentile(&latencies_ms, 99);
+    let max = latencies_ms.last().copied().unwrap_or(0.0);
+    let mean = if latencies_ms.is_empty() {
+        0.0
+    } else {
+        latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+    };
+    let throughput = if replay.as_secs_f64() > 0.0 {
+        config.edits as f64 / replay.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    let json = Json::obj()
+        .set("schema", "atlas-serve/1")
+        .set(
+            "config",
+            Json::obj()
+                .set("library", config.serve.library.as_str())
+                .set("samples_per_cluster", config.serve.samples)
+                .set("threads", config.serve.threads)
+                .set("store", config.serve.store.display().to_string())
+                .set("shard_budget", config.serve.shard_budget)
+                .set("queue_capacity", config.serve.queue_capacity)
+                .set("flush_every", config.serve.flush_every)
+                .set("edits", config.edits)
+                .set("seed", config.seed as i64),
+        )
+        .set(
+            "edits",
+            Json::obj()
+                .set("requested", config.edits)
+                .set("accepted", edits_ok)
+                .set("rejected", edits_failed),
+        )
+        .set(
+            "latency_ms",
+            Json::obj()
+                .set("p50", p50)
+                .set("p99", p99)
+                .set("max", max)
+                .set("mean", mean),
+        )
+        .set("throughput_edits_per_sec", throughput)
+        .set(
+            "executions",
+            Json::obj()
+                .set("oracle", oracle_executions)
+                .set("spliced_verdicts", spliced_verdicts)
+                .set("cold_baseline", cold_outcome.oracle_executions),
+        )
+        .set("shards", stats.get("shards").cloned().unwrap_or(Json::Null))
+        .set(
+            "equivalence",
+            Json::obj()
+                .set("identical", identical)
+                .set("fingerprints_match", fingerprints_match)
+                .set("library_fingerprint", fingerprint.as_str()),
+        )
+        .set(
+            "timings",
+            Json::obj()
+                .set("startup_ms", startup.as_secs_f64() * 1e3)
+                .set("replay_ms", replay.as_secs_f64() * 1e3)
+                .set("cold_ms", cold.as_secs_f64() * 1e3),
+        );
+
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "edits: {edits_ok} accepted, {edits_failed} rejected of {}",
+        config.edits
+    );
+    let _ = writeln!(
+        summary,
+        "latency: p50 {p50:.2}ms p99 {p99:.2}ms max {max:.2}ms ({throughput:.1} edits/s)"
+    );
+    let _ = writeln!(
+        summary,
+        "executions: {oracle_executions} oracle across the stream \
+         ({spliced_verdicts} verdicts spliced), cold baseline {}",
+        cold_outcome.oracle_executions
+    );
+    let _ = writeln!(
+        summary,
+        "equivalence: identical={identical} fingerprints_match={fingerprints_match}"
+    );
+    Ok(ServeBenchReport { json, summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("atlas-servebench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn replay_report_is_equivalent_and_counts_add_up() {
+        let store = scratch("report");
+        let config = ServeBenchConfig::small(store.clone());
+        let report = run_serve_bench(&config).expect("serve bench run");
+        let json = &report.json;
+        assert_eq!(json.get("schema"), Some(&Json::str("atlas-serve/1")));
+        let equivalence = json.get("equivalence").expect("equivalence");
+        assert_eq!(equivalence.get("identical"), Some(&Json::Bool(true)));
+        assert_eq!(
+            equivalence.get("fingerprints_match"),
+            Some(&Json::Bool(true))
+        );
+
+        let edits = json.get("edits").expect("edits");
+        let accepted = edits.get("accepted").and_then(Json::as_int).unwrap();
+        let rejected = edits.get("rejected").and_then(Json::as_int).unwrap();
+        assert_eq!(accepted + rejected, config.edits as i64);
+        assert!(accepted > 0, "the stream must accept some edits");
+
+        // The resident engine must splice: a 24-edit stream over two
+        // clusters cannot re-execute as much as 24 cold runs.
+        let executions = json.get("executions").expect("executions");
+        let oracle = executions.get("oracle").and_then(Json::as_int).unwrap();
+        let cold = executions
+            .get("cold_baseline")
+            .and_then(Json::as_int)
+            .unwrap();
+        assert!(
+            oracle < accepted * cold.max(1),
+            "resident replay re-executed like cold batch ({oracle} vs {accepted}x{cold})"
+        );
+        assert!(
+            executions
+                .get("spliced_verdicts")
+                .and_then(Json::as_int)
+                .unwrap()
+                > 0
+        );
+        assert!(report.summary.contains("identical=true"));
+        std::fs::remove_dir_all(&store).unwrap();
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50), 50.0);
+        assert_eq!(percentile(&sorted, 99), 99.0);
+        assert_eq!(percentile(&sorted, 100), 100.0);
+        assert_eq!(percentile(&[7.0], 50), 7.0);
+        assert_eq!(percentile(&[], 99), 0.0);
+    }
+}

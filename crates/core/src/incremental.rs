@@ -30,7 +30,7 @@
 
 use crate::engine::{resolve_threads, run_cluster_job, ClusterJob, ClusterRun, Engine, Session};
 use crate::inference::{ClusterOutcome, InferenceOutcome};
-use atlas_learn::{library_fingerprint, CacheStats, OracleStats};
+use atlas_learn::{library_fingerprint, CacheStats, OracleStats, VerdictCache};
 use atlas_store::{
     load_cache, save_cache, shard_entry, CacheArtifact, CacheProvenance, SpecArtifact, SpecCluster,
     StoreError,
@@ -179,6 +179,121 @@ impl IncrementalOutcome {
     }
 }
 
+/// Where an incremental run loads clean-cluster shards from and persists
+/// dirty-cluster shards to.
+///
+/// [`IncrementalSession::run_with_store`] always spoke to a closure-sharded
+/// directory on disk; this trait is that conversation made explicit, so a
+/// resident service can interpose an in-memory hot cache (LRU over decoded
+/// shards, write-behind persistence) without re-implementing the splice
+/// logic — and without being able to break the byte-identity invariant,
+/// because the splice path is shared.  [`DiskShards`] is the canonical
+/// implementation over `atlas_store::shard_entry` files.
+pub trait ShardStore {
+    /// The decoded spec artifact of the shard for `closure`, or `None`
+    /// when the shard has no specs yet (the cluster is then demoted to a
+    /// re-run).  Method symbols are resolved against `program`.
+    ///
+    /// # Errors
+    /// Returns the `atlas-store` error when the shard exists but is
+    /// unreadable or malformed.
+    fn load_specs(
+        &mut self,
+        closure: u64,
+        program: &atlas_ir::Program,
+    ) -> Result<Option<SpecArtifact>, StoreError>;
+
+    /// How many verdicts the shard for `closure` holds under the given key
+    /// context (`CacheProvenance::context`) — the count reported as
+    /// "spliced verdicts" for a clean cluster.  A missing shard holds `0`.
+    ///
+    /// # Errors
+    /// Returns the `atlas-store` error when the shard cache exists but is
+    /// unreadable or malformed.
+    fn count_verdicts(&mut self, closure: u64, context: u64) -> Result<usize, StoreError>;
+
+    /// Persists one re-ran cluster: merges `fresh`'s verdicts (filtered by
+    /// `provenance`'s context, first-entry-wins against whatever the shard
+    /// already holds) into the shard cache for `closure` and replaces the
+    /// shard's spec artifact with `specs`.  Returns the number of cache
+    /// entries the shard gained.
+    ///
+    /// # Errors
+    /// Returns the `atlas-store` error when the shard cannot be read back
+    /// or written.
+    fn persist_cluster(
+        &mut self,
+        closure: u64,
+        fresh: &atlas_learn::VerdictCache,
+        provenance: CacheProvenance,
+        specs: &SpecArtifact,
+        program: &atlas_ir::Program,
+    ) -> Result<usize, StoreError>;
+}
+
+/// The canonical [`ShardStore`]: closure shards as directories under a
+/// store root (`<root>/0x<closure>/{cache,specs}.json`), exactly the
+/// layout [`Session::persist_shards`] writes.  Stateless between calls;
+/// every operation goes to disk.
+pub struct DiskShards {
+    root: PathBuf,
+}
+
+impl DiskShards {
+    /// A disk-backed shard store rooted at `root`.
+    pub fn new(root: &Path) -> DiskShards {
+        DiskShards {
+            root: root.to_path_buf(),
+        }
+    }
+
+    /// The store root this instance reads and writes.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl ShardStore for DiskShards {
+    fn load_specs(
+        &mut self,
+        closure: u64,
+        program: &atlas_ir::Program,
+    ) -> Result<Option<SpecArtifact>, StoreError> {
+        let entry = shard_entry(&self.root, closure);
+        if !entry.specs.exists() {
+            return Ok(None);
+        }
+        atlas_store::load_specs(&entry.specs, program).map(Some)
+    }
+
+    fn count_verdicts(&mut self, closure: u64, context: u64) -> Result<usize, StoreError> {
+        let entry = shard_entry(&self.root, closure);
+        if !entry.cache.exists() {
+            return Ok(0);
+        }
+        Ok(load_cache(&entry.cache)?
+            .shards
+            .iter()
+            .filter(|s| s.provenance.context == context)
+            .map(|s| s.entries.len())
+            .sum())
+    }
+
+    fn persist_cluster(
+        &mut self,
+        closure: u64,
+        fresh: &atlas_learn::VerdictCache,
+        provenance: CacheProvenance,
+        specs: &SpecArtifact,
+        program: &atlas_ir::Program,
+    ) -> Result<usize, StoreError> {
+        let entry = shard_entry(&self.root, closure);
+        let new_entries = persist_shard_cache(&entry.cache, fresh, provenance)?;
+        atlas_store::save_specs(&entry.specs, specs, program)?;
+        Ok(new_entries)
+    }
+}
+
 /// What [`Session::persist_shards`] wrote.
 #[derive(Debug, Clone)]
 pub struct ShardPersistSummary {
@@ -319,6 +434,7 @@ impl<'p> Engine<'p> {
             num_threads: resolve_threads(self.config().num_threads, dirty_jobs),
             jobs,
             clean,
+            collected: self.warm_cache().warm_clone(),
         }
     }
 }
@@ -331,6 +447,10 @@ pub struct IncrementalSession<'e, 'p> {
     /// Per-job cleanliness from the closure diff.
     clean: Vec<bool>,
     num_threads: usize,
+    /// Starts as a warm-marked copy of the engine's warm cache; after
+    /// [`IncrementalSession::run_with_store`], additionally holds every
+    /// verdict the dirty re-runs computed, merged in cluster order.
+    collected: VerdictCache,
 }
 
 impl<'e, 'p> IncrementalSession<'e, 'p> {
@@ -357,13 +477,37 @@ impl<'e, 'p> IncrementalSession<'e, 'p> {
         self.num_threads
     }
 
+    /// Consumes the session and returns its verdict cache: the warm-start
+    /// entries plus — once the session has run — every verdict the dirty
+    /// re-runs computed, merged deterministically in cluster order.  A
+    /// resident service feeds this to the next edit's engine
+    /// ([`Engine::warm_start`]) so consecutive edits share verdicts
+    /// without round-tripping through the store.
+    pub fn into_cache(self) -> VerdictCache {
+        self.collected
+    }
+
     /// Runs the incremental pipeline against a closure-sharded store root
     /// (as written by [`Session::persist_shards`] or a previous incremental
-    /// run): dirty clusters re-run (and persist their new shards), clean
-    /// clusters splice their automaton, specs, and verdicts from disk.
-    /// `extraction` bounds the spec extraction of re-ran clusters — pass
-    /// the same bounds the store was persisted with, or spliced and re-ran
-    /// specs would not be comparable.
+    /// run): [`IncrementalSession::run_with_shards`] over a [`DiskShards`].
+    ///
+    /// # Errors
+    /// Returns the `atlas-store` error when a shard exists but is
+    /// unreadable or malformed, or when persisting a dirty shard fails.
+    pub fn run_with_store(
+        &mut self,
+        root: &Path,
+        extraction: (usize, usize),
+    ) -> Result<IncrementalOutcome, StoreError> {
+        self.run_with_shards(&mut DiskShards::new(root), extraction)
+    }
+
+    /// Runs the incremental pipeline against an arbitrary [`ShardStore`]:
+    /// dirty clusters re-run (and persist their new shards through the
+    /// store), clean clusters splice their automaton, specs, and verdicts
+    /// from it.  `extraction` bounds the spec extraction of re-ran
+    /// clusters — pass the same bounds the store was persisted with, or
+    /// spliced and re-ran specs would not be comparable.
     ///
     /// A clean cluster whose shard is missing (e.g. after an over-eager
     /// GC) or was persisted under different extraction bounds is demoted
@@ -373,9 +517,9 @@ impl<'e, 'p> IncrementalSession<'e, 'p> {
     /// # Errors
     /// Returns the `atlas-store` error when a shard exists but is
     /// unreadable or malformed, or when persisting a dirty shard fails.
-    pub fn run_with_store(
+    pub fn run_with_shards(
         &mut self,
-        root: &Path,
+        shards: &mut dyn ShardStore,
         extraction: (usize, usize),
     ) -> Result<IncrementalOutcome, StoreError> {
         let wall = Instant::now();
@@ -401,13 +545,11 @@ impl<'e, 'p> IncrementalSession<'e, 'p> {
                 plans.push(Plan::Run);
                 continue;
             }
-            let entry = shard_entry(root, job.closure);
-            if !entry.specs.exists() {
+            let Some(artifact) = shards.load_specs(job.closure, engine.program())? else {
                 forced_dirty += 1;
                 plans.push(Plan::Run);
                 continue;
-            }
-            let artifact = atlas_store::load_specs(&entry.specs, engine.program())?;
+            };
             // A shard persisted under different extraction bounds would
             // splice specs the caller's bounds never produced; demote to a
             // re-run rather than emit a mixed-bounds artifact.
@@ -427,16 +569,7 @@ impl<'e, 'p> IncrementalSession<'e, 'p> {
                 engine.config().init,
                 engine.config().limits,
             );
-            let verdicts = if entry.cache.exists() {
-                load_cache(&entry.cache)?
-                    .shards
-                    .iter()
-                    .filter(|s| s.provenance.context == provenance.context)
-                    .map(|s| s.entries.len())
-                    .sum()
-            } else {
-                0
-            };
+            let verdicts = shards.count_verdicts(job.closure, provenance.context)?;
             plans.push(Plan::Splice { spec, verdicts });
         }
 
@@ -518,8 +651,6 @@ impl<'e, 'p> IncrementalSession<'e, 'p> {
                         engine.config().init,
                         engine.config().limits,
                     );
-                    let entry = shard_entry(root, job.closure);
-                    persist_shard_cache(&entry.cache, &run.cache, provenance)?;
                     let spec = SpecArtifact {
                         fingerprint: job.closure,
                         extraction,
@@ -530,7 +661,14 @@ impl<'e, 'p> IncrementalSession<'e, 'p> {
                             extraction,
                         )],
                     };
-                    atlas_store::save_specs(&entry.specs, &spec, engine.program())?;
+                    shards.persist_cluster(
+                        job.closure,
+                        &run.cache,
+                        provenance,
+                        &spec,
+                        engine.program(),
+                    )?;
+                    self.collected.merge(run.cache);
                     outcome.clusters.push(IncrementalCluster {
                         index: job.index,
                         closure: job.closure,

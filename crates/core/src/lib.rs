@@ -42,8 +42,8 @@ pub mod report;
 pub use budget::{BudgetSplit, ThreadBudget};
 pub use engine::{ClusterJob, Engine, PersistSummary, Session};
 pub use incremental::{
-    ClusterDisposition, ClusterProvenance, IncrementalCluster, IncrementalOutcome,
-    IncrementalSession, RunProvenance, ShardPersistSummary,
+    ClusterDisposition, ClusterProvenance, DiskShards, IncrementalCluster, IncrementalOutcome,
+    IncrementalSession, RunProvenance, ShardPersistSummary, ShardStore,
 };
 pub use inference::{
     infer_specifications, AtlasConfig, ClusterOutcome, InferenceOutcome, ParallelismSummary,

@@ -1,0 +1,177 @@
+//! The resident inference daemon.
+//!
+//! ```sh
+//! # Speak atlas-serve/1 over stdin/stdout:
+//! cargo run --release -p atlas-serve --bin serve
+//! # ... or over a Unix socket:
+//! cargo run --release -p atlas-serve --bin serve -- --socket /tmp/atlas.sock
+//! ```
+//!
+//! Configuration comes from the `ATLAS_SERVE_*` environment knobs (see
+//! `atlas_serve::config`), overridable by flags:
+//!
+//! * `--library NAME` — registry name of the library under service.
+//! * `--samples N` / `--threads N` — budgets.
+//! * `--store ROOT` — closure-sharded store root.
+//! * `--shards N` — hot-shard LRU budget.
+//! * `--queue N` — request-queue capacity (backpressure bound).
+//! * `--flush-every N` — write-behind schedule (`0` = after every edit).
+//! * `--socket PATH` — serve connections on a Unix socket instead of
+//!   stdin/stdout (the socket file is replaced if present).
+//!
+//! Startup writes one human line to stderr, then the daemon answers
+//! frames until EOF (stdio mode) or until a `shutdown` request (both
+//! modes).  Dirty shards are flushed on shutdown; an orderly EOF also
+//! flushes before exit.
+
+use atlas_serve::{ServeConfig, Service};
+use std::io::BufReader;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+
+fn usage(message: &str) -> ! {
+    eprintln!(
+        "serve: {message}\nusage: serve [--library NAME] [--samples N] [--threads N] \
+         [--store ROOT] [--shards N] [--queue N] [--flush-every N] [--socket PATH]"
+    );
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut config = ServeConfig::from_env();
+    let mut socket: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--library" => {
+                config.library = args
+                    .next()
+                    .unwrap_or_else(|| usage("--library needs a name"));
+            }
+            "--samples" => {
+                config.samples = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--samples needs a number"));
+            }
+            "--threads" => {
+                config.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"));
+            }
+            "--store" => {
+                config.store =
+                    PathBuf::from(args.next().unwrap_or_else(|| usage("--store needs a path")));
+            }
+            "--shards" => {
+                config.shard_budget = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--shards needs a number"));
+            }
+            "--queue" => {
+                config.queue_capacity = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--queue needs a number"));
+            }
+            "--flush-every" => {
+                config.flush_every = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--flush-every needs a number"));
+            }
+            "--socket" => {
+                socket = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--socket needs a path")),
+                ));
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let max_frame = config.max_frame;
+    eprintln!(
+        "serve: {} ({} samples/cluster, threads={}, store={}, shards={}, queue={}, flush-every={})",
+        config.library,
+        config.samples,
+        config.threads,
+        config.store.display(),
+        config.shard_budget,
+        config.queue_capacity,
+        config.flush_every,
+    );
+    let mut service = match Service::spawn(config) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match socket {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            if let Err(e) = service.serve_stream(stdin.lock(), stdout, max_frame) {
+                eprintln!("serve: stream error: {e}");
+            }
+            // Orderly EOF without a shutdown request: flush via the
+            // protocol so dirty shards survive.
+            let handle = service.handle();
+            let _ = handle.request_line("{\"op\":\"shutdown\"}");
+            service.join();
+        }
+        Some(path) => {
+            let _ = std::fs::remove_file(&path);
+            let listener = match UnixListener::bind(&path) {
+                Ok(listener) => listener,
+                Err(e) => {
+                    eprintln!("serve: cannot bind {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            };
+            listener
+                .set_nonblocking(true)
+                .expect("socket nonblocking mode");
+            eprintln!("serve: listening on {}", path.display());
+            std::thread::scope(|scope| loop {
+                if service.is_shutting_down() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream
+                            .set_nonblocking(false)
+                            .expect("connection blocking mode");
+                        let writer = match stream.try_clone() {
+                            Ok(writer) => writer,
+                            Err(e) => {
+                                eprintln!("serve: connection clone failed: {e}");
+                                continue;
+                            }
+                        };
+                        let service = &service;
+                        scope.spawn(move || {
+                            let reader = BufReader::new(stream);
+                            if let Err(e) = service.serve_stream(reader, writer, max_frame) {
+                                eprintln!("serve: connection error: {e}");
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                    }
+                    Err(e) => {
+                        eprintln!("serve: accept error: {e}");
+                        break;
+                    }
+                }
+            });
+            let _ = std::fs::remove_file(&path);
+            service.join();
+        }
+    }
+}

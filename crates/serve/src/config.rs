@@ -1,0 +1,120 @@
+//! Service configuration: every `ATLAS_SERVE_*` knob parsed in one place.
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `ATLAS_SERVE_LIBRARY` | registry name of the library under service | `javalib` |
+//! | `ATLAS_SAMPLES` | phase-one sampling budget per cluster | `2000` |
+//! | `ATLAS_THREADS` | engine worker-thread budget (`0` = all cores) | `0` |
+//! | `ATLAS_SERVE_STORE` | closure-sharded store root | `target/atlas-serve` |
+//! | `ATLAS_SERVE_SHARDS` | hot-shard LRU budget (resident shards) | `64` |
+//! | `ATLAS_SERVE_QUEUE` | request-queue capacity (backpressure bound) | `64` |
+//! | `ATLAS_SERVE_FLUSH` | write-behind: flush after this many edits | `8` |
+//! | `ATLAS_SERVE_MAX_FRAME` | largest accepted request frame, bytes | `262144` |
+//!
+//! The sampling/thread knobs deliberately reuse the fleet-wide names
+//! (`ATLAS_SAMPLES`, `ATLAS_THREADS`), so a service and a batch run under
+//! the same shell see the same budgets — a requirement for the
+//! batch-equivalence invariant to be testable from the command line.
+
+use std::path::PathBuf;
+
+/// Default phase-one sampling budget (matches `atlas-bench`'s default).
+const DEFAULT_SAMPLES: usize = 2000;
+
+/// The full configuration of one resident service.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Registry name of the library under service.
+    pub library: String,
+    /// Phase-one sampling budget per class cluster.
+    pub samples: usize,
+    /// Engine worker-thread budget (`0` = one per core).
+    pub threads: usize,
+    /// Closure-sharded store root the service owns while resident.
+    pub store: PathBuf,
+    /// Hot-shard LRU budget: how many closure shards stay decoded in
+    /// memory.  Dirty shards are pinned and never count against evictions.
+    pub shard_budget: usize,
+    /// Bounded request-queue capacity; producers block when it is full.
+    pub queue_capacity: usize,
+    /// Write-behind schedule: persist dirty shards after this many edits
+    /// (and always on `flush`/`shutdown`).  `0` persists after every edit.
+    pub flush_every: usize,
+    /// Largest accepted request frame in bytes; longer lines are answered
+    /// with an `oversized-frame` error and skipped.
+    pub max_frame: usize,
+    /// Seed for synthetic registry members (fixed: the service serves one
+    /// deterministic library content).
+    pub synth_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            library: "javalib".to_string(),
+            samples: DEFAULT_SAMPLES,
+            threads: 0,
+            store: PathBuf::from("target/atlas-serve"),
+            shard_budget: 64,
+            queue_capacity: 64,
+            flush_every: 8,
+            max_frame: 256 * 1024,
+            synth_seed: 0x5EED,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the configuration from the environment (see the
+    /// [module docs](self) for the knob table).
+    pub fn from_env() -> ServeConfig {
+        let defaults = ServeConfig::default();
+        ServeConfig {
+            library: env_string("ATLAS_SERVE_LIBRARY").unwrap_or(defaults.library),
+            samples: env_parse("ATLAS_SAMPLES").unwrap_or(defaults.samples),
+            threads: env_parse("ATLAS_THREADS").unwrap_or(defaults.threads),
+            store: env_string("ATLAS_SERVE_STORE")
+                .map(PathBuf::from)
+                .unwrap_or(defaults.store),
+            shard_budget: env_parse("ATLAS_SERVE_SHARDS").unwrap_or(defaults.shard_budget),
+            queue_capacity: env_parse("ATLAS_SERVE_QUEUE").unwrap_or(defaults.queue_capacity),
+            flush_every: env_parse("ATLAS_SERVE_FLUSH").unwrap_or(defaults.flush_every),
+            max_frame: env_parse("ATLAS_SERVE_MAX_FRAME").unwrap_or(defaults.max_frame),
+            synth_seed: defaults.synth_seed,
+        }
+    }
+
+    /// A small configuration suitable for tests: a tiny library, a modest
+    /// sampling budget, one engine thread, and the given store root.
+    pub fn small(store: PathBuf) -> ServeConfig {
+        ServeConfig {
+            library: "javalib-lang".to_string(),
+            samples: 250,
+            threads: 1,
+            store,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+fn env_string(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|s| !s.is_empty())
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|s| s.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = ServeConfig::default();
+        assert_eq!(config.library, "javalib");
+        assert!(config.shard_budget > 0);
+        assert!(config.queue_capacity > 0);
+        assert!(config.max_frame >= 1024);
+    }
+}

@@ -1,0 +1,337 @@
+//! The resident daemon state: one library under service, a rolling warm
+//! verdict cache, a hot shard cache, and the current spec artifact.
+//!
+//! A [`Daemon`] is single-threaded by construction (the service wraps it
+//! in one worker); every request is a pure state transition:
+//!
+//! * **Startup** builds the configured library and runs one incremental
+//!   session against its own provenance.  Over a warm store every cluster
+//!   splices (zero executions); over a cold store every cluster is
+//!   forced-dirty, runs, and seeds the store — so a restart is exactly a
+//!   cache-warming, never a semantic event.
+//! * **Edits** mutate the library (`atlas_apps::mutate_library`), open an
+//!   `Engine::incremental_session` against the previous edit's provenance
+//!   warm-started from the rolling verdict cache, and run it against the
+//!   hot shard cache.  Only clusters whose dependency closure contains
+//!   the edit re-run; the rest splice from memory.
+//! * **Queries** (`specs`, `fingerprint`) are answered from the cached
+//!   artifact of the last edit — no inference, no disk.
+//!
+//! The observational-equivalence invariant: after any edit sequence, the
+//! `specs` artifact is byte-identical to a cold batch `Engine` run over
+//! the same edited program, because splicing goes through the same
+//! [`ShardStore`](atlas_core::ShardStore) code path the batch pipeline
+//! uses and warm verdict caches never change results (the determinism
+//! guarantee of `atlas-learn`).  `tests/serve_equivalence.rs` pins this.
+
+use crate::config::ServeConfig;
+use crate::proto::{EditRequest, Envelope, ErrorCode, Request, Response, WireError, WIRE_SCHEMA};
+use crate::shards::HotShards;
+use atlas_apps::{mutate_library, MutationConfig, RegistryError};
+use atlas_core::{AtlasConfig, Engine, RunProvenance, StoreError, ThreadBudget, VerdictCache};
+use atlas_ir::{ClassId, LibraryInterface, Program};
+use atlas_store::{hex64_string, Json};
+use std::fmt;
+
+/// Spec-extraction bounds (max spec length, per-cluster spec limit).
+/// These must match the bounds the store was seeded with — the bench
+/// pipeline's `SPEC_MAX_LEN`/`SPEC_LIMIT` — or every splice would be
+/// demoted to a forced re-run.
+pub const EXTRACTION: (usize, usize) = (8, 64);
+
+/// An error raised while constructing or persisting the daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The configured library name is not in the registry.
+    Registry(RegistryError),
+    /// A store operation failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Registry(e) => write!(f, "{e}"),
+            ServeError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RegistryError> for ServeError {
+    fn from(e: RegistryError) -> ServeError {
+        ServeError::Registry(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> ServeError {
+        ServeError::Store(e)
+    }
+}
+
+/// Service-level counters reported by the `stats` op.
+#[derive(Debug, Clone, Copy, Default)]
+struct DaemonStats {
+    edits_ok: u64,
+    edits_failed: u64,
+    queries: u64,
+}
+
+/// The resident inference service state.  See the [module docs](self).
+pub struct Daemon {
+    config: ServeConfig,
+    /// The library content after every edit applied so far.
+    program: Program,
+    /// The configured clusters; ids stay valid across edits because the
+    /// mutation primitives are append-only.
+    clusters: Vec<Vec<ClassId>>,
+    /// Worker threads per incremental session — one shared budget
+    /// resolved at startup, not per edit.
+    threads: usize,
+    /// The previous run's closure identity; the diff basis of the next
+    /// edit.
+    provenance: RunProvenance,
+    /// The rolling warm verdict cache: every verdict any edit has proven,
+    /// fed to the next edit's engine.
+    warm: VerdictCache,
+    /// The hot shard cache over the store root.
+    hot: HotShards,
+    /// The current `atlas-spec/1` artifact document, served to `specs`
+    /// queries without re-encoding.
+    specs_doc: Json,
+    /// The current library fingerprint.
+    fingerprint: u64,
+    /// Edits applied since startup.
+    generation: u64,
+    /// Edits since the last write-behind flush.
+    edits_since_flush: usize,
+    stats: DaemonStats,
+}
+
+impl Daemon {
+    /// Builds the configured library and warms up: one incremental
+    /// session against the daemon's own provenance.  A warm store splices
+    /// every cluster without executing anything; a cold store runs the
+    /// full pipeline once and seeds it.  Either way the store is flushed
+    /// before the daemon accepts requests.
+    ///
+    /// # Errors
+    /// Returns [`ServeError`] on an unknown library name or a store
+    /// failure.
+    pub fn new(config: ServeConfig) -> Result<Daemon, ServeError> {
+        let lib = atlas_apps::build_library(&config.library, config.synth_seed)?;
+        let interface = LibraryInterface::from_program(&lib.program);
+        let threads = ThreadBudget::resolve(config.threads).total();
+        let mut hot = HotShards::new(&config.store, config.shard_budget);
+        let atlas_config = AtlasConfig {
+            samples_per_cluster: config.samples,
+            clusters: lib.clusters.clone(),
+            num_threads: threads,
+            ..AtlasConfig::default()
+        };
+        let engine = Engine::new(&lib.program, &interface, atlas_config);
+        let provenance = engine.run_provenance();
+        let mut session = engine.incremental_session(&provenance);
+        let outcome = session.run_with_shards(&mut hot, EXTRACTION)?;
+        let specs_doc = outcome
+            .spec_artifact(&lib.program)
+            .encode(&lib.program)
+            .map_err(|e| StoreError::schema(&config.store, e))?;
+        let warm = session.into_cache();
+        let fingerprint = outcome.library;
+        drop(engine);
+        hot.flush()?;
+        Ok(Daemon {
+            clusters: lib.clusters,
+            program: lib.program,
+            threads,
+            provenance,
+            warm,
+            hot,
+            specs_doc,
+            fingerprint,
+            generation: 0,
+            edits_since_flush: 0,
+            stats: DaemonStats::default(),
+            config,
+        })
+    }
+
+    /// Edits applied since startup.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The current library fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The configuration the daemon was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves one request.  Never panics: every failure mode maps to a
+    /// structured error response.
+    pub fn handle(&mut self, envelope: &Envelope) -> Response {
+        let id = envelope.id.clone();
+        let result = match &envelope.request {
+            Request::Hello => Ok(self.hello()),
+            Request::Ping => Ok(Json::obj()
+                .set("pong", true)
+                .set("generation", self.generation as i64)),
+            Request::Edit(edit) => self.apply_edit(edit),
+            Request::Specs => {
+                self.stats.queries += 1;
+                Ok(Json::obj()
+                    .set("library_fingerprint", hex64_string(self.fingerprint))
+                    .set("artifact", self.specs_doc.clone()))
+            }
+            Request::Fingerprint => {
+                self.stats.queries += 1;
+                Ok(Json::obj().set("library_fingerprint", hex64_string(self.fingerprint)))
+            }
+            Request::Stats => Ok(self.stats_json()),
+            Request::Flush => self
+                .flush()
+                .map(|written| Json::obj().set("flushed_shards", written))
+                .map_err(|e| WireError::new(ErrorCode::Store, e.to_string())),
+            Request::Shutdown => Ok(Json::obj().set("stopping", true)),
+        };
+        match result {
+            Ok(result) => Response::ok(id, result),
+            Err(error) => Response::err(id, error),
+        }
+    }
+
+    fn hello(&self) -> Json {
+        Json::obj()
+            .set("server", WIRE_SCHEMA)
+            .set("library", self.config.library.as_str())
+            .set("library_fingerprint", hex64_string(self.fingerprint))
+            .set("generation", self.generation as i64)
+            .set("clusters", self.clusters.len())
+            .set("threads", self.threads)
+            .set("shard_budget", self.config.shard_budget)
+            .set("queue_capacity", self.config.queue_capacity)
+            .set("flush_every", self.config.flush_every)
+    }
+
+    /// Applies one library edit and re-infers incrementally.  The result
+    /// contains no timing and no generation counter, so the response to a
+    /// given edit is deterministic wherever it lands in a stream of
+    /// closure-disjoint edits.
+    fn apply_edit(&mut self, edit: &EditRequest) -> Result<Json, WireError> {
+        let mutated = mutate_library(
+            &self.program,
+            &MutationConfig {
+                kind: edit.kind,
+                seed: edit.seed,
+                target: edit.target.clone(),
+            },
+        )
+        .map_err(|e| {
+            self.stats.edits_failed += 1;
+            WireError::new(ErrorCode::BadEdit, e.to_string())
+        })?;
+        let new_program = mutated.program;
+        let new_interface = LibraryInterface::from_program(&new_program);
+        let atlas_config = AtlasConfig {
+            samples_per_cluster: self.config.samples,
+            clusters: self.clusters.clone(),
+            num_threads: self.threads,
+            ..AtlasConfig::default()
+        };
+        let engine = Engine::new(&new_program, &new_interface, atlas_config)
+            .warm_start(self.warm.warm_clone());
+        let mut session = engine.incremental_session(&self.provenance);
+        let outcome = session
+            .run_with_shards(&mut self.hot, EXTRACTION)
+            .map_err(|e| {
+                self.stats.edits_failed += 1;
+                WireError::new(ErrorCode::Store, e.to_string())
+            })?;
+        let new_provenance = engine.run_provenance();
+        let specs_doc = outcome
+            .spec_artifact(&new_program)
+            .encode(&new_program)
+            .map_err(|e| {
+                self.stats.edits_failed += 1;
+                WireError::new(ErrorCode::Store, e.to_string())
+            })?;
+        let collected = session.into_cache();
+        drop(engine);
+
+        self.program = new_program;
+        self.provenance = new_provenance;
+        self.warm = collected;
+        self.specs_doc = specs_doc;
+        self.fingerprint = outcome.library;
+        self.generation += 1;
+        self.stats.edits_ok += 1;
+        self.edits_since_flush += 1;
+
+        let mut flushed = Json::Null;
+        if self.config.flush_every == 0 || self.edits_since_flush >= self.config.flush_every {
+            let written = self
+                .flush()
+                .map_err(|e| WireError::new(ErrorCode::Store, e.to_string()))?;
+            flushed = Json::Int(written as i64);
+        }
+
+        Ok(Json::obj()
+            .set("description", mutated.outcome.description.as_str())
+            .set("library_fingerprint", hex64_string(self.fingerprint))
+            .set(
+                "clusters",
+                Json::obj()
+                    .set("total", outcome.clusters.len())
+                    .set("dirty", outcome.dirty_clusters)
+                    .set("clean", outcome.clean_clusters)
+                    .set("forced_dirty", outcome.forced_dirty),
+            )
+            .set(
+                "executions",
+                Json::obj()
+                    .set("oracle", outcome.oracle_executions)
+                    .set("spliced_verdicts", outcome.spliced_verdicts),
+            )
+            .set("flushed_shards", flushed))
+    }
+
+    /// Persists dirty shards now and resets the write-behind clock.
+    ///
+    /// # Errors
+    /// Returns the `atlas-store` error of the first failed write.
+    pub fn flush(&mut self) -> Result<usize, StoreError> {
+        let written = self.hot.flush()?;
+        self.edits_since_flush = 0;
+        Ok(written)
+    }
+
+    fn stats_json(&self) -> Json {
+        let shards = self.hot.stats();
+        Json::obj()
+            .set("generation", self.generation as i64)
+            .set("edits_ok", self.stats.edits_ok as i64)
+            .set("edits_failed", self.stats.edits_failed as i64)
+            .set("queries", self.stats.queries as i64)
+            .set("warm_verdicts", self.warm.len())
+            .set(
+                "shards",
+                Json::obj()
+                    .set("resident", self.hot.resident())
+                    .set("dirty", self.hot.dirty())
+                    .set("budget", self.config.shard_budget)
+                    .set("hits", shards.hits)
+                    .set("misses", shards.misses)
+                    .set("evictions", shards.evictions)
+                    .set("pin_overflows", shards.pin_overflows)
+                    .set("flushes", shards.flushes)
+                    .set("flushed_shards", shards.flushed_shards),
+            )
+    }
+}

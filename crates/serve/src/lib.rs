@@ -1,0 +1,49 @@
+//! # atlas-serve
+//!
+//! The resident inference service: everything else in this workspace is a
+//! batch binary that cold-loads a store, runs once, and exits; this crate
+//! keeps an inference engine *resident*, with closure shards hot in
+//! memory, and serves a continuous stream of library edits and
+//! specification queries over a small newline-delimited JSON protocol
+//! (`atlas-serve/1`, [`proto`]).
+//!
+//! The moving parts:
+//!
+//! * [`proto`] — the versioned wire protocol: request/response codec,
+//!   compact rendering, bounded frame reading.  Malformed input maps to
+//!   structured error responses, never panics.
+//! * [`shards`] — [`HotShards`]: an LRU of decoded closure shards
+//!   implementing `atlas_core::ShardStore`, with dirty-shard pinning and
+//!   write-behind flushing (atomic renames via `atlas-store`).
+//! * [`daemon`] — [`Daemon`]: the single-threaded service core.  Each
+//!   edit runs `Engine::incremental_session` against the previous edit's
+//!   provenance, warm-started from a rolling verdict cache, splicing
+//!   clean clusters from the hot shards.
+//! * [`service`] — [`Service`]: the bounded request queue (backpressure),
+//!   the batching worker thread, stream plumbing, and the in-process
+//!   [`ServeHandle`] used by tests and the bench harness.
+//! * [`config`] — [`ServeConfig`]: the `ATLAS_SERVE_*` environment knobs.
+//!
+//! The contract the test suite pins down: the service is observationally
+//! equivalent to the batch engine.  After any sequence of edits, a
+//! `specs` query returns an artifact byte-identical to a cold batch run
+//! over the equivalently edited program, whatever the interleaving of
+//! queries, flushes, cache evictions, and restarts in between.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod daemon;
+pub mod proto;
+pub mod service;
+pub mod shards;
+
+pub use config::ServeConfig;
+pub use daemon::{Daemon, ServeError, EXTRACTION};
+pub use proto::{
+    decode_request, decode_response, encode_request, encode_response, parse_mutation_kind,
+    read_frame, render_compact, salvage_id, EditRequest, Envelope, ErrorCode, Frame, Request,
+    Response, WireError, WIRE_SCHEMA,
+};
+pub use service::{ServeHandle, Service};
+pub use shards::{HotShards, ShardCacheStats};

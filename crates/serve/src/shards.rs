@@ -1,0 +1,295 @@
+//! The hot shard cache: an LRU of decoded closure shards with dirty-shard
+//! pinning and write-behind persistence.
+//!
+//! [`HotShards`] implements `atlas_core::ShardStore`, so an incremental
+//! session splices from and persists to *memory*; disk is only touched on
+//! a cache miss (shard load) and on [`HotShards::flush`] (write-behind).
+//! The invariants:
+//!
+//! * **Transparency.**  Because the daemon is the store root's sole owner
+//!   while resident, the in-memory merge performed by
+//!   [`ShardStore::persist_cluster`] equals the read-merge-write
+//!   `DiskShards` would have performed — a flush at any point leaves the
+//!   root byte-identical to what an all-disk run would have written.
+//! * **Pinning.**  A *dirty* shard (persisted to but not yet flushed) is
+//!   never evicted — eviction would lose verdicts and specs.  When every
+//!   resident shard is dirty the cache overflows its budget instead
+//!   (counted in [`ShardCacheStats::pin_overflows`]) until the next
+//!   flush unpins them.
+//! * **Determinism.**  Eviction only ever drops *clean* shards, whose
+//!   bytes are on disk; a re-load decodes the same artifact, so cache
+//!   pressure can change timings and I/O counts but never results.
+//!
+//! Spec artifacts are cached as raw JSON documents, not decoded
+//! [`SpecArtifact`]s: decoding resolves method symbols against a specific
+//! program, and the daemon's program changes on every edit.  Decoding per
+//! splice (cheap) keeps the cache program-independent.
+
+use atlas_core::{CacheArtifact, CacheProvenance, ShardStore, SpecArtifact, StoreError};
+use atlas_learn::VerdictCache;
+use atlas_store::{atomic_write, load_cache, load_document, save_cache, shard_entry, Json};
+use std::path::{Path, PathBuf};
+
+/// Counters of the hot shard cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCacheStats {
+    /// Shard lookups answered from memory.
+    pub hits: usize,
+    /// Shard lookups that went to disk.
+    pub misses: usize,
+    /// Clean shards dropped to stay within the budget.
+    pub evictions: usize,
+    /// Times the budget could not be enforced because every resident
+    /// shard was dirty (pinned).
+    pub pin_overflows: usize,
+    /// Flush passes performed.
+    pub flushes: usize,
+    /// Dirty shards written across all flush passes.
+    pub flushed_shards: usize,
+}
+
+/// One resident closure shard.
+struct HotEntry {
+    closure: u64,
+    /// The shard's spec document (`atlas-spec/1`), raw.  `None` when the
+    /// shard has no specs on disk yet.
+    specs: Option<Json>,
+    /// The shard's decoded verdict cache.  `None` when the shard has no
+    /// cache file on disk yet.
+    cache: Option<CacheArtifact>,
+    /// Whether the entry holds changes the disk does not.
+    dirty: bool,
+}
+
+/// An LRU cache of closure shards over a store root.  See the
+/// [module docs](self) for the invariants.
+pub struct HotShards {
+    root: PathBuf,
+    budget: usize,
+    /// LRU order: least-recently used first, most-recently used last.
+    entries: Vec<HotEntry>,
+    stats: ShardCacheStats,
+}
+
+impl HotShards {
+    /// A hot cache over `root` keeping at most `budget` shards resident
+    /// (a zero budget is promoted to one — the cache always holds the
+    /// shard it is actively serving).
+    pub fn new(root: &Path, budget: usize) -> HotShards {
+        HotShards {
+            root: root.to_path_buf(),
+            budget: budget.max(1),
+            entries: Vec::new(),
+            stats: ShardCacheStats::default(),
+        }
+    }
+
+    /// The store root this cache fronts.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The cache counters so far.
+    pub fn stats(&self) -> ShardCacheStats {
+        self.stats
+    }
+
+    /// Shards currently resident.
+    pub fn resident(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Resident shards holding unflushed changes.
+    pub fn dirty(&self) -> usize {
+        self.entries.iter().filter(|e| e.dirty).count()
+    }
+
+    /// Makes the shard for `closure` resident (loading both files from
+    /// disk on a miss) and returns its index — always the *last* slot,
+    /// because residency is an LRU touch.
+    fn ensure(&mut self, closure: u64) -> Result<usize, StoreError> {
+        if let Some(i) = self.entries.iter().position(|e| e.closure == closure) {
+            self.stats.hits += 1;
+            let entry = self.entries.remove(i);
+            self.entries.push(entry);
+            return Ok(self.entries.len() - 1);
+        }
+        self.stats.misses += 1;
+        let paths = shard_entry(&self.root, closure);
+        let specs = if paths.specs.exists() {
+            Some(load_document(&paths.specs)?)
+        } else {
+            None
+        };
+        let cache = if paths.cache.exists() {
+            Some(load_cache(&paths.cache)?)
+        } else {
+            None
+        };
+        self.entries.push(HotEntry {
+            closure,
+            specs,
+            cache,
+            dirty: false,
+        });
+        self.enforce_budget(Some(closure));
+        Ok(self.entries.len() - 1)
+    }
+
+    /// Evicts least-recently-used *clean* shards until the budget holds,
+    /// never touching the shard named by `protect` (the one currently
+    /// being served).  Dirty shards are pinned; when pins alone exceed
+    /// the budget the cache overflows and the overflow is counted.
+    fn enforce_budget(&mut self, protect: Option<u64>) {
+        while self.entries.len() > self.budget {
+            match self
+                .entries
+                .iter()
+                .position(|e| !e.dirty && Some(e.closure) != protect)
+            {
+                Some(i) => {
+                    self.entries.remove(i);
+                    self.stats.evictions += 1;
+                }
+                None => {
+                    self.stats.pin_overflows += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Writes every dirty shard back to disk — cache via the store's
+    /// atomic `save_cache`, specs via `atomic_write` of the cached
+    /// document — in closure order (deterministic file history), then
+    /// unpins them and re-enforces the budget.  Returns how many shards
+    /// were written.
+    ///
+    /// # Errors
+    /// Returns the `atlas-store` error of the first failed write; the
+    /// failed shard and its successors stay dirty (and pinned), so no
+    /// data is lost and a later flush can retry.
+    pub fn flush(&mut self) -> Result<usize, StoreError> {
+        self.stats.flushes += 1;
+        let mut dirty: Vec<usize> = (0..self.entries.len())
+            .filter(|&i| self.entries[i].dirty)
+            .collect();
+        dirty.sort_by_key(|&i| self.entries[i].closure);
+        let mut written = 0usize;
+        for i in dirty {
+            let entry = &self.entries[i];
+            let paths = shard_entry(&self.root, entry.closure);
+            if let Some(cache) = &entry.cache {
+                save_cache(&paths.cache, cache)?;
+            }
+            if let Some(specs) = &entry.specs {
+                atomic_write(&paths.specs, &specs.render())?;
+            }
+            self.entries[i].dirty = false;
+            written += 1;
+            self.stats.flushed_shards += 1;
+        }
+        self.enforce_budget(None);
+        Ok(written)
+    }
+}
+
+impl ShardStore for HotShards {
+    fn load_specs(
+        &mut self,
+        closure: u64,
+        program: &atlas_ir::Program,
+    ) -> Result<Option<SpecArtifact>, StoreError> {
+        let i = self.ensure(closure)?;
+        let Some(doc) = &self.entries[i].specs else {
+            return Ok(None);
+        };
+        let paths = shard_entry(&self.root, closure);
+        SpecArtifact::decode(doc, program)
+            .map(Some)
+            .map_err(|e| StoreError::schema(&paths.specs, e))
+    }
+
+    fn count_verdicts(&mut self, closure: u64, context: u64) -> Result<usize, StoreError> {
+        let i = self.ensure(closure)?;
+        Ok(self.entries[i]
+            .cache
+            .as_ref()
+            .map(|cache| {
+                cache
+                    .shards
+                    .iter()
+                    .filter(|s| s.provenance.context == context)
+                    .map(|s| s.entries.len())
+                    .sum()
+            })
+            .unwrap_or(0))
+    }
+
+    fn persist_cluster(
+        &mut self,
+        closure: u64,
+        fresh: &VerdictCache,
+        provenance: CacheProvenance,
+        specs: &SpecArtifact,
+        program: &atlas_ir::Program,
+    ) -> Result<usize, StoreError> {
+        let i = self.ensure(closure)?;
+        let paths = shard_entry(&self.root, closure);
+        let session = CacheArtifact::from_cache(fresh, provenance);
+        let mut resident = self.entries[i].cache.take().unwrap_or_default();
+        let before = resident.num_entries();
+        resident.merge(&session);
+        let new_entries = resident.num_entries() - before;
+        let doc = specs
+            .encode(program)
+            .map_err(|e| StoreError::schema(&paths.specs, e))?;
+        let entry = &mut self.entries[i];
+        entry.cache = Some(resident);
+        entry.specs = Some(doc);
+        entry.dirty = true;
+        Ok(new_entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("atlas-hot-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn missing_shards_resolve_to_empty_without_touching_disk_layout() {
+        let root = scratch("missing");
+        let mut hot = HotShards::new(&root, 2);
+        assert_eq!(hot.count_verdicts(7, 1).unwrap(), 0);
+        assert_eq!(hot.resident(), 1);
+        assert_eq!(hot.stats().misses, 1);
+        // The second lookup is a hit.
+        assert_eq!(hot.count_verdicts(7, 1).unwrap(), 0);
+        assert_eq!(hot.stats().hits, 1);
+        assert!(!root.exists(), "reads must not create the store root");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn clean_shards_evict_in_lru_order() {
+        let root = scratch("lru");
+        let mut hot = HotShards::new(&root, 2);
+        hot.count_verdicts(1, 0).unwrap();
+        hot.count_verdicts(2, 0).unwrap();
+        hot.count_verdicts(1, 0).unwrap(); // touch 1: now 2 is the LRU
+        hot.count_verdicts(3, 0).unwrap(); // evicts 2
+        assert_eq!(hot.resident(), 2);
+        assert_eq!(hot.stats().evictions, 1);
+        hot.count_verdicts(1, 0).unwrap(); // still resident: a hit
+        assert_eq!(hot.stats().hits, 2);
+        hot.count_verdicts(2, 0).unwrap(); // was evicted: a miss again
+        assert_eq!(hot.stats().misses, 4);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,201 @@
+//! Hot-shard cache transparency: a daemon squeezed into a one-shard LRU
+//! budget — evicting and reloading shards mid-stream — answers every edit
+//! exactly like a daemon that never evicts, and a write-behind daemon
+//! that pins dirty shards past its budget persists exactly the store an
+//! eager-flushing daemon does.
+
+use atlas_serve::{Daemon, EditRequest, Envelope, Request, ServeConfig};
+use atlas_store::Json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("atlas-serve-lru-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The edit script: body edits alternating between javalib-lang's two
+/// clusters, so a one-shard budget must evict on every step.
+const SCRIPT: &[&str] = &[
+    "StringBuilder.append",
+    "Integer.intValue",
+    "StringBuilder.append",
+    "Integer.intValue",
+    "StringBuilder.append",
+    "Integer.intValue",
+];
+
+struct ScriptOutcome {
+    /// One edit-response result per script step.
+    edits: Vec<Json>,
+    /// The final `specs` artifact, rendered.
+    specs: String,
+    /// The final `stats` result.
+    stats: Json,
+}
+
+fn run_script(store: &Path, shard_budget: usize, flush_every: usize) -> ScriptOutcome {
+    let mut config = ServeConfig::small(store.to_path_buf());
+    config.shard_budget = shard_budget;
+    config.flush_every = flush_every;
+    let mut daemon = Daemon::new(config).expect("daemon startup");
+    let edits = SCRIPT
+        .iter()
+        .enumerate()
+        .map(|(i, target)| {
+            let envelope = Envelope::of(Request::Edit(EditRequest {
+                kind: atlas_ir::MutationKind::BodyEdit,
+                target: Some(target.to_string()),
+                seed: 1000 + i as u64,
+            }));
+            daemon
+                .handle(&envelope)
+                .outcome
+                .unwrap_or_else(|e| panic!("edit {i} ({target}) failed: {e}"))
+        })
+        .collect();
+    let stats = daemon
+        .handle(&Envelope::of(Request::Stats))
+        .outcome
+        .expect("stats");
+    let specs = daemon
+        .handle(&Envelope::of(Request::Specs))
+        .outcome
+        .expect("specs")
+        .get("artifact")
+        .expect("artifact payload")
+        .render();
+    let flushed = daemon
+        .handle(&Envelope::of(Request::Flush))
+        .outcome
+        .expect("flush");
+    assert!(flushed.get("flushed_shards").is_some());
+    ScriptOutcome {
+        edits,
+        specs,
+        stats,
+    }
+}
+
+fn shard_stat(stats: &Json, key: &str) -> i64 {
+    stats
+        .get("shards")
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_int)
+        .unwrap_or_else(|| panic!("missing shard stat {key}: {stats:?}"))
+}
+
+/// Every file under a store root, keyed by relative path.
+fn store_files(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("store dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .into_owned();
+                files.insert(rel, std::fs::read(&path).expect("store file"));
+            }
+        }
+    }
+    files
+}
+
+/// A budget of one shard forces an eviction-and-reload on every step of
+/// the alternating script; the responses — re-execution counts included —
+/// and the final artifact must nonetheless be identical to a run whose
+/// cache holds everything.
+#[test]
+fn eviction_never_changes_results_or_execution_counts() {
+    let store_small = scratch("tight");
+    let store_big = scratch("roomy");
+    let small = run_script(&store_small, 1, 0);
+    let big = run_script(&store_big, 64, 0);
+
+    assert_eq!(
+        small.edits, big.edits,
+        "evicting mid-stream changed an edit response"
+    );
+    assert_eq!(small.specs, big.specs, "final artifacts diverged");
+
+    assert!(
+        shard_stat(&small.stats, "evictions") > 0,
+        "a one-shard budget must evict: {:?}",
+        small.stats
+    );
+    assert_eq!(
+        shard_stat(&big.stats, "evictions"),
+        0,
+        "a roomy budget must not evict: {:?}",
+        big.stats
+    );
+    // Reloads show up as misses: the tight cache re-reads shards the
+    // roomy cache kept hot.
+    assert!(
+        shard_stat(&small.stats, "misses") > shard_stat(&big.stats, "misses"),
+        "evicted shards must be reloaded from disk"
+    );
+    assert_eq!(shard_stat(&small.stats, "resident"), 1);
+
+    let _ = std::fs::remove_dir_all(&store_small);
+    let _ = std::fs::remove_dir_all(&store_big);
+}
+
+/// Dirty shards are pinned: under write-behind (no flush until asked) a
+/// one-shard budget overflows without evicting unpersisted work, and the
+/// eventual flush writes byte-for-byte the store an eager daemon wrote.
+#[test]
+fn pinned_dirty_shards_survive_the_budget_and_flush_identically() {
+    let store_eager = scratch("eager");
+    let store_behind = scratch("behind");
+    let eager = run_script(&store_eager, 1, 0);
+    let behind = run_script(&store_behind, 1, 100);
+
+    // Same answers, whatever the flush schedule (modulo the per-edit
+    // flush receipt, which reports the schedule itself).
+    let strip_flush = |edits: &[Json]| -> Vec<Json> {
+        edits
+            .iter()
+            .map(|e| e.clone().set("flushed_shards", Json::Null))
+            .collect()
+    };
+    assert_eq!(strip_flush(&eager.edits), strip_flush(&behind.edits));
+    assert_eq!(eager.specs, behind.specs);
+
+    // The write-behind run accumulated more dirty shards than its budget:
+    // the pin kept them resident instead of evicting unpersisted work.
+    assert!(
+        shard_stat(&behind.stats, "pin_overflows") > 0,
+        "dirty shards beyond the budget must overflow the pin: {:?}",
+        behind.stats
+    );
+    assert!(
+        shard_stat(&behind.stats, "dirty") > 1,
+        "write-behind must have accumulated dirty shards: {:?}",
+        behind.stats
+    );
+    assert_eq!(
+        shard_stat(&eager.stats, "dirty"),
+        0,
+        "eager flushing leaves nothing dirty: {:?}",
+        eager.stats
+    );
+
+    // After the final flush both stores hold the same files with the same
+    // bytes.
+    assert_eq!(
+        store_files(&store_eager),
+        store_files(&store_behind),
+        "write-behind persisted a different store than eager flushing"
+    );
+
+    let _ = std::fs::remove_dir_all(&store_eager);
+    let _ = std::fs::remove_dir_all(&store_behind);
+}

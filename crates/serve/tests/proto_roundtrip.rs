@@ -1,0 +1,306 @@
+//! Wire-protocol fuzzing: every request/response variant survives an
+//! encode → decode round trip, and no input — malformed, truncated, or
+//! oversized — makes the codec panic or the daemon wedge.
+//!
+//! The strategies here draw raw entropy (`u64` words) and derive JSON
+//! values, envelopes, and hostile byte streams from it with small
+//! deterministic generators, matching the vendored proptest's
+//! seed-per-case model.
+
+use atlas_serve::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, salvage_id,
+    EditRequest, Envelope, ErrorCode, Frame, Request, Response, ServeConfig, Service, WireError,
+};
+use atlas_store::Json;
+use proptest::prelude::*;
+use std::io::Write;
+
+/// A tiny splitmix64 so generators can fan one entropy word out into many.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Characters the string generator draws from: ASCII, escapes, quotes,
+/// multi-byte, and control characters — everything the escaper must handle.
+const CHARSET: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '{', '}', '[', ']', ':', ',', 'é',
+    '日', '🛰', '\u{7f}',
+];
+
+fn gen_string(state: &mut u64, max_len: usize) -> String {
+    let len = (mix(state) as usize) % (max_len + 1);
+    (0..len)
+        .map(|_| CHARSET[(mix(state) as usize) % CHARSET.len()])
+        .collect()
+}
+
+/// An arbitrary JSON value of bounded depth.  Object keys are made unique
+/// by index — the strict parser rejects duplicate keys, which would break
+/// the round trip for reasons that are the *parser's* contract, not the
+/// codec's.
+fn gen_json(state: &mut u64, depth: usize) -> Json {
+    let pick = (mix(state) as usize) % if depth == 0 { 5 } else { 7 };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(mix(state) & 1 == 0),
+        2 => Json::Int(mix(state) as i64),
+        3 => Json::Float((mix(state) as i64 % 1_000_000) as f64 / 8.0),
+        4 => Json::Str(gen_string(state, 12)),
+        5 => {
+            let n = (mix(state) as usize) % 4;
+            Json::Arr((0..n).map(|_| gen_json(state, depth - 1)).collect())
+        }
+        _ => {
+            let n = (mix(state) as usize) % 4;
+            let mut obj = Json::obj();
+            for i in 0..n {
+                obj = obj.set(
+                    format!("k{i}-{}", gen_string(state, 4)).as_str(),
+                    gen_json(state, depth - 1),
+                );
+            }
+            obj
+        }
+    }
+}
+
+fn gen_request(state: &mut u64) -> Request {
+    match (mix(state) as usize) % 8 {
+        0 => Request::Hello,
+        1 => Request::Ping,
+        2 => Request::Specs,
+        3 => Request::Fingerprint,
+        4 => Request::Stats,
+        5 => Request::Flush,
+        6 => Request::Shutdown,
+        _ => Request::Edit(EditRequest {
+            kind: [
+                atlas_ir::MutationKind::RenameLocal,
+                atlas_ir::MutationKind::BodyEdit,
+                atlas_ir::MutationKind::AddMethod,
+                atlas_ir::MutationKind::SignatureChange,
+            ][(mix(state) as usize) % 4],
+            // The wire carries seeds as JSON integers, so the codec's
+            // domain is the non-negative i64 range.
+            seed: mix(state) % (i64::MAX as u64 + 1),
+            target: if mix(state) & 1 == 0 {
+                None
+            } else {
+                Some(gen_string(state, 16))
+            },
+        }),
+    }
+}
+
+fn gen_envelope(state: &mut u64) -> Envelope {
+    Envelope {
+        id: if mix(state) & 1 == 0 {
+            None
+        } else {
+            Some(gen_json(state, 1))
+        },
+        request: gen_request(state),
+    }
+}
+
+const ALL_CODES: &[ErrorCode] = &[
+    ErrorCode::BadJson,
+    ErrorCode::OversizedFrame,
+    ErrorCode::BadRequest,
+    ErrorCode::BadEdit,
+    ErrorCode::Store,
+    ErrorCode::ShuttingDown,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every request envelope round-trips through one single-line frame.
+    #[test]
+    fn request_envelopes_round_trip(entropy in any::<u64>()) {
+        let mut state = entropy;
+        let envelope = gen_envelope(&mut state);
+        let frame = encode_request(&envelope);
+        prop_assert!(!frame.contains('\n'), "frames must be single lines");
+        let decoded = decode_request(&frame);
+        prop_assert_eq!(decoded, Ok(envelope));
+    }
+
+    /// Every response — ok with an arbitrary payload, or err with every
+    /// error code and a hostile message — round-trips likewise.
+    #[test]
+    fn responses_round_trip(entropy in any::<u64>()) {
+        let mut state = entropy;
+        let id = if mix(&mut state) & 1 == 0 {
+            None
+        } else {
+            Some(gen_json(&mut state, 1))
+        };
+        let response = if mix(&mut state) & 1 == 0 {
+            Response::ok(id, gen_json(&mut state, 2))
+        } else {
+            Response::err(
+                id,
+                WireError::new(
+                    ALL_CODES[(mix(&mut state) as usize) % ALL_CODES.len()],
+                    gen_string(&mut state, 24),
+                ),
+            )
+        };
+        let frame = encode_response(&response);
+        prop_assert!(!frame.contains('\n'), "frames must be single lines");
+        prop_assert_eq!(decode_response(&frame), Ok(response));
+    }
+
+    /// Arbitrary garbage — including truncations of valid frames — never
+    /// panics the decoder or the id salvager; failures are structured.
+    #[test]
+    fn hostile_frames_fail_structurally(entropy in any::<u64>()) {
+        let mut state = entropy;
+        let line = match (mix(&mut state) as usize) % 3 {
+            // Raw noise.
+            0 => gen_string(&mut state, 40),
+            // A valid frame truncated at an arbitrary char boundary.
+            1 => {
+                let valid = encode_request(&gen_envelope(&mut state));
+                let cut = (mix(&mut state) as usize) % (valid.len() + 1);
+                valid.chars().take(cut).collect()
+            }
+            // Valid JSON that is not a valid request.
+            _ => atlas_serve::render_compact(&gen_json(&mut state, 2)),
+        };
+        let _ = salvage_id(&line);
+        if let Err(error) = decode_request(&line) {
+            prop_assert!(
+                matches!(error.code, ErrorCode::BadJson | ErrorCode::BadRequest),
+                "decode failures must be bad-json or bad-request, got {}",
+                error.code.as_str()
+            );
+            prop_assert!(!error.message.is_empty());
+        }
+    }
+
+    /// The bounded frame reader stays line-synchronized over arbitrary
+    /// streams: short lines come back verbatim, overlong lines collapse to
+    /// one `Oversized` marker each, and the stream always ends in `Eof`.
+    #[test]
+    fn frame_reader_stays_line_synchronized(entropy in any::<u64>()) {
+        const MAX_FRAME: usize = 32;
+        let mut state = entropy;
+        let n_lines = (mix(&mut state) as usize) % 6;
+        let mut lines = Vec::new();
+        for _ in 0..n_lines {
+            let oversize = mix(&mut state).is_multiple_of(3);
+            let len = if oversize {
+                MAX_FRAME + 1 + (mix(&mut state) as usize) % 80
+            } else {
+                (mix(&mut state) as usize) % (MAX_FRAME + 1)
+            };
+            let line: String = (0..len)
+                .map(|_| {
+                    // ASCII payload, no newline/CR: one byte per char keeps
+                    // the length-vs-bound arithmetic exact.
+                    let c = b' ' + (mix(&mut state) % 94) as u8;
+                    c as char
+                })
+                .collect();
+            lines.push(line);
+        }
+        let mut stream = String::new();
+        for line in &lines {
+            stream.push_str(line);
+            stream.push('\n');
+        }
+        let mut reader = std::io::BufReader::new(stream.as_bytes());
+        for line in &lines {
+            let frame = read_frame(&mut reader, MAX_FRAME).expect("in-memory read");
+            if line.len() > MAX_FRAME {
+                prop_assert_eq!(frame, Frame::Oversized);
+            } else {
+                prop_assert_eq!(frame, Frame::Line(line.clone()));
+            }
+        }
+        prop_assert_eq!(read_frame(&mut reader, MAX_FRAME).expect("eof"), Frame::Eof);
+    }
+}
+
+/// A `Write` handle the stream test can inspect after the writer thread
+/// finishes with it.
+#[derive(Clone)]
+struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A live daemon fed a hostile stream answers every frame with a
+/// structured response — in order, without panicking or wedging — and
+/// still serves honest requests afterwards.
+#[test]
+fn daemon_survives_hostile_stream() {
+    let store = std::env::temp_dir().join(format!("atlas-serve-hostile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let mut config = ServeConfig::small(store.clone());
+    config.max_frame = 256;
+    let service = Service::spawn(config).expect("daemon startup");
+
+    let oversized = format!("{{\"id\":9,\"op\":\"{}\"}}", "x".repeat(400));
+    let frames = [
+        "{\"op\":\"ping\",\"id\":1}",                        // honest
+        "this is not json",                                  // bad-json
+        "{\"op\":\"ping\"",                                  // truncated JSON
+        "[1,2,3]",                                           // JSON, not an object
+        "{\"id\":4}",                                        // no op
+        "{\"op\":\"warp\",\"id\":5}",                        // unknown op
+        "{\"op\":\"edit\",\"kind\":7,\"id\":6}",             // wrong type
+        "{\"op\":\"edit\",\"seed\":-1,\"id\":7}",            // negative seed
+        "{\"op\":\"edit\",\"target\":\"No.such\",\"id\":8}", // ineligible edit
+        oversized.as_str(),                                  // oversized frame
+        "",                                                  // blank: skipped
+        "{\"op\":\"ping\",\"id\":10}",                       // still alive?
+        "{\"op\":\"shutdown\",\"id\":11}",
+    ];
+    let input = frames.join("\n") + "\n";
+    let sink = SharedSink(Default::default());
+    service
+        .serve_stream(std::io::BufReader::new(input.as_bytes()), sink.clone(), 256)
+        .expect("stream served");
+
+    let output = sink.0.lock().unwrap().clone();
+    let output = String::from_utf8(output).expect("utf-8 responses");
+    let responses: Vec<Response> = output
+        .lines()
+        .map(|line| decode_response(line).expect("every reply is a structured response"))
+        .collect();
+    // One response per non-blank frame, in order.
+    assert_eq!(responses.len(), frames.len() - 1);
+
+    let code_of = |r: &Response| r.outcome.as_ref().err().map(|e| e.code);
+    assert!(responses[0].outcome.is_ok(), "honest ping: {responses:?}");
+    assert_eq!(responses[0].id, Some(Json::Int(1)));
+    assert_eq!(code_of(&responses[1]), Some(ErrorCode::BadJson));
+    assert_eq!(code_of(&responses[2]), Some(ErrorCode::BadJson));
+    assert_eq!(code_of(&responses[3]), Some(ErrorCode::BadRequest));
+    assert_eq!(code_of(&responses[4]), Some(ErrorCode::BadRequest));
+    assert_eq!(responses[4].id, Some(Json::Int(4)), "salvaged id echoes");
+    assert_eq!(code_of(&responses[5]), Some(ErrorCode::BadRequest));
+    assert_eq!(code_of(&responses[6]), Some(ErrorCode::BadRequest));
+    assert_eq!(code_of(&responses[7]), Some(ErrorCode::BadRequest));
+    assert_eq!(code_of(&responses[8]), Some(ErrorCode::BadEdit));
+    assert_eq!(responses[8].id, Some(Json::Int(8)));
+    assert_eq!(code_of(&responses[9]), Some(ErrorCode::OversizedFrame));
+    assert!(responses[10].outcome.is_ok(), "daemon must not wedge");
+    assert_eq!(responses[10].id, Some(Json::Int(10)));
+    assert!(responses[11].outcome.is_ok(), "orderly shutdown");
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -1,0 +1,146 @@
+//! Differential testing of the resident service: whatever interleaving of
+//! edits and queries a daemon serves, its final specification artifact is
+//! byte-identical to a cold batch `Engine` run over the equivalently
+//! edited program — the service is just a faster way to compute the same
+//! bytes.
+//!
+//! Each proptest case derives a random scenario from one entropy word: a
+//! library, cache/flush knobs (including degenerate one-shard budgets and
+//! never-flush write-behind), and a short interleaved script of mutations
+//! and queries.  The client replays accepted mutations in lock step, so a
+//! daemon/batch divergence in *eligibility* is caught as loudly as one in
+//! spec content.
+
+use atlas_core::{AtlasConfig, Engine};
+use atlas_ir::hash::library_fingerprint;
+use atlas_ir::{LibraryInterface, MutationKind};
+use atlas_serve::{Daemon, EditRequest, Envelope, Request, ServeConfig, EXTRACTION};
+use atlas_store::Json;
+use proptest::prelude::*;
+
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const LIBRARIES: &[&str] = &["javalib-lang", "synth-small"];
+const KINDS: &[MutationKind] = &[
+    MutationKind::BodyEdit,
+    MutationKind::RenameLocal,
+    MutationKind::AddMethod,
+    MutationKind::SignatureChange,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn daemon_artifacts_equal_cold_batch_replay(entropy in any::<u64>()) {
+        let mut state = entropy;
+        let library = LIBRARIES[(mix(&mut state) as usize) % LIBRARIES.len()];
+        let store = std::env::temp_dir().join(format!(
+            "atlas-serve-equiv-{entropy:016x}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&store);
+
+        let mut config = ServeConfig::small(store.clone());
+        config.library = library.to_string();
+        config.samples = 150;
+        config.shard_budget = [1, 4, 64][(mix(&mut state) as usize) % 3];
+        config.flush_every = [0, 2, 100][(mix(&mut state) as usize) % 3];
+        let samples = config.samples;
+        let synth_seed = config.synth_seed;
+        let mut daemon = Daemon::new(config).expect("daemon startup");
+
+        // The client's lock-step replica of the library under edit.
+        let lib = atlas_apps::build_library(library, synth_seed).expect("registry library");
+        let mut program = lib.program;
+
+        let steps = 3 + (mix(&mut state) as usize) % 4;
+        for step in 0..steps {
+            if mix(&mut state) % 10 < 7 {
+                let mutation = atlas_apps::MutationConfig {
+                    kind: KINDS[(mix(&mut state) as usize) % KINDS.len()],
+                    seed: mix(&mut state) % 1_000_000,
+                    target: None,
+                };
+                let response = daemon.handle(&Envelope::of(Request::Edit(EditRequest {
+                    kind: mutation.kind,
+                    seed: mutation.seed,
+                    target: None,
+                })));
+                match (response.outcome, atlas_apps::mutate_library(&program, &mutation)) {
+                    (Ok(_), Ok(mutated)) => program = mutated.program,
+                    (Err(error), Err(_)) => {
+                        prop_assert!(
+                            error.code == atlas_serve::ErrorCode::BadEdit,
+                            "step {}: unexpected failure {}",
+                            step,
+                            error.message
+                        );
+                    }
+                    (daemon_side, local) => {
+                        return Err(TestCaseError::Fail(format!(
+                            "step {step}: daemon and batch disagree on eligibility \
+                             (daemon {daemon_side:?}, local {:?})",
+                            local.map(|m| m.outcome.description)
+                        )));
+                    }
+                }
+            } else {
+                // Interleaved queries must never perturb inference state.
+                let query = match mix(&mut state) % 4 {
+                    0 => Request::Ping,
+                    1 => Request::Fingerprint,
+                    2 => Request::Stats,
+                    _ => Request::Flush,
+                };
+                let response = daemon.handle(&Envelope::of(query));
+                prop_assert!(response.outcome.is_ok());
+            }
+        }
+
+        let served = daemon
+            .handle(&Envelope::of(Request::Specs))
+            .outcome
+            .expect("specs query");
+        let served_artifact = served.get("artifact").expect("artifact payload").render();
+
+        // The cold batch baseline over the replayed program.
+        let interface = LibraryInterface::from_program(&program);
+        let atlas_config = AtlasConfig {
+            samples_per_cluster: samples,
+            clusters: lib.clusters.clone(),
+            num_threads: 1,
+            ..AtlasConfig::default()
+        };
+        let outcome = Engine::new(&program, &interface, atlas_config).run();
+        let cold_artifact = outcome
+            .spec_artifact(&program, &interface, EXTRACTION.0, EXTRACTION.1)
+            .encode(&program)
+            .expect("encodable artifact")
+            .render();
+        prop_assert!(
+            served_artifact == cold_artifact,
+            "library {} diverged from cold batch replay",
+            library
+        );
+
+        // The daemon's notion of the library is the replayed content.
+        let fingerprint = daemon
+            .handle(&Envelope::of(Request::Fingerprint))
+            .outcome
+            .expect("fingerprint query");
+        let expected = atlas_store::hex64_string(library_fingerprint(&program, &interface));
+        prop_assert_eq!(
+            fingerprint.get("library_fingerprint").and_then(Json::as_str),
+            Some(expected.as_str())
+        );
+
+        let _ = std::fs::remove_dir_all(&store);
+    }
+}

@@ -1,0 +1,281 @@
+//! Concurrency stress for the resident service: several client threads
+//! hammer one daemon — whose worker runs under a one-thread budget and a
+//! deliberately tiny request queue — with edits to *disjoint* class
+//! clusters.  The protocol promises that:
+//!
+//! * every request gets exactly one response with its id echoed;
+//! * each edit's response is deterministic wherever the scheduler lands
+//!   it, because closure-disjoint edits commute (responses carry no
+//!   timing, and the library-wide fingerprint is the one field that
+//!   depends on the interleaving);
+//! * the final persisted store equals the store a sequential replay
+//!   produces, modulo the provenance stamp recording which library-wide
+//!   content each shard was minted under;
+//! * nothing deadlocks, even with the queue bounded far below the request
+//!   count (backpressure blocks producers instead).
+
+use atlas_serve::{Daemon, EditRequest, Envelope, Request, Response, ServeConfig, Service};
+use atlas_store::Json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// One eligible body-edit target per client thread, each in a different
+/// javalib-collections cluster (clusters 5, 1, 7, and 8 of the variant).
+const TARGETS: &[&str] = &[
+    "TreeMap.put",
+    "Vector.add",
+    "ArrayDeque.addFirst",
+    "PriorityQueue.offer",
+];
+const EDITS_PER_THREAD: usize = 3;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("atlas-serve-stress-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(store: &Path) -> ServeConfig {
+    let mut config = ServeConfig::small(store.to_path_buf());
+    config.library = "javalib-collections".to_string();
+    config.samples = 80;
+    config.threads = 1;
+    config.queue_capacity = 4;
+    config.flush_every = 0;
+    config
+}
+
+fn edit_envelope(thread: usize, step: usize) -> Envelope {
+    Envelope::with_id(
+        format!("t{thread}e{step}").as_str(),
+        Request::Edit(EditRequest {
+            kind: atlas_ir::MutationKind::BodyEdit,
+            target: Some(TARGETS[thread].to_string()),
+            seed: (100 * thread + step) as u64,
+        }),
+    )
+}
+
+/// Runs the concurrent scenario once: `TARGETS.len()` client threads,
+/// each streaming its edits interleaved with queries.  Returns each
+/// thread's edit responses (in its own send order) plus the final specs
+/// artifact and fingerprint.
+fn run_concurrent(store: &Path) -> (Vec<Vec<Response>>, String, String) {
+    let mut service = Service::spawn(config(store)).expect("daemon startup");
+    let transcripts: Vec<Vec<Response>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..TARGETS.len())
+            .map(|t| {
+                let handle = service.handle();
+                scope.spawn(move || {
+                    let mut responses = Vec::new();
+                    for step in 0..EDITS_PER_THREAD {
+                        responses.push(handle.request(edit_envelope(t, step)));
+                        // Interleaved introspection: must answer ok and
+                        // echo the id, content not compared (it is
+                        // interleaving-dependent by design).
+                        let ping = handle.request(Envelope::with_id(
+                            format!("t{t}p{step}").as_str(),
+                            Request::Ping,
+                        ));
+                        assert!(ping.outcome.is_ok(), "ping failed: {ping:?}");
+                        assert_eq!(ping.id, Some(Json::str(format!("t{t}p{step}"))));
+                    }
+                    responses
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    let handle = service.handle();
+    let specs = handle
+        .request(Envelope::of(Request::Specs))
+        .outcome
+        .expect("specs");
+    let artifact = specs.get("artifact").expect("artifact").render();
+    let fingerprint = specs
+        .get("library_fingerprint")
+        .and_then(Json::as_str)
+        .expect("fingerprint")
+        .to_string();
+    let shutdown = handle.request(Envelope::of(Request::Shutdown));
+    assert!(shutdown.outcome.is_ok(), "shutdown failed: {shutdown:?}");
+    service.join();
+    (transcripts, artifact, fingerprint)
+}
+
+/// Strips the one interleaving-dependent field from an edit response.
+fn mask_edit(response: &Response) -> (Option<Json>, Result<Json, String>) {
+    (
+        response.id.clone(),
+        response
+            .outcome
+            .clone()
+            .map(|result| result.set("library_fingerprint", Json::Null))
+            .map_err(|e| e.to_string()),
+    )
+}
+
+/// Masks the provenance stamp (`library_fingerprint` next to `context`)
+/// inside a parsed store document, recursively.
+fn mask_provenance(json: Json) -> Json {
+    match json {
+        Json::Obj(fields) => {
+            let is_provenance = fields.iter().any(|(k, _)| k == "context")
+                && fields.iter().any(|(k, _)| k == "library_fingerprint");
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| {
+                        if is_provenance && k == "library_fingerprint" {
+                            (k, Json::Null)
+                        } else {
+                            (k, mask_provenance(v))
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        Json::Arr(items) => Json::Arr(items.into_iter().map(mask_provenance).collect()),
+        other => other,
+    }
+}
+
+/// Every file under a store root, parsed and provenance-masked.
+fn store_snapshot(root: &Path) -> BTreeMap<String, String> {
+    let mut files = BTreeMap::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("store dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .into_owned();
+                let text = std::fs::read_to_string(&path).expect("store file");
+                let doc = Json::parse(&text).expect("store documents are JSON");
+                files.insert(rel, mask_provenance(doc).render());
+            }
+        }
+    }
+    files
+}
+
+#[test]
+fn concurrent_edit_streams_are_deterministic_and_equal_sequential_replay() {
+    // A watchdog turns a deadlock into a failure instead of a CI hang.
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let worker = std::thread::spawn(move || {
+        // Owned by the worker: dropped on finish *or* panic, waking the
+        // watchdog either way.
+        let _done = done_tx;
+        let store_a = scratch("run-a");
+        let store_b = scratch("run-b");
+        let store_seq = scratch("seq");
+
+        let (transcripts_a, artifact_a, fingerprint_a) = run_concurrent(&store_a);
+        let (transcripts_b, artifact_b, fingerprint_b) = run_concurrent(&store_b);
+
+        // Every request answered, every id echoed, every edit applied.
+        for (t, transcript) in transcripts_a.iter().enumerate() {
+            assert_eq!(transcript.len(), EDITS_PER_THREAD);
+            for (step, response) in transcript.iter().enumerate() {
+                assert_eq!(
+                    response.id,
+                    Some(Json::str(format!("t{t}e{step}"))),
+                    "id echo for thread {t} step {step}"
+                );
+                let result = response
+                    .outcome
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("edit t{t}e{step} failed: {e}"));
+                let clusters = result.get("clusters").expect("clusters");
+                assert_eq!(
+                    clusters.get("dirty"),
+                    Some(&Json::Int(1)),
+                    "a one-method edit dirties exactly its own cluster"
+                );
+                assert_eq!(clusters.get("forced_dirty"), Some(&Json::Int(0)));
+            }
+        }
+
+        // Interleaving-independence: a second concurrent run (scheduled
+        // however the OS pleases) yields the same response to every
+        // request, library-wide fingerprint aside.
+        for (a, b) in transcripts_a.iter().zip(&transcripts_b) {
+            let a: Vec<_> = a.iter().map(mask_edit).collect();
+            let b: Vec<_> = b.iter().map(mask_edit).collect();
+            assert_eq!(a, b, "edit responses depend on the interleaving");
+        }
+
+        // Final state is interleaving-independent outright (the edits
+        // commute), and equals a sequential replay through a bare daemon.
+        assert_eq!(fingerprint_a, fingerprint_b);
+        assert_eq!(artifact_a, artifact_b);
+
+        let mut daemon = Daemon::new(config(&store_seq)).expect("sequential daemon");
+        for t in 0..TARGETS.len() {
+            for step in 0..EDITS_PER_THREAD {
+                let response = daemon.handle(&edit_envelope(t, step));
+                assert!(
+                    response.outcome.is_ok(),
+                    "sequential edit failed: {response:?}"
+                );
+            }
+        }
+        let specs = daemon
+            .handle(&Envelope::of(Request::Specs))
+            .outcome
+            .expect("sequential specs");
+        assert_eq!(
+            specs.get("library_fingerprint").and_then(Json::as_str),
+            Some(fingerprint_a.as_str()),
+            "concurrent and sequential replays converged on different content"
+        );
+        assert_eq!(
+            specs.get("artifact").expect("artifact").render(),
+            artifact_a,
+            "concurrent and sequential artifacts diverged"
+        );
+        daemon.flush().expect("sequential flush");
+
+        // The persisted stores agree file-for-file.
+        let concurrent = store_snapshot(&store_a);
+        let sequential = store_snapshot(&store_seq);
+        let concurrent_keys: Vec<&String> = concurrent.keys().collect();
+        let sequential_keys: Vec<&String> = sequential.keys().collect();
+        assert_eq!(
+            concurrent_keys, sequential_keys,
+            "concurrent and sequential replays persisted different shard sets"
+        );
+        for (rel, doc) in &concurrent {
+            assert_eq!(
+                doc, &sequential[rel],
+                "store file {rel} differs between concurrent and sequential replay"
+            );
+        }
+
+        let _ = std::fs::remove_dir_all(&store_a);
+        let _ = std::fs::remove_dir_all(&store_b);
+        let _ = std::fs::remove_dir_all(&store_seq);
+    });
+    match done_rx.recv_timeout(Duration::from_secs(570)) {
+        Ok(()) => unreachable!("nothing sends"),
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("stress scenario deadlocked (no progress in 570s)");
+        }
+    }
+}
