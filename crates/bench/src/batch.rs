@@ -28,13 +28,14 @@
 //! The `batch` binary prints the JSON to stdout (and the summary to
 //! stderr): `cargo run --release -p atlas-bench --bin batch > report.json`.
 
-use crate::config::{app_count, env_parse, sample_budget, store_dir, thread_budget};
+use crate::config::{app_count, env_parse, sample_budget, store_dir, thread_budget, trace_enabled};
 use crate::context::{EvalContext, SpecSet};
 use crate::json::Json;
 use atlas_apps::{generate_suite, AppConfig};
 use atlas_core::{AtlasConfig, Engine, InferenceOutcome, StoreError, VerdictCache};
 use atlas_ir::LibraryInterface;
 use atlas_javalib::{class_ids, library_program, CLASS_CLUSTERS};
+use atlas_obs::Recorder;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -66,6 +67,11 @@ pub struct BatchConfig {
     /// `store` section with the reload hit rate and the cross-process
     /// determinism verdict.
     pub store: Option<PathBuf>,
+    /// Record span events (`ATLAS_TRACE`).  Metrics counters are always
+    /// collected; tracing additionally buffers the event stream a
+    /// `--trace-out` / `ATLAS_TRACE_OUT` sink renders as Chrome trace
+    /// JSON.  Never changes results — only observes them.
+    pub trace: bool,
 }
 
 impl Default for BatchConfig {
@@ -83,6 +89,7 @@ impl Default for BatchConfig {
                 size_factor: 2,
             },
             store: None,
+            trace: false,
         }
     }
 }
@@ -105,6 +112,7 @@ impl BatchConfig {
             config.app_config.size_factor = factor;
         }
         config.store = store_dir();
+        config.trace = trace_enabled();
         config
     }
 
@@ -118,6 +126,7 @@ impl BatchConfig {
                 ..BatchConfig::default().app_config
             },
             store: None,
+            trace: false,
         }
     }
 }
@@ -179,6 +188,10 @@ pub struct BatchReport {
     pub json: Json,
     /// A short human-readable summary (one line per headline number).
     pub summary: String,
+    /// The run's observability session (span events when
+    /// [`BatchConfig::trace`] was set) — feed it to
+    /// [`atlas_obs::write_chrome_trace`] for the `--trace-out` sink.
+    pub recorder: Recorder,
 }
 
 /// Resolved store file locations inside the `ATLAS_STORE` directory.
@@ -196,6 +209,14 @@ struct StorePaths {
 /// turns this into a nonzero exit with a human-readable message instead of
 /// a panic.
 pub fn run_batch(config: &BatchConfig) -> Result<BatchReport, StoreError> {
+    // One observability session spans both inference legs: the cold leg
+    // records on the base lane stripe, the warm leg 4096 lanes up, so
+    // their cluster tracks never interleave in the exported trace.
+    let recorder = if config.trace {
+        Recorder::tracing()
+    } else {
+        Recorder::metrics()
+    };
     let library = library_program();
     let interface = LibraryInterface::from_program(&library);
     let clusters: Vec<_> = CLASS_CLUSTERS
@@ -232,7 +253,8 @@ pub fn run_batch(config: &BatchConfig) -> Result<BatchReport, StoreError> {
     //    the store held a cache, in which case this is a cross-process warm
     //    run and every cached word skips its oracle execution.
     let cold_start = Instant::now();
-    let mut engine = Engine::new(&library, &interface, atlas_config.clone());
+    let mut engine =
+        Engine::new(&library, &interface, atlas_config.clone()).with_recorder(recorder.clone());
     if let Some(cache) = disk_cache {
         engine = engine.warm_start(cache);
     }
@@ -267,6 +289,7 @@ pub fn run_batch(config: &BatchConfig) -> Result<BatchReport, StoreError> {
     //    bit-identical; only executions (and wall-clock) drop.
     let warm_start = Instant::now();
     let warm = Engine::new(&library, &interface, atlas_config)
+        .with_recorder(recorder.with_lane_base(4096))
         .warm_start(cache)
         .run();
     let warm_time = warm_start.elapsed();
@@ -418,7 +441,8 @@ pub fn run_batch(config: &BatchConfig) -> Result<BatchReport, StoreError> {
             },
         )
         .set("apps", Json::Arr(app_rows))
-        .set("totals", totals_json);
+        .set("totals", totals_json)
+        .set("metrics", atlas_obs::metrics_snapshot(&recorder));
 
     let mut summary = String::new();
     let _ = writeln!(
@@ -472,7 +496,11 @@ pub fn run_batch(config: &BatchConfig) -> Result<BatchReport, StoreError> {
         );
     }
 
-    Ok(BatchReport { json, summary })
+    Ok(BatchReport {
+        json,
+        summary,
+        recorder,
+    })
 }
 
 /// Result-identity check between two inference outcomes: same automata

@@ -22,6 +22,10 @@
 //!   (0 = one per core); CI matrices pass this instead of mutating the
 //!   environment.
 //! * `--store PATH` — persistent store directory, overriding `ATLAS_STORE`.
+//! * `--trace` — record span events (overriding `ATLAS_TRACE`); never
+//!   changes results.
+//! * `--trace-out PATH` — write the run's Chrome trace-event JSON to
+//!   `PATH` (implies `--trace`; overrides `ATLAS_TRACE_OUT`).
 //! * `--expect-warm` — assert the cross-process warm-start invariants after
 //!   the run: the store had a cache, the reload hit rate is nonzero, the
 //!   first leg re-executed nothing, and the inferred spec set is
@@ -32,13 +36,17 @@ use atlas_bench::Json;
 use std::path::PathBuf;
 
 fn usage(message: &str) -> ! {
-    eprintln!("batch: {message}\nusage: batch [--threads N] [--store PATH] [--expect-warm]");
+    eprintln!(
+        "batch: {message}\nusage: batch [--threads N] [--store PATH] [--trace] \
+         [--trace-out PATH] [--expect-warm]"
+    );
     std::process::exit(1);
 }
 
 fn main() {
     let mut config = atlas_bench::BatchConfig::from_env();
     let mut expect_warm = false;
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,6 +59,14 @@ fn main() {
             "--store" => {
                 config.store = Some(PathBuf::from(
                     args.next().unwrap_or_else(|| usage("--store needs a path")),
+                ));
+            }
+            "--trace" => config.trace = true,
+            "--trace-out" => {
+                config.trace = true;
+                trace_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a path")),
                 ));
             }
             "--expect-warm" => expect_warm = true,
@@ -81,6 +97,7 @@ fn main() {
     };
     eprint!("{}", report.summary);
     atlas_bench::emit_report("batch", &report.json.render(), "ATLAS_BATCH_OUT");
+    atlas_bench::export_trace(&report.recorder, trace_out);
     if expect_warm {
         verify_warm_start(&report.json);
     }

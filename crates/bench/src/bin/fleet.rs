@@ -27,6 +27,10 @@
 //!   report (see `atlas_bench::fleet::normalized`); two same-seed runs
 //!   against the same store state produce byte-identical files, which CI
 //!   `cmp`s.
+//! * `--trace` — record span events (overriding `ATLAS_TRACE`); never
+//!   changes results.
+//! * `--trace-out PATH` — write the run's Chrome trace-event JSON to
+//!   `PATH` (implies `--trace`; overrides `ATLAS_TRACE_OUT`).
 //! * `--expect-warm` — assert that *every* library warm-started from its
 //!   shard with zero re-executions and a byte-identical spec export; exits
 //!   `1` otherwise.
@@ -38,7 +42,8 @@ use std::path::PathBuf;
 fn usage(message: &str) -> ! {
     eprintln!(
         "fleet: {message}\nusage: fleet [--list] [--libraries A,B,...] [--threads N] \
-         [--samples N] [--store ROOT] [--normalized-out PATH] [--expect-warm]"
+         [--samples N] [--store ROOT] [--normalized-out PATH] [--trace] [--trace-out PATH] \
+         [--expect-warm]"
     );
     std::process::exit(1);
 }
@@ -47,6 +52,7 @@ fn main() {
     let mut config = FleetConfig::from_env();
     let mut expect_warm = false;
     let mut normalized_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -85,6 +91,14 @@ fn main() {
                         .unwrap_or_else(|| usage("--normalized-out needs a path")),
                 ));
             }
+            "--trace" => config.trace = true,
+            "--trace-out" => {
+                config.trace = true;
+                trace_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a path")),
+                ));
+            }
             "--expect-warm" => expect_warm = true,
             other => usage(&format!("unknown argument '{other}'")),
         }
@@ -112,6 +126,7 @@ fn main() {
     };
     eprint!("{}", report.summary);
     atlas_bench::emit_report("fleet", &report.json.render(), "ATLAS_FLEET_OUT");
+    atlas_bench::export_trace(&report.recorder, trace_out);
     if let Some(path) = &normalized_out {
         let norm = fleet::normalized(&report.json).render();
         if let Err(e) = std::fs::write(path, &norm) {

@@ -25,6 +25,10 @@
 //!   `signature-change` (default `body-edit`).
 //! * `--target NAME` — explicit `Class.method` (or class, for add-method).
 //! * `--seed N` — mutation seed.
+//! * `--trace` — record span events (overriding `ATLAS_TRACE`); never
+//!   changes results.
+//! * `--trace-out PATH` — write the run's Chrome trace-event JSON to
+//!   `PATH` (implies `--trace`; overrides `ATLAS_TRACE_OUT`).
 //! * `--expect-incremental` — assert the incremental contract: fewer than
 //!   all clusters dirty, no forced re-runs, byte-identical splice, and
 //!   fewer re-executions than the cold baseline.  Exits `1` otherwise.
@@ -36,7 +40,8 @@ use std::path::PathBuf;
 fn usage(message: &str) -> ! {
     eprintln!(
         "incremental: {message}\nusage: incremental [--library NAME] [--samples N] [--threads N] \
-         [--store ROOT] [--mutation KIND] [--target NAME] [--seed N] [--expect-incremental]"
+         [--store ROOT] [--mutation KIND] [--target NAME] [--seed N] [--trace] \
+         [--trace-out PATH] [--expect-incremental]"
     );
     std::process::exit(1);
 }
@@ -54,6 +59,7 @@ fn parse_kind(raw: &str) -> MutationKind {
 fn main() {
     let mut config = IncrConfig::from_env();
     let mut expect_incremental = false;
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -97,6 +103,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
             }
+            "--trace" => config.trace = true,
+            "--trace-out" => {
+                config.trace = true;
+                trace_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a path")),
+                ));
+            }
             "--expect-incremental" => expect_incremental = true,
             other => usage(&format!("unknown argument '{other}'")),
         }
@@ -118,6 +132,7 @@ fn main() {
     };
     eprint!("{}", report.summary);
     atlas_bench::emit_report("incremental", &report.json.render(), "ATLAS_INCR_OUT");
+    atlas_bench::export_trace(&report.recorder, trace_out);
     if expect_incremental {
         verify_incremental(&report.json, &config);
     }

@@ -21,17 +21,22 @@
 //!   environment.
 //! * `--samples N` — sampling budget of the cross-engine inference
 //!   identity check.
+//! * `--trace` — record span events (overriding `ATLAS_TRACE`); never
+//!   changes results.
+//! * `--trace-out PATH` — write the run's Chrome trace-event JSON to
+//!   `PATH` (implies `--trace`; overrides `ATLAS_TRACE_OUT`).
 //! * `--expect-speedup X` — assert the performance and equivalence
 //!   contract: identical verdicts, steps, and inferred specs under both
 //!   engines, and bytecode throughput at least `X` times the
 //!   tree-walker's.  Exits `1` otherwise.
 
 use atlas_bench::{Json, OracleBenchConfig};
+use std::path::PathBuf;
 
 fn usage(message: &str) -> ! {
     eprintln!(
         "oracle: {message}\nusage: oracle [--library NAME] [--words N] [--rounds N] \
-         [--samples N] [--expect-speedup X]"
+         [--samples N] [--trace] [--trace-out PATH] [--expect-speedup X]"
     );
     std::process::exit(1);
 }
@@ -39,6 +44,7 @@ fn usage(message: &str) -> ! {
 fn main() {
     let mut config = OracleBenchConfig::from_env();
     let mut expect_speedup: Option<f64> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -65,6 +71,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--samples needs a number"));
             }
+            "--trace" => config.trace = true,
+            "--trace-out" => {
+                config.trace = true;
+                trace_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a path")),
+                ));
+            }
             "--expect-speedup" => {
                 expect_speedup = Some(
                     args.next()
@@ -88,6 +102,7 @@ fn main() {
     };
     eprint!("{}", report.summary);
     atlas_bench::emit_report("oracle", &report.json.render(), "ATLAS_ORACLE_OUT");
+    atlas_bench::export_trace(&report.recorder, trace_out);
     if let Some(min_speedup) = expect_speedup {
         verify_oracle(&report.json, min_speedup);
     }

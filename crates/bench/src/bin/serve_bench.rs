@@ -28,6 +28,10 @@
 //! * `--queue N` — request-queue capacity.
 //! * `--flush-every N` — write-behind schedule (`0` = every edit).
 //! * `--seed N` — base mutation seed.
+//! * `--trace` — record daemon span events (overriding `ATLAS_TRACE`);
+//!   never changes results.
+//! * `--trace-out PATH` — write the daemon's Chrome trace-event JSON to
+//!   `PATH` (implies `--trace`; overrides `ATLAS_TRACE_OUT`).
 //! * `--expect-throughput N` — assert the service contract: the final
 //!   artifact byte-identical to the cold baseline, fingerprints matching,
 //!   and at least `N` edits per second sustained.  Exits `1` otherwise.
@@ -39,7 +43,7 @@ fn usage(message: &str) -> ! {
     eprintln!(
         "serve_bench: {message}\nusage: serve_bench [--library NAME] [--samples N] [--threads N] \
          [--store ROOT] [--edits N] [--shards N] [--queue N] [--flush-every N] [--seed N] \
-         [--expect-throughput N]"
+         [--trace] [--trace-out PATH] [--expect-throughput N]"
     );
     std::process::exit(1);
 }
@@ -47,6 +51,7 @@ fn usage(message: &str) -> ! {
 fn main() {
     let mut config = ServeBenchConfig::from_env();
     let mut expect_throughput: Option<f64> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -101,6 +106,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
             }
+            "--trace" => config.serve.trace = true,
+            "--trace-out" => {
+                config.serve.trace = true;
+                trace_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a path")),
+                ));
+            }
             "--expect-throughput" => {
                 expect_throughput = Some(
                     args.next()
@@ -128,6 +141,7 @@ fn main() {
     };
     eprint!("{}", report.summary);
     atlas_bench::emit_report("serve_bench", &report.json.render(), "ATLAS_SERVE_OUT");
+    atlas_bench::export_trace(&report.recorder, trace_out);
     if let Some(min_throughput) = expect_throughput {
         verify_serve(&report.json, &config, min_throughput);
     }

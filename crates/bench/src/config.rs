@@ -14,6 +14,8 @@
 //! | `ATLAS_FLEET_LIBS` | comma-separated fleet library names | registry default |
 //! | `ATLAS_ENGINE` | oracle execution engine (`bytecode` / `tree-walk`) | `bytecode` |
 //! | `ATLAS_SERVE_EDITS` | serve-leg edit-stream length | 1000 |
+//! | `ATLAS_TRACE` | record span events (`1`/`true`/`yes`/`on`) | off |
+//! | `ATLAS_TRACE_OUT` | Chrome trace-event JSON output path | unset |
 //!
 //! The resident-service daemon reads its own `ATLAS_SERVE_*` family
 //! (store root, shard budget, queue capacity, flush schedule, frame
@@ -87,6 +89,51 @@ pub fn oracle_engine() -> atlas_core::OracleEngine {
         .ok()
         .and_then(|s| atlas_core::OracleEngine::parse(&s))
         .unwrap_or_default()
+}
+
+/// Whether `ATLAS_TRACE` asks for span recording (`1`/`true`/`yes`/`on`,
+/// case-insensitive).  Tracing never changes results — the recorder
+/// observes the pipelines from outside every verdict and artifact path —
+/// only adds the event stream behind `ATLAS_TRACE_OUT`.
+pub fn trace_enabled() -> bool {
+    std::env::var("ATLAS_TRACE")
+        .map(|s| {
+            matches!(
+                s.trim().to_ascii_lowercase().as_str(),
+                "1" | "true" | "yes" | "on"
+            )
+        })
+        .unwrap_or(false)
+}
+
+/// Reads the Chrome trace-event sink path from `ATLAS_TRACE_OUT`.
+pub fn trace_out() -> Option<PathBuf> {
+    env_path("ATLAS_TRACE_OUT")
+}
+
+/// Builds the recorder a pipeline leg should run under: span tracing when
+/// [`trace_enabled`], bare metrics otherwise.  Metrics stay cheap enough
+/// to keep on for every run — the report legs fold them into their JSON.
+pub fn recorder_from_env() -> atlas_obs::Recorder {
+    if trace_enabled() {
+        atlas_obs::Recorder::tracing()
+    } else {
+        atlas_obs::Recorder::metrics()
+    }
+}
+
+/// Writes the Chrome trace sink to `out` — or, when `out` is `None`, to
+/// the path named by `ATLAS_TRACE_OUT` (a no-op when neither is set).
+/// Logs (not fails) on I/O errors — a missing trace must never turn a
+/// green benchmark red.
+pub fn export_trace(recorder: &atlas_obs::Recorder, out: Option<PathBuf>) {
+    let Some(path) = out.or_else(trace_out) else {
+        return;
+    };
+    match atlas_obs::write_chrome_trace(recorder, &path) {
+        Ok(()) => eprintln!("trace: wrote {}", path.display()),
+        Err(e) => eprintln!("trace: failed to write {}: {e}", path.display()),
+    }
 }
 
 /// Parses a decimal or `0x`-prefixed hex u64.

@@ -39,6 +39,7 @@ use atlas_core::{
     ThreadBudget,
 };
 use atlas_ir::{ClassId, LibraryInterface, MethodId, Stmt};
+use atlas_obs::Recorder;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fmt::Write as _;
@@ -130,6 +131,9 @@ pub struct FleetConfig {
     pub store_root: Option<PathBuf>,
     /// Base seed of the synthetic libraries (`ATLAS_FLEET_SEED`).
     pub synth_seed: u64,
+    /// Record span events (`ATLAS_TRACE`); see `atlas-obs`.  Never
+    /// changes results — only observes them.
+    pub trace: bool,
 }
 
 /// The default fleet: two javalib subsets and two synthetic libraries —
@@ -150,6 +154,7 @@ impl Default for FleetConfig {
             threads: config::thread_budget(),
             store_root: None,
             synth_seed: 0x5EED,
+            trace: false,
         }
     }
 }
@@ -165,6 +170,7 @@ impl FleetConfig {
             libraries,
             store_root: config::fleet_store_root(),
             synth_seed: config::fleet_seed(),
+            trace: config::trace_enabled(),
             ..FleetConfig::default()
         }
     }
@@ -181,6 +187,7 @@ impl FleetConfig {
             threads: 2,
             store_root: None,
             synth_seed: 0x5EED,
+            trace: false,
         }
     }
 }
@@ -192,6 +199,10 @@ pub struct FleetReport {
     pub json: Json,
     /// A short human-readable summary (one line per library).
     pub summary: String,
+    /// The run's observability session (span events when
+    /// [`FleetConfig::trace`] was set) — feed it to
+    /// [`atlas_obs::write_chrome_trace`] for the `--trace-out` sink.
+    pub recorder: Recorder,
 }
 
 /// What one worker produced for one library.
@@ -226,6 +237,8 @@ fn run_library(
     lib: &FleetLibrary,
     fleet: &FleetConfig,
     inner_threads: usize,
+    recorder: &Recorder,
+    index: usize,
 ) -> Result<LibraryRun, FleetError> {
     let interface = LibraryInterface::from_program(&lib.program);
     let atlas_config = AtlasConfig {
@@ -235,7 +248,11 @@ fn run_library(
         engine: crate::config::oracle_engine(),
         ..AtlasConfig::default()
     };
-    let mut engine = Engine::new(&lib.program, &interface, atlas_config);
+    // Library `i` records on lane stripe `i * 4096`: stripes are keyed by
+    // the *configuration order*, not the worker that happened to run the
+    // library, so the exported event stream is schedule-independent.
+    let mut engine = Engine::new(&lib.program, &interface, atlas_config)
+        .with_recorder(recorder.with_lane_base(index as u64 * 4096));
     let fingerprint = engine.provenance().fingerprint;
     let shard = fleet
         .store_root
@@ -314,6 +331,11 @@ fn run_library(
 /// or a store failure (positioned, human-readable — the `fleet` binary
 /// exits nonzero instead of panicking).
 pub fn run_fleet(fleet: &FleetConfig) -> Result<FleetReport, FleetError> {
+    let recorder = if fleet.trace {
+        Recorder::tracing()
+    } else {
+        Recorder::metrics()
+    };
     let total_wall = Instant::now();
     // Deduplicate while preserving order: duplicate members would race on
     // the same store shard and say nothing new.
@@ -343,7 +365,7 @@ pub fn run_fleet(fleet: &FleetConfig) -> Result<FleetReport, FleetError> {
     if split.outer <= 1 {
         // Inline fast path: identical pipeline, no thread spawn.
         for (i, lib) in libraries.iter().enumerate() {
-            let run = run_library(lib, fleet, split.inner);
+            let run = run_library(lib, fleet, split.inner, &recorder, i);
             slots.lock().expect("slot lock poisoned")[i] = Some(run);
         }
     } else {
@@ -352,7 +374,7 @@ pub fn run_fleet(fleet: &FleetConfig) -> Result<FleetReport, FleetError> {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(lib) = libraries.get(i) else { break };
-                    let run = run_library(lib, fleet, split.inner);
+                    let run = run_library(lib, fleet, split.inner, &recorder, i);
                     slots.lock().expect("slot lock poisoned")[i] = Some(run);
                 });
             }
@@ -506,7 +528,8 @@ pub fn run_fleet(fleet: &FleetConfig) -> Result<FleetReport, FleetError> {
                 .set("wall_ms", wall_time.as_secs_f64() * 1e3)
                 .set("cpu_ms", cpu_time.as_secs_f64() * 1e3)
                 .set("efficiency", efficiency),
-        );
+        )
+        .set("metrics", atlas_obs::metrics_snapshot(&recorder));
     let _ = writeln!(
         summary,
         "fleet: {} libraries, {} workers x {} threads (budget {}), {:.2?} wall / {:.2?} cpu \
@@ -520,17 +543,22 @@ pub fn run_fleet(fleet: &FleetConfig) -> Result<FleetReport, FleetError> {
         100.0 * efficiency,
     );
 
-    Ok(FleetReport { json, summary })
+    Ok(FleetReport {
+        json,
+        summary,
+        recorder,
+    })
 }
 
 /// Strips the timing-derived fields from a report: object keys ending in
-/// `_ms`, plus `speedup` and `efficiency`.  Everything that remains is a
-/// pure function of the configuration and the store state, so two
+/// `_ms`, `speedup` and `efficiency`, plus the whole `metrics` section
+/// (its histograms are wall-clock nanoseconds).  Everything that remains
+/// is a pure function of the configuration and the store state, so two
 /// same-seed fleet runs render byte-identically after normalization — the
 /// determinism invariant CI asserts.
 pub fn normalized(json: &Json) -> Json {
     fn is_timing_key(key: &str) -> bool {
-        key.ends_with("_ms") || key == "speedup" || key == "efficiency"
+        key.ends_with("_ms") || key == "speedup" || key == "efficiency" || key == "metrics"
     }
     match json {
         Json::Obj(pairs) => Json::Obj(
@@ -580,6 +608,7 @@ mod tests {
             .set("wall_ms", 1.5)
             .set("efficiency", 0.7)
             .set("speedup", 2.0)
+            .set("metrics", Json::obj().set("counters", Json::obj()))
             .set(
                 "nested",
                 Json::Arr(vec![Json::obj().set("phase1_ms", 3.0).set("keep", 1usize)]),

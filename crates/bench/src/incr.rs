@@ -26,13 +26,14 @@
 //! splice byte-identically), and the incremental run must re-execute fewer
 //! unit tests than the cold baseline.
 
-use crate::config::{env_path, sample_budget, thread_budget};
+use crate::config::{env_path, sample_budget, thread_budget, trace_enabled};
 use crate::fleet::{build_library, FleetError};
 use crate::json::Json;
 use crate::storeleg::{SPEC_LIMIT, SPEC_MAX_LEN};
 use atlas_apps::{mutate_library, MutationConfig};
 use atlas_core::{AtlasConfig, ClusterDisposition, Engine};
 use atlas_ir::{LibraryInterface, MutationKind};
+use atlas_obs::Recorder;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -57,6 +58,9 @@ pub struct IncrConfig {
     pub target: Option<String>,
     /// Mutation seed (target selection + generated names).
     pub seed: u64,
+    /// Record span events (`ATLAS_TRACE`); see `atlas-obs`.  Never
+    /// changes results — only observes them.
+    pub trace: bool,
 }
 
 impl IncrConfig {
@@ -73,6 +77,7 @@ impl IncrConfig {
             mutation: MutationKind::BodyEdit,
             target: None,
             seed: 0x17C,
+            trace: trace_enabled(),
         }
     }
 
@@ -86,6 +91,7 @@ impl IncrConfig {
             mutation: MutationKind::BodyEdit,
             target: None,
             seed: 7,
+            trace: false,
         }
     }
 }
@@ -98,6 +104,10 @@ pub struct IncrReport {
     pub json: Json,
     /// A short human-readable summary.
     pub summary: String,
+    /// The run's observability session (span events when
+    /// [`IncrConfig::trace`] was set) — feed it to
+    /// [`atlas_obs::write_chrome_trace`] for the `--trace-out` sink.
+    pub recorder: Recorder,
 }
 
 /// Runs the full incremental pipeline.  See the [module docs](self).
@@ -106,6 +116,14 @@ pub struct IncrReport {
 /// Returns [`FleetError`] on an unknown library name, an ineligible
 /// mutation target, or a store failure.
 pub fn run_incremental(config: &IncrConfig) -> Result<IncrReport, FleetError> {
+    // One observability session spans all three legs, each on its own
+    // 4096-lane stripe (cold-old / incremental / cold-new) so their
+    // cluster tracks stay separate in the exported trace.
+    let recorder = if config.trace {
+        Recorder::tracing()
+    } else {
+        Recorder::metrics()
+    };
     let extraction = (SPEC_MAX_LEN, SPEC_LIMIT);
     let lib = build_library(&config.library, 0x5EED)?;
     let old_interface = LibraryInterface::from_program(&lib.program);
@@ -119,7 +137,8 @@ pub fn run_incremental(config: &IncrConfig) -> Result<IncrReport, FleetError> {
 
     // 1. Cold full run over the old content, persisted shard-per-closure.
     let t = Instant::now();
-    let old_engine = Engine::new(&lib.program, &old_interface, atlas_config.clone());
+    let old_engine = Engine::new(&lib.program, &old_interface, atlas_config.clone())
+        .with_recorder(recorder.clone());
     let mut session = old_engine.session();
     let old_outcome = session.run();
     let cold_old = t.elapsed();
@@ -140,14 +159,17 @@ pub fn run_incremental(config: &IncrConfig) -> Result<IncrReport, FleetError> {
 
     // 3. Incremental re-analysis against the seeded store.
     let t = Instant::now();
-    let new_engine = Engine::new(&new_program, &new_interface, atlas_config.clone());
+    let new_engine = Engine::new(&new_program, &new_interface, atlas_config.clone())
+        .with_recorder(recorder.with_lane_base(4096));
     let mut incr_session = new_engine.incremental_session(&old_provenance);
     let incremental = incr_session.run_with_store(&config.store, extraction)?;
     let incr_time = t.elapsed();
 
     // 4. Cold baseline over the new content + the splice invariant.
     let t = Instant::now();
-    let cold_outcome = Engine::new(&new_program, &new_interface, atlas_config).run();
+    let cold_outcome = Engine::new(&new_program, &new_interface, atlas_config)
+        .with_recorder(recorder.with_lane_base(8192))
+        .run();
     let cold_new = t.elapsed();
     let cold_artifact = cold_outcome
         .spec_artifact(&new_program, &new_interface, extraction.0, extraction.1)
@@ -232,7 +254,8 @@ pub fn run_incremental(config: &IncrConfig) -> Result<IncrReport, FleetError> {
                 .set("incremental_ms", incr_time.as_secs_f64() * 1e3)
                 .set("cold_new_ms", cold_new.as_secs_f64() * 1e3)
                 .set("speedup_vs_cold", speedup),
-        );
+        )
+        .set("metrics", atlas_obs::metrics_snapshot(&recorder));
 
     let mut summary = String::new();
     let _ = writeln!(summary, "mutation: {}", mutated.outcome.description);
@@ -254,7 +277,11 @@ pub fn run_incremental(config: &IncrConfig) -> Result<IncrReport, FleetError> {
         "wall: cold {:.2?} -> incremental {:.2?} ({speedup:.1}x), splice identical={splice_identical}",
         cold_new, incr_time,
     );
-    Ok(IncrReport { json, summary })
+    Ok(IncrReport {
+        json,
+        summary,
+        recorder,
+    })
 }
 
 #[cfg(test)]

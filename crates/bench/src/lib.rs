@@ -63,6 +63,15 @@
 //! The environment knobs (`ATLAS_SAMPLES`, `ATLAS_APPS`, `ATLAS_THREADS`,
 //! `ATLAS_STORE`, `ATLAS_FLEET_*`, `ATLAS_INCR_STORE`) are parsed in one
 //! place: [`config`].
+//!
+//! Every pipeline leg carries an `atlas-obs` recorder: reports embed an
+//! `atlas-metrics/1` counter/histogram snapshot under `"metrics"`, and
+//! with `ATLAS_TRACE=1` (or the binaries' `--trace` flag) the run also
+//! buffers span events which `ATLAS_TRACE_OUT` / `--trace-out PATH`
+//! renders as Chrome trace-event JSON (`chrome://tracing`, Perfetto).
+//! Recording never changes results — the determinism tests in
+//! `tests/trace_determinism.rs` byte-compare traced and untraced
+//! artifacts.
 
 pub mod batch;
 pub mod config;
@@ -76,6 +85,7 @@ pub mod serve;
 mod storeleg;
 
 pub use batch::{run_batch, BatchConfig, BatchReport};
+pub use config::export_trace;
 pub use context::{EvalContext, SpecSet};
 pub use fleet::{run_fleet, FleetConfig, FleetError, FleetReport};
 pub use incr::{run_incremental, IncrConfig, IncrReport};

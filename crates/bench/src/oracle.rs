@@ -29,13 +29,14 @@
 //! performance contract (bytecode at least `N`x the tree-walker's
 //! executions/sec) and the equivalence contract into an exit code for CI.
 
-use crate::config::{env_parse, sample_budget};
+use crate::config::{env_parse, sample_budget, trace_enabled};
 use crate::fleet::{build_library, FleetError};
 use crate::json::Json;
 use crate::storeleg::{SPEC_LIMIT, SPEC_MAX_LEN};
 use atlas_core::{AtlasConfig, Engine, OracleEngine};
 use atlas_interp::{BuiltinRegistry, CompiledProgram, ExecLimits, Interpreter, Vm, VmScratch};
 use atlas_ir::{LibraryInterface, ParamSlot};
+use atlas_obs::{ArgValue, Recorder};
 use atlas_spec::PathSpec;
 use atlas_synth::{
     synthesize_witness, InitStrategy, InstantiationPlanner, WitnessScratch, WitnessTest,
@@ -54,6 +55,10 @@ pub struct OracleBenchConfig {
     pub rounds: usize,
     /// Phase-one sampling budget of the cross-engine identity check.
     pub identity_samples: usize,
+    /// Record span events (`ATLAS_TRACE`); see `atlas-obs`.  Spans cover
+    /// compilation, the timed slices, and the identity check — never the
+    /// measured inner loop, and never the results.
+    pub trace: bool,
 }
 
 impl OracleBenchConfig {
@@ -66,6 +71,7 @@ impl OracleBenchConfig {
             words: env_parse("ATLAS_ORACLE_WORDS").unwrap_or(64),
             rounds: env_parse("ATLAS_ORACLE_ROUNDS").unwrap_or(200),
             identity_samples: sample_budget().min(1_000),
+            trace: trace_enabled(),
         }
     }
 
@@ -76,6 +82,7 @@ impl OracleBenchConfig {
             words: 8,
             rounds: 3,
             identity_samples: 250,
+            trace: false,
         }
     }
 }
@@ -88,6 +95,10 @@ pub struct OracleBenchReport {
     pub json: Json,
     /// A short human-readable summary.
     pub summary: String,
+    /// The run's observability session (span events when
+    /// [`OracleBenchConfig::trace`] was set) — feed it to
+    /// [`atlas_obs::write_chrome_trace`] for the `--trace-out` sink.
+    pub recorder: Recorder,
 }
 
 /// One engine's aggregate over the workload.
@@ -193,6 +204,11 @@ fn workload(
 /// # Errors
 /// Returns [`FleetError`] on an unknown library name.
 pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport, FleetError> {
+    let recorder = if config.trace {
+        Recorder::tracing()
+    } else {
+        Recorder::metrics()
+    };
     let lib = build_library(&config.library, 0x5EED)?;
     let program = &lib.program;
     let interface = LibraryInterface::from_program(program);
@@ -202,9 +218,23 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
     let builtins = BuiltinRegistry::with_defaults();
 
     // 2. One-time lowering, timed.
+    let mut obs_lane = recorder.lane(0);
+    let compile_span = obs_lane.begin();
     let t = Instant::now();
     let compiled = CompiledProgram::compile(program);
     let compile_time = t.elapsed();
+    obs_lane.end(
+        compile_span,
+        "oracle",
+        "compile",
+        vec![
+            ("methods", ArgValue::from(compiled.num_methods())),
+            (
+                "instructions",
+                ArgValue::from(compiled.total_instructions()),
+            ),
+        ],
+    );
 
     // 3. The measured loops: a fresh engine per execution, as the oracle
     // runs them.  Verdicts and steps are collected for the cross-check.
@@ -237,6 +267,9 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
     for slice in 0..slices {
         let slice_rounds = config.rounds / slices + usize::from(slice < config.rounds % slices);
 
+        // One span per timed slice — outside the measured region's inner
+        // loop, so recording cost never lands on an individual execution.
+        let vm_span = obs_lane.begin();
         let t = Instant::now();
         let mut slice_execs = 0usize;
         let mut vm = Vm::with_scratch(&compiled, &builtins, limits, scratch);
@@ -257,7 +290,17 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
         vm_run.executions += slice_execs;
         vm_run.wall += wall;
         vm_run.slice_rates.push(per_sec(slice_execs, wall));
+        obs_lane.end(
+            vm_span,
+            "oracle",
+            "slice.vm",
+            vec![
+                ("slice", ArgValue::from(slice)),
+                ("executions", ArgValue::from(slice_execs)),
+            ],
+        );
 
+        let tree_span = obs_lane.begin();
         let t = Instant::now();
         let mut slice_execs = 0usize;
         for witness in &witnesses {
@@ -276,7 +319,19 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
         tree_run.executions += slice_execs;
         tree_run.wall += wall;
         tree_run.slice_rates.push(per_sec(slice_execs, wall));
+        obs_lane.end(
+            tree_span,
+            "oracle",
+            "slice.tree",
+            vec![
+                ("slice", ArgValue::from(slice)),
+                ("executions", ArgValue::from(slice_execs)),
+            ],
+        );
     }
+    recorder.count("oracle.vm_executions", vm_run.executions as u64);
+    recorder.count("oracle.tree_executions", tree_run.executions as u64);
+    drop(obs_lane);
 
     let verdicts_identical = vm_verdicts == tree_verdicts;
     let steps_identical = vm_run.steps == tree_run.steps;
@@ -302,7 +357,13 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
                 engine,
                 ..base.clone()
             };
+            // Each identity leg records on its own 4096-lane stripe.
+            let stripe = match engine {
+                OracleEngine::Bytecode => 4096,
+                OracleEngine::TreeWalk => 8192,
+            };
             Engine::new(program, &interface, cfg)
+                .with_recorder(recorder.with_lane_base(stripe))
                 .run()
                 .spec_artifact(program, &interface, SPEC_MAX_LEN, SPEC_LIMIT)
                 .encode(program)
@@ -344,7 +405,8 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
         .set("speedup", speedup)
         .set("verdicts_identical", verdicts_identical)
         .set("steps_identical", steps_identical)
-        .set("inference_identical", inference_identical);
+        .set("inference_identical", inference_identical)
+        .set("metrics", atlas_obs::metrics_snapshot(&recorder));
 
     let mut summary = String::new();
     let _ = writeln!(
@@ -372,7 +434,11 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
         "equivalence: verdicts identical={verdicts_identical}, steps identical={steps_identical}, \
          inference identical={inference_identical}",
     );
-    Ok(OracleBenchReport { json, summary })
+    Ok(OracleBenchReport {
+        json,
+        summary,
+        recorder,
+    })
 }
 
 #[cfg(test)]

@@ -25,13 +25,14 @@
 //! byte-identical to the cold baseline and the edit stream must sustain at
 //! least `N` edits per second.
 
-use crate::config::{env_parse, sample_budget, thread_budget};
+use crate::config::{env_parse, sample_budget, thread_budget, trace_enabled};
 use crate::fleet::FleetError;
 use crate::json::Json;
 use atlas_apps::{mutate_library, MutationConfig};
 use atlas_core::{AtlasConfig, Engine, ThreadBudget};
 use atlas_ir::hash::library_fingerprint;
 use atlas_ir::{LibraryInterface, MutationKind};
+use atlas_obs::{Histogram, Recorder};
 use atlas_serve::{Envelope, Request, ServeConfig, ServeError, Service, EXTRACTION};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -58,6 +59,7 @@ impl ServeBenchConfig {
         let mut serve = ServeConfig::from_env();
         serve.samples = sample_budget();
         serve.threads = thread_budget();
+        serve.trace = trace_enabled();
         ServeBenchConfig {
             serve,
             edits: env_parse("ATLAS_SERVE_EDITS").unwrap_or(1_000),
@@ -83,6 +85,10 @@ pub struct ServeBenchReport {
     pub json: Json,
     /// A short human-readable summary.
     pub summary: String,
+    /// The daemon's observability session (metrics always, span events
+    /// when the config traced) — feed it to
+    /// [`atlas_obs::write_chrome_trace`] for the `--trace-out` sink.
+    pub recorder: Recorder,
 }
 
 impl From<ServeError> for FleetError {
@@ -102,14 +108,9 @@ const EDIT_KINDS: [MutationKind; 4] = [
     MutationKind::SignatureChange,
 ];
 
-/// The `q`-th percentile (0–100) of an ascending-sorted latency sample,
-/// nearest-rank convention.
-fn percentile(sorted_ms: &[f64], q: usize) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let rank = (q * sorted_ms.len()).div_ceil(100).max(1);
-    sorted_ms[rank - 1]
+/// Nanoseconds to milliseconds, for report fields.
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
 }
 
 /// Runs the full service-replay pipeline.  See the [module docs](self).
@@ -139,7 +140,10 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Fl
     let mut program = lib.program;
 
     // 2. Stream the edits, measuring per-request latency client-side.
-    let mut latencies_ms: Vec<f64> = Vec::with_capacity(config.edits);
+    // Latencies go straight into the shared log-linear histogram (ns
+    // resolution) — constant memory and O(buckets) quantiles instead of
+    // the full sort-per-report the leg used to do.
+    let mut latency = Histogram::new();
     let mut edits_ok = 0usize;
     let mut edits_failed = 0usize;
     let mut oracle_executions = 0i64;
@@ -161,7 +165,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Fl
         };
         let t_edit = Instant::now();
         let response = handle.request(request);
-        latencies_ms.push(t_edit.elapsed().as_secs_f64() * 1e3);
+        latency.record(u64::try_from(t_edit.elapsed().as_nanos()).unwrap_or(u64::MAX));
         // Lock-step replay: an accepted edit must be locally applicable,
         // a rejected one locally ineligible — the streams never diverge.
         let local = mutate_library(&program, &mutation);
@@ -219,6 +223,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Fl
     if shutdown.outcome.is_err() {
         return Err(schema_err("shutdown was rejected".to_string()));
     }
+    let recorder = service.recorder().clone();
     service.join();
 
     // 4. Cold batch baseline over the replayed final content — the
@@ -242,16 +247,12 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Fl
     let fingerprint = atlas_store::hex64_string(library_fingerprint(&program, &interface));
     let fingerprints_match = served_fingerprint == fingerprint;
 
-    // 5. Assemble the report.
-    latencies_ms.sort_by(|a, b| a.total_cmp(b));
-    let p50 = percentile(&latencies_ms, 50);
-    let p99 = percentile(&latencies_ms, 99);
-    let max = latencies_ms.last().copied().unwrap_or(0.0);
-    let mean = if latencies_ms.is_empty() {
-        0.0
-    } else {
-        latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
-    };
+    // 5. Assemble the report.  Quantiles come from the histogram
+    // (bounded ~1.6% bucketing error); min/max/mean are exact.
+    let p50 = ns_to_ms(latency.percentile(50));
+    let p99 = ns_to_ms(latency.percentile(99));
+    let max = ns_to_ms(latency.max());
+    let mean = latency.mean() / 1e6;
     let throughput = if replay.as_secs_f64() > 0.0 {
         config.edits as f64 / replay.as_secs_f64()
     } else {
@@ -297,6 +298,10 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Fl
         )
         .set("shards", stats.get("shards").cloned().unwrap_or(Json::Null))
         .set(
+            "metrics",
+            stats.get("metrics").cloned().unwrap_or(Json::Null),
+        )
+        .set(
             "equivalence",
             Json::obj()
                 .set("identical", identical)
@@ -331,7 +336,11 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, Fl
         summary,
         "equivalence: identical={identical} fingerprints_match={fingerprints_match}"
     );
-    Ok(ServeBenchReport { json, summary })
+    Ok(ServeBenchReport {
+        json,
+        summary,
+        recorder,
+    })
 }
 
 #[cfg(test)]
@@ -389,12 +398,25 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_follow_nearest_rank() {
-        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&sorted, 50), 50.0);
-        assert_eq!(percentile(&sorted, 99), 99.0);
-        assert_eq!(percentile(&sorted, 100), 100.0);
-        assert_eq!(percentile(&[7.0], 50), 7.0);
-        assert_eq!(percentile(&[], 99), 0.0);
+    fn histogram_latency_math_matches_nearest_rank_within_bucket_error() {
+        // 1..=100 ms recorded as ns: the log-linear buckets guarantee
+        // ≤1/64 relative error around the nearest-rank answer, and
+        // min/max/mean stay exact.
+        let mut hist = Histogram::new();
+        for ms in 1..=100u64 {
+            hist.record(ms * 1_000_000);
+        }
+        let p50 = ns_to_ms(hist.percentile(50));
+        let p99 = ns_to_ms(hist.percentile(99));
+        assert!((p50 - 50.0).abs() / 50.0 <= 1.0 / 64.0, "p50 was {p50}");
+        assert!((p99 - 99.0).abs() / 99.0 <= 1.0 / 64.0, "p99 was {p99}");
+        assert_eq!(ns_to_ms(hist.max()), 100.0);
+        assert_eq!(ns_to_ms(hist.min()), 1.0);
+        assert!((hist.mean() / 1e6 - 50.5).abs() < 1.0);
+        // Degenerate shapes keep the old conventions.
+        let mut one = Histogram::new();
+        one.record(7_000_000);
+        assert_eq!(ns_to_ms(one.percentile(50)), 7.0);
+        assert_eq!(Histogram::new().percentile(99), 0);
     }
 }

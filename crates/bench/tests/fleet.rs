@@ -99,6 +99,7 @@ fn fleet_round_trip_through_sharded_stores() {
         threads: 2,
         store_root: Some(scratch.0.clone()),
         synth_seed: 0x5EED,
+        trace: false,
     };
 
     // Cold run: every shard is created.
@@ -227,6 +228,7 @@ fn ordering_config(libraries: Vec<String>, threads: usize) -> FleetConfig {
         threads,
         store_root: None,
         synth_seed: 0x5EED,
+        trace: false,
     }
 }
 

@@ -36,6 +36,7 @@ use atlas_learn::{
     infer_fsa, sample_positive_examples, CacheStats, Oracle, OracleConfig, OracleEngine,
     OracleStats, SampleResult, VerdictCache,
 };
+use atlas_obs::{ArgValue, Recorder};
 use atlas_store::{load_cache, save_cache, CacheArtifact, CacheProvenance, StoreError};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -83,6 +84,10 @@ pub struct Engine<'p> {
     /// serves all workers.  Never built when the config selects the
     /// tree-walking engine.
     compiled: std::sync::OnceLock<Arc<CompiledProgram>>,
+    /// The observability handle (`atlas-obs`).  Disabled by default —
+    /// every instrumentation site is then a no-op — and never part of any
+    /// verdict, seed, or artifact: recording cannot change results.
+    recorder: Recorder,
 }
 
 /// One cluster's work order: which classes, which deterministic seed, and
@@ -124,7 +129,23 @@ impl<'p> Engine<'p> {
             warm: VerdictCache::new(),
             jobs: std::sync::OnceLock::new(),
             compiled: std::sync::OnceLock::new(),
+            recorder: Recorder::off(),
         }
+    }
+
+    /// Attaches an observability recorder: cluster spans, oracle and
+    /// cache counters, phase histograms.  The recorder observes the run —
+    /// it never influences it, so results with and without one are
+    /// byte-identical (asserted by the `trace_determinism` suite).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Engine<'p> {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The engine's observability handle (disabled unless
+    /// [`Engine::with_recorder`] was called).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The shared bytecode compilation of the program, built on first use.
@@ -133,7 +154,22 @@ impl<'p> Engine<'p> {
     /// of this engine executes the same compiled code.
     pub fn compiled_program(&self) -> Arc<CompiledProgram> {
         self.compiled
-            .get_or_init(|| Arc::new(CompiledProgram::compile(self.program)))
+            .get_or_init(|| {
+                let mut lane = self.recorder.lane(0);
+                let start = lane.begin();
+                let t = Instant::now();
+                let compiled = Arc::new(CompiledProgram::compile(self.program));
+                self.recorder
+                    .record_duration("engine.compile_ns", t.elapsed());
+                lane.count("engine.compilations", 1);
+                lane.end(
+                    start,
+                    "engine",
+                    "compile",
+                    vec![("methods", ArgValue::from(self.program.num_methods()))],
+                );
+                compiled
+            })
             .clone()
     }
 
@@ -472,6 +508,8 @@ impl<'e, 'p> Session<'e, 'p> {
     /// Runs all cluster pipelines and merges the results in cluster order.
     pub fn run(&mut self) -> InferenceOutcome {
         let wall = Instant::now();
+        let mut session_lane = self.engine.recorder.lane(0);
+        let session_start = session_lane.begin();
         let this: &Session<'_, '_> = self;
         let slots: Vec<Option<ClusterRun>> = if this.num_threads <= 1 {
             // Inline fast path: no thread spawn, identical pipeline.
@@ -517,6 +555,15 @@ impl<'e, 'p> Session<'e, 'p> {
         outcome.oracle_queries = stats.queries;
         outcome.oracle_executions = stats.executions;
         outcome.wall_time = wall.elapsed();
+        session_lane.end(
+            session_start,
+            "engine",
+            "session",
+            vec![
+                ("clusters", ArgValue::from(outcome.clusters.len())),
+                ("threads", ArgValue::from(self.num_threads)),
+            ],
+        );
         outcome
     }
 
@@ -569,6 +616,14 @@ pub(crate) fn run_cluster_job(
     // Decorrelate clusters while staying deterministic.
     sampler_config.seed = job.seed;
 
+    // The cluster's observability lane: keyed on the job's position in
+    // the configuration (lane 0 is the engine-global track), never on the
+    // executing thread, so drained events sort identically for any
+    // worker count.
+    let mut lane = engine.recorder.lane(1 + job.index as u64);
+    let cluster_start = lane.begin();
+
+    let p1 = lane.begin();
     let t1 = Instant::now();
     let samples: SampleResult = sample_positive_examples(
         &restricted,
@@ -578,15 +633,61 @@ pub(crate) fn run_cluster_job(
         &sampler_config,
     );
     let phase1_time = t1.elapsed();
+    lane.end(
+        p1,
+        "engine",
+        "phase1.sample",
+        vec![
+            ("samples", ArgValue::from(samples.num_samples)),
+            ("positives", ArgValue::from(samples.positives.len())),
+        ],
+    );
 
+    let p2 = lane.begin();
     let t2 = Instant::now();
     let rpni = infer_fsa(&samples.positives, &mut oracle, &config.rpni);
     let phase2_time = t2.elapsed();
+    lane.end(
+        p2,
+        "engine",
+        "phase2.rpni",
+        vec![
+            ("initial_states", ArgValue::from(rpni.initial_states)),
+            ("final_states", ArgValue::from(rpni.final_states)),
+        ],
+    );
 
     let stats = oracle.stats();
+    let cache = oracle.into_cache();
+    if engine.recorder.is_enabled() {
+        let cache_stats = cache.stats();
+        lane.count("engine.clusters", 1);
+        lane.count("engine.oracle_queries", stats.queries as u64);
+        lane.count("engine.oracle_executions", stats.executions as u64);
+        lane.count("engine.cache_lookups", cache_stats.lookups as u64);
+        lane.count("engine.cache_hits", cache_stats.hits as u64);
+        lane.count("engine.cache_warm_hits", cache_stats.warm_hits as u64);
+        lane.count("engine.cache_misses", cache_stats.misses as u64);
+        engine
+            .recorder
+            .record_duration("engine.phase1_ns", phase1_time);
+        engine
+            .recorder
+            .record_duration("engine.phase2_ns", phase2_time);
+        lane.end(
+            cluster_start,
+            "engine",
+            "cluster",
+            vec![
+                ("index", ArgValue::from(job.index)),
+                ("closure", ArgValue::Hex(job.closure)),
+                ("executions", ArgValue::from(stats.executions)),
+            ],
+        );
+    }
     Some(ClusterRun {
         stats,
-        cache: oracle.into_cache(),
+        cache,
         outcome: ClusterOutcome {
             classes: job.classes.clone(),
             num_samples: samples.num_samples,

@@ -31,6 +31,7 @@
 use crate::engine::{resolve_threads, run_cluster_job, ClusterJob, ClusterRun, Engine, Session};
 use crate::inference::{ClusterOutcome, InferenceOutcome};
 use atlas_learn::{library_fingerprint, CacheStats, OracleStats, VerdictCache};
+use atlas_obs::ArgValue;
 use atlas_store::{
     load_cache, save_cache, shard_entry, CacheArtifact, CacheProvenance, SpecArtifact, SpecCluster,
     StoreError,
@@ -524,6 +525,9 @@ impl<'e, 'p> IncrementalSession<'e, 'p> {
     ) -> Result<IncrementalOutcome, StoreError> {
         let wall = Instant::now();
         let engine = self.engine;
+        let recorder = engine.recorder();
+        let mut incr_lane = recorder.lane(0);
+        let incr_start = incr_lane.begin();
         let library = library_fingerprint(engine.program(), engine.interface());
 
         // Pass 1 (sequential, cheap): resolve each cluster's disposition.
@@ -545,22 +549,34 @@ impl<'e, 'p> IncrementalSession<'e, 'p> {
                 plans.push(Plan::Run);
                 continue;
             }
-            let Some(artifact) = shards.load_specs(job.closure, engine.program())? else {
+            // Every demotion leaves an instant mark on the cluster's lane:
+            // a `forced_dirty` count without *which* shard was at fault is
+            // not actionable.
+            let mut demote = |reason: &'static str| {
                 forced_dirty += 1;
-                plans.push(Plan::Run);
+                recorder.lane(1 + job.index as u64).instant(
+                    "incr",
+                    "forced-dirty",
+                    vec![
+                        ("closure", ArgValue::Hex(job.closure)),
+                        ("reason", ArgValue::from(reason)),
+                    ],
+                );
+                Plan::Run
+            };
+            let Some(artifact) = shards.load_specs(job.closure, engine.program())? else {
+                plans.push(demote("missing-shard"));
                 continue;
             };
             // A shard persisted under different extraction bounds would
             // splice specs the caller's bounds never produced; demote to a
             // re-run rather than emit a mixed-bounds artifact.
             if artifact.extraction != extraction {
-                forced_dirty += 1;
-                plans.push(Plan::Run);
+                plans.push(demote("foreign-extraction"));
                 continue;
             }
             let Some(spec) = artifact.clusters.into_iter().next() else {
-                forced_dirty += 1;
-                plans.push(Plan::Run);
+                plans.push(demote("empty-shard"));
                 continue;
             };
             let provenance = CacheProvenance::for_closure(
@@ -632,6 +648,14 @@ impl<'e, 'p> IncrementalSession<'e, 'p> {
                 Plan::Splice { spec, verdicts } => {
                     outcome.clean_clusters += 1;
                     outcome.spliced_verdicts += verdicts;
+                    recorder.lane(1 + job.index as u64).instant(
+                        "incr",
+                        "splice",
+                        vec![
+                            ("closure", ArgValue::Hex(job.closure)),
+                            ("verdicts", ArgValue::from(verdicts)),
+                        ],
+                    );
                     outcome.clusters.push(IncrementalCluster {
                         index: job.index,
                         closure: job.closure,
@@ -680,6 +704,23 @@ impl<'e, 'p> IncrementalSession<'e, 'p> {
         outcome.oracle_queries = stats.queries;
         outcome.oracle_executions = stats.executions;
         outcome.wall_time = wall.elapsed();
+        if recorder.is_enabled() {
+            recorder.count("incr.clusters_dirty", outcome.dirty_clusters as u64);
+            recorder.count("incr.clusters_clean", outcome.clean_clusters as u64);
+            recorder.count("incr.forced_dirty", outcome.forced_dirty as u64);
+            recorder.count("incr.spliced_verdicts", outcome.spliced_verdicts as u64);
+            recorder.record_duration("incr.run_ns", outcome.wall_time);
+            incr_lane.end(
+                incr_start,
+                "incr",
+                "incremental",
+                vec![
+                    ("dirty", ArgValue::from(outcome.dirty_clusters)),
+                    ("clean", ArgValue::from(outcome.clean_clusters)),
+                    ("library", ArgValue::Hex(outcome.library)),
+                ],
+            );
+        }
         Ok(outcome)
     }
 }

@@ -59,4 +59,5 @@ pub use atlas_learn::{
 // The persistence vocabulary of the Engine API (`warm_start_from_path`,
 // `Session::persist`, `InferenceOutcome::spec_artifact`), re-exported so
 // engine users don't need a direct `atlas-store` dependency.
+pub use atlas_obs::Recorder;
 pub use atlas_store::{CacheArtifact, CacheProvenance, SpecArtifact, SpecCluster, StoreError};

@@ -1,0 +1,233 @@
+//! Log-linear histograms: fixed relative error, constant-size buckets,
+//! mergeable across threads.
+//!
+//! A value `v` lands in a bucket addressed by its power-of-two group
+//! (`⌊log₂ v⌋`) subdivided into `SUBS` (32) linear sub-buckets, so every
+//! bucket spans at most `1/SUBS` of its value — quantiles carry a bounded
+//! ~1.6 % relative error while the histogram itself stays a small sparse
+//! map no matter how wide the recorded range is.  Values below `SUBS` are
+//! recorded exactly (their group is narrower than a sub-bucket).  Count,
+//! sum, minimum, and maximum are tracked exactly on the side, so `mean`
+//! and the extreme quantiles are not subject to bucketing error.
+//!
+//! The intended unit is **nanoseconds** (see the recorder's
+//! `record_duration`), but the structure is unit-agnostic: it is equally
+//! the home of byte sizes or queue depths, as long as one histogram
+//! sticks to one unit.
+
+use std::collections::BTreeMap;
+
+/// Linear sub-buckets per power-of-two group.  32 bounds the relative
+/// bucketing error at `1/64` of the value (half a sub-bucket width).
+const SUBS: u64 = 32;
+
+/// A mergeable log-linear histogram with exact count/sum/min/max and
+/// approximate nearest-rank quantiles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    buckets: BTreeMap<u16, u64>,
+}
+
+/// Maps a value to its bucket index.  Monotone: `a <= b` implies
+/// `index(a) <= index(b)`.
+fn bucket_index(v: u64) -> u16 {
+    if v < SUBS {
+        return v as u16;
+    }
+    let group = 63 - u64::from(v.leading_zeros()); // ⌊log₂ v⌋, ≥ 5
+    let sub = (v >> (group - 5)) - SUBS; // 0..32 within the group
+    (SUBS + (group - 5) * SUBS + sub) as u16
+}
+
+/// The midpoint of a bucket — the value reported for any sample that
+/// landed in it.
+fn bucket_midpoint(index: u16) -> u64 {
+    let index = u64::from(index);
+    if index < SUBS {
+        return index;
+    }
+    let group = 5 + (index - SUBS) / SUBS;
+    let sub = (index - SUBS) % SUBS;
+    let width = 1u64 << (group - 5);
+    (SUBS + sub) * width + width / 2
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += u128::from(value);
+        *self.buckets.entry(bucket_index(value)).or_insert(0) += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest recorded sample (`0` when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded sample (`0` when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact arithmetic mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The nearest-rank `q`-quantile (`0.0 ..= 1.0`), resolved to the
+    /// midpoint of the bucket holding that rank and clamped to the exact
+    /// observed extremes.  `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&index, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_midpoint(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The `p`-th percentile (`0 ..= 100`); see [`Histogram::quantile`].
+    pub fn percentile(&self, p: usize) -> u64 {
+        self.quantile(p as f64 / 100.0)
+    }
+
+    /// Folds another histogram into this one.  Merging is commutative and
+    /// associative, so per-thread histograms can be combined in any order
+    /// with an order-independent result.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        for (&index, &n) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUBS {
+            h.record(v);
+        }
+        for v in 0..SUBS {
+            assert_eq!(bucket_midpoint(bucket_index(v)), v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUBS - 1);
+        assert_eq!(h.count(), SUBS);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut last = 0u16;
+        let mut v = 1u64;
+        while v < u64::MAX / 4 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index regressed at {v}");
+            let mid = bucket_midpoint(i);
+            let err = mid.abs_diff(v) as f64 / v as f64;
+            assert!(err <= 1.0 / 32.0, "error {err} too large at {v}");
+            last = i;
+            v = v * 3 / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn quantiles_track_nearest_rank_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let p50 = h.quantile(0.50) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.04, "p50 {p50}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.04, "p99 {p99}");
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.quantile(0.0), h.quantile(0.001));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..500u64 {
+            let sample = v * v % 7919 + 1;
+            whole.record(sample);
+            if v % 2 == 0 {
+                a.record(sample);
+            } else {
+                b.record(sample);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, whole);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! `atlas-obs` — the observability spine of the Atlas stack.
+//!
+//! One shared vocabulary of structured events across every runtime
+//! layer: the parallel cluster scheduler, the incremental splicer, the
+//! bytecode oracle, the verdict cache, the hot-shard LRU, and the serve
+//! daemon all report through the same [`Recorder`] handle instead of
+//! hand-rolling per-leg statistics.
+//!
+//! Three pieces:
+//!
+//! * [`Recorder`] / [`Lane`] — a cloneable recording handle with spans,
+//!   counters, and histograms.  Disabled it is a no-op; enabled, workers
+//!   buffer into lane-local vectors and drain under one lock on join, so
+//!   instrumentation never perturbs the deterministic tick discipline
+//!   (see the [recorder module docs](recorder) for the determinism
+//!   argument).
+//! * [`Histogram`] — a mergeable log-linear histogram with exact
+//!   count/min/max/mean and bounded-error quantiles; the one shared
+//!   implementation of the p50/p99 math the bench legs previously
+//!   duplicated.
+//! * [sinks](sink) — a Chrome trace-event exporter
+//!   ([`chrome_trace`]/[`write_chrome_trace`], loadable in
+//!   `chrome://tracing` or Perfetto) and the [`metrics_snapshot`]
+//!   `atlas-metrics/1` document served live over the `atlas-serve/1`
+//!   `stats` request.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod recorder;
+pub mod sink;
+
+pub use hist::Histogram;
+pub use recorder::{ArgValue, Event, Lane, Recorder, SpanStart};
+pub use sink::{chrome_trace, metrics_snapshot, write_chrome_trace, METRICS_SCHEMA};

@@ -1,0 +1,470 @@
+//! The structured event recorder: spans, counters, histograms.
+//!
+//! # Design
+//!
+//! A [`Recorder`] is a cheap cloneable handle.  Disabled (the default) it
+//! holds no allocation and every operation is a no-op that compiles down
+//! to a branch on `Option::is_none` — instrumented code paths stay
+//! byte-identical in behaviour whether or not anyone is watching, which
+//! is what keeps spec artifacts reproducible under `ATLAS_TRACE=1`.
+//!
+//! Enabled, the recorder is *lock-free-ish*: hot paths never touch the
+//! central mutex per event.  A worker obtains a [`Lane`] (one per unit of
+//! parallel work — a cluster job, a service request), buffers its span
+//! events and counter increments locally, and drains them into the
+//! central state in **one** lock acquisition when the lane is dropped —
+//! thread-local buffer, drain-on-join.  Only histogram samples and
+//! counters bumped outside a lane go through the mutex directly, and
+//! those sit on cold paths (per request, per flush — never per oracle
+//! execution).
+//!
+//! # Determinism
+//!
+//! Two runs of the same workload must export the same data regardless of
+//! thread count:
+//!
+//! * **Counters and histograms** merge by commutative sums, so the
+//!   interleaving of drains cannot change them.
+//! * **Events** are exported stable-sorted by lane.  Lanes are assigned
+//!   from workload structure (cluster index, request sequence number) —
+//!   never from thread identity — and within one lane the program order
+//!   of drains is deterministic, so the exported sequence is too.
+//!
+//! # Levels
+//!
+//! * [`Recorder::off`] — disabled, the no-op handle.
+//! * [`Recorder::metrics`] — counters and histograms only; span calls
+//!   do not allocate.  Cheap enough to leave on in a resident daemon.
+//! * [`Recorder::tracing`] — metrics plus the full span/instant event
+//!   stream for the Chrome-trace sink.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A value attached to a span or instant event, rendered into the Chrome
+/// trace `args` object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// A plain integer.
+    Int(i64),
+    /// A 64-bit identity rendered as `0x`-prefixed hex (closure
+    /// fingerprints, library fingerprints).
+    Hex(u64),
+    /// Free text.
+    Text(String),
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> ArgValue {
+        ArgValue::Int(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> ArgValue {
+        ArgValue::Int(v as i64)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> ArgValue {
+        ArgValue::Text(v.to_string())
+    }
+}
+
+/// One recorded span (`dur_ns > 0`) or instant (`dur_ns == 0`) event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The track the event belongs to — workload-derived, not
+    /// thread-derived (rendered as `tid` in the Chrome trace).
+    pub lane: u64,
+    /// Event category (`engine`, `incr`, `shards`, `serve`).
+    pub cat: &'static str,
+    /// Event name within the category.
+    pub name: &'static str,
+    /// Start offset from the recorder's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds; `0` marks an instant event.
+    pub dur_ns: u64,
+    /// Attached key/value details.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+#[derive(Default)]
+struct Central {
+    /// Drained lane buffers in drain order.  Export stable-sorts by lane,
+    /// so this order only matters *within* one lane, where it is the
+    /// deterministic program order of drains.
+    buffers: Vec<(u64, Vec<Event>)>,
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+struct Inner {
+    trace: bool,
+    epoch: Instant,
+    state: Mutex<Central>,
+}
+
+/// A cloneable handle to a shared recording session.  See the
+/// [module docs](self) for the design.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+    lane_base: u64,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let level = if self.is_tracing() {
+            "trace"
+        } else if self.is_enabled() {
+            "metrics"
+        } else {
+            "off"
+        };
+        f.debug_struct("Recorder")
+            .field("level", &level)
+            .field("lane_base", &self.lane_base)
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// The disabled recorder: no allocation, every operation a no-op.
+    pub fn off() -> Recorder {
+        Recorder::default()
+    }
+
+    /// A recorder collecting counters and histograms but no events.
+    pub fn metrics() -> Recorder {
+        Recorder::enabled(false)
+    }
+
+    /// A recorder collecting counters, histograms, and the full span
+    /// stream.
+    pub fn tracing() -> Recorder {
+        Recorder::enabled(true)
+    }
+
+    fn enabled(trace: bool) -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                trace,
+                epoch: Instant::now(),
+                state: Mutex::new(Central::default()),
+            })),
+            lane_base: 0,
+        }
+    }
+
+    /// Whether anything is being collected at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether span events are being collected (the tracing level).
+    pub fn is_tracing(&self) -> bool {
+        self.inner.as_ref().is_some_and(|inner| inner.trace)
+    }
+
+    /// A handle onto the same session whose lanes are offset by `base`.
+    /// Outer schedulers hand each unit of work a disjoint lane stripe
+    /// (fleet: one per library; serve: one per inference generation) so
+    /// that concurrent inner sessions cannot interleave on a shared lane.
+    pub fn with_lane_base(&self, base: u64) -> Recorder {
+        Recorder {
+            inner: self.inner.clone(),
+            lane_base: base,
+        }
+    }
+
+    /// Nanoseconds since the recording session began (`0` when off).
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Adds `delta` to the named counter.  Takes the central lock; for
+    /// per-event increments on parallel paths prefer [`Lane::count`].
+    pub fn count(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().unwrap();
+            *state.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Records one sample in the named histogram.  Histogram names carry
+    /// their unit; duration histograms record nanoseconds.
+    pub fn record(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().unwrap();
+            state
+                .hists
+                .entry(name.to_string())
+                .or_default()
+                .record(value);
+        }
+    }
+
+    /// Records a duration sample, in nanoseconds.
+    pub fn record_duration(&self, name: &str, duration: Duration) {
+        if self.is_enabled() {
+            self.record(name, duration.as_nanos() as u64);
+        }
+    }
+
+    /// Opens a lane-local buffer for the given track.  The lane drains
+    /// everything it buffered in one lock acquisition when dropped.
+    pub fn lane(&self, lane: u64) -> Lane {
+        Lane {
+            recorder: self.clone(),
+            lane: self.lane_base + lane,
+            events: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// The current value of a counter (`0` when absent or off).
+    pub fn counter(&self, name: &str) -> u64 {
+        match &self.inner {
+            Some(inner) => {
+                let state = inner.state.lock().unwrap();
+                state.counters.get(name).copied().unwrap_or(0)
+            }
+            None => 0,
+        }
+    }
+
+    /// A snapshot of all counters, in name order.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        match &self.inner {
+            Some(inner) => inner.state.lock().unwrap().counters.clone(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// A snapshot of all histograms, in name order.
+    pub fn histograms(&self) -> BTreeMap<String, Histogram> {
+        match &self.inner {
+            Some(inner) => inner.state.lock().unwrap().hists.clone(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// A snapshot of the named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.state.lock().unwrap().hists.get(name).cloned())
+    }
+
+    /// All drained events, stable-sorted by lane.  The result is
+    /// independent of thread count: lanes come from workload structure
+    /// and per-lane drain order is program order (tested in the
+    /// determinism suite).
+    pub fn events(&self) -> Vec<Event> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let state = inner.state.lock().unwrap();
+        let mut buffers: Vec<&(u64, Vec<Event>)> = state.buffers.iter().collect();
+        buffers.sort_by_key(|(lane, _)| *lane);
+        buffers
+            .into_iter()
+            .flat_map(|(_, events)| events.iter().cloned())
+            .collect()
+    }
+
+    fn drain(&self, lane: u64, events: Vec<Event>, counts: Vec<(&'static str, u64)>) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.state.lock().unwrap();
+        for (name, delta) in counts {
+            *state.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+        if !events.is_empty() {
+            state.buffers.push((lane, events));
+        }
+    }
+}
+
+/// A marker returned by [`Lane::begin`]; carries the span's start time.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStart(u64);
+
+/// A lane-local event and counter buffer; see [`Recorder::lane`].
+pub struct Lane {
+    recorder: Recorder,
+    lane: u64,
+    events: Vec<Event>,
+    counts: Vec<(&'static str, u64)>,
+}
+
+impl Lane {
+    /// The absolute lane id (base included) this buffer drains to.
+    pub fn id(&self) -> u64 {
+        self.lane
+    }
+
+    /// Marks the start of a span.  Pair with [`Lane::end`].
+    pub fn begin(&self) -> SpanStart {
+        if self.recorder.is_tracing() {
+            SpanStart(self.recorder.now_ns())
+        } else {
+            SpanStart(0)
+        }
+    }
+
+    /// Closes a span opened with [`Lane::begin`], buffering a complete
+    /// event.  A no-op below the tracing level.
+    pub fn end(
+        &mut self,
+        start: SpanStart,
+        cat: &'static str,
+        name: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if self.recorder.is_tracing() {
+            let now = self.recorder.now_ns();
+            self.events.push(Event {
+                lane: self.lane,
+                cat,
+                name,
+                start_ns: start.0,
+                dur_ns: now.saturating_sub(start.0).max(1),
+                args,
+            });
+        }
+    }
+
+    /// Buffers an instant event.  A no-op below the tracing level.
+    pub fn instant(
+        &mut self,
+        cat: &'static str,
+        name: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if self.recorder.is_tracing() {
+            self.events.push(Event {
+                lane: self.lane,
+                cat,
+                name,
+                start_ns: self.recorder.now_ns(),
+                dur_ns: 0,
+                args,
+            });
+        }
+    }
+
+    /// Buffers a counter increment, merged centrally at drain time.
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        match self.counts.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 += delta,
+            None => self.counts.push((name, delta)),
+        }
+    }
+}
+
+impl Drop for Lane {
+    fn drop(&mut self) {
+        if !self.events.is_empty() || !self.counts.is_empty() {
+            let events = std::mem::take(&mut self.events);
+            let counts = std::mem::take(&mut self.counts);
+            self.recorder.drain(self.lane, events, counts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_is_a_no_op() {
+        let rec = Recorder::off();
+        let mut lane = rec.lane(3);
+        let start = lane.begin();
+        lane.end(start, "t", "span", vec![]);
+        lane.count("n", 2);
+        drop(lane);
+        rec.count("direct", 1);
+        rec.record("h", 42);
+        assert!(!rec.is_enabled());
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.counter("n"), 0);
+        assert!(rec.histogram("h").is_none());
+    }
+
+    #[test]
+    fn metrics_level_collects_no_events() {
+        let rec = Recorder::metrics();
+        let mut lane = rec.lane(1);
+        let start = lane.begin();
+        lane.end(start, "t", "span", vec![]);
+        lane.count("bumped", 5);
+        drop(lane);
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.counter("bumped"), 5);
+    }
+
+    #[test]
+    fn events_sort_stably_by_lane() {
+        let rec = Recorder::tracing();
+        // Drain lanes out of order, with two buffers on lane 1.
+        for lane_id in [5u64, 1, 3, 1] {
+            let mut lane = rec.lane(lane_id);
+            let name: &'static str = if lane_id == 1 { "one" } else { "other" };
+            lane.instant("t", name, vec![("lane", ArgValue::Int(lane_id as i64))]);
+        }
+        let lanes: Vec<u64> = rec.events().iter().map(|e| e.lane).collect();
+        assert_eq!(lanes, vec![1, 1, 3, 5]);
+    }
+
+    #[test]
+    fn lane_base_offsets_lanes() {
+        let rec = Recorder::tracing();
+        let shifted = rec.with_lane_base(100);
+        shifted.lane(2).instant("t", "x", vec![]);
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].lane, 102);
+    }
+
+    #[test]
+    fn lane_counts_merge_on_drain() {
+        let rec = Recorder::tracing();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    let mut lane = rec.lane(7);
+                    for _ in 0..100 {
+                        lane.count("work", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter("work"), 400);
+    }
+
+    #[test]
+    fn spans_have_nonzero_duration_and_instants_zero() {
+        let rec = Recorder::tracing();
+        let mut lane = rec.lane(0);
+        let start = lane.begin();
+        lane.end(start, "t", "span", vec![]);
+        lane.instant("t", "mark", vec![]);
+        drop(lane);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].dur_ns > 0);
+        assert_eq!(events[1].dur_ns, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Export sinks: Chrome trace-event JSON and the `atlas-metrics/1`
+//! snapshot schema.
+//!
+//! * [`chrome_trace`] renders the event stream in the Trace Event Format
+//!   consumed by `chrome://tracing` and Perfetto: one process (`pid` 1),
+//!   one thread row per lane (`tid` = lane), complete (`ph: "X"`) spans
+//!   and thread-scoped instant (`ph: "i"`) marks, timestamps in
+//!   microseconds.
+//! * [`metrics_snapshot`] renders counters and histogram summaries as an
+//!   `atlas-metrics/1` document — the payload behind the serve protocol's
+//!   `stats` request and the `metrics` section of bench reports.  Key
+//!   order is deterministic (name order), so two identical workloads
+//!   render byte-identical snapshots up to timing-derived values.
+
+use crate::recorder::{ArgValue, Event, Recorder};
+use atlas_store::Json;
+use std::io;
+use std::path::Path;
+
+/// The schema tag of [`metrics_snapshot`] documents.
+pub const METRICS_SCHEMA: &str = "atlas-metrics/1";
+
+fn arg_json(value: &ArgValue) -> Json {
+    match value {
+        ArgValue::Int(v) => Json::Int(*v),
+        ArgValue::Hex(v) => Json::str(format!("{v:#018x}")),
+        ArgValue::Text(v) => Json::str(v.clone()),
+    }
+}
+
+fn event_json(event: &Event) -> Json {
+    let mut args = Json::obj();
+    for (key, value) in &event.args {
+        args = args.set(key, arg_json(value));
+    }
+    let mut doc = Json::obj()
+        .set("name", event.name)
+        .set("cat", event.cat)
+        .set("ph", if event.dur_ns == 0 { "i" } else { "X" })
+        .set("ts", event.start_ns as f64 / 1_000.0)
+        .set("pid", 1usize)
+        .set("tid", Json::Int(event.lane as i64));
+    if event.dur_ns == 0 {
+        // Thread-scoped instant mark.
+        doc = doc.set("s", "t");
+    } else {
+        doc = doc.set("dur", event.dur_ns as f64 / 1_000.0);
+    }
+    doc.set("args", args)
+}
+
+/// Renders the recorder's drained events as a Chrome trace-event
+/// document.
+pub fn chrome_trace(recorder: &Recorder) -> Json {
+    let events: Vec<Json> = recorder.events().iter().map(event_json).collect();
+    Json::obj()
+        .set("displayTimeUnit", "ms")
+        .set("traceEvents", Json::Arr(events))
+}
+
+/// Writes the Chrome trace to a file, creating parent directories as
+/// needed.
+///
+/// # Errors
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_chrome_trace(recorder: &Recorder, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, chrome_trace(recorder).render())
+}
+
+/// Renders the recorder's counters and histogram summaries as an
+/// `atlas-metrics/1` snapshot.  Histogram summaries expose exact
+/// `count`/`min`/`max`/`mean` and nearest-rank `p50`/`p99` (log-linear
+/// approximation, see [`crate::Histogram`]); duration histograms are in
+/// nanoseconds by convention.
+pub fn metrics_snapshot(recorder: &Recorder) -> Json {
+    let mut counters = Json::obj();
+    for (name, value) in recorder.counters() {
+        counters = counters.set(&name, Json::Int(value as i64));
+    }
+    let mut hists = Json::obj();
+    for (name, hist) in recorder.histograms() {
+        hists = hists.set(
+            &name,
+            Json::obj()
+                .set("count", Json::Int(hist.count() as i64))
+                .set("min", Json::Int(hist.min() as i64))
+                .set("p50", Json::Int(hist.percentile(50) as i64))
+                .set("p99", Json::Int(hist.percentile(99) as i64))
+                .set("max", Json::Int(hist.max() as i64))
+                .set("mean", hist.mean()),
+        );
+    }
+    Json::obj()
+        .set("schema", METRICS_SCHEMA)
+        .set("counters", counters)
+        .set("histograms", hists)
+        .set("events", Json::Int(recorder.events().len() as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_trace_renders_spans_and_instants() {
+        let rec = Recorder::tracing();
+        let mut lane = rec.lane(4);
+        let start = lane.begin();
+        lane.end(
+            start,
+            "engine",
+            "cluster",
+            vec![
+                ("index", ArgValue::Int(4)),
+                ("closure", ArgValue::Hex(0xBEEF)),
+            ],
+        );
+        lane.instant("incr", "splice", vec![]);
+        drop(lane);
+        let doc = chrome_trace(&rec);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        let span = &events[0];
+        assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span.get("tid").and_then(Json::as_int), Some(4));
+        assert!(span.get("dur").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(
+            span.get("args")
+                .and_then(|a| a.get("closure"))
+                .and_then(Json::as_str),
+            Some("0x000000000000beef")
+        );
+        let mark = &events[1];
+        assert_eq!(mark.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(mark.get("s").and_then(Json::as_str), Some("t"));
+        // Round-trips through the shared JSON dialect.
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+    }
+
+    #[test]
+    fn snapshot_carries_schema_counters_and_summaries() {
+        let rec = Recorder::metrics();
+        rec.count("engine.clusters", 3);
+        for v in [10u64, 20, 30] {
+            rec.record("serve.queue_wait_ns", v);
+        }
+        let snap = metrics_snapshot(&rec);
+        assert_eq!(
+            snap.get("schema").and_then(Json::as_str),
+            Some(METRICS_SCHEMA)
+        );
+        assert_eq!(
+            snap.get("counters")
+                .and_then(|c| c.get("engine.clusters"))
+                .and_then(Json::as_int),
+            Some(3)
+        );
+        let hist = snap
+            .get("histograms")
+            .and_then(|h| h.get("serve.queue_wait_ns"))
+            .unwrap();
+        assert_eq!(hist.get("count").and_then(Json::as_int), Some(3));
+        assert_eq!(hist.get("min").and_then(Json::as_int), Some(10));
+        assert_eq!(hist.get("max").and_then(Json::as_int), Some(30));
+        assert_eq!(hist.get("mean").and_then(Json::as_f64), Some(20.0));
+    }
+
+    #[test]
+    fn write_chrome_trace_creates_parent_dirs() {
+        let rec = Recorder::tracing();
+        rec.lane(0).instant("t", "mark", vec![]);
+        let dir = std::env::temp_dir().join(format!("atlas-obs-sink-{}", std::process::id()));
+        let path = dir.join("nested").join("trace.json");
+        write_chrome_trace(&rec, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(Json::parse(&text).unwrap().get("traceEvents").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -10,6 +10,7 @@
 //! | `ATLAS_SERVE_QUEUE` | request-queue capacity (backpressure bound) | `64` |
 //! | `ATLAS_SERVE_FLUSH` | write-behind: flush after this many edits | `8` |
 //! | `ATLAS_SERVE_MAX_FRAME` | largest accepted request frame, bytes | `262144` |
+//! | `ATLAS_TRACE` | `1`/`true`: record span events for the Chrome-trace sink | off |
 //!
 //! The sampling/thread knobs deliberately reuse the fleet-wide names
 //! (`ATLAS_SAMPLES`, `ATLAS_THREADS`), so a service and a batch run under
@@ -46,6 +47,11 @@ pub struct ServeConfig {
     /// Seed for synthetic registry members (fixed: the service serves one
     /// deterministic library content).
     pub synth_seed: u64,
+    /// Whether the daemon's recorder collects span events (`ATLAS_TRACE`).
+    /// Metrics (counters, histograms) are always collected — they are what
+    /// the `stats` op serves — tracing adds the per-span event stream for
+    /// the Chrome-trace sink.  Either way recording never changes results.
+    pub trace: bool,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +66,7 @@ impl Default for ServeConfig {
             flush_every: 8,
             max_frame: 256 * 1024,
             synth_seed: 0x5EED,
+            trace: false,
         }
     }
 }
@@ -81,6 +88,7 @@ impl ServeConfig {
             flush_every: env_parse("ATLAS_SERVE_FLUSH").unwrap_or(defaults.flush_every),
             max_frame: env_parse("ATLAS_SERVE_MAX_FRAME").unwrap_or(defaults.max_frame),
             synth_seed: defaults.synth_seed,
+            trace: env_flag("ATLAS_TRACE"),
         }
     }
 
@@ -103,6 +111,13 @@ fn env_string(name: &str) -> Option<String> {
 
 fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
     std::env::var(name).ok().and_then(|s| s.parse().ok())
+}
+
+/// A boolean knob: `1`, `true`, `yes`, `on` (case-insensitive) enable it.
+fn env_flag(name: &str) -> bool {
+    std::env::var(name)
+        .map(|s| matches!(s.to_ascii_lowercase().as_str(), "1" | "true" | "yes" | "on"))
+        .unwrap_or(false)
 }
 
 #[cfg(test)]

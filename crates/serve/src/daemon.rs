@@ -30,8 +30,15 @@ use crate::shards::HotShards;
 use atlas_apps::{mutate_library, MutationConfig, RegistryError};
 use atlas_core::{AtlasConfig, Engine, RunProvenance, StoreError, ThreadBudget, VerdictCache};
 use atlas_ir::{ClassId, LibraryInterface, Program};
+use atlas_obs::Recorder;
 use atlas_store::{hex64_string, Json};
 use std::fmt;
+
+/// Lane stripe width per inference session: session `n` (startup is
+/// session 1, edit `k` is session `k + 1`) records its engine events on
+/// lanes `n * SESSION_LANE_STRIDE ..`.  Lanes 1 and 2 below the first
+/// stripe are the service-request and shard-cache tracks.
+const SESSION_LANE_STRIDE: u64 = 4096;
 
 /// Spec-extraction bounds (max spec length, per-cluster spec limit).
 /// These must match the bounds the store was seeded with — the bench
@@ -108,6 +115,9 @@ pub struct Daemon {
     /// Edits since the last write-behind flush.
     edits_since_flush: usize,
     stats: DaemonStats,
+    /// The observability session: always at least the metrics level (the
+    /// `stats` op serves its snapshot), tracing when the config asks.
+    recorder: Recorder,
 }
 
 impl Daemon {
@@ -124,14 +134,21 @@ impl Daemon {
         let lib = atlas_apps::build_library(&config.library, config.synth_seed)?;
         let interface = LibraryInterface::from_program(&lib.program);
         let threads = ThreadBudget::resolve(config.threads).total();
-        let mut hot = HotShards::new(&config.store, config.shard_budget);
+        let recorder = if config.trace {
+            Recorder::tracing()
+        } else {
+            Recorder::metrics()
+        };
+        let mut hot =
+            HotShards::new(&config.store, config.shard_budget).with_recorder(recorder.clone());
         let atlas_config = AtlasConfig {
             samples_per_cluster: config.samples,
             clusters: lib.clusters.clone(),
             num_threads: threads,
             ..AtlasConfig::default()
         };
-        let engine = Engine::new(&lib.program, &interface, atlas_config);
+        let engine = Engine::new(&lib.program, &interface, atlas_config)
+            .with_recorder(recorder.with_lane_base(SESSION_LANE_STRIDE));
         let provenance = engine.run_provenance();
         let mut session = engine.incremental_session(&provenance);
         let outcome = session.run_with_shards(&mut hot, EXTRACTION)?;
@@ -155,8 +172,15 @@ impl Daemon {
             generation: 0,
             edits_since_flush: 0,
             stats: DaemonStats::default(),
+            recorder,
             config,
         })
+    }
+
+    /// The daemon's observability handle — clone it to export the Chrome
+    /// trace or a metrics snapshot after the daemon is gone.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Edits applied since startup.
@@ -178,6 +202,7 @@ impl Daemon {
     /// structured error response.
     pub fn handle(&mut self, envelope: &Envelope) -> Response {
         let id = envelope.id.clone();
+        self.recorder.count("serve.requests", 1);
         let result = match &envelope.request {
             Request::Hello => Ok(self.hello()),
             Request::Ping => Ok(Json::obj()
@@ -203,7 +228,13 @@ impl Daemon {
         };
         match result {
             Ok(result) => Response::ok(id, result),
-            Err(error) => Response::err(id, error),
+            Err(error) => {
+                // One counter per protocol error class, so a daemon that
+                // is rejecting traffic is diagnosable from `stats` alone.
+                self.recorder
+                    .count(&format!("serve.errors.{}", error.code.as_str()), 1);
+                Response::err(id, error)
+            }
         }
     }
 
@@ -245,8 +276,15 @@ impl Daemon {
             num_threads: self.threads,
             ..AtlasConfig::default()
         };
+        // Session `generation + 2` (startup was session 1): each edit's
+        // engine records on its own lane stripe, so cluster tracks from
+        // different edits never interleave in the exported trace.
         let engine = Engine::new(&new_program, &new_interface, atlas_config)
-            .warm_start(self.warm.warm_clone());
+            .warm_start(self.warm.warm_clone())
+            .with_recorder(
+                self.recorder
+                    .with_lane_base((self.generation + 2) * SESSION_LANE_STRIDE),
+            );
         let mut session = engine.incremental_session(&self.provenance);
         let outcome = session
             .run_with_shards(&mut self.hot, EXTRACTION)
@@ -333,5 +371,10 @@ impl Daemon {
                     .set("flushes", shards.flushes)
                     .set("flushed_shards", shards.flushed_shards),
             )
+            // The live `atlas-metrics/1` snapshot: every counter and
+            // histogram the observability spine has collected since
+            // startup, so a resident daemon is inspectable over the wire
+            // without restarting it under different flags.
+            .set("metrics", atlas_obs::metrics_snapshot(&self.recorder))
     }
 }

@@ -148,6 +148,22 @@ pub struct Envelope {
     pub request: Request,
 }
 
+impl Request {
+    /// The wire spelling of the operation (`"op"` in the frame).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Hello => "hello",
+            Request::Ping => "ping",
+            Request::Edit(_) => "edit",
+            Request::Specs => "specs",
+            Request::Fingerprint => "fingerprint",
+            Request::Stats => "stats",
+            Request::Flush => "flush",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
 impl Envelope {
     /// An id-less envelope.
     pub fn of(request: Request) -> Envelope {

@@ -24,12 +24,18 @@ use crate::proto::{
     decode_request, encode_response, read_frame, salvage_id, Envelope, ErrorCode, Frame, Request,
     Response, WireError,
 };
+use atlas_obs::{ArgValue, Recorder};
 use atlas_store::Json;
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The observability lane of the worker's request spans: one row — the
+/// worker is single and FIFO, so request spans never overlap.
+const REQUEST_LANE: u64 = 1;
 
 /// One queued unit of work: the decode outcome of a frame plus the reply
 /// channel.  Malformed frames travel the queue too, so responses keep the
@@ -41,6 +47,8 @@ struct Job {
     id: Option<Json>,
     /// Where the response goes.
     reply: mpsc::Sender<Response>,
+    /// When the job entered the queue — the start of its queue-wait.
+    enqueued: Instant,
 }
 
 /// A blocking bounded MPSC queue: `push` blocks while full (the
@@ -136,6 +144,9 @@ struct BatchStats {
 pub struct Service {
     queue: Arc<BoundedQueue<Job>>,
     worker: Option<JoinHandle<()>>,
+    /// A clone of the daemon's recorder, kept on this side of the worker
+    /// boundary so callers can export sinks after shutdown.
+    recorder: Recorder,
 }
 
 /// An in-process client of a running [`Service`].
@@ -160,11 +171,14 @@ impl Service {
     /// failure during warm-up.
     pub fn spawn(config: ServeConfig) -> Result<Service, ServeError> {
         let mut daemon = Daemon::new(config)?;
+        let recorder = daemon.recorder().clone();
+        let worker_recorder = recorder.clone();
         let queue: Arc<BoundedQueue<Job>> =
             Arc::new(BoundedQueue::new(daemon.config().queue_capacity));
         let batch_max = daemon.config().queue_capacity;
         let worker_queue = Arc::clone(&queue);
         let worker = std::thread::spawn(move || {
+            let recorder = worker_recorder;
             let mut batches = BatchStats::default();
             while let Some(batch) = worker_queue.pop_batch(batch_max) {
                 batches.batches += 1;
@@ -172,8 +186,22 @@ impl Service {
                 batches.max_batch = batches.max_batch.max(batch.len());
                 let mut jobs = batch.into_iter();
                 for job in jobs.by_ref() {
+                    // Queue-wait: enqueue to the moment the worker picks
+                    // the job up — the latency the bounded queue adds on
+                    // top of service time.
+                    recorder.record_duration("serve.queue_wait_ns", job.enqueued.elapsed());
+                    let mut lane = recorder.lane(REQUEST_LANE);
+                    let span = lane.begin();
+                    let op: &'static str = match &job.envelope {
+                        Ok(envelope) => envelope.request.op(),
+                        Err(_) => "invalid",
+                    };
                     let response = match &job.envelope {
-                        Err(error) => Response::err(job.id.clone(), error.clone()),
+                        Err(error) => {
+                            recorder.count("serve.proto_errors", 1);
+                            recorder.count(&format!("serve.errors.{}", error.code.as_str()), 1);
+                            Response::err(job.id.clone(), error.clone())
+                        }
                         Ok(envelope) => {
                             if matches!(envelope.request, Request::Shutdown) {
                                 let response = match daemon.flush() {
@@ -183,6 +211,12 @@ impl Service {
                                         WireError::new(ErrorCode::Store, e.to_string()),
                                     ),
                                 };
+                                lane.end(
+                                    span,
+                                    "serve",
+                                    "request",
+                                    vec![("op", ArgValue::from(op))],
+                                );
                                 let _ = job.reply.send(response);
                                 worker_queue.close();
                                 // Fail the rest of this batch, then drain
@@ -212,6 +246,7 @@ impl Service {
                             response
                         }
                     };
+                    lane.end(span, "serve", "request", vec![("op", ArgValue::from(op))]);
                     let _ = job.reply.send(response);
                 }
             }
@@ -219,7 +254,15 @@ impl Service {
         Ok(Service {
             queue,
             worker: Some(worker),
+            recorder,
         })
+    }
+
+    /// The service's observability handle — a clone of the daemon's
+    /// recorder, usable (e.g. for [`atlas_obs::chrome_trace`] or
+    /// [`atlas_obs::metrics_snapshot`]) even after the worker has exited.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// A cloneable in-process handle to this service.
@@ -272,6 +315,7 @@ impl Service {
                     )),
                     id: None,
                     reply: tx.clone(),
+                    enqueued: Instant::now(),
                 },
                 Frame::Line(line) => {
                     if line.trim().is_empty() {
@@ -282,11 +326,13 @@ impl Service {
                             id: envelope.id.clone(),
                             envelope: Ok(envelope),
                             reply: tx.clone(),
+                            enqueued: Instant::now(),
                         },
                         Err(error) => Job {
                             id: salvage_id(&line),
                             envelope: Err(error),
                             reply: tx.clone(),
+                            enqueued: Instant::now(),
                         },
                     }
                 }
@@ -329,6 +375,7 @@ impl ServeHandle {
             id: id.clone(),
             envelope: Ok(envelope),
             reply: tx,
+            enqueued: Instant::now(),
         };
         if self.queue.push(job).is_err() {
             return shutting_down(id);
@@ -349,6 +396,7 @@ impl ServeHandle {
                     id: id.clone(),
                     envelope: Err(error),
                     reply: tx,
+                    enqueued: Instant::now(),
                 };
                 if self.queue.push(job).is_err() {
                     return shutting_down(id);

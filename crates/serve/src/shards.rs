@@ -27,8 +27,13 @@
 
 use atlas_core::{CacheArtifact, CacheProvenance, ShardStore, SpecArtifact, StoreError};
 use atlas_learn::VerdictCache;
+use atlas_obs::{ArgValue, Recorder};
 use atlas_store::{atomic_write, load_cache, load_document, save_cache, shard_entry, Json};
 use std::path::{Path, PathBuf};
+
+/// The observability lane all hot-shard events drain to (the daemon's
+/// "shards" track; lane 1 is the service request track).
+const SHARDS_LANE: u64 = 2;
 
 /// Counters of the hot shard cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -69,6 +74,9 @@ pub struct HotShards {
     /// LRU order: least-recently used first, most-recently used last.
     entries: Vec<HotEntry>,
     stats: ShardCacheStats,
+    /// Observability handle; mirrors [`ShardCacheStats`] into the shared
+    /// `shards.*` counter vocabulary and emits load/evict/flush events.
+    recorder: Recorder,
 }
 
 impl HotShards {
@@ -81,7 +89,16 @@ impl HotShards {
             budget: budget.max(1),
             entries: Vec::new(),
             stats: ShardCacheStats::default(),
+            recorder: Recorder::off(),
         }
+    }
+
+    /// Attaches an observability recorder (see `atlas-obs`): every
+    /// counter in [`ShardCacheStats`] is mirrored as a `shards.*` metric,
+    /// and shard loads / evictions / flushes emit trace events.
+    pub fn with_recorder(mut self, recorder: Recorder) -> HotShards {
+        self.recorder = recorder;
+        self
     }
 
     /// The store root this cache fronts.
@@ -110,11 +127,15 @@ impl HotShards {
     fn ensure(&mut self, closure: u64) -> Result<usize, StoreError> {
         if let Some(i) = self.entries.iter().position(|e| e.closure == closure) {
             self.stats.hits += 1;
+            self.recorder.count("shards.hits", 1);
             let entry = self.entries.remove(i);
             self.entries.push(entry);
             return Ok(self.entries.len() - 1);
         }
         self.stats.misses += 1;
+        self.recorder.count("shards.misses", 1);
+        let mut lane = self.recorder.lane(SHARDS_LANE);
+        let load_start = lane.begin();
         let paths = shard_entry(&self.root, closure);
         let specs = if paths.specs.exists() {
             Some(load_document(&paths.specs)?)
@@ -132,6 +153,13 @@ impl HotShards {
             cache,
             dirty: false,
         });
+        lane.end(
+            load_start,
+            "shards",
+            "load",
+            vec![("closure", ArgValue::Hex(closure))],
+        );
+        drop(lane);
         self.enforce_budget(Some(closure));
         Ok(self.entries.len() - 1)
     }
@@ -148,11 +176,23 @@ impl HotShards {
                 .position(|e| !e.dirty && Some(e.closure) != protect)
             {
                 Some(i) => {
-                    self.entries.remove(i);
+                    let evicted = self.entries.remove(i);
                     self.stats.evictions += 1;
+                    self.recorder.count("shards.evictions", 1);
+                    self.recorder.lane(SHARDS_LANE).instant(
+                        "shards",
+                        "evict",
+                        vec![("closure", ArgValue::Hex(evicted.closure))],
+                    );
                 }
                 None => {
                     self.stats.pin_overflows += 1;
+                    self.recorder.count("shards.pin_overflows", 1);
+                    self.recorder.lane(SHARDS_LANE).instant(
+                        "shards",
+                        "pin-overflow",
+                        vec![("resident", ArgValue::from(self.entries.len()))],
+                    );
                     return;
                 }
             }
@@ -171,6 +211,9 @@ impl HotShards {
     /// data is lost and a later flush can retry.
     pub fn flush(&mut self) -> Result<usize, StoreError> {
         self.stats.flushes += 1;
+        self.recorder.count("shards.flushes", 1);
+        let mut lane = self.recorder.lane(SHARDS_LANE);
+        let flush_start = lane.begin();
         let mut dirty: Vec<usize> = (0..self.entries.len())
             .filter(|&i| self.entries[i].dirty)
             .collect();
@@ -189,6 +232,14 @@ impl HotShards {
             written += 1;
             self.stats.flushed_shards += 1;
         }
+        self.recorder.count("shards.flushed_shards", written as u64);
+        lane.end(
+            flush_start,
+            "shards",
+            "flush",
+            vec![("written", ArgValue::from(written))],
+        );
+        drop(lane);
         self.enforce_budget(None);
         Ok(written)
     }
