@@ -23,7 +23,15 @@
 //! * `--samples N` / `--threads N` — budgets, overriding the environment.
 //! * `--store ROOT` — closure-sharded store root, overriding
 //!   `ATLAS_SERVE_STORE`.
-//! * `--edits N` — edit-stream length (default 1000).
+//! * `--edits N` — edit-stream length (default 1000; per session when
+//!   `--sessions` > 1).
+//! * `--sessions N` — concurrent sessions (default 1).  With more than
+//!   one, the run switches to the multi-session leg: `N` named sessions
+//!   on one daemon, each replayed from its own client thread, each
+//!   byte-compared against its own cold baseline, one `atlas-serve/2`
+//!   report with aggregate throughput.
+//! * `--workers N` — daemon worker-pool width (0 = auto from the thread
+//!   budget).
 //! * `--shards N` — hot-shard LRU budget.
 //! * `--queue N` — request-queue capacity.
 //! * `--flush-every N` — write-behind schedule (`0` = every edit).
@@ -42,8 +50,8 @@ use std::path::PathBuf;
 fn usage(message: &str) -> ! {
     eprintln!(
         "serve_bench: {message}\nusage: serve_bench [--library NAME] [--samples N] [--threads N] \
-         [--store ROOT] [--edits N] [--shards N] [--queue N] [--flush-every N] [--seed N] \
-         [--trace] [--trace-out PATH] [--expect-throughput N]"
+         [--store ROOT] [--edits N] [--sessions N] [--workers N] [--shards N] [--queue N] \
+         [--flush-every N] [--seed N] [--trace] [--trace-out PATH] [--expect-throughput N]"
     );
     std::process::exit(1);
 }
@@ -81,6 +89,18 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--edits needs a number"));
+            }
+            "--sessions" => {
+                config.sessions = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--sessions needs a number"));
+            }
+            "--workers" => {
+                config.serve.workers = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--workers needs a number"));
             }
             "--shards" => {
                 config.serve.shard_budget = args
@@ -125,14 +145,21 @@ fn main() {
         }
     }
     eprintln!(
-        "serve_bench: {} ({} samples/cluster, threads={}, edits={}, store={})",
+        "serve_bench: {} ({} samples/cluster, threads={}, workers={}, sessions={}, edits={}, store={})",
         config.serve.library,
         config.serve.samples,
         config.serve.threads,
+        config.serve.workers,
+        config.sessions,
         config.edits,
         config.serve.store.display()
     );
-    let report = match atlas_bench::run_serve_bench(&config) {
+    let run = if config.sessions > 1 {
+        atlas_bench::run_serve_multi_bench(&config)
+    } else {
+        atlas_bench::run_serve_bench(&config)
+    };
+    let report = match run {
         Ok(report) => report,
         Err(e) => {
             eprintln!("serve_bench: {e}");

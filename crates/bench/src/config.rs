@@ -23,23 +23,14 @@
 //! shared budgets above.
 //!
 //! Malformed values fall back to the default rather than aborting — a CI
-//! matrix that exports an empty string must not change behavior.
+//! matrix that exports an empty string must not change behavior.  The
+//! primitive parsers live in [`atlas_core::env`], shared with the serve
+//! daemon's knob table, and are re-exported here; this module only adds
+//! the knob *names* and their defaults.
 
+use atlas_core::env::{env_flag, parse_u64};
+pub use atlas_core::env::{env_parse, env_path};
 use std::path::PathBuf;
-
-/// Parses an environment variable, falling back to `None` when unset or
-/// unparsable.
-pub fn env_parse<T: std::str::FromStr>(var: &str) -> Option<T> {
-    std::env::var(var).ok().and_then(|s| s.parse().ok())
-}
-
-/// A non-empty environment variable as a path.
-pub fn env_path(var: &str) -> Option<PathBuf> {
-    std::env::var(var)
-        .ok()
-        .filter(|s| !s.is_empty())
-        .map(PathBuf::from)
-}
 
 /// Reads the per-cluster sampling budget from `ATLAS_SAMPLES` (default 4000).
 pub fn sample_budget() -> usize {
@@ -96,14 +87,7 @@ pub fn oracle_engine() -> atlas_core::OracleEngine {
 /// observes the pipelines from outside every verdict and artifact path —
 /// only adds the event stream behind `ATLAS_TRACE_OUT`.
 pub fn trace_enabled() -> bool {
-    std::env::var("ATLAS_TRACE")
-        .map(|s| {
-            matches!(
-                s.trim().to_ascii_lowercase().as_str(),
-                "1" | "true" | "yes" | "on"
-            )
-        })
-        .unwrap_or(false)
+    env_flag("ATLAS_TRACE")
 }
 
 /// Reads the Chrome trace-event sink path from `ATLAS_TRACE_OUT`.
@@ -133,15 +117,6 @@ pub fn export_trace(recorder: &atlas_obs::Recorder, out: Option<PathBuf>) {
     match atlas_obs::write_chrome_trace(recorder, &path) {
         Ok(()) => eprintln!("trace: wrote {}", path.display()),
         Err(e) => eprintln!("trace: failed to write {}: {e}", path.display()),
-    }
-}
-
-/// Parses a decimal or `0x`-prefixed hex u64.
-fn parse_u64(s: &str) -> Option<u64> {
-    let s = s.trim();
-    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        Some(hex) => u64::from_str_radix(hex, 16).ok(),
-        None => s.parse().ok(),
     }
 }
 
@@ -177,14 +152,5 @@ mod tests {
         // helpers are exercised against explicitly absent variables.
         assert_eq!(env_parse::<usize>("ATLAS_DOES_NOT_EXIST"), None);
         assert!(env_path("ATLAS_DOES_NOT_EXIST").is_none());
-    }
-
-    #[test]
-    fn seeds_parse_in_both_spellings() {
-        assert_eq!(parse_u64("24301"), Some(24301));
-        assert_eq!(parse_u64("0x5EED"), Some(0x5EED));
-        assert_eq!(parse_u64(" 0X5eed "), Some(0x5EED));
-        assert_eq!(parse_u64("nope"), None);
-        assert_eq!(parse_u64("0xzz"), None);
     }
 }

@@ -51,7 +51,10 @@
 //! byte-compare the daemon's final specification artifact against a cold
 //! batch run over the equivalently edited program — one `atlas-serve/1`
 //! report (the `serve_bench` binary; `--expect-throughput` gates
-//! equivalence plus a minimum edit rate in CI).
+//! equivalence plus a minimum edit rate in CI).  With `--sessions N` the
+//! leg switches to the `atlas-serve/2` multi-session variant: `N` named
+//! sessions on one daemon, replayed concurrently, each byte-compared
+//! against its own cold baseline.
 //!
 //! The [`oracle`] module measures the oracle's two execution engines —
 //! the bytecode VM against the tree-walking interpreter — on a
@@ -91,7 +94,7 @@ pub use fleet::{run_fleet, FleetConfig, FleetError, FleetReport};
 pub use incr::{run_incremental, IncrConfig, IncrReport};
 pub use json::Json;
 pub use oracle::{run_oracle_bench, OracleBenchConfig, OracleBenchReport};
-pub use serve::{run_serve_bench, ServeBenchConfig, ServeBenchReport};
+pub use serve::{run_serve_bench, run_serve_multi_bench, ServeBenchConfig, ServeBenchReport};
 
 /// Emits a pipeline report from a report binary: the JSON goes to stdout
 /// first (the primary output — a bad file path must never lose the run),

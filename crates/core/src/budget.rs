@@ -70,6 +70,21 @@ impl ThreadBudget {
             inner: (self.total / outer).max(1),
         }
     }
+
+    /// Splits the budget over a *fixed* outer worker count — the resident
+    /// service's shape, where the pool size is a configuration knob
+    /// rather than a job count known up front.  Unlike
+    /// [`ThreadBudget::split`], the outer side is not optimized away:
+    /// `workers` is clamped into `1..=total()` and each worker gets an
+    /// equal share of what remains (always at least one engine thread),
+    /// preserving the `outer * inner <= total()` invariant.
+    pub fn split_workers(&self, workers: usize) -> BudgetSplit {
+        let outer = workers.clamp(1, self.total);
+        BudgetSplit {
+            outer,
+            inner: (self.total / outer).max(1),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +114,29 @@ mod tests {
                     best,
                     "{total} threads / {jobs} jobs -> {split:?} wastes budget"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn split_workers_pins_the_pool_size() {
+        let budget = ThreadBudget::resolve(8);
+        assert_eq!(budget.split_workers(4), BudgetSplit { outer: 4, inner: 2 });
+        // The pool is clamped by the budget, never past it.
+        assert_eq!(
+            ThreadBudget::resolve(2).split_workers(4),
+            BudgetSplit { outer: 2, inner: 1 }
+        );
+        // An indivisible remainder strands threads rather than breaking
+        // the invariant: 3 workers over 8 threads get 2 each.
+        assert_eq!(budget.split_workers(3), BudgetSplit { outer: 3, inner: 2 });
+        // Zero workers is promoted to one (all threads inner).
+        assert_eq!(budget.split_workers(0), BudgetSplit { outer: 1, inner: 8 });
+        for total in 1..=16 {
+            for workers in 0..=20 {
+                let split = ThreadBudget::resolve(total).split_workers(workers);
+                assert!(split.outer >= 1 && split.inner >= 1);
+                assert!(split.outer * split.inner <= total);
             }
         }
     }

@@ -1,0 +1,72 @@
+//! Shared parsing of `ATLAS_*` environment knobs.
+//!
+//! Every crate in the workspace that reads configuration from the
+//! environment — the bench harness (`atlas_bench::config`), the resident
+//! service (`atlas_serve::config`) — goes through these helpers, so a
+//! knob means the same thing and fails the same way everywhere.  The one
+//! error style: a malformed or empty value falls back to the caller's
+//! default instead of aborting, because a CI matrix that exports an empty
+//! string must not change behavior.
+
+use std::path::PathBuf;
+
+/// Parses an environment variable, falling back to `None` when unset,
+/// empty, or unparsable.
+pub fn env_parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+    std::env::var(var).ok().and_then(|s| s.parse().ok())
+}
+
+/// A non-empty environment variable, verbatim.
+pub fn env_string(var: &str) -> Option<String> {
+    std::env::var(var).ok().filter(|s| !s.is_empty())
+}
+
+/// A non-empty environment variable as a path.
+pub fn env_path(var: &str) -> Option<PathBuf> {
+    env_string(var).map(PathBuf::from)
+}
+
+/// A boolean knob: `1`, `true`, `yes`, `on` (case-insensitive, trimmed)
+/// enable it; everything else — including unset — disables it.
+pub fn env_flag(var: &str) -> bool {
+    std::env::var(var)
+        .map(|s| {
+            matches!(
+                s.trim().to_ascii_lowercase().as_str(),
+                "1" | "true" | "yes" | "on"
+            )
+        })
+        .unwrap_or(false)
+}
+
+/// Parses a decimal or `0x`-prefixed hex u64 — the seed spelling used by
+/// `ATLAS_FLEET_SEED` and the fingerprints in reports.
+pub fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_variables_fall_back() {
+        assert_eq!(env_parse::<usize>("ATLAS_NO_SUCH_KNOB"), None);
+        assert_eq!(env_string("ATLAS_NO_SUCH_KNOB"), None);
+        assert!(env_path("ATLAS_NO_SUCH_KNOB").is_none());
+        assert!(!env_flag("ATLAS_NO_SUCH_KNOB"));
+    }
+
+    #[test]
+    fn seeds_parse_in_both_spellings() {
+        assert_eq!(parse_u64("24301"), Some(24301));
+        assert_eq!(parse_u64("0x5EED"), Some(0x5EED));
+        assert_eq!(parse_u64(" 0X5eed "), Some(0x5EED));
+        assert_eq!(parse_u64("nope"), None);
+        assert_eq!(parse_u64("0xzz"), None);
+    }
+}

@@ -35,6 +35,7 @@
 
 pub mod budget;
 pub mod engine;
+pub mod env;
 pub mod incremental;
 pub mod inference;
 pub mod report;

@@ -32,9 +32,22 @@ pub use atlas_ir::hash::library_fingerprint;
 
 /// Computes [`VerdictKey`]s for one oracle context.
 ///
-/// The context — library fingerprint, [`InitStrategy`], [`ExecLimits`] — is
-/// hashed once at construction; per-method content hashes are precomputed so
-/// that keying a word is a handful of integer mixes, cheap enough for the
+/// **Closure-fingerprint keying.**  A keyer is built from an explicit
+/// content `fingerprint` ([`CacheKeyer::with_fingerprint`]): in the
+/// incremental pipeline this is the **dependency-closure fingerprint** of
+/// the cluster the oracle serves (`atlas_ir::depgraph`), so verdicts
+/// transfer between any two runs that agree on the closure *content* —
+/// even when unrelated parts of the library differ.  Callers without a
+/// cluster scope pass the whole-library fingerprint
+/// ([`library_fingerprint`]), which degrades gracefully to the historical
+/// any-edit-invalidates-everything keying.  The fingerprint choice only
+/// moves the *context* half of the key ([`CacheKeyer::context_of`]); word
+/// hashing is identical either way, so re-keying a cache is a pure
+/// re-grouping, never a correctness change.
+///
+/// The context — fingerprint, [`InitStrategy`], [`ExecLimits`] — is hashed
+/// once at construction; per-method content hashes are precomputed so that
+/// keying a word is a handful of integer mixes, cheap enough for the
 /// oracle's hot path.
 #[derive(Debug, Clone)]
 pub struct CacheKeyer {
@@ -43,40 +56,10 @@ pub struct CacheKeyer {
 }
 
 impl CacheKeyer {
-    /// Builds a keyer for an oracle over `program`/`interface` running
-    /// unit tests under `strategy` and `limits`, keyed on the
-    /// **whole-library** fingerprint.  This is the historical (pre-
-    /// incremental) keying, kept as the compatibility path for callers
-    /// without a cluster context; cluster-scoped oracles key on their
-    /// dependency-closure fingerprint via [`CacheKeyer::with_fingerprint`].
-    pub fn new(
-        program: &Program,
-        interface: &LibraryInterface,
-        strategy: InitStrategy,
-        limits: ExecLimits,
-    ) -> CacheKeyer {
-        // Hash each method's content once; the fingerprint folds the same
-        // per-method hashes in interface order (see `library_fingerprint`).
-        let mut fp = Fnv::new(0x11b);
-        let mut method_hash = HashMap::new();
-        for sig in interface.methods() {
-            let mh = method_content_hash(program, interface, sig.method);
-            fp.write_u64(mh);
-            method_hash.insert(sig.method, mh);
-        }
-        CacheKeyer {
-            context: context_of(fp.finish(), strategy, limits),
-            method_hash,
-        }
-    }
-
-    /// Builds a keyer whose context is derived from an explicit
-    /// `fingerprint` — in the incremental pipeline, the **dependency-
-    /// closure fingerprint** of the cluster the oracle serves
-    /// (`atlas_ir::depgraph`).  Word hashing is identical to
-    /// [`CacheKeyer::new`]; only the context half of the key changes, so
-    /// verdicts transfer between any two runs that agree on the closure
-    /// content — even when unrelated parts of the library differ.
+    /// Builds a keyer whose context is derived from `fingerprint` — a
+    /// cluster's dependency-closure fingerprint in the incremental
+    /// pipeline, or [`library_fingerprint`] for whole-library scope (see
+    /// the [type docs](CacheKeyer) for why the distinction matters).
     pub fn with_fingerprint(
         program: &Program,
         interface: &LibraryInterface,
@@ -90,12 +73,31 @@ impl CacheKeyer {
             method_hash.insert(sig.method, mh);
         }
         CacheKeyer {
-            context: context_of(fingerprint, strategy, limits),
+            context: Self::context_of(fingerprint, strategy, limits),
             method_hash,
         }
     }
 
-    /// The context half of every key this keyer produces (library
+    /// The context half of a [`VerdictKey`]: a content fingerprint (one
+    /// cluster's dependency closure, or the whole library) mixed with the
+    /// initialization strategy and the execution limits.  One definition,
+    /// shared by [`CacheKeyer`] and `atlas-store`'s provenance records, so
+    /// a context computed at persist time always matches the one computed
+    /// at lookup time.
+    pub fn context_of(fingerprint: u64, strategy: InitStrategy, limits: ExecLimits) -> u64 {
+        let mut h = Fnv::new(0xc0de);
+        h.write_u64(fingerprint);
+        h.write(&[match strategy {
+            InitStrategy::Null => 0,
+            InitStrategy::Instantiate => 1,
+        }]);
+        h.write_u64(limits.max_steps as u64);
+        h.write_u64(limits.max_call_depth as u64);
+        h.write_u64(limits.max_heap_objects as u64);
+        h.finish()
+    }
+
+    /// The context half of every key this keyer produces (content
     /// fingerprint mixed with strategy and limits).
     pub fn context(&self) -> u64 {
         self.context
@@ -127,25 +129,6 @@ impl CacheKeyer {
             word2: b.finish(),
         }
     }
-}
-
-/// The context half of a [`VerdictKey`]: a content fingerprint (whole
-/// library, or one cluster's dependency closure) mixed with the
-/// initialization strategy and the execution limits.  One definition,
-/// shared by [`CacheKeyer`] and `atlas-store`'s provenance records, so a
-/// context computed at persist time always matches the one computed at
-/// lookup time.
-pub fn context_of(fingerprint: u64, strategy: InitStrategy, limits: ExecLimits) -> u64 {
-    let mut h = Fnv::new(0xc0de);
-    h.write_u64(fingerprint);
-    h.write(&[match strategy {
-        InitStrategy::Null => 0,
-        InitStrategy::Instantiate => 1,
-    }]);
-    h.write_u64(limits.max_steps as u64);
-    h.write_u64(limits.max_call_depth as u64);
-    h.write_u64(limits.max_heap_objects as u64);
-    h.finish()
 }
 
 /// A content-addressed cache key: 64 bits of oracle context (closure or
@@ -447,13 +430,12 @@ mod tests {
         let strategy = InitStrategy::Instantiate;
         let limits = ExecLimits::for_unit_tests();
 
-        let library = CacheKeyer::new(&program, &interface, strategy, limits);
         let fp = library_fingerprint(&program, &interface);
-        // Passing the library fingerprint explicitly reproduces the
-        // historical keyer exactly — the compatibility shim.
-        let explicit = CacheKeyer::with_fingerprint(&program, &interface, fp, strategy, limits);
-        assert_eq!(library.context(), explicit.context());
-        assert_eq!(library.context(), context_of(fp, strategy, limits));
+        let library = CacheKeyer::with_fingerprint(&program, &interface, fp, strategy, limits);
+        assert_eq!(
+            library.context(),
+            CacheKeyer::context_of(fp, strategy, limits)
+        );
 
         // A closure-keyed keyer differs only in the context half: word
         // hashes are identical, so re-keying is a pure re-grouping.

@@ -26,9 +26,7 @@ pub mod oracle;
 pub mod rpni;
 pub mod sample;
 
-pub use cache::{
-    context_of, library_fingerprint, CacheKeyer, CacheStats, VerdictCache, VerdictKey,
-};
+pub use cache::{library_fingerprint, CacheKeyer, CacheStats, VerdictCache, VerdictKey};
 pub use oracle::{Oracle, OracleConfig, OracleEngine, OracleStats};
 pub use rpni::{infer_fsa, RpniConfig, RpniResult};
 pub use sample::{sample_positive_examples, SampleResult, SamplerConfig, SamplingStrategy};

@@ -162,12 +162,18 @@ impl<'p> Oracle<'p> {
     ) -> Oracle<'p> {
         cache.mark_warm();
         let planner = InstantiationPlanner::new(program, interface);
-        let keyer = match config.fingerprint {
-            Some(fp) => {
-                CacheKeyer::with_fingerprint(program, interface, fp, config.strategy, config.limits)
-            }
-            None => CacheKeyer::new(program, interface, config.strategy, config.limits),
-        };
+        // No cluster scope configured → key on the whole-library
+        // fingerprint (see the `CacheKeyer` docs for the trade-off).
+        let fingerprint = config
+            .fingerprint
+            .unwrap_or_else(|| crate::library_fingerprint(program, interface));
+        let keyer = CacheKeyer::with_fingerprint(
+            program,
+            interface,
+            fingerprint,
+            config.strategy,
+            config.limits,
+        );
         Oracle {
             program,
             interface,

@@ -12,10 +12,13 @@
 //!
 //! * `--library NAME` — registry name of the library under service.
 //! * `--samples N` / `--threads N` — budgets.
+//! * `--workers N` — service worker-pool size (`0` = auto; the thread
+//!   budget clamps it).
 //! * `--store ROOT` — closure-sharded store root.
 //! * `--shards N` — hot-shard LRU budget.
 //! * `--queue N` — request-queue capacity (backpressure bound).
 //! * `--flush-every N` — write-behind schedule (`0` = after every edit).
+//! * `--max-sessions N` — open-session cap (`atlas-serve/2` `open`).
 //! * `--socket PATH` — serve connections on a Unix socket instead of
 //!   stdin/stdout (the socket file is replaced if present).
 //!
@@ -32,7 +35,8 @@ use std::path::PathBuf;
 fn usage(message: &str) -> ! {
     eprintln!(
         "serve: {message}\nusage: serve [--library NAME] [--samples N] [--threads N] \
-         [--store ROOT] [--shards N] [--queue N] [--flush-every N] [--socket PATH]"
+         [--workers N] [--store ROOT] [--shards N] [--queue N] [--flush-every N] \
+         [--max-sessions N] [--socket PATH]"
     );
     std::process::exit(1);
 }
@@ -59,6 +63,18 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--threads needs a number"));
+            }
+            "--workers" => {
+                config.workers = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--workers needs a number"));
+            }
+            "--max-sessions" => {
+                config.max_sessions = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--max-sessions needs a number"));
             }
             "--store" => {
                 config.store =
@@ -94,14 +110,17 @@ fn main() {
 
     let max_frame = config.max_frame;
     eprintln!(
-        "serve: {} ({} samples/cluster, threads={}, store={}, shards={}, queue={}, flush-every={})",
+        "serve: {} ({} samples/cluster, threads={}, workers={}, store={}, shards={}, queue={}, \
+         flush-every={}, max-sessions={})",
         config.library,
         config.samples,
         config.threads,
+        config.workers,
         config.store.display(),
         config.shard_budget,
         config.queue_capacity,
         config.flush_every,
+        config.max_sessions,
     );
     let mut service = match Service::spawn(config) {
         Ok(service) => service,

@@ -1,44 +1,66 @@
-//! The resident daemon state: one library under service, a rolling warm
-//! verdict cache, a hot shard cache, and the current spec artifact.
+//! The resident daemon: a table of independent sessions over one shared
+//! hot shard cache, plus the pristine base state new sessions seed from.
 //!
-//! A [`Daemon`] is single-threaded by construction (the service wraps it
-//! in one worker); every request is a pure state transition:
+//! `atlas-serve/2` makes the daemon multi-session.  Every request is
+//! routed to a session — the one named by its `session` field, or the
+//! reserved **default session** when the field is absent, which is how
+//! unmodified `atlas-serve/1` clients keep working unchanged:
 //!
 //! * **Startup** builds the configured library and runs one incremental
-//!   session against its own provenance.  Over a warm store every cluster
-//!   splices (zero executions); over a cold store every cluster is
-//!   forced-dirty, runs, and seeds the store — so a restart is exactly a
-//!   cache-warming, never a semantic event.
-//! * **Edits** mutate the library (`atlas_apps::mutate_library`), open an
-//!   `Engine::incremental_session` against the previous edit's provenance
-//!   warm-started from the rolling verdict cache, and run it against the
-//!   hot shard cache.  Only clusters whose dependency closure contains
-//!   the edit re-run; the rest splice from memory.
-//! * **Queries** (`specs`, `fingerprint`) are answered from the cached
-//!   artifact of the last edit — no inference, no disk.
+//!   session against its own provenance in the store's *root namespace*.
+//!   Over a warm store every cluster splices (zero executions); over a
+//!   cold store every cluster is forced-dirty, runs, and seeds the store
+//!   — so a restart is exactly a cache-warming, never a semantic event.
+//!   The post-flush shard files are captured byte-for-byte as the
+//!   `BaseState` seed set.
+//! * **`open`** registers a new session: a fresh namespace under
+//!   `<store>/sessions/<name>/` seeded with the captured base shard
+//!   bytes, plus clones of the base program, provenance, warm cache and
+//!   specs document.  A session opened at any point therefore behaves
+//!   byte-identically to the same session on a freshly-started daemon —
+//!   edits in other sessions (including the default one) can never leak
+//!   into it.
+//! * **Edits** are per-session state transitions (see the `session`
+//!   module); different sessions' edits run
+//!   concurrently on the service worker pool, each with its `inner`
+//!   share of the global [`ThreadBudget`].
+//! * **`close`** flushes the session's namespace, retires it from the
+//!   hot cache, and forgets the session.  The default session cannot be
+//!   closed.
 //!
-//! The observational-equivalence invariant: after any edit sequence, the
-//! `specs` artifact is byte-identical to a cold batch `Engine` run over
-//! the same edited program, because splicing goes through the same
-//! [`ShardStore`](atlas_core::ShardStore) code path the batch pipeline
-//! uses and warm verdict caches never change results (the determinism
-//! guarantee of `atlas-learn`).  `tests/serve_equivalence.rs` pins this.
+//! The daemon is internally locked (`handle` takes `&self`), with one
+//! lock-order rule — session state, then session table, then hot cache —
+//! so the service can call it from many workers at once.  The
+//! observational-equivalence invariant of /1 still holds per session:
+//! after any edit sequence, a session's `specs` artifact is
+//! byte-identical to a cold batch `Engine` run over the same edited
+//! program (`tests/serve_equivalence.rs`, `tests/serve_sessions.rs`).
 
 use crate::config::ServeConfig;
-use crate::proto::{EditRequest, Envelope, ErrorCode, Request, Response, WireError, WIRE_SCHEMA};
-use crate::shards::HotShards;
-use atlas_apps::{mutate_library, MutationConfig, RegistryError};
-use atlas_core::{AtlasConfig, Engine, RunProvenance, StoreError, ThreadBudget, VerdictCache};
+use crate::proto::{
+    Envelope, ErrorCode, Request, Response, WireError, WIRE_SCHEMA, WIRE_SCHEMA_V2,
+};
+use crate::session::{
+    SessionState, SessionStats, REQUEST_LANE, SESSION_LANE_STRIDE, SESSION_ORDINAL_STRIDE,
+};
+use crate::shards::{HotShards, ROOT_NAMESPACE};
+use atlas_apps::RegistryError;
+use atlas_core::RunProvenance;
+use atlas_core::{AtlasConfig, BudgetSplit, Engine, StoreError, ThreadBudget, VerdictCache};
 use atlas_ir::{ClassId, LibraryInterface, Program};
-use atlas_obs::Recorder;
-use atlas_store::{hex64_string, Json};
+use atlas_obs::{ArgValue, Recorder};
+use atlas_store::{atomic_write, hex64_string, shard_entry, Json};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
-/// Lane stripe width per inference session: session `n` (startup is
-/// session 1, edit `k` is session `k + 1`) records its engine events on
-/// lanes `n * SESSION_LANE_STRIDE ..`.  Lanes 1 and 2 below the first
-/// stripe are the service-request and shard-cache tracks.
-const SESSION_LANE_STRIDE: u64 = 4096;
+/// The name of the session that requests without a `session` field — in
+/// particular every `atlas-serve/1` request — are routed to.
+pub const DEFAULT_SESSION: &str = "default";
+
+/// Worker-pool size when `ServeConfig::workers` is 0 ("auto"): enough to
+/// overlap a few sessions, still clamped by the thread budget (a budget
+/// of 1 always yields a single /1-style FIFO worker).
+const DEFAULT_WORKERS: usize = 4;
 
 /// Spec-extraction bounds (max spec length, per-cluster spec limit).
 /// These must match the bounds the store was seeded with — the bench
@@ -78,43 +100,61 @@ impl From<StoreError> for ServeError {
     }
 }
 
-/// Service-level counters reported by the `stats` op.
-#[derive(Debug, Clone, Copy, Default)]
-struct DaemonStats {
-    edits_ok: u64,
-    edits_failed: u64,
-    queries: u64,
+/// The pristine post-startup state every new session is cloned from.
+struct BaseState {
+    program: Program,
+    provenance: RunProvenance,
+    warm: VerdictCache,
+    specs_doc: Json,
+    fingerprint: u64,
+    /// The raw shard *file bytes* captured after the startup flush, one
+    /// `(closure, cache file, specs file)` triple per cluster.  Seeding
+    /// a namespace from bytes (not from live state) guarantees a fresh
+    /// session starts from exactly what a fresh daemon would read, no
+    /// matter what the default session has done since startup.
+    seeds: Vec<(u64, Option<String>, Option<String>)>,
+}
+
+/// The open sessions, by wire name.  A `Vec` keeps `stats` output in
+/// open order; session counts stay far too small for map lookups to
+/// matter.
+struct SessionTable {
+    sessions: Vec<(String, Arc<Mutex<SessionState>>)>,
+    /// Sessions opened since startup (the ordinal source; the default
+    /// session is ordinal 0 and not counted).
+    opened: u64,
+    /// Sessions closed since startup.
+    closed: u64,
+}
+
+fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+fn store_error(e: StoreError) -> WireError {
+    WireError::new(ErrorCode::Store, e.to_string())
 }
 
 /// The resident inference service state.  See the [module docs](self).
 pub struct Daemon {
     config: ServeConfig,
-    /// The library content after every edit applied so far.
-    program: Program,
     /// The configured clusters; ids stay valid across edits because the
     /// mutation primitives are append-only.
     clusters: Vec<Vec<ClassId>>,
-    /// Worker threads per incremental session — one shared budget
-    /// resolved at startup, not per edit.
-    threads: usize,
-    /// The previous run's closure identity; the diff basis of the next
-    /// edit.
-    provenance: RunProvenance,
-    /// The rolling warm verdict cache: every verdict any edit has proven,
-    /// fed to the next edit's engine.
-    warm: VerdictCache,
-    /// The hot shard cache over the store root.
-    hot: HotShards,
-    /// The current `atlas-spec/1` artifact document, served to `specs`
-    /// queries without re-encoding.
-    specs_doc: Json,
-    /// The current library fingerprint.
-    fingerprint: u64,
-    /// Edits applied since startup.
-    generation: u64,
-    /// Edits since the last write-behind flush.
-    edits_since_flush: usize,
-    stats: DaemonStats,
+    /// The resolved global thread budget.
+    budget_total: usize,
+    /// How the budget divides: `outer` pool workers × `inner` engine
+    /// threads per in-flight edit.
+    split: BudgetSplit,
+    base: BaseState,
+    /// The hot shard cache over the store root and every session
+    /// namespace — one shared LRU budget across all of them.
+    hot: Arc<Mutex<HotShards>>,
+    sessions: Mutex<SessionTable>,
     /// The observability session: always at least the metrics level (the
     /// `stats` op serves its snapshot), tracing when the config asks.
     recorder: Recorder,
@@ -122,10 +162,11 @@ pub struct Daemon {
 
 impl Daemon {
     /// Builds the configured library and warms up: one incremental
-    /// session against the daemon's own provenance.  A warm store splices
-    /// every cluster without executing anything; a cold store runs the
-    /// full pipeline once and seeds it.  Either way the store is flushed
-    /// before the daemon accepts requests.
+    /// session against the daemon's own provenance, in the root
+    /// namespace.  A warm store splices every cluster without executing
+    /// anything; a cold store runs the full pipeline once and seeds it.
+    /// Either way the store is flushed — and its shard bytes captured as
+    /// the session seed set — before the daemon accepts requests.
     ///
     /// # Errors
     /// Returns [`ServeError`] on an unknown library name or a store
@@ -133,18 +174,32 @@ impl Daemon {
     pub fn new(config: ServeConfig) -> Result<Daemon, ServeError> {
         let lib = atlas_apps::build_library(&config.library, config.synth_seed)?;
         let interface = LibraryInterface::from_program(&lib.program);
-        let threads = ThreadBudget::resolve(config.threads).total();
+        let budget = ThreadBudget::resolve(config.threads);
+        let requested = if config.workers == 0 {
+            DEFAULT_WORKERS
+        } else {
+            config.workers
+        };
+        let split = budget.split_workers(requested);
         let recorder = if config.trace {
             Recorder::tracing()
         } else {
             Recorder::metrics()
         };
+        // The resolved split, visible in every `atlas-metrics/1`
+        // snapshot (and therefore in `stats` responses and bench
+        // reports) without a round-trip to `hello`.
+        recorder.count("serve.budget.total", budget.total() as u64);
+        recorder.count("serve.budget.outer_workers", split.outer as u64);
+        recorder.count("serve.budget.inner_threads", split.inner as u64);
         let mut hot =
             HotShards::new(&config.store, config.shard_budget).with_recorder(recorder.clone());
         let atlas_config = AtlasConfig {
             samples_per_cluster: config.samples,
             clusters: lib.clusters.clone(),
-            num_threads: threads,
+            // Startup has the machine to itself: no concurrent edits
+            // yet, so the whole budget goes inner.
+            num_threads: budget.total(),
             ..AtlasConfig::default()
         };
         let engine = Engine::new(&lib.program, &interface, atlas_config)
@@ -160,18 +215,57 @@ impl Daemon {
         let fingerprint = outcome.library;
         drop(engine);
         hot.flush()?;
-        Ok(Daemon {
-            clusters: lib.clusters,
+        // Capture the post-startup shard bytes: the seed set of every
+        // session opened later.  A missing file (nothing learned for a
+        // cluster) seeds as "absent", which is exactly what a fresh
+        // daemon would see.
+        let seeds = provenance
+            .clusters
+            .iter()
+            .map(|cluster| {
+                let entry = shard_entry(&config.store, cluster.closure);
+                (
+                    cluster.closure,
+                    std::fs::read_to_string(&entry.cache).ok(),
+                    std::fs::read_to_string(&entry.specs).ok(),
+                )
+            })
+            .collect();
+        let base = BaseState {
+            program: lib.program.clone(),
+            provenance: provenance.clone(),
+            warm: warm.warm_clone(),
+            specs_doc: specs_doc.clone(),
+            fingerprint,
+            seeds,
+        };
+        let default_session = SessionState {
+            name: DEFAULT_SESSION.to_string(),
+            ns: ROOT_NAMESPACE,
+            ordinal: 0,
             program: lib.program,
-            threads,
             provenance,
             warm,
-            hot,
             specs_doc,
             fingerprint,
             generation: 0,
             edits_since_flush: 0,
-            stats: DaemonStats::default(),
+            stats: SessionStats::default(),
+        };
+        Ok(Daemon {
+            clusters: lib.clusters,
+            budget_total: budget.total(),
+            split,
+            base,
+            hot: Arc::new(Mutex::new(hot)),
+            sessions: Mutex::new(SessionTable {
+                sessions: vec![(
+                    DEFAULT_SESSION.to_string(),
+                    Arc::new(Mutex::new(default_session)),
+                )],
+                opened: 0,
+                closed: 0,
+            }),
             recorder,
             config,
         })
@@ -183,14 +277,14 @@ impl Daemon {
         &self.recorder
     }
 
-    /// Edits applied since startup.
+    /// The default session's edit count since startup.
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.with_default(|s| s.generation)
     }
 
-    /// The current library fingerprint.
+    /// The default session's current library fingerprint.
     pub fn fingerprint(&self) -> u64 {
-        self.fingerprint
+        self.with_default(|s| s.fingerprint)
     }
 
     /// The configuration the daemon was built with.
@@ -198,35 +292,72 @@ impl Daemon {
         &self.config
     }
 
+    /// The resolved service-pool size (`outer` of the budget split).
+    pub fn workers(&self) -> usize {
+        self.split.outer
+    }
+
+    /// Engine threads each in-flight edit uses (`inner` of the split).
+    pub fn inner_threads(&self) -> usize {
+        self.split.inner
+    }
+
+    fn with_default<T>(&self, f: impl FnOnce(&SessionState) -> T) -> T {
+        let state = self
+            .lookup(DEFAULT_SESSION)
+            .expect("the default session is never closed");
+        let session = state.lock().expect("session state lock poisoned");
+        f(&session)
+    }
+
+    fn lookup(&self, name: &str) -> Option<Arc<Mutex<SessionState>>> {
+        let table = self.sessions.lock().expect("session table lock poisoned");
+        table
+            .sessions
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, state)| Arc::clone(state))
+    }
+
     /// Serves one request.  Never panics: every failure mode maps to a
-    /// structured error response.
-    pub fn handle(&mut self, envelope: &Envelope) -> Response {
+    /// structured error response.  Responses echo the session they were
+    /// served by iff the request addressed one explicitly (or opened
+    /// one), which is also what selects the `atlas-serve/2` frame stamp
+    /// — plain /1 traffic gets byte-identical /1 responses.
+    pub fn handle(&self, envelope: &Envelope) -> Response {
         let id = envelope.id.clone();
         self.recorder.count("serve.requests", 1);
-        let result = match &envelope.request {
-            Request::Hello => Ok(self.hello()),
-            Request::Ping => Ok(Json::obj()
-                .set("pong", true)
-                .set("generation", self.generation as i64)),
-            Request::Edit(edit) => self.apply_edit(edit),
-            Request::Specs => {
-                self.stats.queries += 1;
-                Ok(Json::obj()
-                    .set("library_fingerprint", hex64_string(self.fingerprint))
-                    .set("artifact", self.specs_doc.clone()))
+        let (result, echo) = match &envelope.request {
+            Request::Open | Request::Close | Request::Shutdown => {
+                // Control ops record on the base request lane; they are
+                // not part of any session's stripe.
+                let mut lane = self.recorder.lane(REQUEST_LANE);
+                let span = lane.begin();
+                let out = match &envelope.request {
+                    Request::Open => match self.open(envelope.session.as_deref()) {
+                        Ok((name, body)) => (Ok(body), Some(name)),
+                        Err(error) => (Err(error), envelope.session.clone()),
+                    },
+                    Request::Close => (
+                        self.close(envelope.session.as_deref()),
+                        envelope.session.clone(),
+                    ),
+                    _ => (
+                        Ok(Json::obj().set("stopping", true)),
+                        envelope.session.clone(),
+                    ),
+                };
+                lane.end(
+                    span,
+                    "serve",
+                    "request",
+                    vec![("op", ArgValue::from(envelope.request.op()))],
+                );
+                out
             }
-            Request::Fingerprint => {
-                self.stats.queries += 1;
-                Ok(Json::obj().set("library_fingerprint", hex64_string(self.fingerprint)))
-            }
-            Request::Stats => Ok(self.stats_json()),
-            Request::Flush => self
-                .flush()
-                .map(|written| Json::obj().set("flushed_shards", written))
-                .map_err(|e| WireError::new(ErrorCode::Store, e.to_string())),
-            Request::Shutdown => Ok(Json::obj().set("stopping", true)),
+            _ => (self.on_session(envelope), envelope.session.clone()),
         };
-        match result {
+        let mut response = match result {
             Ok(result) => Response::ok(id, result),
             Err(error) => {
                 // One counter per protocol error class, so a daemon that
@@ -235,134 +366,274 @@ impl Daemon {
                     .count(&format!("serve.errors.{}", error.code.as_str()), 1);
                 Response::err(id, error)
             }
-        }
+        };
+        response.session = echo;
+        response
     }
 
-    fn hello(&self) -> Json {
+    /// Serves a session-scoped op inside the addressed session's lock.
+    /// The request span lands on the session's lane stripe, so ordinal 0
+    /// (the default session) reproduces the /1 trace layout exactly.
+    fn on_session(&self, envelope: &Envelope) -> Result<Json, WireError> {
+        let name = envelope.session.as_deref().unwrap_or(DEFAULT_SESSION);
+        let state = self.lookup(name).ok_or_else(|| {
+            WireError::new(
+                ErrorCode::UnknownSession,
+                format!("no open session named '{name}'"),
+            )
+        })?;
+        let mut session = state.lock().expect("session state lock poisoned");
+        let mut lane = self
+            .recorder
+            .with_lane_base(session.ordinal * SESSION_ORDINAL_STRIDE)
+            .lane(REQUEST_LANE);
+        let span = lane.begin();
+        let result = match &envelope.request {
+            Request::Hello => Ok(self.hello(&session)),
+            Request::Ping => Ok(Json::obj()
+                .set("pong", true)
+                .set("generation", session.generation as i64)),
+            Request::Edit(edit) => session.apply_edit(
+                edit,
+                &self.config,
+                &self.clusters,
+                self.split.inner,
+                &self.hot,
+                &self.recorder,
+            ),
+            Request::Specs => {
+                session.stats.queries += 1;
+                Ok(Json::obj()
+                    .set("library_fingerprint", hex64_string(session.fingerprint))
+                    .set("artifact", session.specs_doc.clone()))
+            }
+            Request::Fingerprint => {
+                session.stats.queries += 1;
+                Ok(Json::obj().set("library_fingerprint", hex64_string(session.fingerprint)))
+            }
+            Request::Stats => Ok(self.stats_json(&session)),
+            Request::Flush => session
+                .flush(&self.hot)
+                .map(|written| Json::obj().set("flushed_shards", written))
+                .map_err(store_error),
+            // Routed in `handle`; unreachable here, but never panic.
+            Request::Open | Request::Close | Request::Shutdown => Err(WireError::new(
+                ErrorCode::BadRequest,
+                "not a session-scoped op",
+            )),
+        };
+        lane.end(
+            span,
+            "serve",
+            "request",
+            vec![("op", ArgValue::from(envelope.request.op()))],
+        );
+        result
+    }
+
+    /// Opens a session: validates or generates the name, registers a
+    /// namespace, seeds it with the base shard bytes, and clones the
+    /// base state.  Holds the table lock throughout so a generated name
+    /// is never raced and a session is only visible once fully seeded.
+    fn open(&self, requested: Option<&str>) -> Result<(String, Json), WireError> {
+        let mut table = self.sessions.lock().expect("session table lock poisoned");
+        if table.sessions.len() >= self.config.max_sessions {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                format!("session limit reached ({} open)", table.sessions.len()),
+            ));
+        }
+        let name = match requested {
+            Some(name) => {
+                if !valid_session_name(name) {
+                    return Err(WireError::new(
+                        ErrorCode::BadRequest,
+                        "session names are 1-64 chars of [A-Za-z0-9_-]",
+                    ));
+                }
+                if table.sessions.iter().any(|(n, _)| n == name) {
+                    return Err(WireError::new(
+                        ErrorCode::BadRequest,
+                        format!("session '{name}' is already open"),
+                    ));
+                }
+                name.to_string()
+            }
+            None => {
+                // Generated names never collide with open sessions; skip
+                // over client-claimed spellings.
+                let mut k = table.opened + 1;
+                loop {
+                    let candidate = format!("s{k}");
+                    if !table.sessions.iter().any(|(n, _)| n == &candidate) {
+                        break candidate;
+                    }
+                    k += 1;
+                }
+            }
+        };
+        table.opened += 1;
+        let ordinal = table.opened;
+        let dir = self.config.store.join("sessions").join(&name);
+        let ns = {
+            let mut hot = self.hot.lock().expect("hot shard cache lock poisoned");
+            hot.add_namespace(dir.clone())
+        };
+        for (closure, cache, specs) in &self.base.seeds {
+            let entry = shard_entry(&dir, *closure);
+            if let Some(text) = cache {
+                atomic_write(&entry.cache, text).map_err(store_error)?;
+            }
+            if let Some(text) = specs {
+                atomic_write(&entry.specs, text).map_err(store_error)?;
+            }
+        }
+        let state = SessionState {
+            name: name.clone(),
+            ns,
+            ordinal,
+            program: self.base.program.clone(),
+            provenance: self.base.provenance.clone(),
+            warm: self.base.warm.warm_clone(),
+            specs_doc: self.base.specs_doc.clone(),
+            fingerprint: self.base.fingerprint,
+            generation: 0,
+            edits_since_flush: 0,
+            stats: SessionStats::default(),
+        };
+        table
+            .sessions
+            .push((name.clone(), Arc::new(Mutex::new(state))));
+        let body = Json::obj()
+            .set("session", name.as_str())
+            .set("library_fingerprint", hex64_string(self.base.fingerprint))
+            .set("generation", 0_i64)
+            .set("seeded_shards", self.base.seeds.len());
+        Ok((name, body))
+    }
+
+    /// Closes a session: flushes its namespace, drops it from the hot
+    /// cache, and forgets it.  The default session cannot be closed.
+    fn close(&self, requested: Option<&str>) -> Result<Json, WireError> {
+        let name = requested
+            .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "'close' requires a 'session'"))?;
+        if name == DEFAULT_SESSION {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                "the default session cannot be closed",
+            ));
+        }
+        let state = self.lookup(name).ok_or_else(|| {
+            WireError::new(
+                ErrorCode::UnknownSession,
+                format!("no open session named '{name}'"),
+            )
+        })?;
+        // The scheduler serializes per session, so nothing is in flight
+        // for this session while close holds its lock.
+        let mut session = state.lock().expect("session state lock poisoned");
+        let written = session.flush(&self.hot).map_err(store_error)?;
+        let ns = session.ns;
+        drop(session);
+        {
+            let mut table = self.sessions.lock().expect("session table lock poisoned");
+            if let Some(pos) = table.sessions.iter().position(|(n, _)| n == name) {
+                table.sessions.remove(pos);
+                table.closed += 1;
+            }
+        }
+        self.hot
+            .lock()
+            .expect("hot shard cache lock poisoned")
+            .retire_namespace(ns);
+        Ok(Json::obj()
+            .set("closed", name)
+            .set("flushed_shards", written))
+    }
+
+    fn hello(&self, session: &SessionState) -> Json {
         Json::obj()
             .set("server", WIRE_SCHEMA)
+            .set(
+                "protocols",
+                vec![Json::str(WIRE_SCHEMA), Json::str(WIRE_SCHEMA_V2)],
+            )
+            .set("default_session", DEFAULT_SESSION)
+            .set("session", session.name.as_str())
             .set("library", self.config.library.as_str())
-            .set("library_fingerprint", hex64_string(self.fingerprint))
-            .set("generation", self.generation as i64)
+            .set("library_fingerprint", hex64_string(session.fingerprint))
+            .set("generation", session.generation as i64)
             .set("clusters", self.clusters.len())
-            .set("threads", self.threads)
+            .set("threads", self.budget_total)
+            .set("workers", self.split.outer)
+            .set("inner_threads", self.split.inner)
+            .set("max_sessions", self.config.max_sessions)
             .set("shard_budget", self.config.shard_budget)
             .set("queue_capacity", self.config.queue_capacity)
             .set("flush_every", self.config.flush_every)
     }
 
-    /// Applies one library edit and re-infers incrementally.  The result
-    /// contains no timing and no generation counter, so the response to a
-    /// given edit is deterministic wherever it lands in a stream of
-    /// closure-disjoint edits.
-    fn apply_edit(&mut self, edit: &EditRequest) -> Result<Json, WireError> {
-        let mutated = mutate_library(
-            &self.program,
-            &MutationConfig {
-                kind: edit.kind,
-                seed: edit.seed,
-                target: edit.target.clone(),
-            },
-        )
-        .map_err(|e| {
-            self.stats.edits_failed += 1;
-            WireError::new(ErrorCode::BadEdit, e.to_string())
-        })?;
-        let new_program = mutated.program;
-        let new_interface = LibraryInterface::from_program(&new_program);
-        let atlas_config = AtlasConfig {
-            samples_per_cluster: self.config.samples,
-            clusters: self.clusters.clone(),
-            num_threads: self.threads,
-            ..AtlasConfig::default()
-        };
-        // Session `generation + 2` (startup was session 1): each edit's
-        // engine records on its own lane stripe, so cluster tracks from
-        // different edits never interleave in the exported trace.
-        let engine = Engine::new(&new_program, &new_interface, atlas_config)
-            .warm_start(self.warm.warm_clone())
-            .with_recorder(
-                self.recorder
-                    .with_lane_base((self.generation + 2) * SESSION_LANE_STRIDE),
-            );
-        let mut session = engine.incremental_session(&self.provenance);
-        let outcome = session
-            .run_with_shards(&mut self.hot, EXTRACTION)
-            .map_err(|e| {
-                self.stats.edits_failed += 1;
-                WireError::new(ErrorCode::Store, e.to_string())
-            })?;
-        let new_provenance = engine.run_provenance();
-        let specs_doc = outcome
-            .spec_artifact(&new_program)
-            .encode(&new_program)
-            .map_err(|e| {
-                self.stats.edits_failed += 1;
-                WireError::new(ErrorCode::Store, e.to_string())
-            })?;
-        let collected = session.into_cache();
-        drop(engine);
-
-        self.program = new_program;
-        self.provenance = new_provenance;
-        self.warm = collected;
-        self.specs_doc = specs_doc;
-        self.fingerprint = outcome.library;
-        self.generation += 1;
-        self.stats.edits_ok += 1;
-        self.edits_since_flush += 1;
-
-        let mut flushed = Json::Null;
-        if self.config.flush_every == 0 || self.edits_since_flush >= self.config.flush_every {
-            let written = self
-                .flush()
-                .map_err(|e| WireError::new(ErrorCode::Store, e.to_string()))?;
-            flushed = Json::Int(written as i64);
-        }
-
-        Ok(Json::obj()
-            .set("description", mutated.outcome.description.as_str())
-            .set("library_fingerprint", hex64_string(self.fingerprint))
-            .set(
-                "clusters",
-                Json::obj()
-                    .set("total", outcome.clusters.len())
-                    .set("dirty", outcome.dirty_clusters)
-                    .set("clean", outcome.clean_clusters)
-                    .set("forced_dirty", outcome.forced_dirty),
-            )
-            .set(
-                "executions",
-                Json::obj()
-                    .set("oracle", outcome.oracle_executions)
-                    .set("spliced_verdicts", outcome.spliced_verdicts),
-            )
-            .set("flushed_shards", flushed))
-    }
-
-    /// Persists dirty shards now and resets the write-behind clock.
+    /// Persists every session's dirty shards now and resets all
+    /// write-behind clocks.
     ///
     /// # Errors
     /// Returns the `atlas-store` error of the first failed write.
-    pub fn flush(&mut self) -> Result<usize, StoreError> {
-        let written = self.hot.flush()?;
-        self.edits_since_flush = 0;
-        Ok(written)
+    pub fn flush(&self) -> Result<usize, StoreError> {
+        let states: Vec<Arc<Mutex<SessionState>>> = {
+            let table = self.sessions.lock().expect("session table lock poisoned");
+            table
+                .sessions
+                .iter()
+                .map(|(_, state)| Arc::clone(state))
+                .collect()
+        };
+        for state in &states {
+            state
+                .lock()
+                .expect("session state lock poisoned")
+                .edits_since_flush = 0;
+        }
+        self.hot
+            .lock()
+            .expect("hot shard cache lock poisoned")
+            .flush()
     }
 
-    fn stats_json(&self) -> Json {
-        let shards = self.hot.stats();
+    fn stats_json(&self, session: &SessionState) -> Json {
+        let (open, opened, closed) = {
+            let table = self.sessions.lock().expect("session table lock poisoned");
+            (table.sessions.len(), table.opened, table.closed)
+        };
+        let (shards, resident, dirty) = {
+            let hot = self.hot.lock().expect("hot shard cache lock poisoned");
+            (hot.stats(), hot.resident(), hot.dirty())
+        };
         Json::obj()
-            .set("generation", self.generation as i64)
-            .set("edits_ok", self.stats.edits_ok as i64)
-            .set("edits_failed", self.stats.edits_failed as i64)
-            .set("queries", self.stats.queries as i64)
-            .set("warm_verdicts", self.warm.len())
+            .set("session", session.name.as_str())
+            .set("generation", session.generation as i64)
+            .set("edits_ok", session.stats.edits_ok as i64)
+            .set("edits_failed", session.stats.edits_failed as i64)
+            .set("queries", session.stats.queries as i64)
+            .set("warm_verdicts", session.warm.len())
+            .set(
+                "sessions",
+                Json::obj()
+                    .set("open", open)
+                    .set("opened", opened as i64)
+                    .set("closed", closed as i64),
+            )
+            .set(
+                "budget",
+                Json::obj()
+                    .set("total", self.budget_total)
+                    .set("outer_workers", self.split.outer)
+                    .set("inner_threads", self.split.inner),
+            )
             .set(
                 "shards",
                 Json::obj()
-                    .set("resident", self.hot.resident())
-                    .set("dirty", self.hot.dirty())
+                    .set("resident", resident)
+                    .set("dirty", dirty)
                     .set("budget", self.config.shard_budget)
                     .set("hits", shards.hits)
                     .set("misses", shards.misses)

@@ -5,30 +5,43 @@
 //! keeps an inference engine *resident*, with closure shards hot in
 //! memory, and serves a continuous stream of library edits and
 //! specification queries over a small newline-delimited JSON protocol
-//! (`atlas-serve/1`, [`proto`]).
+//! (`atlas-serve/2`, with `atlas-serve/1` clients served unchanged —
+//! [`proto`]).
 //!
 //! The moving parts:
 //!
 //! * [`proto`] — the versioned wire protocol: request/response codec,
-//!   compact rendering, bounded frame reading.  Malformed input maps to
-//!   structured error responses, never panics.
+//!   compact rendering, bounded frame reading.  `/2` adds first-class
+//!   sessions (`open`/`close`, a `session` field on every scoped op);
+//!   frames without a session address the default session and get
+//!   byte-identical `/1` responses.  Malformed input maps to structured
+//!   error responses, never panics.
 //! * [`shards`] — [`HotShards`]: an LRU of decoded closure shards
-//!   implementing `atlas_core::ShardStore`, with dirty-shard pinning and
-//!   write-behind flushing (atomic renames via `atlas-store`).
-//! * [`daemon`] — [`Daemon`]: the single-threaded service core.  Each
-//!   edit runs `Engine::incremental_session` against the previous edit's
-//!   provenance, warm-started from a rolling verdict cache, splicing
-//!   clean clusters from the hot shards.
-//! * [`service`] — [`Service`]: the bounded request queue (backpressure),
-//!   the batching worker thread, stream plumbing, and the in-process
-//!   [`ServeHandle`] used by tests and the bench harness.
-//! * [`config`] — [`ServeConfig`]: the `ATLAS_SERVE_*` environment knobs.
+//!   implementing `atlas_core::ShardStore`, with dirty-shard pinning,
+//!   write-behind flushing (atomic renames via `atlas-store`), and one
+//!   *namespace* per session sharing a single LRU budget.
+//! * `session` — the per-session state: program, provenance chain,
+//!   rolling warm verdict cache, current spec artifact, namespace.
+//! * [`daemon`] — [`Daemon`]: the internally-locked service core.  Each
+//!   edit runs `Engine::incremental_session` against its session's
+//!   previous provenance, warm-started from the session's verdict cache,
+//!   splicing clean clusters from the hot shards.  New sessions seed
+//!   from the byte-captured post-startup store.
+//! * [`service`] — [`Service`]: the bounded session-aware queue
+//!   (backpressure), the worker pool (`outer` of the thread-budget
+//!   split; each in-flight edit gets the `inner` share), stream
+//!   plumbing, and the in-process [`ServeHandle`] used by tests and the
+//!   bench harness.
+//! * [`config`] — [`ServeConfig`]: the `ATLAS_SERVE_*` environment
+//!   knobs, shared-parsed via [`atlas_core::env`], with a builder-style
+//!   constructor for in-process use.
 //!
 //! The contract the test suite pins down: the service is observationally
-//! equivalent to the batch engine.  After any sequence of edits, a
-//! `specs` query returns an artifact byte-identical to a cold batch run
-//! over the equivalently edited program, whatever the interleaving of
-//! queries, flushes, cache evictions, and restarts in between.
+//! equivalent to the batch engine, *per session*.  After any sequence of
+//! edits, a session's `specs` query returns an artifact byte-identical
+//! to a cold batch run over the equivalently edited program, whatever
+//! the interleaving of other sessions' edits, queries, flushes, cache
+//! evictions, and restarts in between.
 
 #![warn(missing_docs)]
 
@@ -36,14 +49,15 @@ pub mod config;
 pub mod daemon;
 pub mod proto;
 pub mod service;
+mod session;
 pub mod shards;
 
 pub use config::ServeConfig;
-pub use daemon::{Daemon, ServeError, EXTRACTION};
+pub use daemon::{Daemon, ServeError, DEFAULT_SESSION, EXTRACTION};
 pub use proto::{
     decode_request, decode_response, encode_request, encode_response, parse_mutation_kind,
-    read_frame, render_compact, salvage_id, EditRequest, Envelope, ErrorCode, Frame, Request,
-    Response, WireError, WIRE_SCHEMA,
+    read_frame, render_compact, salvage_id, salvage_session, EditRequest, Envelope, ErrorCode,
+    Frame, Request, Response, WireError, WIRE_SCHEMA, WIRE_SCHEMA_V2,
 };
 pub use service::{ServeHandle, Service};
-pub use shards::{HotShards, ShardCacheStats};
+pub use shards::{HotShards, NamespaceShards, ShardCacheStats, SharedShards, ROOT_NAMESPACE};

@@ -1,37 +1,59 @@
-//! The `atlas-serve/1` wire protocol: newline-delimited JSON frames.
+//! The `atlas-serve/2` wire protocol (and its `/1` subset):
+//! newline-delimited JSON frames.
 //!
 //! Every request is one line holding one JSON object; every response is
-//! one line holding one JSON object stamped `"schema": "atlas-serve/1"`.
+//! one line holding one JSON object stamped with the schema it speaks.
 //! Both directions round-trip through [`Json`] — the codec adds a
 //! *compact* (single-line) renderer, because the store's pretty printer
 //! spans lines and a frame must not.
 //!
 //! | Request (`op`) | Fields | Result payload |
 //! |---|---|---|
-//! | `hello` | — | server identity, library, generation, budgets |
-//! | `ping` | — | `{"pong": true, "generation": n}` |
-//! | `edit` | `kind`, `target?`, `seed?` | dirty/clean counts, executions, fingerprint |
-//! | `specs` | — | the current `atlas-spec/1` artifact, inline |
-//! | `fingerprint` | — | the current library fingerprint |
-//! | `stats` | — | shard-cache and service counters |
-//! | `flush` | — | `{"flushed_shards": n}` |
+//! | `hello` | `session?` | server identity, protocols, library, generation, budgets |
+//! | `ping` | `session?` | `{"pong": true, "generation": n}` |
+//! | `open` | `session?` (requested name) | `{"session": name, "generation": 0, ...}` |
+//! | `close` | `session` | `{"closed": name, "flushed_shards": n}` |
+//! | `edit` | `kind`, `target?`, `seed?`, `session?` | dirty/clean counts, executions, fingerprint |
+//! | `specs` | `session?` | the current `atlas-spec/1` artifact, inline |
+//! | `fingerprint` | `session?` | the current library fingerprint |
+//! | `stats` | `session?` | session, shard-cache, and service counters |
+//! | `flush` | `session?` | `{"flushed_shards": n}` |
 //! | `shutdown` | — | `{"stopping": true}`, then the stream ends |
+//!
+//! **Sessions and negotiation.**  `atlas-serve/2` adds the `open`/`close`
+//! ops and an optional `"session"` string on every session-scoped
+//! request; each open session owns an independent store namespace,
+//! provenance chain, and warm verdict cache.  A frame *without* a
+//! `"session"` field addresses the daemon's **default session** — which
+//! is exactly the `atlas-serve/1` protocol, so a /1 client needs no
+//! changes: its requests land on the default session and its responses
+//! are stamped `atlas-serve/1`.  Responses to frames that named a
+//! session echo the session and are stamped `atlas-serve/2`.  `hello`
+//! advertises both protocol ids and the default-session name, which is
+//! the whole negotiation: a client that wants sessions sends `open`, one
+//! that does not keeps speaking /1.
 //!
 //! Any request may carry an `"id"` (any JSON value); the response echoes
 //! it verbatim, so concurrent clients can correlate.  Errors are
 //! structured — `{"ok": false, "error": {"code", "message"}}` — and the
 //! codes are a closed set ([`ErrorCode`]).  Malformed JSON, unknown ops,
-//! and oversized frames all produce error *responses*, never a dropped
-//! connection: the daemon must stay line-synchronized and alive no matter
-//! what bytes arrive.
+//! oversized frames, and requests naming unknown (or already-closed)
+//! sessions all produce error *responses*, never a dropped connection:
+//! the daemon must stay line-synchronized and alive no matter what bytes
+//! arrive.
 
 use atlas_ir::MutationKind;
 use atlas_store::Json;
 use std::fmt::Write as _;
 use std::io::BufRead;
 
-/// The protocol identifier stamped on every response.
+/// The `/1` protocol identifier: stamped on responses to frames that did
+/// not name a session (the backward-compatible default-session subset).
 pub const WIRE_SCHEMA: &str = "atlas-serve/1";
+
+/// The `/2` protocol identifier: stamped on responses to frames that
+/// named a session (including `open`/`close`).
+pub const WIRE_SCHEMA_V2: &str = "atlas-serve/2";
 
 /// The closed set of structured error codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +69,9 @@ pub enum ErrorCode {
     BadEdit,
     /// A store operation failed while serving the request.
     Store,
+    /// The request named a session that is not open (never opened, or
+    /// already closed).
+    UnknownSession,
     /// The service is shutting down; the request was not served.
     ShuttingDown,
 }
@@ -60,6 +85,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::BadEdit => "bad-edit",
             ErrorCode::Store => "store",
+            ErrorCode::UnknownSession => "unknown-session",
             ErrorCode::ShuttingDown => "shutting-down",
         }
     }
@@ -72,6 +98,7 @@ impl ErrorCode {
             "bad-request" => Some(ErrorCode::BadRequest),
             "bad-edit" => Some(ErrorCode::BadEdit),
             "store" => Some(ErrorCode::Store),
+            "unknown-session" => Some(ErrorCode::UnknownSession),
             "shutting-down" => Some(ErrorCode::ShuttingDown),
             _ => None,
         }
@@ -125,25 +152,37 @@ pub enum Request {
     Hello,
     /// Liveness check.
     Ping,
+    /// Open a new session (`atlas-serve/2`): the envelope's `session`
+    /// field, when present, is the *requested* name; the response carries
+    /// the assigned one.
+    Open,
+    /// Close the session named by the envelope (`atlas-serve/2`): flush
+    /// its namespace, then forget it.
+    Close,
     /// Apply one library edit and re-infer incrementally.
     Edit(EditRequest),
     /// The current specification artifact, inline.
     Specs,
     /// The current library fingerprint.
     Fingerprint,
-    /// Service counters (shard cache, edits, batches).
+    /// Service counters (session, shard cache, worker pool).
     Stats,
-    /// Persist dirty shards now.
+    /// Persist the session's dirty shards now.
     Flush,
     /// Flush and stop serving.
     Shutdown,
 }
 
-/// A request frame: the operation plus the optional correlation id.
+/// A request frame: the operation, the optional correlation id, and the
+/// optional session name (`atlas-serve/2`; absent = the default session).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// Echoed verbatim in the response (any JSON value).
     pub id: Option<Json>,
+    /// The session the request addresses: `None` is the `/1` spelling of
+    /// the default session.  For [`Request::Open`] this is the requested
+    /// name of the *new* session.
+    pub session: Option<String>,
     /// The operation.
     pub request: Request,
 }
@@ -154,6 +193,8 @@ impl Request {
         match self {
             Request::Hello => "hello",
             Request::Ping => "ping",
+            Request::Open => "open",
+            Request::Close => "close",
             Request::Edit(_) => "edit",
             Request::Specs => "specs",
             Request::Fingerprint => "fingerprint",
@@ -165,45 +206,68 @@ impl Request {
 }
 
 impl Envelope {
-    /// An id-less envelope.
+    /// An id-less envelope on the default session.
     pub fn of(request: Request) -> Envelope {
-        Envelope { id: None, request }
-    }
-
-    /// An envelope with a correlation id.
-    pub fn with_id(id: impl Into<Json>, request: Request) -> Envelope {
         Envelope {
-            id: Some(id.into()),
+            id: None,
+            session: None,
             request,
         }
     }
+
+    /// An envelope with a correlation id, on the default session.
+    pub fn with_id(id: impl Into<Json>, request: Request) -> Envelope {
+        Envelope {
+            id: Some(id.into()),
+            session: None,
+            request,
+        }
+    }
+
+    /// The same envelope addressed to a named session (the `/2` spelling).
+    pub fn in_session(mut self, session: impl Into<String>) -> Envelope {
+        self.session = Some(session.into());
+        self
+    }
 }
 
-/// A response frame: the echoed id plus either a result payload or a
-/// structured error.
+/// A response frame: the echoed id, the echoed session (when the request
+/// named one), plus either a result payload or a structured error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// The request's correlation id, echoed verbatim.
     pub id: Option<Json>,
+    /// The session echo: `Some` makes this an `atlas-serve/2` frame,
+    /// `None` an `atlas-serve/1` frame — the negotiation is per-frame.
+    pub session: Option<String>,
     /// The result payload, or the error.
     pub outcome: Result<Json, WireError>,
 }
 
 impl Response {
-    /// A success response.
+    /// A success response (an `/1` frame until a session is attached).
     pub fn ok(id: Option<Json>, result: Json) -> Response {
         Response {
             id,
+            session: None,
             outcome: Ok(result),
         }
     }
 
-    /// An error response.
+    /// An error response (an `/1` frame until a session is attached).
     pub fn err(id: Option<Json>, error: WireError) -> Response {
         Response {
             id,
+            session: None,
             outcome: Err(error),
         }
+    }
+
+    /// The same response stamped with a session echo — which also stamps
+    /// the frame `atlas-serve/2`.
+    pub fn in_session(mut self, session: impl Into<String>) -> Response {
+        self.session = Some(session.into());
+        self
     }
 }
 
@@ -304,9 +368,14 @@ pub fn encode_request(envelope: &Envelope) -> String {
     if let Some(id) = &envelope.id {
         doc = doc.set("id", id.clone());
     }
+    if let Some(session) = &envelope.session {
+        doc = doc.set("session", session.as_str());
+    }
     doc = match &envelope.request {
         Request::Hello => doc.set("op", "hello"),
         Request::Ping => doc.set("op", "ping"),
+        Request::Open => doc.set("op", "open"),
+        Request::Close => doc.set("op", "close"),
         Request::Edit(edit) => {
             let mut doc = doc
                 .set("op", "edit")
@@ -342,6 +411,15 @@ pub fn decode_request(line: &str) -> Result<Envelope, WireError> {
         ));
     }
     let id = doc.get("id").cloned();
+    let session = match doc.get("session") {
+        None | Some(Json::Null) => None,
+        Some(value) => Some(
+            value
+                .as_str()
+                .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "'session' must be a string"))?
+                .to_string(),
+        ),
+    };
     let Some(op) = doc.get("op").and_then(Json::as_str) else {
         return Err(WireError::new(
             ErrorCode::BadRequest,
@@ -351,6 +429,8 @@ pub fn decode_request(line: &str) -> Result<Envelope, WireError> {
     let request = match op {
         "hello" => Request::Hello,
         "ping" => Request::Ping,
+        "open" => Request::Open,
+        "close" => Request::Close,
         "edit" => {
             let kind = match doc.get("kind") {
                 None => MutationKind::BodyEdit,
@@ -400,7 +480,11 @@ pub fn decode_request(line: &str) -> Result<Envelope, WireError> {
             ))
         }
     };
-    Ok(Envelope { id, request })
+    Ok(Envelope {
+        id,
+        session,
+        request,
+    })
 }
 
 /// Best-effort id extraction from a frame that failed to decode as a
@@ -412,15 +496,38 @@ pub fn salvage_id(line: &str) -> Option<Json> {
         .and_then(|doc| doc.get("id").cloned())
 }
 
+/// Best-effort session extraction from a frame that failed to decode: a
+/// malformed request with a well-formed `"session"` string still belongs
+/// to that session's serialized stream, so its error response keeps the
+/// stream's ordering guarantee.
+pub fn salvage_session(line: &str) -> Option<String> {
+    Json::parse(line).ok().and_then(|doc| {
+        doc.get("session")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Response codec
 // ---------------------------------------------------------------------------
 
-/// Encodes a response as one frame (no trailing newline).
+/// Encodes a response as one frame (no trailing newline).  The schema
+/// stamp is the per-frame negotiation: a response carrying a session echo
+/// is `atlas-serve/2`, one without is `atlas-serve/1` — so an unmodified
+/// /1 client (which never names sessions) only ever sees /1 frames.
 pub fn encode_response(response: &Response) -> String {
-    let mut doc = Json::obj().set("schema", WIRE_SCHEMA);
+    let schema = if response.session.is_some() {
+        WIRE_SCHEMA_V2
+    } else {
+        WIRE_SCHEMA
+    };
+    let mut doc = Json::obj().set("schema", schema);
     if let Some(id) = &response.id {
         doc = doc.set("id", id.clone());
+    }
+    if let Some(session) = &response.session {
+        doc = doc.set("session", session.as_str());
     }
     doc = match &response.outcome {
         Ok(result) => doc.set("ok", true).set("result", result.clone()),
@@ -439,23 +546,32 @@ pub fn encode_response(response: &Response) -> String {
 /// # Errors
 /// Returns a [`WireError`] with code `bad-json` when the frame is not
 /// valid JSON, and `bad-request` when it is JSON but not a well-formed
-/// `atlas-serve/1` response.
+/// `atlas-serve/1` or `atlas-serve/2` response.
 pub fn decode_response(line: &str) -> Result<Response, WireError> {
     let doc = Json::parse(line)
         .map_err(|e| WireError::new(ErrorCode::BadJson, format!("invalid JSON: {e}")))?;
-    if doc.get("schema").and_then(Json::as_str) != Some(WIRE_SCHEMA) {
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if schema != Some(WIRE_SCHEMA) && schema != Some(WIRE_SCHEMA_V2) {
         return Err(WireError::new(
             ErrorCode::BadRequest,
-            format!("not an {WIRE_SCHEMA} response"),
+            format!("not an {WIRE_SCHEMA} or {WIRE_SCHEMA_V2} response"),
         ));
     }
     let id = doc.get("id").cloned();
+    let session = doc
+        .get("session")
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    let stamp = |mut response: Response| {
+        response.session = session.clone();
+        response
+    };
     match doc.get("ok").and_then(Json::as_bool) {
         Some(true) => {
             let result = doc.get("result").cloned().ok_or_else(|| {
                 WireError::new(ErrorCode::BadRequest, "ok response without 'result'")
             })?;
-            Ok(Response::ok(id, result))
+            Ok(stamp(Response::ok(id, result)))
         }
         Some(false) => {
             let error = doc.get("error").ok_or_else(|| {
@@ -473,7 +589,7 @@ pub fn decode_response(line: &str) -> Result<Response, WireError> {
                 .and_then(Json::as_str)
                 .unwrap_or("")
                 .to_string();
-            Ok(Response::err(id, WireError { code, message }))
+            Ok(stamp(Response::err(id, WireError { code, message })))
         }
         None => Err(WireError::new(
             ErrorCode::BadRequest,
@@ -589,6 +705,37 @@ mod tests {
         );
         let line = encode_request(&envelope);
         assert_eq!(decode_request(&line).expect("round trip"), envelope);
+    }
+
+    #[test]
+    fn v2_frames_round_trip_sessions_and_stamp_schemas() {
+        let open = Envelope::with_id(1i64, Request::Open).in_session("workbench");
+        assert_eq!(decode_request(&encode_request(&open)).expect("open"), open);
+        let close = Envelope::of(Request::Close).in_session("workbench");
+        assert_eq!(
+            decode_request(&encode_request(&close)).expect("close"),
+            close
+        );
+
+        // The schema stamp is per-frame: no session echo means /1, a
+        // session echo means /2 — and both decode.
+        let v1 = Response::ok(Some(Json::Int(1)), Json::obj().set("pong", true));
+        assert!(encode_response(&v1).contains(WIRE_SCHEMA));
+        assert_eq!(decode_response(&encode_response(&v1)).expect("v1"), v1);
+        let v2 = v1.clone().in_session("workbench");
+        let line = encode_response(&v2);
+        assert!(line.contains(WIRE_SCHEMA_V2));
+        assert_eq!(decode_response(&line).expect("v2"), v2);
+
+        // An ill-typed session field is a structured error, and the
+        // session of a malformed frame is still salvageable.
+        let err = decode_request("{\"op\":\"edit\",\"session\":7}").expect_err("bad session");
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert_eq!(
+            salvage_session("{\"op\":\"conquer\",\"session\":\"s\"}"),
+            Some("s".to_string())
+        );
+        assert_eq!(salvage_session("{"), None);
     }
 
     #[test]

@@ -1,29 +1,41 @@
-//! The service shell around the daemon: a bounded request queue, one
-//! worker thread, and frame-stream plumbing.
+//! The service shell around the daemon: a bounded session-aware queue,
+//! a pool of worker threads, and frame-stream plumbing.
 //!
 //! **Backpressure.**  Producers (connection readers, in-process handles)
-//! push decoded requests into a bounded blocking queue; when the queue is full
-//! the push *blocks*, which for a stream reader means the peer's writes
-//! stop being consumed — flow control propagates to the client instead of
-//! buffering unboundedly.
+//! push decoded requests into a bounded blocking queue; when the queue is
+//! full the push *blocks*, which for a stream reader means the peer's
+//! writes stop being consumed — flow control propagates to the client
+//! instead of buffering unboundedly.
 //!
-//! **Batching.**  The worker drains the queue in batches (everything
-//! queued at wake-up, bounded by the queue capacity) and serves the batch
-//! in FIFO order from one warm daemon, so a burst of requests pays for
-//! one wake-up, not one per request.  Responses preserve request order
-//! per connection because the worker is single and FIFO.
+//! **Scheduling.**  Every job carries a *key* — the session it addresses
+//! (the default session for /1 traffic and undecodable frames).  Workers
+//! claim the oldest job whose key has nothing in flight, so requests
+//! from different sessions run concurrently while each session's stream
+//! stays strictly FIFO: a session never sees its own requests reordered,
+//! and /1 clients (one session, and a budget-of-one config pins the pool
+//! to one worker) keep the exact single-worker semantics.  Responses to
+//! *different* sessions may interleave on a shared connection; clients
+//! correlate by `id`.
 //!
-//! **Shutdown.**  A `shutdown` request flushes dirty shards, answers
-//! `{"stopping": true}`, closes the queue, and fails everything still
-//! queued (and everything pushed later) with a `shutting-down` error —
-//! no request is silently dropped, and the worker thread exits.
+//! **Parallelism.**  The pool size is `outer` of the daemon's
+//! [`ThreadBudget`](atlas_core::ThreadBudget) split; each in-flight edit
+//! runs its engine with the `inner` share, so concurrent sessions divide
+//! the machine instead of oversubscribing it.
+//!
+//! **Shutdown.**  A `shutdown` request runs *exclusively*: it waits for
+//! every in-flight job to finish, and no job queued behind it starts
+//! first.  It flushes all sessions, answers `{"stopping": true}`, and
+//! puts the queue into draining: everything still queued (and everything
+//! pushed later) fails with a `shutting-down` error — no request is
+//! silently dropped — and the workers exit.
 
 use crate::config::ServeConfig;
-use crate::daemon::{Daemon, ServeError};
+use crate::daemon::{Daemon, ServeError, DEFAULT_SESSION};
 use crate::proto::{
-    decode_request, encode_response, read_frame, salvage_id, Envelope, ErrorCode, Frame, Request,
-    Response, WireError,
+    decode_request, encode_response, read_frame, salvage_id, salvage_session, Envelope, ErrorCode,
+    Frame, Request, Response, WireError,
 };
+use crate::session::REQUEST_LANE;
 use atlas_obs::{ArgValue, Recorder};
 use atlas_store::Json;
 use std::collections::VecDeque;
@@ -33,89 +45,205 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// The observability lane of the worker's request spans: one row — the
-/// worker is single and FIFO, so request spans never overlap.
-const REQUEST_LANE: u64 = 1;
+/// The scheduling key of `open` requests that do not claim a name: a
+/// spelling no valid session name can collide with, so anonymous opens
+/// serialize only with each other.
+const ANON_OPEN_KEY: &str = "\u{1}open";
 
-/// One queued unit of work: the decode outcome of a frame plus the reply
-/// channel.  Malformed frames travel the queue too, so responses keep the
-/// arrival order of their requests.
+/// One queued unit of work: the decode outcome of a frame, its
+/// scheduling key, and the reply channel.  Malformed frames travel the
+/// queue too (keyed by whatever session they salvage), so responses keep
+/// the per-session arrival order of their requests.
 struct Job {
     /// The decoded request, or the structured decode error.
     envelope: Result<Envelope, WireError>,
     /// The frame's correlation id, when one could be extracted.
     id: Option<Json>,
+    /// The session stream this job belongs to — at most one job per key
+    /// is ever in flight.
+    key: String,
+    /// Shutdown runs exclusively: nothing in flight, nothing queued
+    /// before it pending, nothing behind it started first.
+    shutdown: bool,
     /// Where the response goes.
     reply: mpsc::Sender<Response>,
     /// When the job entered the queue — the start of its queue-wait.
     enqueued: Instant,
 }
 
-/// A blocking bounded MPSC queue: `push` blocks while full (the
-/// backpressure bound), `pop_batch` blocks while empty, `close` wakes
-/// everyone and fails further pushes.
-struct BoundedQueue<T> {
-    state: Mutex<QueueState<T>>,
+impl Job {
+    fn new(
+        envelope: Result<Envelope, WireError>,
+        id: Option<Json>,
+        salvaged_session: Option<String>,
+        reply: mpsc::Sender<Response>,
+    ) -> Job {
+        let (key, shutdown) = match &envelope {
+            Ok(env) => (
+                env.session.clone().unwrap_or_else(|| match env.request {
+                    Request::Open => ANON_OPEN_KEY.to_string(),
+                    _ => DEFAULT_SESSION.to_string(),
+                }),
+                matches!(env.request, Request::Shutdown),
+            ),
+            Err(_) => (
+                salvaged_session.unwrap_or_else(|| DEFAULT_SESSION.to_string()),
+                false,
+            ),
+        };
+        Job {
+            envelope,
+            id,
+            key,
+            shutdown,
+            reply,
+            enqueued: Instant::now(),
+        }
+    }
+}
+
+/// What a worker gets back from [`SessionQueue::claim`].
+enum Claim {
+    /// Serve this job, then call [`SessionQueue::complete`] with its key.
+    Serve(Job),
+    /// The queue is draining after a shutdown: answer `shutting-down`.
+    Drain(Job),
+    /// Closed and empty — the worker exits.
+    Exit,
+}
+
+/// A blocking bounded MPMC queue with per-key mutual exclusion: `push`
+/// blocks while full (the backpressure bound), `claim` hands out the
+/// oldest job whose key is idle, `close` wakes everyone and fails
+/// further pushes.
+struct SessionQueue {
+    state: Mutex<QueueState>,
     not_full: Condvar,
     not_empty: Condvar,
 }
 
-struct QueueState<T> {
-    items: VecDeque<T>,
+struct QueueState {
+    jobs: VecDeque<Job>,
     capacity: usize,
+    /// Keys with a job in flight on some worker.
+    busy: Vec<String>,
+    in_flight: usize,
     closed: bool,
+    /// Set by the shutdown worker: remaining jobs are failed, not served.
+    draining: bool,
+    served: u64,
+    max_in_flight: usize,
 }
 
-impl<T> BoundedQueue<T> {
-    fn new(capacity: usize) -> BoundedQueue<T> {
-        BoundedQueue {
+impl SessionQueue {
+    fn new(capacity: usize) -> SessionQueue {
+        SessionQueue {
             state: Mutex::new(QueueState {
-                items: VecDeque::new(),
+                jobs: VecDeque::new(),
                 capacity: capacity.max(1),
+                busy: Vec::new(),
+                in_flight: 0,
                 closed: false,
+                draining: false,
+                served: 0,
+                max_in_flight: 0,
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
         }
     }
 
-    /// Blocks while the queue is full; returns the item back when the
+    /// Blocks while the queue is full; returns the job back when the
     /// queue has been closed.
-    fn push(&self, item: T) -> Result<(), T> {
+    // The Err payload is the unconsumed job itself, handed back so the
+    // producer can answer it with `shutting-down` — not an error type to
+    // shrink.
+    #[allow(clippy::result_large_err)]
+    fn push(&self, job: Job) -> Result<(), Job> {
         let mut state = self.state.lock().expect("queue lock poisoned");
         loop {
             if state.closed {
-                return Err(item);
+                return Err(job);
             }
-            if state.items.len() < state.capacity {
-                state.items.push_back(item);
-                self.not_empty.notify_one();
+            if state.jobs.len() < state.capacity {
+                state.jobs.push_back(job);
+                self.not_empty.notify_all();
                 return Ok(());
             }
             state = self.not_full.wait(state).expect("queue lock poisoned");
         }
     }
 
-    /// Blocks while the queue is empty and open; drains everything queued
-    /// (up to `max`) once something arrives.  `None` means closed *and*
-    /// drained — the worker's exit condition.
-    fn pop_batch(&self, max: usize) -> Option<Vec<T>> {
+    /// Blocks until there is something for this worker to do.  The claim
+    /// scan walks arrival order and stops at the first job whose key is
+    /// idle; it never looks past a queued shutdown, and claims the
+    /// shutdown itself only from the front of the queue with nothing in
+    /// flight — the exclusivity barrier.
+    fn claim(&self) -> Claim {
         let mut state = self.state.lock().expect("queue lock poisoned");
         loop {
-            if !state.items.is_empty() {
-                let take = state.items.len().min(max.max(1));
-                let batch: Vec<T> = state.items.drain(..take).collect();
-                self.not_full.notify_all();
-                return Some(batch);
+            if state.draining {
+                return match state.jobs.pop_front() {
+                    Some(job) => {
+                        self.not_full.notify_all();
+                        Claim::Drain(job)
+                    }
+                    None => Claim::Exit,
+                };
             }
-            if state.closed {
-                return None;
+            let mut claim = None;
+            for (i, job) in state.jobs.iter().enumerate() {
+                if job.shutdown {
+                    if i == 0 && state.in_flight == 0 {
+                        claim = Some(0);
+                    }
+                    break;
+                }
+                if !state.busy.iter().any(|k| k == &job.key) {
+                    claim = Some(i);
+                    break;
+                }
+            }
+            if let Some(i) = claim {
+                let job = state.jobs.remove(i).expect("claimed index in bounds");
+                state.busy.push(job.key.clone());
+                state.in_flight += 1;
+                state.served += 1;
+                state.max_in_flight = state.max_in_flight.max(state.in_flight);
+                self.not_full.notify_all();
+                return Claim::Serve(job);
+            }
+            if state.closed && state.jobs.is_empty() {
+                return Claim::Exit;
             }
             state = self.not_empty.wait(state).expect("queue lock poisoned");
         }
     }
 
+    /// Releases a claimed key.  Call after the response has been sent,
+    /// so a session's next job cannot start (and answer) before the
+    /// previous response is on its way.
+    fn complete(&self, key: &str) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if let Some(pos) = state.busy.iter().position(|k| k == key) {
+            state.busy.remove(pos);
+        }
+        state.in_flight -= 1;
+        self.not_empty.notify_all();
+    }
+
+    /// Enters drain mode (shutdown accepted): further pushes fail and
+    /// every queued job is answered with `shutting-down`.
+    fn begin_drain(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        state.draining = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
     /// Closes the queue: further pushes fail, blocked parties wake.
+    /// Already-queued jobs are still served (the drop path).
     fn close(&self) {
         let mut state = self.state.lock().expect("queue lock poisoned");
         state.closed = true;
@@ -126,24 +254,21 @@ impl<T> BoundedQueue<T> {
     fn is_closed(&self) -> bool {
         self.state.lock().expect("queue lock poisoned").closed
     }
+
+    fn pool_stats(&self) -> (u64, usize) {
+        let state = self.state.lock().expect("queue lock poisoned");
+        (state.served, state.max_in_flight)
+    }
 }
 
-/// Batch counters kept by the worker and injected into `stats` responses.
-#[derive(Debug, Clone, Copy, Default)]
-struct BatchStats {
-    batches: u64,
-    jobs: u64,
-    max_batch: usize,
-}
-
-/// A running resident service: one daemon, one worker thread, one bounded
-/// queue.  Clone [`ServeHandle`]s to talk to it from any thread; call
-/// [`Service::serve_stream`] to speak the wire protocol over any
-/// reader/writer pair (stdin/stdout, a Unix-socket connection, an
-/// in-memory pipe in tests).
+/// A running resident service: one daemon, a worker pool, one bounded
+/// session-aware queue.  Clone [`ServeHandle`]s to talk to it from any
+/// thread; call [`Service::serve_stream`] to speak the wire protocol
+/// over any reader/writer pair (stdin/stdout, a Unix-socket connection,
+/// an in-memory pipe in tests).
 pub struct Service {
-    queue: Arc<BoundedQueue<Job>>,
-    worker: Option<JoinHandle<()>>,
+    queue: Arc<SessionQueue>,
+    workers: Vec<JoinHandle<()>>,
     /// A clone of the daemon's recorder, kept on this side of the worker
     /// boundary so callers can export sinks after shutdown.
     recorder: Recorder,
@@ -152,7 +277,7 @@ pub struct Service {
 /// An in-process client of a running [`Service`].
 #[derive(Clone)]
 pub struct ServeHandle {
-    queue: Arc<BoundedQueue<Job>>,
+    queue: Arc<SessionQueue>,
 }
 
 fn shutting_down(id: Option<Json>) -> Response {
@@ -162,105 +287,106 @@ fn shutting_down(id: Option<Json>) -> Response {
     )
 }
 
+fn worker_loop(queue: Arc<SessionQueue>, daemon: Arc<Daemon>, recorder: Recorder) {
+    loop {
+        match queue.claim() {
+            Claim::Exit => return,
+            Claim::Drain(job) => {
+                let _ = job.reply.send(shutting_down(job.id));
+            }
+            Claim::Serve(job) => {
+                // Queue-wait: enqueue to the moment a worker claims the
+                // job — the latency the scheduler adds on top of service
+                // time (including waits for the session's previous job).
+                recorder.record_duration("serve.queue_wait_ns", job.enqueued.elapsed());
+                let response = match &job.envelope {
+                    Err(error) => {
+                        recorder.count("serve.proto_errors", 1);
+                        recorder.count(&format!("serve.errors.{}", error.code.as_str()), 1);
+                        // Valid requests get their span inside the
+                        // daemon, on their session's lane stripe; an
+                        // undecodable frame has no session, so it lands
+                        // on the base request lane.
+                        let mut lane = recorder.lane(REQUEST_LANE);
+                        let span = lane.begin();
+                        let response = Response::err(job.id.clone(), error.clone());
+                        lane.end(
+                            span,
+                            "serve",
+                            "request",
+                            vec![("op", ArgValue::from("invalid"))],
+                        );
+                        response
+                    }
+                    Ok(envelope) if matches!(envelope.request, Request::Shutdown) => {
+                        // Exclusive by the claim rule: nothing in
+                        // flight, so flushing every session races no
+                        // edit.
+                        let response = match daemon.flush() {
+                            Ok(_) => daemon.handle(envelope),
+                            Err(e) => Response::err(
+                                envelope.id.clone(),
+                                WireError::new(ErrorCode::Store, e.to_string()),
+                            ),
+                        };
+                        queue.begin_drain();
+                        response
+                    }
+                    Ok(envelope) => {
+                        let mut response = daemon.handle(envelope);
+                        if matches!(envelope.request, Request::Stats) {
+                            if let Ok(result) = &mut response.outcome {
+                                let (served, max_in_flight) = queue.pool_stats();
+                                *result = result.clone().set(
+                                    "service",
+                                    Json::obj()
+                                        .set("workers", daemon.workers())
+                                        .set("served", served as i64)
+                                        .set("max_in_flight", max_in_flight),
+                                );
+                            }
+                        }
+                        response
+                    }
+                };
+                let _ = job.reply.send(response);
+                queue.complete(&job.key);
+            }
+        }
+    }
+}
+
 impl Service {
     /// Builds the daemon (see [`Daemon::new`] for the warm-up semantics)
-    /// and starts the worker thread.
+    /// and starts the worker pool — `outer` of the thread-budget split,
+    /// so a budget of one thread yields one /1-style FIFO worker.
     ///
     /// # Errors
     /// Returns [`ServeError`] on an unknown library name or a store
     /// failure during warm-up.
     pub fn spawn(config: ServeConfig) -> Result<Service, ServeError> {
-        let mut daemon = Daemon::new(config)?;
+        let daemon = Arc::new(Daemon::new(config)?);
         let recorder = daemon.recorder().clone();
-        let worker_recorder = recorder.clone();
-        let queue: Arc<BoundedQueue<Job>> =
-            Arc::new(BoundedQueue::new(daemon.config().queue_capacity));
-        let batch_max = daemon.config().queue_capacity;
-        let worker_queue = Arc::clone(&queue);
-        let worker = std::thread::spawn(move || {
-            let recorder = worker_recorder;
-            let mut batches = BatchStats::default();
-            while let Some(batch) = worker_queue.pop_batch(batch_max) {
-                batches.batches += 1;
-                batches.jobs += batch.len() as u64;
-                batches.max_batch = batches.max_batch.max(batch.len());
-                let mut jobs = batch.into_iter();
-                for job in jobs.by_ref() {
-                    // Queue-wait: enqueue to the moment the worker picks
-                    // the job up — the latency the bounded queue adds on
-                    // top of service time.
-                    recorder.record_duration("serve.queue_wait_ns", job.enqueued.elapsed());
-                    let mut lane = recorder.lane(REQUEST_LANE);
-                    let span = lane.begin();
-                    let op: &'static str = match &job.envelope {
-                        Ok(envelope) => envelope.request.op(),
-                        Err(_) => "invalid",
-                    };
-                    let response = match &job.envelope {
-                        Err(error) => {
-                            recorder.count("serve.proto_errors", 1);
-                            recorder.count(&format!("serve.errors.{}", error.code.as_str()), 1);
-                            Response::err(job.id.clone(), error.clone())
-                        }
-                        Ok(envelope) => {
-                            if matches!(envelope.request, Request::Shutdown) {
-                                let response = match daemon.flush() {
-                                    Ok(_) => daemon.handle(envelope),
-                                    Err(e) => Response::err(
-                                        envelope.id.clone(),
-                                        WireError::new(ErrorCode::Store, e.to_string()),
-                                    ),
-                                };
-                                lane.end(
-                                    span,
-                                    "serve",
-                                    "request",
-                                    vec![("op", ArgValue::from(op))],
-                                );
-                                let _ = job.reply.send(response);
-                                worker_queue.close();
-                                // Fail the rest of this batch, then drain
-                                // the queue: nothing goes unanswered.
-                                for job in jobs {
-                                    let _ = job.reply.send(shutting_down(job.id));
-                                }
-                                while let Some(rest) = worker_queue.pop_batch(batch_max) {
-                                    for job in rest {
-                                        let _ = job.reply.send(shutting_down(job.id));
-                                    }
-                                }
-                                return;
-                            }
-                            let mut response = daemon.handle(envelope);
-                            if matches!(envelope.request, Request::Stats) {
-                                if let Ok(result) = &mut response.outcome {
-                                    *result = result.clone().set(
-                                        "service",
-                                        Json::obj()
-                                            .set("batches", batches.batches as i64)
-                                            .set("batched_jobs", batches.jobs as i64)
-                                            .set("max_batch", batches.max_batch),
-                                    );
-                                }
-                            }
-                            response
-                        }
-                    };
-                    lane.end(span, "serve", "request", vec![("op", ArgValue::from(op))]);
-                    let _ = job.reply.send(response);
-                }
-            }
-        });
+        let queue = Arc::new(SessionQueue::new(daemon.config().queue_capacity));
+        let workers = (0..daemon.workers())
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let daemon = Arc::clone(&daemon);
+                let recorder = recorder.clone();
+                std::thread::spawn(move || worker_loop(queue, daemon, recorder))
+            })
+            .collect();
         Ok(Service {
             queue,
-            worker: Some(worker),
+            workers,
             recorder,
         })
     }
 
     /// The service's observability handle — a clone of the daemon's
     /// recorder, usable (e.g. for [`atlas_obs::chrome_trace`] or
-    /// [`atlas_obs::metrics_snapshot`]) even after the worker has exited.
+    /// [`atlas_obs::metrics_snapshot`]) even after the workers have
+    /// exited.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
     }
@@ -279,9 +405,10 @@ impl Service {
 
     /// Serves the wire protocol over a frame stream until EOF (or
     /// shutdown + EOF): the calling thread reads and decodes frames, a
-    /// spawned thread writes responses in request order.  A full queue
-    /// blocks the reader — backpressure reaches the peer as an unread
-    /// stream.
+    /// spawned thread writes responses as they complete.  Responses stay
+    /// in request order *per session*; different sessions may interleave
+    /// (correlate by `id`).  A full queue blocks the reader —
+    /// backpressure reaches the peer as an unread stream.
     ///
     /// # Errors
     /// Propagates I/O errors of the underlying reader.
@@ -308,32 +435,30 @@ impl Service {
         loop {
             let job = match read_frame(&mut reader, max_frame)? {
                 Frame::Eof => break,
-                Frame::Oversized => Job {
-                    envelope: Err(WireError::new(
+                Frame::Oversized => Job::new(
+                    Err(WireError::new(
                         ErrorCode::OversizedFrame,
                         format!("frame longer than {max_frame} bytes"),
                     )),
-                    id: None,
-                    reply: tx.clone(),
-                    enqueued: Instant::now(),
-                },
+                    None,
+                    None,
+                    tx.clone(),
+                ),
                 Frame::Line(line) => {
                     if line.trim().is_empty() {
                         continue;
                     }
                     match decode_request(&line) {
-                        Ok(envelope) => Job {
-                            id: envelope.id.clone(),
-                            envelope: Ok(envelope),
-                            reply: tx.clone(),
-                            enqueued: Instant::now(),
-                        },
-                        Err(error) => Job {
-                            id: salvage_id(&line),
-                            envelope: Err(error),
-                            reply: tx.clone(),
-                            enqueued: Instant::now(),
-                        },
+                        Ok(envelope) => {
+                            let id = envelope.id.clone();
+                            Job::new(Ok(envelope), id, None, tx.clone())
+                        }
+                        Err(error) => Job::new(
+                            Err(error),
+                            salvage_id(&line),
+                            salvage_session(&line),
+                            tx.clone(),
+                        ),
                     }
                 }
             };
@@ -346,10 +471,10 @@ impl Service {
         Ok(())
     }
 
-    /// Waits for the worker to exit (after a `shutdown` request).  Call
+    /// Waits for the workers to exit (after a `shutdown` request).  Call
     /// once; later calls are no-ops.
     pub fn join(&mut self) {
-        if let Some(worker) = self.worker.take() {
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
@@ -357,9 +482,9 @@ impl Service {
 
 impl Drop for Service {
     fn drop(&mut self) {
-        // A dropped service stops accepting work; the worker drains what
+        // A dropped service stops accepting work; the workers drain what
         // is queued (answering with errors past a shutdown, normally
-        // otherwise) and exits.
+        // otherwise) and exit.
         self.queue.close();
         self.join();
     }
@@ -371,12 +496,7 @@ impl ServeHandle {
     pub fn request(&self, envelope: Envelope) -> Response {
         let (tx, rx) = mpsc::channel::<Response>();
         let id = envelope.id.clone();
-        let job = Job {
-            id: id.clone(),
-            envelope: Ok(envelope),
-            reply: tx,
-            enqueued: Instant::now(),
-        };
+        let job = Job::new(Ok(envelope), id.clone(), None, tx);
         if self.queue.push(job).is_err() {
             return shutting_down(id);
         }
@@ -392,12 +512,7 @@ impl ServeHandle {
             Err(error) => {
                 let id = salvage_id(line);
                 let (tx, rx) = mpsc::channel::<Response>();
-                let job = Job {
-                    id: id.clone(),
-                    envelope: Err(error),
-                    reply: tx,
-                    enqueued: Instant::now(),
-                };
+                let job = Job::new(Err(error), id.clone(), salvage_session(line), tx);
                 if self.queue.push(job).is_err() {
                     return shutting_down(id);
                 }
@@ -410,29 +525,83 @@ impl ServeHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
+    fn job(key: &str, shutdown: bool) -> (Job, mpsc::Receiver<Response>) {
+        let (tx, rx) = mpsc::channel();
+        let request = if shutdown {
+            Request::Shutdown
+        } else {
+            Request::Ping
+        };
+        let mut job = Job::new(Ok(Envelope::of(request)), None, None, tx);
+        job.key = key.to_string();
+        (job, rx)
+    }
 
     #[test]
-    fn bounded_queue_blocks_producers_and_drains_in_batches() {
-        let queue: Arc<BoundedQueue<usize>> = Arc::new(BoundedQueue::new(2));
-        queue.push(1).unwrap();
-        queue.push(2).unwrap();
-        // A third push must block until the consumer drains; prove it by
-        // pushing from a thread and popping from here.
-        let producer = {
-            let queue = Arc::clone(&queue);
-            std::thread::spawn(move || queue.push(3).is_ok())
+    fn claims_skip_busy_sessions_but_keep_them_fifo() {
+        let queue = SessionQueue::new(8);
+        let (a1, _r1) = job("a", false);
+        let (a2, _r2) = job("a", false);
+        let (b1, _r3) = job("b", false);
+        queue.push(a1).unwrap_or_else(|_| panic!("open queue"));
+        queue.push(a2).unwrap_or_else(|_| panic!("open queue"));
+        queue.push(b1).unwrap_or_else(|_| panic!("open queue"));
+        // First claim: the oldest job (session a).
+        let first = match queue.claim() {
+            Claim::Serve(job) => job,
+            _ => panic!("expected a job"),
         };
-        // The producer may or may not have blocked yet; popping releases
-        // it either way.  Three items were pushed in total; drain them.
-        let mut popped = Vec::new();
-        while popped.len() < 3 {
-            popped.extend(queue.pop_batch(16).expect("open queue"));
-        }
-        assert!(producer.join().expect("producer"));
-        popped.sort_unstable();
-        assert_eq!(popped, vec![1, 2, 3]);
-        queue.close();
-        assert!(queue.pop_batch(16).is_none());
-        assert_eq!(queue.push(9), Err(9));
+        assert_eq!(first.key, "a");
+        // Second claim skips a's second job (a is busy) and serves b.
+        let second = match queue.claim() {
+            Claim::Serve(job) => job,
+            _ => panic!("expected a job"),
+        };
+        assert_eq!(second.key, "b");
+        // Completing a releases its stream; the next claim is a's
+        // second job, preserving per-session FIFO.
+        queue.complete(&first.key);
+        let third = match queue.claim() {
+            Claim::Serve(job) => job,
+            _ => panic!("expected a job"),
+        };
+        assert_eq!(third.key, "a");
+    }
+
+    #[test]
+    fn shutdown_claims_are_exclusive_and_nothing_overtakes_them() {
+        let queue = Arc::new(SessionQueue::new(8));
+        let (a1, _r1) = job("a", false);
+        queue.push(a1).unwrap_or_else(|_| panic!("open queue"));
+        let in_flight = match queue.claim() {
+            Claim::Serve(job) => job,
+            _ => panic!("expected a job"),
+        };
+        let (stop, _r2) = job("stop", true);
+        let (b1, _r3) = job("b", false);
+        queue.push(stop).unwrap_or_else(|_| panic!("open queue"));
+        queue.push(b1).unwrap_or_else(|_| panic!("open queue"));
+        // A second worker must not claim b (queued behind the shutdown)
+        // nor the shutdown itself (a is still in flight).
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || match queue.claim() {
+                Claim::Serve(job) => job.key,
+                _ => panic!("expected a job"),
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!waiter.is_finished(), "shutdown barrier was overtaken");
+        // Finishing the in-flight job unblocks exactly the shutdown.
+        queue.complete(&in_flight.key);
+        assert_eq!(waiter.join().expect("waiter"), "stop");
+        // Draining fails the rest and then exits the workers.
+        queue.begin_drain();
+        assert!(matches!(queue.claim(), Claim::Drain(_)));
+        assert!(matches!(queue.claim(), Claim::Exit));
+        let (late, _r4) = job("c", false);
+        assert!(queue.push(late).is_err());
     }
 }

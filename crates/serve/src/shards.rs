@@ -1,10 +1,12 @@
 //! The hot shard cache: an LRU of decoded closure shards with dirty-shard
-//! pinning and write-behind persistence.
+//! pinning, write-behind persistence, and per-session namespaces sharing
+//! one budget.
 //!
-//! [`HotShards`] implements `atlas_core::ShardStore`, so an incremental
-//! session splices from and persists to *memory*; disk is only touched on
-//! a cache miss (shard load) and on [`HotShards::flush`] (write-behind).
-//! The invariants:
+//! [`HotShards`] implements `atlas_core::ShardStore` (for its root
+//! namespace; session namespaces go through [`NamespaceShards`] /
+//! [`SharedShards`]), so an incremental session splices from and persists
+//! to *memory*; disk is only touched on a cache miss (shard load) and on
+//! [`HotShards::flush`] (write-behind).  The invariants:
 //!
 //! * **Transparency.**  Because the daemon is the store root's sole owner
 //!   while resident, the in-memory merge performed by
@@ -19,6 +21,12 @@
 //! * **Determinism.**  Eviction only ever drops *clean* shards, whose
 //!   bytes are on disk; a re-load decodes the same artifact, so cache
 //!   pressure can change timings and I/O counts but never results.
+//! * **Namespace isolation.**  Entries are keyed by `(namespace,
+//!   closure)` and each namespace fronts its own directory, so two
+//!   sessions never read each other's shards — but they compete for the
+//!   *same* LRU budget: a hot session can evict a cold session's clean
+//!   shards (shared-budget fairness is recency, not reservation), which
+//!   by the determinism invariant never changes either session's results.
 //!
 //! Spec artifacts are cached as raw JSON documents, not decoded
 //! [`SpecArtifact`]s: decoding resolves method symbols against a specific
@@ -30,12 +38,17 @@ use atlas_learn::VerdictCache;
 use atlas_obs::{ArgValue, Recorder};
 use atlas_store::{atomic_write, load_cache, load_document, save_cache, shard_entry, Json};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// The observability lane all hot-shard events drain to (the daemon's
 /// "shards" track; lane 1 is the service request track).
 const SHARDS_LANE: u64 = 2;
 
-/// Counters of the hot shard cache.
+/// The root namespace: the store root itself, owned by the default
+/// session.  Always registered, never retired.
+pub const ROOT_NAMESPACE: usize = 0;
+
+/// Counters of the hot shard cache (shared across all namespaces).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardCacheStats {
     /// Shard lookups answered from memory.
@@ -55,6 +68,8 @@ pub struct ShardCacheStats {
 
 /// One resident closure shard.
 struct HotEntry {
+    /// The namespace the shard belongs to (an index into the registry).
+    ns: usize,
     closure: u64,
     /// The shard's spec document (`atlas-spec/1`), raw.  `None` when the
     /// shard has no specs on disk yet.
@@ -66,10 +81,19 @@ struct HotEntry {
     dirty: bool,
 }
 
-/// An LRU cache of closure shards over a store root.  See the
-/// [module docs](self) for the invariants.
+/// One registered namespace: a directory the cache fronts.
+struct Namespace {
+    dir: PathBuf,
+    /// Retired namespaces (closed sessions) keep their slot — entry `ns`
+    /// indices stay stable — but hold no entries and accept no new ones.
+    retired: bool,
+}
+
+/// An LRU cache of closure shards over a store root and its session
+/// namespaces.  See the [module docs](self) for the invariants.
 pub struct HotShards {
-    root: PathBuf,
+    /// Namespace registry; index 0 is always the store root.
+    namespaces: Vec<Namespace>,
     budget: usize,
     /// LRU order: least-recently used first, most-recently used last.
     entries: Vec<HotEntry>,
@@ -81,11 +105,14 @@ pub struct HotShards {
 
 impl HotShards {
     /// A hot cache over `root` keeping at most `budget` shards resident
-    /// (a zero budget is promoted to one — the cache always holds the
-    /// shard it is actively serving).
+    /// across all namespaces (a zero budget is promoted to one — the
+    /// cache always holds the shard it is actively serving).
     pub fn new(root: &Path, budget: usize) -> HotShards {
         HotShards {
-            root: root.to_path_buf(),
+            namespaces: vec![Namespace {
+                dir: root.to_path_buf(),
+                retired: false,
+            }],
             budget: budget.max(1),
             entries: Vec::new(),
             stats: ShardCacheStats::default(),
@@ -101,9 +128,32 @@ impl HotShards {
         self
     }
 
-    /// The store root this cache fronts.
+    /// The store root this cache fronts (the root namespace's directory).
     pub fn root(&self) -> &Path {
-        &self.root
+        &self.namespaces[ROOT_NAMESPACE].dir
+    }
+
+    /// Registers a new namespace over `dir` and returns its stable id.
+    /// The directory is owned by one session; the returned id is what the
+    /// session passes to [`NamespaceShards`] / [`SharedShards`].
+    pub fn add_namespace(&mut self, dir: PathBuf) -> usize {
+        self.namespaces.push(Namespace {
+            dir,
+            retired: false,
+        });
+        self.namespaces.len() - 1
+    }
+
+    /// Retires a namespace (a closed session): its resident entries are
+    /// dropped — flush first, or dirty shards are lost — and its id stays
+    /// allocated so other namespaces' ids never shift.  The root
+    /// namespace cannot be retired.
+    pub fn retire_namespace(&mut self, ns: usize) {
+        if ns == ROOT_NAMESPACE || ns >= self.namespaces.len() {
+            return;
+        }
+        self.namespaces[ns].retired = true;
+        self.entries.retain(|e| e.ns != ns);
     }
 
     /// The cache counters so far.
@@ -111,7 +161,7 @@ impl HotShards {
         self.stats
     }
 
-    /// Shards currently resident.
+    /// Shards currently resident (across all namespaces).
     pub fn resident(&self) -> usize {
         self.entries.len()
     }
@@ -121,11 +171,15 @@ impl HotShards {
         self.entries.iter().filter(|e| e.dirty).count()
     }
 
-    /// Makes the shard for `closure` resident (loading both files from
-    /// disk on a miss) and returns its index — always the *last* slot,
-    /// because residency is an LRU touch.
-    fn ensure(&mut self, closure: u64) -> Result<usize, StoreError> {
-        if let Some(i) = self.entries.iter().position(|e| e.closure == closure) {
+    /// Makes the shard for `(ns, closure)` resident (loading both files
+    /// from the namespace directory on a miss) and returns its index —
+    /// always the *last* slot, because residency is an LRU touch.
+    fn ensure(&mut self, ns: usize, closure: u64) -> Result<usize, StoreError> {
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|e| e.ns == ns && e.closure == closure)
+        {
             self.stats.hits += 1;
             self.recorder.count("shards.hits", 1);
             let entry = self.entries.remove(i);
@@ -136,7 +190,7 @@ impl HotShards {
         self.recorder.count("shards.misses", 1);
         let mut lane = self.recorder.lane(SHARDS_LANE);
         let load_start = lane.begin();
-        let paths = shard_entry(&self.root, closure);
+        let paths = shard_entry(&self.namespaces[ns].dir, closure);
         let specs = if paths.specs.exists() {
             Some(load_document(&paths.specs)?)
         } else {
@@ -148,6 +202,7 @@ impl HotShards {
             None
         };
         self.entries.push(HotEntry {
+            ns,
             closure,
             specs,
             cache,
@@ -160,7 +215,7 @@ impl HotShards {
             vec![("closure", ArgValue::Hex(closure))],
         );
         drop(lane);
-        self.enforce_budget(Some(closure));
+        self.enforce_budget(Some((ns, closure)));
         Ok(self.entries.len() - 1)
     }
 
@@ -168,12 +223,12 @@ impl HotShards {
     /// never touching the shard named by `protect` (the one currently
     /// being served).  Dirty shards are pinned; when pins alone exceed
     /// the budget the cache overflows and the overflow is counted.
-    fn enforce_budget(&mut self, protect: Option<u64>) {
+    fn enforce_budget(&mut self, protect: Option<(usize, u64)>) {
         while self.entries.len() > self.budget {
             match self
                 .entries
                 .iter()
-                .position(|e| !e.dirty && Some(e.closure) != protect)
+                .position(|e| !e.dirty && Some((e.ns, e.closure)) != protect)
             {
                 Some(i) => {
                     let evicted = self.entries.remove(i);
@@ -201,27 +256,37 @@ impl HotShards {
 
     /// Writes every dirty shard back to disk — cache via the store's
     /// atomic `save_cache`, specs via `atomic_write` of the cached
-    /// document — in closure order (deterministic file history), then
-    /// unpins them and re-enforces the budget.  Returns how many shards
-    /// were written.
+    /// document — in `(namespace, closure)` order (deterministic file
+    /// history), then unpins them and re-enforces the budget.  Returns
+    /// how many shards were written.
     ///
     /// # Errors
     /// Returns the `atlas-store` error of the first failed write; the
     /// failed shard and its successors stay dirty (and pinned), so no
     /// data is lost and a later flush can retry.
     pub fn flush(&mut self) -> Result<usize, StoreError> {
+        self.flush_filter(None)
+    }
+
+    /// [`HotShards::flush`], restricted to one namespace — the session
+    /// half of the `flush` op.
+    pub fn flush_namespace(&mut self, ns: usize) -> Result<usize, StoreError> {
+        self.flush_filter(Some(ns))
+    }
+
+    fn flush_filter(&mut self, only: Option<usize>) -> Result<usize, StoreError> {
         self.stats.flushes += 1;
         self.recorder.count("shards.flushes", 1);
         let mut lane = self.recorder.lane(SHARDS_LANE);
         let flush_start = lane.begin();
         let mut dirty: Vec<usize> = (0..self.entries.len())
-            .filter(|&i| self.entries[i].dirty)
+            .filter(|&i| self.entries[i].dirty && only.is_none_or(|ns| self.entries[i].ns == ns))
             .collect();
-        dirty.sort_by_key(|&i| self.entries[i].closure);
+        dirty.sort_by_key(|&i| (self.entries[i].ns, self.entries[i].closure));
         let mut written = 0usize;
         for i in dirty {
             let entry = &self.entries[i];
-            let paths = shard_entry(&self.root, entry.closure);
+            let paths = shard_entry(&self.namespaces[entry.ns].dir, entry.closure);
             if let Some(cache) = &entry.cache {
                 save_cache(&paths.cache, cache)?;
             }
@@ -243,26 +308,30 @@ impl HotShards {
         self.enforce_budget(None);
         Ok(written)
     }
-}
 
-impl ShardStore for HotShards {
-    fn load_specs(
+    fn load_specs_in(
         &mut self,
+        ns: usize,
         closure: u64,
         program: &atlas_ir::Program,
     ) -> Result<Option<SpecArtifact>, StoreError> {
-        let i = self.ensure(closure)?;
+        let i = self.ensure(ns, closure)?;
         let Some(doc) = &self.entries[i].specs else {
             return Ok(None);
         };
-        let paths = shard_entry(&self.root, closure);
+        let paths = shard_entry(&self.namespaces[ns].dir, closure);
         SpecArtifact::decode(doc, program)
             .map(Some)
             .map_err(|e| StoreError::schema(&paths.specs, e))
     }
 
-    fn count_verdicts(&mut self, closure: u64, context: u64) -> Result<usize, StoreError> {
-        let i = self.ensure(closure)?;
+    fn count_verdicts_in(
+        &mut self,
+        ns: usize,
+        closure: u64,
+        context: u64,
+    ) -> Result<usize, StoreError> {
+        let i = self.ensure(ns, closure)?;
         Ok(self.entries[i]
             .cache
             .as_ref()
@@ -277,16 +346,17 @@ impl ShardStore for HotShards {
             .unwrap_or(0))
     }
 
-    fn persist_cluster(
+    fn persist_cluster_in(
         &mut self,
+        ns: usize,
         closure: u64,
         fresh: &VerdictCache,
         provenance: CacheProvenance,
         specs: &SpecArtifact,
         program: &atlas_ir::Program,
     ) -> Result<usize, StoreError> {
-        let i = self.ensure(closure)?;
-        let paths = shard_entry(&self.root, closure);
+        let i = self.ensure(ns, closure)?;
+        let paths = shard_entry(&self.namespaces[ns].dir, closure);
         let session = CacheArtifact::from_cache(fresh, provenance);
         let mut resident = self.entries[i].cache.take().unwrap_or_default();
         let before = resident.num_entries();
@@ -300,6 +370,127 @@ impl ShardStore for HotShards {
         entry.specs = Some(doc);
         entry.dirty = true;
         Ok(new_entries)
+    }
+}
+
+/// The root-namespace view: [`HotShards`] itself keeps implementing
+/// `ShardStore` over the store root, so single-session callers (and the
+/// pre-session test suite) need no adapter.
+impl ShardStore for HotShards {
+    fn load_specs(
+        &mut self,
+        closure: u64,
+        program: &atlas_ir::Program,
+    ) -> Result<Option<SpecArtifact>, StoreError> {
+        self.load_specs_in(ROOT_NAMESPACE, closure, program)
+    }
+
+    fn count_verdicts(&mut self, closure: u64, context: u64) -> Result<usize, StoreError> {
+        self.count_verdicts_in(ROOT_NAMESPACE, closure, context)
+    }
+
+    fn persist_cluster(
+        &mut self,
+        closure: u64,
+        fresh: &VerdictCache,
+        provenance: CacheProvenance,
+        specs: &SpecArtifact,
+        program: &atlas_ir::Program,
+    ) -> Result<usize, StoreError> {
+        self.persist_cluster_in(ROOT_NAMESPACE, closure, fresh, provenance, specs, program)
+    }
+}
+
+/// A `ShardStore` view of one namespace of an exclusively borrowed
+/// [`HotShards`] — the single-threaded counterpart of [`SharedShards`].
+pub struct NamespaceShards<'a> {
+    hot: &'a mut HotShards,
+    ns: usize,
+}
+
+impl<'a> NamespaceShards<'a> {
+    /// A view of `hot` restricted to namespace `ns`.
+    pub fn new(hot: &'a mut HotShards, ns: usize) -> NamespaceShards<'a> {
+        NamespaceShards { hot, ns }
+    }
+}
+
+impl ShardStore for NamespaceShards<'_> {
+    fn load_specs(
+        &mut self,
+        closure: u64,
+        program: &atlas_ir::Program,
+    ) -> Result<Option<SpecArtifact>, StoreError> {
+        self.hot.load_specs_in(self.ns, closure, program)
+    }
+
+    fn count_verdicts(&mut self, closure: u64, context: u64) -> Result<usize, StoreError> {
+        self.hot.count_verdicts_in(self.ns, closure, context)
+    }
+
+    fn persist_cluster(
+        &mut self,
+        closure: u64,
+        fresh: &VerdictCache,
+        provenance: CacheProvenance,
+        specs: &SpecArtifact,
+        program: &atlas_ir::Program,
+    ) -> Result<usize, StoreError> {
+        self.hot
+            .persist_cluster_in(self.ns, closure, fresh, provenance, specs, program)
+    }
+}
+
+/// A `ShardStore` view of one namespace of a *shared* [`HotShards`],
+/// locking per call — the concurrency seam of the worker pool.  Sessions
+/// never share a namespace, so concurrent edits only contend on the LRU
+/// structure itself, never on a shard's content; the lock is held for
+/// splice/persist bookkeeping, not for oracle execution, which happens
+/// between `ShardStore` calls.  Cross-session eviction between two calls
+/// is harmless: every call re-ensures residency, and eviction only drops
+/// clean shards whose bytes are on disk (the determinism invariant).
+pub struct SharedShards {
+    hot: Arc<Mutex<HotShards>>,
+    ns: usize,
+}
+
+impl SharedShards {
+    /// A locking view of `hot` restricted to namespace `ns`.
+    pub fn new(hot: Arc<Mutex<HotShards>>, ns: usize) -> SharedShards {
+        SharedShards { hot, ns }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HotShards> {
+        self.hot.lock().expect("hot shard cache lock poisoned")
+    }
+}
+
+impl ShardStore for SharedShards {
+    fn load_specs(
+        &mut self,
+        closure: u64,
+        program: &atlas_ir::Program,
+    ) -> Result<Option<SpecArtifact>, StoreError> {
+        let ns = self.ns;
+        self.lock().load_specs_in(ns, closure, program)
+    }
+
+    fn count_verdicts(&mut self, closure: u64, context: u64) -> Result<usize, StoreError> {
+        let ns = self.ns;
+        self.lock().count_verdicts_in(ns, closure, context)
+    }
+
+    fn persist_cluster(
+        &mut self,
+        closure: u64,
+        fresh: &VerdictCache,
+        provenance: CacheProvenance,
+        specs: &SpecArtifact,
+        program: &atlas_ir::Program,
+    ) -> Result<usize, StoreError> {
+        let ns = self.ns;
+        self.lock()
+            .persist_cluster_in(ns, closure, fresh, provenance, specs, program)
     }
 }
 
@@ -341,6 +532,29 @@ mod tests {
         assert_eq!(hot.stats().hits, 2);
         hot.count_verdicts(2, 0).unwrap(); // was evicted: a miss again
         assert_eq!(hot.stats().misses, 4);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn namespaces_do_not_alias_and_share_the_budget() {
+        let root = scratch("ns");
+        let mut hot = HotShards::new(&root, 2);
+        let ns = hot.add_namespace(root.join("sessions").join("a"));
+        // The same closure id in two namespaces is two distinct entries.
+        hot.count_verdicts(7, 0).unwrap();
+        hot.count_verdicts_in(ns, 7, 0).unwrap();
+        assert_eq!(hot.resident(), 2);
+        assert_eq!(hot.stats().misses, 2);
+        // A third shard — in either namespace — evicts across namespaces:
+        // the budget is shared, the oldest clean shard goes first.
+        hot.count_verdicts_in(ns, 8, 0).unwrap();
+        assert_eq!(hot.resident(), 2);
+        assert_eq!(hot.stats().evictions, 1);
+        hot.count_verdicts(7, 0).unwrap(); // the root shard was evicted
+        assert_eq!(hot.stats().misses, 4);
+        // Retiring the namespace drops its entries, not the root's.
+        hot.retire_namespace(ns);
+        assert_eq!(hot.resident(), 1);
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -39,7 +39,7 @@ fn run_script(store: &Path, shard_budget: usize, flush_every: usize) -> ScriptOu
     let mut config = ServeConfig::small(store.to_path_buf());
     config.shard_budget = shard_budget;
     config.flush_every = flush_every;
-    let mut daemon = Daemon::new(config).expect("daemon startup");
+    let daemon = Daemon::new(config).expect("daemon startup");
     let edits = SCRIPT
         .iter()
         .enumerate()

@@ -69,7 +69,7 @@ fn gen_json(state: &mut u64, depth: usize) -> Json {
 }
 
 fn gen_request(state: &mut u64) -> Request {
-    match (mix(state) as usize) % 8 {
+    match (mix(state) as usize) % 10 {
         0 => Request::Hello,
         1 => Request::Ping,
         2 => Request::Specs,
@@ -77,6 +77,8 @@ fn gen_request(state: &mut u64) -> Request {
         4 => Request::Stats,
         5 => Request::Flush,
         6 => Request::Shutdown,
+        7 => Request::Open,
+        8 => Request::Close,
         _ => Request::Edit(EditRequest {
             kind: [
                 atlas_ir::MutationKind::RenameLocal,
@@ -102,6 +104,14 @@ fn gen_envelope(state: &mut u64) -> Envelope {
             None
         } else {
             Some(gen_json(state, 1))
+        },
+        // Roughly half the envelopes are /2 frames addressing a session;
+        // the name is an arbitrary string — the *codec* carries any
+        // spelling, only `open` validates names.
+        session: if mix(state) & 1 == 0 {
+            None
+        } else {
+            Some(gen_string(state, 8))
         },
         request: gen_request(state),
     }
@@ -302,5 +312,84 @@ fn daemon_survives_hostile_stream() {
     assert!(responses[10].outcome.is_ok(), "daemon must not wedge");
     assert_eq!(responses[10].id, Some(Json::Int(10)));
     assert!(responses[11].outcome.is_ok(), "orderly shutdown");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// Hostile `/2` traffic: unknown sessions, bad names, duplicate and
+/// flooded opens, closes of the unclosable, edits after close — every
+/// one a structured error, with the daemon fully alive throughout and
+/// /1 frames still answered with /1 (session-less) responses.
+#[test]
+fn sessions_enforce_open_close_lifecycle() {
+    let store = std::env::temp_dir().join(format!("atlas-serve-lifecycle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let config = ServeConfig::small(store.clone()).with_max_sessions(3);
+    let mut service = Service::spawn(config).expect("daemon startup");
+    let handle = service.handle();
+    let code_of = |r: &Response| r.outcome.as_ref().err().map(|e| e.code);
+
+    // A session nobody opened is unknown — and the error echoes the
+    // session, making it an /2 frame.
+    let r = handle.request(Envelope::with_id(1_i64, Request::Ping).in_session("ghost"));
+    assert_eq!(code_of(&r), Some(ErrorCode::UnknownSession));
+    assert_eq!(r.session.as_deref(), Some("ghost"));
+
+    // Open a named session; the response echoes the accepted name.
+    let r = handle.request(Envelope::with_id(2_i64, Request::Open).in_session("alpha"));
+    assert!(r.outcome.is_ok(), "open alpha: {r:?}");
+    assert_eq!(r.session.as_deref(), Some("alpha"));
+    let r = handle.request(Envelope::with_id(3_i64, Request::Ping).in_session("alpha"));
+    assert!(r.outcome.is_ok(), "ping alpha: {r:?}");
+
+    // Names are validated (filesystem-safe), duplicates rejected.
+    let r = handle.request(Envelope::with_id(4_i64, Request::Open).in_session("no/slash"));
+    assert_eq!(code_of(&r), Some(ErrorCode::BadRequest));
+    let r = handle.request(Envelope::with_id(5_i64, Request::Open).in_session("alpha"));
+    assert_eq!(code_of(&r), Some(ErrorCode::BadRequest));
+
+    // Open flood: the cap counts the default session, so with
+    // max_sessions = 3 exactly one more open fits.
+    let r = handle.request(Envelope::with_id(6_i64, Request::Open).in_session("beta"));
+    assert!(r.outcome.is_ok(), "open beta: {r:?}");
+    for i in 0..8 {
+        let r =
+            handle.request(Envelope::with_id(7_i64, Request::Open).in_session(format!("flood{i}")));
+        assert_eq!(code_of(&r), Some(ErrorCode::BadRequest), "flood open {i}");
+    }
+
+    // `close` needs a session, and the default session is not closable.
+    let r = handle.request(Envelope::with_id(8_i64, Request::Close));
+    assert_eq!(code_of(&r), Some(ErrorCode::BadRequest));
+    let r = handle.request(Envelope::with_id(9_i64, Request::Close).in_session("default"));
+    assert_eq!(code_of(&r), Some(ErrorCode::BadRequest));
+
+    // Close beta; anything addressed to it afterwards is unknown.
+    let r = handle.request(Envelope::with_id(10_i64, Request::Close).in_session("beta"));
+    assert!(r.outcome.is_ok(), "close beta: {r:?}");
+    let edit = Request::Edit(EditRequest {
+        kind: atlas_ir::MutationKind::BodyEdit,
+        seed: 1,
+        target: None,
+    });
+    let r = handle.request(Envelope::with_id(11_i64, edit).in_session("beta"));
+    assert_eq!(code_of(&r), Some(ErrorCode::UnknownSession));
+    // ... and its slot is free again.
+    let r = handle.request(Envelope::with_id(12_i64, Request::Open).in_session("gamma"));
+    assert!(r.outcome.is_ok(), "reopen after close: {r:?}");
+
+    // A plain /1 frame still gets a session-less /1 response, over the
+    // wire codec end to end.
+    let r = handle.request_line("{\"op\":\"ping\",\"id\":13}");
+    assert!(r.outcome.is_ok(), "/1 ping: {r:?}");
+    assert_eq!(r.session, None);
+    let frame = encode_response(&r);
+    assert!(
+        frame.contains("atlas-serve/1") && !frame.contains("session"),
+        "/1 clients must see pure /1 frames: {frame}"
+    );
+
+    let r = handle.request(Envelope::with_id(14_i64, Request::Shutdown));
+    assert!(r.outcome.is_ok(), "shutdown: {r:?}");
+    service.join();
     let _ = std::fs::remove_dir_all(&store);
 }

@@ -155,7 +155,7 @@ impl CacheProvenance {
         CacheProvenance {
             fingerprint,
             closure: fingerprint,
-            context: CacheKeyer::new(program, interface, strategy, limits).context(),
+            context: CacheKeyer::context_of(fingerprint, strategy, limits),
             strategy,
             limits,
         }
@@ -173,7 +173,7 @@ impl CacheProvenance {
         CacheProvenance {
             fingerprint,
             closure,
-            context: atlas_learn::context_of(closure, strategy, limits),
+            context: CacheKeyer::context_of(closure, strategy, limits),
             strategy,
             limits,
         }

@@ -118,16 +118,25 @@ fn limits_and_strategy_are_part_of_the_key() {
     let p = box_program(false);
     let iface = LibraryInterface::from_program(&p);
     let word = set_get_word(&p);
-    let default_keyer = CacheKeyer::new(
+    let fp = library_fingerprint(&p, &iface);
+    let default_keyer = CacheKeyer::with_fingerprint(
         &p,
         &iface,
+        fp,
         InitStrategy::Instantiate,
         ExecLimits::for_unit_tests(),
     );
-    let null_keyer = CacheKeyer::new(&p, &iface, InitStrategy::Null, ExecLimits::for_unit_tests());
-    let starved_keyer = CacheKeyer::new(
+    let null_keyer = CacheKeyer::with_fingerprint(
         &p,
         &iface,
+        fp,
+        InitStrategy::Null,
+        ExecLimits::for_unit_tests(),
+    );
+    let starved_keyer = CacheKeyer::with_fingerprint(
+        &p,
+        &iface,
+        fp,
         InitStrategy::Instantiate,
         ExecLimits {
             max_steps: 1,

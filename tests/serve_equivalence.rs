@@ -54,7 +54,7 @@ proptest! {
         config.flush_every = [0, 2, 100][(mix(&mut state) as usize) % 3];
         let samples = config.samples;
         let synth_seed = config.synth_seed;
-        let mut daemon = Daemon::new(config).expect("daemon startup");
+        let daemon = Daemon::new(config).expect("daemon startup");
 
         // The client's lock-step replica of the library under edit.
         let lib = atlas_apps::build_library(library, synth_seed).expect("registry library");

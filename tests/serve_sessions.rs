@@ -1,0 +1,147 @@
+//! Cross-session isolation of the `atlas-serve/2` daemon: however two
+//! sessions' edit streams interleave on one daemon, every response — and
+//! the final `specs` artifact — is byte-identical to replaying that
+//! session's stream alone against a fresh daemon.  Sessions share a
+//! process, a hot-shard LRU, and a base state; they must share no
+//! inference state.
+//!
+//! Each proptest case derives a scenario from one entropy word: a
+//! library, cache/flush knobs (including the degenerate one-shard budget,
+//! where LRU pressure from the *other* session is maximal), two
+//! per-session mutation scripts, and a random interleaving order.  The
+//! comparison is on encoded wire frames, so an id echo, a session echo,
+//! or a counter that leaks across sessions fails as loudly as diverged
+//! spec content.
+
+use atlas_apps::MutationConfig;
+use atlas_ir::MutationKind;
+use atlas_serve::{encode_response, Daemon, EditRequest, Envelope, Request, ServeConfig};
+use proptest::prelude::*;
+
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const LIBRARIES: &[&str] = &["javalib-lang", "synth-small"];
+const KINDS: &[MutationKind] = &[
+    MutationKind::BodyEdit,
+    MutationKind::RenameLocal,
+    MutationKind::AddMethod,
+    MutationKind::SignatureChange,
+];
+const NAMES: [&str; 2] = ["alpha", "beta"];
+
+fn edit_envelope(session: &str, id: i64, mutation: &MutationConfig) -> Envelope {
+    Envelope::with_id(
+        id,
+        Request::Edit(EditRequest {
+            kind: mutation.kind,
+            seed: mutation.seed,
+            target: None,
+        }),
+    )
+    .in_session(session)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn interleaved_sessions_match_their_solo_replays(entropy in any::<u64>()) {
+        let mut state = entropy;
+        let library = LIBRARIES[(mix(&mut state) as usize) % LIBRARIES.len()];
+        let store = std::env::temp_dir().join(format!(
+            "atlas-serve-sessions-{entropy:016x}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&store);
+
+        let mut config = ServeConfig::small(store.clone());
+        config.library = library.to_string();
+        config.samples = 150;
+        config.shard_budget = [1, 4, 64][(mix(&mut state) as usize) % 3];
+        config.flush_every = [0, 2, 100][(mix(&mut state) as usize) % 3];
+
+        // Two per-session scripts of 2–4 mutations each.
+        let mut scripts: [Vec<MutationConfig>; 2] = [Vec::new(), Vec::new()];
+        for script in &mut scripts {
+            let len = 2 + (mix(&mut state) as usize) % 3;
+            for _ in 0..len {
+                script.push(MutationConfig {
+                    kind: KINDS[(mix(&mut state) as usize) % KINDS.len()],
+                    seed: mix(&mut state) % 1_000_000,
+                    target: None,
+                });
+            }
+        }
+
+        // The shared daemon: both sessions open, streams interleaved in a
+        // random order (drawn from the same entropy word, so a failure
+        // replays deterministically).
+        let daemon = Daemon::new(config.clone()).expect("daemon startup");
+        for name in NAMES {
+            daemon
+                .handle(&Envelope::of(Request::Open).in_session(name))
+                .outcome
+                .expect("session open");
+        }
+        let mut cursor = [0usize; 2];
+        let mut frames: [Vec<String>; 2] = [Vec::new(), Vec::new()];
+        while cursor[0] < scripts[0].len() || cursor[1] < scripts[1].len() {
+            let s = if cursor[0] >= scripts[0].len() {
+                1
+            } else if cursor[1] >= scripts[1].len() {
+                0
+            } else {
+                (mix(&mut state) % 2) as usize
+            };
+            let i = cursor[s];
+            cursor[s] += 1;
+            let response = daemon.handle(&edit_envelope(NAMES[s], i as i64, &scripts[s][i]));
+            frames[s].push(encode_response(&response));
+        }
+        let mut final_frames = Vec::new();
+        for name in NAMES {
+            let specs = daemon.handle(&Envelope::of(Request::Specs).in_session(name));
+            final_frames.push(encode_response(&specs));
+        }
+        drop(daemon);
+
+        // Each session replayed alone on a fresh daemon must reproduce
+        // the interleaved run frame for frame.
+        for (s, name) in NAMES.iter().enumerate() {
+            let solo_store = std::env::temp_dir().join(format!(
+                "atlas-serve-sessions-{entropy:016x}-{}-solo{s}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&solo_store);
+            let mut solo_config = config.clone();
+            solo_config.store = solo_store.clone();
+            let solo = Daemon::new(solo_config).expect("solo daemon startup");
+            solo.handle(&Envelope::of(Request::Open).in_session(*name))
+                .outcome
+                .expect("solo session open");
+            for (i, mutation) in scripts[s].iter().enumerate() {
+                let response = solo.handle(&edit_envelope(name, i as i64, mutation));
+                prop_assert!(
+                    frames[s][i] == encode_response(&response),
+                    "session {} edit {} diverged from its solo replay",
+                    name,
+                    i
+                );
+            }
+            let specs = solo.handle(&Envelope::of(Request::Specs).in_session(*name));
+            prop_assert!(
+                final_frames[s] == encode_response(&specs),
+                "session {} final specs diverged from its solo replay",
+                name
+            );
+            let _ = std::fs::remove_dir_all(&solo_store);
+        }
+        let _ = std::fs::remove_dir_all(&store);
+    }
+}

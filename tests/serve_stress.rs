@@ -221,7 +221,7 @@ fn concurrent_edit_streams_are_deterministic_and_equal_sequential_replay() {
         assert_eq!(fingerprint_a, fingerprint_b);
         assert_eq!(artifact_a, artifact_b);
 
-        let mut daemon = Daemon::new(config(&store_seq)).expect("sequential daemon");
+        let daemon = Daemon::new(config(&store_seq)).expect("sequential daemon");
         for t in 0..TARGETS.len() {
             for step in 0..EDITS_PER_THREAD {
                 let response = daemon.handle(&edit_envelope(t, step));

@@ -214,7 +214,7 @@ proptest! {
             config.library = "javalib-lang".to_string();
             config.samples = 150;
             config.trace = trace;
-            let mut daemon = Daemon::new(config).expect("daemon startup");
+            let daemon = Daemon::new(config).expect("daemon startup");
             let mut specs = Vec::new();
             for i in 0..6u64 {
                 let seed = entropy.wrapping_add(i);
