@@ -6,7 +6,7 @@
 //! ```sh
 //! cargo run --release -p atlas-bench --bin oracle > report.json
 //! # the CI smoke gate:
-//! cargo run --release -p atlas-bench --bin oracle -- --expect-speedup 3
+//! cargo run --release -p atlas-bench --bin oracle -- --expect-speedup 4
 //! ```
 //!
 //! The human summary goes to stderr, the JSON document to stdout (and to
@@ -25,6 +25,11 @@
 //!   changes results.
 //! * `--trace-out PATH` — write the run's Chrome trace-event JSON to
 //!   `PATH` (implies `--trace`; overrides `ATLAS_TRACE_OUT`).
+//! * `--profile` — record per-opcode dynamic execution counts and
+//!   inline-cache hit rates (overriding `ATLAS_VM_PROFILE`); the counts
+//!   come from a dedicated untimed pass and never change results.
+//! * `--profile-out PATH` — write the report's `profile` section to
+//!   `PATH` as its own JSON document (implies `--profile`).
 //! * `--expect-speedup X` — assert the performance and equivalence
 //!   contract: identical verdicts, steps, and inferred specs under both
 //!   engines, and bytecode throughput at least `X` times the
@@ -36,7 +41,8 @@ use std::path::PathBuf;
 fn usage(message: &str) -> ! {
     eprintln!(
         "oracle: {message}\nusage: oracle [--library NAME] [--words N] [--rounds N] \
-         [--samples N] [--trace] [--trace-out PATH] [--expect-speedup X]"
+         [--samples N] [--trace] [--trace-out PATH] [--profile] [--profile-out PATH] \
+         [--expect-speedup X]"
     );
     std::process::exit(1);
 }
@@ -45,6 +51,7 @@ fn main() {
     let mut config = OracleBenchConfig::from_env();
     let mut expect_speedup: Option<f64> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut profile_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -79,6 +86,14 @@ fn main() {
                         .unwrap_or_else(|| usage("--trace-out needs a path")),
                 ));
             }
+            "--profile" => config.profile = true,
+            "--profile-out" => {
+                config.profile = true;
+                profile_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--profile-out needs a path")),
+                ));
+            }
             "--expect-speedup" => {
                 expect_speedup = Some(
                     args.next()
@@ -103,6 +118,16 @@ fn main() {
     eprint!("{}", report.summary);
     atlas_bench::emit_report("oracle", &report.json.render(), "ATLAS_ORACLE_OUT");
     atlas_bench::export_trace(&report.recorder, trace_out);
+    if let Some(path) = profile_out {
+        // A missing histogram must never turn a green benchmark red.
+        match report.json.get("profile") {
+            Some(profile) => match std::fs::write(&path, profile.render()) {
+                Ok(()) => eprintln!("oracle: wrote profile to {}", path.display()),
+                Err(e) => eprintln!("oracle: failed to write {}: {e}", path.display()),
+            },
+            None => eprintln!("oracle: no profile section to write"),
+        }
+    }
     if let Some(min_speedup) = expect_speedup {
         verify_oracle(&report.json, min_speedup);
     }

@@ -14,6 +14,7 @@
 //! | `ATLAS_FLEET_LIBS` | comma-separated fleet library names | registry default |
 //! | `ATLAS_ENGINE` | oracle execution engine (`bytecode` / `tree-walk`) | `bytecode` |
 //! | `ATLAS_SERVE_EDITS` | serve-leg edit-stream length | 1000 |
+//! | `ATLAS_VM_PROFILE` | per-opcode VM execution counts in oracle legs | off |
 //! | `ATLAS_TRACE` | record span events (`1`/`true`/`yes`/`on`) | off |
 //! | `ATLAS_TRACE_OUT` | Chrome trace-event JSON output path | unset |
 //!
@@ -80,6 +81,15 @@ pub fn oracle_engine() -> atlas_core::OracleEngine {
         .ok()
         .and_then(|s| atlas_core::OracleEngine::parse(&s))
         .unwrap_or_default()
+}
+
+/// Whether `ATLAS_VM_PROFILE` asks the oracle legs for per-opcode (and
+/// fused-pair) dynamic execution counts (`1`/`true`/`yes`/`on`,
+/// case-insensitive).  Profiling never changes results — the counters
+/// ride a dedicated untimed pass outside the measured slices — it only
+/// adds a `profile` section to the `atlas-oracle/1` report.
+pub fn vm_profile_enabled() -> bool {
+    env_flag("ATLAS_VM_PROFILE")
 }
 
 /// Whether `ATLAS_TRACE` asks for span recording (`1`/`true`/`yes`/`on`,

@@ -10,31 +10,48 @@
 //!    out` shape that dominates phase one — keeping those whose witness
 //!    synthesizes;
 //! 2. lowers the program to bytecode once ([`CompiledProgram::compile`]),
-//!    timing the compilation and counting instructions;
+//!    timing the compilation and counting instructions (fused
+//!    superinstructions reported separately), and lowers every witness
+//!    prologue to a [`CompiledWitness`] once — the per-workload *setup*
+//!    cost, timed apart from execution;
 //! 3. executes every witness for the configured number of rounds under
-//!    each engine — one [`Vm`] [`reset`](Vm::reset) per execution (with
-//!    its [`VmScratch`] carried across slices), versus a fresh
+//!    each engine — one [`Vm`] [`reset`](Vm::reset) plus
+//!    [`run_witness`](Vm::run_witness) per execution (the [`VmScratch`]
+//!    and its inline-cache table carried across slices), versus a fresh
 //!    [`Interpreter`] per execution as the tree-walker has always run —
 //!    and records wall-clock, verdicts, and interpreter step counts.  The
 //!    rounds are split into interleaved timed slices and each engine is
 //!    scored by its fastest slice, so scheduler steal on a shared host
-//!    cannot be misattributed to either engine;
+//!    cannot be misattributed to either engine.  Each engine's report
+//!    splits `setup_ns` (one-time witness lowering; zero for the
+//!    tree-walker, which re-marshals every round by design) from
+//!    `exec_ns` (the timed slices), so a lowering win can never be
+//!    mistaken for an execution win: the headline `execs_per_sec_best`
+//!    is computed from `exec_ns` alone;
 //! 4. cross-checks the engines: per-witness verdicts and total step
 //!    counts must agree, and a small end-to-end inference run under each
 //!    engine must produce byte-identical spec artifacts;
 //! 5. emits an `atlas-oracle/1` JSON report (executions/sec and steps/sec
-//!    per engine, compile cost, speedup) plus a human summary.
+//!    per engine, compile cost, speedup) plus a human summary.  Under
+//!    `ATLAS_VM_PROFILE` (or [`OracleBenchConfig::profile`]) a dedicated
+//!    untimed pass additionally records per-opcode dynamic execution
+//!    counts, inline-cache hit rates, and the static adjacent-pair
+//!    frequencies that justify the fused superinstruction selection —
+//!    reported under `profile`, never touching the timed slices.
 //!
 //! The `oracle` binary adds `--expect-speedup N`, which turns the
 //! performance contract (bytecode at least `N`x the tree-walker's
 //! executions/sec) and the equivalence contract into an exit code for CI.
 
-use crate::config::{env_parse, sample_budget, trace_enabled};
+use crate::config::{env_parse, sample_budget, trace_enabled, vm_profile_enabled};
 use crate::fleet::{build_library, FleetError};
 use crate::json::Json;
 use crate::storeleg::{SPEC_LIMIT, SPEC_MAX_LEN};
 use atlas_core::{AtlasConfig, Engine, OracleEngine};
-use atlas_interp::{BuiltinRegistry, CompiledProgram, ExecLimits, Interpreter, Vm, VmScratch};
+use atlas_interp::{
+    BuiltinRegistry, CompiledProgram, CompiledWitness, ExecLimits, Interpreter, OpKind, Vm,
+    VmScratch,
+};
 use atlas_ir::{LibraryInterface, ParamSlot};
 use atlas_obs::{ArgValue, Recorder};
 use atlas_spec::PathSpec;
@@ -59,6 +76,10 @@ pub struct OracleBenchConfig {
     /// compilation, the timed slices, and the identity check — never the
     /// measured inner loop, and never the results.
     pub trace: bool,
+    /// Record per-opcode dynamic execution counts (`ATLAS_VM_PROFILE`).
+    /// Off by default; the counts come from a dedicated untimed pass, so
+    /// enabling the knob never disturbs the timed slices or the results.
+    pub profile: bool,
 }
 
 impl OracleBenchConfig {
@@ -72,6 +93,7 @@ impl OracleBenchConfig {
             rounds: env_parse("ATLAS_ORACLE_ROUNDS").unwrap_or(200),
             identity_samples: sample_budget().min(1_000),
             trace: trace_enabled(),
+            profile: vm_profile_enabled(),
         }
     }
 
@@ -83,6 +105,7 @@ impl OracleBenchConfig {
             rounds: 3,
             identity_samples: 250,
             trace: false,
+            profile: false,
         }
     }
 }
@@ -107,6 +130,12 @@ struct EngineRun {
     executions: usize,
     steps: usize,
     positives: usize,
+    /// One-time per-workload preparation: witness lowering for the
+    /// bytecode engine, zero for the tree-walker (whose marshalling is
+    /// inherently per-round — the asymmetry this leg measures).  Never
+    /// part of `wall`, so throughput figures are pure execution.
+    setup: Duration,
+    /// Pure execution time: the sum of the timed slices.
     wall: Duration,
     /// Per-slice throughput samples (executions/sec), one per timed slice.
     slice_rates: Vec<f64>,
@@ -134,6 +163,8 @@ impl EngineRun {
             .set("executions", self.executions)
             .set("steps", self.steps)
             .set("positive_verdicts", self.positives)
+            .set("setup_ns", self.setup.as_nanos() as usize)
+            .set("exec_ns", self.wall.as_nanos() as usize)
             .set("wall_ms", self.wall.as_secs_f64() * 1e3)
             .set("execs_per_sec", self.execs_per_sec())
             .set("execs_per_sec_best", self.best_execs_per_sec())
@@ -147,6 +178,27 @@ fn per_sec(count: usize, wall: Duration) -> f64 {
     } else {
         f64::INFINITY
     }
+}
+
+/// Counts the fused superinstructions in the compiled program — the
+/// `Load+Branch`, `Call+RetFall`, and `Const+Store` pairs selected by the
+/// static frequency pass (see `atlas_interp::compile`).
+fn count_fused(compiled: &CompiledProgram) -> usize {
+    (0..compiled.num_methods() as u32)
+        .map(|i| {
+            compiled
+                .method(atlas_ir::MethodId::from_index(i))
+                .code()
+                .iter()
+                .filter(|instr| {
+                    matches!(
+                        instr.kind(),
+                        OpKind::LoadBranch | OpKind::CallRetFall | OpKind::ConstStore
+                    )
+                })
+                .count()
+        })
+        .sum()
 }
 
 /// Enumerates the workload: two-step candidates `(entry a → receiver a,
@@ -236,21 +288,36 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
         ],
     );
 
-    // 3. The measured loops: a fresh engine per execution, as the oracle
-    // runs them.  Verdicts and steps are collected for the cross-check.
+    // 3. The measured loops: the bytecode engine runs each witness as a
+    // compiled prologue (lowered once, below — the engine's `setup_ns`),
+    // the tree-walker re-marshals per round as the oracle has always run
+    // it.  Verdicts and steps are collected for the cross-check.
     let mut vm_run = EngineRun::default();
     let mut vm_verdicts = Vec::with_capacity(witnesses.len() * config.rounds);
     let mut scratch = VmScratch::default();
     let mut wscratch = WitnessScratch::default();
 
+    // One-time witness lowering — the bytecode engine's setup cost,
+    // timed apart from execution so the split is visible in the report.
+    let t = Instant::now();
+    let compiled_witnesses: Vec<CompiledWitness> =
+        witnesses.iter().map(WitnessTest::compile).collect();
+    vm_run.setup = t.elapsed();
+
     // Untimed warmup: one pass of the workload under each engine, so
     // first-run effects (allocator arenas, instruction cache, scratch
-    // high-water marks, CPU frequency ramp) are paid before either timer
-    // starts instead of being charged to whichever engine runs first.
-    for witness in &witnesses {
+    // high-water marks, inline-cache installs, CPU frequency ramp) are
+    // paid before either timer starts instead of being charged to
+    // whichever engine runs first.
+    {
         let mut vm = Vm::with_scratch(&compiled, &builtins, limits, scratch);
-        let _ = witness.execute_with(program, &mut vm, &mut wscratch);
+        for cw in &compiled_witnesses {
+            vm.reset(limits);
+            let _ = vm.run_witness(cw);
+        }
         scratch = vm.into_scratch();
+    }
+    for witness in &witnesses {
         let mut interp = Interpreter::with_config(program, builtins.clone(), limits);
         let _ = witness.execute_with(program, &mut interp, &mut wscratch);
     }
@@ -273,12 +340,10 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
         let t = Instant::now();
         let mut slice_execs = 0usize;
         let mut vm = Vm::with_scratch(&compiled, &builtins, limits, scratch);
-        for witness in &witnesses {
+        for cw in &compiled_witnesses {
             for _ in 0..slice_rounds {
                 vm.reset(limits);
-                let verdict = witness
-                    .execute_with(program, &mut vm, &mut wscratch)
-                    .unwrap_or(false);
+                let verdict = vm.run_witness(cw).unwrap_or(false);
                 vm_verdicts.push(verdict);
                 slice_execs += 1;
                 vm_run.steps += vm.steps();
@@ -333,6 +398,45 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
     recorder.count("oracle.tree_executions", tree_run.executions as u64);
     drop(obs_lane);
 
+    // Optional profiling pass (`ATLAS_VM_PROFILE`): per-opcode dynamic
+    // counts and inline-cache hit rates over one full workload pass, plus
+    // the static adjacent-pair frequencies (measured on the *unfused*
+    // lowering) that justify the superinstruction selection.  Runs after
+    // the timed slices so the counter branch never executes inside a
+    // measured region.
+    let profile = if config.profile {
+        let mut scratch = scratch;
+        scratch.enable_profile();
+        let mut vm = Vm::with_scratch(&compiled, &builtins, limits, scratch);
+        for cw in &compiled_witnesses {
+            vm.reset(limits);
+            let _ = vm.run_witness(cw);
+        }
+        let mut scratch = vm.into_scratch();
+        let prof = scratch.take_profile().expect("profile was enabled");
+        let mut ops = Json::obj();
+        for (kind, n) in prof.histogram() {
+            ops = ops.set(kind.name(), n as usize);
+        }
+        let pairs: Vec<Json> = CompiledProgram::compile_unfused(program)
+            .pair_frequencies()
+            .into_iter()
+            .take(8)
+            .map(|((a, b), n)| Json::obj().set("pair", format!("{a}+{b}")).set("count", n))
+            .collect();
+        Some(
+            Json::obj()
+                .set("ops", ops)
+                .set("dynamic_total", prof.total() as usize)
+                .set("ic_hits", prof.ic_hits() as usize)
+                .set("ic_misses", prof.ic_misses() as usize)
+                .set("static_pairs", pairs),
+        )
+    } else {
+        drop(scratch);
+        None
+    };
+
     let verdicts_identical = vm_verdicts == tree_verdicts;
     let steps_identical = vm_run.steps == tree_run.steps;
     // Best slice against best slice: compare the engines at their least
@@ -379,7 +483,7 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
     };
 
     // 5. Assemble the report.
-    let json = Json::obj()
+    let mut json = Json::obj()
         .set("schema", "atlas-oracle/1")
         .set(
             "config",
@@ -394,6 +498,7 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
             Json::obj()
                 .set("methods", compiled.num_methods())
                 .set("instructions", compiled.total_instructions())
+                .set("fused_instructions", count_fused(&compiled))
                 .set("compile_ms", compile_time.as_secs_f64() * 1e3),
         )
         .set(
@@ -407,6 +512,9 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
         .set("steps_identical", steps_identical)
         .set("inference_identical", inference_identical)
         .set("metrics", atlas_obs::metrics_snapshot(&recorder));
+    if let Some(profile) = profile {
+        json = json.set("profile", profile);
+    }
 
     let mut summary = String::new();
     let _ = writeln!(
@@ -418,10 +526,17 @@ pub fn run_oracle_bench(config: &OracleBenchConfig) -> Result<OracleBenchReport,
     );
     let _ = writeln!(
         summary,
-        "compile: {} methods -> {} instructions in {:.2?}",
+        "compile: {} methods -> {} instructions ({} fused) in {:.2?}",
         compiled.num_methods(),
         compiled.total_instructions(),
+        count_fused(&compiled),
         compile_time,
+    );
+    let _ = writeln!(
+        summary,
+        "setup: {} witness prologues lowered in {:.2?} (excluded from throughput)",
+        compiled_witnesses.len(),
+        vm_run.setup,
     );
     let _ = writeln!(
         summary,
@@ -462,10 +577,61 @@ mod tests {
             let execs = run.get("executions").and_then(Json::as_int).unwrap();
             assert_eq!(execs, words * 3, "{engine} executes every round");
             assert!(run.get("steps").and_then(Json::as_int).unwrap() > 0);
+            assert!(run.get("exec_ns").and_then(Json::as_int).unwrap() > 0);
+            assert!(run.get("setup_ns").and_then(Json::as_int).is_some());
         }
+        // The tree-walker has no separable setup; the bytecode engine's is
+        // the one-time witness lowering.
+        let tree_setup = engines
+            .get("tree_walk")
+            .and_then(|r| r.get("setup_ns"))
+            .and_then(Json::as_int)
+            .unwrap();
+        assert_eq!(tree_setup, 0, "tree-walker setup is per-round by design");
         let compile = json.get("compile").expect("compile");
         assert!(compile.get("instructions").and_then(Json::as_int).unwrap() > 0);
+        assert!(
+            compile
+                .get("fused_instructions")
+                .and_then(Json::as_int)
+                .unwrap()
+                > 0,
+            "the library lowering must contain fused superinstructions"
+        );
+        assert!(
+            json.get("profile").is_none(),
+            "profiling stays off by default"
+        );
         assert!(report.summary.contains("inference identical=true"));
+    }
+
+    #[test]
+    fn profiled_report_counts_opcodes() {
+        let config = OracleBenchConfig {
+            profile: true,
+            ..OracleBenchConfig::small()
+        };
+        let report = run_oracle_bench(&config).expect("oracle bench");
+        let profile = report.json.get("profile").expect("profile section");
+        let total = profile.get("dynamic_total").and_then(Json::as_int).unwrap();
+        assert!(total > 0, "the profiling pass must count executions");
+        let ops = profile.get("ops").expect("ops histogram");
+        // Every witness prologue issues calls and ends in a verdict.
+        assert!(ops.get("WCall").and_then(Json::as_int).unwrap() > 0);
+        assert!(ops.get("WVerdict").and_then(Json::as_int).unwrap() > 0);
+        // Witnesses raw-allocate their receivers, so most field reads find
+        // the field absent (nothing to install) — the hit *rate* is a
+        // workload property, but every access must be counted.
+        let hits = profile.get("ic_hits").and_then(Json::as_int).unwrap();
+        let misses = profile.get("ic_misses").and_then(Json::as_int).unwrap();
+        assert!(
+            hits + misses > 0,
+            "field accesses must flow through the inline caches"
+        );
+        match profile.get("static_pairs") {
+            Some(Json::Arr(pairs)) => assert!(!pairs.is_empty(), "pair frequencies present"),
+            other => panic!("static_pairs must be an array, got {other:?}"),
+        }
     }
 
     #[test]

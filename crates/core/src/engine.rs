@@ -594,6 +594,7 @@ pub(crate) fn run_cluster_job(
         // fingerprint, so they survive edits outside the closure.
         fingerprint: Some(job.closure),
         engine: config.engine,
+        profile: config.vm_profile && config.engine == OracleEngine::Bytecode,
         ..OracleConfig::default()
     };
     // Each cluster starts from its own copy of the session's warm cache:
@@ -657,9 +658,19 @@ pub(crate) fn run_cluster_job(
         ],
     );
 
+    let vm_profile = oracle.take_vm_profile();
     let stats = oracle.stats();
     let cache = oracle.into_cache();
     if engine.recorder.is_enabled() {
+        if let Some(profile) = &vm_profile {
+            // Per-opcode dynamic counts (ATLAS_VM_PROFILE): fold this
+            // cluster's histogram into the session counters.
+            for (kind, n) in profile.histogram() {
+                engine.recorder.count(&format!("vm.op.{}", kind.name()), n);
+            }
+            engine.recorder.count("vm.ic_hits", profile.ic_hits());
+            engine.recorder.count("vm.ic_misses", profile.ic_misses());
+        }
         let cache_stats = cache.stats();
         lane.count("engine.clusters", 1);
         lane.count("engine.oracle_queries", stats.queries as u64);

@@ -45,6 +45,11 @@ pub struct AtlasConfig {
     /// construction and verdict-cache keys exclude the engine — only the
     /// wall-clock.  Defaults to the bytecode VM.
     pub engine: OracleEngine,
+    /// Record per-opcode dynamic execution counts on the bytecode engine
+    /// (`ATLAS_VM_PROFILE`): each cluster's oracle profiles its VM and
+    /// the per-opcode totals land as `vm.op.*` counters on the cluster's
+    /// observability lane.  Off by default; never changes results.
+    pub vm_profile: bool,
 }
 
 impl Default for AtlasConfig {
@@ -59,6 +64,7 @@ impl Default for AtlasConfig {
             clusters: Vec::new(),
             num_threads: 0,
             engine: OracleEngine::default(),
+            vm_profile: false,
         }
     }
 }

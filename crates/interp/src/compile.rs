@@ -78,6 +78,8 @@ pub enum Instr {
         obj: Reg,
         /// The field read.
         field: FieldId,
+        /// Inline-cache site id (see [`CompiledProgram::num_field_sites`]).
+        ic: u32,
     },
     /// `obj.field = src`.
     Store {
@@ -87,6 +89,8 @@ pub enum Instr {
         field: FieldId,
         /// Register holding the stored value.
         src: Reg,
+        /// Inline-cache site id (see [`CompiledProgram::num_field_sites`]).
+        ic: u32,
     },
     /// `dst = arr[index]`.
     ArrLoad {
@@ -196,6 +200,434 @@ pub enum Instr {
         /// The exception message.
         message: String,
     },
+
+    // --- Fused superinstructions (see [`fuse`]). ---
+    //
+    // Fusion never renumbers jump targets: the fused instruction replaces
+    // the *first* of the pair in place, performs both effects, and skips
+    // over the second, which is retained verbatim so any jump landing on
+    // it still executes the original. Each fused instruction ticks once
+    // per constituent, in the original order, so the step accounting (and
+    // the statement at which a budget exhausts) is unchanged.
+    /// Fused `Load` + `Branch` where the branch condition is the loaded
+    /// value — the `if (x.field)` shape that dominates javalib bodies.
+    LoadBranch {
+        /// Destination register (still written: later code may read it).
+        dst: Reg,
+        /// Register holding the object reference.
+        obj: Reg,
+        /// The field read.
+        field: FieldId,
+        /// Inline-cache site id.
+        ic: u32,
+        /// Instruction index of the else-block.
+        else_target: u32,
+    },
+    /// Fused `Call` + `RetFall` — the tail call at the end of a body.
+    /// When the callee is native (returns a value immediately), the
+    /// fall-off return happens without re-dispatching; when it pushes a
+    /// frame, the callee returns to the retained `RetFall`.
+    CallRetFall(Box<CallSite>),
+    /// Fused `Const` + `Store` where the stored value is the constant —
+    /// the `x.f = null` / `x.f = 0` initialization shape.
+    ConstStore {
+        /// Destination register of the constant (still written).
+        dst: Reg,
+        /// The literal value.
+        value: Constant,
+        /// Register holding the object reference.
+        obj: Reg,
+        /// The field written.
+        field: FieldId,
+        /// Inline-cache site id.
+        ic: u32,
+    },
+
+    // --- Witness-prologue instructions (see [`CompiledWitness`]). ---
+    //
+    // These mirror the oracle's *external* test harness, which the
+    // tree-walker never charges steps for: marshalling a literal,
+    // allocating a receiver without a constructor, and issuing a
+    // top-level call are all free; only the statements *inside* called
+    // method bodies tick. None of these instructions tick.
+    /// `dst = literal` — marshals a witness argument. Does **not** tick.
+    WConst {
+        /// Destination register.
+        dst: Reg,
+        /// The literal value.
+        value: Constant,
+    },
+    /// `dst = new C()` — raw receiver allocation, no constructor, no
+    /// heap-budget charge (checked at the next ticking statement, exactly
+    /// like the tree-level harness). Does **not** tick.
+    WAlloc {
+        /// Destination register.
+        dst: Reg,
+        /// Class of the allocated object.
+        class: ClassId,
+    },
+    /// A top-level witness call. Does **not** tick for the call itself
+    /// (the external harness never does); the callee's body ticks as
+    /// usual and its frame charges call depth as usual.
+    WCall(Box<CallSite>),
+    /// Terminal verdict extraction: the witness passes iff `a` is
+    /// non-null and `a` and `b` are the same reference. Does **not**
+    /// tick; ends the witness run.
+    WVerdict {
+        /// Register holding the tracked input object.
+        a: Reg,
+        /// Register holding the observed output.
+        b: Reg,
+    },
+}
+
+/// The shape of an instruction, without its operands — the key of the
+/// static pair-frequency pass and the dynamic `ATLAS_VM_PROFILE`
+/// histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum OpKind {
+    /// See [`Instr::Move`].
+    Move,
+    /// See [`Instr::Const`].
+    Const,
+    /// See [`Instr::NewObj`].
+    NewObj,
+    /// See [`Instr::NewArr`].
+    NewArr,
+    /// See [`Instr::Load`].
+    Load,
+    /// See [`Instr::Store`].
+    Store,
+    /// See [`Instr::ArrLoad`].
+    ArrLoad,
+    /// See [`Instr::ArrStore`].
+    ArrStore,
+    /// See [`Instr::ArrLen`].
+    ArrLen,
+    /// See [`Instr::Bin`].
+    Bin,
+    /// See [`Instr::RefEq`].
+    RefEq,
+    /// See [`Instr::IsNull`].
+    IsNull,
+    /// See [`Instr::Not`].
+    Not,
+    /// See [`Instr::Call`].
+    Call,
+    /// See [`Instr::Branch`].
+    Branch,
+    /// See [`Instr::Jump`].
+    Jump,
+    /// See [`Instr::LoopEnter`].
+    LoopEnter,
+    /// See [`Instr::LoopCond`].
+    LoopCond,
+    /// See [`Instr::LoopJump`].
+    LoopJump,
+    /// See [`Instr::Ret`].
+    Ret,
+    /// See [`Instr::RetVoid`].
+    RetVoid,
+    /// See [`Instr::RetFall`].
+    RetFall,
+    /// See [`Instr::Throw`].
+    Throw,
+    /// See [`Instr::LoadBranch`].
+    LoadBranch,
+    /// See [`Instr::CallRetFall`].
+    CallRetFall,
+    /// See [`Instr::ConstStore`].
+    ConstStore,
+    /// See [`Instr::WConst`].
+    WConst,
+    /// See [`Instr::WAlloc`].
+    WAlloc,
+    /// See [`Instr::WCall`].
+    WCall,
+    /// See [`Instr::WVerdict`].
+    WVerdict,
+}
+
+impl OpKind {
+    /// Number of distinct instruction shapes.
+    pub const COUNT: usize = 30;
+
+    /// Every shape, in discriminant order.
+    pub const ALL: [OpKind; OpKind::COUNT] = [
+        OpKind::Move,
+        OpKind::Const,
+        OpKind::NewObj,
+        OpKind::NewArr,
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::ArrLoad,
+        OpKind::ArrStore,
+        OpKind::ArrLen,
+        OpKind::Bin,
+        OpKind::RefEq,
+        OpKind::IsNull,
+        OpKind::Not,
+        OpKind::Call,
+        OpKind::Branch,
+        OpKind::Jump,
+        OpKind::LoopEnter,
+        OpKind::LoopCond,
+        OpKind::LoopJump,
+        OpKind::Ret,
+        OpKind::RetVoid,
+        OpKind::RetFall,
+        OpKind::Throw,
+        OpKind::LoadBranch,
+        OpKind::CallRetFall,
+        OpKind::ConstStore,
+        OpKind::WConst,
+        OpKind::WAlloc,
+        OpKind::WCall,
+        OpKind::WVerdict,
+    ];
+
+    /// The shape's stable name, as reported in profiles.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Move => "Move",
+            OpKind::Const => "Const",
+            OpKind::NewObj => "NewObj",
+            OpKind::NewArr => "NewArr",
+            OpKind::Load => "Load",
+            OpKind::Store => "Store",
+            OpKind::ArrLoad => "ArrLoad",
+            OpKind::ArrStore => "ArrStore",
+            OpKind::ArrLen => "ArrLen",
+            OpKind::Bin => "Bin",
+            OpKind::RefEq => "RefEq",
+            OpKind::IsNull => "IsNull",
+            OpKind::Not => "Not",
+            OpKind::Call => "Call",
+            OpKind::Branch => "Branch",
+            OpKind::Jump => "Jump",
+            OpKind::LoopEnter => "LoopEnter",
+            OpKind::LoopCond => "LoopCond",
+            OpKind::LoopJump => "LoopJump",
+            OpKind::Ret => "Ret",
+            OpKind::RetVoid => "RetVoid",
+            OpKind::RetFall => "RetFall",
+            OpKind::Throw => "Throw",
+            OpKind::LoadBranch => "LoadBranch",
+            OpKind::CallRetFall => "CallRetFall",
+            OpKind::ConstStore => "ConstStore",
+            OpKind::WConst => "WConst",
+            OpKind::WAlloc => "WAlloc",
+            OpKind::WCall => "WCall",
+            OpKind::WVerdict => "WVerdict",
+        }
+    }
+}
+
+impl Instr {
+    /// The instruction's shape.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Instr::Move { .. } => OpKind::Move,
+            Instr::Const { .. } => OpKind::Const,
+            Instr::NewObj { .. } => OpKind::NewObj,
+            Instr::NewArr { .. } => OpKind::NewArr,
+            Instr::Load { .. } => OpKind::Load,
+            Instr::Store { .. } => OpKind::Store,
+            Instr::ArrLoad { .. } => OpKind::ArrLoad,
+            Instr::ArrStore { .. } => OpKind::ArrStore,
+            Instr::ArrLen { .. } => OpKind::ArrLen,
+            Instr::Bin { .. } => OpKind::Bin,
+            Instr::RefEq { .. } => OpKind::RefEq,
+            Instr::IsNull { .. } => OpKind::IsNull,
+            Instr::Not { .. } => OpKind::Not,
+            Instr::Call(_) => OpKind::Call,
+            Instr::Branch { .. } => OpKind::Branch,
+            Instr::Jump { .. } => OpKind::Jump,
+            Instr::LoopEnter => OpKind::LoopEnter,
+            Instr::LoopCond { .. } => OpKind::LoopCond,
+            Instr::LoopJump { .. } => OpKind::LoopJump,
+            Instr::Ret { .. } => OpKind::Ret,
+            Instr::RetVoid => OpKind::RetVoid,
+            Instr::RetFall => OpKind::RetFall,
+            Instr::Throw { .. } => OpKind::Throw,
+            Instr::LoadBranch { .. } => OpKind::LoadBranch,
+            Instr::CallRetFall(_) => OpKind::CallRetFall,
+            Instr::ConstStore { .. } => OpKind::ConstStore,
+            Instr::WConst { .. } => OpKind::WConst,
+            Instr::WAlloc { .. } => OpKind::WAlloc,
+            Instr::WCall(_) => OpKind::WCall,
+            Instr::WVerdict { .. } => OpKind::WVerdict,
+        }
+    }
+}
+
+/// How a [`FastBody`] operand resolves against the *caller's* frame: the
+/// callee's argument registers map straight onto the call site's
+/// receiver/argument registers, and every other register reads as the
+/// `null` a freshly pushed frame would hold in that slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum FastArg {
+    /// The callee's `this` register — the site's (already checked)
+    /// receiver register.
+    This,
+    /// The callee's n-th parameter register — the site's n-th argument
+    /// register, or `null` when the site passes fewer arguments.
+    Param(u32),
+    /// A slot a fresh frame would initialize to `null`: a parameter
+    /// position past the site's arguments or an unwritten local.
+    Null,
+}
+
+/// A trivial method body the VM executes inline at the call site without
+/// pushing a register frame (see `Vm::invoke_site`).
+///
+/// Classification runs over the final (fused) code, and every shape
+/// reads its operands *before* any write, so the operand values are
+/// exactly what a pushed frame would have copied.  Each shape's
+/// execution replays the precise tick/check sequence of its instruction
+/// sequence — budget charges, step counts, and error identity are the
+/// same as dispatching the body, by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum FastBody {
+    /// `[Ret src; RetFall]` — returns an argument (identity methods,
+    /// `return this`) or `null`.
+    RetArg(FastArg),
+    /// `[Const dst v; Ret dst; RetFall]` — returns a literal.
+    RetConst(Constant),
+    /// `[Load dst obj f; Ret dst; RetFall]` — a getter.
+    Getter {
+        /// The object operand.
+        obj: FastArg,
+        /// The field read.
+        field: FieldId,
+        /// The body's inline-cache site (shared with slow dispatch).
+        ic: u32,
+    },
+    /// `[Store obj f src; RetFall]` — a setter with a fall-off return.
+    Setter {
+        /// The object operand.
+        obj: FastArg,
+        /// The field written.
+        field: FieldId,
+        /// The stored value.
+        src: FastArg,
+        /// The body's inline-cache site (shared with slow dispatch).
+        ic: u32,
+    },
+    /// `[RefEq dst a b; Ret dst; RetFall]` — `equals`-shaped bodies.
+    RefEq {
+        /// Left operand.
+        a: FastArg,
+        /// Right operand.
+        b: FastArg,
+    },
+    /// `[NewObj dst C; Ret dst; RetFall]` — factory bodies.
+    NewObjRet(ClassId),
+    /// `[Const c v; Bin dst op a b; Ret dst; RetFall]` — arithmetic
+    /// against a literal (`return x + 1` shapes).
+    ConstBinRet {
+        /// The literal the leading `Const` wrote.
+        value: Constant,
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        a: FastBinOperand,
+        /// Right operand.
+        b: FastBinOperand,
+    },
+}
+
+/// One operand of a [`FastBody::ConstBinRet`]: either the fused literal
+/// (the `Const` destination register, which the `Bin` reads *after* the
+/// write) or an argument resolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum FastBinOperand {
+    /// The fused literal.
+    Lit,
+    /// A register untouched by the `Const` — an argument or `null`.
+    Arg(FastArg),
+}
+
+/// Maps a callee register to its [`FastArg`] resolution given the
+/// callee's frame layout (`this` at 0 when present, then parameters).
+fn fast_arg(r: Reg, has_this: bool, num_params: usize) -> FastArg {
+    if has_this && r == 0 {
+        FastArg::This
+    } else {
+        let p = r - has_this as u32;
+        if (p as usize) < num_params {
+            FastArg::Param(p)
+        } else {
+            FastArg::Null
+        }
+    }
+}
+
+/// Classifies a lowered body as a [`FastBody`] if it matches one of the
+/// inlinable shapes.  Run after fusion, on the final code; the trailing
+/// [`Instr::RetFall`] every compiled body carries is part of each
+/// pattern.
+fn classify_fast(code: &[Instr], has_this: bool, num_params: usize) -> Option<FastBody> {
+    let arg = |r: &Reg| fast_arg(*r, has_this, num_params);
+    match code {
+        [Instr::Ret { src }, Instr::RetFall] => Some(FastBody::RetArg(arg(src))),
+        [Instr::Const { dst, value }, Instr::Ret { src }, Instr::RetFall] if dst == src => {
+            Some(FastBody::RetConst(value.clone()))
+        }
+        [Instr::Load {
+            dst,
+            obj,
+            field,
+            ic,
+        }, Instr::Ret { src }, Instr::RetFall]
+            if dst == src =>
+        {
+            Some(FastBody::Getter {
+                obj: arg(obj),
+                field: *field,
+                ic: *ic,
+            })
+        }
+        [Instr::Store {
+            obj,
+            field,
+            src,
+            ic,
+        }, Instr::RetFall] => Some(FastBody::Setter {
+            obj: arg(obj),
+            field: *field,
+            src: arg(src),
+            ic: *ic,
+        }),
+        [Instr::RefEq { dst, a, b }, Instr::Ret { src }, Instr::RetFall] if dst == src => {
+            Some(FastBody::RefEq {
+                a: arg(a),
+                b: arg(b),
+            })
+        }
+        [Instr::NewObj { dst, class }, Instr::Ret { src }, Instr::RetFall] if dst == src => {
+            Some(FastBody::NewObjRet(*class))
+        }
+        [Instr::Const { dst: c, value }, Instr::Bin { dst, op, a, b }, Instr::Ret { src }, Instr::RetFall]
+            if dst == src =>
+        {
+            let operand = |r: &Reg| {
+                if r == c {
+                    FastBinOperand::Lit
+                } else {
+                    FastBinOperand::Arg(fast_arg(*r, has_this, num_params))
+                }
+            };
+            Some(FastBody::ConstBinRet {
+                value: value.clone(),
+                op: *op,
+                a: operand(a),
+                b: operand(b),
+            })
+        }
+        _ => None,
+    }
 }
 
 /// A method lowered to bytecode.
@@ -208,6 +640,9 @@ pub struct CompiledMethod {
     /// For native methods: the qualified `Class.method` name used to look
     /// up the builtin, precomputed so calls skip the per-call `format!`.
     pub(crate) native: Option<String>,
+    /// The inline-execution shape, when the body is trivial (see
+    /// [`FastBody`]).
+    pub(crate) fast: Option<FastBody>,
 }
 
 impl CompiledMethod {
@@ -225,6 +660,12 @@ impl CompiledMethod {
     pub fn native(&self) -> Option<&str> {
         self.native.as_deref()
     }
+
+    /// The inline-execution shape, when the body is one of the trivial
+    /// [`FastBody`] patterns.
+    pub(crate) fn fast(&self) -> Option<&FastBody> {
+        self.fast.as_ref()
+    }
 }
 
 /// A whole program lowered to bytecode, indexed by [`MethodId`].
@@ -239,21 +680,69 @@ pub struct CompiledProgram {
     /// shared by clones.  Keys the VM's resolved-builtin cache together
     /// with [`crate::BuiltinRegistry`]'s version.
     id: u64,
+    /// Number of field-access sites ([`Instr::Load`]/[`Instr::Store`] and
+    /// their fused forms), each holding a compile-time-assigned `ic`
+    /// index into the VM's inline-cache table.
+    num_field_sites: u32,
 }
 
 /// Source of unique compilation ids (see [`CompiledProgram::id`]).
 static NEXT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl CompiledProgram {
-    /// Lowers every method body of `program` to bytecode.
+    /// Lowers every method body of `program` to bytecode and fuses the
+    /// hot instruction pairs (see `fuse`).
     pub fn compile(program: &Program) -> CompiledProgram {
-        let methods = (0..program.num_methods() as u32)
-            .map(|i| compile_method(program, MethodId::from_index(i)))
+        CompiledProgram::compile_inner(program, true)
+    }
+
+    /// Lowers without the fusion pass — the baseline the static
+    /// pair-frequency pass ([`CompiledProgram::pair_frequencies`]) runs
+    /// over, and the control arm of fused-vs-unfused differential tests.
+    pub fn compile_unfused(program: &Program) -> CompiledProgram {
+        CompiledProgram::compile_inner(program, false)
+    }
+
+    fn compile_inner(program: &Program, fused: bool) -> CompiledProgram {
+        let mut field_sites = 0u32;
+        let mut methods: Vec<CompiledMethod> = (0..program.num_methods() as u32)
+            .map(|i| compile_method(program, MethodId::from_index(i), &mut field_sites))
             .collect();
+        for m in &mut methods {
+            if fused {
+                fuse(&mut m.code);
+            }
+            m.fast = classify_fast(&m.code, m.has_this, m.num_params);
+        }
         CompiledProgram {
             methods,
             id: NEXT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            num_field_sites: field_sites,
         }
+    }
+
+    /// Number of field-access sites; sizes the VM's inline-cache table.
+    pub fn num_field_sites(&self) -> u32 {
+        self.num_field_sites
+    }
+
+    /// The static frequency of adjacent instruction pairs across every
+    /// method body, most frequent first.  Run on an unfused compilation
+    /// ([`CompiledProgram::compile_unfused`]) this is the data that
+    /// selects fusion candidates; run on a fused one it shows what
+    /// remains unfused.
+    pub fn pair_frequencies(&self) -> Vec<((&'static str, &'static str), usize)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for m in &self.methods {
+            for w in m.code.windows(2) {
+                *counts
+                    .entry((w[0].kind().name(), w[1].kind().name()))
+                    .or_insert(0usize) += 1;
+            }
+        }
+        let mut out: Vec<_> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
     }
 
     /// An identifier for this compilation (clones share it; each
@@ -282,9 +771,17 @@ impl CompiledProgram {
     pub fn total_instructions(&self) -> usize {
         self.methods.iter().map(|m| m.code.len()).sum()
     }
+
+    /// Number of methods whose body classified as an inline-executable
+    /// trivial shape (the VM runs these at the call site without a frame
+    /// push; see `Vm::invoke_site`).  Reported by the `oracle` bench
+    /// alongside the compile stats.
+    pub fn num_fast_bodies(&self) -> usize {
+        self.methods.iter().filter(|m| m.fast.is_some()).count()
+    }
 }
 
-fn compile_method(program: &Program, id: MethodId) -> CompiledMethod {
+fn compile_method(program: &Program, id: MethodId, field_sites: &mut u32) -> CompiledMethod {
     let m = program.method(id);
     if m.is_native() {
         return CompiledMethod {
@@ -293,6 +790,7 @@ fn compile_method(program: &Program, id: MethodId) -> CompiledMethod {
             has_this: m.has_this(),
             num_params: m.num_params(),
             native: Some(program.qualified_name(id)),
+            fast: None,
         };
     }
     // The tree-walker's environment resizes on out-of-range writes and
@@ -305,7 +803,10 @@ fn compile_method(program: &Program, id: MethodId) -> CompiledMethod {
             num_regs = num_regs.max(v.index() + 1);
         }
     });
-    let mut c = FnCompiler { code: Vec::new() };
+    let mut c = FnCompiler {
+        code: Vec::new(),
+        field_sites,
+    };
     c.block(m.body());
     c.code.push(Instr::RetFall);
     CompiledMethod {
@@ -314,6 +815,66 @@ fn compile_method(program: &Program, id: MethodId) -> CompiledMethod {
         has_this: m.has_this(),
         num_params: m.num_params(),
         native: None,
+        fast: None,
+    }
+}
+
+/// The peephole fusion pass: rewrites the hot adjacent pairs selected by
+/// the static frequency data ([`CompiledProgram::pair_frequencies`] on
+/// javalib puts `Load+Branch`, `Const+Store`, and `Call+RetFall` at the
+/// top) into single fused instructions.
+///
+/// The fused instruction replaces the pair's *first* slot and performs
+/// both effects; the second instruction stays in place, dead on the
+/// fall-through path but still a valid target for any jump that lands on
+/// it — so no jump needs renumbering, and a jump *into* the middle of a
+/// fused pair executes exactly the original second half.  The firsts
+/// (`Load`, `Call`, `Const`) and seconds (`Branch`, `RetFall`, `Store`)
+/// are disjoint sets, so skipping past a fused pair never misses a
+/// fusion opportunity.
+fn fuse(code: &mut [Instr]) {
+    let mut i = 0;
+    while i + 1 < code.len() {
+        let fused = match (&code[i], &code[i + 1]) {
+            (
+                Instr::Load {
+                    dst,
+                    obj,
+                    field,
+                    ic,
+                },
+                Instr::Branch { cond, else_target },
+            ) if cond == dst => Some(Instr::LoadBranch {
+                dst: *dst,
+                obj: *obj,
+                field: *field,
+                ic: *ic,
+                else_target: *else_target,
+            }),
+            (Instr::Call(site), Instr::RetFall) => Some(Instr::CallRetFall(site.clone())),
+            (
+                Instr::Const { dst, value },
+                Instr::Store {
+                    obj,
+                    field,
+                    src,
+                    ic,
+                },
+            ) if src == dst => Some(Instr::ConstStore {
+                dst: *dst,
+                value: value.clone(),
+                obj: *obj,
+                field: *field,
+                ic: *ic,
+            }),
+            _ => None,
+        };
+        if let Some(f) = fused {
+            code[i] = f;
+            i += 2;
+        } else {
+            i += 1;
+        }
     }
 }
 
@@ -349,11 +910,21 @@ fn stmt_vars(s: &Stmt) -> Vec<Var> {
     }
 }
 
-struct FnCompiler {
+struct FnCompiler<'a> {
     code: Vec<Instr>,
+    /// Program-wide field-site counter: every `Load`/`Store` emitted
+    /// draws the next inline-cache index.
+    field_sites: &'a mut u32,
 }
 
-impl FnCompiler {
+impl FnCompiler<'_> {
+    /// Draws the next inline-cache site id.
+    fn next_ic(&mut self) -> u32 {
+        let ic = *self.field_sites;
+        *self.field_sites += 1;
+        ic
+    }
+
     fn here(&self) -> u32 {
         self.code.len() as u32
     }
@@ -379,16 +950,24 @@ impl FnCompiler {
                 dst: r(dst),
                 len: r(len),
             }),
-            Stmt::Store { obj, field, src } => self.code.push(Instr::Store {
-                obj: r(obj),
-                field: *field,
-                src: r(src),
-            }),
-            Stmt::Load { dst, obj, field } => self.code.push(Instr::Load {
-                dst: r(dst),
-                obj: r(obj),
-                field: *field,
-            }),
+            Stmt::Store { obj, field, src } => {
+                let ic = self.next_ic();
+                self.code.push(Instr::Store {
+                    obj: r(obj),
+                    field: *field,
+                    src: r(src),
+                    ic,
+                });
+            }
+            Stmt::Load { dst, obj, field } => {
+                let ic = self.next_ic();
+                self.code.push(Instr::Load {
+                    dst: r(dst),
+                    obj: r(obj),
+                    field: *field,
+                    ic,
+                });
+            }
             Stmt::ArrayStore { arr, index, src } => self.code.push(Instr::ArrStore {
                 arr: r(arr),
                 index: r(index),
@@ -484,6 +1063,104 @@ impl FnCompiler {
             Instr::LoopCond { exit_target, .. } => *exit_target = target,
             other => unreachable!("patched a non-jump instruction: {other:?}"),
         }
+    }
+}
+
+/// A synthesized witness lowered to bytecode: the whole oracle query —
+/// receiver instantiation, argument marshalling, the call word, and
+/// verdict extraction — as one straight-line instruction sequence the VM
+/// runs without re-entering the tree-level harness per operation.
+///
+/// Lifecycle: built once per witness (`atlas-synth`'s
+/// `WitnessTest::compile_into`), cached in the caller's scratch so its
+/// buffer is recycled across witnesses, and executed any number of times
+/// via [`crate::Vm::run_witness`] with a [`crate::Vm::reset`] between
+/// rounds.  The witness instructions themselves never tick and the
+/// witness frame charges no call depth, so a run is observationally
+/// identical — verdict, step count, error — to driving the same ops
+/// through the tree-level `execute_with` harness.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledWitness {
+    pub(crate) code: Vec<Instr>,
+    pub(crate) num_regs: u32,
+}
+
+impl CompiledWitness {
+    /// An empty witness buffer, ready to be filled by the emit methods.
+    pub fn new() -> CompiledWitness {
+        CompiledWitness::default()
+    }
+
+    /// Clears the witness for re-lowering, keeping the code buffer's
+    /// capacity — the recycling step of the once-per-witness lifecycle.
+    pub fn clear(&mut self) {
+        self.code.clear();
+        self.num_regs = 0;
+    }
+
+    /// Number of lowered instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the witness is empty (freshly created or cleared).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Size of the register window the witness frame needs.
+    pub fn num_regs(&self) -> u32 {
+        self.num_regs
+    }
+
+    fn track(&mut self, reg: Reg) {
+        self.num_regs = self.num_regs.max(reg + 1);
+    }
+
+    /// Emits `dst = literal` (argument marshalling).
+    pub fn push_const(&mut self, dst: Reg, value: Constant) {
+        self.track(dst);
+        self.code.push(Instr::WConst { dst, value });
+    }
+
+    /// Emits `dst = new class()` (raw receiver allocation).
+    pub fn push_alloc(&mut self, dst: Reg, class: ClassId) {
+        self.track(dst);
+        self.code.push(Instr::WAlloc { dst, class });
+    }
+
+    /// Emits a top-level call of the witness word.
+    pub fn push_call(
+        &mut self,
+        method: MethodId,
+        recv: Option<Reg>,
+        args: &[Reg],
+        dst: Option<Reg>,
+    ) {
+        if let Some(r) = recv {
+            self.track(r);
+        }
+        if let Some(d) = dst {
+            self.track(d);
+        }
+        for &a in args {
+            self.track(a);
+        }
+        self.code.push(Instr::WCall(Box::new(CallSite {
+            method,
+            recv,
+            args: args.to_vec(),
+            dst,
+        })));
+    }
+
+    /// Terminates the witness with its verdict extraction: passes iff
+    /// the tracked input `a` is non-null and identical to the observed
+    /// output `b`.
+    pub fn finish(&mut self, a: Reg, b: Reg) {
+        self.track(a);
+        self.track(b);
+        self.code.push(Instr::WVerdict { a, b });
     }
 }
 

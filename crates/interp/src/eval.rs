@@ -333,7 +333,7 @@ impl<'p> Interpreter<'p> {
                 self.write(locals, *dst, v);
             }
             Stmt::Bin { dst, op, a, b } => {
-                let v = eval_bin(*op, self.read(locals, *a), self.read(locals, *b))?;
+                let v = eval_bin(*op, &self.read(locals, *a), &self.read(locals, *b))?;
                 self.write(locals, *dst, v);
             }
             Stmt::RefEq { dst, a, b } => {
@@ -413,7 +413,8 @@ impl Executor for Interpreter<'_> {
 
 /// Evaluates a binary operator — the one semantics shared verbatim by the
 /// tree-walker and the bytecode VM.
-pub(crate) fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
+#[inline]
+pub(crate) fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Result<Value, ExecError> {
     use BinOp::*;
     match op {
         And | Or => {

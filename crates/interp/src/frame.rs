@@ -75,6 +75,42 @@ impl FrameStack {
         base
     }
 
+    /// Pushes a frame whose receiver and arguments are copied directly
+    /// out of the *caller's* register window — the fast path of the call
+    /// instructions, with no marshalling buffer between the two windows.
+    /// Source registers all live below `base = regs.len()`, so each value
+    /// is cloned exactly once, from caller slot to callee slot.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push_from_regs(
+        &mut self,
+        method: MethodId,
+        num_regs: u32,
+        ret_ip: usize,
+        dst: Option<Reg>,
+        caller_base: usize,
+        recv: Option<Reg>,
+        arg_regs: &[Reg],
+        num_params: usize,
+    ) -> usize {
+        let base = self.regs.len();
+        if let Some(r) = recv {
+            let v = self.regs[caller_base + r as usize].clone();
+            self.regs.push(v);
+        }
+        for &a in arg_regs.iter().take(num_params) {
+            let v = self.regs[caller_base + a as usize].clone();
+            self.regs.push(v);
+        }
+        self.regs.resize(base + num_regs as usize, Value::Null);
+        self.frames.push(Frame {
+            method,
+            base,
+            ret_ip,
+            dst,
+        });
+        base
+    }
+
     /// Pops the top frame, truncating its register window away.
     pub(crate) fn pop(&mut self) -> Frame {
         let frame = self.frames.pop().expect("pop on an empty frame stack");
@@ -87,6 +123,12 @@ impl FrameStack {
     pub(crate) fn clear(&mut self) {
         self.regs.clear();
         self.frames.clear();
+    }
+
+    /// The allocated capacity of `(regs, frames)` — snapshotted by the
+    /// zero-allocation audit alongside [`crate::Heap::capacities`].
+    pub fn capacities(&self) -> (usize, usize) {
+        (self.regs.capacity(), self.frames.capacity())
     }
 }
 

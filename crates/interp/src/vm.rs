@@ -17,19 +17,109 @@
 //! `tests/vm_equivalence.rs` enforces the guarantee differentially.
 
 use crate::builtins::BuiltinRegistry;
-use crate::compile::{CompiledProgram, Instr, Reg};
+use crate::compile::{
+    CompiledProgram, CompiledWitness, FastArg, FastBinOperand, FastBody, Instr, OpKind, Reg,
+};
 use crate::eval::{eval_bin, ExecError, ExecOutcome, Executor};
 use crate::frame::FrameStack;
-use crate::heap::{Heap, ObjRef};
+use crate::heap::{FieldCache, Heap, ObjRef};
 use crate::limits::{ExecLimits, StepBudget};
 use crate::value::Value;
 use atlas_ir::{ClassId, Constant, MethodId};
 
 /// Result of dispatching a call: natives produce a value immediately,
-/// compiled bodies push a frame for the dispatch loop to execute.
-enum Invoked {
+/// compiled bodies push a frame — carrying its register base and code
+/// slice so the dispatch loop resumes without a second method lookup.
+enum Invoked<'p> {
     Value(Value),
-    Frame,
+    Frame(usize, &'p [Instr]),
+}
+
+/// Sentinel method id of the synthetic witness base frame (never used to
+/// resolve code: the dispatch loop resolves the witness slice directly).
+fn witness_frame_method() -> MethodId {
+    MethodId::from_index(u32::MAX)
+}
+
+/// Per-opcode dynamic execution counts plus inline-cache hit/miss
+/// totals, gathered when profiling is enabled (`ATLAS_VM_PROFILE`).
+///
+/// Off by default and allocated out of line (`Option<Box<VmProfile>>`),
+/// so the unprofiled dispatch loop pays one predictable branch per
+/// instruction and nothing else — recording never changes verdicts,
+/// steps, or errors.
+#[derive(Debug, Clone)]
+pub struct VmProfile {
+    counts: [u64; OpKind::COUNT],
+    ic_hits: u64,
+    ic_misses: u64,
+}
+
+impl Default for VmProfile {
+    fn default() -> VmProfile {
+        VmProfile {
+            counts: [0; OpKind::COUNT],
+            ic_hits: 0,
+            ic_misses: 0,
+        }
+    }
+}
+
+impl VmProfile {
+    #[inline]
+    fn record(&mut self, kind: OpKind) {
+        self.counts[kind as usize] += 1;
+    }
+
+    #[inline]
+    fn record_ic(&mut self, hit: bool) {
+        if hit {
+            self.ic_hits += 1;
+        } else {
+            self.ic_misses += 1;
+        }
+    }
+
+    /// Executions of one instruction shape.
+    pub fn count(&self, kind: OpKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Total instructions dispatched.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Inline-cache hits across all field sites.
+    pub fn ic_hits(&self) -> u64 {
+        self.ic_hits
+    }
+
+    /// Inline-cache misses (including megamorphic fallbacks).
+    pub fn ic_misses(&self) -> u64 {
+        self.ic_misses
+    }
+
+    /// The nonzero counts, most-executed first.
+    pub fn histogram(&self) -> Vec<(OpKind, u64)> {
+        let mut out: Vec<(OpKind, u64)> = OpKind::ALL
+            .iter()
+            .map(|&k| (k, self.counts[k as usize]))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Folds another profile into this one (per-worker profiles merge
+    /// into session totals like the oracle's other counters).
+    pub fn merge(&mut self, other: &VmProfile) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.ic_hits += other.ic_hits;
+        self.ic_misses += other.ic_misses;
+    }
 }
 
 /// Reusable VM state: the arena heap, the register stack, and the
@@ -56,6 +146,39 @@ pub struct VmScratch {
     /// both ids are globally unique, so a match proves the resolution is
     /// still exact and native dispatch never re-hashes a method name.
     natives_key: Option<(u64, u64)>,
+    /// Per-site inline caches (indexed by the `ic` field of
+    /// `Load`/`Store` and their fused forms).  Kept *warm* across
+    /// executions while `field_cache_key` matches the program: entries
+    /// are verified on every use, so a stale guess from a previous
+    /// execution is a safe miss, and a correct one skips the field scan
+    /// from the very first round.
+    field_cache: Vec<FieldCache>,
+    /// The `CompiledProgram::id` the `field_cache` table was sized for.
+    field_cache_key: Option<u64>,
+    /// Dynamic opcode counts, when profiling is enabled; carried across
+    /// executions so a profiled pass accumulates session totals.
+    profile: Option<Box<VmProfile>>,
+}
+
+impl VmScratch {
+    /// Turns on per-opcode profiling for every VM built from this
+    /// scratch (see [`VmProfile`]).  Counters accumulate across
+    /// executions until taken with [`VmScratch::take_profile`].
+    pub fn enable_profile(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// The accumulated profile, if profiling is enabled.
+    pub fn profile(&self) -> Option<&VmProfile> {
+        self.profile.as_deref()
+    }
+
+    /// Takes the accumulated profile, disabling further recording.
+    pub fn take_profile(&mut self) -> Option<Box<VmProfile>> {
+        self.profile.take()
+    }
 }
 
 /// The bytecode execution engine.
@@ -78,6 +201,11 @@ pub struct Vm<'p> {
     /// dispatch indexes this table instead of hashing the method name.
     natives: Vec<Option<crate::builtins::BuiltinFn>>,
     natives_key: Option<(u64, u64)>,
+    /// Per-site inline caches (see [`VmScratch::field_cache`]).
+    field_cache: Vec<FieldCache>,
+    field_cache_key: Option<u64>,
+    /// Dynamic opcode counts, when profiling is enabled.
+    profile: Option<Box<VmProfile>>,
 }
 
 impl<'p> Vm<'p> {
@@ -113,6 +241,16 @@ impl<'p> Vm<'p> {
             );
             scratch.natives_key = Some(key);
         }
+        // The inline-cache table is likewise keyed on the program and
+        // *kept* while the key matches: entries verify on use, so reuse
+        // is safe and keeps the caches warm across executions.
+        if scratch.field_cache_key != Some(compiled.id()) {
+            scratch.field_cache.clear();
+            scratch
+                .field_cache
+                .resize(compiled.num_field_sites() as usize, FieldCache::EMPTY);
+            scratch.field_cache_key = Some(compiled.id());
+        }
         Vm {
             compiled,
             heap: scratch.heap,
@@ -121,6 +259,9 @@ impl<'p> Vm<'p> {
             args: scratch.args,
             natives: scratch.natives,
             natives_key: scratch.natives_key,
+            field_cache: scratch.field_cache,
+            field_cache_key: scratch.field_cache_key,
+            profile: scratch.profile,
         }
     }
 
@@ -144,12 +285,33 @@ impl<'p> Vm<'p> {
             args: self.args,
             natives: self.natives,
             natives_key: self.natives_key,
+            field_cache: self.field_cache,
+            field_cache_key: self.field_cache_key,
+            profile: self.profile,
         }
     }
 
     /// Access to the heap (after execution), e.g. for inspecting effects.
     pub fn heap(&self) -> &Heap {
         &self.heap
+    }
+
+    /// The accumulated opcode profile, if profiling is enabled (see
+    /// [`VmScratch::enable_profile`]).
+    pub fn profile(&self) -> Option<&VmProfile> {
+        self.profile.as_deref()
+    }
+
+    /// The allocated capacities of every reusable buffer — `(heap
+    /// arenas, (regs, frames), call-arg buffer)`.  The zero-allocation
+    /// audit snapshots this between rounds: once the buffers reach their
+    /// high-water mark, back-to-back rounds must not move any of these.
+    pub fn arena_capacities(&self) -> ((usize, usize, usize), (usize, usize), usize) {
+        (
+            self.heap.capacities(),
+            self.stack.capacities(),
+            self.args.capacity(),
+        )
     }
 
     /// Allocates a raw object of the given class on the heap without
@@ -183,7 +345,7 @@ impl<'p> Vm<'p> {
         debug_assert_eq!(self.stack.depth(), 0, "external call on an active VM");
         let result = match self.invoke(method, recv, args, 0, None) {
             Ok(Invoked::Value(v)) => Ok(v),
-            Ok(Invoked::Frame) => self.run_loop(),
+            Ok(Invoked::Frame(base, code)) => self.run_loop(base, code, None),
             Err(e) => Err(e),
         };
         if result.is_err() {
@@ -197,9 +359,54 @@ impl<'p> Vm<'p> {
         result
     }
 
-    /// Dispatches a call: depth check, native dispatch, receiver checks,
-    /// then frame setup — in exactly the tree-walker's order, so every
-    /// error path reports the same [`ExecError`].
+    /// Executes a compiled witness to its verdict.
+    ///
+    /// The witness runs in a synthetic base frame that mirrors the
+    /// tree-level harness exactly: the frame charges no call depth and
+    /// the witness instructions charge no steps, so only the called
+    /// method bodies tick — verdict, step count, and error identity with
+    /// `atlas_synth`-level `execute_with` hold by construction.
+    /// Between rounds, [`Vm::reset`] restores a fresh budget while
+    /// keeping every buffer (and the warm inline caches) in place.
+    pub fn run_witness(&mut self, witness: &CompiledWitness) -> Result<bool, ExecError> {
+        debug_assert_eq!(self.stack.depth(), 0, "witness run on an active VM");
+        debug_assert!(
+            self.field_cache.len() >= self.compiled.num_field_sites() as usize,
+            "inline-cache table sized for a different program"
+        );
+        // No budget.push_frame: the harness level is depth 0.
+        self.stack.push_with_args(
+            witness_frame_method(),
+            witness.num_regs,
+            0,
+            None,
+            None,
+            &[],
+            0,
+        );
+        match self.run_loop(0, &witness.code, Some(&witness.code)) {
+            Ok(v) => {
+                debug_assert_eq!(self.stack.depth(), 1, "witness left frames behind");
+                self.stack.pop();
+                Ok(v.as_bool().expect("witness verdict is boolean"))
+            }
+            Err(e) => {
+                // Unwind method frames with their depth charges, then the
+                // synthetic witness frame without one.
+                while self.stack.depth() > 1 {
+                    self.stack.pop();
+                    self.budget.pop_frame();
+                }
+                self.stack.pop();
+                Err(e)
+            }
+        }
+    }
+
+    /// Dispatches an external call (entry points and the [`Executor`]
+    /// bridge): depth check, native dispatch, receiver checks, then frame
+    /// setup — in exactly the tree-walker's order, so every error path
+    /// reports the same [`ExecError`].
     #[inline]
     fn invoke(
         &mut self,
@@ -208,7 +415,7 @@ impl<'p> Vm<'p> {
         args: &[Value],
         ret_ip: usize,
         dst: Option<Reg>,
-    ) -> Result<Invoked, ExecError> {
+    ) -> Result<Invoked<'p>, ExecError> {
         self.budget.check_depth()?;
         let compiled = self.compiled;
         let cm = compiled.method(method);
@@ -227,7 +434,7 @@ impl<'p> Vm<'p> {
             None
         };
         self.budget.push_frame();
-        self.stack.push_with_args(
+        let base = self.stack.push_with_args(
             method,
             cm.num_regs,
             ret_ip,
@@ -236,18 +443,119 @@ impl<'p> Vm<'p> {
             args,
             cm.num_params,
         );
-        Ok(Invoked::Frame)
+        Ok(Invoked::Frame(base, cm.code()))
     }
 
-    /// The dispatch loop: executes the top frame (and every frame it
-    /// pushes) to completion.
-    fn run_loop(&mut self) -> Result<Value, ExecError> {
+    /// Dispatches an in-loop call site: the same check order as
+    /// [`Vm::invoke`] — depth, native dispatch, receiver checks, frame
+    /// setup — but arguments of non-native callees are copied straight
+    /// from the caller's register window into the callee's, skipping the
+    /// marshalling buffer (one clone per value instead of two).  The
+    /// buffer detour survives only for natives, whose ABI takes a value
+    /// slice.  Argument reads are pure, so moving them after the depth
+    /// check cannot reorder any observable effect.
+    ///
+    /// Callees classified as a [`FastBody`] execute inline without a
+    /// frame push (the dominant javalib callee is one instruction plus a
+    /// return); the budget still sees the same depth charge and the same
+    /// ticks in the same order.  Profiled runs take the frame path so the
+    /// per-opcode histogram counts every body instruction.
+    #[inline]
+    fn invoke_site<const PROFILE: bool>(
+        &mut self,
+        site: &crate::compile::CallSite,
+        base: usize,
+        ret_ip: usize,
+    ) -> Result<Invoked<'p>, ExecError> {
+        self.budget.check_depth()?;
         let compiled = self.compiled;
-        let top = self.stack.frames.last().expect("run_loop without a frame");
-        let mut base = top.base;
-        let mut code: &[Instr] = compiled.method(top.method).code();
+        let cm = compiled.method(site.method);
+        if let Some(name) = cm.native() {
+            let builtin = self.natives[site.method.index() as usize]
+                .ok_or_else(|| ExecError::MissingBuiltin(name.to_string()))?;
+            let recv = site.recv.map(|r| self.rd(base, r));
+            let mut args = std::mem::take(&mut self.args);
+            args.clear();
+            args.extend(site.args.iter().map(|&a| self.rd(base, a)));
+            let out = builtin(&mut self.heap, recv, &args);
+            self.args = args;
+            return out.map(Invoked::Value);
+        }
+        let recv = if cm.has_this {
+            let r = site
+                .recv
+                .ok_or_else(|| ExecError::TypeError("missing receiver".into()))?;
+            if self.stack.regs[base + r as usize].is_null() {
+                return Err(ExecError::NullPointer);
+            }
+            Some(r)
+        } else {
+            None
+        };
+        if !PROFILE {
+            if let Some(fast) = cm.fast() {
+                self.budget.push_frame();
+                let out = self.fast_body(fast, site, base, recv);
+                self.budget.pop_frame();
+                return out.map(Invoked::Value);
+            }
+        }
+        self.budget.push_frame();
+        let callee_base = self.stack.push_from_regs(
+            site.method,
+            cm.num_regs,
+            ret_ip,
+            site.dst,
+            base,
+            recv,
+            &site.args,
+            cm.num_params,
+        );
+        Ok(Invoked::Frame(callee_base, cm.code()))
+    }
+
+    /// The dispatch loop: executes the frame at `(base, code)` — and
+    /// every frame it pushes — to completion.  In witness mode
+    /// (`witness` is the lowered witness slice), the bottom frame's code
+    /// is the witness itself and a [`Instr::WVerdict`] terminates the
+    /// run.
+    fn run_loop<'w>(
+        &mut self,
+        base: usize,
+        code: &'w [Instr],
+        witness: Option<&'w [Instr]>,
+    ) -> Result<Value, ExecError>
+    where
+        'p: 'w,
+    {
+        // Monomorphize the loop on the profiling flag: the common
+        // unprofiled path carries no per-instruction recording code at
+        // all, not even the predictable branch.
+        if self.profile.is_some() {
+            self.run_loop_impl::<true>(base, code, witness)
+        } else {
+            self.run_loop_impl::<false>(base, code, witness)
+        }
+    }
+
+    fn run_loop_impl<'w, const PROFILE: bool>(
+        &mut self,
+        base: usize,
+        code: &'w [Instr],
+        witness: Option<&'w [Instr]>,
+    ) -> Result<Value, ExecError>
+    where
+        'p: 'w,
+    {
+        let mut base = base;
+        let mut code = code;
         let mut ip = 0usize;
         loop {
+            if PROFILE {
+                if let Some(p) = self.profile.as_deref_mut() {
+                    p.record(code[ip].kind());
+                }
+            }
             match &code[ip] {
                 Instr::Move { dst, src } => {
                     self.tick()?;
@@ -266,7 +574,7 @@ impl<'p> Vm<'p> {
                 Instr::NewArr { dst, len } => {
                     self.tick()?;
                     let len = self
-                        .rd(base, *len)
+                        .rr(base, *len)
                         .as_int()
                         .ok_or_else(|| ExecError::TypeError("array length must be int".into()))?;
                     if len < 0 {
@@ -275,23 +583,50 @@ impl<'p> Vm<'p> {
                     let r = self.heap.alloc_array(len as usize);
                     self.wr(base, *dst, Value::Ref(r));
                 }
-                Instr::Load { dst, obj, field } => {
+                Instr::Load {
+                    dst,
+                    obj,
+                    field,
+                    ic,
+                } => {
                     self.tick()?;
-                    let r = self.rd(base, *obj).as_ref().ok_or(ExecError::NullPointer)?;
-                    let v = self.heap.read_field(r, *field);
+                    let r = self.rr(base, *obj).as_ref().ok_or(ExecError::NullPointer)?;
+                    let (v, hit) =
+                        self.heap
+                            .read_field_cached(r, *field, &mut self.field_cache[*ic as usize]);
+                    if PROFILE {
+                        if let Some(p) = self.profile.as_deref_mut() {
+                            p.record_ic(hit);
+                        }
+                    }
                     self.wr(base, *dst, v);
                 }
-                Instr::Store { obj, field, src } => {
+                Instr::Store {
+                    obj,
+                    field,
+                    src,
+                    ic,
+                } => {
                     self.tick()?;
-                    let r = self.rd(base, *obj).as_ref().ok_or(ExecError::NullPointer)?;
+                    let r = self.rr(base, *obj).as_ref().ok_or(ExecError::NullPointer)?;
                     let v = self.rd(base, *src);
-                    self.heap.write_field(r, *field, v);
+                    let hit = self.heap.write_field_cached(
+                        r,
+                        *field,
+                        v,
+                        &mut self.field_cache[*ic as usize],
+                    );
+                    if PROFILE {
+                        if let Some(p) = self.profile.as_deref_mut() {
+                            p.record_ic(hit);
+                        }
+                    }
                 }
                 Instr::ArrLoad { dst, arr, index } => {
                     self.tick()?;
-                    let r = self.rd(base, *arr).as_ref().ok_or(ExecError::NullPointer)?;
+                    let r = self.rr(base, *arr).as_ref().ok_or(ExecError::NullPointer)?;
                     let i = self
-                        .rd(base, *index)
+                        .rr(base, *index)
                         .as_int()
                         .ok_or_else(|| ExecError::TypeError("array index must be int".into()))?;
                     let v = self
@@ -302,9 +637,9 @@ impl<'p> Vm<'p> {
                 }
                 Instr::ArrStore { arr, index, src } => {
                     self.tick()?;
-                    let r = self.rd(base, *arr).as_ref().ok_or(ExecError::NullPointer)?;
+                    let r = self.rr(base, *arr).as_ref().ok_or(ExecError::NullPointer)?;
                     let i = self
-                        .rd(base, *index)
+                        .rr(base, *index)
                         .as_int()
                         .ok_or_else(|| ExecError::TypeError("array index must be int".into()))?;
                     let v = self.rd(base, *src);
@@ -314,7 +649,7 @@ impl<'p> Vm<'p> {
                 }
                 Instr::ArrLen { dst, arr } => {
                     self.tick()?;
-                    let r = self.rd(base, *arr).as_ref().ok_or(ExecError::NullPointer)?;
+                    let r = self.rr(base, *arr).as_ref().ok_or(ExecError::NullPointer)?;
                     let len = self
                         .heap
                         .array_len(r)
@@ -323,56 +658,45 @@ impl<'p> Vm<'p> {
                 }
                 Instr::Bin { dst, op, a, b } => {
                     self.tick()?;
-                    let v = eval_bin(*op, self.rd(base, *a), self.rd(base, *b))?;
+                    let v = eval_bin(*op, self.rr(base, *a), self.rr(base, *b))?;
                     self.wr(base, *dst, v);
                 }
                 Instr::RefEq { dst, a, b } => {
                     self.tick()?;
-                    let eq = self.rd(base, *a).ref_eq(&self.rd(base, *b));
+                    let eq = self.rr(base, *a).ref_eq(self.rr(base, *b));
                     self.wr(base, *dst, Value::Bool(eq));
                 }
                 Instr::IsNull { dst, a } => {
                     self.tick()?;
-                    let is_null = self.rd(base, *a).is_null();
+                    let is_null = self.rr(base, *a).is_null();
                     self.wr(base, *dst, Value::Bool(is_null));
                 }
                 Instr::Not { dst, a } => {
                     self.tick()?;
                     let v = self
-                        .rd(base, *a)
+                        .rr(base, *a)
                         .as_bool()
                         .ok_or_else(|| ExecError::TypeError("! of non-boolean".into()))?;
                     self.wr(base, *dst, Value::Bool(!v));
                 }
                 Instr::Call(site) => {
                     self.tick()?;
-                    let recv = site.recv.map(|r| self.rd(base, r));
-                    // Marshal arguments through the reusable buffer; it is
-                    // taken out for the duration of the (re-entrant-free)
-                    // invoke so the borrow checker sees no aliasing.
-                    let mut args = std::mem::take(&mut self.args);
-                    args.clear();
-                    args.extend(site.args.iter().map(|&a| self.rd(base, a)));
-                    let invoked = self.invoke(site.method, recv, &args, ip + 1, site.dst);
-                    self.args = args;
-                    match invoked? {
+                    match self.invoke_site::<PROFILE>(site, base, ip + 1)? {
                         Invoked::Value(v) => {
                             if let Some(d) = site.dst {
                                 self.wr(base, d, v);
                             }
                             ip += 1;
                         }
-                        Invoked::Frame => {
-                            base = self.stack.frames.last().expect("pushed frame").base;
-                            code = compiled.method(site.method).code();
-                            ip = 0;
+                        Invoked::Frame(b, c) => {
+                            (base, code, ip) = (b, c, 0);
                         }
                     }
                     continue;
                 }
                 Instr::Branch { cond, else_target } => {
                     self.tick()?;
-                    let c = self.rd(base, *cond).as_bool().ok_or_else(|| {
+                    let c = self.rr(base, *cond).as_bool().ok_or_else(|| {
                         ExecError::TypeError("if condition must be boolean".into())
                     })?;
                     ip = if c { ip + 1 } else { *else_target as usize };
@@ -386,7 +710,7 @@ impl<'p> Vm<'p> {
                     self.tick()?;
                 }
                 Instr::LoopCond { cond, exit_target } => {
-                    let c = self.rd(base, *cond).as_bool().ok_or_else(|| {
+                    let c = self.rr(base, *cond).as_bool().ok_or_else(|| {
                         ExecError::TypeError("while condition must be boolean".into())
                     })?;
                     ip = if c { ip + 1 } else { *exit_target as usize };
@@ -400,7 +724,7 @@ impl<'p> Vm<'p> {
                 Instr::Ret { src } => {
                     self.tick()?;
                     let v = self.rd(base, *src);
-                    match self.ret(v) {
+                    match self.ret(v, witness) {
                         Ok((b, c, i)) => (base, code, ip) = (b, c, i),
                         Err(v) => return Ok(v),
                     }
@@ -408,14 +732,14 @@ impl<'p> Vm<'p> {
                 }
                 Instr::RetVoid => {
                     self.tick()?;
-                    match self.ret(Value::Void) {
+                    match self.ret(Value::Void, witness) {
                         Ok((b, c, i)) => (base, code, ip) = (b, c, i),
                         Err(v) => return Ok(v),
                     }
                     continue;
                 }
                 Instr::RetFall => {
-                    match self.ret(Value::Void) {
+                    match self.ret(Value::Void, witness) {
                         Ok((b, c, i)) => (base, code, ip) = (b, c, i),
                         Err(v) => return Ok(v),
                     }
@@ -425,6 +749,116 @@ impl<'p> Vm<'p> {
                     self.tick()?;
                     return Err(ExecError::Thrown(message.clone()));
                 }
+                Instr::LoadBranch {
+                    dst,
+                    obj,
+                    field,
+                    ic,
+                    else_target,
+                } => {
+                    // Fused Load + Branch: both ticks, in the original
+                    // order, with the dst write between them — the budget
+                    // can exhaust at exactly the same two points.
+                    self.tick()?;
+                    let r = self.rr(base, *obj).as_ref().ok_or(ExecError::NullPointer)?;
+                    let (v, hit) =
+                        self.heap
+                            .read_field_cached(r, *field, &mut self.field_cache[*ic as usize]);
+                    if PROFILE {
+                        if let Some(p) = self.profile.as_deref_mut() {
+                            p.record_ic(hit);
+                        }
+                    }
+                    let cond = v.as_bool();
+                    self.wr(base, *dst, v);
+                    self.tick()?;
+                    let c = cond.ok_or_else(|| {
+                        ExecError::TypeError("if condition must be boolean".into())
+                    })?;
+                    // The retained Branch sits at ip + 1; the true path
+                    // falls through past it.
+                    ip = if c { ip + 2 } else { *else_target as usize };
+                    continue;
+                }
+                Instr::CallRetFall(site) => {
+                    self.tick()?;
+                    match self.invoke_site::<PROFILE>(site, base, ip + 1)? {
+                        Invoked::Value(v) => {
+                            if let Some(d) = site.dst {
+                                self.wr(base, d, v);
+                            }
+                            // The fall-off return, without re-dispatching
+                            // the retained RetFall.
+                            match self.ret(Value::Void, witness) {
+                                Ok((b, c, i)) => (base, code, ip) = (b, c, i),
+                                Err(v) => return Ok(v),
+                            }
+                        }
+                        Invoked::Frame(b, c) => {
+                            // The callee returns to the retained RetFall
+                            // at ip + 1, which unwinds as before.
+                            (base, code, ip) = (b, c, 0);
+                        }
+                    }
+                    continue;
+                }
+                Instr::ConstStore {
+                    dst,
+                    value,
+                    obj,
+                    field,
+                    ic,
+                } => {
+                    // Fused Const + Store: dst is still written (later
+                    // code may read it) before the second tick.
+                    self.tick()?;
+                    self.wr(base, *dst, const_value(value));
+                    self.tick()?;
+                    let r = self.rr(base, *obj).as_ref().ok_or(ExecError::NullPointer)?;
+                    let v = self.rd(base, *dst);
+                    let hit = self.heap.write_field_cached(
+                        r,
+                        *field,
+                        v,
+                        &mut self.field_cache[*ic as usize],
+                    );
+                    if PROFILE {
+                        if let Some(p) = self.profile.as_deref_mut() {
+                            p.record_ic(hit);
+                        }
+                    }
+                    // Skip the retained Store at ip + 1.
+                    ip += 2;
+                    continue;
+                }
+                Instr::WConst { dst, value } => {
+                    self.wr(base, *dst, const_value(value));
+                }
+                Instr::WAlloc { dst, class } => {
+                    let r = self.heap.alloc(*class);
+                    self.wr(base, *dst, Value::Ref(r));
+                }
+                Instr::WCall(site) => {
+                    // A top-level witness call: no tick for the call
+                    // itself, exactly like the external harness.
+                    match self.invoke_site::<PROFILE>(site, base, ip + 1)? {
+                        Invoked::Value(v) => {
+                            if let Some(d) = site.dst {
+                                self.wr(base, d, v);
+                            }
+                            ip += 1;
+                        }
+                        Invoked::Frame(b, c) => {
+                            (base, code, ip) = (b, c, 0);
+                        }
+                    }
+                    continue;
+                }
+                Instr::WVerdict { a, b } => {
+                    let av = self.rr(base, *a);
+                    let bv = self.rr(base, *b);
+                    return Ok(Value::Bool(!av.is_null() && av.ref_eq(bv)));
+                }
             }
             ip += 1;
         }
@@ -432,21 +866,142 @@ impl<'p> Vm<'p> {
 
     /// Returns `v` from the top frame.  `Ok((base, code, ip))` resumes
     /// the caller; `Err(v)` means the outermost frame returned `v` and
-    /// the dispatch loop is done.
+    /// the dispatch loop is done.  In witness mode, resuming the bottom
+    /// frame resolves to the witness slice instead of a compiled method.
     #[allow(clippy::type_complexity)]
-    fn ret(&mut self, v: Value) -> Result<(usize, &'p [Instr], usize), Value> {
+    #[inline]
+    fn ret<'w>(
+        &mut self,
+        v: Value,
+        witness: Option<&'w [Instr]>,
+    ) -> Result<(usize, &'w [Instr], usize), Value>
+    where
+        'p: 'w,
+    {
         let compiled = self.compiled;
         let popped = self.stack.pop();
         self.budget.pop_frame();
         if let Some(top) = self.stack.frames.last() {
             let base = top.base;
-            let code = compiled.method(top.method).code();
+            let code = match witness {
+                Some(w) if self.stack.frames.len() == 1 => w,
+                _ => compiled.method(top.method).code(),
+            };
             if let Some(d) = popped.dst {
                 self.wr(base, d, v);
             }
             Ok((base, code, popped.ret_ip))
         } else {
             Err(v)
+        }
+    }
+
+    /// Executes a [`FastBody`] against the caller's frame.  Each arm
+    /// replays its instruction sequence's exact tick/check order, so the
+    /// step count and every error path are identical to dispatching the
+    /// body instruction by instruction in a pushed frame.
+    #[inline]
+    fn fast_body(
+        &mut self,
+        fast: &FastBody,
+        site: &crate::compile::CallSite,
+        base: usize,
+        recv: Option<Reg>,
+    ) -> Result<Value, ExecError> {
+        match fast {
+            FastBody::RetArg(src) => {
+                self.tick()?; // Ret
+                Ok(self.fast_read(site, base, recv, *src).clone())
+            }
+            FastBody::RetConst(c) => {
+                self.tick()?; // Const
+                self.tick()?; // Ret
+                Ok(const_value(c))
+            }
+            FastBody::Getter { obj, field, ic } => {
+                self.tick()?; // Load
+                let r = self
+                    .fast_read(site, base, recv, *obj)
+                    .as_ref()
+                    .ok_or(ExecError::NullPointer)?;
+                let (v, _) =
+                    self.heap
+                        .read_field_cached(r, *field, &mut self.field_cache[*ic as usize]);
+                self.tick()?; // Ret
+                Ok(v)
+            }
+            FastBody::Setter {
+                obj,
+                field,
+                src,
+                ic,
+            } => {
+                self.tick()?; // Store
+                let r = self
+                    .fast_read(site, base, recv, *obj)
+                    .as_ref()
+                    .ok_or(ExecError::NullPointer)?;
+                let v = self.fast_read(site, base, recv, *src).clone();
+                self.heap
+                    .write_field_cached(r, *field, v, &mut self.field_cache[*ic as usize]);
+                Ok(Value::Void) // fall-off return: no tick
+            }
+            FastBody::RefEq { a, b } => {
+                self.tick()?; // RefEq
+                let eq = self
+                    .fast_read(site, base, recv, *a)
+                    .ref_eq(self.fast_read(site, base, recv, *b));
+                self.tick()?; // Ret
+                Ok(Value::Bool(eq))
+            }
+            FastBody::NewObjRet(class) => {
+                self.tick()?; // NewObj
+                let r = self.heap.alloc(*class);
+                self.tick()?; // Ret — sees the grown heap, like slow dispatch
+                Ok(Value::Ref(r))
+            }
+            FastBody::ConstBinRet { value, op, a, b } => {
+                self.tick()?; // Const
+                self.tick()?; // Bin
+                let cv = const_value(value);
+                let av = match a {
+                    FastBinOperand::Lit => &cv,
+                    FastBinOperand::Arg(x) => self.fast_read(site, base, recv, *x),
+                };
+                let bv = match b {
+                    FastBinOperand::Lit => &cv,
+                    FastBinOperand::Arg(x) => self.fast_read(site, base, recv, *x),
+                };
+                let v = eval_bin(*op, av, bv)?;
+                self.tick()?; // Ret
+                Ok(v)
+            }
+        }
+    }
+
+    /// Resolves a [`FastArg`] against the call site: `This` and `Param`
+    /// read the caller's registers (exactly the values a pushed frame
+    /// would have copied in), `Null` is what a fresh frame holds in
+    /// every other slot.
+    #[inline]
+    fn fast_read(
+        &self,
+        site: &crate::compile::CallSite,
+        base: usize,
+        recv: Option<Reg>,
+        arg: FastArg,
+    ) -> &Value {
+        static NULL: Value = Value::Null;
+        match arg {
+            FastArg::This => {
+                let r = recv.expect("fast body reads `this` of a receiverless callee");
+                self.rr(base, r)
+            }
+            FastArg::Param(p) => match site.args.get(p as usize) {
+                Some(&r) => self.rr(base, r),
+                None => &NULL,
+            },
+            FastArg::Null => &NULL,
         }
     }
 
@@ -458,6 +1013,14 @@ impl<'p> Vm<'p> {
     #[inline]
     fn rd(&self, base: usize, r: Reg) -> Value {
         self.stack.regs[base + r as usize].clone()
+    }
+
+    /// Reads a register in place — the dispatch arms that only inspect a
+    /// value (`as_int`, `as_bool`, `as_ref`, equality) borrow it instead
+    /// of cloning 24 bytes per operand.
+    #[inline]
+    fn rr(&self, base: usize, r: Reg) -> &Value {
+        &self.stack.regs[base + r as usize]
     }
 
     #[inline]

@@ -67,6 +67,11 @@ pub struct OracleConfig {
     /// The execution engine for witness tests.  Not part of cache keys:
     /// engines cannot change verdicts.
     pub engine: OracleEngine,
+    /// Record per-opcode dynamic execution counts on the bytecode engine
+    /// (`ATLAS_VM_PROFILE`).  Off by default; recording never changes
+    /// verdicts, steps, or errors.  Collect with
+    /// [`Oracle::take_vm_profile`].
+    pub profile: bool,
 }
 
 impl Default for OracleConfig {
@@ -77,6 +82,7 @@ impl Default for OracleConfig {
             memoize: true,
             fingerprint: None,
             engine: OracleEngine::default(),
+            profile: false,
         }
     }
 }
@@ -174,6 +180,10 @@ impl<'p> Oracle<'p> {
             config.strategy,
             config.limits,
         );
+        let mut scratch = VmScratch::default();
+        if config.profile {
+            scratch.enable_profile();
+        }
         Oracle {
             program,
             interface,
@@ -184,9 +194,15 @@ impl<'p> Oracle<'p> {
             stats: OracleStats::default(),
             builtins: BuiltinRegistry::with_defaults(),
             compiled: None,
-            scratch: VmScratch::default(),
+            scratch,
             witness_scratch: WitnessScratch::default(),
         }
+    }
+
+    /// Takes the accumulated VM opcode profile, when
+    /// [`OracleConfig::profile`] was set and the bytecode engine ran.
+    pub fn take_vm_profile(&mut self) -> Option<Box<atlas_interp::VmProfile>> {
+        self.scratch.take_profile()
     }
 
     /// Injects a pre-built bytecode image, so callers that run many
@@ -307,11 +323,17 @@ impl<'p> Oracle<'p> {
                     .compiled
                     .get_or_insert_with(|| Arc::new(CompiledProgram::compile(self.program)))
                     .clone();
+                // The whole query — instantiation plan, argument values,
+                // call word, verdict — runs as one compiled unit: lower
+                // the witness into the recycled buffer, then execute it
+                // inside the VM without re-entering the tree-level
+                // harness per op.
+                witness.compile_into(&mut self.witness_scratch);
                 let scratch = std::mem::take(&mut self.scratch);
                 let mut vm =
                     Vm::with_scratch(&compiled, &self.builtins, self.config.limits, scratch);
-                let verdict = witness
-                    .execute_with(self.program, &mut vm, &mut self.witness_scratch)
+                let verdict = vm
+                    .run_witness(self.witness_scratch.compiled())
                     .unwrap_or(false);
                 self.scratch = vm.into_scratch();
                 verdict

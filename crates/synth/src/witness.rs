@@ -1,7 +1,7 @@
 //! The synthesized unit test (potential witness) and its executor.
 
-use atlas_interp::{ExecError, Executor, Value};
-use atlas_ir::{ClassId, MethodId, Program};
+use atlas_interp::{CompiledWitness, ExecError, Executor, Value};
+use atlas_ir::{ClassId, Constant, MethodId, Program};
 use atlas_spec::PathSpec;
 use std::fmt::Write as _;
 
@@ -59,6 +59,20 @@ pub enum TestOp {
 pub struct WitnessScratch {
     env: Vec<Value>,
     args: Vec<Value>,
+    /// Recycled argument-register staging for witness lowering.
+    arg_regs: Vec<u32>,
+    /// The compiled-witness buffer: one bytecode image per witness,
+    /// relowered in place (capacity kept) by
+    /// [`WitnessTest::compile_into`] via [`WitnessScratch::compiled`].
+    compiled: CompiledWitness,
+}
+
+impl WitnessScratch {
+    /// The compiled form of the most recently lowered witness (see
+    /// [`WitnessTest::compile_into`]).
+    pub fn compiled(&self) -> &CompiledWitness {
+        &self.compiled
+    }
 }
 
 /// A synthesized potential witness for a candidate path specification.
@@ -142,6 +156,65 @@ impl WitnessTest {
         Ok(!a.is_null() && a.ref_eq(b))
     }
 
+    /// Lowers the witness to bytecode in `scratch`'s compiled-witness
+    /// buffer (capacity recycled across witnesses) and returns it.
+    ///
+    /// The lowering is a direct transcription of [`WitnessTest::execute_with`]:
+    /// every test variable `v` becomes witness register `v`, literal
+    /// arguments are marshalled into fresh registers past the variable
+    /// range, each op becomes its non-ticking witness instruction, and
+    /// the verdict comparison terminates the sequence.  Executing the
+    /// result with [`atlas_interp::Vm::run_witness`] is observationally
+    /// identical to driving the ops through an [`Executor`] — enforced
+    /// differentially in `vm_equivalence.rs`.
+    pub fn compile_into<'s>(&self, scratch: &'s mut WitnessScratch) -> &'s CompiledWitness {
+        let cw = &mut scratch.compiled;
+        cw.clear();
+        // Registers 0..=max_var mirror the tree harness's env slots
+        // (null-initialized, possibly never written); temporaries for
+        // literal arguments live past them.
+        let mut next_tmp = self.max_var() + 1;
+        for op in &self.ops {
+            match op {
+                TestOp::Alloc { dst, class } => cw.push_alloc(dst.0, *class),
+                TestOp::Call {
+                    dst,
+                    method,
+                    recv,
+                    args,
+                } => {
+                    let arg_regs = &mut scratch.arg_regs;
+                    arg_regs.clear();
+                    for a in args {
+                        match a {
+                            TestArg::Var(v) => arg_regs.push(v.0),
+                            lit => {
+                                let r = next_tmp;
+                                next_tmp += 1;
+                                cw.push_const(r, lit_constant(lit));
+                                arg_regs.push(r);
+                            }
+                        }
+                    }
+                    cw.push_call(*method, recv.map(|r| r.0), arg_regs, dst.map(|d| d.0));
+                }
+            }
+        }
+        // The verdict registers are tracked even when no op wrote them,
+        // mirroring the env sizing of the tree harness.
+        cw.finish(self.tracked_in.0, self.observed_out.0);
+        cw
+    }
+
+    /// [`WitnessTest::compile_into`] with a fresh buffer, for callers
+    /// outside the oracle's recycling loop (tests, the bench harness's
+    /// once-per-witness setup phase).
+    pub fn compile(&self) -> CompiledWitness {
+        let mut scratch = WitnessScratch::default();
+        self.compile_into(&mut scratch);
+        scratch.compiled
+    }
+
     fn max_var(&self) -> u32 {
         let mut max = self.tracked_in.0.max(self.observed_out.0);
         for op in &self.ops {
@@ -217,6 +290,17 @@ impl WitnessTest {
         );
         let _ = writeln!(out, "}}");
         out
+    }
+}
+
+/// Maps a literal test argument to its bytecode constant.
+fn lit_constant(arg: &TestArg) -> Constant {
+    match arg {
+        TestArg::Var(_) => unreachable!("variables are not literals"),
+        TestArg::Null => Constant::Null,
+        TestArg::Int(i) => Constant::Int(*i),
+        TestArg::Bool(b) => Constant::Bool(*b),
+        TestArg::Char(c) => Constant::Char(*c),
     }
 }
 
